@@ -1,0 +1,44 @@
+// Ablation of N_p, the number of devices in each partial synchronization
+// (paper §IV-B: "by allowing more GPUs to participate in partial
+// synchronization, the training effect can be better, ... the waste of
+// efforts on unselected devices is less" — at the price of more
+// synchronization communication).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "exp/report.hpp"
+
+using namespace hadfl;
+
+int main() {
+  const double scale = exp::bench_scale_from_env();
+  exp::Scenario s = exp::paper_scenario(nn::Architecture::kResNet18Lite,
+                                        {4, 2, 2, 1}, 0.75 * scale);
+  s.train.total_epochs = 14;
+  exp::Environment env(s);
+
+  std::cout << "ABLATION: N_p devices per partial synchronization "
+               "(ResNet-18 lite, [4,2,2,1])\n\n";
+  TextTable table({"N_p", "best acc", "time to best [s]",
+                   "comm volume [MB]"});
+  for (std::size_t np = 1; np <= s.num_devices(); ++np) {
+    exp::Scenario variant = s;
+    variant.hadfl.strategy.select_count = np;
+    fl::SchemeContext ctx = env.context();
+    const core::HadflResult r = core::run_hadfl(ctx, variant.hadfl);
+    const exp::SchemeSummary sum = exp::summarize(r.scheme.metrics);
+    const double mb = static_cast<double>(r.scheme.volume.total_sent() +
+                                          r.scheme.volume.total_received()) /
+                      (1024.0 * 1024.0);
+    table.add_row({std::to_string(np),
+                   TextTable::num(100.0 * sum.best_accuracy, 1) + "%",
+                   TextTable::num(sum.time_to_best, 1),
+                   TextTable::num(mb, 0)});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: accuracy improves with larger N_p (less"
+               " wasted local effort);\nthe paper picks N_p = 2 as the"
+               " efficiency/accuracy compromise.\n";
+  return 0;
+}

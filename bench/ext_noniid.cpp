@@ -1,0 +1,67 @@
+// Extension bench (paper §VI future work: "taking into account ... data
+// distribution"): sweep the Dirichlet label-skew concentration alpha and
+// compare HADFL against decentralized-FedAvg. Partial synchronization
+// mixes fewer models per round than the full ring, so label skew is the
+// regime where HADFL's accuracy margin is expected to widen — this bench
+// quantifies that trade against its speed advantage.
+#include <iostream>
+
+#include "baselines/decentralized_fedavg.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "data/partition.hpp"
+#include "exp/report.hpp"
+
+using namespace hadfl;
+
+int main() {
+  const double scale = exp::bench_scale_from_env();
+  std::cout << "EXTENSION: non-IID data (Dirichlet label skew), MLP,"
+               " [3,3,1,1]\n\n";
+
+  exp::Scenario s =
+      exp::paper_scenario(nn::Architecture::kMlp, {3, 3, 1, 1}, scale);
+  s.train.total_epochs = 20;
+  s.hadfl.strategy.select_count = 2;
+  s.hadfl.broadcast_mix_weight = 0.8;
+
+  TextTable table({"alpha (skew)", "scheme", "best acc",
+                   "time to best [s]"});
+  const struct {
+    double alpha;
+    const char* label;
+  } skews[] = {{100.0, "100 (≈IID)"}, {1.0, "1.0 (moderate)"},
+               {0.3, "0.3 (strong)"}};
+
+  for (const auto& skew : skews) {
+    exp::Environment env(s);
+    Rng rng(1234);
+    const data::Partition partition = data::partition_dirichlet(
+        env.train(), s.num_devices(), skew.alpha, rng);
+    const fl::SchemeContext base = env.context();
+    const fl::SchemeContext ctx{base.cluster, base.network,     base.train,
+                                base.test,    partition,        base.make_model,
+                                base.config,  base.comm_state_bytes};
+
+    const fl::SchemeResult dfedavg =
+        baselines::run_decentralized_fedavg(ctx);
+    const exp::SchemeSummary ds = exp::summarize(dfedavg.metrics);
+    table.add_row({skew.label, "decentralized-fedavg",
+                   TextTable::num(100.0 * ds.best_accuracy, 1) + "%",
+                   TextTable::num(ds.time_to_best, 1)});
+
+    const core::HadflResult hadfl = core::run_hadfl(ctx, s.hadfl);
+    const exp::SchemeSummary hs = exp::summarize(hadfl.scheme.metrics);
+    table.add_row({skew.label, "hadfl",
+                   TextTable::num(100.0 * hs.best_accuracy, 1) + "%",
+                   TextTable::num(hs.time_to_best, 1)});
+  }
+
+  std::cout << table.render()
+            << "\nExpected shape: near-IID, HADFL matches the baseline's"
+               " accuracy at a fraction of\nthe time; as the skew grows,"
+               " partial synchronization gives up more accuracy —\n"
+               "the data-distribution sensitivity the paper's future work"
+               " names.\n";
+  return 0;
+}

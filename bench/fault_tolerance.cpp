@@ -1,0 +1,68 @@
+// Fault-tolerance bench (§III-D): inject device disconnects of increasing
+// severity and measure HADFL's ring repairs, accuracy retention, and the
+// time overhead of the wait/handshake/bypass protocol, against a fault-free
+// run of the same workload.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "exp/report.hpp"
+
+using namespace hadfl;
+
+namespace {
+
+struct FaultPlan {
+  const char* name;
+  // (device, down_at, up_at) triples; up < 0 means permanent.
+  std::vector<std::tuple<sim::DeviceId, double, double>> events;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = exp::bench_scale_from_env();
+  exp::Scenario s =
+      exp::paper_scenario(nn::Architecture::kMlp, {3, 3, 1, 1}, scale);
+  s.train.total_epochs = 16;
+  s.hadfl.strategy.select_count = 3;
+
+  // Fault windows sized to the run's timescale: with the fastest-device
+  // anchor, rounds are ~9.6 virtual seconds here, so windows span round
+  // boundaries — the mid-round disconnects the §III-D protocol exists for.
+  const FaultPlan plans[] = {
+      {"no faults", {}},
+      {"transient blips (dev 2)",
+       {{2, 20.0, 32.0}, {2, 44.0, 56.0}, {2, 66.0, 78.0}}},
+      {"flaky pair (devs 1, 2)",
+       {{1, 15.0, 35.0}, {2, 40.0, 60.0}, {1, 62.0, 75.0}}},
+      {"permanent loss (dev 3 at t=45)", {{3, 45.0, -1.0}}},
+  };
+
+  std::cout << "FAULT TOLERANCE (§III-D): MLP, [3,3,1,1], N_p=3\n\n";
+  TextTable table({"fault plan", "ring repairs", "best acc",
+                   "time to best [s]", "total time [s]"});
+  for (const FaultPlan& plan : plans) {
+    exp::Environment env(s);
+    for (const auto& [device, down, up] : plan.events) {
+      if (up < 0) {
+        env.cluster().faults().schedule_disconnect(device, down);
+      } else {
+        env.cluster().faults().schedule(sim::FaultEvent{device, down, up});
+      }
+    }
+    fl::SchemeContext ctx = env.context();
+    const core::HadflResult r = core::run_hadfl(ctx, s.hadfl);
+    const exp::SchemeSummary sum = exp::summarize(r.scheme.metrics);
+    table.add_row({plan.name, std::to_string(r.extras.ring_repairs),
+                   TextTable::num(100.0 * sum.best_accuracy, 1) + "%",
+                   TextTable::num(sum.time_to_best, 1),
+                   TextTable::num(r.scheme.total_time, 1)});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: training completes under every plan;"
+               " transient faults cost only\nrepair latency, and even a"
+               " permanent device loss degrades accuracy gracefully\n"
+               "(its partition is gone) without stalling the ring.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks for the simulation/communication substrate: transport
+// operations, collectives, and the fault-repair path.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "comm/allreduce.hpp"
+#include "comm/broadcast.hpp"
+#include "comm/failure_detector.hpp"
+#include "comm/transport.hpp"
+
+namespace {
+
+using namespace hadfl;
+
+sim::Cluster make_cluster(std::size_t k) {
+  return sim::Cluster(sim::devices_from_ratio(std::vector<double>(k, 1.0)),
+                      0.1);
+}
+
+void BM_TransportSend(benchmark::State& state) {
+  sim::Cluster cluster = make_cluster(2);
+  comm::SimTransport t(cluster, sim::NetworkModel::pcie3_x8());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.send(0, 1, 1 << 20));
+  }
+}
+BENCHMARK(BM_TransportSend);
+
+void BM_RingAllreduceSimulated(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  sim::Cluster cluster = make_cluster(k);
+  comm::SimTransport t(cluster, sim::NetworkModel::pcie3_x8());
+  std::vector<sim::DeviceId> ids(k);
+  for (std::size_t i = 0; i < k; ++i) ids[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        comm::simulate_ring_allreduce(t, ids, 44 << 20));
+  }
+}
+BENCHMARK(BM_RingAllreduceSimulated)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RingAllreduceData(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Cluster cluster = make_cluster(4);
+  comm::SimTransport t(cluster, sim::NetworkModel::pcie3_x8());
+  std::vector<std::vector<float>> buffers(4, std::vector<float>(n, 1.0f));
+  for (auto _ : state) {
+    std::vector<std::span<float>> views;
+    views.reserve(4);
+    for (auto& b : buffers) views.emplace_back(b);
+    comm::ring_allreduce_average(t, {0, 1, 2, 3}, views);
+    benchmark::DoNotOptimize(buffers[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n * sizeof(float)));
+}
+BENCHMARK(BM_RingAllreduceData)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Broadcast(benchmark::State& state) {
+  sim::Cluster cluster = make_cluster(8);
+  comm::SimTransport t(cluster, sim::NetworkModel::pcie3_x8());
+  const std::vector<sim::DeviceId> dsts{1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        comm::broadcast_nonblocking(t, 0, dsts, 44 << 20));
+  }
+}
+BENCHMARK(BM_Broadcast);
+
+void BM_RingRepairHealthy(benchmark::State& state) {
+  sim::Cluster cluster = make_cluster(16);
+  comm::SimTransport t(cluster, sim::NetworkModel::pcie3_x8());
+  std::vector<sim::DeviceId> ring(16);
+  for (std::size_t i = 0; i < 16; ++i) ring[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::repair_ring(t, ring));
+  }
+}
+BENCHMARK(BM_RingRepairHealthy);
+
+void BM_RingRepairOneDead(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Cluster cluster = make_cluster(16);
+    cluster.faults().schedule_disconnect(7, 0.0);
+    comm::SimTransport t(cluster, sim::NetworkModel::pcie3_x8());
+    std::vector<sim::DeviceId> ring(16);
+    for (std::size_t i = 0; i < 16; ++i) ring[i] = i;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(comm::repair_ring(t, ring));
+  }
+}
+BENCHMARK(BM_RingRepairOneDead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Micro-benchmarks for HADFL's coordinator-side primitives: the version
+// predictor (Eq. 7), the selection function (Eq. 8), and strategy
+// generation (§III-C). These run on the coordinator every round, so their
+// cost bounds the control-plane overhead per aggregation.
+#include <benchmark/benchmark.h>
+
+#include "core/selection.hpp"
+#include "core/strategy.hpp"
+#include "core/version_predictor.hpp"
+
+namespace {
+
+using namespace hadfl;
+
+void BM_PredictorObservePredict(benchmark::State& state) {
+  core::VersionPredictor p(0.5);
+  double v = 0.0;
+  for (auto _ : state) {
+    p.observe(v += 12.0);
+    benchmark::DoNotOptimize(p.predict(1));
+  }
+}
+BENCHMARK(BM_PredictorObservePredict);
+
+void BM_SelectionProbabilities(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<double> versions(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    versions[i] = 100.0 + 13.0 * static_cast<double>(i % 7);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GaussianQuartileSelection::probabilities(versions));
+  }
+}
+BENCHMARK(BM_SelectionProbabilities)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_SelectionDraw(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::GaussianQuartileSelection policy;
+  core::SelectionContext ctx;
+  for (std::size_t i = 0; i < k; ++i) {
+    ctx.versions.push_back(50.0 + static_cast<double>(i));
+    ctx.compute_powers.push_back(1.0 + static_cast<double>(i % 4));
+  }
+  ctx.select_count = std::max<std::size_t>(2, k / 4);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select(ctx, rng));
+  }
+}
+BENCHMARK(BM_SelectionDraw)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_StrategyGeneration(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::StrategyGenerator gen((core::StrategyConfig()));
+  std::vector<double> epoch_times(k);
+  std::vector<std::size_t> ipe(k, 16);
+  const double pattern[] = {1.0, 2.0, 2.0, 4.0};
+  for (std::size_t i = 0; i < k; ++i) epoch_times[i] = pattern[i % 4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(epoch_times, ipe));
+  }
+}
+BENCHMARK(BM_StrategyGeneration)->Arg(4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Micro-benchmarks for the tensor/NN substrate (google-benchmark):
+// GEMM kernels, im2col lowering, and full layer forward/backward passes at
+// the shapes the evaluation models actually use.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/initializers.hpp"
+#include "nn/model_zoo.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace hadfl;
+
+Tensor make_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Tensor a = make_tensor({n, n}, 1);
+  Tensor b = make_tensor({n, n}, 2);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    ops::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  ops::ConvGeometry g{8, s, s, 3, 3, 1, 1};
+  Tensor image = make_tensor({8, s, s}, 3);
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  for (auto _ : state) {
+    ops::im2col(image.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  nn::Dense layer(width, width);
+  Rng rng(4);
+  nn::he_normal(layer.weight(), width, rng);
+  Tensor x = make_tensor({16, width}, 5);
+  for (auto _ : state) {
+    Tensor y = layer.forward(x, true);
+    Tensor g = layer.backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_DenseForwardBackward)->Arg(64)->Arg(256);
+
+void BM_ConvForwardBackward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  nn::Conv2d layer(channels, channels, 3, 1, 1, false);
+  Rng rng(6);
+  nn::he_normal(layer.weight(), channels * 9, rng);
+  Tensor x = make_tensor({16, channels, 8, 8}, 7);
+  for (auto _ : state) {
+    Tensor y = layer.forward(x, true);
+    Tensor g = layer.backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_ConvForwardBackward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  nn::BatchNorm2d bn(16);
+  Tensor x = make_tensor({16, 16, 8, 8}, 8);
+  for (auto _ : state) {
+    Tensor y = bn.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_ResNetLiteStep(benchmark::State& state) {
+  nn::ModelConfig cfg;
+  cfg.image_size = 8;
+  Rng rng(9);
+  auto model = nn::make_resnet18_lite(cfg, rng);
+  Tensor x = make_tensor({16, 3, 8, 8}, 10);
+  for (auto _ : state) {
+    Tensor y = model->forward(x, true);
+    Tensor g = model->backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_ResNetLiteStep);
+
+void BM_Vgg16LiteStep(benchmark::State& state) {
+  nn::ModelConfig cfg;
+  cfg.image_size = 8;
+  Rng rng(11);
+  auto model = nn::make_vgg16_lite(cfg, rng);
+  Tensor x = make_tensor({16, 3, 8, 8}, 12);
+  for (auto _ : state) {
+    Tensor y = model->forward(x, true);
+    Tensor g = model->backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Vgg16LiteStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table I reproduction: time required to reach the maximum test accuracy
+// for {ResNet-18, VGG-16} x {[3,3,1,1], [4,2,2,1]} under distributed
+// training, decentralized-FedAvg, and HADFL, plus the abstract's maximum
+// speedup figures.
+//
+// Scale: HADFL_BENCH_SCALE (default 1.0) multiplies dataset size and epoch
+// budget; HADFL_BENCH_SEEDS (default 1, paper uses 3) repeats each cell
+// with different training seeds and averages.
+//
+// Times are virtual seconds from the simulated cluster (4 devices, PCIe
+// 3.0 x8, communication priced at the full-size model bytes); accuracies
+// come from really training the scaled models on the synthetic dataset.
+// Expect the paper's *shape* — HADFL fastest everywhere, decentralized-
+// FedAvg beating distributed training on ResNet — not its absolute numbers.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "exp/report.hpp"
+
+using namespace hadfl;
+
+namespace {
+
+int seeds_from_env() {
+  const char* env = std::getenv("HADFL_BENCH_SEEDS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = exp::bench_scale_from_env();
+  const int seeds = seeds_from_env();
+  std::cout << "TABLE I bench: scale=" << scale << ", seeds=" << seeds
+            << " (set HADFL_BENCH_SCALE / HADFL_BENCH_SEEDS to change)\n\n";
+
+  CsvWriter csv("table1_results.csv",
+                {"cell", "scheme", "seed", "best_accuracy",
+                 "time_to_best_s"});
+
+  std::vector<exp::Table1Cell> cells;
+  for (exp::Scenario scenario : exp::paper_matrix(scale)) {
+    std::cerr << "running cell: " << scenario.name << "\n";
+    exp::Environment env(scenario);
+    std::vector<exp::CellResult> reps;
+    for (int seed = 0; seed < seeds; ++seed) {
+      reps.push_back(exp::run_cell(env, 1000 + 17 * seed));
+      const auto& rep = reps.back();
+      const auto log = [&](const char* scheme,
+                           const fl::MetricsRecorder& metrics) {
+        const exp::SchemeSummary sum = exp::summarize(metrics);
+        csv.row(std::vector<std::string>{
+            scenario.name, scheme, std::to_string(seed),
+            std::to_string(sum.best_accuracy),
+            std::to_string(sum.time_to_best)});
+      };
+      log("distributed", rep.distributed.metrics);
+      log("decentralized-fedavg", rep.dfedavg.metrics);
+      log("hadfl", rep.hadfl.scheme.metrics);
+    }
+    cells.push_back(exp::average_cells(scenario.name, reps));
+  }
+
+  std::cout << exp::render_table1(cells)
+            << "\nper-seed rows written to table1_results.csv\n";
+  return 0;
+}

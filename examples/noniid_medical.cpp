@@ -1,0 +1,78 @@
+// Example: the paper's motivating scenario — medical centres that cannot
+// share images (§I) — pushed beyond the paper's IID evaluation into the
+// non-IID, wide-area setting its future work names ("taking into account
+// heterogeneous network bandwidth and data distribution").
+//
+// Eight "hospitals" hold label-skewed Dirichlet partitions of the image
+// data, connected by a WAN (20 ms latency, 100 Mbit/s) instead of PCIe, with
+// heterogeneous compute. Compares HADFL against centralized FedAvg — the
+// scheme a third-party aggregator would run — on time-to-accuracy and
+// central-server traffic.
+//
+//   ./build/examples/noniid_medical
+#include <iostream>
+
+#include "common/table.hpp"
+#include "data/partition.hpp"
+#include "exp/report.hpp"
+
+int main() {
+  using namespace hadfl;
+
+  exp::Scenario s = exp::paper_scenario(
+      nn::Architecture::kMlp, {4, 4, 3, 2, 2, 1, 1, 1}, /*scale=*/1.0);
+  s.train.total_epochs = 24;  // non-IID needs more rounds to mix
+  s.network = sim::NetworkModel::wan();
+  // Label-skewed partitions reward wider participation per round and a
+  // stronger pull toward the aggregate on unselected devices.
+  s.hadfl.strategy.select_count = 5;
+  s.hadfl.broadcast_mix_weight = 0.8;
+
+  exp::Environment env(s);
+
+  std::cout << "== non-IID medical federation example ==\n"
+            << "8 hospitals, compute ratio "
+            << sim::ratio_to_string(s.ratio) << ", WAN links ("
+            << s.network.latency * 1e3 << " ms, "
+            << s.network.bandwidth * 8 / 1e6 << " Mbit/s)\n\n";
+
+  // Replace the default IID split with a strongly label-skewed one.
+  Rng rng(99);
+  const data::Partition skewed =
+      data::partition_dirichlet(env.train(), s.num_devices(), 0.5, rng);
+  std::cout << "label histogram per hospital (rows: hospital, cols: class):\n";
+  for (std::size_t h = 0; h < skewed.size(); ++h) {
+    std::cout << "  hospital " << h << ": ";
+    for (std::size_t c : env.train().label_histogram(skewed[h])) {
+      std::cout << c << ' ';
+    }
+    std::cout << '\n';
+  }
+
+  const fl::SchemeContext base = env.context();
+  const fl::SchemeContext hadfl_ctx{base.cluster,    base.network,
+                                    base.train,      base.test,
+                                    skewed,          base.make_model,
+                                    base.config,     base.comm_state_bytes};
+  const core::HadflResult hadfl = core::run_hadfl(hadfl_ctx, s.hadfl);
+  const baselines::CentralFedAvgResult central =
+      baselines::run_central_fedavg(hadfl_ctx);
+
+  const exp::SchemeSummary hs = exp::summarize(hadfl.scheme.metrics);
+  const exp::SchemeSummary cs = exp::summarize(central.scheme.metrics);
+
+  TextTable table({"scheme", "best acc", "time to best [s]",
+                   "server traffic [MB]"});
+  table.add_row({"central FedAvg", TextTable::num(100 * cs.best_accuracy, 1) + "%",
+                 TextTable::num(cs.time_to_best, 1),
+                 TextTable::num(static_cast<double>(central.server_bytes) /
+                                    (1024.0 * 1024.0), 0)});
+  table.add_row({"HADFL", TextTable::num(100 * hs.best_accuracy, 1) + "%",
+                 TextTable::num(hs.time_to_best, 1), "0"});
+  std::cout << '\n'
+            << table.render()
+            << "\nspeedup over central FedAvg: "
+            << cs.time_to_best / hs.time_to_best
+            << "x, with no third-party aggregator seeing the traffic.\n";
+  return 0;
+}

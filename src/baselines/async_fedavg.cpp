@@ -1,0 +1,156 @@
+#include "baselines/async_fedavg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+#include "data/batch_iterator.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/param_utils.hpp"
+
+namespace hadfl::baselines {
+
+namespace {
+
+struct AsyncClient {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<nn::Sgd> optimizer;
+  std::unique_ptr<data::BatchIterator> batches;
+  std::size_t pulled_version = 0;  ///< global version at the last pull
+  double last_loss = 0.0;
+};
+
+}  // namespace
+
+AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
+                                   const AsyncFedAvgConfig& opts) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(opts.local_epochs_per_push > 0,
+                  "local epochs per push must be positive");
+  HADFL_CHECK_ARG(opts.base_mix_rate > 0.0 && opts.base_mix_rate <= 1.0,
+                  "base mix rate must be in (0, 1]");
+  HADFL_CHECK_ARG(opts.staleness_power >= 0.0,
+                  "staleness power must be non-negative");
+
+  sim::Cluster& cluster = ctx.cluster;
+  cluster.reset_clocks();
+  comm::SimTransport transport(cluster, ctx.network);
+  const std::size_t k = cluster.size();
+
+  Rng rng(ctx.config.seed);
+  auto reference = ctx.make_model(rng);
+  std::vector<float> global = nn::get_state(*reference);
+  std::size_t global_version = 0;
+
+  const nn::WarmupSchedule schedule(ctx.config.learning_rate,
+                                    ctx.config.warmup_learning_rate,
+                                    ctx.config.warmup_epochs);
+
+  std::vector<AsyncClient> clients(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    Rng dev_rng = rng.split();
+    clients[d].model = ctx.make_model(dev_rng);
+    nn::set_state(*clients[d].model, global);
+    clients[d].optimizer = std::make_unique<nn::Sgd>(
+        clients[d].model->parameters(),
+        nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
+                      ctx.config.weight_decay});
+    clients[d].batches = std::make_unique<data::BatchIterator>(
+        ctx.train, ctx.partition[d], ctx.config.device_batch_size,
+        dev_rng.split());
+  }
+
+  const std::size_t model_bytes = ctx.comm_state_bytes != 0
+                                      ? ctx.comm_state_bytes
+                                      : global.size() * sizeof(float);
+  const sim::SimTime push_pull_time =
+      2.0 * ctx.network.transfer_time(model_bytes);
+
+  AsyncFedAvgResult out;
+  out.scheme.scheme_name = "async-fedavg";
+
+  // Event-driven: pop the device whose current burst finishes earliest,
+  // apply its staleness-weighted push, hand it the fresh global model, and
+  // schedule its next burst. Epoch accounting mirrors the other schemes:
+  // one "global epoch" = the whole dataset visited once across devices.
+  double epochs_done = 0.0;
+  double staleness_sum = 0.0;
+  std::size_t pushes = 0;
+  const double total_train = static_cast<double>(ctx.train.size());
+  double next_eval_epoch = 1.0;
+
+  using Item = std::pair<sim::SimTime, std::size_t>;  // (finish time, device)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> finish_queue;
+  auto schedule_burst = [&](std::size_t d) {
+    AsyncClient& c = clients[d];
+    const std::size_t steps =
+        static_cast<std::size_t>(opts.local_epochs_per_push) *
+        fl::iters_per_epoch(ctx.partition[d].size(),
+                            ctx.config.device_batch_size);
+    c.optimizer->set_learning_rate(
+        schedule.lr_at_epoch(static_cast<int>(epochs_done)));
+    c.last_loss =
+        fl::run_local_steps(*c.model, *c.optimizer, *c.batches, steps)
+            .mean_loss;
+    cluster.advance_compute(d, steps);
+    epochs_done += static_cast<double>(steps) *
+                   static_cast<double>(ctx.config.device_batch_size) /
+                   total_train;
+    finish_queue.emplace(cluster.time(d), d);
+  };
+  for (std::size_t d = 0; d < k; ++d) schedule_burst(d);
+
+  while (epochs_done < static_cast<double>(ctx.config.total_epochs) ||
+         !finish_queue.empty()) {
+    if (finish_queue.empty()) break;
+    const auto [finish, d] = finish_queue.top();
+    finish_queue.pop();
+    AsyncClient& c = clients[d];
+
+    // Push through the central server; the device blocks for the exchange.
+    cluster.advance(d, push_pull_time);
+    transport.account_external(d, model_bytes, model_bytes);
+    out.server_bytes += 2 * model_bytes;
+
+    const std::size_t staleness = global_version - c.pulled_version;
+    staleness_sum += static_cast<double>(staleness);
+    ++pushes;
+    const double weight =
+        opts.base_mix_rate /
+        std::pow(1.0 + static_cast<double>(staleness), opts.staleness_power);
+    out.min_applied_weight = std::min(out.min_applied_weight, weight);
+    const std::vector<float> pushed = nn::get_state(*c.model);
+    nn::mix_into(global, pushed, weight);
+    ++global_version;
+    ++out.scheme.sync_rounds;
+
+    // Pull the fresh global model and continue.
+    nn::set_state(*c.model, global);
+    c.pulled_version = global_version;
+
+    if (epochs_done >= next_eval_epoch ||
+        epochs_done >= static_cast<double>(ctx.config.total_epochs)) {
+      nn::set_state(*reference, global);
+      const fl::EvalResult eval = fl::evaluate(*reference, ctx.test);
+      out.scheme.metrics.add(fl::ConvergencePoint{
+          epochs_done, cluster.max_time(), c.last_loss, eval.loss,
+          eval.accuracy});
+      next_eval_epoch = std::floor(epochs_done) + 1.0;
+    }
+    if (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
+      schedule_burst(d);
+    }
+  }
+
+  out.mean_staleness =
+      pushes > 0 ? staleness_sum / static_cast<double>(pushes) : 0.0;
+  out.scheme.volume = transport.volume();
+  out.scheme.final_state = global;
+  out.scheme.total_time = cluster.max_time();
+  return out;
+}
+
+}  // namespace hadfl::baselines

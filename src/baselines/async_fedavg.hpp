@@ -1,0 +1,40 @@
+// Asynchronous FedAvg with staleness-weighted aggregation — the related-
+// work family HADFL is positioned against (paper §V-B, refs. [4][6][7]):
+// each device pushes its model to the central server as soon as its local
+// epochs finish, without waiting for the stragglers; the server immediately
+// blends it into the global model with a weight that decays with the
+// parameter's staleness, and the device continues from the fresh global
+// model.
+//
+// This reproduces the two downsides the paper cites: (a) stale updates
+// carry a staleness penalty that can waste the straggler's work (its weight
+// decays toward zero), and (b) every exchange still flows through the
+// central server.
+#pragma once
+
+#include "fl/scheme.hpp"
+
+namespace hadfl::baselines {
+
+struct AsyncFedAvgConfig {
+  int local_epochs_per_push = 1;
+  /// Base mixing rate of a fresh (zero-staleness) update into the global
+  /// model: w_global = (1 - a) * w_global + a * w_device.
+  double base_mix_rate = 0.5;
+  /// Polynomial staleness decay (ref. [6]): a(s) = base / (1 + s)^power,
+  /// where s is the number of global versions that elapsed since the
+  /// device last pulled.
+  double staleness_power = 0.5;
+};
+
+struct AsyncFedAvgResult {
+  fl::SchemeResult scheme;
+  std::size_t server_bytes = 0;
+  double mean_staleness = 0.0;  ///< average staleness across pushes
+  double min_applied_weight = 1.0;
+};
+
+AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
+                                   const AsyncFedAvgConfig& opts = {});
+
+}  // namespace hadfl::baselines

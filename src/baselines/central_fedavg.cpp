@@ -1,0 +1,132 @@
+#include "baselines/central_fedavg.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "data/batch_iterator.hpp"
+#include "fl/aggregate.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/param_utils.hpp"
+
+namespace hadfl::baselines {
+
+namespace {
+
+struct Client {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<nn::Sgd> optimizer;
+  std::unique_ptr<data::BatchIterator> batches;
+  double last_loss = 0.0;
+};
+
+}  // namespace
+
+CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
+                                       const CentralFedAvgConfig& opts) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(opts.local_epochs_per_round > 0,
+                  "local epochs per round must be positive");
+
+  sim::Cluster& cluster = ctx.cluster;
+  cluster.reset_clocks();
+  comm::SimTransport transport(cluster, ctx.network);
+  const std::size_t k = cluster.size();
+
+  Rng rng(ctx.config.seed);
+  auto reference = ctx.make_model(rng);
+  const std::vector<float> init_state = nn::get_state(*reference);
+  const nn::WarmupSchedule schedule(ctx.config.learning_rate,
+                                    ctx.config.warmup_learning_rate,
+                                    ctx.config.warmup_epochs);
+
+  std::vector<Client> clients(k);
+  std::vector<std::size_t> sample_counts(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    Rng dev_rng = rng.split();
+    clients[d].model = ctx.make_model(dev_rng);
+    nn::set_state(*clients[d].model, init_state);
+    clients[d].optimizer = std::make_unique<nn::Sgd>(
+        clients[d].model->parameters(),
+        nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
+                      ctx.config.weight_decay});
+    clients[d].batches = std::make_unique<data::BatchIterator>(
+        ctx.train, ctx.partition[d], ctx.config.device_batch_size,
+        dev_rng.split());
+    sample_counts[d] = ctx.partition[d].size();
+  }
+
+  const std::size_t model_bytes = ctx.comm_state_bytes != 0
+                                      ? ctx.comm_state_bytes
+                                      : init_state.size() * sizeof(float);
+
+  CentralFedAvgResult out;
+  out.scheme.scheme_name = "central-fedavg";
+
+  const int rounds =
+      (ctx.config.total_epochs + opts.local_epochs_per_round - 1) /
+      opts.local_epochs_per_round;
+  int epochs_done = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const double lr = schedule.lr_at_epoch(epochs_done);
+    const int local_epochs = std::min<int>(opts.local_epochs_per_round,
+                                           ctx.config.total_epochs -
+                                               epochs_done);
+
+    parallel_for_each(k, [&](std::size_t d) {
+      Client& c = clients[d];
+      c.optimizer->set_learning_rate(lr);
+      const std::size_t steps =
+          static_cast<std::size_t>(local_epochs) *
+          fl::iters_per_epoch(ctx.partition[d].size(),
+                              ctx.config.device_batch_size);
+      c.last_loss =
+          fl::run_local_steps(*c.model, *c.optimizer, *c.batches, steps)
+              .mean_loss;
+    });
+    for (std::size_t d = 0; d < k; ++d) {
+      cluster.advance_compute(
+          d, static_cast<std::size_t>(local_epochs) *
+                 fl::iters_per_epoch(ctx.partition[d].size(),
+                                     ctx.config.device_batch_size));
+    }
+    const sim::SimTime barrier = cluster.barrier_all();
+
+    // K uploads serialize on the server ingress link, then K downloads on
+    // the egress link: the centralized bottleneck.
+    const sim::SimTime per_transfer = ctx.network.transfer_time(model_bytes);
+    const sim::SimTime upload_done =
+        barrier + static_cast<double>(k) * per_transfer;
+    const sim::SimTime download_done =
+        upload_done + static_cast<double>(k) * per_transfer;
+    for (std::size_t d = 0; d < k; ++d) {
+      cluster.advance_to(d, download_done);
+      // Device-side volume: each uploads M to and downloads M from the
+      // (off-cluster) server.
+      transport.account_external(d, model_bytes, model_bytes);
+    }
+    out.server_bytes += 2 * k * model_bytes;
+
+    std::vector<std::vector<float>> states;
+    states.reserve(k);
+    for (auto& c : clients) states.push_back(nn::get_state(*c.model));
+    const std::vector<float> global = fl::fedavg(states, sample_counts);
+    for (auto& c : clients) nn::set_state(*c.model, global);
+    ++out.scheme.sync_rounds;
+    epochs_done += local_epochs;
+
+    double loss_sum = 0.0;
+    for (const auto& c : clients) loss_sum += c.last_loss;
+    const fl::EvalResult eval = fl::evaluate(*clients[0].model, ctx.test);
+    out.scheme.metrics.add(fl::ConvergencePoint{
+        static_cast<double>(epochs_done), cluster.max_time(),
+        loss_sum / static_cast<double>(k), eval.loss, eval.accuracy});
+  }
+
+  out.scheme.volume = transport.volume();
+  out.scheme.final_state = nn::get_state(*clients[0].model);
+  out.scheme.total_time = cluster.max_time();
+  return out;
+}
+
+}  // namespace hadfl::baselines

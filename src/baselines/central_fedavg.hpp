@@ -1,0 +1,29 @@
+// Classic centralized FedAvg (paper §II-B, refs. [1][2]) — provided as a
+// reference scheme for the communication-volume analysis and the ablation
+// benches: all clients upload their models to a central parameter server
+// after E local epochs; the server aggregates (sample-count-weighted mean,
+// Eq. 2/4) and pushes the new global model back.
+//
+// The server's ingress/egress link is the bottleneck: the K uploads (and
+// the K downloads) serialize on it, which is exactly the "great
+// communication pressure on the central server" the paper motivates
+// decentralization with.
+#pragma once
+
+#include "fl/scheme.hpp"
+
+namespace hadfl::baselines {
+
+struct CentralFedAvgConfig {
+  int local_epochs_per_round = 1;
+};
+
+struct CentralFedAvgResult {
+  fl::SchemeResult scheme;
+  std::size_t server_bytes = 0;  ///< total bytes through the central server
+};
+
+CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
+                                       const CentralFedAvgConfig& opts = {});
+
+}  // namespace hadfl::baselines

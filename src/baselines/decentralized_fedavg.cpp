@@ -1,0 +1,144 @@
+#include "baselines/decentralized_fedavg.hpp"
+
+#include <span>
+
+#include "comm/allreduce.hpp"
+#include "comm/segmented_gossip.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "data/batch_iterator.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/param_utils.hpp"
+
+namespace hadfl::baselines {
+
+namespace {
+
+struct Replica {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<nn::Sgd> optimizer;
+  std::unique_ptr<data::BatchIterator> batches;
+  std::vector<float> state;  ///< staging buffer for the gossip collective
+  double last_loss = 0.0;
+};
+
+}  // namespace
+
+fl::SchemeResult run_decentralized_fedavg(
+    const fl::SchemeContext& ctx, const DecentralizedFedAvgConfig& opts) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(opts.local_epochs_per_round > 0,
+                  "local epochs per round must be positive");
+
+  sim::Cluster& cluster = ctx.cluster;
+  cluster.reset_clocks();
+  comm::SimTransport transport(cluster, ctx.network);
+  const std::size_t k = cluster.size();
+
+  // All replicas start from the same initial model (Alg. 1 line 1).
+  Rng rng(ctx.config.seed);
+  Rng gossip_rng = rng.split();  // peer sampling in segmented mode
+  auto reference = ctx.make_model(rng);
+  const std::vector<float> init_state = nn::get_state(*reference);
+
+  const nn::WarmupSchedule schedule(ctx.config.learning_rate,
+                                    ctx.config.warmup_learning_rate,
+                                    ctx.config.warmup_epochs);
+
+  std::vector<Replica> replicas(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    Rng dev_rng = rng.split();
+    replicas[d].model = ctx.make_model(dev_rng);
+    nn::set_state(*replicas[d].model, init_state);
+    replicas[d].optimizer = std::make_unique<nn::Sgd>(
+        replicas[d].model->parameters(),
+        nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
+                      ctx.config.weight_decay});
+    replicas[d].batches = std::make_unique<data::BatchIterator>(
+        ctx.train, ctx.partition[d], ctx.config.device_batch_size,
+        dev_rng.split());
+  }
+
+  const std::size_t state_bytes = ctx.comm_state_bytes != 0
+                                      ? ctx.comm_state_bytes
+                                      : init_state.size() * sizeof(float);
+  const std::vector<sim::DeviceId> everyone = fl::all_device_ids(cluster);
+
+  fl::SchemeResult result;
+  result.scheme_name = "decentralized-fedavg";
+
+  const int rounds =
+      (ctx.config.total_epochs + opts.local_epochs_per_round - 1) /
+      opts.local_epochs_per_round;
+  int epochs_done = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const double lr = schedule.lr_at_epoch(epochs_done);
+    const int local_epochs = std::min<int>(opts.local_epochs_per_round,
+                                           ctx.config.total_epochs -
+                                               epochs_done);
+
+    // Local training: every device runs the same local epoch count; the
+    // synchronous round then waits for the slowest (barrier below).
+    parallel_for_each(k, [&](std::size_t d) {
+      Replica& rep = replicas[d];
+      rep.optimizer->set_learning_rate(lr);
+      const std::size_t steps =
+          static_cast<std::size_t>(local_epochs) *
+          fl::iters_per_epoch(ctx.partition[d].size(),
+                              ctx.config.device_batch_size);
+      const fl::LocalTrainStats stats =
+          fl::run_local_steps(*rep.model, *rep.optimizer, *rep.batches, steps);
+      rep.last_loss = stats.mean_loss;
+    });
+    for (std::size_t d = 0; d < k; ++d) {
+      cluster.advance_compute(
+          d, static_cast<std::size_t>(local_epochs) *
+                 fl::iters_per_epoch(ctx.partition[d].size(),
+                                     ctx.config.device_batch_size));
+    }
+    cluster.barrier_all();
+
+    // Synchronous gossip model averaging across all devices; virtual time
+    // and volume follow the configured wire size (full-size model bytes in
+    // the paper-matching experiments).
+    if (opts.gossip_mode == GossipMode::kFullRing) {
+      // Exact elementwise mean, ring-all-reduce schedule.
+      std::vector<std::vector<float>> states;
+      states.reserve(k);
+      for (auto& rep : replicas) states.push_back(nn::get_state(*rep.model));
+      const std::vector<float> mean = nn::average(states);
+      comm::simulate_ring_allreduce(transport, everyone, state_bytes);
+      for (auto& rep : replicas) nn::set_state(*rep.model, mean);
+    } else {
+      // Segmented gossip (§V-A refs. [8][9]): approximate, cheaper.
+      for (auto& rep : replicas) rep.state = nn::get_state(*rep.model);
+      std::vector<std::span<float>> views;
+      views.reserve(k);
+      for (auto& rep : replicas) views.emplace_back(rep.state);
+      comm::SegmentedGossipConfig seg_cfg{opts.segments, opts.fanout};
+      comm::segmented_gossip_average(transport, everyone, views, seg_cfg,
+                                     gossip_rng, state_bytes);
+      for (auto& rep : replicas) nn::set_state(*rep.model, rep.state);
+    }
+    ++result.sync_rounds;
+    epochs_done += local_epochs;
+
+    double loss_sum = 0.0;
+    for (const auto& rep : replicas) loss_sum += rep.last_loss;
+    const fl::EvalResult eval = fl::evaluate(*replicas[0].model, ctx.test);
+    result.metrics.add(fl::ConvergencePoint{
+        static_cast<double>(epochs_done), cluster.max_time(),
+        loss_sum / static_cast<double>(k), eval.loss, eval.accuracy});
+    HADFL_DEBUG("d-fedavg round " << round + 1 << " acc " << eval.accuracy);
+  }
+
+  result.volume = transport.volume();
+  result.final_state = nn::get_state(*replicas[0].model);
+  result.total_time = cluster.max_time();
+  return result;
+}
+
+}  // namespace hadfl::baselines

@@ -1,0 +1,31 @@
+// Decentralized-FedAvg baseline (paper ref. [11], §IV-A comparison): every
+// device runs the same number of local steps (one pass over its partition
+// per round), then all devices synchronously average their models with a
+// gossip ring. There is no central server, but the synchronous round still
+// waits for the slowest device — the straggler effect HADFL removes.
+#pragma once
+
+#include "fl/scheme.hpp"
+
+namespace hadfl::baselines {
+
+/// How the round's model synchronization moves data.
+enum class GossipMode {
+  kFullRing,    ///< ring all-reduce over all devices (exact mean)
+  kSegmented,   ///< segmented gossip (§V-A refs. [8][9]: S segments, each
+                ///< averaged with R random peers — cheaper, approximate)
+};
+
+struct DecentralizedFedAvgConfig {
+  /// Local epochs per synchronization round (E in FL terms, expressed in
+  /// passes over each device's partition).
+  int local_epochs_per_round = 1;
+  GossipMode gossip_mode = GossipMode::kFullRing;
+  std::size_t segments = 4;  ///< S (segmented mode)
+  std::size_t fanout = 2;    ///< R (segmented mode)
+};
+
+fl::SchemeResult run_decentralized_fedavg(
+    const fl::SchemeContext& ctx, const DecentralizedFedAvgConfig& opts = {});
+
+}  // namespace hadfl::baselines

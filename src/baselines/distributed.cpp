@@ -1,0 +1,102 @@
+#include "baselines/distributed.hpp"
+
+#include <algorithm>
+
+#include "comm/allreduce.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "data/batch_iterator.hpp"
+#include "fl/evaluate.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/param_utils.hpp"
+
+namespace hadfl::baselines {
+
+fl::SchemeResult run_distributed(const fl::SchemeContext& ctx,
+                                 const DistributedConfig& opts) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(opts.eval_every_epochs > 0, "eval period must be positive");
+
+  sim::Cluster& cluster = ctx.cluster;
+  cluster.reset_clocks();
+  comm::SimTransport transport(cluster, ctx.network);
+  const std::size_t k = cluster.size();
+
+  Rng rng(ctx.config.seed);
+  auto model = ctx.make_model(rng);
+  nn::Sgd optimizer(model->parameters(),
+                    nn::SgdConfig{ctx.config.learning_rate,
+                                  ctx.config.momentum,
+                                  ctx.config.weight_decay});
+  const nn::WarmupSchedule schedule(ctx.config.learning_rate,
+                                    ctx.config.warmup_learning_rate,
+                                    ctx.config.warmup_epochs);
+
+  std::vector<data::BatchIterator> iterators;
+  iterators.reserve(k);
+  std::size_t iterations_per_epoch = 0;
+  for (std::size_t d = 0; d < k; ++d) {
+    iterators.emplace_back(ctx.train, ctx.partition[d],
+                           ctx.config.device_batch_size, rng.split());
+    iterations_per_epoch = std::max(
+        iterations_per_epoch,
+        fl::iters_per_epoch(ctx.partition[d].size(),
+                            ctx.config.device_batch_size));
+  }
+
+  const std::size_t grad_bytes =
+      ctx.comm_state_bytes != 0 ? ctx.comm_state_bytes
+                                : nn::gradient_size(*model) * sizeof(float);
+  const std::vector<sim::DeviceId> everyone = fl::all_device_ids(cluster);
+
+  fl::SchemeResult result;
+  result.scheme_name = "distributed";
+  nn::SoftmaxCrossEntropy loss_fn;
+
+  for (int epoch = 0; epoch < ctx.config.total_epochs; ++epoch) {
+    optimizer.set_learning_rate(schedule.lr_at_epoch(epoch));
+    double loss_sum = 0.0;
+    for (std::size_t it = 0; it < iterations_per_epoch; ++it) {
+      // Each device contributes one mini-batch; gradients are averaged over
+      // the concatenated batch (equal device batch sizes -> exact DDP mean).
+      std::vector<data::Batch> device_batches;
+      device_batches.reserve(k);
+      for (auto& iter : iterators) device_batches.push_back(iter.next());
+      const data::Batch global = data::concat_batches(device_batches);
+
+      const Tensor logits = model->forward(global.x, /*training=*/true);
+      loss_sum += loss_fn.forward(logits, global.y);
+      model->backward(loss_fn.backward());
+
+      // One compute step per device, a barrier, then the ring all-reduce of
+      // gradients — the per-iteration synchronization that stalls on the
+      // slowest device.
+      for (std::size_t d = 0; d < k; ++d) cluster.advance_compute(d, 1);
+      cluster.barrier_all();
+      comm::simulate_ring_allreduce(transport, everyone, grad_bytes);
+
+      optimizer.step_and_zero();
+      ++result.sync_rounds;
+    }
+
+    if ((epoch + 1) % opts.eval_every_epochs == 0 ||
+        epoch + 1 == ctx.config.total_epochs) {
+      const fl::EvalResult eval = fl::evaluate(*model, ctx.test);
+      result.metrics.add(fl::ConvergencePoint{
+          static_cast<double>(epoch + 1), cluster.max_time(),
+          loss_sum / static_cast<double>(iterations_per_epoch), eval.loss,
+          eval.accuracy});
+      HADFL_DEBUG("distributed epoch " << epoch + 1 << " acc "
+                                       << eval.accuracy);
+    }
+  }
+
+  result.volume = transport.volume();
+  result.final_state = nn::get_state(*model);
+  result.total_time = cluster.max_time();
+  return result;
+}
+
+}  // namespace hadfl::baselines

@@ -1,0 +1,30 @@
+// Distributed training baseline — the PyTorch-DDP / Horovod scheme of the
+// paper's comparison (§IV-A, "decentralized ring all reduce algorithm").
+//
+// Every iteration, each device computes the gradient of its local mini-batch
+// and the gradients are averaged with a synchronous ring all-reduce before
+// the shared model steps. Under heterogeneity the per-iteration barrier
+// makes every iteration as slow as the slowest device, and the collective's
+// cost is paid every iteration — the two effects HADFL's evaluation
+// exhibits.
+//
+// Numerically the scheme maintains identical replicas, so the
+// implementation trains a single model on the concatenated global batch
+// (the mean gradient over equal-size device batches is exactly the
+// all-reduced mean of per-device gradients) while the virtual clocks and
+// volume counters follow the real per-device schedule.
+#pragma once
+
+#include "fl/scheme.hpp"
+
+namespace hadfl::baselines {
+
+struct DistributedConfig {
+  /// Evaluate / record a convergence point every this many epochs.
+  int eval_every_epochs = 1;
+};
+
+fl::SchemeResult run_distributed(const fl::SchemeContext& ctx,
+                                 const DistributedConfig& opts = {});
+
+}  // namespace hadfl::baselines

@@ -1,0 +1,123 @@
+#include "comm/allreduce.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::comm {
+
+SimTime ring_allreduce_duration(const sim::NetworkModel& network,
+                                std::size_t participants,
+                                std::size_t buffer_bytes) {
+  HADFL_CHECK_ARG(participants > 0, "all-reduce needs participants");
+  if (participants == 1) return 0.0;
+  const std::size_t chunk = (buffer_bytes + participants - 1) / participants;
+  const double steps = 2.0 * static_cast<double>(participants - 1);
+  return steps * network.transfer_time(chunk);
+}
+
+namespace {
+
+/// Ring-schedule duration honouring per-device link speeds: each of the
+/// 2(K-1) steps completes when the *slowest ring link* finishes its chunk.
+SimTime ring_duration_on_links(const SimTransport& transport,
+                               const std::vector<DeviceId>& participants,
+                               std::size_t bytes) {
+  const std::size_t k = participants.size();
+  if (k <= 1) return 0.0;
+  const std::size_t chunk = (bytes + k - 1) / k;
+  SimTime slowest_link = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    slowest_link = std::max(
+        slowest_link,
+        transport.link_time(participants[i], participants[(i + 1) % k],
+                            chunk));
+  }
+  return 2.0 * static_cast<double>(k - 1) * slowest_link;
+}
+
+}  // namespace
+
+SimTime simulate_ring_allreduce(SimTransport& transport,
+                                const std::vector<DeviceId>& participants,
+                                std::size_t bytes) {
+  HADFL_CHECK_ARG(!participants.empty(), "all-reduce needs participants");
+  sim::Cluster& cluster = transport.cluster();
+  SimTime start = 0.0;
+  for (DeviceId id : participants) start = std::max(start, cluster.time(id));
+  for (DeviceId id : participants) {
+    if (!cluster.faults().alive(id, start)) {
+      throw CommError("ring_allreduce: device " + std::to_string(id) +
+                      " is down");
+    }
+    cluster.advance_to(id, start);
+  }
+  const std::size_t k = participants.size();
+  if (k > 1 && bytes > 0) {
+    const std::size_t chunk_bytes = (bytes + k - 1) / k;
+    for (std::size_t i = 0; i < k; ++i) {
+      transport.account(participants[i], participants[(i + 1) % k],
+                        2 * (k - 1) * chunk_bytes);
+    }
+  }
+  const SimTime done =
+      start + ring_duration_on_links(transport, participants, bytes);
+  for (DeviceId id : participants) cluster.advance_to(id, done);
+  return done;
+}
+
+SimTime ring_allreduce_average(SimTransport& transport,
+                               const std::vector<DeviceId>& participants,
+                               std::vector<std::span<float>> buffers) {
+  HADFL_CHECK_ARG(!participants.empty(), "all-reduce needs participants");
+  HADFL_CHECK_ARG(participants.size() == buffers.size(),
+                  "participant/buffer count mismatch");
+  const std::size_t k = participants.size();
+  const std::size_t n = buffers.front().size();
+  for (const auto& b : buffers) {
+    HADFL_CHECK_SHAPE(b.size() == n, "all-reduce buffer size mismatch");
+  }
+
+  sim::Cluster& cluster = transport.cluster();
+  // Synchronous collective: everyone starts when the slowest arrives.
+  SimTime start = 0.0;
+  for (DeviceId id : participants) start = std::max(start, cluster.time(id));
+  for (DeviceId id : participants) {
+    if (!cluster.faults().alive(id, start)) {
+      throw CommError("ring_allreduce: device " + std::to_string(id) +
+                      " is down");
+    }
+    cluster.advance_to(id, start);
+  }
+
+  if (k > 1 && n > 0) {
+    // Each device forwards 2(K-1) chunks of ceil(N/K) elements to its ring
+    // successor. The transfers of one step share no link, so the clocks are
+    // advanced once per collective (below), not per message.
+    const std::size_t chunk_bytes = ((n + k - 1) / k) * sizeof(float);
+    for (std::size_t i = 0; i < k; ++i) {
+      transport.account(participants[i], participants[(i + 1) % k],
+                        2 * (k - 1) * chunk_bytes);
+    }
+  }
+
+  // Elementwise mean applied exactly (double accumulation for stability).
+  if (n > 0) {
+    std::vector<double> acc(n, 0.0);
+    for (const auto& b : buffers) {
+      for (std::size_t i = 0; i < n; ++i) acc[i] += b[i];
+    }
+    const double inv = 1.0 / static_cast<double>(k);
+    for (auto& b : buffers) {
+      for (std::size_t i = 0; i < n; ++i) {
+        b[i] = static_cast<float>(acc[i] * inv);
+      }
+    }
+  }
+
+  const SimTime done =
+      start + ring_duration_on_links(transport, participants,
+                                     n * sizeof(float));
+  for (DeviceId id : participants) cluster.advance_to(id, done);
+  return done;
+}
+
+}  // namespace hadfl::comm

@@ -1,0 +1,45 @@
+// Ring all-reduce (average) — the collective used by the distributed-
+// training baseline (PyTorch DDP / Horovod style, paper ref. [12]).
+//
+// The classic two-phase algorithm over K participants with N-element
+// buffers: K-1 reduce-scatter steps followed by K-1 all-gather steps, each
+// moving N/K elements per device per step. Every device therefore sends and
+// receives 2 * (K-1)/K * N elements, and the collective completes in
+// 2 * (K-1) * (latency + (N/K) * elem_size / bandwidth) after the slowest
+// participant arrives.
+//
+// The numeric result is applied exactly (true elementwise mean across
+// participants); the ring structure is used for timing and volume.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace hadfl::comm {
+
+/// Averages the participants' buffers elementwise in place and advances
+/// virtual clocks / volume counters per the ring schedule. All buffers must
+/// have the same size. `participants[i]` owns `buffers[i]`.
+/// Returns the completion time (every participant's clock afterwards).
+SimTime ring_allreduce_average(SimTransport& transport,
+                               const std::vector<DeviceId>& participants,
+                               std::vector<std::span<float>> buffers);
+
+/// Pure timing model of the same collective (no data): useful for analytic
+/// benches and property tests.
+SimTime ring_allreduce_duration(const sim::NetworkModel& network,
+                                std::size_t participants,
+                                std::size_t buffer_bytes);
+
+/// Clock/volume-only collective: advances the participants' clocks and
+/// accounts the ring-schedule volume for a buffer of `bytes`, without
+/// touching data. Used when the numeric reduction is done elsewhere (e.g.
+/// the distributed baseline computes the exact mean gradient once but must
+/// still pay the collective's cost). Returns completion time.
+SimTime simulate_ring_allreduce(SimTransport& transport,
+                                const std::vector<DeviceId>& participants,
+                                std::size_t bytes);
+
+}  // namespace hadfl::comm

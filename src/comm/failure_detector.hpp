@@ -1,0 +1,37 @@
+// Fault-tolerant ring repair (paper §III-D).
+//
+// The protocol, per the paper's walkthrough (Fig. 2b): device `d`'s
+// upstream neighbour in the directed ring goes silent during model
+// synchronization. After a pre-specified waiting time, `d` sends a
+// handshake to the silent device to confirm its status; on confirmation of
+// death it issues a warning to the dead device's own upstream, which then
+// bypasses the dead device and communicates with `d` directly.
+#pragma once
+
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace hadfl::comm {
+
+struct RingRepairConfig {
+  SimTime wait_before_handshake = 0.05;  ///< "pre-specified waiting time"
+  SimTime handshake_timeout = 0.01;
+};
+
+struct RingRepairResult {
+  std::vector<DeviceId> ring;     ///< surviving members in ring order
+  std::vector<DeviceId> removed;  ///< bypassed (dead) members
+  std::size_t repairs = 0;        ///< number of bypass operations performed
+};
+
+/// Checks every ring member's liveness at its current clock and executes the
+/// wait → handshake → warn-upstream → bypass protocol for each dead member.
+/// The downstream neighbour pays the waiting time and handshake timeout; the
+/// warning message costs one latency on the upstream link. Returns the
+/// repaired ring (may be smaller; never empty unless all members died).
+RingRepairResult repair_ring(SimTransport& transport,
+                             const std::vector<DeviceId>& ring,
+                             const RingRepairConfig& config = {});
+
+}  // namespace hadfl::comm

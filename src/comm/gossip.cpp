@@ -1,0 +1,21 @@
+#include "comm/gossip.hpp"
+
+#include "comm/allreduce.hpp"
+
+namespace hadfl::comm {
+
+SimTime gossip_ring_average(SimTransport& transport,
+                            const std::vector<DeviceId>& ring,
+                            std::vector<std::span<float>> states) {
+  // The scatter-gather gossip ring shares its schedule (and therefore cost
+  // model) with ring all-reduce; only the payload semantics differ (model
+  // states vs gradients), which the callers own.
+  return ring_allreduce_average(transport, ring, std::move(states));
+}
+
+SimTime gossip_ring_duration(const sim::NetworkModel& network,
+                             std::size_t ring_size, std::size_t state_bytes) {
+  return ring_allreduce_duration(network, ring_size, state_bytes);
+}
+
+}  // namespace hadfl::comm

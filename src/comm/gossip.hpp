@@ -1,0 +1,33 @@
+// Gossip scatter–gather model synchronization over a directed ring —
+// HADFL's partial-aggregation collective (paper §III-D, "the selected
+// devices transfer parameters to each other in a gossip-based
+// scatter-gather manner (similar to [12])"), and the full-cluster
+// synchronous variant used by the Decentralized-FedAvg baseline ([11]).
+//
+// Mechanically this is a ring all-reduce restricted to the given ring order
+// operating on model *states* rather than gradients; the result on every
+// ring member is the elementwise mean of the members' states (the
+// Flag-masked aggregation of paper Eq. 5, normalized over the selected
+// set).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace hadfl::comm {
+
+/// Averages states across the ring members, advancing clocks/volume per the
+/// scatter-gather schedule. `ring[i]` owns `states[i]`. Returns completion
+/// time. Throws CommError if a member is unreachable (callers wanting
+/// fault tolerance should repair the ring first; see failure_detector.hpp).
+SimTime gossip_ring_average(SimTransport& transport,
+                            const std::vector<DeviceId>& ring,
+                            std::vector<std::span<float>> states);
+
+/// Timing-only model.
+SimTime gossip_ring_duration(const sim::NetworkModel& network,
+                             std::size_t ring_size, std::size_t state_bytes);
+
+}  // namespace hadfl::comm

@@ -1,0 +1,99 @@
+#include "comm/segmented_gossip.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hadfl::comm {
+
+std::size_t segmented_gossip_bytes_per_device(
+    std::size_t state_bytes, const SegmentedGossipConfig& config) {
+  HADFL_CHECK_ARG(config.segments > 0, "segments must be positive");
+  const std::size_t chunk =
+      (state_bytes + config.segments - 1) / config.segments;
+  return config.fanout * chunk * config.segments;
+}
+
+SimTime segmented_gossip_average(SimTransport& transport,
+                                 const std::vector<DeviceId>& participants,
+                                 std::vector<std::span<float>> states,
+                                 const SegmentedGossipConfig& config,
+                                 Rng& rng, std::size_t wire_bytes) {
+  HADFL_CHECK_ARG(participants.size() >= 2,
+                  "segmented gossip needs at least two participants");
+  HADFL_CHECK_ARG(participants.size() == states.size(),
+                  "participant/state count mismatch");
+  HADFL_CHECK_ARG(config.segments > 0, "segments must be positive");
+  HADFL_CHECK_ARG(config.fanout > 0 &&
+                      config.fanout < participants.size(),
+                  "fanout must be in [1, K-1]");
+  const std::size_t n = states.front().size();
+  for (const auto& s : states) {
+    HADFL_CHECK_SHAPE(s.size() == n, "state size mismatch");
+  }
+
+  sim::Cluster& cluster = transport.cluster();
+  SimTime start = 0.0;
+  for (DeviceId id : participants) start = std::max(start, cluster.time(id));
+  for (DeviceId id : participants) {
+    if (!cluster.faults().alive(id, start)) {
+      throw CommError("segmented_gossip: device " + std::to_string(id) +
+                      " is down");
+    }
+    cluster.advance_to(id, start);
+  }
+
+  const std::size_t k = participants.size();
+  const std::size_t seg_len = (n + config.segments - 1) / config.segments;
+  const std::size_t total_wire =
+      wire_bytes != 0 ? wire_bytes : n * sizeof(float);
+  const std::size_t wire_seg_bytes =
+      (total_wire + config.segments - 1) / config.segments;
+
+  // Compute the new states into a staging area so every read sees the
+  // pre-round values (all exchanges conceptually happen concurrently).
+  std::vector<std::vector<float>> next(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    next[i].assign(states[i].begin(), states[i].end());
+  }
+
+  SimTime done = start;
+  for (std::size_t i = 0; i < k; ++i) {
+    SimTime busy_until = start;
+    for (std::size_t seg = 0; seg < config.segments; ++seg) {
+      const std::size_t begin = seg * seg_len;
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + seg_len, n);
+
+      // Sample R distinct peers for this segment.
+      std::vector<double> weights(k, 1.0);
+      weights[i] = 0.0;
+      const std::vector<std::size_t> peers =
+          rng.weighted_sample_without_replacement(weights, config.fanout);
+
+      // Average own copy + peers' copies of this segment.
+      for (std::size_t j = begin; j < end; ++j) {
+        double acc = states[i][j];
+        for (std::size_t p : peers) acc += states[p][j];
+        next[i][j] =
+            static_cast<float>(acc / static_cast<double>(peers.size() + 1));
+      }
+
+      // Transfers serialize on the receiving device's link.
+      for (std::size_t p : peers) {
+        busy_until += transport.link_time(participants[p], participants[i],
+                                          wire_seg_bytes);
+        transport.account(participants[p], participants[i], wire_seg_bytes);
+      }
+    }
+    cluster.advance_to(participants[i], busy_until);
+    done = std::max(done, busy_until);
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    std::copy(next[i].begin(), next[i].end(), states[i].begin());
+  }
+  return done;
+}
+
+}  // namespace hadfl::comm

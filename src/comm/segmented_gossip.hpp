@@ -1,0 +1,43 @@
+// Segmented gossip synchronization — the related-work alternative the paper
+// discusses (§V-A, refs. [8][9]): "the model is split into S segmentations,
+// each device is responsible for one segmentation, and sends it to the
+// other R devices."
+//
+// Each device rebuilds its model segment-by-segment: for every segment it
+// averages its own copy with the copies of R randomly chosen peers. With
+// R < K-1 this moves less data than a full ring at the cost of a noisier
+// (partial) average; with R = K-1 every segment sees every device and the
+// result equals the full mean.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "common/rng.hpp"
+
+namespace hadfl::comm {
+
+struct SegmentedGossipConfig {
+  std::size_t segments = 4;  ///< S
+  std::size_t fanout = 2;    ///< R peers consulted per segment
+};
+
+/// Runs one segmented-gossip round over the participants' states (all of
+/// equal size), in place. Advances clocks (barrier + per-device transfer
+/// serialization) and volume counters. `wire_bytes` prices each transfer
+/// (0 = use the actual state size); experiments pass the full-size model
+/// bytes while the math runs on the scaled states (see DESIGN.md).
+/// Returns the completion time.
+SimTime segmented_gossip_average(SimTransport& transport,
+                                 const std::vector<DeviceId>& participants,
+                                 std::vector<std::span<float>> states,
+                                 const SegmentedGossipConfig& config,
+                                 Rng& rng, std::size_t wire_bytes = 0);
+
+/// Bytes each device receives per round: R * ceil(N/S) * S ≈ R * N.
+std::size_t segmented_gossip_bytes_per_device(std::size_t state_bytes,
+                                              const SegmentedGossipConfig&
+                                                  config);
+
+}  // namespace hadfl::comm

@@ -1,0 +1,90 @@
+// Point-to-point transport over the simulated cluster.
+//
+// All communication primitives go through SimTransport so that (a) virtual
+// clocks advance consistently, (b) per-device communication volume is
+// accounted (the paper's §II-B / §III-D analysis), and (c) fault injection
+// applies uniformly: any transfer involving a dead endpoint fails.
+//
+// Timing model:
+//  * blocking send: sender and receiver both reach
+//    max(t_src, t_dst) + latency + bytes/bandwidth — a rendezvous transfer,
+//    which is how the synchronous ring steps behave.
+//  * non-blocking send: the payload leaves at t_src; the receiver is
+//    advanced to t_src + latency + bytes/bandwidth; the sender's clock does
+//    not move (paper §III-D: the aggregated model is pushed to unselected
+//    devices "in a non-blocking manner").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+
+namespace hadfl::comm {
+
+using sim::DeviceId;
+using sim::SimTime;
+
+/// Per-device communication counters (bytes).
+struct VolumeCounters {
+  std::vector<std::size_t> sent;
+  std::vector<std::size_t> received;
+
+  std::size_t total_sent() const;
+  std::size_t total_received() const;
+};
+
+class SimTransport {
+ public:
+  SimTransport(sim::Cluster& cluster, sim::NetworkModel network);
+
+  sim::Cluster& cluster() { return *cluster_; }
+  const sim::NetworkModel& network() const { return network_; }
+
+  /// Rendezvous transfer. Throws hadfl::CommError if either endpoint is
+  /// unreachable at the transfer time. Returns the completion time.
+  SimTime send(DeviceId src, DeviceId dst, std::size_t bytes);
+
+  /// Fire-and-forget transfer; returns the arrival time at `dst`.
+  /// Throws if the sender is dead; a dead receiver consumes the send
+  /// (volume counted at the sender) but throws CommError.
+  SimTime send_nonblocking(DeviceId src, DeviceId dst, std::size_t bytes);
+
+  /// Liveness probe: a zero-payload round trip. Costs the prober
+  /// 2 * latency when the peer answers, or `timeout` when it does not.
+  /// Returns whether the peer is alive.
+  bool handshake(DeviceId src, DeviceId dst, SimTime timeout);
+
+  /// Volume-only accounting for collectives that advance clocks with their
+  /// own schedule model (ring steps run concurrently on disjoint links, so
+  /// per-message clock advancement would over-serialize them).
+  void account(DeviceId src, DeviceId dst, std::size_t bytes);
+
+  /// Accounting for traffic with an endpoint outside the cluster (the
+  /// central parameter server of the FedAvg baseline).
+  void account_external(DeviceId device, std::size_t sent_bytes,
+                        std::size_t received_bytes);
+
+  const VolumeCounters& volume() const { return volume_; }
+  void reset_volume();
+
+  /// Convenience: cost of moving `bytes` across a full-speed link.
+  SimTime transfer_time(std::size_t bytes) const {
+    return network_.transfer_time(bytes);
+  }
+
+  /// Cost of moving `bytes` between two specific devices: the effective
+  /// bandwidth is the network bandwidth scaled by the slower endpoint's
+  /// bandwidth_scale (§VI future work: heterogeneous network bandwidth).
+  SimTime link_time(DeviceId src, DeviceId dst, std::size_t bytes) const;
+
+ private:
+  void check_device(DeviceId id) const;
+
+  sim::Cluster* cluster_;
+  sim::NetworkModel network_;
+  VolumeCounters volume_;
+};
+
+}  // namespace hadfl::comm

@@ -1,0 +1,107 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+
+std::vector<std::string> split_csv_list(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = text.find(',', begin);
+    std::string piece =
+        text.substr(begin, (end == std::string::npos ? text.size() : end) -
+                               begin);
+    const std::size_t first = piece.find_first_not_of(" \t");
+    const std::size_t last = piece.find_last_not_of(" \t");
+    out.push_back(first == std::string::npos
+                      ? std::string()
+                      : piece.substr(first, last - first + 1));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+ArgParser::ArgParser(int argc, const char* const argv[]) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  HADFL_CHECK_ARG(end != nullptr && *end == '\0',
+                  "--" << name << " expects a number, got '" << it->second
+                       << "'");
+  return v;
+}
+
+int ArgParser::get_int(const std::string& name, int fallback) const {
+  const double v = get_double(name, static_cast<double>(fallback));
+  const int i = static_cast<int>(v);
+  HADFL_CHECK_ARG(static_cast<double>(i) == v,
+                  "--" << name << " expects an integer");
+  return i;
+}
+
+std::vector<double> ArgParser::get_double_list(
+    const std::string& name, std::vector<double> fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  std::vector<double> out;
+  for (const std::string& piece : split_csv_list(it->second)) {
+    char* end = nullptr;
+    const double v = std::strtod(piece.c_str(), &end);
+    HADFL_CHECK_ARG(end != nullptr && *end == '\0' && !piece.empty(),
+                    "--" << name << " has a non-numeric entry '" << piece
+                         << "'");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unknown_options(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    bool found = false;
+    for (const auto& k : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace hadfl

@@ -1,0 +1,45 @@
+// Minimal command-line parsing for the tools and bench harnesses.
+//
+// Supports --key=value and --flag forms. Unknown options are collected so
+// the caller can reject typos explicitly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hadfl {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const argv[]);
+
+  /// True if --name or --name=... was passed.
+  bool has(const std::string& name) const;
+
+  /// Value of --name=value, or `fallback` when absent.
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+
+  /// Comma-separated doubles: --ratio=3,3,1,1.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
+  /// Options seen that are not in `known` (for typo detection).
+  std::vector<std::string> unknown_options(
+      const std::vector<std::string>& known) const;
+
+  /// Positional (non --option) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Splits "a,b,c" into trimmed pieces (empty input -> empty vector).
+std::vector<std::string> split_csv_list(const std::string& text);
+
+}  // namespace hadfl

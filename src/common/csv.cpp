@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), columns_(header.size()), out_(path) {
+  HADFL_CHECK_ARG(!header.empty(), "CSV header must be non-empty");
+  HADFL_CHECK_MSG(out_.good(), "failed to open CSV file " << path);
+  write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  HADFL_CHECK_ARG(fields.size() == columns_,
+                  "CSV row has " << fields.size() << " fields, expected "
+                                 << columns_);
+  write_row(fields);
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+}  // namespace hadfl

@@ -1,0 +1,38 @@
+// CSV emission for figure data series.
+//
+// Every figure-reproducing bench writes its raw series to a CSV file next to
+// printing a summary, so curves can be re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hadfl {
+
+/// Streaming CSV writer. Quotes fields containing separators and doubles
+/// embedded quotes (RFC 4180).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must match the header's column count.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void row(const std::vector<double>& fields);
+
+  const std::string& path() const { return path_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_row(const std::vector<std::string>& fields);
+
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+}  // namespace hadfl

@@ -1,0 +1,92 @@
+// Error-handling primitives shared by every HADFL module.
+//
+// All invariant violations throw hadfl::Error (derived from
+// std::runtime_error) so callers can distinguish library failures from
+// standard-library failures. The CHECK macros are used for precondition
+// validation on public API boundaries; they are always active (not only in
+// debug builds) because the cost is negligible next to training compute.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hadfl {
+
+/// Base exception type for all errors raised by the HADFL library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when two tensors/models have incompatible shapes.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulated communication endpoint is unreachable.
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "HADFL_CHECK_ARG") throw InvalidArgument(os.str());
+  if (std::string(kind) == "HADFL_CHECK_SHAPE") throw ShapeError(os.str());
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hadfl
+
+#define HADFL_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::hadfl::detail::throw_check_failure("HADFL_CHECK", #cond, __FILE__,    \
+                                           __LINE__, "");                     \
+  } while (0)
+
+#define HADFL_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream hadfl_os_;                                           \
+      hadfl_os_ << msg;                                                       \
+      ::hadfl::detail::throw_check_failure("HADFL_CHECK", #cond, __FILE__,    \
+                                           __LINE__, hadfl_os_.str());        \
+    }                                                                         \
+  } while (0)
+
+#define HADFL_CHECK_ARG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream hadfl_os_;                                           \
+      hadfl_os_ << msg;                                                       \
+      ::hadfl::detail::throw_check_failure("HADFL_CHECK_ARG", #cond,          \
+                                           __FILE__, __LINE__,                \
+                                           hadfl_os_.str());                  \
+    }                                                                         \
+  } while (0)
+
+#define HADFL_CHECK_SHAPE(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream hadfl_os_;                                           \
+      hadfl_os_ << msg;                                                       \
+      ::hadfl::detail::throw_check_failure("HADFL_CHECK_SHAPE", #cond,        \
+                                           __FILE__, __LINE__,                \
+                                           hadfl_os_.str());                  \
+    }                                                                         \
+  } while (0)

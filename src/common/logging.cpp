@@ -1,0 +1,31 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace hadfl {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+}
+
+void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::cerr << "[hadfl " << log_level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace hadfl

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (strategy decisions, fault-tolerance events);
+// benches and examples raise the level to Info. Output goes to stderr so it
+// never corrupts CSV/table output on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hadfl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (used by the macros below).
+void log_message(LogLevel level, const std::string& msg);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace hadfl
+
+#define HADFL_LOG(level, expr)                                   \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::hadfl::log_level())) {                \
+      std::ostringstream hadfl_log_os_;                          \
+      hadfl_log_os_ << expr;                                     \
+      ::hadfl::log_message(level, hadfl_log_os_.str());          \
+    }                                                            \
+  } while (0)
+
+#define HADFL_DEBUG(expr) HADFL_LOG(::hadfl::LogLevel::kDebug, expr)
+#define HADFL_INFO(expr) HADFL_LOG(::hadfl::LogLevel::kInfo, expr)
+#define HADFL_WARN(expr) HADFL_LOG(::hadfl::LogLevel::kWarn, expr)
+#define HADFL_ERROR(expr) HADFL_LOG(::hadfl::LogLevel::kError, expr)

@@ -1,0 +1,85 @@
+#include "common/math_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+
+double quantile(std::vector<double> values, double q) {
+  HADFL_CHECK_ARG(!values.empty(), "quantile of empty vector");
+  HADFL_CHECK_ARG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1], got " << q);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double third_quartile(const std::vector<double>& values) {
+  return quantile(values, 0.75);
+}
+
+double mean(const std::vector<double>& values) {
+  HADFL_CHECK_ARG(!values.empty(), "mean of empty vector");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  HADFL_CHECK_ARG(a >= 0 && b >= 0, "gcd64 requires non-negative inputs");
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  HADFL_CHECK_ARG(a > 0 && b > 0, "lcm64 requires positive inputs");
+  return a / gcd64(a, b) * b;
+}
+
+std::int64_t lcm_all(const std::vector<std::int64_t>& values) {
+  HADFL_CHECK_ARG(!values.empty(), "lcm_all of empty vector");
+  std::int64_t acc = 1;
+  for (std::int64_t v : values) {
+    HADFL_CHECK_ARG(v > 0, "lcm_all requires positive entries, got " << v);
+    acc = lcm64(acc, v);
+  }
+  return acc;
+}
+
+double hyperperiod(const std::vector<double>& durations, double resolution) {
+  HADFL_CHECK_ARG(!durations.empty(), "hyperperiod of empty duration set");
+  HADFL_CHECK_ARG(resolution > 0.0, "hyperperiod resolution must be positive");
+  std::vector<std::int64_t> ticks;
+  ticks.reserve(durations.size());
+  for (double d : durations) {
+    HADFL_CHECK_ARG(d > 0.0, "hyperperiod durations must be positive, got " << d);
+    ticks.push_back(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(d / resolution))));
+  }
+  return static_cast<double>(lcm_all(ticks)) * resolution;
+}
+
+double standard_normal_pdf(double x, double mu) {
+  const double d = x - mu;
+  return std::exp(-0.5 * d * d) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+}  // namespace hadfl

@@ -1,0 +1,44 @@
+// Small numeric helpers used across the framework.
+//
+// Notably: the 3rd-quartile computation used by HADFL's probability-based
+// selection function (paper Eq. 8) and the LCM-over-rationals used to form
+// the training hyperperiod H_E (paper §III-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hadfl {
+
+/// Linear-interpolation quantile (same convention as numpy's default).
+/// `q` in [0, 1]. The input need not be sorted. Throws on empty input.
+double quantile(std::vector<double> values, double q);
+
+/// Third quartile, i.e. quantile(values, 0.75) — the μ of paper Eq. 8.
+double third_quartile(const std::vector<double>& values);
+
+/// Arithmetic mean. Throws on empty input.
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (N-1 denominator); 0 for size < 2.
+double stddev(const std::vector<double>& values);
+
+/// Greatest common divisor / least common multiple for positive integers.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// LCM of a set of positive integers. Throws on empty input or non-positive
+/// entries.
+std::int64_t lcm_all(const std::vector<std::int64_t>& values);
+
+/// Hyperperiod of a set of positive real durations (paper §III-C):
+/// quantizes each duration to an integer number of `resolution` ticks
+/// (rounding to nearest, min 1 tick) and returns LCM(ticks) * resolution.
+/// This mirrors how a scheduler would rationalize measured epoch times.
+double hyperperiod(const std::vector<double>& durations, double resolution);
+
+/// Standard normal probability density evaluated at (x - mu), unit variance:
+/// f(x) = 1/sqrt(2*pi) * exp(-(x-mu)^2 / 2)  — paper Eq. 8.
+double standard_normal_pdf(double x, double mu);
+
+}  // namespace hadfl

@@ -1,0 +1,126 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the full 256-bit state from splitmix64 as recommended by the
+  // xoshiro authors; guarantees a non-zero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HADFL_CHECK_ARG(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HADFL_CHECK_ARG(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller. uniform() can return exactly 0; shift into (0, 1].
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  HADFL_CHECK_ARG(stddev >= 0.0, "normal() requires non-negative stddev");
+  return mean + stddev * normal();
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  HADFL_CHECK_ARG(!weights.empty(), "weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    HADFL_CHECK_ARG(w >= 0.0, "weighted_index: negative weight " << w);
+    total += w;
+  }
+  HADFL_CHECK_ARG(total > 0.0, "weighted_index: weights sum to zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point round-off can leave target ~ 0 after the loop; return the
+  // last index with positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::weighted_sample_without_replacement(
+    const std::vector<double>& weights, std::size_t k) {
+  HADFL_CHECK_ARG(k <= weights.size(),
+                  "cannot sample " << k << " items from " << weights.size());
+  std::vector<double> w = weights;
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (std::size_t draw = 0; draw < k; ++draw) {
+    const std::size_t idx = weighted_index(w);
+    picked.push_back(idx);
+    w[idx] = 0.0;  // remove from the pool
+  }
+  return picked;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+}  // namespace hadfl

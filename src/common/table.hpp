@@ -1,0 +1,32 @@
+// ASCII table rendering for bench/report output.
+//
+// Used by the Table-I reproduction and the ablation benches to print rows in
+// the same layout as the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hadfl {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+  /// Render to a string with column alignment and a header separator.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hadfl

@@ -1,0 +1,78 @@
+#include "core/coordinator.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "nn/serialize.hpp"
+
+namespace hadfl::core {
+
+LivenessMonitor::LivenessMonitor(const sim::Cluster& cluster)
+    : cluster_(&cluster) {}
+
+std::vector<sim::DeviceId> LivenessMonitor::available() const {
+  std::vector<sim::DeviceId> out;
+  for (std::size_t d = 0; d < cluster_->size(); ++d) {
+    if (is_available(d)) out.push_back(d);
+  }
+  return out;
+}
+
+bool LivenessMonitor::is_available(sim::DeviceId id) const {
+  return cluster_->faults().alive(id, cluster_->time(id));
+}
+
+RuntimeSupervisor::RuntimeSupervisor(std::size_t num_devices, double alpha) {
+  HADFL_CHECK_ARG(num_devices > 0, "supervisor needs devices");
+  predictors_.reserve(num_devices);
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    predictors_.emplace_back(alpha);
+  }
+}
+
+void RuntimeSupervisor::observe_round(const std::vector<double>& versions) {
+  HADFL_CHECK_ARG(versions.size() == predictors_.size(),
+                  "version vector size mismatch");
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    predictors_[i].observe(versions[i]);
+  }
+  ++rounds_;
+}
+
+std::vector<double> RuntimeSupervisor::predict(
+    const std::vector<double>& fallback, int m) const {
+  HADFL_CHECK_ARG(fallback.size() == predictors_.size(),
+                  "fallback vector size mismatch");
+  std::vector<double> out(predictors_.size());
+  for (std::size_t i = 0; i < predictors_.size(); ++i) {
+    out[i] = predictors_[i].observations() > 0 ? predictors_[i].predict(m)
+                                               : fallback[i];
+  }
+  return out;
+}
+
+const VersionPredictor& RuntimeSupervisor::predictor(sim::DeviceId id) const {
+  HADFL_CHECK_ARG(id < predictors_.size(), "device id out of range");
+  return predictors_[id];
+}
+
+ModelManager::ModelManager(std::string backup_dir, int backup_every_rounds)
+    : backup_dir_(std::move(backup_dir)),
+      backup_every_rounds_(backup_every_rounds) {}
+
+void ModelManager::update(const std::vector<float>& state, std::size_t round) {
+  latest_ = state;
+  if (backup_dir_.empty() || backup_every_rounds_ <= 0) return;
+  if (round % static_cast<std::size_t>(backup_every_rounds_) != 0) return;
+  last_path_ =
+      backup_dir_ + "/hadfl_model_round" + std::to_string(round) + ".bin";
+  nn::save_state(last_path_, latest_);
+  ++backups_;
+  HADFL_DEBUG("model manager: backup written to " << last_path_);
+}
+
+std::optional<std::string> ModelManager::last_backup_path() const {
+  if (last_path_.empty()) return std::nullopt;
+  return last_path_;
+}
+
+}  // namespace hadfl::core

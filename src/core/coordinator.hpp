@@ -1,0 +1,85 @@
+// Cloud coordinator (paper §III-A, Fig. 2a).
+//
+// The coordinator never touches training data; it performs initial model
+// dispatch, strategy generation, runtime management and model backup
+// through four components:
+//  * LivenessMonitor  — determines the available device set each round;
+//  * RuntimeSupervisor — collects actual parameter versions and forecasts
+//    the next round's versions (one VersionPredictor per device, Eq. 7);
+//  * StrategyGenerator — §III-C (core/strategy.hpp);
+//  * ModelManager     — keeps the latest aggregated model and periodically
+//    writes backups.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "core/version_predictor.hpp"
+#include "sim/cluster.hpp"
+
+namespace hadfl::core {
+
+/// Monitors device reachability (the simulation's ground truth is the
+/// fault injector; the monitor queries it at each device's current time,
+/// which is what a heartbeat would observe).
+class LivenessMonitor {
+ public:
+  explicit LivenessMonitor(const sim::Cluster& cluster);
+
+  /// Devices reachable right now.
+  std::vector<sim::DeviceId> available() const;
+
+  bool is_available(sim::DeviceId id) const;
+
+ private:
+  const sim::Cluster* cluster_;
+};
+
+/// Collects per-round version observations and produces forecasts.
+class RuntimeSupervisor {
+ public:
+  RuntimeSupervisor(std::size_t num_devices, double alpha);
+
+  /// Record the actual versions observed at the end of a round.
+  void observe_round(const std::vector<double>& versions);
+
+  /// Forecast versions `m` rounds ahead. Devices with no observations yet
+  /// fall back to the provided expectation (Eq. 6 seed).
+  std::vector<double> predict(const std::vector<double>& fallback,
+                              int m = 1) const;
+
+  std::size_t rounds_observed() const { return rounds_; }
+  const VersionPredictor& predictor(sim::DeviceId id) const;
+
+ private:
+  std::vector<VersionPredictor> predictors_;
+  std::size_t rounds_ = 0;
+};
+
+/// Holds the latest aggregated model and writes periodic backups
+/// (workflow step 9).
+class ModelManager {
+ public:
+  /// `backup_dir` empty disables on-disk backups. `backup_every_rounds`
+  /// <= 0 also disables them.
+  ModelManager(std::string backup_dir, int backup_every_rounds);
+
+  /// Called after every aggregation with the new global state.
+  void update(const std::vector<float>& state, std::size_t round);
+
+  const std::vector<float>& latest() const { return latest_; }
+  bool has_model() const { return !latest_.empty(); }
+  std::size_t backups_written() const { return backups_; }
+  std::optional<std::string> last_backup_path() const;
+
+ private:
+  std::string backup_dir_;
+  int backup_every_rounds_;
+  std::vector<float> latest_;
+  std::size_t backups_ = 0;
+  std::string last_path_;
+};
+
+}  // namespace hadfl::core

@@ -1,0 +1,59 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hadfl::core {
+
+DeviceGroups make_groups(const sim::Cluster& cluster,
+                         const GroupingConfig& config) {
+  const std::size_t k = cluster.size();
+  if (!config.enabled() || config.group_size >= k) {
+    DeviceGroups flat(1);
+    for (std::size_t d = 0; d < k; ++d) flat[0].push_back(d);
+    return flat;
+  }
+  HADFL_CHECK_ARG(config.inter_group_period > 0,
+                  "inter-group period must be positive");
+
+  const std::size_t num_groups =
+      (k + config.group_size - 1) / config.group_size;
+
+  // Sort by power (fastest first), deal snake-wise for balance.
+  std::vector<sim::DeviceId> order(k);
+  std::iota(order.begin(), order.end(), sim::DeviceId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](sim::DeviceId a, sim::DeviceId b) {
+                     return cluster.device(a).compute_power >
+                            cluster.device(b).compute_power;
+                   });
+
+  DeviceGroups groups(num_groups);
+  std::size_t g = 0;
+  bool forward = true;
+  for (sim::DeviceId id : order) {
+    groups[g].push_back(id);
+    if (forward) {
+      if (g + 1 == num_groups) {
+        forward = false;
+      } else {
+        ++g;
+      }
+    } else {
+      if (g == 0) {
+        forward = true;
+      } else {
+        --g;
+      }
+    }
+  }
+  for (auto& group : groups) {
+    HADFL_CHECK_MSG(!group.empty(), "empty device group");
+    std::sort(group.begin(), group.end());
+  }
+  return groups;
+}
+
+}  // namespace hadfl::core

@@ -1,0 +1,32 @@
+// Hierarchical device grouping (paper §III-C, Fig. 2a).
+//
+// "If there are too many devices available ... the devices can be divided
+// into multiple groups. The inter-group synchronization period can be an
+// integer multiple of the intra-group synchronization period."
+//
+// Groups are formed power-balanced: devices are sorted by compute power and
+// dealt snake-wise so every group gets a similar power mix (a group of only
+// stragglers would otherwise gate the inter-group ring).
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace hadfl::core {
+
+struct GroupingConfig {
+  std::size_t group_size = 0;   ///< 0 = flat (no grouping)
+  int inter_group_period = 4;   ///< inter-group sync every N intra rounds
+
+  bool enabled() const { return group_size > 0; }
+};
+
+using DeviceGroups = std::vector<std::vector<sim::DeviceId>>;
+
+/// Splits devices into ceil(K / group_size) power-balanced groups.
+/// Every group is non-empty; sizes differ by at most one.
+DeviceGroups make_groups(const sim::Cluster& cluster,
+                         const GroupingConfig& config);
+
+}  // namespace hadfl::core

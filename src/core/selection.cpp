@@ -1,0 +1,144 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace hadfl::core {
+
+namespace {
+
+void validate(const SelectionContext& ctx) {
+  HADFL_CHECK_ARG(!ctx.versions.empty(), "selection over zero devices");
+  HADFL_CHECK_ARG(ctx.select_count > 0 &&
+                      ctx.select_count <= ctx.versions.size(),
+                  "select_count " << ctx.select_count << " out of range for "
+                                  << ctx.versions.size() << " devices");
+}
+
+}  // namespace
+
+GaussianQuartileSelection::GaussianQuartileSelection(double version_scale)
+    : version_scale_(version_scale) {
+  HADFL_CHECK_ARG(version_scale >= 0.0,
+                  "version_scale must be non-negative (0 = auto)");
+}
+
+std::vector<double> GaussianQuartileSelection::probabilities(
+    const std::vector<double>& versions, double version_scale) {
+  HADFL_CHECK_ARG(!versions.empty(), "probabilities of zero devices");
+  // Normalize so the density's unit variance is meaningful on any version
+  // scale: auto mode uses the interquartile spread (falls back to 1 when
+  // all versions coincide).
+  double scale = version_scale;
+  if (scale <= 0.0) {
+    const double q1 = quantile(versions, 0.25);
+    const double q3 = quantile(versions, 0.75);
+    scale = q3 - q1;
+    if (scale <= 1e-12) scale = 1.0;
+  }
+  const double mu = third_quartile(versions);
+  std::vector<double> probs(versions.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    probs[i] = standard_normal_pdf(versions[i] / scale, mu / scale);
+    total += probs[i];
+  }
+  HADFL_CHECK_MSG(total > 0.0, "degenerate selection probabilities");
+  for (auto& p : probs) p /= total;
+  return probs;
+}
+
+std::vector<std::size_t> GaussianQuartileSelection::select(
+    const SelectionContext& ctx, Rng& rng) {
+  validate(ctx);
+  const std::vector<double> probs =
+      probabilities(ctx.versions, version_scale_);
+  return rng.weighted_sample_without_replacement(probs, ctx.select_count);
+}
+
+std::vector<std::size_t> UniformSelection::select(const SelectionContext& ctx,
+                                                  Rng& rng) {
+  validate(ctx);
+  std::vector<double> weights(ctx.versions.size(), 1.0);
+  return rng.weighted_sample_without_replacement(weights, ctx.select_count);
+}
+
+std::vector<std::size_t> TopKSelection::select(const SelectionContext& ctx,
+                                               Rng& /*rng*/) {
+  validate(ctx);
+  std::vector<std::size_t> order(ctx.versions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ctx.versions[a] > ctx.versions[b];
+                   });
+  order.resize(ctx.select_count);
+  return order;
+}
+
+std::vector<std::size_t> WorstCaseSelection::select(const SelectionContext& ctx,
+                                                    Rng& /*rng*/) {
+  validate(ctx);
+  HADFL_CHECK_ARG(ctx.compute_powers.size() == ctx.versions.size(),
+                  "worst-case selection needs compute powers");
+  std::vector<std::size_t> order(ctx.versions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ctx.compute_powers[a] < ctx.compute_powers[b];
+                   });
+  order.resize(ctx.select_count);
+  return order;
+}
+
+BandwidthAwareSelection::BandwidthAwareSelection(double gamma)
+    : gamma_(gamma) {
+  HADFL_CHECK_ARG(gamma >= 0.0, "bandwidth gamma must be non-negative");
+}
+
+std::vector<double> BandwidthAwareSelection::probabilities(
+    const std::vector<double>& versions,
+    const std::vector<double>& bandwidth_scales, double gamma) {
+  HADFL_CHECK_ARG(versions.size() == bandwidth_scales.size(),
+                  "bandwidth scales size mismatch");
+  std::vector<double> probs =
+      GaussianQuartileSelection::probabilities(versions);
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    HADFL_CHECK_ARG(bandwidth_scales[i] > 0.0,
+                    "bandwidth scale must be positive");
+    probs[i] *= std::pow(bandwidth_scales[i], gamma);
+    total += probs[i];
+  }
+  HADFL_CHECK_MSG(total > 0.0, "degenerate bandwidth-aware probabilities");
+  for (auto& p : probs) p /= total;
+  return probs;
+}
+
+std::vector<std::size_t> BandwidthAwareSelection::select(
+    const SelectionContext& ctx, Rng& rng) {
+  validate(ctx);
+  const std::vector<double> probs =
+      probabilities(ctx.versions, ctx.bandwidth_scales, gamma_);
+  return rng.weighted_sample_without_replacement(probs, ctx.select_count);
+}
+
+std::unique_ptr<SelectionPolicy> make_selection_policy(
+    const std::string& name) {
+  if (name == "gaussian-quartile") {
+    return std::make_unique<GaussianQuartileSelection>();
+  }
+  if (name == "uniform") return std::make_unique<UniformSelection>();
+  if (name == "top-k") return std::make_unique<TopKSelection>();
+  if (name == "worst-case") return std::make_unique<WorstCaseSelection>();
+  if (name == "bandwidth-aware") {
+    return std::make_unique<BandwidthAwareSelection>();
+  }
+  throw InvalidArgument("unknown selection policy: " + name);
+}
+
+}  // namespace hadfl::core

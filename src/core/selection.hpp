@@ -1,0 +1,113 @@
+// Probability-based device selection (paper §III-C, Eq. 8) plus the
+// alternative policies used for ablations and the paper's worst-case
+// lower-bound experiment.
+//
+// Eq. 8: P(i) = f(v_i) / Σ_n f(v_n) with f the unit-variance normal density
+// centred at μ = the 3rd quartile of all versions. Devices with
+// medial-to-new parameter versions are favoured; stragglers keep a small
+// but non-zero probability ("should not be completely discarded ... their
+// parameters can bring some noise").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/device.hpp"
+
+namespace hadfl::core {
+
+struct SelectionContext {
+  std::vector<double> versions;        ///< (predicted) v_{i,j} per device
+  std::vector<double> compute_powers;  ///< used by the worst-case policy
+  std::vector<double> bandwidth_scales;  ///< used by the bandwidth-aware
+                                         ///< extension policy
+  std::size_t select_count = 2;        ///< N_p
+};
+
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// Returns `select_count` distinct indices into ctx.versions.
+  virtual std::vector<std::size_t> select(const SelectionContext& ctx,
+                                          Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Paper Eq. 8: Gaussian density around the 3rd version quartile.
+class GaussianQuartileSelection : public SelectionPolicy {
+ public:
+  /// `version_scale` normalizes versions before the unit-variance density
+  /// is applied (the paper's Eq. 8 assumes versions on an O(1) scale; raw
+  /// iteration counts would saturate exp(-x^2/2)). Versions are divided by
+  /// (scale * interquartile-range-or-1) — the default auto scale uses the
+  /// version spread each round.
+  explicit GaussianQuartileSelection(double version_scale = 0.0);
+
+  std::vector<std::size_t> select(const SelectionContext& ctx,
+                                  Rng& rng) override;
+  std::string name() const override { return "gaussian-quartile"; }
+
+  /// The normalized per-device probabilities (exposed for tests/benches).
+  static std::vector<double> probabilities(const std::vector<double>& versions,
+                                           double version_scale = 0.0);
+
+ private:
+  double version_scale_;
+};
+
+/// Uniform random selection (ablation).
+class UniformSelection : public SelectionPolicy {
+ public:
+  std::vector<std::size_t> select(const SelectionContext& ctx,
+                                  Rng& rng) override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Always the devices with the newest versions (ablation; the paper argues
+/// medial versions beat newest-only).
+class TopKSelection : public SelectionPolicy {
+ public:
+  std::vector<std::size_t> select(const SelectionContext& ctx,
+                                  Rng& rng) override;
+  std::string name() const override { return "top-k"; }
+};
+
+/// The paper's upper-bound-of-accuracy-loss experiment: always the devices
+/// with the worst computing power (§IV-B).
+class WorstCaseSelection : public SelectionPolicy {
+ public:
+  std::vector<std::size_t> select(const SelectionContext& ctx,
+                                  Rng& rng) override;
+  std::string name() const override { return "worst-case"; }
+};
+
+/// Extension (paper §VI future work, "heterogeneous network bandwidth"):
+/// the Eq. 8 version density multiplied by each device's link speed raised
+/// to `gamma` — a slow-link device joins the synchronization ring less
+/// often, since the ring's gossip step is gated by its slowest link.
+class BandwidthAwareSelection : public SelectionPolicy {
+ public:
+  explicit BandwidthAwareSelection(double gamma = 1.0);
+
+  std::vector<std::size_t> select(const SelectionContext& ctx,
+                                  Rng& rng) override;
+  std::string name() const override { return "bandwidth-aware"; }
+
+  static std::vector<double> probabilities(
+      const std::vector<double>& versions,
+      const std::vector<double>& bandwidth_scales, double gamma);
+
+ private:
+  double gamma_;
+};
+
+/// Factory by name: "gaussian-quartile", "uniform", "top-k", "worst-case",
+/// "bandwidth-aware".
+std::unique_ptr<SelectionPolicy> make_selection_policy(
+    const std::string& name);
+
+}  // namespace hadfl::core

@@ -1,0 +1,116 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace hadfl::core {
+
+StrategyGenerator::StrategyGenerator(StrategyConfig config) {
+  HADFL_CHECK_ARG(config.t_sync > 0, "T_sync must be positive");
+  HADFL_CHECK_ARG(config.select_count > 0, "N_p must be positive");
+  HADFL_CHECK_ARG(config.integer_ratio_tolerance >= 0.0 &&
+                      config.integer_ratio_tolerance < 0.5,
+                  "integer ratio tolerance must be in [0, 0.5)");
+  HADFL_CHECK_ARG(config.lcm_cap_factor >= 1.0,
+                  "LCM cap factor must be >= 1");
+  config_ = config;
+}
+
+sim::SimTime StrategyGenerator::compute_hyperperiod(
+    const std::vector<sim::SimTime>& epoch_times) const {
+  HADFL_CHECK_ARG(!epoch_times.empty(), "no devices");
+  const double d_min =
+      *std::min_element(epoch_times.begin(), epoch_times.end());
+  const double d_max =
+      *std::max_element(epoch_times.begin(), epoch_times.end());
+  HADFL_CHECK_ARG(d_min > 0.0, "epoch times must be positive");
+
+  // Fast path: every duration is (nearly) an integer multiple of the
+  // shortest — the paper's integer power-ratio setting. The hyperperiod is
+  // then LCM of those small integers times d_min.
+  bool integral = true;
+  std::vector<std::int64_t> multiples;
+  multiples.reserve(epoch_times.size());
+  for (double d : epoch_times) {
+    const double ratio = d / d_min;
+    const double nearest = std::round(ratio);
+    if (std::fabs(ratio - nearest) > config_.integer_ratio_tolerance ||
+        nearest < 1.0) {
+      integral = false;
+      break;
+    }
+    multiples.push_back(static_cast<std::int64_t>(nearest));
+  }
+  if (integral) {
+    const std::int64_t l = lcm_all(multiples);
+    const double h = static_cast<double>(l) * d_min;
+    if (h <= config_.lcm_cap_factor * d_max) return h;
+  }
+
+  // Bounded fallback: quantize to a fine grid and LCM, capped; beyond the
+  // cap, approximate with the slowest device's epoch time (fast devices
+  // then run a rounded number of epochs per window).
+  const double resolution = d_min / 16.0;
+  std::vector<std::int64_t> ticks;
+  ticks.reserve(epoch_times.size());
+  std::int64_t l = 1;
+  bool capped = false;
+  const double cap = config_.lcm_cap_factor * d_max;
+  for (double d : epoch_times) {
+    const auto t = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(d / resolution)));
+    l = lcm64(l, t);
+    if (static_cast<double>(l) * resolution > cap) {
+      capped = true;
+      break;
+    }
+  }
+  if (!capped) return static_cast<double>(l) * resolution;
+  return d_max;
+}
+
+TrainingStrategy StrategyGenerator::generate(
+    const std::vector<sim::SimTime>& epoch_times,
+    const std::vector<std::size_t>& iters_per_epoch) const {
+  HADFL_CHECK_ARG(!epoch_times.empty(), "no devices");
+  HADFL_CHECK_ARG(epoch_times.size() == iters_per_epoch.size(),
+                  "epoch_times/iters_per_epoch size mismatch");
+
+  TrainingStrategy strategy;
+  strategy.hyperperiod = compute_hyperperiod(epoch_times);
+  strategy.round_window =
+      strategy.hyperperiod * static_cast<double>(config_.t_sync);
+
+  strategy.epochs_per_window.reserve(epoch_times.size());
+  strategy.local_steps.reserve(epoch_times.size());
+  strategy.expected_versions.reserve(epoch_times.size());
+  for (std::size_t k = 0; k < epoch_times.size(); ++k) {
+    HADFL_CHECK_ARG(epoch_times[k] > 0.0, "epoch time must be positive");
+    HADFL_CHECK_ARG(iters_per_epoch[k] > 0, "iters per epoch must be positive");
+    const double epochs = strategy.round_window / epoch_times[k];
+    strategy.epochs_per_window.push_back(epochs);
+    // E_k: iterations that fit the window; at least one step so even a
+    // device slower than the window contributes.
+    const double iter_time =
+        epoch_times[k] / static_cast<double>(iters_per_epoch[k]);
+    const auto steps = static_cast<std::size_t>(
+        std::max(1.0, std::floor(strategy.round_window / iter_time + 1e-9)));
+    strategy.local_steps.push_back(steps);
+    // Eq. 6: the expected per-window version progress, derived from the
+    // mutual-negotiation timing (here in iteration units).
+    strategy.expected_versions.push_back(static_cast<double>(steps));
+  }
+  return strategy;
+}
+
+std::vector<sim::DeviceId> StrategyGenerator::make_ring(
+    std::vector<sim::DeviceId> selected, Rng& rng) {
+  HADFL_CHECK_ARG(!selected.empty(), "ring over zero devices");
+  rng.shuffle(selected);
+  return selected;
+}
+
+}  // namespace hadfl::core

@@ -1,0 +1,74 @@
+// Heterogeneity-aware training-strategy generation (paper §III-C).
+//
+// From the mutual-negotiation measurements (per-epoch durations T_i /
+// E_warmup) the strategy generator derives:
+//  * the hyperperiod H_E — the least common multiple of the devices'
+//    per-epoch durations;
+//  * the synchronization window T_sync * H_E;
+//  * each device's local step budget E_k — the number of mini-batch
+//    iterations that fit its share of the window, so all devices reach the
+//    synchronization point simultaneously;
+//  * the expected parameter versions (Eq. 6) seeding the predictor-driven
+//    selection before runtime observations exist;
+//  * the random directed ring over the selected devices.
+//
+// Durations are real numbers, so the LCM is computed on quantized ticks.
+// For the paper's integer power ratios (e.g. [3,3,1,1]: epoch times
+// [T, T, 3T, 3T]) the exact LCM is found; for irrational ratios a bounded
+// fallback uses the slowest device's epoch time as an approximate
+// hyperperiod (faster devices round their step budget to the nearest
+// iteration).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/device.hpp"
+#include "sim/time.hpp"
+
+namespace hadfl::core {
+
+struct StrategyConfig {
+  int t_sync = 1;                ///< sync every T_sync hyperperiods
+  std::size_t select_count = 2;  ///< N_p devices per partial aggregation
+  double integer_ratio_tolerance = 0.08;  ///< snap ratios within this to ints
+  double lcm_cap_factor = 16.0;  ///< give up exact LCM beyond this * slowest
+};
+
+struct TrainingStrategy {
+  sim::SimTime hyperperiod = 0.0;          ///< H_E
+  sim::SimTime round_window = 0.0;         ///< T_sync * H_E
+  std::vector<double> epochs_per_window;   ///< local epochs per window
+  std::vector<std::size_t> local_steps;    ///< E_k: iterations per window
+  std::vector<double> expected_versions;   ///< Eq. 6 expectation (iterations
+                                           ///< of progress per window)
+};
+
+class StrategyGenerator {
+ public:
+  explicit StrategyGenerator(StrategyConfig config);
+
+  const StrategyConfig& config() const { return config_; }
+
+  /// `epoch_times[k]`: measured duration of one local epoch on device k.
+  /// `iters_per_epoch[k]`: mini-batch iterations in one local epoch.
+  TrainingStrategy generate(const std::vector<sim::SimTime>& epoch_times,
+                            const std::vector<std::size_t>& iters_per_epoch)
+      const;
+
+  /// Hyperperiod of a duration set (exposed for tests): exact LCM when the
+  /// durations are near-integer multiples of the shortest, else the bounded
+  /// fallback (the slowest duration).
+  sim::SimTime compute_hyperperiod(
+      const std::vector<sim::SimTime>& epoch_times) const;
+
+  /// Random directed ring over the selected devices (paper: "the strategy
+  /// generator randomly determines a directed ring").
+  static std::vector<sim::DeviceId> make_ring(
+      std::vector<sim::DeviceId> selected, Rng& rng);
+
+ private:
+  StrategyConfig config_;
+};
+
+}  // namespace hadfl::core

@@ -1,0 +1,520 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/allreduce.hpp"
+#include "comm/broadcast.hpp"
+#include "comm/compression.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "core/coordinator.hpp"
+#include "data/batch_iterator.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/param_utils.hpp"
+#include "nn/serialize.hpp"
+
+namespace hadfl::core {
+
+namespace {
+
+/// Per-device runtime state (the device side of Fig. 2a).
+struct DeviceRuntime {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<nn::Sgd> optimizer;
+  std::unique_ptr<data::BatchIterator> batches;
+  double version = 0.0;        ///< cumulative parameter version (iterations)
+  double last_loss = 0.0;
+  std::size_t last_executed = 0;
+  std::vector<float> last_sync_state;  ///< reference for top-k deltas
+};
+
+/// Applies the configured codec round-trip to `state` (what the receiver
+/// reconstructs) and returns the codec's wire size in bytes of the *actual*
+/// state; kNone returns the dense size.
+std::size_t compress_roundtrip(std::vector<float>& state,
+                               const std::vector<float>& reference,
+                               const HadflConfig& config) {
+  switch (config.compression) {
+    case SyncCompression::kNone:
+      return state.size() * sizeof(float);
+    case SyncCompression::kInt8:
+      return comm::apply_int8_roundtrip(state);
+    case SyncCompression::kTopK:
+      return comm::apply_top_k_roundtrip(state, reference,
+                                         config.top_k_ratio);
+  }
+  return state.size() * sizeof(float);
+}
+
+/// Scales the full-size wire price by the codec's compression ratio.
+std::size_t effective_wire_bytes(std::size_t wire_bytes,
+                                 std::size_t codec_bytes,
+                                 std::size_t dense_bytes) {
+  if (dense_bytes == 0) return wire_bytes;
+  const double ratio = static_cast<double>(codec_bytes) /
+                       static_cast<double>(dense_bytes);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(wire_bytes) * ratio));
+}
+
+std::vector<float> mean_state_of(std::vector<DeviceRuntime>& devices,
+                                 const std::vector<sim::DeviceId>& ids) {
+  std::vector<std::vector<float>> states;
+  states.reserve(ids.size());
+  for (sim::DeviceId id : ids) {
+    states.push_back(nn::get_state(*devices[id].model));
+  }
+  return nn::average(states);
+}
+
+}  // namespace
+
+HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(config.alpha > 0.0 && config.alpha < 1.0,
+                  "alpha must be in (0, 1)");
+  HADFL_CHECK_ARG(
+      config.broadcast_mix_weight >= 0.0 && config.broadcast_mix_weight <= 1.0,
+      "broadcast mix weight must be in [0, 1]");
+
+  sim::Cluster& cluster = ctx.cluster;
+  cluster.reset_clocks();
+  comm::SimTransport transport(cluster, ctx.network);
+  const std::size_t k = cluster.size();
+
+  std::shared_ptr<SelectionPolicy> policy = config.policy;
+  if (!policy) policy = std::make_shared<GaussianQuartileSelection>();
+
+  // ---- Initial model dispatch (workflow step 2 / Alg. 1 line 1). ----
+  // The dispatched model is either a fresh initialization or a model-
+  // manager backup (checkpoint resume).
+  Rng rng(ctx.config.seed);
+  auto reference = ctx.make_model(rng);
+  if (!config.resume_from.empty()) {
+    nn::set_state(*reference, nn::load_state(config.resume_from));
+    HADFL_INFO("resumed initial model from " << config.resume_from);
+  }
+  const std::vector<float> init_state = nn::get_state(*reference);
+  const std::size_t wire_bytes = ctx.comm_state_bytes != 0
+                                     ? ctx.comm_state_bytes
+                                     : init_state.size() * sizeof(float);
+
+  std::vector<DeviceRuntime> devices(k);
+  std::vector<std::size_t> ipe(k);  // iterations per local epoch
+  std::vector<double> powers(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    Rng dev_rng = rng.split();
+    devices[d].model = ctx.make_model(dev_rng);
+    nn::set_state(*devices[d].model, init_state);
+    devices[d].optimizer = std::make_unique<nn::Sgd>(
+        devices[d].model->parameters(),
+        nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
+                      ctx.config.weight_decay});
+    devices[d].batches = std::make_unique<data::BatchIterator>(
+        ctx.train, ctx.partition[d], ctx.config.device_batch_size,
+        dev_rng.split());
+    devices[d].last_sync_state = init_state;
+    ipe[d] = fl::iters_per_epoch(ctx.partition[d].size(),
+                                 ctx.config.device_batch_size);
+    powers[d] = cluster.device(d).compute_power;
+  }
+
+  HadflResult result;
+  result.scheme.scheme_name = "hadfl";
+
+  // ---- Mutual negotiation (§III-B): warm-up epochs at a small lr. ----
+  const int warmup_epochs = std::max(1, ctx.config.warmup_epochs);
+  std::vector<sim::SimTime> epoch_times(k);
+  parallel_for_each(k, [&](std::size_t d) {
+    devices[d].optimizer->set_learning_rate(ctx.config.warmup_learning_rate);
+    const std::size_t steps =
+        static_cast<std::size_t>(warmup_epochs) * ipe[d];
+    devices[d].last_loss =
+        fl::run_local_steps(*devices[d].model, *devices[d].optimizer,
+                            *devices[d].batches, steps)
+            .mean_loss;
+  });
+  for (std::size_t d = 0; d < k; ++d) {
+    const sim::SimTime warmup_start = cluster.time(d);
+    const sim::SimTime duration = cluster.advance_compute(
+        d, static_cast<std::size_t>(warmup_epochs) * ipe[d]);
+    // The device reports its calculation time T_i to the coordinator.
+    epoch_times[d] = duration / static_cast<double>(warmup_epochs);
+    if (config.trace != nullptr) {
+      config.trace->record(d, warmup_start, warmup_start + duration,
+                           sim::SpanKind::kCompute, "negotiation");
+    }
+  }
+  cluster.barrier_all();
+  result.extras.negotiated_epoch_times = epoch_times;
+
+  if (config.full_sync_after_negotiation) {
+    // Devices already down at negotiation end are simply left out.
+    std::vector<sim::DeviceId> reachable;
+    for (std::size_t d = 0; d < k; ++d) {
+      if (cluster.faults().alive(d, cluster.time(d))) reachable.push_back(d);
+    }
+    if (reachable.size() > 1) {
+      const std::vector<float> mean = mean_state_of(devices, reachable);
+      try {
+        comm::simulate_ring_allreduce(transport, reachable, wire_bytes);
+        for (sim::DeviceId d : reachable) {
+          nn::set_state(*devices[d].model, mean);
+        }
+      } catch (const CommError&) {
+        HADFL_WARN("post-negotiation sync skipped: device went down");
+      }
+    }
+  }
+
+  double epochs_done = warmup_epochs;
+
+  // ---- Strategy generation (§III-C). ----
+  const StrategyGenerator generator(config.strategy);
+  const TrainingStrategy strategy = generator.generate(epoch_times, ipe);
+  result.extras.strategy = strategy;
+  HADFL_INFO("hadfl strategy: H_E=" << strategy.hyperperiod << "s window="
+                                    << strategy.round_window << "s");
+
+  LivenessMonitor liveness(cluster);
+  RuntimeSupervisor supervisor(k, config.alpha);
+  ModelManager model_manager(config.backup_dir, config.backup_every_rounds);
+  const DeviceGroups groups = make_groups(cluster, config.grouping);
+
+  // Record the post-negotiation starting point.
+  {
+    std::vector<float> mean = mean_state_of(devices, fl::all_device_ids(cluster));
+    nn::set_state(*reference, mean);
+    const fl::EvalResult eval = fl::evaluate(*reference, ctx.test);
+    double loss_sum = 0.0;
+    for (const auto& dev : devices) loss_sum += dev.last_loss;
+    result.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done, cluster.max_time(), loss_sum / static_cast<double>(k),
+        eval.loss, eval.accuracy});
+  }
+
+  const double total_train =
+      static_cast<double>(ctx.train.size());
+
+  std::size_t round = 0;
+  while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
+    ++round;
+    const sim::SimTime window = strategy.round_window;
+    const sim::SimTime t0 = cluster.max_time();
+    for (std::size_t d = 0; d < k; ++d) cluster.advance_to(d, t0);
+
+    // Workflow step 1: the liveness monitor determines the available set
+    // *before* the round starts. A device that disconnects during the round
+    // is therefore still selectable on this (stale) view — the §III-D
+    // fault-tolerant ring repair is what handles it, as in the paper's
+    // Fig. 2b walkthrough.
+    std::vector<bool> available_at_start(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      available_at_start[d] = liveness.is_available(d);
+    }
+
+    // -- Asynchronous local training with deadline truncation. A disturbed
+    //    device executes fewer steps by the window boundary; its parameter
+    //    version falls behind, which the supervisor/selection then react to.
+    std::vector<double> jitter(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      jitter[d] = cluster.sample_jitter_factor(d);
+    }
+    parallel_for_each(k, [&](std::size_t d) {
+      DeviceRuntime& dev = devices[d];
+      dev.optimizer->set_learning_rate(ctx.config.learning_rate);
+      const double iter_time = cluster.iteration_time(d) * jitter[d];
+      const auto fit = static_cast<std::size_t>(
+          std::max(0.0, std::floor(window / iter_time + 1e-9)));
+      const std::size_t executed = std::min(strategy.local_steps[d], fit);
+      dev.last_executed = executed;
+      if (executed > 0) {
+        dev.last_loss = fl::run_local_steps(*dev.model, *dev.optimizer,
+                                            *dev.batches, executed)
+                            .mean_loss;
+      }
+    });
+    double executed_total = 0.0;
+    for (std::size_t d = 0; d < k; ++d) {
+      DeviceRuntime& dev = devices[d];
+      const double burst = cluster.iteration_time(d) * jitter[d] *
+                           static_cast<double>(dev.last_executed);
+      cluster.advance(d, burst);
+      cluster.advance_to(d, t0 + window);
+      dev.version += static_cast<double>(dev.last_executed);
+      executed_total += static_cast<double>(dev.last_executed);
+      if (config.trace != nullptr && dev.last_executed > 0) {
+        config.trace->record(d, t0, t0 + burst, sim::SpanKind::kCompute,
+                             "round " + std::to_string(round));
+      }
+    }
+
+    // -- Coordinator: liveness, prediction, selection (workflow 1, 4, 7).
+    // The forecast for this round was formed from the rounds observed so
+    // far (the supervisor has not yet seen this round's versions).
+    std::vector<double> fallback(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      fallback[d] =
+          static_cast<double>(round) * strategy.expected_versions[d];
+    }
+    std::vector<double> predicted;
+    switch (config.predictor) {
+      case PredictorMode::kDes:
+        predicted = supervisor.predict(fallback);
+        break;
+      case PredictorMode::kStatic:
+        predicted = fallback;
+        break;
+      case PredictorMode::kLastValue:
+        if (result.extras.actual_versions.empty()) {
+          predicted = fallback;
+        } else {
+          predicted = result.extras.actual_versions.back();
+        }
+        break;
+    }
+
+    // -- Supervisor observation (workflow step 7): the versions each device
+    //    *brings to* the synchronization point, before aggregation mixes
+    //    them — that is what the next round's selection must anticipate.
+    std::vector<double> actual(k);
+    for (std::size_t d = 0; d < k; ++d) actual[d] = devices[d].version;
+    supervisor.observe_round(actual);
+    result.extras.actual_versions.push_back(actual);
+    result.extras.predicted_versions.push_back(predicted);
+
+    std::vector<float> eval_state;
+    std::vector<sim::DeviceId> selected_this_round;
+    for (const auto& group : groups) {
+      std::vector<sim::DeviceId> candidates;
+      for (sim::DeviceId id : group) {
+        if (available_at_start[id]) candidates.push_back(id);
+      }
+      if (candidates.empty()) continue;
+
+      SelectionContext sel_ctx;
+      sel_ctx.select_count =
+          std::min(config.strategy.select_count, candidates.size());
+      for (sim::DeviceId id : candidates) {
+        sel_ctx.versions.push_back(predicted[id]);
+        sel_ctx.compute_powers.push_back(powers[id]);
+        sel_ctx.bandwidth_scales.push_back(
+            cluster.device(id).bandwidth_scale);
+      }
+      const std::vector<std::size_t> picks = policy->select(sel_ctx, rng);
+      std::vector<sim::DeviceId> selected;
+      selected.reserve(picks.size());
+      for (std::size_t p : picks) selected.push_back(candidates[p]);
+      std::vector<sim::DeviceId> ring =
+          StrategyGenerator::make_ring(selected, rng);
+
+      // -- Fault-tolerant gossip aggregation (§III-D). A device can die
+      //    *between* the repair scan and the collective (its fault window
+      //    opens mid-sync); the CommError then triggers another repair
+      //    pass, exactly like the timeout would in a real deployment.
+      std::vector<float> aggregate;
+      for (int attempt = 0; attempt < 4 && !ring.empty(); ++attempt) {
+        const comm::RingRepairResult repair =
+            comm::repair_ring(transport, ring, config.repair);
+        result.extras.ring_repairs += repair.repairs;
+        ring = repair.ring;
+        if (ring.empty()) break;
+        try {
+          // Each member's contribution passes through the configured codec
+          // (what the peers reconstruct); the ring's wire cost shrinks by
+          // the codec's ratio.
+          std::vector<std::vector<float>> contributions;
+          contributions.reserve(ring.size());
+          std::size_t codec_bytes = 0;
+          std::size_t dense_bytes = 0;
+          for (sim::DeviceId id : ring) {
+            std::vector<float> state = nn::get_state(*devices[id].model);
+            dense_bytes = state.size() * sizeof(float);
+            codec_bytes = std::max(
+                codec_bytes, compress_roundtrip(
+                                 state, devices[id].last_sync_state, config));
+            contributions.push_back(std::move(state));
+          }
+          sim::SimTime sync_start = 0.0;  // the collective starts when the
+                                          // slowest member arrives
+          for (sim::DeviceId id : ring) {
+            sync_start = std::max(sync_start, cluster.time(id));
+          }
+          const sim::SimTime sync_done = comm::simulate_ring_allreduce(
+              transport, ring,
+              effective_wire_bytes(wire_bytes, codec_bytes, dense_bytes));
+          if (config.weight_by_samples) {
+            // Eq. 2 objective: weight by each member's sample count n_k.
+            std::vector<double> weights;
+            weights.reserve(ring.size());
+            double total_samples = 0.0;
+            for (sim::DeviceId id : ring) {
+              total_samples += static_cast<double>(ctx.partition[id].size());
+            }
+            for (sim::DeviceId id : ring) {
+              weights.push_back(static_cast<double>(ctx.partition[id].size()) /
+                                total_samples);
+            }
+            aggregate = nn::weighted_average(contributions, weights);
+          } else {
+            aggregate = nn::average(contributions);  // plain Eq. 5
+          }
+          if (config.trace != nullptr) {
+            for (sim::DeviceId id : ring) {
+              config.trace->record(id, sync_start, sync_done,
+                                   sim::SpanKind::kSync, "partial sync");
+            }
+          }
+          break;
+        } catch (const CommError&) {
+          HADFL_WARN("partial sync hit a mid-collective fault; repairing");
+          aggregate.clear();
+          // Move past the failure instant so the next repair pass sees the
+          // fault and bypasses the dead member.
+          for (sim::DeviceId id : ring) {
+            cluster.advance(id, config.repair.wait_before_handshake);
+          }
+        }
+      }
+      if (ring.empty() || aggregate.empty()) continue;
+      selected_this_round.insert(selected_this_round.end(), ring.begin(),
+                                 ring.end());
+      double version_mean = 0.0;
+      for (sim::DeviceId id : ring) version_mean += devices[id].version;
+      version_mean /= static_cast<double>(ring.size());
+      for (sim::DeviceId id : ring) {
+        nn::set_state(*devices[id].model, aggregate);
+        devices[id].version = version_mean;
+        devices[id].last_sync_state = aggregate;
+      }
+
+      // -- Non-blocking broadcast to the unselected group members.
+      std::vector<sim::DeviceId> others;
+      for (sim::DeviceId id : candidates) {
+        if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
+          others.push_back(id);
+        }
+      }
+      if (!others.empty()) {
+        const sim::DeviceId src = ring[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ring.size()) - 1))];
+        // Codec sizes are deterministic, so price the broadcast with a
+        // representative receiver's reconstruction.
+        std::vector<float> probe = aggregate;
+        const std::size_t codec_bytes = compress_roundtrip(
+            probe, devices[others.front()].last_sync_state, config);
+        const sim::SimTime bc_start = cluster.time(src);
+        const comm::BroadcastResult bc = comm::broadcast_nonblocking(
+            transport, src, others,
+            effective_wire_bytes(wire_bytes, codec_bytes,
+                                 aggregate.size() * sizeof(float)));
+        if (config.trace != nullptr) {
+          for (sim::DeviceId id : bc.delivered) {
+            config.trace->record(id, bc_start, cluster.time(id),
+                                 sim::SpanKind::kBroadcast, "broadcast");
+          }
+        }
+        for (sim::DeviceId id : bc.delivered) {
+          std::vector<float> received = aggregate;
+          compress_roundtrip(received, devices[id].last_sync_state, config);
+          std::vector<float> local = nn::get_state(*devices[id].model);
+          nn::mix_into(local, received, config.broadcast_mix_weight);
+          nn::set_state(*devices[id].model, local);
+          devices[id].last_sync_state = std::move(received);
+          devices[id].version =
+              (1.0 - config.broadcast_mix_weight) * devices[id].version +
+              config.broadcast_mix_weight * version_mean;
+        }
+      }
+
+      if (eval_state.empty()) {
+        eval_state = aggregate;
+      } else {
+        // Multiple groups: evaluate the mean of group aggregates.
+        nn::mix_into(eval_state, aggregate, 0.5);
+      }
+    }
+
+    // -- Inter-group synchronization (hierarchical mode).
+    if (groups.size() > 1 &&
+        round % static_cast<std::size_t>(
+                    std::max(1, config.grouping.inter_group_period)) ==
+            0) {
+      std::vector<sim::DeviceId> leaders;
+      for (const auto& group : groups) {
+        for (sim::DeviceId id : group) {
+          if (liveness.is_available(id)) {
+            leaders.push_back(id);
+            break;
+          }
+        }
+      }
+      if (leaders.size() > 1) {
+        const std::vector<float> global = mean_state_of(devices, leaders);
+        try {
+          comm::simulate_ring_allreduce(transport, leaders, wire_bytes);
+        } catch (const CommError&) {
+          HADFL_WARN("inter-group sync skipped: leader unreachable");
+          leaders.clear();
+        }
+        for (std::size_t g = 0; g < groups.size() && g < leaders.size(); ++g) {
+          for (sim::DeviceId id : groups[g]) {
+            if (!liveness.is_available(id)) continue;
+            std::vector<float> local = nn::get_state(*devices[id].model);
+            nn::mix_into(local, global, config.broadcast_mix_weight);
+            nn::set_state(*devices[id].model, local);
+            if (id != leaders[g]) {
+              transport.account(leaders[g], id, wire_bytes);
+            }
+          }
+          nn::set_state(*devices[leaders[g]].model, global);
+        }
+        if (!leaders.empty()) eval_state = global;
+      }
+    }
+
+    result.extras.selected.push_back(selected_this_round);
+
+    epochs_done +=
+        executed_total * static_cast<double>(ctx.config.device_batch_size) /
+        total_train;
+
+    // -- Record convergence; evaluate the aggregated model (what the model
+    //    manager backs up).
+    if (eval_state.empty()) {
+      const std::vector<sim::DeviceId> avail = liveness.available();
+      eval_state = mean_state_of(
+          devices, avail.empty() ? fl::all_device_ids(cluster) : avail);
+    }
+    nn::set_state(*reference, eval_state);
+    const fl::EvalResult eval = fl::evaluate(*reference, ctx.test);
+    double loss_sum = 0.0;
+    double loss_weight = 0.0;
+    for (const auto& dev : devices) {
+      loss_sum += dev.last_loss * static_cast<double>(dev.last_executed);
+      loss_weight += static_cast<double>(dev.last_executed);
+    }
+    result.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done, cluster.max_time(),
+        loss_weight > 0.0 ? loss_sum / loss_weight : 0.0, eval.loss,
+        eval.accuracy});
+
+    model_manager.update(eval_state, round);
+    ++result.scheme.sync_rounds;
+  }
+
+  result.extras.model_backups = model_manager.backups_written();
+  result.scheme.volume = transport.volume();
+  result.scheme.final_state = model_manager.has_model()
+                                  ? model_manager.latest()
+                                  : mean_state_of(devices,
+                                                  fl::all_device_ids(cluster));
+  result.scheme.total_time = cluster.max_time();
+  return result;
+}
+
+}  // namespace hadfl::core

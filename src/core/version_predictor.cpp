@@ -1,0 +1,39 @@
+#include "core/version_predictor.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::core {
+
+VersionPredictor::VersionPredictor(double alpha) : alpha_(alpha) {
+  HADFL_CHECK_ARG(alpha > 0.0 && alpha < 1.0,
+                  "DES smoothing factor must be in (0, 1), got " << alpha);
+}
+
+void VersionPredictor::observe(double version) {
+  if (observations_ == 0) {
+    // Standard DES initialization: both exponents start at the first
+    // observation, giving a zero initial trend.
+    s1_ = version;
+    s2_ = version;
+  } else {
+    s1_ = alpha_ * version + (1.0 - alpha_) * s1_;
+    s2_ = alpha_ * s1_ + (1.0 - alpha_) * s2_;
+  }
+  ++observations_;
+}
+
+double VersionPredictor::predict(int m) const {
+  HADFL_CHECK_MSG(observations_ > 0,
+                  "VersionPredictor::predict before any observation");
+  HADFL_CHECK_ARG(m >= 0, "forecast horizon must be non-negative");
+  const double a = 2.0 * s1_ - s2_;
+  const double b = alpha_ / (1.0 - alpha_) * (s1_ - s2_);
+  return a + b * static_cast<double>(m);
+}
+
+double VersionPredictor::trend() const {
+  if (observations_ == 0) return 0.0;
+  return alpha_ / (1.0 - alpha_) * (s1_ - s2_);
+}
+
+}  // namespace hadfl::core

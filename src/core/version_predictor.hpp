@@ -1,0 +1,46 @@
+// Runtime parameter-version prediction (paper §III-B, Eq. 7).
+//
+// Brown's double exponential smoothing over a device's observed parameter
+// versions v_{i,j}:
+//
+//   v^(1)_j = α v_j + (1-α) v^(1)_{j-1}         (first-order exponent)
+//   v^(2)_j = α v^(1)_j + (1-α) v^(2)_{j-1}     (second-order exponent)
+//   a_j     = 2 v^(1)_j - v^(2)_j
+//   b_j     = α/(1-α) (v^(1)_j - v^(2)_j)
+//   v̂_{j+m} = a_j + b_j m
+//
+// The larger α, the more the forecast follows the latest observation.
+// Before any observation the predictor returns a caller-provided expectation
+// (Eq. 6's warm-up-based estimate).
+#pragma once
+
+#include <cstddef>
+
+namespace hadfl::core {
+
+class VersionPredictor {
+ public:
+  /// alpha in (0, 1).
+  explicit VersionPredictor(double alpha = 0.5);
+
+  /// Feed the actual version observed in the current round.
+  void observe(double version);
+
+  /// Forecast the version `m` rounds ahead of the last observation.
+  /// Requires at least one observation.
+  double predict(int m = 1) const;
+
+  std::size_t observations() const { return observations_; }
+  double alpha() const { return alpha_; }
+
+  /// Current trend estimate b_j (version growth per round).
+  double trend() const;
+
+ private:
+  double alpha_;
+  double s1_ = 0.0;  ///< v^(1)
+  double s2_ = 0.0;  ///< v^(2)
+  std::size_t observations_ = 0;
+};
+
+}  // namespace hadfl::core

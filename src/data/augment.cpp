@@ -1,0 +1,82 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hadfl::data {
+
+Augmentor::Augmentor(AugmentConfig config) : config_(config) {
+  HADFL_CHECK_ARG(config.flip_probability >= 0.0 &&
+                      config.flip_probability <= 1.0,
+                  "flip probability must be in [0, 1]");
+}
+
+void shift_crop(float* image, std::size_t channels, std::size_t height,
+                std::size_t width, std::size_t pad, std::size_t dy,
+                std::size_t dx) {
+  HADFL_CHECK_ARG(dy <= 2 * pad && dx <= 2 * pad,
+                  "crop offset exceeds padding");
+  if (pad == 0) return;
+  // Equivalent to reading from the padded image at offset (dy, dx): source
+  // pixel (y, x) comes from original (y + dy - pad, x + dx - pad), zero
+  // outside.
+  std::vector<float> src(height * width);
+  const auto off_y = static_cast<std::ptrdiff_t>(dy) -
+                     static_cast<std::ptrdiff_t>(pad);
+  const auto off_x = static_cast<std::ptrdiff_t>(dx) -
+                     static_cast<std::ptrdiff_t>(pad);
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* chan = image + c * height * width;
+    std::copy_n(chan, height * width, src.data());
+    for (std::size_t y = 0; y < height; ++y) {
+      const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + off_y;
+      for (std::size_t x = 0; x < width; ++x) {
+        const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x) + off_x;
+        const bool inside = sy >= 0 && sx >= 0 &&
+                            sy < static_cast<std::ptrdiff_t>(height) &&
+                            sx < static_cast<std::ptrdiff_t>(width);
+        chan[y * width + x] =
+            inside ? src[static_cast<std::size_t>(sy) * width +
+                         static_cast<std::size_t>(sx)]
+                   : 0.0f;
+      }
+    }
+  }
+}
+
+void flip_horizontal(float* image, std::size_t channels, std::size_t height,
+                     std::size_t width) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* chan = image + c * height * width;
+    for (std::size_t y = 0; y < height; ++y) {
+      float* row = chan + y * width;
+      std::reverse(row, row + width);
+    }
+  }
+}
+
+void Augmentor::apply(Batch& batch, Rng& rng) const {
+  if (!config_.enabled() || batch.size() == 0) return;
+  const std::size_t c = batch.x.dim(1);
+  const std::size_t h = batch.x.dim(2);
+  const std::size_t w = batch.x.dim(3);
+  const std::size_t sample = c * h * w;
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    float* image = batch.x.data() + s * sample;
+    if (config_.crop_padding > 0) {
+      const auto dy = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(2 * config_.crop_padding)));
+      const auto dx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(2 * config_.crop_padding)));
+      shift_crop(image, c, h, w, config_.crop_padding, dy, dx);
+    }
+    if (config_.horizontal_flip &&
+        rng.uniform() < config_.flip_probability) {
+      flip_horizontal(image, c, h, w);
+    }
+  }
+}
+
+}  // namespace hadfl::data

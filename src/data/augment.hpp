@@ -1,0 +1,45 @@
+// Training-time image augmentation — the standard CIFAR recipe the
+// evaluation models are normally trained with: random crop after
+// zero-padding, and random horizontal flip. Applied per batch by
+// BatchIterator when an Augmentor is attached.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace hadfl::data {
+
+struct AugmentConfig {
+  std::size_t crop_padding = 1;   ///< pad each side, then random-crop back
+  bool horizontal_flip = true;
+  double flip_probability = 0.5;
+
+  bool enabled() const { return crop_padding > 0 || horizontal_flip; }
+};
+
+/// Stateless transforms over batches; randomness comes from the caller's
+/// generator so device streams stay independent and reproducible.
+class Augmentor {
+ public:
+  explicit Augmentor(AugmentConfig config);
+
+  const AugmentConfig& config() const { return config_; }
+
+  /// Applies the configured transforms to every sample in place.
+  void apply(Batch& batch, Rng& rng) const;
+
+ private:
+  AugmentConfig config_;
+};
+
+/// Zero-pads `image` (C, H, W) by `pad` on each side and crops an HxW
+/// window at offset (dy, dx) in [0, 2*pad]. Exposed for tests.
+void shift_crop(float* image, std::size_t channels, std::size_t height,
+                std::size_t width, std::size_t pad, std::size_t dy,
+                std::size_t dx);
+
+/// Mirrors `image` (C, H, W) horizontally in place. Exposed for tests.
+void flip_horizontal(float* image, std::size_t channels, std::size_t height,
+                     std::size_t width);
+
+}  // namespace hadfl::data

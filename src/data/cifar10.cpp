@@ -1,0 +1,107 @@
+#include "data/cifar10.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace hadfl::data {
+
+namespace {
+
+float pixel_to_float(std::uint8_t byte) {
+  // [0, 255] -> [-1, 1].
+  return static_cast<float>(byte) / 127.5f - 1.0f;
+}
+
+std::uint8_t float_to_pixel(float value) {
+  const float clamped = std::clamp(value, -1.0f, 1.0f);
+  return static_cast<std::uint8_t>(std::clamp(
+      static_cast<int>((clamped + 1.0f) * 127.5f + 0.5f), 0, 255));
+}
+
+}  // namespace
+
+Dataset load_cifar10_batch(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  HADFL_CHECK_MSG(in.good(), "cannot open CIFAR-10 batch " << path);
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  HADFL_CHECK_MSG(file_size > 0 && file_size % kCifarRecordBytes == 0,
+                  path << " is not a CIFAR-10 batch (size " << file_size
+                       << " not a multiple of " << kCifarRecordBytes << ")");
+  const std::size_t records = file_size / kCifarRecordBytes;
+  in.seekg(0);
+
+  const std::size_t pixels =
+      kCifarChannels * kCifarImageSize * kCifarImageSize;
+  Tensor images({records, kCifarChannels, kCifarImageSize, kCifarImageSize});
+  std::vector<int> labels(records);
+  std::vector<std::uint8_t> record(kCifarRecordBytes);
+  for (std::size_t r = 0; r < records; ++r) {
+    in.read(reinterpret_cast<char*>(record.data()),
+            static_cast<std::streamsize>(record.size()));
+    HADFL_CHECK_MSG(in.good(), "truncated CIFAR-10 batch " << path);
+    HADFL_CHECK_MSG(record[0] < kCifarClasses,
+                    "bad label " << int{record[0]} << " in " << path);
+    labels[r] = record[0];
+    float* out = images.data() + r * pixels;
+    for (std::size_t i = 0; i < pixels; ++i) {
+      out[i] = pixel_to_float(record[1 + i]);
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), kCifarClasses);
+}
+
+TrainTestSplit load_cifar10(const std::string& directory) {
+  // Concatenate the five training batches.
+  std::vector<Dataset> parts;
+  std::size_t total = 0;
+  for (int b = 1; b <= 5; ++b) {
+    parts.push_back(load_cifar10_batch(directory + "/data_batch_" +
+                                       std::to_string(b) + ".bin"));
+    total += parts.back().size();
+  }
+  const std::size_t pixels =
+      kCifarChannels * kCifarImageSize * kCifarImageSize;
+  Tensor images({total, kCifarChannels, kCifarImageSize, kCifarImageSize});
+  std::vector<int> labels;
+  labels.reserve(total);
+  std::size_t offset = 0;
+  for (const Dataset& part : parts) {
+    std::copy_n(part.images().data(), part.size() * pixels,
+                images.data() + offset * pixels);
+    labels.insert(labels.end(), part.labels().begin(), part.labels().end());
+    offset += part.size();
+  }
+  return TrainTestSplit{
+      Dataset(std::move(images), std::move(labels), kCifarClasses),
+      load_cifar10_batch(directory + "/test_batch.bin"),
+  };
+}
+
+void save_cifar10_batch(const std::string& path, const Dataset& dataset) {
+  HADFL_CHECK_ARG(dataset.channels() == kCifarChannels &&
+                      dataset.height() == kCifarImageSize &&
+                      dataset.width() == kCifarImageSize,
+                  "dataset is not CIFAR-shaped (3x32x32)");
+  HADFL_CHECK_ARG(dataset.num_classes() <= kCifarClasses,
+                  "dataset has more than 10 classes");
+  std::ofstream out(path, std::ios::binary);
+  HADFL_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const std::size_t pixels =
+      kCifarChannels * kCifarImageSize * kCifarImageSize;
+  std::vector<std::uint8_t> record(kCifarRecordBytes);
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    record[0] = static_cast<std::uint8_t>(dataset.label(r));
+    const float* in = dataset.images().data() + r * pixels;
+    for (std::size_t i = 0; i < pixels; ++i) {
+      record[1 + i] = float_to_pixel(in[i]);
+    }
+    out.write(reinterpret_cast<const char*>(record.data()),
+              static_cast<std::streamsize>(record.size()));
+  }
+  HADFL_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace hadfl::data

@@ -1,0 +1,42 @@
+// CIFAR-10 binary-format loader.
+//
+// The paper evaluates on CIFAR-10. The offline development environment has
+// no copy of the dataset (experiments use data/synthetic.hpp instead — see
+// DESIGN.md), but this loader reads the standard binary distribution
+// ("cifar-10-batches-bin": data_batch_1.bin … data_batch_5.bin +
+// test_batch.bin) so the full paper workload runs unmodified wherever the
+// dataset is available:
+//
+//   auto data = data::load_cifar10("/path/to/cifar-10-batches-bin");
+//
+// Format per record: 1 label byte + 3072 pixel bytes (3 channels x 32 x 32,
+// channel-major) — 30730000 bytes per 10000-record batch file. Pixels are
+// normalized to [-1, 1].
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"  // for TrainTestSplit
+
+namespace hadfl::data {
+
+constexpr std::size_t kCifarImageSize = 32;
+constexpr std::size_t kCifarChannels = 3;
+constexpr std::size_t kCifarClasses = 10;
+constexpr std::size_t kCifarRecordBytes =
+    1 + kCifarChannels * kCifarImageSize * kCifarImageSize;
+
+/// Loads one CIFAR-10 binary batch file (any record count).
+Dataset load_cifar10_batch(const std::string& path);
+
+/// Loads the standard directory layout: 5 training batches + 1 test batch.
+/// Throws hadfl::Error if any file is missing or malformed.
+TrainTestSplit load_cifar10(const std::string& directory);
+
+/// Writes records in CIFAR-10 binary format (used by tests and by tools
+/// that re-export subsets). Labels must be < kCifarClasses and images
+/// shaped (N, 3, 32, 32) with values in [-1, 1].
+void save_cifar10_batch(const std::string& path, const Dataset& dataset);
+
+}  // namespace hadfl::data

@@ -1,0 +1,151 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hadfl::data {
+
+namespace {
+
+void check_args(const Dataset& dataset, std::size_t num_devices) {
+  HADFL_CHECK_ARG(num_devices > 0, "need at least one device");
+  HADFL_CHECK_ARG(dataset.size() >= num_devices,
+                  "dataset smaller than device count");
+}
+
+/// Gamma(alpha, 1) sampler (Marsaglia–Tsang for alpha >= 1, boost for < 1).
+double sample_gamma(double alpha, Rng& rng) {
+  if (alpha < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = std::max(rng.uniform(), 1e-12);
+    return sample_gamma(alpha + 1.0, rng) * std::pow(u, 1.0 / alpha);
+  }
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = std::max(rng.uniform(), 1e-12);
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) return d * v;
+  }
+}
+
+}  // namespace
+
+Partition partition_iid(const Dataset& dataset, std::size_t num_devices,
+                        Rng& rng) {
+  check_args(dataset, num_devices);
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  Partition parts(num_devices);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    parts[i % num_devices].push_back(order[i]);
+  }
+  return parts;
+}
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_devices,
+                              double alpha, Rng& rng) {
+  check_args(dataset, num_devices);
+  HADFL_CHECK_ARG(alpha > 0.0, "Dirichlet alpha must be positive");
+
+  Partition parts(num_devices);
+  for (std::size_t cls = 0; cls < dataset.num_classes(); ++cls) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (dataset.label(i) == static_cast<int>(cls)) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    rng.shuffle(members);
+    // Dirichlet draw = normalized independent Gamma(alpha) draws.
+    std::vector<double> props(num_devices);
+    double total = 0.0;
+    for (auto& p : props) {
+      p = sample_gamma(alpha, rng);
+      total += p;
+    }
+    std::size_t cursor = 0;
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      const std::size_t take =
+          d + 1 == num_devices
+              ? members.size() - cursor
+              : std::min<std::size_t>(
+                    members.size() - cursor,
+                    static_cast<std::size_t>(
+                        std::llround(props[d] / total *
+                                     static_cast<double>(members.size()))));
+      for (std::size_t i = 0; i < take; ++i) {
+        parts[d].push_back(members[cursor + i]);
+      }
+      cursor += take;
+    }
+  }
+
+  // Every device must hold at least one sample; steal from the largest.
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    if (!parts[d].empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    HADFL_CHECK_MSG(largest->size() > 1, "cannot rebalance empty partition");
+    parts[d].push_back(largest->back());
+    largest->pop_back();
+  }
+  return parts;
+}
+
+Partition partition_shards(const Dataset& dataset, std::size_t num_devices,
+                           std::size_t shards_per_device, Rng& rng) {
+  check_args(dataset, num_devices);
+  HADFL_CHECK_ARG(shards_per_device > 0, "need at least one shard per device");
+  const std::size_t num_shards = num_devices * shards_per_device;
+  HADFL_CHECK_ARG(dataset.size() >= num_shards,
+                  "dataset smaller than shard count");
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dataset.label(a) < dataset.label(b);
+  });
+
+  std::vector<std::size_t> shard_ids(num_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), std::size_t{0});
+  rng.shuffle(shard_ids);
+
+  const std::size_t shard_size = dataset.size() / num_shards;
+  Partition parts(num_devices);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t device = s / shards_per_device;
+    const std::size_t shard = shard_ids[s];
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end =
+        shard + 1 == num_shards ? dataset.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) {
+      parts[device].push_back(order[i]);
+    }
+  }
+  return parts;
+}
+
+bool is_valid_partition(const Partition& partition, std::size_t dataset_size) {
+  std::vector<std::size_t> seen(dataset_size, 0);
+  for (const auto& part : partition) {
+    for (std::size_t i : part) {
+      if (i >= dataset_size) return false;
+      ++seen[i];
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(),
+                     [](std::size_t c) { return c == 1; });
+}
+
+}  // namespace hadfl::data

@@ -1,0 +1,37 @@
+// Data partitioning across federated devices.
+//
+// The paper splits the training data across the four GPUs (IID). The
+// non-IID partitioners support the future-work scenario ("taking into
+// account ... data distribution") and the noniid example.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace hadfl::data {
+
+using Partition = std::vector<std::vector<std::size_t>>;  ///< per-device indices
+
+/// Shuffles and deals samples round-robin: equal shares (+/- 1 sample).
+Partition partition_iid(const Dataset& dataset, std::size_t num_devices,
+                        Rng& rng);
+
+/// Dirichlet(alpha) label-skew partition: for each class, the class's
+/// samples are split across devices with proportions drawn from a
+/// Dirichlet distribution. Smaller alpha = more skew. Guarantees every
+/// device receives at least one sample.
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_devices,
+                              double alpha, Rng& rng);
+
+/// Pathological shard partition (the FedAvg paper's non-IID scheme): sorts
+/// by label, cuts into `num_devices * shards_per_device` shards, deals
+/// shards randomly so each device sees only a few classes.
+Partition partition_shards(const Dataset& dataset, std::size_t num_devices,
+                           std::size_t shards_per_device, Rng& rng);
+
+/// Sanity-check a partition: covers every index exactly once.
+bool is_valid_partition(const Partition& partition, std::size_t dataset_size);
+
+}  // namespace hadfl::data

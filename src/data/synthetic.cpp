@@ -1,0 +1,94 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hadfl::data {
+
+namespace {
+
+/// Smooth per-class template: a sum of a few random low-frequency sinusoids
+/// per channel, normalized to roughly unit amplitude.
+std::vector<float> make_template(std::size_t channels, std::size_t s,
+                                 Rng& rng) {
+  std::vector<float> tpl(channels * s * s, 0.0f);
+  constexpr int kWaves = 3;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (int wv = 0; wv < kWaves; ++wv) {
+      const double fx = rng.uniform(0.5, 2.0);
+      const double fy = rng.uniform(0.5, 2.0);
+      const double phase_x = rng.uniform(0.0, 6.28318);
+      const double phase_y = rng.uniform(0.0, 6.28318);
+      const double amp = rng.uniform(0.4, 1.0) / kWaves;
+      for (std::size_t y = 0; y < s; ++y) {
+        for (std::size_t x = 0; x < s; ++x) {
+          const double vy = std::sin(2.0 * 3.14159265 * fy * y / s + phase_y);
+          const double vx = std::sin(2.0 * 3.14159265 * fx * x / s + phase_x);
+          tpl[(c * s + y) * s + x] += static_cast<float>(amp * vx * vy);
+        }
+      }
+    }
+  }
+  return tpl;
+}
+
+Dataset generate(const SyntheticConfig& cfg,
+                 const std::vector<std::vector<float>>& templates,
+                 std::size_t count, Rng& rng) {
+  const std::size_t s = cfg.image_size;
+  const std::size_t sample_size = cfg.channels * s * s;
+  Tensor images({count, cfg.channels, s, s});
+  std::vector<int> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cls = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg.num_classes) - 1));
+    labels[i] = static_cast<int>(cls);
+    const auto& tpl = templates[cls];
+    const auto shift_y = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(cfg.max_shift)));
+    const auto shift_x = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(cfg.max_shift)));
+    float* out = images.data() + i * sample_size;
+    for (std::size_t c = 0; c < cfg.channels; ++c) {
+      for (std::size_t y = 0; y < s; ++y) {
+        const std::size_t sy = (y + shift_y) % s;
+        for (std::size_t x = 0; x < s; ++x) {
+          const std::size_t sx = (x + shift_x) % s;
+          out[(c * s + y) * s + x] =
+              tpl[(c * s + sy) * s + sx] +
+              static_cast<float>(rng.normal(0.0, cfg.noise_std));
+        }
+      }
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), cfg.num_classes);
+}
+
+}  // namespace
+
+TrainTestSplit make_synthetic_cifar(const SyntheticConfig& cfg) {
+  HADFL_CHECK_ARG(cfg.num_classes > 1, "need at least two classes");
+  HADFL_CHECK_ARG(cfg.channels > 0 && cfg.image_size > 0,
+                  "image dimensions must be positive");
+  HADFL_CHECK_ARG(cfg.train_samples > 0 && cfg.test_samples > 0,
+                  "sample counts must be positive");
+  HADFL_CHECK_ARG(cfg.noise_std >= 0.0, "noise_std must be non-negative");
+  HADFL_CHECK_ARG(cfg.max_shift < cfg.image_size,
+                  "max_shift must be smaller than the image");
+
+  Rng rng(cfg.seed);
+  std::vector<std::vector<float>> templates;
+  templates.reserve(cfg.num_classes);
+  for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+    templates.push_back(make_template(cfg.channels, cfg.image_size, rng));
+  }
+  Rng train_rng = rng.split();
+  Rng test_rng = rng.split();
+  return TrainTestSplit{
+      generate(cfg, templates, cfg.train_samples, train_rng),
+      generate(cfg, templates, cfg.test_samples, test_rng),
+  };
+}
+
+}  // namespace hadfl::data

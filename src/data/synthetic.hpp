@@ -1,0 +1,35 @@
+// Synthetic CIFAR-10 stand-in.
+//
+// The offline environment has no CIFAR-10, so experiments use a generated
+// 10-class image dataset (see DESIGN.md, substitutions): each class has a
+// smooth random template image; samples are the class template, randomly
+// cyclically shifted (so the task is not linearly trivial and rewards
+// convolutional structure), plus Gaussian pixel noise. `noise_std` controls
+// difficulty.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace hadfl::data {
+
+struct SyntheticConfig {
+  std::size_t num_classes = 10;
+  std::size_t channels = 3;
+  std::size_t image_size = 16;
+  std::size_t train_samples = 2048;
+  std::size_t test_samples = 512;
+  double noise_std = 0.35;
+  std::size_t max_shift = 3;     ///< maximum cyclic shift in pixels
+  std::uint64_t seed = 42;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates a train/test pair from the same class templates.
+TrainTestSplit make_synthetic_cifar(const SyntheticConfig& config);
+
+}  // namespace hadfl::data

@@ -1,0 +1,89 @@
+#include "exp/report.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace hadfl::exp {
+
+double Table1Cell::speedup_vs_distributed() const {
+  HADFL_CHECK_MSG(hadfl.time_to_best > 0.0, "HADFL time-to-best is zero");
+  return distributed.time_to_best / hadfl.time_to_best;
+}
+
+double Table1Cell::speedup_vs_dfedavg() const {
+  HADFL_CHECK_MSG(hadfl.time_to_best > 0.0, "HADFL time-to-best is zero");
+  return dfedavg.time_to_best / hadfl.time_to_best;
+}
+
+std::string Statistic::to_string(int decimals) const {
+  if (stddev <= 0.0) return TextTable::num(mean, decimals);
+  return TextTable::num(mean, decimals) + " ± " +
+         TextTable::num(stddev, decimals);
+}
+
+Table1Cell average_cells(const std::string& name,
+                         const std::vector<CellResult>& reps) {
+  HADFL_CHECK_ARG(!reps.empty(), "no repetitions to average");
+  Table1Cell cell;
+  cell.cell_name = name;
+  const auto n = static_cast<double>(reps.size());
+  std::vector<double> d_times;
+  std::vector<double> f_times;
+  std::vector<double> h_times;
+  for (const auto& rep : reps) {
+    const SchemeSummary d = summarize(rep.distributed.metrics);
+    const SchemeSummary f = summarize(rep.dfedavg.metrics);
+    const SchemeSummary h = summarize(rep.hadfl.scheme.metrics);
+    cell.distributed.best_accuracy += d.best_accuracy / n;
+    cell.distributed.time_to_best += d.time_to_best / n;
+    cell.dfedavg.best_accuracy += f.best_accuracy / n;
+    cell.dfedavg.time_to_best += f.time_to_best / n;
+    cell.hadfl.best_accuracy += h.best_accuracy / n;
+    cell.hadfl.time_to_best += h.time_to_best / n;
+    d_times.push_back(d.time_to_best);
+    f_times.push_back(f.time_to_best);
+    h_times.push_back(h.time_to_best);
+  }
+  cell.distributed_time = {mean(d_times), stddev(d_times)};
+  cell.dfedavg_time = {mean(f_times), stddev(f_times)};
+  cell.hadfl_time = {mean(h_times), stddev(h_times)};
+  return cell;
+}
+
+std::string render_table1(const std::vector<Table1Cell>& cells) {
+  std::ostringstream os;
+  os << "TABLE I: TIME REQUIRED TO REACH THE MAXIMUM TEST ACCURACY\n";
+  TextTable table({"scheme", "cell", "accuracy", "time [s]",
+                   "HADFL speedup"});
+  for (const auto& cell : cells) {
+    table.add_row({"Distributed training", cell.cell_name,
+                   TextTable::num(100.0 * cell.distributed.best_accuracy, 1) + "%",
+                   cell.distributed_time.to_string(),
+                   TextTable::num(cell.speedup_vs_distributed()) + "x"});
+    table.add_row({"Decentralized-FedAvg", cell.cell_name,
+                   TextTable::num(100.0 * cell.dfedavg.best_accuracy, 1) + "%",
+                   cell.dfedavg_time.to_string(),
+                   TextTable::num(cell.speedup_vs_dfedavg()) + "x"});
+    table.add_row({"HADFL", cell.cell_name,
+                   TextTable::num(100.0 * cell.hadfl.best_accuracy, 1) + "%",
+                   cell.hadfl_time.to_string(), "1.00x"});
+  }
+  os << table.render();
+
+  double max_vs_distributed = 0.0;
+  double max_vs_dfedavg = 0.0;
+  for (const auto& cell : cells) {
+    max_vs_distributed =
+        std::max(max_vs_distributed, cell.speedup_vs_distributed());
+    max_vs_dfedavg = std::max(max_vs_dfedavg, cell.speedup_vs_dfedavg());
+  }
+  os << "\nMaximum speedup: " << TextTable::num(max_vs_dfedavg)
+     << "x vs decentralized-FedAvg, " << TextTable::num(max_vs_distributed)
+     << "x vs distributed training\n"
+     << "(paper: 3.15x and 4.68x)\n";
+  return os.str();
+}
+
+}  // namespace hadfl::exp

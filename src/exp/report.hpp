@@ -1,0 +1,46 @@
+// Table/figure emission helpers shared by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/runner.hpp"
+
+namespace hadfl::exp {
+
+/// Mean and sample standard deviation of a repeated measurement.
+struct Statistic {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// "m" or "m ± s" (when more than one repetition contributed).
+  std::string to_string(int decimals = 2) const;
+};
+
+/// One Table-I row group: accuracy and time-to-best per scheme for a cell,
+/// averaged across repetitions.
+struct Table1Cell {
+  std::string cell_name;
+  SchemeSummary distributed;
+  SchemeSummary dfedavg;
+  SchemeSummary hadfl;
+  // Repetition spread (zero when a single seed ran).
+  Statistic distributed_time;
+  Statistic dfedavg_time;
+  Statistic hadfl_time;
+
+  double speedup_vs_distributed() const;
+  double speedup_vs_dfedavg() const;
+};
+
+/// Averages repetitions of the same cell.
+Table1Cell average_cells(const std::string& name,
+                         const std::vector<CellResult>& reps);
+
+/// Renders the Table-I reproduction (same layout as the paper: one column
+/// group per cell, rows = schemes, entries = accuracy / time) plus the
+/// speedup summary lines quoted in the abstract.
+std::string render_table1(const std::vector<Table1Cell>& cells);
+
+}  // namespace hadfl::exp

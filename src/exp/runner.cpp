@@ -1,0 +1,69 @@
+#include "exp/runner.hpp"
+#include <algorithm>
+
+
+#include "common/error.hpp"
+
+namespace hadfl::exp {
+
+Environment::Environment(const Scenario& scenario)
+    : scenario_(scenario), split_(data::make_synthetic_cifar(scenario.data)) {
+  Rng rng(scenario.data.seed ^ 0xA5A5A5A5ull);
+  partition_ =
+      data::partition_iid(split_.train, scenario.num_devices(), rng);
+  // The paper's power ratios are anchored at the fastest device (a real
+  // V100; slower devices are sleep()-emulated fractions of it), so the
+  // scenario's base_iteration_time describes the *fastest* device and a
+  // power-p device takes (max_power / p) times that.
+  const double max_power =
+      *std::max_element(scenario.ratio.begin(), scenario.ratio.end());
+  cluster_ = std::make_unique<sim::Cluster>(
+      sim::devices_from_ratio(scenario.ratio, scenario.jitter_std),
+      scenario.base_iteration_time * max_power, scenario.train.seed);
+}
+
+fl::SchemeContext Environment::context(std::uint64_t seed_override) {
+  fl::TrainConfig train = scenario_.train;
+  if (seed_override != 0) train.seed = seed_override;
+  const nn::Architecture arch = scenario_.arch;
+  const nn::ModelConfig model_cfg = scenario_.model;
+  return fl::SchemeContext{
+      *cluster_,
+      scenario_.network,
+      split_.train,
+      split_.test,
+      partition_,
+      [arch, model_cfg](Rng& rng) {
+        return nn::make_model(arch, model_cfg, rng);
+      },
+      train,
+      scenario_.comm_state_bytes,
+  };
+}
+
+CellResult run_cell(Environment& env, std::uint64_t seed_override) {
+  CellResult result;
+  {
+    fl::SchemeContext ctx = env.context(seed_override);
+    result.distributed = baselines::run_distributed(ctx);
+  }
+  {
+    fl::SchemeContext ctx = env.context(seed_override);
+    baselines::DecentralizedFedAvgConfig cfg;
+    cfg.local_epochs_per_round = env.scenario().dfedavg_local_epochs;
+    result.dfedavg = baselines::run_decentralized_fedavg(ctx, cfg);
+  }
+  {
+    fl::SchemeContext ctx = env.context(seed_override);
+    result.hadfl = core::run_hadfl(ctx, env.scenario().hadfl);
+  }
+  return result;
+}
+
+SchemeSummary summarize(const fl::MetricsRecorder& metrics) {
+  HADFL_CHECK_MSG(!metrics.empty(), "summarize of empty metrics");
+  return SchemeSummary{metrics.best_accuracy(),
+                       metrics.time_to_best_accuracy()};
+}
+
+}  // namespace hadfl::exp

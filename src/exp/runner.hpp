@@ -1,0 +1,63 @@
+// Experiment runner: materializes a Scenario (dataset, partition, cluster)
+// and executes the training schemes against identical conditions.
+#pragma once
+
+#include <optional>
+
+#include "baselines/central_fedavg.hpp"
+#include "baselines/decentralized_fedavg.hpp"
+#include "baselines/distributed.hpp"
+#include "core/trainer.hpp"
+#include "exp/scenario.hpp"
+
+namespace hadfl::exp {
+
+/// The materialized environment for one scenario (shared across schemes so
+/// every scheme sees the same data, partition, and device specs).
+class Environment {
+ public:
+  explicit Environment(const Scenario& scenario);
+
+  const Scenario& scenario() const { return scenario_; }
+  sim::Cluster& cluster() { return *cluster_; }
+  const data::Dataset& train() const { return split_.train; }
+  const data::Dataset& test() const { return split_.test; }
+  const data::Partition& partition() const { return partition_; }
+
+  /// Builds the scheme context bound to this environment.
+  fl::SchemeContext context(std::uint64_t seed_override = 0);
+
+  /// Applies per-device link-speed scales (§VI future work).
+  void set_bandwidth_scales(const std::vector<double>& scales) {
+    cluster_->set_bandwidth_scales(scales);
+  }
+
+ private:
+  Scenario scenario_;
+  data::TrainTestSplit split_;
+  data::Partition partition_;
+  std::unique_ptr<sim::Cluster> cluster_;
+};
+
+/// Results of the three paper schemes on one cell.
+struct CellResult {
+  fl::SchemeResult distributed;
+  fl::SchemeResult dfedavg;
+  core::HadflResult hadfl;
+};
+
+/// Runs distributed training, decentralized-FedAvg and HADFL on one
+/// environment. With `seeds > 1`, runs are repeated with different training
+/// seeds and the *time/accuracy series of each run are kept* (the caller
+/// averages what it needs — Table I averages time-to-best-accuracy).
+CellResult run_cell(Environment& env, std::uint64_t seed_override = 0);
+
+/// Paper Table I summary for one scheme's metrics.
+struct SchemeSummary {
+  double best_accuracy = 0.0;
+  sim::SimTime time_to_best = 0.0;
+};
+
+SchemeSummary summarize(const fl::MetricsRecorder& metrics);
+
+}  // namespace hadfl::exp

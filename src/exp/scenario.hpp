@@ -1,0 +1,56 @@
+// Experiment scenarios: everything needed to run one (model x heterogeneity)
+// cell of the paper's evaluation, at a configurable scale.
+//
+// The paper's setup (§IV-A): 4 GPUs, PCIe 3.0 x8, ResNet-18 / VGG-16 on
+// CIFAR-10, global batch 256 (64 per device), lr 0.01 (small warm-up lr),
+// heterogeneity ratios [3,3,1,1] and [4,2,2,1], N_p = 2 devices per partial
+// synchronization, 3 repetitions.
+//
+// Substitutions (DESIGN.md): scaled models + synthetic 10-class images for
+// the compute path; full-size ResNet-18 / VGG-16 byte counts for the
+// communication path; virtual time throughout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "fl/config.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/network.hpp"
+
+namespace hadfl::exp {
+
+struct Scenario {
+  std::string name;
+  nn::Architecture arch = nn::Architecture::kResNet18Lite;
+  nn::ModelConfig model;
+  std::vector<double> ratio{3, 3, 1, 1};   ///< compute-power ratio
+  data::SyntheticConfig data;
+  fl::TrainConfig train;
+  core::HadflConfig hadfl;
+  int dfedavg_local_epochs = 1;
+
+  double base_iteration_time = 0.2;  ///< virtual s/iteration on a power-1 dev
+  double jitter_std = 0.0;           ///< per-burst compute disturbance
+  sim::NetworkModel network = sim::NetworkModel::pcie3_x8();
+  std::size_t comm_state_bytes = 0;  ///< wire size; 0 = actual model bytes
+
+  std::size_t num_devices() const { return ratio.size(); }
+};
+
+/// Scale knob for benches: multiplies sample counts and epoch budgets.
+/// Resolution order: explicit argument > HADFL_BENCH_SCALE env var > 1.0.
+double bench_scale_from_env();
+
+/// One cell of the paper's evaluation matrix. `scale` in (0, ...]: 1.0 is
+/// the default bench size (a few thousand synthetic samples, ~16 epochs).
+Scenario paper_scenario(nn::Architecture arch, std::vector<double> ratio,
+                        double scale = 1.0, std::uint64_t seed = 7);
+
+/// The four cells of Table I / Fig. 3.
+std::vector<Scenario> paper_matrix(double scale = 1.0, std::uint64_t seed = 7);
+
+}  // namespace hadfl::exp

@@ -1,0 +1,34 @@
+#include "fl/aggregate.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::fl {
+
+std::vector<float> fedavg(const std::vector<std::vector<float>>& states,
+                          const std::vector<std::size_t>& sample_counts) {
+  HADFL_CHECK_ARG(states.size() == sample_counts.size(),
+                  "states/sample_counts mismatch");
+  std::size_t total = 0;
+  for (std::size_t n : sample_counts) total += n;
+  HADFL_CHECK_ARG(total > 0, "fedavg with zero total samples");
+  std::vector<double> weights;
+  weights.reserve(sample_counts.size());
+  for (std::size_t n : sample_counts) {
+    weights.push_back(static_cast<double>(n) / static_cast<double>(total));
+  }
+  return nn::weighted_average(states, weights);
+}
+
+std::vector<float> flagged_average(
+    const std::vector<std::vector<float>>& states,
+    const std::vector<bool>& flags) {
+  HADFL_CHECK_ARG(states.size() == flags.size(), "states/flags mismatch");
+  std::vector<std::vector<float>> selected;
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    if (flags[k]) selected.push_back(states[k]);
+  }
+  HADFL_CHECK_ARG(!selected.empty(), "flagged_average with no flags set");
+  return nn::average(selected);
+}
+
+}  // namespace hadfl::fl

@@ -1,0 +1,24 @@
+// Shared training configuration for all schemes (HADFL and baselines).
+//
+// Defaults mirror the paper's setup (§IV-A): global batch 256 split across
+// 4 devices (64 each), lr 0.01 in the main phase, a small warm-up learning
+// rate during the mutual-negotiation phase.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace hadfl::fl {
+
+struct TrainConfig {
+  int total_epochs = 20;              ///< T_total (global data passes)
+  std::size_t device_batch_size = 64; ///< B per device
+  double learning_rate = 0.01;        ///< main-phase lr
+  double warmup_learning_rate = 2e-3; ///< mutual-negotiation lr (§III-B)
+  int warmup_epochs = 1;              ///< E_warmup
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  std::uint64_t seed = 7;             ///< controls init + batch order
+};
+
+}  // namespace hadfl::fl

@@ -1,0 +1,19 @@
+// Model evaluation on a held-out dataset.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace hadfl::fl {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Runs the model in eval mode over the whole dataset in batches; returns
+/// sample-weighted mean loss and accuracy.
+EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
+                    std::size_t batch_size = 128);
+
+}  // namespace hadfl::fl

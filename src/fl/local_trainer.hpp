@@ -1,0 +1,25 @@
+// Device-local SGD (Alg. 1 lines 14-17): sample a mini-batch from the
+// device's partition, compute the gradient, update the local model. The
+// trainer is pure compute; virtual-time accounting is the caller's job
+// (sim::Cluster::advance_compute with the same step count).
+#pragma once
+
+#include "data/batch_iterator.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace hadfl::fl {
+
+struct LocalTrainStats {
+  std::size_t steps = 0;
+  double mean_loss = 0.0;
+};
+
+/// Runs `steps` local SGD iterations. Returns the mean training loss across
+/// the executed steps. Gradients are zeroed after each step.
+LocalTrainStats run_local_steps(nn::Sequential& model, nn::Sgd& optimizer,
+                                data::BatchIterator& batches,
+                                std::size_t steps);
+
+}  // namespace hadfl::fl

@@ -1,0 +1,55 @@
+#include "fl/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hadfl::fl {
+
+void MetricsRecorder::add(ConvergencePoint point) {
+  if (!points_.empty()) {
+    HADFL_CHECK_ARG(point.time >= points_.back().time,
+                    "metrics must be recorded in time order");
+  }
+  points_.push_back(point);
+}
+
+double MetricsRecorder::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.test_accuracy);
+  return best;
+}
+
+std::optional<sim::SimTime> MetricsRecorder::time_to_accuracy(
+    double threshold) const {
+  for (const auto& p : points_) {
+    if (p.test_accuracy >= threshold) return p.time;
+  }
+  return std::nullopt;
+}
+
+sim::SimTime MetricsRecorder::time_to_best_accuracy() const {
+  HADFL_CHECK_MSG(!points_.empty(), "no metrics recorded");
+  const double best = best_accuracy();
+  for (const auto& p : points_) {
+    if (p.test_accuracy >= best) return p.time;
+  }
+  return points_.back().time;
+}
+
+const ConvergencePoint& MetricsRecorder::last() const {
+  HADFL_CHECK_MSG(!points_.empty(), "no metrics recorded");
+  return points_.back();
+}
+
+void MetricsRecorder::append_csv_rows(CsvWriter& csv,
+                                      const std::string& label) const {
+  for (const auto& p : points_) {
+    csv.row(std::vector<std::string>{
+        label, std::to_string(p.epoch), std::to_string(p.time),
+        std::to_string(p.train_loss), std::to_string(p.test_loss),
+        std::to_string(p.test_accuracy)});
+  }
+}
+
+}  // namespace hadfl::fl

@@ -1,0 +1,51 @@
+// Convergence metrics: (epoch, virtual time) -> loss / accuracy series, and
+// the time-to-accuracy extraction behind Table I ("average time required to
+// reach the maximum test accuracy").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "sim/time.hpp"
+
+namespace hadfl::fl {
+
+struct ConvergencePoint {
+  double epoch = 0.0;        ///< global data passes completed (fractional)
+  sim::SimTime time = 0.0;   ///< virtual seconds since training start
+  double train_loss = 0.0;
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
+class MetricsRecorder {
+ public:
+  void add(ConvergencePoint point);
+
+  const std::vector<ConvergencePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Maximum test accuracy seen.
+  double best_accuracy() const;
+
+  /// First virtual time at which test accuracy >= threshold, if reached.
+  std::optional<sim::SimTime> time_to_accuracy(double threshold) const;
+
+  /// Virtual time of the first point achieving the maximum test accuracy —
+  /// Table I's "time required to reach the maximum test accuracy".
+  sim::SimTime time_to_best_accuracy() const;
+
+  /// Final recorded point.
+  const ConvergencePoint& last() const;
+
+  /// Appends rows "<label>,epoch,time,train_loss,test_loss,test_acc" to an
+  /// open CSV (see bench/fig3_convergence).
+  void append_csv_rows(CsvWriter& csv, const std::string& label) const;
+
+ private:
+  std::vector<ConvergencePoint> points_;
+};
+
+}  // namespace hadfl::fl

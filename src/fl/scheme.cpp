@@ -1,0 +1,20 @@
+#include "fl/scheme.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::fl {
+
+std::vector<sim::DeviceId> all_device_ids(const sim::Cluster& cluster) {
+  std::vector<sim::DeviceId> ids(cluster.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+std::size_t iters_per_epoch(std::size_t partition_size,
+                            std::size_t batch_size) {
+  HADFL_CHECK_ARG(partition_size > 0 && batch_size > 0,
+                  "iters_per_epoch requires positive sizes");
+  return (partition_size + batch_size - 1) / batch_size;
+}
+
+}  // namespace hadfl::fl

@@ -1,0 +1,56 @@
+// Common interface for training schemes (HADFL and the baselines), so the
+// experiment harness can run any scheme against the same cluster / dataset /
+// partition and compare the resulting convergence series.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "comm/transport.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "fl/config.hpp"
+#include "fl/metrics.hpp"
+#include "nn/sequential.hpp"
+#include "sim/cluster.hpp"
+
+namespace hadfl::fl {
+
+/// Builds a freshly initialized model. Schemes call it once and replicate
+/// the resulting state so that every device starts identical (Alg. 1 line 1).
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>(Rng&)>;
+
+struct SchemeContext {
+  sim::Cluster& cluster;
+  sim::NetworkModel network;
+  const data::Dataset& train;
+  const data::Dataset& test;
+  const data::Partition& partition;   ///< per-device sample indices
+  ModelFactory make_model;
+  TrainConfig config;
+
+  /// Bytes on the wire per model/gradient exchange. 0 = use the actual
+  /// (scaled) model's state size. Experiments set this to the full-size
+  /// ResNet-18 / VGG-16 byte counts so communication costs match the paper's
+  /// testbed while compute trains the scaled models (see DESIGN.md).
+  std::size_t comm_state_bytes = 0;
+};
+
+struct SchemeResult {
+  std::string scheme_name;
+  MetricsRecorder metrics;
+  comm::VolumeCounters volume;
+  std::vector<float> final_state;     ///< aggregated model at the end
+  sim::SimTime total_time = 0.0;      ///< final virtual time
+  std::size_t sync_rounds = 0;        ///< aggregation rounds (or iterations)
+};
+
+/// Dense 0..K-1 device id list for a cluster.
+std::vector<sim::DeviceId> all_device_ids(const sim::Cluster& cluster);
+
+/// Mini-batch iterations in one pass over a device's partition.
+std::size_t iters_per_epoch(std::size_t partition_size,
+                            std::size_t batch_size);
+
+}  // namespace hadfl::fl

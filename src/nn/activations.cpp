@@ -1,0 +1,29 @@
+#include "nn/activations.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_shape_ = input.shape();
+  mask_.assign(input.numel(), false);
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool positive = input[i] > 0.0f;
+    mask_[i] = positive;
+    out[i] = positive ? input[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  HADFL_CHECK_SHAPE(grad_output.shape() == cached_shape_,
+                    "ReLU backward shape mismatch");
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = mask_[i] ? grad_output[i] : 0.0f;
+  }
+  return grad_input;
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,20 @@
+// Elementwise activations.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+/// Rectified linear unit; backward masks by the sign of the forward input.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<bool> mask_;
+  Shape cached_shape_;
+};
+
+}  // namespace hadfl::nn

@@ -1,0 +1,138 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("gamma", Tensor({channels}, 1.0f)),
+      beta_("beta", Tensor({channels})),
+      running_mean_("running_mean", Tensor({channels}), /*train=*/false),
+      running_var_("running_var", Tensor({channels}, 1.0f), /*train=*/false) {
+  HADFL_CHECK_ARG(channels > 0, "BatchNorm2d requires positive channel count");
+  HADFL_CHECK_ARG(eps > 0.0f, "BatchNorm2d eps must be positive");
+  HADFL_CHECK_ARG(momentum > 0.0f && momentum <= 1.0f,
+                  "BatchNorm2d momentum must be in (0, 1]");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  HADFL_CHECK_SHAPE(input.ndim() == 4 && input.dim(1) == channels_,
+                    "BatchNorm2d expects (N, " << channels_ << ", H, W), got "
+                                               << shape_to_string(input.shape()));
+  const std::size_t n = input.dim(0);
+  const std::size_t hw = input.dim(2) * input.dim(3);
+  const std::size_t m = n * hw;  // elements per channel
+  HADFL_CHECK_ARG(m > 0, "BatchNorm2d on empty batch");
+
+  cached_shape_ = input.shape();
+  last_forward_training_ = training;
+  Tensor out(input.shape());
+
+  if (training) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(channels_, 0.0f);
+  }
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mu;
+    float var;
+    if (training) {
+      double sum = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* chan = input.data() + (s * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) sum += chan[i];
+      }
+      mu = static_cast<float>(sum / static_cast<double>(m));
+      double ss = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* chan = input.data() + (s * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          const double d = chan[i] - mu;
+          ss += d * d;
+        }
+      }
+      var = static_cast<float>(ss / static_cast<double>(m));  // biased
+      // Running stats use the unbiased variance, matching common practice.
+      const float unbiased =
+          m > 1 ? static_cast<float>(ss / static_cast<double>(m - 1)) : var;
+      running_mean_.value[c] =
+          (1.0f - momentum_) * running_mean_.value[c] + momentum_ * mu;
+      running_var_.value[c] =
+          (1.0f - momentum_) * running_var_.value[c] + momentum_ * unbiased;
+    } else {
+      mu = running_mean_.value[c];
+      var = running_var_.value[c];
+    }
+
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    if (training) cached_inv_std_[c] = inv_std;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* chan = input.data() + (s * channels_ + c) * hw;
+      float* out_chan = out.data() + (s * channels_ + c) * hw;
+      float* xhat_chan = training
+                             ? cached_xhat_.data() + (s * channels_ + c) * hw
+                             : nullptr;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const float xhat = (chan[i] - mu) * inv_std;
+        if (xhat_chan) xhat_chan[i] = xhat;
+        out_chan[i] = g * xhat + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  HADFL_CHECK_MSG(last_forward_training_,
+                  "BatchNorm2d::backward requires a training-mode forward");
+  HADFL_CHECK_SHAPE(grad_output.shape() == cached_shape_,
+                    "BatchNorm2d backward got "
+                        << shape_to_string(grad_output.shape()) << ", expected "
+                        << shape_to_string(cached_shape_));
+  const std::size_t n = cached_shape_[0];
+  const std::size_t hw = cached_shape_[2] * cached_shape_[3];
+  const auto m = static_cast<float>(n * hw);
+
+  Tensor grad_input(cached_shape_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* dy = grad_output.data() + (s * channels_ + c) * hw;
+      const float* xhat = cached_xhat_.data() + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xhat[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value[c];
+    const float inv_std = cached_inv_std_[c];
+    const float mean_dy = static_cast<float>(sum_dy) / m;
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / m;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* dy = grad_output.data() + (s * channels_ + c) * hw;
+      const float* xhat = cached_xhat_.data() + (s * channels_ + c) * hw;
+      float* dx = grad_input.data() + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        dx[i] = g * inv_std * (dy[i] - mean_dy - xhat[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() {
+  return {&gamma_, &beta_, &running_mean_, &running_var_};
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,47 @@
+// Batch normalization over (N, C, H, W) per channel (BatchNorm2d) and over
+// (N, D) per feature (BatchNorm1d shares the implementation with H=W=1).
+//
+// Training mode normalizes with batch statistics (biased variance) and
+// updates the running estimates (unbiased variance) with the given momentum;
+// evaluation mode normalizes with the running estimates. Running statistics
+// are exposed as non-trainable parameters so federated aggregation averages
+// them alongside the weights (as averaging state_dicts does in practice).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  std::size_t channels() const { return channels_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  Parameter& running_mean() { return running_mean_; }
+  Parameter& running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;
+  Parameter beta_;
+  Parameter running_mean_;  ///< non-trainable buffer
+  Parameter running_var_;   ///< non-trainable buffer
+
+  // Caches from the last training forward, needed by backward.
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  Shape cached_shape_;
+  bool last_forward_training_ = false;
+};
+
+}  // namespace hadfl::nn

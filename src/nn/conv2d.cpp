@@ -1,0 +1,101 @@
+#include "nn/conv2d.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hadfl::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               bool use_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      use_bias_(use_bias),
+      weight_("weight",
+              Tensor({out_channels, in_channels * kernel * kernel})),
+      bias_("bias", Tensor({use_bias ? out_channels : 0})) {
+  HADFL_CHECK_ARG(in_channels > 0 && out_channels > 0 && kernel > 0,
+                  "Conv2d requires positive channel/kernel sizes");
+  HADFL_CHECK_ARG(stride > 0, "Conv2d stride must be positive");
+  weight_.fan_in = in_channels * kernel * kernel;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  HADFL_CHECK_SHAPE(input.ndim() == 4 && input.dim(1) == in_channels_,
+                    "Conv2d expects (N, " << in_channels_ << ", H, W), got "
+                                          << shape_to_string(input.shape()));
+  const std::size_t n = input.dim(0);
+  geom_ = ops::ConvGeometry{in_channels_, input.dim(2), input.dim(3),
+                            kernel_,      kernel_,      stride_,
+                            pad_};
+  geom_.validate();
+  const std::size_t rows = geom_.col_rows();
+  const std::size_t cols = geom_.col_cols();
+  cached_input_shape_ = input.shape();
+  cached_columns_ = Tensor({n, rows, cols});
+
+  Tensor out({n, out_channels_, geom_.out_h(), geom_.out_w()});
+  const std::size_t image_size = in_channels_ * input.dim(2) * input.dim(3);
+  for (std::size_t s = 0; s < n; ++s) {
+    float* columns = cached_columns_.data() + s * rows * cols;
+    ops::im2col(input.data() + s * image_size, geom_, columns);
+    float* out_s = out.data() + s * out_channels_ * cols;
+    ops::gemm(weight_.value.data(), columns, out_s, out_channels_, rows, cols);
+    if (use_bias_) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float b = bias_.value[c];
+        float* chan = out_s + c * cols;
+        for (std::size_t i = 0; i < cols; ++i) chan[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t n = cached_input_shape_.empty() ? 0 : cached_input_shape_[0];
+  HADFL_CHECK_MSG(n > 0, "Conv2d::backward called before forward");
+  const std::size_t rows = geom_.col_rows();
+  const std::size_t cols = geom_.col_cols();
+  HADFL_CHECK_SHAPE(
+      grad_output.ndim() == 4 && grad_output.dim(0) == n &&
+          grad_output.dim(1) == out_channels_ &&
+          grad_output.dim(2) == geom_.out_h() &&
+          grad_output.dim(3) == geom_.out_w(),
+      "Conv2d backward got " << shape_to_string(grad_output.shape()));
+
+  Tensor grad_input(cached_input_shape_);
+  const std::size_t image_size =
+      in_channels_ * cached_input_shape_[2] * cached_input_shape_[3];
+  std::vector<float> grad_columns(rows * cols);
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* gy = grad_output.data() + s * out_channels_ * cols;
+    const float* columns = cached_columns_.data() + s * rows * cols;
+    // dW += dY * columns^T   (dY is (outC, cols), columns is (rows, cols)).
+    ops::gemm_bt(gy, columns, weight_.grad.data(), out_channels_, cols, rows,
+                 1.0f, 1.0f);
+    if (use_bias_) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float* chan = gy + c * cols;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < cols; ++i) acc += chan[i];
+        bias_.grad[c] += acc;
+      }
+    }
+    // d columns = W^T dY, then fold back with col2im.
+    ops::gemm_at(weight_.value.data(), gy, grad_columns.data(), rows,
+                 out_channels_, cols);
+    ops::col2im(grad_columns.data(), geom_, grad_input.data() + s * image_size);
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (use_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace hadfl::nn

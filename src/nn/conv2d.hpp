@@ -1,0 +1,45 @@
+// 2-d convolution via im2col + GEMM.
+//
+// Input/output layout is (N, C, H, W). The weight is stored as
+// (out_channels, in_channels * kh * kw) so the per-sample forward is a
+// single GEMM against the unfolded patch matrix.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace hadfl::nn {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride = 1, std::size_t pad = 0,
+         bool use_bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Conv2d"; }
+
+  Parameter& weight() { return weight_; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  bool use_bias_;
+  Parameter weight_;
+  Parameter bias_;
+
+  ops::ConvGeometry geom_;        ///< geometry of the last forward
+  Tensor cached_columns_;         ///< (N, col_rows, col_cols) unfolded input
+  Shape cached_input_shape_;
+};
+
+}  // namespace hadfl::nn

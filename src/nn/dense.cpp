@@ -1,0 +1,55 @@
+#include "nn/dense.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hadfl::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_("weight", Tensor({in_features, out_features})),
+      bias_("bias", Tensor({out_features})) {
+  HADFL_CHECK_ARG(in_features > 0 && out_features > 0,
+                  "Dense requires positive feature counts");
+  weight_.fan_in = in_features;
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  HADFL_CHECK_SHAPE(input.ndim() == 2 && input.dim(1) == in_,
+                    "Dense expects (N, " << in_ << "), got "
+                                         << shape_to_string(input.shape()));
+  cached_input_ = input;
+  const std::size_t n = input.dim(0);
+  Tensor out({n, out_});
+  ops::gemm(input.data(), weight_.value.data(), out.data(), n, in_, out_);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::size_t n = cached_input_.dim(0);
+  HADFL_CHECK_SHAPE(grad_output.ndim() == 2 && grad_output.dim(0) == n &&
+                        grad_output.dim(1) == out_,
+                    "Dense backward got " << shape_to_string(grad_output.shape()));
+  // dW += X^T dY  (X is (n, in) stored row-major, so use gemm_at).
+  ops::gemm_at(cached_input_.data(), grad_output.data(), weight_.grad.data(),
+               in_, n, out_, 1.0f, 1.0f);
+  // db += column sums of dY.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = grad_output.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) bias_.grad[j] += row[j];
+  }
+  // dX = dY W^T.
+  Tensor grad_input({n, in_});
+  ops::gemm_bt(grad_output.data(), weight_.value.data(), grad_input.data(), n,
+               out_, in_);
+  return grad_input;
+}
+
+std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace hadfl::nn

@@ -1,0 +1,33 @@
+// Fully connected layer: y = x W + b, x of shape (N, in), W (in, out).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+class Dense : public Layer {
+ public:
+  /// Weights start zero; call an initializer (nn/initializers.hpp) or use
+  /// the model-zoo constructors which initialize everything.
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace hadfl::nn

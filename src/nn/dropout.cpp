@@ -1,0 +1,44 @@
+#include "nn/dropout.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  HADFL_CHECK_ARG(p >= 0.0 && p < 1.0,
+                  "dropout probability must be in [0, 1), got " << p);
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  cached_shape_ = input.shape();
+  last_forward_training_ = training;
+  if (!training || p_ == 0.0) {
+    mask_.clear();
+    return input;
+  }
+  const auto keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_.assign(input.numel(), 0.0f);
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    if (rng_.uniform() >= p_) {
+      mask_[i] = keep_scale;
+      out[i] = input[i] * keep_scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  HADFL_CHECK_SHAPE(grad_output.shape() == cached_shape_,
+                    "Dropout backward shape mismatch");
+  if (!last_forward_training_ || p_ == 0.0) return grad_output;
+  HADFL_CHECK_MSG(mask_.size() == grad_output.numel(),
+                  "Dropout backward before forward");
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = grad_output[i] * mask_[i];
+  }
+  return grad_input;
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,31 @@
+// Inverted dropout (used by VGG's classifier head in the original paper):
+// in training, each activation is zeroed with probability p and the
+// survivors are scaled by 1/(1-p); evaluation is the identity.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `p` in [0, 1): drop probability. The generator seeds this layer's own
+  /// deterministic stream.
+  explicit Dropout(double p, std::uint64_t seed = 0x0D0D0D0Dull);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  std::vector<float> mask_;  ///< 0 or 1/(1-p) per element of last forward
+  Shape cached_shape_;
+  bool last_forward_training_ = false;
+};
+
+}  // namespace hadfl::nn

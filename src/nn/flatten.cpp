@@ -1,0 +1,20 @@
+#include "nn/flatten.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  HADFL_CHECK_SHAPE(input.ndim() >= 2, "Flatten expects at least 2-d input");
+  cached_input_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  return input.reshaped({n, input.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  HADFL_CHECK_SHAPE(grad_output.numel() == shape_numel(cached_input_shape_),
+                    "Flatten backward size mismatch");
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,18 @@
+// Flatten (N, ...) -> (N, prod(...)).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace hadfl::nn

@@ -1,0 +1,24 @@
+#include "nn/initializers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+void he_normal(Parameter& weight, std::size_t fan_in, Rng& rng) {
+  HADFL_CHECK_ARG(fan_in > 0, "he_normal requires positive fan_in");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < weight.numel(); ++i) {
+    weight.value[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void initialize_model(Layer& model, Rng& rng) {
+  for (Parameter* p : model.parameters()) {
+    if (!p->trainable || p->fan_in == 0) continue;
+    he_normal(*p, p->fan_in, rng);
+  }
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,20 @@
+// Weight initialization.
+//
+// He (Kaiming) normal initialization for convolution / dense weights, as in
+// the ResNet paper the evaluation models follow. Biases, batch-norm betas
+// start at zero; batch-norm gammas at one (their constructors do that).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+/// He-normal: w ~ N(0, sqrt(2 / fan_in)).
+void he_normal(Parameter& weight, std::size_t fan_in, Rng& rng);
+
+/// Initializes every trainable parameter that declares a fan_in (dense and
+/// conv weights) with He-normal. Biases/betas stay zero; gammas stay 1.
+void initialize_model(Layer& model, Rng& rng);
+
+}  // namespace hadfl::nn

@@ -1,0 +1,65 @@
+// Layer abstraction for the from-scratch NN library.
+//
+// There is no autograd: every layer implements its own backward pass and
+// caches whatever it needs from the preceding forward call. The training
+// loop drives forward(batch) -> loss -> backward(grad) -> optimizer.step().
+//
+// Parameters carry their own gradient buffer. Non-trainable parameters
+// (batch-norm running statistics) participate in model synchronization /
+// aggregation but are skipped by optimizers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hadfl::nn {
+
+/// A named tensor owned by a layer, with an associated gradient buffer.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;          ///< same shape as value; zero for non-trainable
+  bool trainable = true;
+  std::size_t fan_in = 0;  ///< contraction width; set by layers that want
+                           ///< fan-in-scaled initialization
+
+  Parameter(std::string n, Tensor v, bool train = true)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(value.shape()),
+        trainable(train) {}
+
+  std::size_t numel() const { return value.numel(); }
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Abstract differentiable layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. `training` selects train-time behaviour
+  /// (batch statistics, dropout, ...). Implementations may cache activations
+  /// needed by backward; backward must be preceded by forward.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates `grad_output` (dL/d output) to dL/d input, accumulating
+  /// parameter gradients along the way.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All parameters (trainable and buffers), in a stable order.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace hadfl::nn

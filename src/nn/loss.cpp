@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<int>& targets) {
+  HADFL_CHECK_SHAPE(logits.ndim() == 2,
+                    "loss expects (N, classes) logits, got "
+                        << shape_to_string(logits.shape()));
+  const std::size_t n = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  HADFL_CHECK_ARG(targets.size() == n, "targets size " << targets.size()
+                                                       << " != batch " << n);
+  HADFL_CHECK_ARG(n > 0, "loss on empty batch");
+
+  probs_ = Tensor({n, classes});
+  targets_ = targets;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int t = targets[i];
+    HADFL_CHECK_ARG(t >= 0 && static_cast<std::size_t>(t) < classes,
+                    "target " << t << " out of range for " << classes
+                              << " classes");
+    const float* row = logits.data() + i * classes;
+    const float max_logit = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c]) - max_logit);
+    }
+    float* prow = probs_.data() + i * classes;
+    for (std::size_t c = 0; c < classes; ++c) {
+      prow[c] = static_cast<float>(
+          std::exp(static_cast<double>(row[c]) - max_logit) / denom);
+    }
+    // log-softmax of the target class, computed stably.
+    total -= static_cast<double>(row[t]) - max_logit - std::log(denom);
+  }
+  return total / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  HADFL_CHECK_MSG(probs_.numel() > 0, "loss backward before forward");
+  const std::size_t n = probs_.dim(0);
+  const std::size_t classes = probs_.dim(1);
+  Tensor grad = probs_;
+  const auto inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = grad.data() + i * classes;
+    row[static_cast<std::size_t>(targets_[i])] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) row[c] *= inv_n;
+  }
+  return grad;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& targets) {
+  HADFL_CHECK_SHAPE(logits.ndim() == 2, "accuracy expects (N, classes)");
+  const std::size_t n = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  HADFL_CHECK_ARG(targets.size() == n, "accuracy targets size mismatch");
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * classes;
+    const std::size_t pred = static_cast<std::size_t>(
+        std::max_element(row, row + classes) - row);
+    if (pred == static_cast<std::size_t>(targets[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,32 @@
+// Softmax cross-entropy loss with integer class targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hadfl::nn {
+
+/// Computes mean softmax cross-entropy over a batch of logits (N, classes)
+/// and produces the gradient with respect to the logits.
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns the mean loss. Caches softmax probabilities for backward().
+  double forward(const Tensor& logits, const std::vector<int>& targets);
+
+  /// Gradient of the mean loss w.r.t. the logits: (p - onehot) / N.
+  Tensor backward() const;
+
+  /// Probabilities from the last forward (N, classes).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> targets_;
+};
+
+/// Fraction of rows where argmax(logits) == target.
+double accuracy(const Tensor& logits, const std::vector<int>& targets);
+
+}  // namespace hadfl::nn

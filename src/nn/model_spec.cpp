@@ -1,0 +1,55 @@
+#include "nn/model_spec.hpp"
+
+namespace hadfl::nn {
+
+namespace {
+
+std::size_t conv_params(std::size_t in, std::size_t out, std::size_t k,
+                        bool bias = false) {
+  return in * out * k * k + (bias ? out : 0);
+}
+
+std::size_t bn_params(std::size_t channels) { return 2 * channels; }
+
+}  // namespace
+
+ModelSpec resnet18_spec() {
+  // CIFAR-style ResNet-18: 3x3 stem (3->64), stages (64, 128, 256, 512) of
+  // two basic blocks, 1x1 projection at each downsampling block, FC 512->10.
+  std::size_t p = 0;
+  p += conv_params(3, 64, 3) + bn_params(64);  // stem
+  const std::size_t widths[4] = {64, 128, 256, 512};
+  std::size_t in = 64;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::size_t w = widths[s];
+    // Block 1 (possibly downsampling with projection).
+    p += conv_params(in, w, 3) + bn_params(w);
+    p += conv_params(w, w, 3) + bn_params(w);
+    if (in != w) p += conv_params(in, w, 1) + bn_params(w);
+    // Block 2.
+    p += conv_params(w, w, 3) + bn_params(w);
+    p += conv_params(w, w, 3) + bn_params(w);
+    in = w;
+  }
+  p += 512 * 10 + 10;  // classifier
+  return {"ResNet-18", p};
+}
+
+ModelSpec vgg16_spec() {
+  // VGG-16 conv backbone + the CIFAR classifier (512 -> 512 -> 10).
+  std::size_t p = 0;
+  const std::size_t widths[5] = {64, 128, 256, 512, 512};
+  const std::size_t depth[5] = {2, 2, 3, 3, 3};
+  std::size_t in = 3;
+  for (std::size_t b = 0; b < 5; ++b) {
+    for (std::size_t d = 0; d < depth[b]; ++d) {
+      p += conv_params(in, widths[b], 3, /*bias=*/true) + bn_params(widths[b]);
+      in = widths[b];
+    }
+  }
+  p += 512 * 512 + 512;  // fc1
+  p += 512 * 10 + 10;    // classifier
+  return {"VGG-16", p};
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,29 @@
+// Full-size model metadata for analytic accounting.
+//
+// The communication-volume reproduction (paper §II-B and §III-D) prices
+// message sizes with the *true* parameter counts of ResNet-18 and VGG-16,
+// independent of the scaled models actually trained.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hadfl::nn {
+
+struct ModelSpec {
+  std::string name;
+  std::size_t parameters = 0;  ///< trainable parameter count
+  std::size_t bytes() const { return parameters * sizeof(float); }
+  double megabytes() const {
+    return static_cast<double>(bytes()) / (1024.0 * 1024.0);
+  }
+};
+
+/// ResNet-18 with a 10-class head (CIFAR-10): ~11.17 M parameters.
+ModelSpec resnet18_spec();
+
+/// VGG-16 with a 10-class head (CIFAR-10, conv backbone + 512-d classifier
+/// as commonly used for CIFAR): ~14.73 M parameters.
+ModelSpec vgg16_spec();
+
+}  // namespace hadfl::nn

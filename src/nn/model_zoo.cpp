@@ -1,0 +1,116 @@
+#include "nn/model_zoo.hpp"
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/initializers.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace hadfl::nn {
+
+const char* architecture_name(Architecture arch) {
+  switch (arch) {
+    case Architecture::kMlp: return "MLP";
+    case Architecture::kResNet18Lite: return "ResNet-18";
+    case Architecture::kVgg16Lite: return "VGG-16";
+  }
+  return "?";
+}
+
+std::unique_ptr<Sequential> make_mlp(const ModelConfig& config, Rng& rng) {
+  HADFL_CHECK_ARG(config.mlp_hidden > 0, "MLP hidden width must be positive");
+  const std::size_t in =
+      config.in_channels * config.image_size * config.image_size;
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Flatten>();
+  model->emplace<Dense>(in, config.mlp_hidden);
+  model->emplace<ReLU>();
+  model->emplace<Dense>(config.mlp_hidden, config.mlp_hidden);
+  model->emplace<ReLU>();
+  model->emplace<Dense>(config.mlp_hidden, config.num_classes);
+  initialize_model(*model, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_resnet18_lite(const ModelConfig& config,
+                                               Rng& rng) {
+  HADFL_CHECK_ARG(config.base_channels > 0, "base_channels must be positive");
+  HADFL_CHECK_ARG(config.image_size >= 8,
+                  "ResNet-18 lite needs image_size >= 8 (3 downsamples)");
+  const std::size_t b = config.base_channels;
+  auto model = std::make_unique<Sequential>();
+  // Stem (the CIFAR variant of ResNet-18: 3x3 stride-1 stem, no max-pool).
+  model->emplace<Conv2d>(config.in_channels, b, 3, 1, 1, /*use_bias=*/false);
+  model->emplace<BatchNorm2d>(b);
+  model->emplace<ReLU>();
+  // Four stages of two basic blocks each; stages 2-4 downsample by 2 and
+  // double the channel count, exactly the ResNet-18 layout.
+  model->emplace<ResidualBlock>(b, b, 1);
+  model->emplace<ResidualBlock>(b, b, 1);
+  model->emplace<ResidualBlock>(b, 2 * b, 2);
+  model->emplace<ResidualBlock>(2 * b, 2 * b, 1);
+  model->emplace<ResidualBlock>(2 * b, 4 * b, 2);
+  model->emplace<ResidualBlock>(4 * b, 4 * b, 1);
+  model->emplace<ResidualBlock>(4 * b, 8 * b, 2);
+  model->emplace<ResidualBlock>(8 * b, 8 * b, 1);
+  model->emplace<GlobalAvgPool>();
+  model->emplace<Dense>(8 * b, config.num_classes);
+  initialize_model(*model, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_vgg16_lite(const ModelConfig& config,
+                                            Rng& rng) {
+  HADFL_CHECK_ARG(config.base_channels > 0, "base_channels must be positive");
+  HADFL_CHECK_ARG(config.image_size >= 8,
+                  "VGG-16 lite needs image_size >= 8");
+  const std::size_t b = config.base_channels;
+  // VGG-16 conv plan: widths x block = (1b x2, 2b x2, 4b x3, 8b x3, 8b x3).
+  const std::size_t widths[5] = {b, 2 * b, 4 * b, 8 * b, 8 * b};
+  const std::size_t depth[5] = {2, 2, 3, 3, 3};
+
+  auto model = std::make_unique<Sequential>();
+  std::size_t channels = config.in_channels;
+  std::size_t spatial = config.image_size;
+  for (std::size_t block = 0; block < 5; ++block) {
+    for (std::size_t d = 0; d < depth[block]; ++d) {
+      model->emplace<Conv2d>(channels, widths[block], 3, 1, 1,
+                             /*use_bias=*/false);
+      model->emplace<BatchNorm2d>(widths[block]);
+      model->emplace<ReLU>();
+      channels = widths[block];
+    }
+    // Full VGG pools after every block; at reduced resolution we stop
+    // pooling once the spatial size reaches 2 so later blocks still see a
+    // non-degenerate feature map.
+    if (spatial >= 4) {
+      model->emplace<MaxPool2d>(2, 2);
+      spatial /= 2;
+    }
+  }
+  model->emplace<GlobalAvgPool>();
+  // VGG's classifier: two hidden FC layers then the output layer.
+  model->emplace<Dense>(channels, 4 * b);
+  model->emplace<ReLU>();
+  model->emplace<Dense>(4 * b, 4 * b);
+  model->emplace<ReLU>();
+  model->emplace<Dense>(4 * b, config.num_classes);
+  initialize_model(*model, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_model(Architecture arch,
+                                       const ModelConfig& config, Rng& rng) {
+  switch (arch) {
+    case Architecture::kMlp: return make_mlp(config, rng);
+    case Architecture::kResNet18Lite: return make_resnet18_lite(config, rng);
+    case Architecture::kVgg16Lite: return make_vgg16_lite(config, rng);
+  }
+  throw InvalidArgument("unknown architecture");
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,52 @@
+// Model constructors for the evaluation workloads.
+//
+// The paper trains ResNet-18 and VGG-16 on CIFAR-10. Full-size CNNs are not
+// tractable on CPU in a simulation sweep, so the zoo provides
+// *structure-faithful scaled variants*: identical block topology (ResNet-18's
+// 4 stages x 2 basic blocks; VGG-16's 13 conv + 3 FC layout) with reduced
+// channel widths and input resolution. The full-size parameter counts used
+// for communication-volume accounting live in nn/model_spec.hpp.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace hadfl::nn {
+
+/// Which evaluation architecture to instantiate.
+enum class Architecture { kMlp, kResNet18Lite, kVgg16Lite };
+
+const char* architecture_name(Architecture arch);
+
+struct ModelConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;   ///< square input H = W
+  std::size_t num_classes = 10;
+  std::size_t base_channels = 8; ///< width multiplier for the conv models
+  std::size_t mlp_hidden = 64;   ///< hidden width for the MLP
+};
+
+/// Simple 2-hidden-layer MLP over flattened images — used by fast tests and
+/// the quickstart example.
+std::unique_ptr<Sequential> make_mlp(const ModelConfig& config, Rng& rng);
+
+/// ResNet-18 topology: 3x3 stem, 4 stages of 2 basic residual blocks with
+/// channel doubling and stride-2 downsampling at stage entry, global average
+/// pool, linear classifier.
+std::unique_ptr<Sequential> make_resnet18_lite(const ModelConfig& config,
+                                               Rng& rng);
+
+/// VGG-16 topology: conv blocks of (2, 2, 3, 3, 3) 3x3 convolutions with
+/// 2x2 max-pooling between blocks (pooling stops when the spatial size
+/// reaches 2), global average pool, two hidden FC layers, classifier.
+std::unique_ptr<Sequential> make_vgg16_lite(const ModelConfig& config,
+                                            Rng& rng);
+
+/// Dispatch by architecture enum.
+std::unique_ptr<Sequential> make_model(Architecture arch,
+                                       const ModelConfig& config, Rng& rng);
+
+}  // namespace hadfl::nn

@@ -1,0 +1,79 @@
+#include "nn/optimizer.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  HADFL_CHECK_ARG(config_.learning_rate > 0.0, "learning rate must be positive");
+  HADFL_CHECK_ARG(config_.momentum >= 0.0 && config_.momentum < 1.0,
+                  "momentum must be in [0, 1)");
+  HADFL_CHECK_ARG(config_.weight_decay >= 0.0,
+                  "weight decay must be non-negative");
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    HADFL_CHECK_ARG(p != nullptr, "null parameter passed to Sgd");
+    velocity_.emplace_back(p->trainable ? p->numel() : 0, 0.0f);
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto mu = static_cast<float>(config_.momentum);
+  const auto wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (!p.trainable) continue;
+    auto& v = velocity_[i];
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      float g = p.grad[j] + wd * p.value[j];
+      if (mu > 0.0f) {
+        v[j] = mu * v[j] + g;
+        g = v[j];
+      }
+      p.value[j] -= lr * g;
+    }
+  }
+}
+
+void Sgd::step_and_zero() {
+  step();
+  zero_grad();
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+WarmupSchedule::WarmupSchedule(double base_lr, double warmup_lr,
+                               int warmup_epochs)
+    : base_lr_(base_lr), warmup_lr_(warmup_lr), warmup_epochs_(warmup_epochs) {
+  HADFL_CHECK_ARG(base_lr > 0.0 && warmup_lr > 0.0,
+                  "learning rates must be positive");
+  HADFL_CHECK_ARG(warmup_epochs >= 0, "warmup epochs must be non-negative");
+}
+
+double WarmupSchedule::lr_at_epoch(int epoch) const {
+  return epoch < warmup_epochs_ ? warmup_lr_ : base_lr_;
+}
+
+StepDecaySchedule::StepDecaySchedule(WarmupSchedule warmup, int step_epochs,
+                                     double decay_factor)
+    : warmup_(warmup),
+      step_epochs_(step_epochs),
+      decay_factor_(decay_factor) {
+  HADFL_CHECK_ARG(step_epochs > 0, "decay step must be positive");
+  HADFL_CHECK_ARG(decay_factor > 0.0 && decay_factor <= 1.0,
+                  "decay factor must be in (0, 1]");
+}
+
+double StepDecaySchedule::lr_at_epoch(int epoch) const {
+  if (epoch < warmup_.warmup_epochs()) return warmup_.lr_at_epoch(epoch);
+  const int steps = (epoch - warmup_.warmup_epochs()) / step_epochs_;
+  double lr = warmup_.base_lr();
+  for (int i = 0; i < steps; ++i) lr *= decay_factor_;
+  return lr;
+}
+
+}  // namespace hadfl::nn

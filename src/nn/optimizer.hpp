@@ -1,0 +1,76 @@
+// SGD optimizer with momentum and weight decay, plus the warm-up learning
+// rate schedule used by HADFL's mutual-negotiation phase (paper §III-B: a
+// small learning rate during the first E_warmup epochs stabilizes early
+// training; the main phase uses the configured base rate).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+};
+
+/// Stateful SGD over a fixed parameter set (momentum buffers are keyed by
+/// position, so the parameter list must not change between steps).
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdConfig config);
+
+  /// Applies one update using accumulated gradients, then the caller is
+  /// expected to zero gradients (or call step_and_zero).
+  void step();
+
+  void step_and_zero();
+
+  void zero_grad();
+
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  double learning_rate() const { return config_.learning_rate; }
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Two-phase learning-rate schedule: `warmup_lr` for the first
+/// `warmup_epochs` epochs (mutual negotiation), `base_lr` afterwards.
+class WarmupSchedule {
+ public:
+  WarmupSchedule(double base_lr, double warmup_lr, int warmup_epochs);
+
+  double lr_at_epoch(int epoch) const;
+
+  int warmup_epochs() const { return warmup_epochs_; }
+  double base_lr() const { return base_lr_; }
+
+ private:
+  double base_lr_;
+  double warmup_lr_;
+  int warmup_epochs_;
+};
+
+/// Step decay on top of the warm-up phase (the ResNet-paper recipe the
+/// evaluation models follow at full scale): lr = base * factor^floor(
+/// (epoch - warmup) / step_epochs) after warm-up.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(WarmupSchedule warmup, int step_epochs,
+                    double decay_factor);
+
+  double lr_at_epoch(int epoch) const;
+
+ private:
+  WarmupSchedule warmup_;
+  int step_epochs_;
+  double decay_factor_;
+};
+
+}  // namespace hadfl::nn

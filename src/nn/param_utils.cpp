@@ -1,0 +1,112 @@
+#include "nn/param_utils.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+std::size_t state_size(Layer& model) {
+  std::size_t n = 0;
+  for (const Parameter* p : model.parameters()) n += p->numel();
+  return n;
+}
+
+std::size_t gradient_size(Layer& model) {
+  std::size_t n = 0;
+  for (const Parameter* p : model.parameters()) {
+    if (p->trainable) n += p->numel();
+  }
+  return n;
+}
+
+std::size_t state_bytes(Layer& model) {
+  return state_size(model) * sizeof(float);
+}
+
+std::vector<float> get_state(Layer& model) {
+  std::vector<float> out;
+  out.reserve(state_size(model));
+  for (const Parameter* p : model.parameters()) {
+    const auto& v = p->value.storage();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+void set_state(Layer& model, std::span<const float> state) {
+  HADFL_CHECK_SHAPE(state.size() == state_size(model),
+                    "state size " << state.size() << " != model state size "
+                                  << state_size(model));
+  std::size_t offset = 0;
+  for (Parameter* p : model.parameters()) {
+    std::copy_n(state.data() + offset, p->numel(), p->value.data());
+    offset += p->numel();
+  }
+}
+
+std::vector<float> get_gradients(Layer& model) {
+  std::vector<float> out;
+  out.reserve(gradient_size(model));
+  for (const Parameter* p : model.parameters()) {
+    if (!p->trainable) continue;
+    const auto& g = p->grad.storage();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+void set_gradients(Layer& model, std::span<const float> grads) {
+  HADFL_CHECK_SHAPE(grads.size() == gradient_size(model),
+                    "gradient size " << grads.size()
+                                     << " != model gradient size "
+                                     << gradient_size(model));
+  std::size_t offset = 0;
+  for (Parameter* p : model.parameters()) {
+    if (!p->trainable) continue;
+    std::copy_n(grads.data() + offset, p->numel(), p->grad.data());
+    offset += p->numel();
+  }
+}
+
+void zero_gradients(Layer& model) {
+  for (Parameter* p : model.parameters()) p->zero_grad();
+}
+
+std::vector<float> weighted_average(
+    const std::vector<std::vector<float>>& states,
+    const std::vector<double>& weights) {
+  HADFL_CHECK_ARG(!states.empty(), "weighted_average of zero states");
+  HADFL_CHECK_ARG(states.size() == weights.size(),
+                  "states/weights count mismatch: " << states.size() << " vs "
+                                                    << weights.size());
+  const std::size_t n = states.front().size();
+  std::vector<double> acc(n, 0.0);
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    HADFL_CHECK_SHAPE(states[k].size() == n,
+                      "state " << k << " has size " << states[k].size()
+                               << ", expected " << n);
+    const double w = weights[k];
+    for (std::size_t i = 0; i < n; ++i) acc[i] += w * states[k][i];
+  }
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+std::vector<float> average(const std::vector<std::vector<float>>& states) {
+  HADFL_CHECK_ARG(!states.empty(), "average of zero states");
+  const double w = 1.0 / static_cast<double>(states.size());
+  return weighted_average(states, std::vector<double>(states.size(), w));
+}
+
+void mix_into(std::vector<float>& dst, std::span<const float> src, double w) {
+  HADFL_CHECK_SHAPE(dst.size() == src.size(), "mix_into size mismatch");
+  HADFL_CHECK_ARG(w >= 0.0 && w <= 1.0, "mix weight must be in [0,1], got " << w);
+  const auto wf = static_cast<float>(w);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = (1.0f - wf) * dst[i] + wf * src[i];
+  }
+}
+
+}  // namespace hadfl::nn

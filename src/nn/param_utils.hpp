@@ -1,0 +1,58 @@
+// Flat-vector views of a model's state — the unit of communication in every
+// training scheme in this repo. Aggregation (FedAvg / gossip / all-reduce)
+// operates on these flat vectors so it is model-architecture agnostic.
+//
+// Conventions:
+//  * "state"    = all parameters including non-trainable buffers (batch-norm
+//                 running statistics). Synchronizing models means exchanging
+//                 state vectors.
+//  * "gradient" = trainable parameters' gradients only — what the
+//                 distributed-training baseline all-reduces each iteration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+/// Total element count of the model state (params + buffers).
+std::size_t state_size(Layer& model);
+
+/// Total element count of trainable gradients.
+std::size_t gradient_size(Layer& model);
+
+/// Model size in bytes (float32 state) — the "M" of the paper's
+/// communication-volume analysis.
+std::size_t state_bytes(Layer& model);
+
+/// Copies all parameter values (including buffers) into one flat vector.
+std::vector<float> get_state(Layer& model);
+
+/// Writes a flat state vector back into the model. Size must match.
+void set_state(Layer& model, std::span<const float> state);
+
+/// Copies trainable gradients into one flat vector.
+std::vector<float> get_gradients(Layer& model);
+
+/// Overwrites trainable gradients from a flat vector. Size must match.
+void set_gradients(Layer& model, std::span<const float> grads);
+
+/// Zeroes all gradients.
+void zero_gradients(Layer& model);
+
+/// dst = sum_i weights[i] * states[i]; all states must have equal size and
+/// weights must match states in count. Used by every aggregation rule.
+std::vector<float> weighted_average(
+    const std::vector<std::vector<float>>& states,
+    const std::vector<double>& weights);
+
+/// Convenience uniform average.
+std::vector<float> average(const std::vector<std::vector<float>>& states);
+
+/// In-place mix: dst = (1 - w) * dst + w * src. Used when an unselected
+/// device integrates a received aggregate with its local model (§III-D).
+void mix_into(std::vector<float>& dst, std::span<const float> src, double w);
+
+}  // namespace hadfl::nn

@@ -1,0 +1,108 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  HADFL_CHECK_ARG(kernel_ > 0, "MaxPool2d kernel must be positive");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  HADFL_CHECK_SHAPE(input.ndim() == 4, "MaxPool2d expects (N, C, H, W), got "
+                                           << shape_to_string(input.shape()));
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  HADFL_CHECK_SHAPE(h >= kernel_ && w >= kernel_,
+                    "MaxPool2d kernel " << kernel_ << " larger than input "
+                                        << h << "x" << w);
+  const std::size_t oh = (h - kernel_) / stride_ + 1;
+  const std::size_t ow = (w - kernel_) / stride_ + 1;
+
+  cached_input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.numel(), 0);
+
+  std::size_t out_idx = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* chan = input.data() + (s * c + ch) * h * w;
+      const std::size_t chan_base = (s * c + ch) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t idx =
+                  (y * stride_ + ky) * w + (x * stride_ + kx);
+              if (chan[idx] > best) {
+                best = chan[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[out_idx] = best;
+          argmax_[out_idx] = chan_base + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  HADFL_CHECK_SHAPE(grad_output.numel() == argmax_.size(),
+                    "MaxPool2d backward size mismatch");
+  Tensor grad_input(cached_input_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  HADFL_CHECK_SHAPE(input.ndim() == 4, "GlobalAvgPool expects (N, C, H, W)");
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t hw = input.dim(2) * input.dim(3);
+  HADFL_CHECK_ARG(hw > 0, "GlobalAvgPool on empty spatial dims");
+  cached_input_shape_ = input.shape();
+  Tensor out({n, c});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* chan = input.data() + (s * c + ch) * hw;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < hw; ++i) acc += chan[i];
+      out[s * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const std::size_t n = cached_input_shape_[0];
+  const std::size_t c = cached_input_shape_[1];
+  const std::size_t hw = cached_input_shape_[2] * cached_input_shape_[3];
+  HADFL_CHECK_SHAPE(grad_output.ndim() == 2 && grad_output.dim(0) == n &&
+                        grad_output.dim(1) == c,
+                    "GlobalAvgPool backward got "
+                        << shape_to_string(grad_output.shape()));
+  Tensor grad_input(cached_input_shape_);
+  const auto scale = 1.0f / static_cast<float>(hw);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output[s * c + ch] * scale;
+      float* chan = grad_input.data() + (s * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) chan[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,36 @@
+// Pooling layers over (N, C, H, W).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+/// Max pooling with square kernel/stride, no padding. Backward routes each
+/// output gradient to the argmax input position.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  Shape cached_input_shape_;
+  std::vector<std::size_t> argmax_;  ///< flat input index per output element
+};
+
+/// Global average pooling: (N, C, H, W) -> (N, C).
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace hadfl::nn

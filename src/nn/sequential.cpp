@@ -1,0 +1,40 @@
+#include "nn/sequential.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  HADFL_CHECK_ARG(layer != nullptr, "Sequential::add(nullptr)");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  HADFL_CHECK_ARG(i < layers_.size(), "layer index " << i << " out of range");
+  return *layers_[i];
+}
+
+}  // namespace hadfl::nn

@@ -1,0 +1,36 @@
+// Sequential container — the model type used throughout the framework.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+/// Runs child layers in order; backward runs them in reverse.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for chained construction.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace hadfl::nn

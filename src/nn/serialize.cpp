@@ -1,0 +1,49 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'D', 'F', 'L'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_state(const std::string& path, const std::vector<float>& state) {
+  std::ofstream out(path, std::ios::binary);
+  HADFL_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = state.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(state.data()),
+            static_cast<std::streamsize>(state.size() * sizeof(float)));
+  HADFL_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+std::vector<float> load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HADFL_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  HADFL_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                  path << " is not a HADFL state file");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  HADFL_CHECK_MSG(in.good() && version == kVersion,
+                  "unsupported state file version " << version);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  HADFL_CHECK_MSG(in.good(), "truncated state file " << path);
+  std::vector<float> state(count);
+  in.read(reinterpret_cast<char*>(state.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  HADFL_CHECK_MSG(in.good(), "truncated state payload in " << path);
+  return state;
+}
+
+}  // namespace hadfl::nn

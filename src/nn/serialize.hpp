@@ -1,0 +1,19 @@
+// Binary (de)serialization of flat model state — used by the coordinator's
+// model manager for periodic backups (paper §III-A step 9).
+//
+// Format: magic "HDFL", u32 version, u64 element count, raw little-endian
+// float32 payload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hadfl::nn {
+
+/// Writes a state vector to `path`. Throws hadfl::Error on I/O failure.
+void save_state(const std::string& path, const std::vector<float>& state);
+
+/// Reads a state vector from `path`. Throws on I/O failure or bad header.
+std::vector<float> load_state(const std::string& path);
+
+}  // namespace hadfl::nn

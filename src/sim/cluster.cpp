@@ -1,0 +1,99 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+Cluster::Cluster(std::vector<DeviceSpec> devices, double base_iteration_time,
+                 std::uint64_t seed)
+    : devices_(std::move(devices)),
+      clocks_(devices_.size(), 0.0),
+      base_iteration_time_(base_iteration_time),
+      rng_(seed) {
+  HADFL_CHECK_ARG(!devices_.empty(), "cluster needs at least one device");
+  HADFL_CHECK_ARG(base_iteration_time > 0.0,
+                  "base iteration time must be positive");
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    HADFL_CHECK_ARG(devices_[i].id == i,
+                    "device ids must be dense 0..K-1; device " << i
+                        << " has id " << devices_[i].id);
+    HADFL_CHECK_ARG(devices_[i].compute_power > 0.0,
+                    "compute power must be positive");
+  }
+}
+
+const DeviceSpec& Cluster::device(DeviceId id) const {
+  HADFL_CHECK_ARG(id < devices_.size(), "device id " << id << " out of range");
+  return devices_[id];
+}
+
+SimTime Cluster::iteration_time(DeviceId id) const {
+  return base_iteration_time_ / device(id).compute_power;
+}
+
+SimTime Cluster::time(DeviceId id) const {
+  HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
+  return clocks_[id];
+}
+
+SimTime Cluster::max_time() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+double Cluster::sample_jitter_factor(DeviceId id) {
+  const DeviceSpec& spec = device(id);
+  if (spec.jitter_std <= 0.0) return 1.0;
+  // Multiplicative noise, clamped so time never goes backwards and a
+  // disturbed burst is at most ~4 sigma slower.
+  return std::clamp(1.0 + rng_.normal(0.0, spec.jitter_std), 0.25,
+                    1.0 + 4.0 * spec.jitter_std);
+}
+
+SimTime Cluster::advance_compute(DeviceId id, std::size_t iterations) {
+  SimTime duration = iteration_time(id) * static_cast<double>(iterations);
+  if (iterations > 0) duration *= sample_jitter_factor(id);
+  clocks_[id] += duration;
+  return duration;
+}
+
+void Cluster::advance(DeviceId id, SimTime duration) {
+  HADFL_CHECK_ARG(duration >= 0.0, "cannot advance by negative time");
+  HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
+  clocks_[id] += duration;
+}
+
+void Cluster::advance_to(DeviceId id, SimTime t) {
+  HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
+  clocks_[id] = std::max(clocks_[id], t);
+}
+
+SimTime Cluster::barrier(const std::vector<DeviceId>& ids) {
+  HADFL_CHECK_ARG(!ids.empty(), "barrier over empty device set");
+  SimTime t = 0.0;
+  for (DeviceId id : ids) t = std::max(t, time(id));
+  for (DeviceId id : ids) clocks_[id] = t;
+  return t;
+}
+
+SimTime Cluster::barrier_all() {
+  std::vector<DeviceId> all(devices_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return barrier(all);
+}
+
+bool Cluster::alive_now(DeviceId id) const {
+  return faults_.alive(id, time(id));
+}
+
+void Cluster::reset_clocks() {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+}
+
+void Cluster::set_bandwidth_scales(const std::vector<double>& scales) {
+  sim::set_bandwidth_scales(devices_, scales);
+}
+
+}  // namespace hadfl::sim

@@ -1,0 +1,84 @@
+// Cluster: per-device virtual clocks over heterogeneous device specs.
+//
+// The simulation uses Lamport-style per-device clocks instead of a central
+// event loop: compute advances a device's own clock; point-to-point
+// communication (src/comm) advances the receiver to the message arrival
+// time; barriers advance a set of devices to their max. This models the
+// paper's barrier-structured training rounds exactly while staying fully
+// deterministic.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/device.hpp"
+#include "sim/fault.hpp"
+#include "sim/time.hpp"
+
+namespace hadfl::sim {
+
+class Cluster {
+ public:
+  /// `base_iteration_time` is the virtual seconds one training iteration
+  /// (one mini-batch) takes on a power-1.0 device.
+  Cluster(std::vector<DeviceSpec> devices, double base_iteration_time,
+          std::uint64_t seed = 1);
+
+  std::size_t size() const { return devices_.size(); }
+  const DeviceSpec& device(DeviceId id) const;
+  const std::vector<DeviceSpec>& devices() const { return devices_; }
+
+  /// Deterministic per-iteration cost for a device (no jitter).
+  SimTime iteration_time(DeviceId id) const;
+
+  /// Current virtual clock of a device.
+  SimTime time(DeviceId id) const;
+
+  /// Latest clock across all devices (== global time at a barrier).
+  SimTime max_time() const;
+
+  /// Advance a device's clock by `iterations` compute steps. Jitter (if the
+  /// spec declares any) perturbs the *total* duration multiplicatively,
+  /// modelling OS / co-tenant interference per training burst. Returns the
+  /// elapsed virtual duration.
+  SimTime advance_compute(DeviceId id, std::size_t iterations);
+
+  /// Draws this burst's multiplicative compute-time disturbance for a
+  /// device: 1.0 when the spec has no jitter, otherwise clamped noise.
+  /// Exposed so deadline-bounded trainers (HADFL rounds) can decide how
+  /// many steps fit the window *before* running them.
+  double sample_jitter_factor(DeviceId id);
+
+  /// Advance a device's clock by an explicit duration (stall, timeout, ...).
+  void advance(DeviceId id, SimTime duration);
+
+  /// Set a device's clock to at least `t` (message arrival, barrier).
+  void advance_to(DeviceId id, SimTime t);
+
+  /// Barrier over a subset: everyone in `ids` jumps to the subset max.
+  SimTime barrier(const std::vector<DeviceId>& ids);
+
+  /// Barrier over all devices.
+  SimTime barrier_all();
+
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
+  /// True if the device is reachable at its own current time.
+  bool alive_now(DeviceId id) const;
+
+  /// Resets all clocks to zero (new experiment on the same cluster).
+  void reset_clocks();
+
+  /// Applies per-device link-speed scales (length must equal size()).
+  void set_bandwidth_scales(const std::vector<double>& scales);
+
+ private:
+  std::vector<DeviceSpec> devices_;
+  std::vector<SimTime> clocks_;
+  double base_iteration_time_;
+  FaultInjector faults_;
+  Rng rng_;
+};
+
+}  // namespace hadfl::sim

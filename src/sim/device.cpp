@@ -1,0 +1,55 @@
+#include "sim/device.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+std::vector<DeviceSpec> devices_from_ratio(const std::vector<double>& ratio,
+                                           double jitter_std) {
+  HADFL_CHECK_ARG(!ratio.empty(), "device ratio must be non-empty");
+  HADFL_CHECK_ARG(jitter_std >= 0.0, "jitter_std must be non-negative");
+  std::vector<DeviceSpec> specs;
+  specs.reserve(ratio.size());
+  for (std::size_t i = 0; i < ratio.size(); ++i) {
+    HADFL_CHECK_ARG(ratio[i] > 0.0,
+                    "compute power must be positive, got " << ratio[i]);
+    DeviceSpec spec;
+    spec.id = i;
+    spec.compute_power = ratio[i];
+    spec.jitter_std = jitter_std;
+    spec.name = "dev" + std::to_string(i);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void set_bandwidth_scales(std::vector<DeviceSpec>& devices,
+                          const std::vector<double>& scales) {
+  HADFL_CHECK_ARG(devices.size() == scales.size(),
+                  "bandwidth scales count mismatch: " << scales.size()
+                      << " for " << devices.size() << " devices");
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    HADFL_CHECK_ARG(scales[i] > 0.0,
+                    "bandwidth scale must be positive, got " << scales[i]);
+    devices[i].bandwidth_scale = scales[i];
+  }
+}
+
+std::string ratio_to_string(const std::vector<double>& ratio) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < ratio.size(); ++i) {
+    if (i) os << ',';
+    if (ratio[i] == static_cast<double>(static_cast<long long>(ratio[i]))) {
+      os << static_cast<long long>(ratio[i]);
+    } else {
+      os << ratio[i];
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace hadfl::sim

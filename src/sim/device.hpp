@@ -1,0 +1,42 @@
+// Heterogeneous device descriptions.
+//
+// A device's computing power is expressed relative to a power-1.0 reference
+// device whose training iteration takes `base_iteration_time` virtual
+// seconds. The paper encodes heterogeneity as integer ratios like [3,3,1,1]
+// ("computing power of GPU 0 is three times that of GPU 2/3").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hadfl::sim {
+
+using DeviceId = std::size_t;
+
+struct DeviceSpec {
+  DeviceId id = 0;
+  double compute_power = 1.0;    ///< relative speed; > 0
+  double jitter_std = 0.0;       ///< multiplicative lognormal-ish noise on
+                                 ///< per-round compute time (0 = none)
+  double bandwidth_scale = 1.0;  ///< this device's link speed relative to
+                                 ///< the network model's bandwidth (> 0);
+                                 ///< paper §VI future work: heterogeneous
+                                 ///< network bandwidth
+  std::string name;              ///< for traces; defaults to "dev<id>"
+};
+
+/// Builds K device specs from a power-ratio array such as {3,3,1,1}.
+std::vector<DeviceSpec> devices_from_ratio(const std::vector<double>& ratio,
+                                           double jitter_std = 0.0);
+
+/// Applies per-device link-speed scales (same length as the device list).
+void set_bandwidth_scales(std::vector<DeviceSpec>& devices,
+                          const std::vector<double>& scales);
+
+/// Human-readable "[3,3,1,1]" form of a ratio.
+std::string ratio_to_string(const std::vector<double>& ratio);
+
+}  // namespace hadfl::sim

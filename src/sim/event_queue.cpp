@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+void EventQueue::schedule(SimTime at, Callback fn) {
+  HADFL_CHECK_ARG(at >= now_, "cannot schedule event in the past (at=" << at
+                                  << ", now=" << now_ << ")");
+  HADFL_CHECK_ARG(fn != nullptr, "null event callback");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the callback (events are lightweight).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.fn(now_);
+  return true;
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace hadfl::sim

@@ -1,0 +1,53 @@
+// Generic discrete-event queue.
+//
+// The training loops use per-device clocks (sim/cluster.hpp); the event
+// queue serves components that need globally ordered timestamps — the
+// Fig. 1 timeline bench and the coordinator's liveness monitor tests.
+// Events at equal times pop in insertion order (stable).
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hadfl::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `fn` at absolute virtual time `at` (>= current time).
+  void schedule(SimTime at, Callback fn);
+
+  /// Runs events in time order until the queue is empty or `until` is
+  /// passed. Returns the number of events executed.
+  std::size_t run(SimTime until = 1e300);
+
+  /// Executes the single earliest event, if any. Returns whether one ran.
+  bool step();
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::size_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::size_t next_seq_ = 0;
+};
+
+}  // namespace hadfl::sim

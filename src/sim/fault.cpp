@@ -1,0 +1,33 @@
+#include "sim/fault.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+void FaultInjector::schedule(FaultEvent event) {
+  HADFL_CHECK_ARG(event.down_at >= 0.0, "fault time must be non-negative");
+  HADFL_CHECK_ARG(event.up_at > event.down_at,
+                  "fault recovery must come after the failure");
+  events_.push_back(event);
+}
+
+void FaultInjector::schedule_disconnect(DeviceId device, SimTime down_at) {
+  schedule(FaultEvent{device, down_at,
+                      std::numeric_limits<SimTime>::infinity()});
+}
+
+bool FaultInjector::alive(DeviceId device, SimTime t) const {
+  for (const auto& e : events_) {
+    if (e.device == device && t >= e.down_at && t < e.up_at) return false;
+  }
+  return true;
+}
+
+bool FaultInjector::fails_within(DeviceId device, SimTime t0, SimTime t1) const {
+  for (const auto& e : events_) {
+    if (e.device == device && e.down_at <= t1 && t0 < e.up_at) return true;
+  }
+  return false;
+}
+
+}  // namespace hadfl::sim

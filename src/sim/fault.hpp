@@ -1,0 +1,41 @@
+// Fault injection: scheduled device disconnects (paper §III-D).
+//
+// A fault is an interval [down_at, up_at) of virtual time during which a
+// device is unreachable. up_at may be infinity for a permanent failure.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/time.hpp"
+
+namespace hadfl::sim {
+
+struct FaultEvent {
+  DeviceId device = 0;
+  SimTime down_at = 0.0;
+  SimTime up_at = std::numeric_limits<SimTime>::infinity();
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  void schedule(FaultEvent event);
+  void schedule_disconnect(DeviceId device, SimTime down_at);
+
+  /// True if the device is reachable at virtual time `t`.
+  bool alive(DeviceId device, SimTime t) const;
+
+  /// True if the device is down at any point within [t0, t1].
+  bool fails_within(DeviceId device, SimTime t0, SimTime t1) const;
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace hadfl::sim

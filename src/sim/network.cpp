@@ -1,0 +1,17 @@
+#include "sim/network.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+SimTime NetworkModel::transfer_time(std::size_t bytes) const {
+  HADFL_CHECK_ARG(latency >= 0.0, "network latency must be non-negative");
+  HADFL_CHECK_ARG(bandwidth > 0.0, "network bandwidth must be positive");
+  return latency + static_cast<double>(bytes) / bandwidth;
+}
+
+NetworkModel NetworkModel::pcie3_x8() { return NetworkModel{5e-6, 7.88e9}; }
+
+NetworkModel NetworkModel::wan() { return NetworkModel{20e-3, 12.5e6}; }
+
+}  // namespace hadfl::sim

@@ -1,0 +1,29 @@
+// Link cost model.
+//
+// Transfers are priced as latency + bytes / bandwidth. The default models
+// the paper's testbed interconnect (PCIe 3.0 x8: ~7.88 GB/s effective,
+// microsecond-scale latency). Federated WAN settings can be modelled by
+// raising latency and dropping bandwidth (see the noniid example).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace hadfl::sim {
+
+struct NetworkModel {
+  double latency = 5e-6;            ///< seconds per message
+  double bandwidth = 7.88e9;        ///< bytes per second
+
+  /// Virtual seconds to move `bytes` across one link.
+  SimTime transfer_time(std::size_t bytes) const;
+
+  /// PCIe 3.0 x8 (the paper's testbed).
+  static NetworkModel pcie3_x8();
+
+  /// A wide-area federated link: 20 ms latency, 100 Mbit/s.
+  static NetworkModel wan();
+};
+
+}  // namespace hadfl::sim

@@ -1,0 +1,13 @@
+// Virtual time.
+//
+// The testbed is simulated: all reported durations are virtual seconds
+// advanced by compute/communication cost models, never wall-clock time.
+// The paper itself emulates heterogeneity with sleep(), so its timings are
+// equally synthetic; see DESIGN.md.
+#pragma once
+
+namespace hadfl::sim {
+
+using SimTime = double;  ///< virtual seconds
+
+}  // namespace hadfl::sim

@@ -1,0 +1,84 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kSync: return "sync";
+    case SpanKind::kIdle: return "idle";
+    case SpanKind::kBroadcast: return "broadcast";
+    case SpanKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(DeviceId device, SimTime start, SimTime end,
+                           SpanKind kind, std::string label) {
+  HADFL_CHECK_ARG(end >= start, "span ends before it starts");
+  spans_.push_back(Span{device, start, end, kind, std::move(label)});
+}
+
+std::vector<Span> TraceRecorder::spans_for(DeviceId device) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.device == device) out.push_back(s);
+  }
+  return out;
+}
+
+SimTime TraceRecorder::end_time() const {
+  SimTime t = 0.0;
+  for (const auto& s : spans_) t = std::max(t, s.end);
+  return t;
+}
+
+std::string TraceRecorder::render_timeline(std::size_t num_devices,
+                                           std::size_t columns) const {
+  HADFL_CHECK_ARG(columns > 0, "timeline needs at least one column");
+  const SimTime horizon = end_time();
+  std::string out;
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    std::string row(columns, '.');
+    for (const auto& s : spans_) {
+      if (s.device != d || horizon <= 0.0) continue;
+      auto col = [&](SimTime t) {
+        return std::min<std::size_t>(
+            columns - 1,
+            static_cast<std::size_t>(t / horizon *
+                                     static_cast<double>(columns)));
+      };
+      char c = '#';
+      switch (s.kind) {
+        case SpanKind::kCompute: c = '#'; break;
+        case SpanKind::kSync: c = 'S'; break;
+        case SpanKind::kBroadcast: c = 'B'; break;
+        case SpanKind::kIdle: c = '.'; break;
+        case SpanKind::kStall: c = 'x'; break;
+      }
+      for (std::size_t col_i = col(s.start); col_i <= col(s.end - 1e-12) &&
+                                             col_i < columns;
+           ++col_i) {
+        row[col_i] = c;
+      }
+    }
+    out += "dev" + std::to_string(d) + " |" + row + "|\n";
+  }
+  return out;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"device", "start", "end", "kind", "label"});
+  for (const auto& s : spans_) {
+    csv.row(std::vector<std::string>{
+        std::to_string(s.device), std::to_string(s.start),
+        std::to_string(s.end), span_kind_name(s.kind), s.label});
+  }
+}
+
+}  // namespace hadfl::sim

@@ -1,0 +1,78 @@
+#include "tensor/im2col.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::ops {
+
+void ConvGeometry::validate() const {
+  HADFL_CHECK_ARG(channels > 0 && height > 0 && width > 0,
+                  "conv geometry requires positive input dims");
+  HADFL_CHECK_ARG(kernel_h > 0 && kernel_w > 0, "conv kernel must be positive");
+  HADFL_CHECK_ARG(stride > 0, "conv stride must be positive");
+  HADFL_CHECK_ARG(height + 2 * pad >= kernel_h && width + 2 * pad >= kernel_w,
+                  "kernel " << kernel_h << "x" << kernel_w
+                            << " larger than padded input " << (height + 2 * pad)
+                            << "x" << (width + 2 * pad));
+}
+
+void im2col(const float* image, const ConvGeometry& g, float* columns) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    const float* chan = image + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = columns + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Signed arithmetic: padding can push source coordinates negative.
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            const bool inside = sy >= 0 && sx >= 0 &&
+                                sy < static_cast<std::ptrdiff_t>(g.height) &&
+                                sx < static_cast<std::ptrdiff_t>(g.width);
+            out[y * ow + x] =
+                inside ? chan[static_cast<std::size_t>(sy) * g.width +
+                              static_cast<std::size_t>(sx)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, const ConvGeometry& g, float* image) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    float* chan = image + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in = columns + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.height)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.width)) continue;
+            chan[static_cast<std::size_t>(sy) * g.width +
+                 static_cast<std::size_t>(sx)] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hadfl::ops

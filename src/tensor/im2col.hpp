@@ -1,0 +1,39 @@
+// im2col / col2im lowering for convolution.
+//
+// Conv2d forward becomes one GEMM over the unfolded input patches; the
+// backward data pass uses col2im to fold patch gradients back into the input
+// gradient. Layout conventions: images are (C, H, W) per sample; the column
+// matrix is (C*KH*KW, OH*OW).
+#pragma once
+
+#include <cstddef>
+
+namespace hadfl::ops {
+
+struct ConvGeometry {
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t kernel_h = 0;
+  std::size_t kernel_w = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (height + 2 * pad - kernel_h) / stride + 1; }
+  std::size_t out_w() const { return (width + 2 * pad - kernel_w) / stride + 1; }
+  std::size_t col_rows() const { return channels * kernel_h * kernel_w; }
+  std::size_t col_cols() const { return out_h() * out_w(); }
+
+  /// Validates that the kernel fits the (padded) image.
+  void validate() const;
+};
+
+/// Unfold one (C, H, W) image into the (C*KH*KW, OH*OW) column matrix.
+void im2col(const float* image, const ConvGeometry& g, float* columns);
+
+/// Fold a (C*KH*KW, OH*OW) column matrix back into a (C, H, W) image,
+/// accumulating overlapping contributions. `image` must be zeroed by the
+/// caller if accumulation from scratch is wanted.
+void col2im(const float* columns, const ConvGeometry& g, float* image);
+
+}  // namespace hadfl::ops

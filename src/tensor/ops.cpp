@@ -1,0 +1,112 @@
+#include "tensor/ops.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::ops {
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, float alpha, float beta) {
+  for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  // i-k-j order: the inner loop streams through contiguous rows of B and C,
+  // which vectorizes well without an explicit blocking scheme.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = alpha * a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, float alpha, float beta) {
+  for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, float alpha, float beta) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = alpha * acc + beta * crow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  HADFL_CHECK_SHAPE(a.ndim() == 2 && b.ndim() == 2,
+                    "matmul requires 2-d tensors, got "
+                        << shape_to_string(a.shape()) << " x "
+                        << shape_to_string(b.shape()));
+  HADFL_CHECK_SHAPE(a.dim(1) == b.dim(0),
+                    "matmul inner dims mismatch: " << shape_to_string(a.shape())
+                                                   << " x "
+                                                   << shape_to_string(b.shape()));
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  HADFL_CHECK_SHAPE(x.size() == y.size(),
+                    "axpy size mismatch: " << x.size() << " vs " << y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+namespace {
+template <typename F>
+Tensor elementwise(const Tensor& a, const Tensor& b, F f, const char* name) {
+  HADFL_CHECK_SHAPE(a.shape() == b.shape(),
+                    name << " shape mismatch: " << shape_to_string(a.shape())
+                         << " vs " << shape_to_string(b.shape()));
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = f(a[i], b[i]);
+  return out;
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, [](float x, float y) { return x + y; }, "add");
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+
+}  // namespace hadfl::ops

@@ -1,0 +1,48 @@
+// Numeric kernels over Tensor / raw float spans.
+//
+// GEMM is a straightforward blocked i-k-j loop; adequate for the scaled
+// models used in the experiments while keeping the code dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace hadfl::ops {
+
+/// C = alpha * A(m,k) * B(k,n) + beta * C(m,n).
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, float alpha = 1.0f, float beta = 0.0f);
+
+/// C = alpha * A^T(k,m) * B(k,n) + beta * C  (A stored as (k, m)).
+void gemm_at(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// C = alpha * A(m,k) * B^T(n,k) + beta * C  (B stored as (n, k)).
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// Tensor-level matmul; shapes (m,k) x (k,n) -> (m,n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scale(float alpha, std::span<float> x);
+
+/// Sum of all elements.
+double sum(std::span<const float> x);
+
+/// Squared L2 norm.
+double squared_norm(std::span<const float> x);
+
+/// Elementwise binary ops; shapes must match.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+}  // namespace hadfl::ops

@@ -1,0 +1,101 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  HADFL_CHECK_SHAPE(data_.size() == shape_numel(shape_),
+                    "data size " << data_.size() << " != numel of shape "
+                                 << shape_to_string(shape_));
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  HADFL_CHECK_ARG(axis < shape_.size(),
+                  "axis " << axis << " out of range for " << ndim() << "-d tensor");
+  return shape_[axis];
+}
+
+float& Tensor::at(std::size_t i) {
+  HADFL_CHECK_ARG(i < data_.size(), "index " << i << " out of range " << data_.size());
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  HADFL_CHECK_ARG(i < data_.size(), "index " << i << " out of range " << data_.size());
+  return data_[i];
+}
+
+float& Tensor::at2(std::size_t r, std::size_t c) {
+  HADFL_CHECK_SHAPE(ndim() == 2, "at2 on " << ndim() << "-d tensor");
+  HADFL_CHECK_ARG(r < shape_[0] && c < shape_[1],
+                  "(" << r << "," << c << ") out of range "
+                      << shape_to_string(shape_));
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at2(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  HADFL_CHECK_SHAPE(ndim() == 4, "at4 on " << ndim() << "-d tensor");
+  HADFL_CHECK_ARG(n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
+                  "(" << n << "," << c << "," << h << "," << w
+                      << ") out of range " << shape_to_string(shape_));
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  HADFL_CHECK_SHAPE(shape_numel(new_shape) == numel(),
+                    "cannot reshape " << shape_to_string(shape_) << " ("
+                                      << numel() << " elems) to "
+                                      << shape_to_string(new_shape));
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace hadfl

@@ -1,0 +1,80 @@
+// Dense float tensor with owning, contiguous, row-major storage.
+//
+// This is the numeric workhorse under the NN library. It is deliberately
+// simple: no views, no broadcasting, no autograd — layers implement their
+// own backward passes (src/nn). Value semantics throughout (copy copies the
+// buffer; move steals it), per C.20/C.61 of the Core Guidelines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hadfl {
+
+/// Shape of a tensor: a list of non-negative dimensions.
+using Shape = std::vector<std::size_t>;
+
+std::string shape_to_string(const Shape& shape);
+std::size_t shape_numel(const Shape& shape);
+
+/// Owning row-major float tensor.
+class Tensor {
+ public:
+  /// Empty 0-d tensor (numel() == 0 with empty shape is distinguished from
+  /// scalar; default tensors are mostly placeholders).
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Adopts the given data; data.size() must equal the shape's numel.
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked element access (linear index).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// 2-d indexed access; requires ndim() == 2.
+  float& at2(std::size_t r, std::size_t c);
+  float at2(std::size_t r, std::size_t c) const;
+
+  /// 4-d indexed access (N, C, H, W); requires ndim() == 4.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Reinterpret with a new shape of identical numel (contiguous reshape).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+
+  /// True if shapes are equal and all elements are within `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace hadfl

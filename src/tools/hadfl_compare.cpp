@@ -1,0 +1,137 @@
+// hadfl_compare — run every training scheme on one scenario and print a
+// side-by-side comparison (Table-I style), optionally dumping all
+// convergence curves to CSV.
+//
+// Examples:
+//   hadfl_compare --model=resnet18 --ratio=4,2,2,1
+//   hadfl_compare --model=mlp --epochs=12 --csv=compare.csv
+//
+// Options: a subset of hadfl_run's — --model, --ratio, --epochs, --scale,
+// --seed, --np, --tsync, --network, --jitter, --csv, --verbose.
+#include <iostream>
+
+#include "baselines/async_fedavg.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "exp/report.hpp"
+
+using namespace hadfl;
+
+namespace {
+
+const std::vector<std::string> kKnownOptions{
+    "model", "ratio", "epochs", "scale",   "seed", "np",
+    "tsync", "network", "jitter", "csv",   "verbose", "help"};
+
+nn::Architecture parse_model(const std::string& name) {
+  if (name == "mlp") return nn::Architecture::kMlp;
+  if (name == "resnet18") return nn::Architecture::kResNet18Lite;
+  if (name == "vgg16") return nn::Architecture::kVgg16Lite;
+  throw InvalidArgument("unknown --model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.has("help")) {
+      std::cout << "usage: hadfl_compare [--model=mlp|resnet18|vgg16]"
+                   " [--ratio=3,3,1,1]\n"
+                   "                     [--epochs=N] [--scale=S] [--seed=N]"
+                   " [--np=N] [--tsync=N]\n"
+                   "                     [--network=pcie|wan] [--jitter=S]"
+                   " [--csv=PATH] [--verbose]\n";
+      return 0;
+    }
+    const auto unknown = args.unknown_options(kKnownOptions);
+    if (!unknown.empty()) {
+      std::cerr << "unknown option --" << unknown.front() << "\n";
+      return 2;
+    }
+    if (args.has("verbose")) set_log_level(LogLevel::kInfo);
+
+    exp::Scenario s = exp::paper_scenario(
+        parse_model(args.get("model", "mlp")),
+        args.get_double_list("ratio", {3, 3, 1, 1}),
+        args.get_double("scale", 1.0),
+        static_cast<std::uint64_t>(args.get_int("seed", 7)));
+    s.train.total_epochs = args.get_int("epochs", 16);
+    s.jitter_std = args.get_double("jitter", 0.0);
+    s.hadfl.strategy.select_count =
+        static_cast<std::size_t>(args.get_int("np", 2));
+    s.hadfl.strategy.t_sync = args.get_int("tsync", 1);
+    if (args.get("network", "pcie") == "wan") {
+      s.network = sim::NetworkModel::wan();
+    }
+
+    exp::Environment env(s);
+    std::cout << "== hadfl_compare: " << s.name << ", "
+              << s.train.total_epochs << " epochs ==\n\nrunning 5 schemes"
+              << "...\n";
+
+    std::unique_ptr<CsvWriter> csv;
+    if (args.has("csv")) {
+      csv = std::make_unique<CsvWriter>(
+          args.get("csv"), std::vector<std::string>{
+                               "series", "epoch", "time", "train_loss",
+                               "test_loss", "test_acc"});
+    }
+
+    TextTable table({"scheme", "best acc", "time to best [s]",
+                     "total comm [MB]", "server [MB]"});
+    double hadfl_time = 0.0;
+    auto add = [&](const std::string& name, const fl::SchemeResult& r,
+                   std::size_t server_bytes) {
+      const exp::SchemeSummary sum = exp::summarize(r.metrics);
+      if (name == "hadfl") hadfl_time = sum.time_to_best;
+      table.add_row(
+          {name, TextTable::num(100.0 * sum.best_accuracy, 1) + "%",
+           TextTable::num(sum.time_to_best, 1),
+           TextTable::num(static_cast<double>(r.volume.total_sent() +
+                                              r.volume.total_received()) /
+                              (1024.0 * 1024.0), 0),
+           TextTable::num(static_cast<double>(server_bytes) /
+                              (1024.0 * 1024.0), 0)});
+      if (csv) r.metrics.append_csv_rows(*csv, name);
+    };
+
+    {
+      fl::SchemeContext ctx = env.context();
+      add("hadfl", core::run_hadfl(ctx, s.hadfl).scheme, 0);
+    }
+    {
+      fl::SchemeContext ctx = env.context();
+      add("distributed", baselines::run_distributed(ctx), 0);
+    }
+    {
+      fl::SchemeContext ctx = env.context();
+      add("decentralized-fedavg",
+          baselines::run_decentralized_fedavg(ctx), 0);
+    }
+    {
+      fl::SchemeContext ctx = env.context();
+      const auto r = baselines::run_central_fedavg(ctx);
+      add("central-fedavg", r.scheme, r.server_bytes);
+    }
+    {
+      fl::SchemeContext ctx = env.context();
+      const auto r = baselines::run_async_fedavg(ctx);
+      add("async-fedavg", r.scheme, r.server_bytes);
+    }
+
+    std::cout << table.render();
+    if (hadfl_time > 0.0) {
+      std::cout << "\n(times are virtual seconds; speedups vs HADFL follow"
+                   " from the time column)\n";
+    }
+    if (csv) std::cout << "curves written to " << csv->path() << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

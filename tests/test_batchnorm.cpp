@@ -1,0 +1,118 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+TEST(BatchNorm, TrainingNormalizesToZeroMeanUnitVar) {
+  BatchNorm2d bn(2);
+  Tensor x = testutil::random_tensor({4, 2, 3, 3}, 1, 2.0f);
+  Tensor y = bn.forward(x, /*training=*/true);
+  // Per-channel statistics of the output.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (std::size_t i = 0; i < 9; ++i) {
+        const float v = y.at4(s, c, i / 3, i % 3);
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    const double var = sq / count - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaScaleAndShift) {
+  BatchNorm2d bn(1);
+  bn.gamma().value[0] = 3.0f;
+  bn.beta().value[0] = -1.0f;
+  Tensor x = testutil::random_tensor({8, 1, 2, 2}, 2);
+  Tensor y = bn.forward(x, true);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i) sum += y[i];
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), -1.0, 1e-4);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToBatchStats) {
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  // Constant-ish distribution: mean 4, variance ~0.
+  Tensor x({16, 1, 2, 2}, 4.0f);
+  for (int i = 0; i < 20; ++i) bn.forward(x, true);
+  EXPECT_NEAR(bn.running_mean().value[0], 4.0f, 1e-3);
+  EXPECT_NEAR(bn.running_var().value[0], 0.0f, 1e-3);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean().value[0] = 2.0f;
+  bn.running_var().value[0] = 4.0f;
+  Tensor x({1, 1, 1, 2}, std::vector<float>{2.0f, 4.0f});
+  Tensor y = bn.forward(x, /*training=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-4);
+  EXPECT_NEAR(y[1], 1.0f, 1e-3);  // (4-2)/sqrt(4)
+}
+
+TEST(BatchNorm, EvalDoesNotUpdateRunningStats) {
+  BatchNorm2d bn(1);
+  const float before = bn.running_mean().value[0];
+  Tensor x = testutil::random_tensor({4, 1, 2, 2}, 3);
+  bn.forward(x, /*training=*/false);
+  EXPECT_EQ(bn.running_mean().value[0], before);
+}
+
+TEST(BatchNorm, InputGradientMatchesNumeric) {
+  BatchNorm2d bn(2);
+  bn.gamma().value[0] = 1.3f;
+  bn.gamma().value[1] = 0.7f;
+  Tensor x = testutil::random_tensor({3, 2, 2, 2}, 4);
+  EXPECT_LT(testutil::check_input_gradient(bn, x, 1e-2f), 5e-2);
+}
+
+TEST(BatchNorm, ParameterGradientsMatchNumeric) {
+  BatchNorm2d bn(2);
+  Tensor x = testutil::random_tensor({3, 2, 2, 2}, 5);
+  EXPECT_LT(testutil::check_parameter_gradients(bn, x, 1e-2f), 5e-2);
+}
+
+TEST(BatchNorm, RunningStatsAreNonTrainable) {
+  BatchNorm2d bn(3);
+  auto params = bn.parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_TRUE(params[0]->trainable);   // gamma
+  EXPECT_TRUE(params[1]->trainable);   // beta
+  EXPECT_FALSE(params[2]->trainable);  // running mean
+  EXPECT_FALSE(params[3]->trainable);  // running var
+}
+
+TEST(BatchNorm, BackwardRequiresTrainingForward) {
+  BatchNorm2d bn(1);
+  Tensor x({2, 1, 2, 2}, 1.0f);
+  bn.forward(x, /*training=*/false);
+  EXPECT_THROW(bn.backward(x), Error);
+}
+
+TEST(BatchNorm, RejectsBadConstruction) {
+  EXPECT_THROW(BatchNorm2d(0), InvalidArgument);
+  EXPECT_THROW(BatchNorm2d(1, -1.0f), InvalidArgument);
+  EXPECT_THROW(BatchNorm2d(1, 1e-5f, 0.0f), InvalidArgument);
+}
+
+TEST(BatchNorm, RejectsChannelMismatch) {
+  BatchNorm2d bn(2);
+  EXPECT_THROW(bn.forward(Tensor({1, 3, 2, 2}), true), ShapeError);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

@@ -1,0 +1,65 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+namespace {
+
+ArgParser parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(SplitCsvList, Basics) {
+  EXPECT_TRUE(split_csv_list("").empty());
+  EXPECT_EQ(split_csv_list("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split_csv_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_list(" a , b "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_csv_list("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ArgParser, KeyValueAndFlags) {
+  const ArgParser args = parse({"--scheme=hadfl", "--verbose", "input.txt"});
+  EXPECT_TRUE(args.has("scheme"));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("model"));
+  EXPECT_EQ(args.get("scheme"), "hadfl");
+  EXPECT_EQ(args.get("verbose"), "");
+  EXPECT_EQ(args.get("missing", "default"), "default");
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"input.txt"}));
+}
+
+TEST(ArgParser, NumericAccessors) {
+  const ArgParser args = parse({"--epochs=12", "--scale=0.5"});
+  EXPECT_EQ(args.get_int("epochs", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(ArgParser, RejectsNonNumeric) {
+  const ArgParser args = parse({"--epochs=twelve", "--scale=1.5"});
+  EXPECT_THROW(args.get_int("epochs", 0), InvalidArgument);
+  EXPECT_THROW(args.get_int("scale", 0), InvalidArgument);  // not integral
+}
+
+TEST(ArgParser, DoubleList) {
+  const ArgParser args = parse({"--ratio=3,3,1,1"});
+  EXPECT_EQ(args.get_double_list("ratio", {}),
+            (std::vector<double>{3, 3, 1, 1}));
+  EXPECT_EQ(args.get_double_list("missing", {2, 1}),
+            (std::vector<double>{2, 1}));
+  const ArgParser bad = parse({"--ratio=3,x"});
+  EXPECT_THROW(bad.get_double_list("ratio", {}), InvalidArgument);
+}
+
+TEST(ArgParser, UnknownOptionDetection) {
+  const ArgParser args = parse({"--scheme=hadfl", "--typo=1"});
+  const auto unknown = args.unknown_options({"scheme", "model"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace hadfl

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "comm/allreduce.hpp"
+#include "comm/broadcast.hpp"
+#include "comm/failure_detector.hpp"
+#include "comm/gossip.hpp"
+#include "comm/transport.hpp"
+#include "common/error.hpp"
+
+namespace hadfl::comm {
+namespace {
+
+sim::Cluster make_cluster(std::size_t k = 4) {
+  return sim::Cluster(
+      sim::devices_from_ratio(std::vector<double>(k, 1.0)), 0.1);
+}
+
+TEST(Transport, BlockingSendAdvancesBothEndpoints) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  cluster.advance(0, 1.0);
+  const SimTime done = t.send(0, 1, 500000);  // 0.5 s payload
+  EXPECT_NEAR(done, 1.0 + 0.001 + 0.5, 1e-9);
+  EXPECT_NEAR(cluster.time(0), done, 1e-9);
+  EXPECT_NEAR(cluster.time(1), done, 1e-9);
+  EXPECT_EQ(t.volume().sent[0], 500000u);
+  EXPECT_EQ(t.volume().received[1], 500000u);
+}
+
+TEST(Transport, RendezvousWaitsForLaterParty) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{0.0, 1e9});
+  cluster.advance(1, 5.0);  // receiver is busy until t=5
+  const SimTime done = t.send(0, 1, 0);
+  EXPECT_NEAR(done, 5.0, 1e-9);
+}
+
+TEST(Transport, NonblockingLeavesSenderClockAlone) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  cluster.advance(0, 2.0);
+  const SimTime arrival = t.send_nonblocking(0, 1, 1000000);
+  EXPECT_NEAR(arrival, 2.0 + 0.001 + 1.0, 1e-9);
+  EXPECT_NEAR(cluster.time(0), 2.0, 1e-9);  // unchanged
+  EXPECT_NEAR(cluster.time(1), arrival, 1e-9);
+}
+
+TEST(Transport, SendToDeadDeviceThrows) {
+  sim::Cluster cluster = make_cluster(2);
+  cluster.faults().schedule_disconnect(1, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  EXPECT_THROW(t.send(0, 1, 100), CommError);
+  EXPECT_THROW(t.send_nonblocking(0, 1, 100), CommError);
+}
+
+TEST(Transport, SendFromDeadDeviceThrows) {
+  sim::Cluster cluster = make_cluster(2);
+  cluster.faults().schedule_disconnect(0, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  EXPECT_THROW(t.send(0, 1, 100), CommError);
+}
+
+TEST(Transport, HandshakeAliveCostsTwoLatencies) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{0.01, 1e9});
+  EXPECT_TRUE(t.handshake(0, 1, 1.0));
+  EXPECT_NEAR(cluster.time(0), 0.02, 1e-9);
+}
+
+TEST(Transport, HandshakeDeadCostsTimeout) {
+  sim::Cluster cluster = make_cluster(2);
+  cluster.faults().schedule_disconnect(1, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{0.01, 1e9});
+  EXPECT_FALSE(t.handshake(0, 1, 0.5));
+  EXPECT_NEAR(cluster.time(0), 0.5, 1e-9);
+}
+
+TEST(Transport, SelfSendRejected) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{});
+  EXPECT_THROW(t.send(0, 0, 1), InvalidArgument);
+}
+
+TEST(Transport, AccountOnlyTouchesCounters) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{});
+  t.account(0, 1, 42);
+  t.account_external(1, 10, 20);
+  EXPECT_EQ(cluster.max_time(), 0.0);
+  EXPECT_EQ(t.volume().sent[0], 42u);
+  EXPECT_EQ(t.volume().received[1], 62u);
+  EXPECT_EQ(t.volume().sent[1], 10u);
+  EXPECT_EQ(t.volume().total_sent(), 52u);
+  t.reset_volume();
+  EXPECT_EQ(t.volume().total_sent(), 0u);
+}
+
+TEST(AllReduce, DurationFormula) {
+  sim::NetworkModel net{0.001, 1e6};
+  // K=4, 4 MB buffer -> chunk 1 MB, 6 steps of (1ms + 1s).
+  EXPECT_NEAR(ring_allreduce_duration(net, 4, 4000000), 6 * 1.001, 1e-9);
+  EXPECT_EQ(ring_allreduce_duration(net, 1, 1000), 0.0);
+}
+
+TEST(AllReduce, AverageIsExactMean) {
+  sim::Cluster cluster = make_cluster(3);
+  SimTransport t(cluster, sim::NetworkModel{});
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{4, 5, 6};
+  std::vector<float> c{7, 8, 9};
+  ring_allreduce_average(t, {0, 1, 2},
+                         {std::span<float>(a), std::span<float>(b),
+                          std::span<float>(c)});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a[i], 4.0f + static_cast<float>(i), 1e-6);
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(b[i], c[i]);
+  }
+}
+
+TEST(AllReduce, StartsAtSlowestParticipant) {
+  sim::Cluster cluster = make_cluster(2);
+  cluster.advance(1, 10.0);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e9});
+  std::vector<float> a{1};
+  std::vector<float> b{3};
+  const SimTime done = ring_allreduce_average(
+      t, {0, 1}, {std::span<float>(a), std::span<float>(b)});
+  EXPECT_GT(done, 10.0);
+  EXPECT_NEAR(cluster.time(0), done, 1e-12);
+}
+
+TEST(AllReduce, VolumeMatchesRingSchedule) {
+  sim::Cluster cluster = make_cluster(4);
+  SimTransport t(cluster, sim::NetworkModel{});
+  const std::size_t bytes = 4000;  // 1000 floats
+  simulate_ring_allreduce(t, {0, 1, 2, 3}, bytes);
+  // Each device sends 2*(K-1) chunks of ceil(bytes/K).
+  const std::size_t expected = 2 * 3 * 1000;
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(t.volume().sent[d], expected);
+    EXPECT_EQ(t.volume().received[d], expected);
+  }
+}
+
+TEST(AllReduce, DeadParticipantThrows) {
+  sim::Cluster cluster = make_cluster(3);
+  cluster.faults().schedule_disconnect(2, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{});
+  EXPECT_THROW(simulate_ring_allreduce(t, {0, 1, 2}, 100), CommError);
+}
+
+TEST(Gossip, SharesAllReduceSemantics) {
+  sim::Cluster cluster = make_cluster(2);
+  SimTransport t(cluster, sim::NetworkModel{});
+  std::vector<float> a{2};
+  std::vector<float> b{4};
+  gossip_ring_average(t, {0, 1}, {std::span<float>(a), std::span<float>(b)});
+  EXPECT_NEAR(a[0], 3.0f, 1e-6);
+  EXPECT_NEAR(gossip_ring_duration(sim::NetworkModel{0.001, 1e6}, 4, 4000000),
+              ring_allreduce_duration(sim::NetworkModel{0.001, 1e6}, 4,
+                                      4000000),
+              1e-12);
+}
+
+TEST(Broadcast, DeliversToAllLiveReceivers) {
+  sim::Cluster cluster = make_cluster(4);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  cluster.advance(0, 1.0);
+  const BroadcastResult r = broadcast_nonblocking(t, 0, {1, 2, 3}, 1000);
+  EXPECT_EQ(r.delivered.size(), 3u);
+  EXPECT_TRUE(r.unreachable.empty());
+  EXPECT_NEAR(r.last_arrival, 1.0 + 0.001 + 0.001, 1e-9);
+  EXPECT_NEAR(cluster.time(0), 1.0, 1e-9);  // sender non-blocking
+}
+
+TEST(Broadcast, SkipsDeadReceivers) {
+  sim::Cluster cluster = make_cluster(3);
+  cluster.faults().schedule_disconnect(2, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  const BroadcastResult r = broadcast_nonblocking(t, 0, {1, 2}, 100);
+  EXPECT_EQ(r.delivered, (std::vector<sim::DeviceId>{1}));
+  EXPECT_EQ(r.unreachable, (std::vector<sim::DeviceId>{2}));
+}
+
+TEST(RingRepair, HealthyRingUntouched) {
+  sim::Cluster cluster = make_cluster(3);
+  SimTransport t(cluster, sim::NetworkModel{});
+  const RingRepairResult r = repair_ring(t, {2, 0, 1});
+  EXPECT_EQ(r.ring, (std::vector<sim::DeviceId>{2, 0, 1}));
+  EXPECT_EQ(r.repairs, 0u);
+}
+
+TEST(RingRepair, BypassesDeadMember) {
+  sim::Cluster cluster = make_cluster(4);
+  cluster.faults().schedule_disconnect(2, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{1e-4, 1e9});
+  RingRepairConfig cfg;
+  const RingRepairResult r = repair_ring(t, {0, 1, 2, 3}, cfg);
+  EXPECT_EQ(r.ring, (std::vector<sim::DeviceId>{0, 1, 3}));
+  EXPECT_EQ(r.removed, (std::vector<sim::DeviceId>{2}));
+  EXPECT_EQ(r.repairs, 1u);
+  // The downstream neighbour (3) paid the wait + handshake timeout.
+  EXPECT_GE(cluster.time(3),
+            cfg.wait_before_handshake + cfg.handshake_timeout - 1e-9);
+}
+
+TEST(RingRepair, MultipleFailures) {
+  sim::Cluster cluster = make_cluster(5);
+  cluster.faults().schedule_disconnect(1, 0.0);
+  cluster.faults().schedule_disconnect(3, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{1e-4, 1e9});
+  const RingRepairResult r = repair_ring(t, {0, 1, 2, 3, 4});
+  EXPECT_EQ(r.ring, (std::vector<sim::DeviceId>{0, 2, 4}));
+  EXPECT_EQ(r.repairs, 2u);
+}
+
+TEST(RingRepair, AllDeadYieldsEmptyRing) {
+  sim::Cluster cluster = make_cluster(2);
+  cluster.faults().schedule_disconnect(0, 0.0);
+  cluster.faults().schedule_disconnect(1, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{1e-4, 1e9});
+  const RingRepairResult r = repair_ring(t, {0, 1});
+  EXPECT_TRUE(r.ring.empty());
+}
+
+TEST(RingRepair, TransientFaultSurvivesHandshake) {
+  // Device down only before the handshake fires: the handshake is sent
+  // after wait_before_handshake, by which time the device recovered.
+  sim::Cluster cluster = make_cluster(2);
+  cluster.faults().schedule(sim::FaultEvent{1, 0.0, 0.02});
+  SimTransport t(cluster, sim::NetworkModel{1e-4, 1e9});
+  RingRepairConfig cfg;
+  cfg.wait_before_handshake = 0.05;  // recovery happens inside the wait
+  const RingRepairResult r = repair_ring(t, {1, 0}, cfg);
+  EXPECT_EQ(r.ring.size(), 2u);
+  EXPECT_EQ(r.repairs, 0u);
+}
+
+// Property sweep: volume conservation (total sent == total received) across
+// ring sizes and payloads.
+class AllReduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllReduceSweep, VolumeConservedAndClocksEqual) {
+  const auto [k, kilobytes] = GetParam();
+  sim::Cluster cluster = make_cluster(static_cast<std::size_t>(k));
+  SimTransport t(cluster, sim::NetworkModel{1e-5, 1e9});
+  std::vector<sim::DeviceId> ids;
+  for (int i = 0; i < k; ++i) ids.push_back(static_cast<std::size_t>(i));
+  simulate_ring_allreduce(t, ids, static_cast<std::size_t>(kilobytes) * 1024);
+  EXPECT_EQ(t.volume().total_sent(), t.volume().total_received());
+  for (int i = 1; i < k; ++i) {
+    EXPECT_EQ(cluster.time(0), cluster.time(static_cast<std::size_t>(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllReduceSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                                            ::testing::Values(0, 1, 64,
+                                                              1024)));
+
+}  // namespace
+}  // namespace hadfl::comm

@@ -1,0 +1,89 @@
+// Tests for the remaining common-infrastructure pieces: the fork-join
+// helper, log levels, and trace CSV output.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "sim/trace.hpp"
+
+namespace hadfl {
+namespace {
+
+TEST(ParallelForEach, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  parallel_for_each(8, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForEach, ZeroAndOneAreInline) {
+  parallel_for_each(0, [](std::size_t) { FAIL() << "must not run"; });
+  int count = 0;
+  parallel_for_each(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelForEach, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for_each(4,
+                                 [](std::size_t i) {
+                                   if (i == 2) {
+                                     throw InvalidArgument("boom");
+                                   }
+                                 }),
+               InvalidArgument);
+}
+
+TEST(ParallelForEach, OtherTasksStillCompleteOnException) {
+  std::vector<std::atomic<int>> hits(4);
+  try {
+    parallel_for_each(4, [&](std::size_t i) {
+      ++hits[i];
+      if (i == 0) throw Error("first fails");
+    });
+    FAIL() << "expected throw";
+  } catch (const Error&) {
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Logging, LevelGatesMessages) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(saved);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(TraceCsv, WritesAllSpanFields) {
+  sim::TraceRecorder trace;
+  trace.record(0, 0.0, 1.5, sim::SpanKind::kCompute, "warmup");
+  trace.record(2, 1.5, 2.0, sim::SpanKind::kSync);
+  const std::string path = ::testing::TempDir() + "/hadfl_trace_test.csv";
+  trace.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("device,start,end,kind,label"), std::string::npos);
+  EXPECT_NE(content.find("compute,warmup"), std::string::npos);
+  EXPECT_NE(content.find("sync,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hadfl

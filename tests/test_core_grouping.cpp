@@ -1,0 +1,92 @@
+#include "core/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hadfl::core {
+namespace {
+
+sim::Cluster make_cluster(const std::vector<double>& ratio) {
+  return sim::Cluster(sim::devices_from_ratio(ratio), 1.0);
+}
+
+TEST(Grouping, DisabledYieldsSingleFlatGroup) {
+  sim::Cluster cluster = make_cluster({1, 2, 3, 4});
+  GroupingConfig cfg;  // group_size = 0
+  const DeviceGroups groups = make_groups(cluster, cfg);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<sim::DeviceId>{0, 1, 2, 3}));
+}
+
+TEST(Grouping, GroupSizeLargerThanClusterIsFlat) {
+  sim::Cluster cluster = make_cluster({1, 1});
+  GroupingConfig cfg;
+  cfg.group_size = 8;
+  EXPECT_EQ(make_groups(cluster, cfg).size(), 1u);
+}
+
+TEST(Grouping, EveryDeviceInExactlyOneGroup) {
+  sim::Cluster cluster = make_cluster({4, 3, 2, 1, 4, 3, 2, 1});
+  GroupingConfig cfg;
+  cfg.group_size = 4;
+  const DeviceGroups groups = make_groups(cluster, cfg);
+  EXPECT_EQ(groups.size(), 2u);
+  std::set<sim::DeviceId> seen;
+  for (const auto& g : groups) {
+    for (sim::DeviceId id : g) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Grouping, GroupsArePowerBalanced) {
+  // Two fast (8) and two slow (1): each group should get one of each.
+  sim::Cluster cluster = make_cluster({8, 8, 1, 1});
+  GroupingConfig cfg;
+  cfg.group_size = 2;
+  const DeviceGroups groups = make_groups(cluster, cfg);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& g : groups) {
+    double power = 0.0;
+    for (sim::DeviceId id : g) power += cluster.device(id).compute_power;
+    EXPECT_NEAR(power, 9.0, 1e-9);
+  }
+}
+
+TEST(Grouping, SizesDifferByAtMostOne) {
+  sim::Cluster cluster = make_cluster({1, 1, 1, 1, 1, 1, 1});
+  GroupingConfig cfg;
+  cfg.group_size = 3;
+  const DeviceGroups groups = make_groups(cluster, cfg);
+  ASSERT_EQ(groups.size(), 3u);
+  std::size_t min_size = 100;
+  std::size_t max_size = 0;
+  for (const auto& g : groups) {
+    min_size = std::min(min_size, g.size());
+    max_size = std::max(max_size, g.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(Grouping, RejectsBadInterGroupPeriod) {
+  sim::Cluster cluster = make_cluster({1, 1, 1, 1});
+  GroupingConfig cfg;
+  cfg.group_size = 2;
+  cfg.inter_group_period = 0;
+  EXPECT_THROW(make_groups(cluster, cfg), InvalidArgument);
+}
+
+TEST(Grouping, GroupMembersSorted) {
+  sim::Cluster cluster = make_cluster({1, 5, 2, 4, 3, 6});
+  GroupingConfig cfg;
+  cfg.group_size = 3;
+  for (const auto& g : make_groups(cluster, cfg)) {
+    EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  }
+}
+
+}  // namespace
+}  // namespace hadfl::core

@@ -1,0 +1,102 @@
+#include "core/version_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hadfl::core {
+namespace {
+
+TEST(VersionPredictor, RejectsBadAlpha) {
+  EXPECT_THROW(VersionPredictor(0.0), InvalidArgument);
+  EXPECT_THROW(VersionPredictor(1.0), InvalidArgument);
+  EXPECT_THROW(VersionPredictor(-0.5), InvalidArgument);
+}
+
+TEST(VersionPredictor, PredictBeforeObserveThrows) {
+  VersionPredictor p(0.5);
+  EXPECT_THROW(p.predict(), Error);
+}
+
+TEST(VersionPredictor, FirstObservationIsFlatForecast) {
+  VersionPredictor p(0.5);
+  p.observe(10.0);
+  EXPECT_NEAR(p.predict(0), 10.0, 1e-12);
+  EXPECT_NEAR(p.predict(1), 10.0, 1e-12);  // zero trend initially
+  EXPECT_NEAR(p.trend(), 0.0, 1e-12);
+}
+
+TEST(VersionPredictor, ConvergesToLinearTrend) {
+  // DES tracks a perfectly linear series v_j = 5j asymptotically exactly.
+  VersionPredictor p(0.5);
+  for (int j = 0; j < 60; ++j) p.observe(5.0 * j);
+  EXPECT_NEAR(p.trend(), 5.0, 1e-3);
+  EXPECT_NEAR(p.predict(1), 5.0 * 60, 0.05);
+  EXPECT_NEAR(p.predict(3), 5.0 * 62, 0.1);
+}
+
+TEST(VersionPredictor, ConstantSeriesPredictsConstant) {
+  VersionPredictor p(0.3);
+  for (int j = 0; j < 20; ++j) p.observe(42.0);
+  EXPECT_NEAR(p.predict(1), 42.0, 1e-9);
+  EXPECT_NEAR(p.trend(), 0.0, 1e-9);
+}
+
+TEST(VersionPredictor, HighAlphaTracksRecentFaster) {
+  // After a level shift, a larger alpha adapts more quickly.
+  VersionPredictor slow(0.2);
+  VersionPredictor fast(0.8);
+  for (int j = 0; j < 10; ++j) {
+    slow.observe(0.0);
+    fast.observe(0.0);
+  }
+  slow.observe(100.0);
+  fast.observe(100.0);
+  EXPECT_GT(fast.predict(1), slow.predict(1));
+}
+
+TEST(VersionPredictor, MatchesHandComputedRecursion) {
+  // alpha = 0.5: after init at v0 = 2, observe v1 = 6:
+  //   s1 = .5*6 + .5*2 = 4; s2 = .5*4 + .5*2 = 3
+  //   a = 2*4 - 3 = 5; b = 1 * (4 - 3) = 1; forecast(1) = 6.
+  VersionPredictor p(0.5);
+  p.observe(2.0);
+  p.observe(6.0);
+  EXPECT_NEAR(p.predict(1), 6.0, 1e-12);
+  EXPECT_NEAR(p.predict(0), 5.0, 1e-12);
+  EXPECT_NEAR(p.trend(), 1.0, 1e-12);
+}
+
+TEST(VersionPredictor, NegativeHorizonRejected) {
+  VersionPredictor p(0.5);
+  p.observe(1.0);
+  EXPECT_THROW(p.predict(-1), InvalidArgument);
+}
+
+TEST(VersionPredictor, ObservationCount) {
+  VersionPredictor p(0.5);
+  EXPECT_EQ(p.observations(), 0u);
+  p.observe(1.0);
+  p.observe(2.0);
+  EXPECT_EQ(p.observations(), 2u);
+  EXPECT_DOUBLE_EQ(p.alpha(), 0.5);
+}
+
+// Property sweep: forecasts of linear ramps converge for any alpha/slope.
+class PredictorSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PredictorSweep, LinearRampConvergence) {
+  const auto [alpha, slope] = GetParam();
+  VersionPredictor p(alpha);
+  for (int j = 0; j < 200; ++j) p.observe(slope * j + 7.0);
+  EXPECT_NEAR(p.predict(1), slope * 200 + 7.0, std::abs(slope) * 0.05 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredictorSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(-3.0, 0.0, 1.0, 12.0)));
+
+}  // namespace
+}  // namespace hadfl::core

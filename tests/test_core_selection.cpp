@@ -1,0 +1,182 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace hadfl::core {
+namespace {
+
+TEST(GaussianQuartile, ProbabilitiesNormalized) {
+  const std::vector<double> versions{10, 20, 30, 40};
+  const auto probs = GaussianQuartileSelection::probabilities(versions);
+  double sum = 0.0;
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GaussianQuartile, PeaksNearThirdQuartile) {
+  // Versions 0..9: Q3 = 6.75. Device with version 7 should be most likely.
+  std::vector<double> versions;
+  for (int i = 0; i < 10; ++i) versions.push_back(i);
+  const auto probs = GaussianQuartileSelection::probabilities(versions);
+  const auto best =
+      std::max_element(probs.begin(), probs.end()) - probs.begin();
+  EXPECT_EQ(best, 7);
+}
+
+TEST(GaussianQuartile, MedialBeatsNewest) {
+  // Paper: "devices owning medial versions have a greater probability of
+  // being selected, rather than the devices that have the latest".
+  const std::vector<double> versions{1, 5, 8, 10};
+  const auto probs = GaussianQuartileSelection::probabilities(versions);
+  // Q3 = 8.5: version 8 beats version 10.
+  EXPECT_GT(probs[2], probs[3]);
+}
+
+TEST(GaussianQuartile, StragglersKeepNonzeroProbability) {
+  const std::vector<double> versions{1, 100, 100, 100};
+  const auto probs = GaussianQuartileSelection::probabilities(versions);
+  EXPECT_GT(probs[0], 0.0);
+  EXPECT_LT(probs[0], probs[1]);
+}
+
+TEST(GaussianQuartile, EqualVersionsUniform) {
+  const std::vector<double> versions{5, 5, 5};
+  const auto probs = GaussianQuartileSelection::probabilities(versions);
+  for (double p : probs) EXPECT_NEAR(p, 1.0 / 3.0, 1e-9);
+}
+
+TEST(GaussianQuartile, ScaleInvarianceWithAutoScale) {
+  // Auto scaling makes the ranking invariant to the version units
+  // (iterations vs epochs).
+  std::vector<double> versions{2, 4, 7, 9};
+  std::vector<double> scaled;
+  for (double v : versions) scaled.push_back(1000.0 * v);
+  const auto a = GaussianQuartileSelection::probabilities(versions);
+  const auto b = GaussianQuartileSelection::probabilities(scaled);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(GaussianQuartile, SelectionFollowsProbabilities) {
+  GaussianQuartileSelection policy;
+  SelectionContext ctx;
+  ctx.versions = {0, 6, 7, 8};
+  ctx.compute_powers = {1, 1, 1, 1};
+  ctx.select_count = 1;
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[policy.select(ctx, rng)[0]];
+  // Straggler (version 0) selected least but not never.
+  EXPECT_GT(counts[0], 0);
+  EXPECT_LT(counts[0], counts[2]);
+}
+
+TEST(GaussianQuartile, SelectsDistinctDevices) {
+  GaussianQuartileSelection policy;
+  SelectionContext ctx;
+  ctx.versions = {1, 2, 3, 4, 5};
+  ctx.select_count = 3;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const auto picks = policy.select(ctx, rng);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(Uniform, AllDevicesEquallyLikely) {
+  UniformSelection policy;
+  SelectionContext ctx;
+  ctx.versions = {0, 1000, 2000};
+  ctx.select_count = 1;
+  Rng rng(17);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 9000;
+  for (int i = 0; i < kN; ++i) ++counts[policy.select(ctx, rng)[0]];
+  for (int c : counts) EXPECT_NEAR(c, kN / 3, kN / 20);
+}
+
+TEST(TopK, PicksHighestVersions) {
+  TopKSelection policy;
+  SelectionContext ctx;
+  ctx.versions = {5, 9, 1, 7};
+  ctx.select_count = 2;
+  Rng rng(19);
+  const auto picks = policy.select(ctx, rng);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(WorstCase, PicksLowestComputePower) {
+  WorstCaseSelection policy;
+  SelectionContext ctx;
+  ctx.versions = {100, 100, 1, 1};
+  ctx.compute_powers = {3, 3, 1, 1};
+  ctx.select_count = 2;
+  Rng rng(23);
+  const auto picks = policy.select(ctx, rng);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(WorstCase, RequiresComputePowers) {
+  WorstCaseSelection policy;
+  SelectionContext ctx;
+  ctx.versions = {1, 2};
+  ctx.select_count = 1;
+  Rng rng(29);
+  EXPECT_THROW(policy.select(ctx, rng), InvalidArgument);
+}
+
+TEST(SelectionPolicy, ValidatesContext) {
+  GaussianQuartileSelection policy;
+  Rng rng(31);
+  SelectionContext empty;
+  EXPECT_THROW(policy.select(empty, rng), InvalidArgument);
+  SelectionContext oversized;
+  oversized.versions = {1.0};
+  oversized.select_count = 2;
+  EXPECT_THROW(policy.select(oversized, rng), InvalidArgument);
+}
+
+TEST(SelectionFactory, CreatesAllPolicies) {
+  EXPECT_EQ(make_selection_policy("gaussian-quartile")->name(),
+            "gaussian-quartile");
+  EXPECT_EQ(make_selection_policy("uniform")->name(), "uniform");
+  EXPECT_EQ(make_selection_policy("top-k")->name(), "top-k");
+  EXPECT_EQ(make_selection_policy("worst-case")->name(), "worst-case");
+  EXPECT_THROW(make_selection_policy("nope"), InvalidArgument);
+}
+
+// Property sweep: for any population/selection size, the Gaussian policy
+// returns the requested number of distinct, in-range indices.
+class SelectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SelectionSweep, DistinctInRangePicks) {
+  const auto [n, np] = GetParam();
+  if (np > n) GTEST_SKIP();
+  GaussianQuartileSelection policy;
+  SelectionContext ctx;
+  for (int i = 0; i < n; ++i) ctx.versions.push_back(i * 3.0);
+  ctx.select_count = static_cast<std::size_t>(np);
+  Rng rng(static_cast<std::uint64_t>(n * 100 + np));
+  const auto picks = policy.select(ctx, rng);
+  EXPECT_EQ(picks.size(), static_cast<std::size_t>(np));
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), picks.size());
+  for (std::size_t p : picks) EXPECT_LT(p, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SelectionSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace hadfl::core

@@ -1,0 +1,163 @@
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hadfl::core {
+namespace {
+
+StrategyGenerator make_generator(int t_sync = 1) {
+  StrategyConfig cfg;
+  cfg.t_sync = t_sync;
+  return StrategyGenerator(cfg);
+}
+
+TEST(Strategy, ConfigValidation) {
+  StrategyConfig bad;
+  bad.t_sync = 0;
+  EXPECT_THROW(StrategyGenerator{bad}, InvalidArgument);
+  bad = StrategyConfig{};
+  bad.select_count = 0;
+  EXPECT_THROW(StrategyGenerator{bad}, InvalidArgument);
+  bad = StrategyConfig{};
+  bad.lcm_cap_factor = 0.5;
+  EXPECT_THROW(StrategyGenerator{bad}, InvalidArgument);
+}
+
+TEST(Strategy, HyperperiodIntegerRatios) {
+  // Paper [3,3,1,1]: epoch times [T, T, 3T, 3T] -> H = 3T.
+  const StrategyGenerator gen = make_generator();
+  EXPECT_NEAR(gen.compute_hyperperiod({1.0, 1.0, 3.0, 3.0}), 3.0, 1e-9);
+  // Paper [4,2,2,1]: epoch times [T, 2T, 2T, 4T] -> H = 4T.
+  EXPECT_NEAR(gen.compute_hyperperiod({0.25, 0.5, 0.5, 1.0}), 1.0, 1e-9);
+}
+
+TEST(Strategy, HyperperiodCoprimeRatios) {
+  // 2T and 3T -> 6T.
+  const StrategyGenerator gen = make_generator();
+  EXPECT_NEAR(gen.compute_hyperperiod({2.0, 3.0}), 6.0, 1e-9);
+}
+
+TEST(Strategy, HyperperiodToleratesMeasurementNoise) {
+  // Measured epoch times within a few percent of integer ratios still snap
+  // to the exact hyperperiod.
+  const StrategyGenerator gen = make_generator();
+  EXPECT_NEAR(gen.compute_hyperperiod({1.02, 0.99, 2.96, 3.05}), 3.0, 0.15);
+}
+
+TEST(Strategy, HyperperiodFallbackIsBounded) {
+  // Irrational-ish ratios would blow up the exact LCM; the fallback caps at
+  // the slowest epoch time.
+  const StrategyGenerator gen = make_generator();
+  const double h = gen.compute_hyperperiod({1.0, 1.618033988, 2.718281828});
+  EXPECT_LE(h, 16.0 * 2.718281828 + 1e-9);
+  EXPECT_GE(h, 2.718281828 - 1e-9);
+}
+
+TEST(Strategy, LocalStepsFillTheWindowExactly) {
+  // [3,3,1,1] with 4 iterations per epoch: window = 3 * slow epoch time.
+  // Fast devices (power 3, epoch 1s) fit 3 epochs = 12 iterations; slow fit
+  // 4 iterations.
+  const StrategyGenerator gen = make_generator();
+  const TrainingStrategy s =
+      gen.generate({1.0, 1.0, 3.0, 3.0}, {4, 4, 4, 4});
+  EXPECT_NEAR(s.hyperperiod, 3.0, 1e-9);
+  EXPECT_NEAR(s.round_window, 3.0, 1e-9);
+  EXPECT_EQ(s.local_steps, (std::vector<std::size_t>{12, 12, 4, 4}));
+  EXPECT_NEAR(s.epochs_per_window[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.epochs_per_window[2], 1.0, 1e-9);
+}
+
+TEST(Strategy, TsyncScalesWindow) {
+  const StrategyGenerator gen = make_generator(/*t_sync=*/2);
+  const TrainingStrategy s = gen.generate({1.0, 2.0}, {4, 4});
+  EXPECT_NEAR(s.round_window, 4.0, 1e-9);
+  EXPECT_EQ(s.local_steps, (std::vector<std::size_t>{16, 8}));
+}
+
+TEST(Strategy, StepsNeverZero) {
+  // A device slower than the window still gets one step (its effort is not
+  // discarded).
+  StrategyConfig cfg;
+  cfg.lcm_cap_factor = 1.0;  // force fallback H = d_max
+  const StrategyGenerator tight{cfg};
+  const TrainingStrategy s = tight.generate({0.001, 5.0}, {1, 1});
+  EXPECT_GE(s.local_steps[1], 1u);
+}
+
+TEST(Strategy, ExpectedVersionsMatchLocalSteps) {
+  const StrategyGenerator gen = make_generator();
+  const TrainingStrategy s = gen.generate({1.0, 2.0}, {8, 8});
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_DOUBLE_EQ(s.expected_versions[d],
+                     static_cast<double>(s.local_steps[d]));
+  }
+}
+
+TEST(Strategy, AllDevicesFinishWithinWindow) {
+  // E_k * iter_time_k <= window for every device (no overshoot).
+  const StrategyGenerator gen = make_generator();
+  const std::vector<double> epoch_times{0.8, 1.2, 2.4, 4.8};
+  const std::vector<std::size_t> ipe{5, 7, 3, 9};
+  const TrainingStrategy s = gen.generate(epoch_times, ipe);
+  for (std::size_t d = 0; d < epoch_times.size(); ++d) {
+    const double iter_time = epoch_times[d] / static_cast<double>(ipe[d]);
+    EXPECT_LE(static_cast<double>(s.local_steps[d]) * iter_time,
+              s.round_window + 1e-6);
+  }
+}
+
+TEST(Strategy, GenerateValidatesInput) {
+  const StrategyGenerator gen = make_generator();
+  EXPECT_THROW(gen.generate({}, {}), InvalidArgument);
+  EXPECT_THROW(gen.generate({1.0}, {4, 4}), InvalidArgument);
+  EXPECT_THROW(gen.generate({-1.0}, {4}), InvalidArgument);
+  EXPECT_THROW(gen.generate({1.0}, {0}), InvalidArgument);
+}
+
+TEST(Strategy, RingIsPermutationOfSelected) {
+  Rng rng(7);
+  const std::vector<sim::DeviceId> selected{3, 1, 4};
+  const auto ring = StrategyGenerator::make_ring(selected, rng);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(std::set<sim::DeviceId>(ring.begin(), ring.end()),
+            (std::set<sim::DeviceId>{1, 3, 4}));
+}
+
+TEST(Strategy, RingOrderVaries) {
+  Rng rng(11);
+  const std::vector<sim::DeviceId> selected{0, 1, 2, 3, 4, 5};
+  std::set<std::vector<sim::DeviceId>> orders;
+  for (int i = 0; i < 20; ++i) {
+    orders.insert(StrategyGenerator::make_ring(selected, rng));
+  }
+  EXPECT_GT(orders.size(), 3u);  // random directed ring
+}
+
+// Property sweep: hyperperiod is a (near-)common multiple of all durations
+// whenever the exact path is taken.
+class HyperperiodSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperperiodSweep, IntegerRatioFamilies) {
+  const int base = GetParam();
+  const StrategyGenerator gen = make_generator();
+  const double t = 0.1 * base;
+  const std::vector<double> times{t, 2 * t, 3 * t, 6 * t};
+  const double h = gen.compute_hyperperiod(times);
+  EXPECT_NEAR(h, 6 * t, 1e-9);
+  for (double d : times) {
+    const double m = h / d;
+    EXPECT_NEAR(m, std::round(m), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HyperperiodSweep,
+                         ::testing::Values(1, 2, 5, 13));
+
+}  // namespace
+}  // namespace hadfl::core

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "data/batch_iterator.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+
+namespace hadfl::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.train_samples = 200;
+  cfg.test_samples = 64;
+  cfg.image_size = 8;
+  cfg.max_shift = 1;
+  return cfg;
+}
+
+TEST(Synthetic, ShapesAndLabelRanges) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  EXPECT_EQ(split.train.size(), 200u);
+  EXPECT_EQ(split.test.size(), 64u);
+  EXPECT_EQ(split.train.channels(), 3u);
+  EXPECT_EQ(split.train.height(), 8u);
+  EXPECT_EQ(split.train.num_classes(), 10u);
+  for (int y : split.train.labels()) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg = small_config();
+  const TrainTestSplit a = make_synthetic_cifar(cfg);
+  const TrainTestSplit b = make_synthetic_cifar(cfg);
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+  EXPECT_TRUE(a.train.images().allclose(b.train.images()));
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig cfg = small_config();
+  const TrainTestSplit a = make_synthetic_cifar(cfg);
+  cfg.seed = 123;
+  const TrainTestSplit b = make_synthetic_cifar(cfg);
+  EXPECT_FALSE(a.train.images().allclose(b.train.images()));
+}
+
+TEST(Synthetic, AllClassesRepresented) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  std::set<int> classes(split.train.labels().begin(),
+                        split.train.labels().end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  SyntheticConfig cfg = small_config();
+  cfg.num_classes = 1;
+  EXPECT_THROW(make_synthetic_cifar(cfg), InvalidArgument);
+  cfg = small_config();
+  cfg.max_shift = 8;
+  EXPECT_THROW(make_synthetic_cifar(cfg), InvalidArgument);
+  cfg = small_config();
+  cfg.noise_std = -0.1;
+  EXPECT_THROW(make_synthetic_cifar(cfg), InvalidArgument);
+}
+
+TEST(Dataset, GatherCopiesSamplesAndLabels) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  const Batch batch = split.train.gather({3, 7, 11});
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.x.shape(), (Shape{3, 3, 8, 8}));
+  EXPECT_EQ(batch.y[1], split.train.label(7));
+  // Pixel data matches the source sample.
+  const std::size_t sample_size = 3 * 8 * 8;
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    EXPECT_EQ(batch.x[i], split.train.images()[3 * sample_size + i]);
+  }
+}
+
+TEST(Dataset, GatherValidatesIndices) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  EXPECT_THROW(split.train.gather({}), InvalidArgument);
+  EXPECT_THROW(split.train.gather({9999}), InvalidArgument);
+}
+
+TEST(Dataset, LabelHistogramCounts) {
+  Tensor images({4, 1, 2, 2});
+  Dataset ds(std::move(images), {0, 1, 1, 2}, 3);
+  const auto hist = ds.label_histogram({0, 1, 2, 3});
+  EXPECT_EQ(hist, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Dataset, ConcatBatches) {
+  Tensor images({4, 1, 2, 2});
+  for (std::size_t i = 0; i < images.numel(); ++i) {
+    images[i] = static_cast<float>(i);
+  }
+  Dataset ds(std::move(images), {0, 1, 2, 0}, 3);
+  const Batch combined = concat_batches({ds.gather({0, 1}), ds.gather({3})});
+  EXPECT_EQ(combined.size(), 3u);
+  EXPECT_EQ(combined.y, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(combined.x.at4(2, 0, 0, 0), 12.0f);
+}
+
+TEST(Partition, IidCoversAllOnce) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  Rng rng(1);
+  const Partition parts = partition_iid(split.train, 4, rng);
+  EXPECT_EQ(parts.size(), 4u);
+  EXPECT_TRUE(is_valid_partition(parts, split.train.size()));
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 50u);
+}
+
+TEST(Partition, IidLabelDistributionRoughlyUniform) {
+  SyntheticConfig cfg = small_config();
+  cfg.train_samples = 1000;
+  const TrainTestSplit split = make_synthetic_cifar(cfg);
+  Rng rng(2);
+  const Partition parts = partition_iid(split.train, 4, rng);
+  for (const auto& p : parts) {
+    const auto hist = split.train.label_histogram(p);
+    for (std::size_t c = 0; c < 10; ++c) {
+      EXPECT_GT(hist[c], 10u);  // ~25 expected per class per device
+    }
+  }
+}
+
+TEST(Partition, DirichletValidAndSkewed) {
+  SyntheticConfig cfg = small_config();
+  cfg.train_samples = 1000;
+  const TrainTestSplit split = make_synthetic_cifar(cfg);
+  Rng rng(3);
+  const Partition parts = partition_dirichlet(split.train, 4, 0.1, rng);
+  EXPECT_TRUE(is_valid_partition(parts, split.train.size()));
+  for (const auto& p : parts) EXPECT_FALSE(p.empty());
+  // Strong skew: some device should be missing (or nearly missing) some
+  // class that another device holds plenty of.
+  std::size_t near_empty_cells = 0;
+  for (const auto& p : parts) {
+    for (std::size_t count : split.train.label_histogram(p)) {
+      if (count <= 2) ++near_empty_cells;
+    }
+  }
+  EXPECT_GT(near_empty_cells, 4u);
+}
+
+TEST(Partition, DirichletHighAlphaIsBalanced) {
+  SyntheticConfig cfg = small_config();
+  cfg.train_samples = 1000;
+  const TrainTestSplit split = make_synthetic_cifar(cfg);
+  Rng rng(4);
+  const Partition parts = partition_dirichlet(split.train, 4, 100.0, rng);
+  for (const auto& p : parts) {
+    EXPECT_GT(p.size(), 150u);
+    EXPECT_LT(p.size(), 350u);
+  }
+}
+
+TEST(Partition, ShardsLimitClassesPerDevice) {
+  SyntheticConfig cfg = small_config();
+  cfg.train_samples = 1000;
+  const TrainTestSplit split = make_synthetic_cifar(cfg);
+  Rng rng(5);
+  const Partition parts = partition_shards(split.train, 5, 2, rng);
+  EXPECT_TRUE(is_valid_partition(parts, split.train.size()));
+  for (const auto& p : parts) {
+    const auto hist = split.train.label_histogram(p);
+    std::size_t classes_present = 0;
+    for (std::size_t c : hist) {
+      if (c > 0) ++classes_present;
+    }
+    // Two shards cover at most ~4 label values (shard boundaries).
+    EXPECT_LE(classes_present, 4u);
+  }
+}
+
+TEST(Partition, Validation) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  Rng rng(6);
+  EXPECT_THROW(partition_iid(split.train, 0, rng), InvalidArgument);
+  EXPECT_THROW(partition_dirichlet(split.train, 4, 0.0, rng),
+               InvalidArgument);
+  EXPECT_THROW(partition_shards(split.train, 4, 0, rng), InvalidArgument);
+  // Invalid partitions detected.
+  EXPECT_FALSE(is_valid_partition({{0, 0}}, 2));   // duplicate
+  EXPECT_FALSE(is_valid_partition({{0}}, 2));      // missing
+  EXPECT_FALSE(is_valid_partition({{5}}, 2));      // out of range
+}
+
+TEST(BatchIterator, EpochCoversPartitionExactlyOnce) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  std::vector<std::size_t> indices{1, 5, 9, 13, 17, 21, 25};
+  BatchIterator it(split.train, indices, 3, Rng(7));
+  EXPECT_EQ(it.batches_per_epoch(), 3u);
+  std::multiset<int> seen;
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < it.batches_per_epoch(); ++b) {
+    const Batch batch = it.next();
+    total += batch.size();
+  }
+  EXPECT_EQ(total, indices.size());  // 3 + 3 + 1
+}
+
+TEST(BatchIterator, ReshufflesBetweenEpochs) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  std::vector<std::size_t> indices(64);
+  for (std::size_t i = 0; i < 64; ++i) indices[i] = i;
+  BatchIterator it(split.train, indices, 64, Rng(8));
+  const Batch first = it.next();
+  const Batch second = it.next();
+  EXPECT_NE(first.y, second.y);  // different order with high probability
+}
+
+TEST(BatchIterator, Validation) {
+  const TrainTestSplit split = make_synthetic_cifar(small_config());
+  EXPECT_THROW(BatchIterator(split.train, {}, 4, Rng(1)), InvalidArgument);
+  EXPECT_THROW(BatchIterator(split.train, {0}, 0, Rng(1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hadfl::data

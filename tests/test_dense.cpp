@@ -1,0 +1,75 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/initializers.hpp"
+#include "test_util.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+TEST(Dense, ForwardComputesAffineMap) {
+  Dense layer(2, 3);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5, 1].
+  layer.weight().value = Tensor({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  layer.bias().value = Tensor({3}, std::vector<float>{0.5f, -0.5f, 1.0f});
+  Tensor x({1, 2}, std::vector<float>{1.0f, 2.0f});
+  Tensor y = layer.forward(x, true);
+  EXPECT_NEAR(y[0], 1 + 8 + 0.5f, 1e-6);
+  EXPECT_NEAR(y[1], 2 + 10 - 0.5f, 1e-6);
+  EXPECT_NEAR(y[2], 3 + 12 + 1.0f, 1e-6);
+}
+
+TEST(Dense, ForwardRejectsWrongShape) {
+  Dense layer(4, 2);
+  EXPECT_THROW(layer.forward(Tensor({2, 3}), true), ShapeError);
+  EXPECT_THROW(layer.forward(Tensor({4}), true), ShapeError);
+}
+
+TEST(Dense, InputGradientMatchesNumeric) {
+  Dense layer(5, 4);
+  Rng rng(3);
+  he_normal(layer.weight(), 5, rng);
+  Tensor x = testutil::random_tensor({3, 5}, 11);
+  EXPECT_LT(testutil::check_input_gradient(layer, x), 2e-2);
+}
+
+TEST(Dense, ParameterGradientsMatchNumeric) {
+  Dense layer(4, 3);
+  Rng rng(5);
+  he_normal(layer.weight(), 4, rng);
+  Tensor x = testutil::random_tensor({2, 4}, 13);
+  EXPECT_LT(testutil::check_parameter_gradients(layer, x), 2e-2);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwards) {
+  Dense layer(2, 2);
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  layer.forward(x, true);
+  Tensor g({1, 2}, std::vector<float>{1, 1});
+  layer.backward(g);
+  const float first = layer.bias().grad[0];
+  layer.forward(x, true);
+  layer.backward(g);
+  EXPECT_NEAR(layer.bias().grad[0], 2 * first, 1e-6);
+}
+
+TEST(Dense, ParametersExposeWeightAndBias) {
+  Dense layer(3, 2);
+  auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "weight");
+  EXPECT_EQ(params[1]->name, "bias");
+  EXPECT_EQ(params[0]->numel(), 6u);
+  EXPECT_EQ(params[1]->numel(), 2u);
+  EXPECT_EQ(params[0]->fan_in, 3u);
+}
+
+TEST(Dense, RejectsZeroDims) {
+  EXPECT_THROW(Dense(0, 2), InvalidArgument);
+  EXPECT_THROW(Dense(2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

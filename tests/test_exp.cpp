@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace hadfl::exp {
+namespace {
+
+TEST(Scenario, PaperMatrixHasFourCells) {
+  const auto cells = paper_matrix(0.3);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].ratio, (std::vector<double>{3, 3, 1, 1}));
+  EXPECT_EQ(cells[1].ratio, (std::vector<double>{4, 2, 2, 1}));
+  EXPECT_NE(cells[0].name, cells[2].name);
+}
+
+TEST(Scenario, CommBytesUseFullSizeModels) {
+  const Scenario resnet =
+      paper_scenario(nn::Architecture::kResNet18Lite, {3, 3, 1, 1});
+  const Scenario vgg =
+      paper_scenario(nn::Architecture::kVgg16Lite, {3, 3, 1, 1});
+  // ResNet-18 ~44.7 MB, VGG-16 ~59 MB of float32 parameters.
+  EXPECT_NEAR(static_cast<double>(resnet.comm_state_bytes), 44.7e6, 2e6);
+  EXPECT_GT(vgg.comm_state_bytes, resnet.comm_state_bytes);
+}
+
+TEST(Scenario, ScaleControlsSizes) {
+  const Scenario small =
+      paper_scenario(nn::Architecture::kMlp, {1, 1}, 0.25);
+  const Scenario big = paper_scenario(nn::Architecture::kMlp, {1, 1}, 1.0);
+  EXPECT_LT(small.data.train_samples, big.data.train_samples);
+  EXPECT_THROW(paper_scenario(nn::Architecture::kMlp, {1, 1}, 0.0),
+               InvalidArgument);
+}
+
+TEST(Scenario, BenchScaleEnv) {
+  ::unsetenv("HADFL_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+  ::setenv("HADFL_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 0.5);
+  ::setenv("HADFL_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+  ::unsetenv("HADFL_BENCH_SCALE");
+}
+
+TEST(Environment, MaterializesConsistently) {
+  Scenario s = paper_scenario(nn::Architecture::kMlp, {3, 1}, 0.3);
+  Environment env(s);
+  EXPECT_EQ(env.cluster().size(), 2u);
+  EXPECT_EQ(env.partition().size(), 2u);
+  EXPECT_TRUE(data::is_valid_partition(env.partition(), env.train().size()));
+  EXPECT_EQ(env.cluster().device(0).compute_power, 3.0);
+}
+
+TEST(Environment, SeedOverrideChangesTraining) {
+  Scenario s = paper_scenario(nn::Architecture::kMlp, {1, 1}, 0.25);
+  s.train.total_epochs = 3;
+  Environment env(s);
+  fl::SchemeContext a = env.context(111);
+  fl::SchemeContext b = env.context(222);
+  EXPECT_NE(a.config.seed, b.config.seed);
+}
+
+TEST(Report, SpeedupsComputedFromTimes) {
+  Table1Cell cell;
+  cell.cell_name = "test";
+  cell.distributed = {0.9, 300.0};
+  cell.dfedavg = {0.9, 200.0};
+  cell.hadfl = {0.89, 100.0};
+  EXPECT_NEAR(cell.speedup_vs_distributed(), 3.0, 1e-9);
+  EXPECT_NEAR(cell.speedup_vs_dfedavg(), 2.0, 1e-9);
+}
+
+TEST(Report, RenderContainsSchemesAndSpeedups) {
+  Table1Cell cell;
+  cell.cell_name = "ResNet-18 [3,3,1,1]";
+  cell.distributed = {0.91, 2431.38};
+  cell.dfedavg = {0.91, 1699.05};
+  cell.hadfl = {0.90, 805.0};
+  const std::string out = render_table1({cell});
+  EXPECT_NE(out.find("Distributed training"), std::string::npos);
+  EXPECT_NE(out.find("Decentralized-FedAvg"), std::string::npos);
+  EXPECT_NE(out.find("HADFL"), std::string::npos);
+  EXPECT_NE(out.find("3.02x"), std::string::npos);
+  EXPECT_NE(out.find("2.11x"), std::string::npos);
+  EXPECT_NE(out.find("paper: 3.15x and 4.68x"), std::string::npos);
+}
+
+TEST(Runner, CellRunsAllThreeSchemes) {
+  Scenario s = paper_scenario(nn::Architecture::kMlp, {3, 1}, 0.25);
+  s.train.total_epochs = 4;
+  Environment env(s);
+  const CellResult cell = run_cell(env);
+  EXPECT_FALSE(cell.distributed.metrics.empty());
+  EXPECT_FALSE(cell.dfedavg.metrics.empty());
+  EXPECT_FALSE(cell.hadfl.scheme.metrics.empty());
+  const Table1Cell avg = average_cells(s.name, {cell});
+  EXPECT_GT(avg.hadfl.best_accuracy, 0.3);
+  EXPECT_GT(avg.speedup_vs_dfedavg(), 0.5);
+}
+
+TEST(Report, StatisticFormatsMeanAndSpread) {
+  EXPECT_EQ(Statistic({805.0, 0.0}).to_string(), "805.00");
+  EXPECT_EQ(Statistic({805.0, 12.5}).to_string(), "805.00 ± 12.50");
+  EXPECT_EQ(Statistic({1.5, 0.25}).to_string(1), "1.5 ± 0.2");
+}
+
+TEST(Report, AverageCellsComputesSpreadAcrossSeeds) {
+  Scenario s = paper_scenario(nn::Architecture::kMlp, {3, 1}, 0.25);
+  s.train.total_epochs = 4;
+  Environment env(s);
+  std::vector<CellResult> reps;
+  reps.push_back(run_cell(env, 101));
+  reps.push_back(run_cell(env, 202));
+  const Table1Cell cell = average_cells(s.name, reps);
+  // Two different seeds: the mean sits between per-seed values and the
+  // spread reflects their difference.
+  const double t1 = summarize(reps[0].hadfl.scheme.metrics).time_to_best;
+  const double t2 = summarize(reps[1].hadfl.scheme.metrics).time_to_best;
+  EXPECT_NEAR(cell.hadfl_time.mean, 0.5 * (t1 + t2), 1e-9);
+  EXPECT_NEAR(cell.hadfl_time.stddev,
+              std::sqrt((std::pow(t1 - cell.hadfl_time.mean, 2) +
+                         std::pow(t2 - cell.hadfl_time.mean, 2)) /
+                        1.0),
+              1e-9);
+}
+
+TEST(Runner, SummarizeRejectsEmpty) {
+  fl::MetricsRecorder empty;
+  EXPECT_THROW(summarize(empty), Error);
+  EXPECT_THROW(average_cells("x", {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hadfl::exp

@@ -1,0 +1,317 @@
+// Tests for the extension features beyond the paper's core evaluation:
+// the async-FedAvg related-work baseline (§V-B), heterogeneous link
+// bandwidth and the bandwidth-aware selection policy (§VI future work).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <span>
+
+#include "baselines/async_fedavg.hpp"
+#include "baselines/decentralized_fedavg.hpp"
+#include "comm/allreduce.hpp"
+#include "comm/segmented_gossip.hpp"
+#include "comm/transport.hpp"
+#include "common/error.hpp"
+#include "core/selection.hpp"
+#include "core/trainer.hpp"
+#include "exp/runner.hpp"
+
+namespace hadfl {
+namespace {
+
+exp::Scenario fast_scenario(std::vector<double> ratio = {3, 3, 1, 1}) {
+  exp::Scenario s = exp::paper_scenario(nn::Architecture::kMlp,
+                                        std::move(ratio), /*scale=*/0.5);
+  s.train.total_epochs = 8;
+  return s;
+}
+
+TEST(AsyncFedAvg, ConvergesWithoutBarriers) {
+  exp::Scenario s = fast_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  const baselines::AsyncFedAvgResult r = baselines::run_async_fedavg(ctx);
+  EXPECT_EQ(r.scheme.scheme_name, "async-fedavg");
+  EXPECT_GT(r.scheme.metrics.best_accuracy(), 0.5);
+  EXPECT_GT(r.scheme.sync_rounds, 0u);
+}
+
+TEST(AsyncFedAvg, FastDevicesPushMoreOften) {
+  exp::Scenario s = fast_scenario({4, 1});
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  const baselines::AsyncFedAvgResult r = baselines::run_async_fedavg(ctx);
+  // The power-4 device pushes ~4x as often, so the straggler's pushes see
+  // positive staleness on average.
+  EXPECT_GT(r.mean_staleness, 0.5);
+  // Staleness decay means some pushes land with weight below the base rate.
+  EXPECT_LT(r.min_applied_weight, 0.5);
+}
+
+TEST(AsyncFedAvg, AllTrafficThroughServer) {
+  exp::Scenario s = fast_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  const baselines::AsyncFedAvgResult r = baselines::run_async_fedavg(ctx);
+  // Every push/pull is 2M through the server.
+  EXPECT_EQ(r.server_bytes, 2 * s.comm_state_bytes * r.scheme.sync_rounds);
+  EXPECT_EQ(r.scheme.volume.total_sent(),
+            s.comm_state_bytes * r.scheme.sync_rounds);
+}
+
+TEST(AsyncFedAvg, NoIdleBarriers) {
+  // Async total time should beat the synchronous baseline's for the same
+  // epoch budget under heterogeneity (no waiting for stragglers).
+  exp::Scenario s = fast_scenario({8, 8, 8, 1});
+  exp::Environment env(s);
+  fl::SchemeContext a = env.context();
+  const auto async_run = baselines::run_async_fedavg(a);
+  fl::SchemeContext b = env.context();
+  const auto sync_run = baselines::run_decentralized_fedavg(b);
+  EXPECT_LT(async_run.scheme.total_time, sync_run.total_time);
+}
+
+TEST(AsyncFedAvg, Validation) {
+  exp::Scenario s = fast_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  baselines::AsyncFedAvgConfig bad;
+  bad.base_mix_rate = 0.0;
+  EXPECT_THROW(baselines::run_async_fedavg(ctx, bad), InvalidArgument);
+  bad = baselines::AsyncFedAvgConfig{};
+  bad.staleness_power = -1.0;
+  EXPECT_THROW(baselines::run_async_fedavg(ctx, bad), InvalidArgument);
+}
+
+TEST(BandwidthScales, ValidatedAndApplied) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1}), 0.1);
+  cluster.set_bandwidth_scales({1.0, 0.25});
+  EXPECT_EQ(cluster.device(1).bandwidth_scale, 0.25);
+  EXPECT_THROW(cluster.set_bandwidth_scales({1.0}), InvalidArgument);
+  EXPECT_THROW(cluster.set_bandwidth_scales({1.0, 0.0}), InvalidArgument);
+}
+
+TEST(BandwidthScales, LinkTimeUsesSlowerEndpoint) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1, 1}), 0.1);
+  cluster.set_bandwidth_scales({1.0, 0.1, 1.0});
+  comm::SimTransport t(cluster, sim::NetworkModel{0.0, 1e6});
+  EXPECT_NEAR(t.link_time(0, 2, 1000000), 1.0, 1e-9);   // full speed
+  EXPECT_NEAR(t.link_time(0, 1, 1000000), 10.0, 1e-9);  // gated by dev 1
+  EXPECT_NEAR(t.link_time(1, 2, 1000000), 10.0, 1e-9);  // either direction
+}
+
+TEST(BandwidthScales, SlowLinkGatesRingCollective) {
+  sim::Cluster fast(sim::devices_from_ratio({1, 1, 1, 1}), 0.1);
+  sim::Cluster slow(sim::devices_from_ratio({1, 1, 1, 1}), 0.1);
+  slow.set_bandwidth_scales({1.0, 1.0, 1.0, 0.1});
+  comm::SimTransport tf(fast, sim::NetworkModel{0.0, 1e9});
+  comm::SimTransport ts(slow, sim::NetworkModel{0.0, 1e9});
+  const std::vector<sim::DeviceId> all{0, 1, 2, 3};
+  const comm::SimTime d_fast = comm::simulate_ring_allreduce(tf, all, 1 << 20);
+  const comm::SimTime d_slow = comm::simulate_ring_allreduce(ts, all, 1 << 20);
+  EXPECT_NEAR(d_slow / d_fast, 10.0, 0.01);
+}
+
+TEST(BandwidthScales, UnscaledMatchesAnalyticDuration) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1, 1, 1}), 0.1);
+  comm::SimTransport t(cluster, sim::NetworkModel{1e-4, 1e9});
+  const comm::SimTime measured =
+      comm::simulate_ring_allreduce(t, {0, 1, 2, 3}, 4096);
+  EXPECT_NEAR(measured,
+              comm::ring_allreduce_duration(sim::NetworkModel{1e-4, 1e9}, 4,
+                                            4096),
+              1e-12);
+}
+
+TEST(BandwidthAwareSelection, DownweightsSlowLinks) {
+  const std::vector<double> versions{10, 10, 10, 10};
+  const std::vector<double> scales{1.0, 1.0, 1.0, 0.05};
+  const auto probs =
+      core::BandwidthAwareSelection::probabilities(versions, scales, 1.0);
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_LT(probs[3], probs[0] / 10.0);
+}
+
+TEST(BandwidthAwareSelection, GammaZeroReducesToVersionOnly) {
+  const std::vector<double> versions{1, 5, 8, 10};
+  const std::vector<double> scales{0.1, 1.0, 0.5, 1.0};
+  const auto with = core::BandwidthAwareSelection::probabilities(
+      versions, scales, 0.0);
+  const auto base = core::GaussianQuartileSelection::probabilities(versions);
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_NEAR(with[i], base[i], 1e-12);
+  }
+}
+
+TEST(BandwidthAwareSelection, SelectsRequestedCount) {
+  core::BandwidthAwareSelection policy(1.0);
+  core::SelectionContext ctx;
+  ctx.versions = {5, 6, 7, 8};
+  ctx.bandwidth_scales = {1.0, 0.2, 1.0, 1.0};
+  ctx.select_count = 2;
+  Rng rng(3);
+  const auto picks = policy.select(ctx, rng);
+  EXPECT_EQ(picks.size(), 2u);
+}
+
+TEST(BandwidthAwareSelection, FactoryAndValidation) {
+  EXPECT_EQ(core::make_selection_policy("bandwidth-aware")->name(),
+            "bandwidth-aware");
+  EXPECT_THROW(core::BandwidthAwareSelection(-0.5), InvalidArgument);
+  EXPECT_THROW(core::BandwidthAwareSelection::probabilities({1.0}, {}, 1.0),
+               InvalidArgument);
+}
+
+TEST(BandwidthAwareSelection, EndToEndAvoidsSlowLinkDevice) {
+  exp::Scenario s = fast_scenario({3, 3, 1, 1});
+  s.hadfl.policy = std::make_shared<core::BandwidthAwareSelection>(1.5);
+  exp::Environment env(s);
+  env.set_bandwidth_scales({0.02, 1.0, 1.0, 1.0});
+  fl::SchemeContext ctx = env.context();
+  const core::HadflResult r = core::run_hadfl(ctx, s.hadfl);
+  std::size_t dev0 = 0;
+  std::size_t total = 0;
+  for (const auto& sel : r.extras.selected) {
+    for (sim::DeviceId id : sel) {
+      ++total;
+      if (id == 0) ++dev0;
+    }
+  }
+  EXPECT_LT(static_cast<double>(dev0),
+            0.25 * static_cast<double>(total));
+  EXPECT_GT(r.scheme.metrics.best_accuracy(), 0.5);
+}
+
+TEST(SegmentedGossip, FullFanoutEqualsExactMean) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1, 1}), 0.1);
+  comm::SimTransport t(cluster, sim::NetworkModel{1e-5, 1e9});
+  std::vector<float> a{1, 10, 100};
+  std::vector<float> b{2, 20, 200};
+  std::vector<float> c{3, 30, 300};
+  Rng rng(5);
+  comm::SegmentedGossipConfig cfg{3, 2};  // R = K-1: every peer consulted
+  comm::segmented_gossip_average(
+      t, {0, 1, 2},
+      {std::span<float>(a), std::span<float>(b), std::span<float>(c)}, cfg,
+      rng);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5);
+    EXPECT_NEAR(b[i], c[i], 1e-5);
+  }
+  EXPECT_NEAR(a[0], 2.0f, 1e-5);
+  EXPECT_NEAR(a[2], 200.0f, 1e-4);
+}
+
+TEST(SegmentedGossip, PartialFanoutMovesTowardMean) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1, 1, 1}), 0.1);
+  comm::SimTransport t(cluster, sim::NetworkModel{1e-5, 1e9});
+  std::vector<std::vector<float>> states{{0.0f}, {4.0f}, {8.0f}, {12.0f}};
+  std::vector<std::span<float>> views;
+  for (auto& s : states) views.emplace_back(s);
+  Rng rng(7);
+  comm::SegmentedGossipConfig cfg{1, 2};
+  comm::segmented_gossip_average(t, {0, 1, 2, 3}, views, cfg, rng);
+  // Every new value is an average of 3 of the originals -> within range and
+  // strictly inside the original extremes.
+  for (const auto& s : states) {
+    EXPECT_GT(s[0], 0.0f);
+    EXPECT_LT(s[0], 12.0f);
+  }
+}
+
+TEST(SegmentedGossip, VolumeMatchesFanoutTimesModel) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1, 1, 1}), 0.1);
+  comm::SimTransport t(cluster, sim::NetworkModel{1e-5, 1e9});
+  std::vector<std::vector<float>> states(4, std::vector<float>(64, 1.0f));
+  std::vector<std::span<float>> views;
+  for (auto& s : states) views.emplace_back(s);
+  Rng rng(9);
+  comm::SegmentedGossipConfig cfg{4, 2};
+  const std::size_t wire = 1 << 20;
+  comm::segmented_gossip_average(t, {0, 1, 2, 3}, views, cfg, rng, wire);
+  const std::size_t expected_per_device =
+      comm::segmented_gossip_bytes_per_device(wire, cfg);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(t.volume().received[d], expected_per_device);
+  }
+  EXPECT_EQ(t.volume().total_sent(), t.volume().total_received());
+}
+
+TEST(SegmentedGossip, Validation) {
+  sim::Cluster cluster(sim::devices_from_ratio({1, 1}), 0.1);
+  comm::SimTransport t(cluster, sim::NetworkModel{});
+  std::vector<float> a{1};
+  std::vector<float> b{2};
+  Rng rng(1);
+  comm::SegmentedGossipConfig bad{0, 1};
+  EXPECT_THROW(comm::segmented_gossip_average(
+                   t, {0, 1},
+                   {std::span<float>(a), std::span<float>(b)}, bad, rng),
+               InvalidArgument);
+  comm::SegmentedGossipConfig bad_fanout{1, 2};  // fanout >= K
+  EXPECT_THROW(comm::segmented_gossip_average(
+                   t, {0, 1},
+                   {std::span<float>(a), std::span<float>(b)}, bad_fanout,
+                   rng),
+               InvalidArgument);
+}
+
+TEST(SegmentedGossip, DecentralizedFedAvgSegmentedModeConverges) {
+  exp::Scenario s = fast_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  baselines::DecentralizedFedAvgConfig cfg;
+  cfg.gossip_mode = baselines::GossipMode::kSegmented;
+  cfg.segments = 4;
+  cfg.fanout = 2;
+  const fl::SchemeResult r = baselines::run_decentralized_fedavg(ctx, cfg);
+  EXPECT_GT(r.metrics.best_accuracy(), 0.5);
+}
+
+TEST(CheckpointResume, ContinuesFromBackup) {
+  const std::string dir = ::testing::TempDir() + "/hadfl_resume_test";
+  std::filesystem::create_directories(dir);
+
+  // First run with backups enabled.
+  exp::Scenario s = fast_scenario();
+  s.hadfl.backup_dir = dir;
+  s.hadfl.backup_every_rounds = 1;
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  const core::HadflResult first = core::run_hadfl(ctx, s.hadfl);
+  ASSERT_GT(first.extras.model_backups, 0u);
+
+  // Find the latest backup file.
+  std::string latest;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (latest.empty() || entry.path().string() > latest) {
+      latest = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(latest.empty());
+
+  // Resume: the very first recorded accuracy (after warm-up only) should
+  // already be near the first run's final accuracy rather than chance.
+  exp::Scenario resumed = fast_scenario();
+  resumed.hadfl.resume_from = latest;
+  fl::SchemeContext ctx2 = env.context();
+  const core::HadflResult second = core::run_hadfl(ctx2, resumed.hadfl);
+  EXPECT_GT(second.scheme.metrics.points().front().test_accuracy,
+            first.scheme.metrics.best_accuracy() - 0.15);
+  EXPECT_GE(second.scheme.metrics.best_accuracy(),
+            first.scheme.metrics.best_accuracy() - 0.05);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointResume, MissingFileThrows) {
+  exp::Scenario s = fast_scenario();
+  s.hadfl.resume_from = "/nonexistent/backup.bin";
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  EXPECT_THROW(core::run_hadfl(ctx, s.hadfl), Error);
+}
+
+}  // namespace
+}  // namespace hadfl

@@ -1,0 +1,119 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hadfl::ops {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{1, 5, 5, 3, 3, 1, 0};
+  EXPECT_EQ(g.out_h(), 3u);
+  EXPECT_EQ(g.out_w(), 3u);
+  EXPECT_EQ(g.col_rows(), 9u);
+  EXPECT_EQ(g.col_cols(), 9u);
+}
+
+TEST(ConvGeometry, PaddedStridedDims) {
+  ConvGeometry g{3, 8, 8, 3, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 4u);
+  EXPECT_EQ(g.out_w(), 4u);
+  EXPECT_EQ(g.col_rows(), 27u);
+}
+
+TEST(ConvGeometry, ValidateRejectsBadConfigs) {
+  EXPECT_THROW((ConvGeometry{0, 4, 4, 3, 3, 1, 0}).validate(),
+               hadfl::InvalidArgument);
+  EXPECT_THROW((ConvGeometry{1, 2, 2, 3, 3, 1, 0}).validate(),
+               hadfl::InvalidArgument);
+  EXPECT_THROW((ConvGeometry{1, 4, 4, 3, 3, 0, 0}).validate(),
+               hadfl::InvalidArgument);
+}
+
+TEST(Im2col, IdentityKernelCopiesPixels) {
+  // 1x1 kernel: columns == image.
+  const std::vector<float> image{1, 2, 3, 4};
+  ConvGeometry g{1, 2, 2, 1, 1, 1, 0};
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, cols.data());
+  EXPECT_EQ(cols, image);
+}
+
+TEST(Im2col, ExtractsPatchesRowMajor) {
+  // 3x3 image, 2x2 kernel, stride 1 -> 4 patches of 4 elements.
+  const std::vector<float> image{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ConvGeometry g{1, 3, 3, 2, 2, 1, 0};
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, cols.data());
+  // Row r of cols = kernel offset (kh, kw); column = output position.
+  // Patch at output (0,0) is {1,2,4,5}: cols[r][0].
+  EXPECT_EQ(cols[0 * 4 + 0], 1);
+  EXPECT_EQ(cols[1 * 4 + 0], 2);
+  EXPECT_EQ(cols[2 * 4 + 0], 4);
+  EXPECT_EQ(cols[3 * 4 + 0], 5);
+  // Patch at output (1,1) is {5,6,8,9}: column 3.
+  EXPECT_EQ(cols[0 * 4 + 3], 5);
+  EXPECT_EQ(cols[3 * 4 + 3], 9);
+}
+
+TEST(Im2col, ZeroPadsOutsidePixels) {
+  const std::vector<float> image{1, 2, 3, 4};
+  ConvGeometry g{1, 2, 2, 3, 3, 1, 1};  // pad 1 -> out 2x2
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, cols.data());
+  // Kernel offset (0,0) at output (0,0) reads padded (-1,-1) -> 0.
+  EXPECT_EQ(cols[0], 0.0f);
+  // Kernel offset (1,1) (centre) at output (0,0) reads (0,0) -> 1.
+  EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Im2col, MultiChannelStacksChannelBlocks) {
+  // 2 channels of 2x2, 1x1 kernel.
+  const std::vector<float> image{1, 2, 3, 4, 10, 20, 30, 40};
+  ConvGeometry g{2, 2, 2, 1, 1, 1, 0};
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, cols.data());
+  EXPECT_EQ(cols[0 * 4 + 2], 3.0f);   // channel 0 block
+  EXPECT_EQ(cols[1 * 4 + 2], 30.0f);  // channel 1 block
+}
+
+TEST(Col2im, InverseOfIm2colForNonOverlapping) {
+  // Stride == kernel -> patches don't overlap: col2im(im2col(x)) == x.
+  const std::vector<float> image{1, 2, 3, 4, 5, 6, 7, 8,
+                                 9, 10, 11, 12, 13, 14, 15, 16};
+  ConvGeometry g{1, 4, 4, 2, 2, 2, 0};
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, cols.data());
+  std::vector<float> back(image.size(), 0.0f);
+  col2im(cols.data(), g, back.data());
+  EXPECT_EQ(back, image);
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 3x3 image, 2x2 kernel stride 1: centre pixel (1,1) is covered by all 4
+  // patches, so col2im of all-ones columns puts 4 there.
+  ConvGeometry g{1, 3, 3, 2, 2, 1, 0};
+  std::vector<float> cols(g.col_rows() * g.col_cols(), 1.0f);
+  std::vector<float> image(9, 0.0f);
+  col2im(cols.data(), g, image.data());
+  EXPECT_EQ(image[4], 4.0f);  // centre
+  EXPECT_EQ(image[0], 1.0f);  // corner covered once
+  EXPECT_EQ(image[1], 2.0f);  // edge covered twice
+}
+
+TEST(Col2im, SkipsPaddedRegion) {
+  ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  std::vector<float> cols(g.col_rows() * g.col_cols(), 1.0f);
+  std::vector<float> image(4, 0.0f);
+  col2im(cols.data(), g, image.data());
+  // Every in-bounds pixel accumulates exactly the number of kernel
+  // positions that cover it; with 3x3 kernel and pad 1 on 2x2, each pixel
+  // is covered by all 4 output positions.
+  for (float v : image) EXPECT_EQ(v, 4.0f);
+}
+
+}  // namespace
+}  // namespace hadfl::ops

@@ -1,0 +1,105 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});  // all zeros
+  const double l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, std::vector<float>{10.0f, 0.0f, 0.0f});
+  EXPECT_LT(loss.forward(logits, {0}), 1e-3);
+  EXPECT_GT(loss.forward(logits, {1}), 5.0);
+}
+
+TEST(SoftmaxCrossEntropy, ProbabilitiesRowsSumToOne) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = testutil::random_tensor({5, 7}, 3, 2.0f);
+  loss.forward(logits, {0, 1, 2, 3, 4});
+  const Tensor& p = loss.probabilities();
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) sum += p.at2(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForLargeLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2}, std::vector<float>{1000.0f, 999.0f});
+  const double l = loss.forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, std::log(1.0 + std::exp(-1.0)), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = testutil::random_tensor({4, 5}, 4);
+  loss.forward(logits, {1, 2, 3, 0});
+  Tensor g = loss.backward();
+  for (std::size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) sum += g.at2(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = testutil::random_tensor({3, 4}, 5);
+  const std::vector<int> targets{2, 0, 3};
+  loss.forward(logits, targets);
+  Tensor g = loss.backward();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits;
+    Tensor minus = logits;
+    plus[i] += eps;
+    minus[i] -= eps;
+    SoftmaxCrossEntropy probe;
+    const double lp = probe.forward(plus, targets);
+    const double lm = probe.forward(minus, targets);
+    EXPECT_NEAR(g[i], (lp - lm) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadTargets) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  EXPECT_THROW(loss.forward(logits, {0}), InvalidArgument);       // count
+  EXPECT_THROW(loss.forward(logits, {0, 3}), InvalidArgument);    // range
+  EXPECT_THROW(loss.forward(logits, {0, -1}), InvalidArgument);   // negative
+}
+
+TEST(SoftmaxCrossEntropy, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.backward(), Error);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits({3, 2}, std::vector<float>{0.9f, 0.1f,   //
+                                           0.2f, 0.8f,   //
+                                           0.6f, 0.4f});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 1.0);
+}
+
+TEST(Accuracy, RejectsSizeMismatch) {
+  Tensor logits({2, 2});
+  EXPECT_THROW(accuracy(logits, {0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

@@ -1,0 +1,105 @@
+#include "common/math_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+namespace {
+
+TEST(Quantile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenValues) {
+  // numpy.quantile([1, 2, 3, 4], 0.75) == 3.25
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.75), 3.25);
+}
+
+TEST(Quantile, EndpointsAreMinMax) {
+  const std::vector<double> v{5, 9, 1, 7};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.3), 42.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.1), InvalidArgument);
+}
+
+TEST(ThirdQuartile, MatchesQuantile75) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(third_quartile(v), quantile(v, 0.75));
+  EXPECT_DOUBLE_EQ(third_quartile(v), 40.0);
+}
+
+TEST(MeanStddev, KnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935299395, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+}
+
+TEST(Lcm, Basics) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(3, 3), 3);
+  EXPECT_EQ(lcm_all({2, 3, 4}), 12);
+  EXPECT_EQ(lcm_all({1, 1, 1}), 1);
+}
+
+TEST(Lcm, RejectsNonPositive) {
+  EXPECT_THROW(lcm64(0, 3), InvalidArgument);
+  EXPECT_THROW(lcm_all({}), InvalidArgument);
+  EXPECT_THROW(lcm_all({2, -1}), InvalidArgument);
+}
+
+TEST(Hyperperiod, IntegerRatioDurations) {
+  // Epoch times 1s and 3s -> hyperperiod 3s (paper [3,3,1,1] shape).
+  EXPECT_NEAR(hyperperiod({1.0, 1.0, 3.0, 3.0}, 0.001), 3.0, 1e-9);
+}
+
+TEST(Hyperperiod, MixedRatios) {
+  // 2s and 3s -> 6s.
+  EXPECT_NEAR(hyperperiod({2.0, 3.0}, 0.001), 6.0, 1e-9);
+}
+
+TEST(Hyperperiod, QuantizesToResolution) {
+  // 0.0014 at resolution 0.001 rounds to 1 tick.
+  EXPECT_NEAR(hyperperiod({0.0014}, 0.001), 0.001, 1e-12);
+}
+
+TEST(Hyperperiod, RejectsBadInput) {
+  EXPECT_THROW(hyperperiod({}, 0.001), InvalidArgument);
+  EXPECT_THROW(hyperperiod({1.0}, 0.0), InvalidArgument);
+  EXPECT_THROW(hyperperiod({-1.0}, 0.001), InvalidArgument);
+}
+
+TEST(NormalPdf, PeakAtMu) {
+  EXPECT_NEAR(standard_normal_pdf(2.0, 2.0), 1.0 / std::sqrt(2.0 * M_PI),
+              1e-12);
+}
+
+TEST(NormalPdf, SymmetricAroundMu) {
+  EXPECT_DOUBLE_EQ(standard_normal_pdf(1.0, 3.0), standard_normal_pdf(5.0, 3.0));
+}
+
+TEST(NormalPdf, DecaysAwayFromMu) {
+  EXPECT_GT(standard_normal_pdf(3.0, 3.0), standard_normal_pdf(4.0, 3.0));
+  EXPECT_GT(standard_normal_pdf(4.0, 3.0), standard_normal_pdf(6.0, 3.0));
+}
+
+}  // namespace
+}  // namespace hadfl

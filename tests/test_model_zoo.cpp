@@ -1,0 +1,128 @@
+#include "nn/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/model_spec.hpp"
+#include "nn/param_utils.hpp"
+#include "test_util.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+TEST(ModelZoo, MlpOutputShape) {
+  ModelConfig cfg;
+  Rng rng(1);
+  auto model = make_mlp(cfg, rng);
+  Tensor x = testutil::random_tensor(
+      {2, cfg.in_channels, cfg.image_size, cfg.image_size}, 1);
+  Tensor y = model->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, cfg.num_classes}));
+}
+
+TEST(ModelZoo, ResNetLiteOutputShape) {
+  ModelConfig cfg;
+  cfg.image_size = 8;
+  Rng rng(2);
+  auto model = make_resnet18_lite(cfg, rng);
+  Tensor x = testutil::random_tensor({2, 3, 8, 8}, 2);
+  Tensor y = model->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 10u}));
+}
+
+TEST(ModelZoo, ResNetLiteHasEightResidualBlocks) {
+  ModelConfig cfg;
+  cfg.image_size = 8;
+  Rng rng(3);
+  auto model = make_resnet18_lite(cfg, rng);
+  std::size_t blocks = 0;
+  for (std::size_t i = 0; i < model->size(); ++i) {
+    if (model->layer(i).name() == "ResidualBlock") ++blocks;
+  }
+  EXPECT_EQ(blocks, 8u);  // ResNet-18's 4 stages x 2 basic blocks
+}
+
+TEST(ModelZoo, VggLiteOutputShapeAndConvCount) {
+  ModelConfig cfg;
+  cfg.image_size = 8;
+  Rng rng(4);
+  auto model = make_vgg16_lite(cfg, rng);
+  Tensor x = testutil::random_tensor({1, 3, 8, 8}, 3);
+  Tensor y = model->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 10u}));
+  std::size_t convs = 0;
+  std::size_t dense = 0;
+  for (std::size_t i = 0; i < model->size(); ++i) {
+    if (model->layer(i).name() == "Conv2d") ++convs;
+    if (model->layer(i).name() == "Dense") ++dense;
+  }
+  EXPECT_EQ(convs, 13u);  // VGG-16's 13 convolutions
+  EXPECT_EQ(dense, 3u);   // and 3 FC layers
+}
+
+TEST(ModelZoo, ModelsAreTrainableEndToEnd) {
+  // One backward pass works and produces nonzero gradients somewhere.
+  ModelConfig cfg;
+  cfg.image_size = 8;
+  Rng rng(5);
+  for (auto arch : {Architecture::kMlp, Architecture::kResNet18Lite,
+                    Architecture::kVgg16Lite}) {
+    auto model = make_model(arch, cfg, rng);
+    Tensor x = testutil::random_tensor({4, 3, 8, 8}, 4);
+    Tensor y = model->forward(x, true);
+    Tensor g(y.shape(), 1.0f);
+    model->backward(g);
+    double norm = 0.0;
+    for (float v : get_gradients(*model)) norm += std::abs(v);
+    EXPECT_GT(norm, 0.0) << architecture_name(arch);
+  }
+}
+
+TEST(ModelZoo, InitializationIsSeedDeterministic) {
+  ModelConfig cfg;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto a = make_mlp(cfg, rng_a);
+  auto b = make_mlp(cfg, rng_b);
+  EXPECT_EQ(get_state(*a), get_state(*b));
+}
+
+TEST(ModelZoo, DifferentSeedsDifferentInit) {
+  ModelConfig cfg;
+  Rng rng_a(7);
+  Rng rng_b(8);
+  auto a = make_mlp(cfg, rng_a);
+  auto b = make_mlp(cfg, rng_b);
+  EXPECT_NE(get_state(*a), get_state(*b));
+}
+
+TEST(ModelZoo, RejectsTinyImages) {
+  ModelConfig cfg;
+  cfg.image_size = 4;
+  Rng rng(1);
+  EXPECT_THROW(make_resnet18_lite(cfg, rng), InvalidArgument);
+  EXPECT_THROW(make_vgg16_lite(cfg, rng), InvalidArgument);
+}
+
+TEST(ModelZoo, ArchitectureNames) {
+  EXPECT_STREQ(architecture_name(Architecture::kMlp), "MLP");
+  EXPECT_STREQ(architecture_name(Architecture::kResNet18Lite), "ResNet-18");
+  EXPECT_STREQ(architecture_name(Architecture::kVgg16Lite), "VGG-16");
+}
+
+TEST(ModelSpec, ResNet18ParameterCountMatchesLiterature) {
+  // The CIFAR ResNet-18 has ~11.17 M parameters.
+  const ModelSpec spec = resnet18_spec();
+  EXPECT_NEAR(static_cast<double>(spec.parameters), 11.17e6, 0.15e6);
+  EXPECT_EQ(spec.bytes(), spec.parameters * 4);
+}
+
+TEST(ModelSpec, Vgg16ParameterCountMatchesLiterature) {
+  // VGG-16 with a CIFAR classifier head: ~14.7 M parameters.
+  const ModelSpec spec = vgg16_spec();
+  EXPECT_NEAR(static_cast<double>(spec.parameters), 14.7e6, 0.3e6);
+  EXPECT_GT(spec.megabytes(), 50.0);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

@@ -1,0 +1,104 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/dense.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+TEST(Sgd, PlainStepDescendsGradient) {
+  Dense layer(1, 1);
+  layer.weight().value[0] = 1.0f;
+  layer.weight().grad[0] = 0.5f;
+  layer.bias().grad[0] = -2.0f;
+  Sgd opt(layer.parameters(), {0.1, 0.0, 0.0});
+  opt.step();
+  EXPECT_NEAR(layer.weight().value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+  EXPECT_NEAR(layer.bias().value[0], 0.2f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Dense layer(1, 1);
+  layer.weight().value[0] = 0.0f;
+  Sgd opt(layer.parameters(), {1.0, 0.5, 0.0});
+  // Two steps with constant gradient 1: v1 = 1 (dw 1), v2 = 1.5 (dw 1.5).
+  layer.weight().grad[0] = 1.0f;
+  opt.step();
+  EXPECT_NEAR(layer.weight().value[0], -1.0f, 1e-6);
+  layer.weight().grad[0] = 1.0f;
+  opt.step();
+  EXPECT_NEAR(layer.weight().value[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Dense layer(1, 1);
+  layer.weight().value[0] = 2.0f;
+  layer.weight().grad[0] = 0.0f;
+  layer.bias().grad[0] = 0.0f;
+  Sgd opt(layer.parameters(), {0.1, 0.0, 0.5});
+  opt.step();
+  // w -= lr * wd * w = 2 - 0.1*0.5*2.
+  EXPECT_NEAR(layer.weight().value[0], 1.9f, 1e-6);
+}
+
+TEST(Sgd, StepAndZeroClearsGradients) {
+  Dense layer(2, 2);
+  layer.weight().grad.fill(3.0f);
+  Sgd opt(layer.parameters(), {0.1, 0.0, 0.0});
+  opt.step_and_zero();
+  for (std::size_t i = 0; i < layer.weight().grad.numel(); ++i) {
+    EXPECT_EQ(layer.weight().grad[i], 0.0f);
+  }
+}
+
+TEST(Sgd, SkipsNonTrainableParameters) {
+  Parameter buffer("running_mean", Tensor({2}, 1.0f), /*train=*/false);
+  buffer.grad.fill(5.0f);
+  Sgd opt({&buffer}, {0.1, 0.9, 0.1});
+  opt.step();
+  EXPECT_EQ(buffer.value[0], 1.0f);
+}
+
+TEST(Sgd, LearningRateCanChangeBetweenSteps) {
+  Dense layer(1, 1);
+  layer.weight().value[0] = 0.0f;
+  Sgd opt(layer.parameters(), {1.0, 0.0, 0.0});
+  layer.weight().grad[0] = 1.0f;
+  opt.step();
+  opt.set_learning_rate(0.1);
+  layer.weight().grad[0] = 1.0f;
+  opt.step();
+  EXPECT_NEAR(layer.weight().value[0], -1.1f, 1e-6);
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  Dense layer(1, 1);
+  EXPECT_THROW(Sgd(layer.parameters(), {0.0, 0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(Sgd(layer.parameters(), {0.1, 1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(Sgd(layer.parameters(), {0.1, 0.0, -0.1}), InvalidArgument);
+  EXPECT_THROW(Sgd({nullptr}, {0.1, 0.0, 0.0}), InvalidArgument);
+}
+
+TEST(WarmupSchedule, TwoPhaseRates) {
+  WarmupSchedule sched(0.01, 0.001, 2);
+  EXPECT_DOUBLE_EQ(sched.lr_at_epoch(0), 0.001);
+  EXPECT_DOUBLE_EQ(sched.lr_at_epoch(1), 0.001);
+  EXPECT_DOUBLE_EQ(sched.lr_at_epoch(2), 0.01);
+  EXPECT_DOUBLE_EQ(sched.lr_at_epoch(100), 0.01);
+}
+
+TEST(WarmupSchedule, ZeroWarmupIsConstant) {
+  WarmupSchedule sched(0.05, 0.001, 0);
+  EXPECT_DOUBLE_EQ(sched.lr_at_epoch(0), 0.05);
+}
+
+TEST(WarmupSchedule, RejectsBadRates) {
+  EXPECT_THROW(WarmupSchedule(0.0, 0.001, 1), InvalidArgument);
+  EXPECT_THROW(WarmupSchedule(0.01, -1.0, 1), InvalidArgument);
+  EXPECT_THROW(WarmupSchedule(0.01, 0.001, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

@@ -1,0 +1,124 @@
+#include "nn/param_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
+#include "nn/initializers.hpp"
+#include "nn/sequential.hpp"
+#include "test_util.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+std::unique_ptr<Sequential> make_net() {
+  auto seq = std::make_unique<Sequential>();
+  seq->emplace<Dense>(3, 4);
+  seq->emplace<Dense>(4, 2);
+  return seq;
+}
+
+TEST(ParamUtils, StateSizeCountsEverything) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  EXPECT_EQ(state_size(seq), 3u * 4 + 4 + 4 * 2 + 2);
+  EXPECT_EQ(state_bytes(seq), state_size(seq) * sizeof(float));
+}
+
+TEST(ParamUtils, GradientSizeSkipsBuffers) {
+  Sequential seq;
+  seq.emplace<BatchNorm2d>(4);
+  // gamma + beta trainable (8), running stats not (8).
+  EXPECT_EQ(state_size(seq), 16u);
+  EXPECT_EQ(gradient_size(seq), 8u);
+}
+
+TEST(ParamUtils, GetSetStateRoundTrip) {
+  auto net_a = make_net();
+  auto net_b = make_net();
+  Sequential& a = *net_a;
+  Sequential& b = *net_b;
+  Rng rng(1);
+  for (Parameter* p : a.parameters()) {
+    for (std::size_t i = 0; i < p->numel(); ++i) {
+      p->value[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+  }
+  set_state(b, get_state(a));
+  EXPECT_EQ(get_state(a), get_state(b));
+}
+
+TEST(ParamUtils, SetStateRejectsWrongSize) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  std::vector<float> wrong(state_size(seq) + 1);
+  EXPECT_THROW(set_state(seq, wrong), ShapeError);
+}
+
+TEST(ParamUtils, GradientRoundTripAndZero) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  std::vector<float> grads(gradient_size(seq));
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    grads[i] = static_cast<float>(i) * 0.1f;
+  }
+  set_gradients(seq, grads);
+  EXPECT_EQ(get_gradients(seq), grads);
+  zero_gradients(seq);
+  for (float g : get_gradients(seq)) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(ParamUtils, WeightedAverageExact) {
+  const std::vector<std::vector<float>> states{{1, 2}, {3, 6}};
+  const std::vector<float> avg = weighted_average(states, {0.25, 0.75});
+  EXPECT_NEAR(avg[0], 2.5f, 1e-6);
+  EXPECT_NEAR(avg[1], 5.0f, 1e-6);
+}
+
+TEST(ParamUtils, AverageIsUniform) {
+  const std::vector<std::vector<float>> states{{2, 4}, {4, 8}, {6, 0}};
+  const std::vector<float> avg = average(states);
+  EXPECT_NEAR(avg[0], 4.0f, 1e-6);
+  EXPECT_NEAR(avg[1], 4.0f, 1e-6);
+}
+
+TEST(ParamUtils, WeightedAverageValidation) {
+  EXPECT_THROW(weighted_average({}, {}), InvalidArgument);
+  EXPECT_THROW(weighted_average({{1.0f}}, {0.5, 0.5}), InvalidArgument);
+  EXPECT_THROW(weighted_average({{1.0f}, {1.0f, 2.0f}}, {0.5, 0.5}),
+               ShapeError);
+}
+
+TEST(ParamUtils, MixIntoBlends) {
+  std::vector<float> dst{0.0f, 10.0f};
+  const std::vector<float> src{4.0f, 20.0f};
+  mix_into(dst, src, 0.25);
+  EXPECT_NEAR(dst[0], 1.0f, 1e-6);
+  EXPECT_NEAR(dst[1], 12.5f, 1e-6);
+}
+
+TEST(ParamUtils, MixIntoEdgeWeights) {
+  std::vector<float> dst{1.0f};
+  mix_into(dst, std::vector<float>{9.0f}, 0.0);
+  EXPECT_EQ(dst[0], 1.0f);
+  mix_into(dst, std::vector<float>{9.0f}, 1.0);
+  EXPECT_EQ(dst[0], 9.0f);
+  EXPECT_THROW(mix_into(dst, std::vector<float>{9.0f}, 1.5), InvalidArgument);
+  std::vector<float> short_dst{1.0f, 2.0f};
+  EXPECT_THROW(mix_into(short_dst, std::vector<float>{9.0f}, 0.5), ShapeError);
+}
+
+TEST(ParamUtils, AverageOfIdenticalStatesIsIdentity) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  Rng rng(2);
+  initialize_model(seq, rng);
+  const std::vector<float> s = get_state(seq);
+  const std::vector<float> avg = average({s, s, s});
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_NEAR(avg[i], s[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

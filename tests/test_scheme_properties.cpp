@@ -1,0 +1,147 @@
+// Cross-scheme property tests: invariants every training scheme must hold
+// regardless of heterogeneity ratio, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/decentralized_fedavg.hpp"
+#include "baselines/distributed.hpp"
+#include "core/trainer.hpp"
+#include "exp/runner.hpp"
+
+namespace hadfl {
+namespace {
+
+struct SweepParam {
+  std::vector<double> ratio;
+  const char* scheme;  // "hadfl" | "distributed" | "dfedavg"
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) {
+  *os << p.scheme << sim::ratio_to_string(p.ratio);
+}
+
+fl::SchemeResult run_scheme(exp::Environment& env, const exp::Scenario& s,
+                            const std::string& scheme) {
+  fl::SchemeContext ctx = env.context();
+  if (scheme == "hadfl") return core::run_hadfl(ctx, s.hadfl).scheme;
+  if (scheme == "distributed") return baselines::run_distributed(ctx);
+  return baselines::run_decentralized_fedavg(ctx);
+}
+
+class SchemeSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  exp::Scenario scenario_ = [] {
+    exp::Scenario s = exp::paper_scenario(nn::Architecture::kMlp,
+                                          {1, 1}, /*scale=*/0.3);
+    s.train.total_epochs = 4;
+    return s;
+  }();
+
+  void SetUp() override {
+    scenario_.ratio = GetParam().ratio;
+    scenario_.name = std::string(GetParam().scheme) +
+                     sim::ratio_to_string(scenario_.ratio);
+  }
+};
+
+TEST_P(SchemeSweep, MetricsAreTimeOrderedAndFinite) {
+  exp::Environment env(scenario_);
+  const fl::SchemeResult r = run_scheme(env, scenario_, GetParam().scheme);
+  ASSERT_FALSE(r.metrics.empty());
+  double last_time = -1.0;
+  for (const auto& p : r.metrics.points()) {
+    EXPECT_GE(p.time, last_time);
+    last_time = p.time;
+    EXPECT_TRUE(std::isfinite(p.train_loss));
+    EXPECT_TRUE(std::isfinite(p.test_loss));
+    EXPECT_GE(p.test_accuracy, 0.0);
+    EXPECT_LE(p.test_accuracy, 1.0);
+    EXPECT_GE(p.epoch, 0.0);
+  }
+}
+
+TEST_P(SchemeSweep, EpochAccountingReachesBudget) {
+  exp::Environment env(scenario_);
+  const fl::SchemeResult r = run_scheme(env, scenario_, GetParam().scheme);
+  // The final recorded point covers (at least) the epoch budget, within
+  // one round's worth of slack.
+  EXPECT_GE(r.metrics.last().epoch,
+            static_cast<double>(scenario_.train.total_epochs) - 1e-9);
+}
+
+TEST_P(SchemeSweep, VolumeConservationAndNonNegativity) {
+  exp::Environment env(scenario_);
+  const fl::SchemeResult r = run_scheme(env, scenario_, GetParam().scheme);
+  // Peer-to-peer schemes conserve bytes; server schemes are excluded here.
+  EXPECT_EQ(r.volume.total_sent(), r.volume.total_received());
+  EXPECT_GT(r.total_time, 0.0);
+}
+
+TEST_P(SchemeSweep, TrainingImprovesOverInitialPoint) {
+  exp::Environment env(scenario_);
+  const fl::SchemeResult r = run_scheme(env, scenario_, GetParam().scheme);
+  // Better than chance (10 classes) by a clear margin at 4 epochs.
+  EXPECT_GT(r.metrics.best_accuracy(), 0.2);
+}
+
+TEST_P(SchemeSweep, DeterministicRepetition) {
+  exp::Environment env(scenario_);
+  const fl::SchemeResult a = run_scheme(env, scenario_, GetParam().scheme);
+  const fl::SchemeResult b = run_scheme(env, scenario_, GetParam().scheme);
+  EXPECT_EQ(a.final_state, b.final_state);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.sync_rounds, b.sync_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosAndSchemes, SchemeSweep,
+    ::testing::Values(SweepParam{{1, 1, 1, 1}, "hadfl"},
+                      SweepParam{{3, 3, 1, 1}, "hadfl"},
+                      SweepParam{{4, 2, 2, 1}, "hadfl"},
+                      SweepParam{{8, 1}, "hadfl"},
+                      SweepParam{{5, 3, 2}, "hadfl"},
+                      SweepParam{{3, 3, 1, 1}, "distributed"},
+                      SweepParam{{4, 2, 2, 1}, "distributed"},
+                      SweepParam{{3, 3, 1, 1}, "dfedavg"},
+                      SweepParam{{4, 2, 2, 1}, "dfedavg"}));
+
+// HADFL-specific sweep: the strategy invariant that every device's local
+// step budget fits the synchronization window for any power mix.
+class HadflStrategySweep
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(HadflStrategySweep, LocalStepsFitWindowAndScaleWithPower) {
+  exp::Scenario s =
+      exp::paper_scenario(nn::Architecture::kMlp, GetParam(), 0.3);
+  s.train.total_epochs = 3;
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  const core::HadflResult r = core::run_hadfl(ctx, s.hadfl);
+  const core::TrainingStrategy& strat = r.extras.strategy;
+  for (std::size_t d = 0; d < GetParam().size(); ++d) {
+    const double iter_time = env.cluster().iteration_time(d);
+    EXPECT_LE(static_cast<double>(strat.local_steps[d]) * iter_time,
+              strat.round_window * (1.0 + 1e-6));
+  }
+  // Faster devices never get fewer steps than slower ones.
+  for (std::size_t a = 0; a < GetParam().size(); ++a) {
+    for (std::size_t b = 0; b < GetParam().size(); ++b) {
+      if (GetParam()[a] >= GetParam()[b]) {
+        EXPECT_GE(strat.local_steps[a] + 1, strat.local_steps[b]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerMixes, HadflStrategySweep,
+    ::testing::Values(std::vector<double>{1, 1, 1, 1},
+                      std::vector<double>{3, 3, 1, 1},
+                      std::vector<double>{4, 2, 2, 1},
+                      std::vector<double>{6, 3, 2, 1},
+                      std::vector<double>{2, 1},
+                      std::vector<double>{7, 5, 3, 2, 1}));
+
+}  // namespace
+}  // namespace hadfl

@@ -1,0 +1,72 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/hadfl_state_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializeTest, RoundTripPreservesValues) {
+  const std::vector<float> state{1.0f, -2.5f, 3.25f, 0.0f, 1e-7f};
+  save_state(path_, state);
+  EXPECT_EQ(load_state(path_), state);
+}
+
+TEST_F(SerializeTest, RoundTripEmptyState) {
+  save_state(path_, {});
+  EXPECT_TRUE(load_state(path_).empty());
+}
+
+TEST_F(SerializeTest, RoundTripLargeState) {
+  std::vector<float> state(100000);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    state[i] = static_cast<float>(i) * 0.001f;
+  }
+  save_state(path_, state);
+  EXPECT_EQ(load_state(path_), state);
+}
+
+TEST_F(SerializeTest, RejectsMissingFile) {
+  EXPECT_THROW(load_state(path_ + ".does-not-exist"), Error);
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOPEnope this is not a state file";
+  }
+  EXPECT_THROW(load_state(path_), Error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedPayload) {
+  save_state(path_, std::vector<float>(16, 1.0f));
+  // Truncate the file mid-payload.
+  std::ofstream out(path_, std::ios::binary | std::ios::in);
+  out.seekp(4 + 4 + 8 + 8);  // magic + version + count + 2 floats
+  out.close();
+  std::ifstream check(path_, std::ios::binary | std::ios::ate);
+  // Rewrite the file shorter.
+  std::vector<char> head(4 + 4 + 8 + 8);
+  {
+    std::ifstream in(path_, std::ios::binary);
+    in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  }
+  {
+    std::ofstream trunc(path_, std::ios::binary | std::ios::trunc);
+    trunc.write(head.data(), static_cast<std::streamsize>(head.size()));
+  }
+  EXPECT_THROW(load_state(path_), Error);
+}
+
+}  // namespace
+}  // namespace hadfl::nn

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace hadfl::sim {
+namespace {
+
+TEST(DeviceSpec, FromRatio) {
+  const auto specs = devices_from_ratio({3, 3, 1, 1});
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].id, 0u);
+  EXPECT_EQ(specs[0].compute_power, 3.0);
+  EXPECT_EQ(specs[3].compute_power, 1.0);
+  EXPECT_EQ(specs[2].name, "dev2");
+}
+
+TEST(DeviceSpec, RatioToString) {
+  EXPECT_EQ(ratio_to_string({4, 2, 2, 1}), "[4,2,2,1]");
+  EXPECT_EQ(ratio_to_string({1.5}), "[1.5]");
+}
+
+TEST(DeviceSpec, RejectsBadRatios) {
+  EXPECT_THROW(devices_from_ratio({}), InvalidArgument);
+  EXPECT_THROW(devices_from_ratio({1, 0}), InvalidArgument);
+  EXPECT_THROW(devices_from_ratio({1}, -0.1), InvalidArgument);
+}
+
+TEST(NetworkModel, TransferTime) {
+  NetworkModel net{1e-3, 1e6};  // 1 ms, 1 MB/s
+  EXPECT_NEAR(net.transfer_time(500000), 1e-3 + 0.5, 1e-9);
+  EXPECT_NEAR(net.transfer_time(0), 1e-3, 1e-12);
+}
+
+TEST(NetworkModel, Presets) {
+  EXPECT_GT(NetworkModel::pcie3_x8().bandwidth, 1e9);
+  EXPECT_GT(NetworkModel::wan().latency, NetworkModel::pcie3_x8().latency);
+}
+
+TEST(FaultInjector, AliveOutsideWindow) {
+  FaultInjector faults;
+  faults.schedule(FaultEvent{1, 10.0, 20.0});
+  EXPECT_TRUE(faults.alive(1, 9.9));
+  EXPECT_FALSE(faults.alive(1, 10.0));
+  EXPECT_FALSE(faults.alive(1, 19.9));
+  EXPECT_TRUE(faults.alive(1, 20.0));
+  EXPECT_TRUE(faults.alive(0, 15.0));  // other device unaffected
+}
+
+TEST(FaultInjector, PermanentDisconnect) {
+  FaultInjector faults;
+  faults.schedule_disconnect(2, 5.0);
+  EXPECT_TRUE(faults.alive(2, 4.0));
+  EXPECT_FALSE(faults.alive(2, 1e12));
+}
+
+TEST(FaultInjector, FailsWithinInterval) {
+  FaultInjector faults;
+  faults.schedule(FaultEvent{0, 10.0, 12.0});
+  EXPECT_TRUE(faults.fails_within(0, 9.0, 10.5));
+  EXPECT_TRUE(faults.fails_within(0, 11.0, 15.0));
+  EXPECT_FALSE(faults.fails_within(0, 0.0, 9.9));
+  EXPECT_FALSE(faults.fails_within(0, 12.0, 20.0));
+}
+
+TEST(FaultInjector, Validation) {
+  FaultInjector faults;
+  EXPECT_THROW(faults.schedule(FaultEvent{0, -1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(faults.schedule(FaultEvent{0, 2.0, 2.0}), InvalidArgument);
+}
+
+TEST(Cluster, IterationTimeScalesInverselyWithPower) {
+  Cluster cluster(devices_from_ratio({4, 1}), 0.2);
+  EXPECT_NEAR(cluster.iteration_time(0), 0.05, 1e-12);
+  EXPECT_NEAR(cluster.iteration_time(1), 0.2, 1e-12);
+}
+
+TEST(Cluster, AdvanceComputeNoJitterIsExact) {
+  Cluster cluster(devices_from_ratio({2, 1}), 0.1);
+  const SimTime d = cluster.advance_compute(0, 10);
+  EXPECT_NEAR(d, 0.5, 1e-12);
+  EXPECT_NEAR(cluster.time(0), 0.5, 1e-12);
+  EXPECT_EQ(cluster.time(1), 0.0);
+}
+
+TEST(Cluster, JitterPerturbsBoundedly) {
+  Cluster cluster(devices_from_ratio({1}, /*jitter_std=*/0.1), 1.0, 99);
+  for (int i = 0; i < 200; ++i) {
+    const double f = cluster.sample_jitter_factor(0);
+    EXPECT_GE(f, 0.25);
+    EXPECT_LE(f, 1.4);
+  }
+}
+
+TEST(Cluster, NoJitterFactorIsOne) {
+  Cluster cluster(devices_from_ratio({1}), 1.0);
+  EXPECT_EQ(cluster.sample_jitter_factor(0), 1.0);
+}
+
+TEST(Cluster, BarrierAlignsSubset) {
+  Cluster cluster(devices_from_ratio({1, 1, 1}), 1.0);
+  cluster.advance(0, 3.0);
+  cluster.advance(1, 5.0);
+  const SimTime t = cluster.barrier({0, 1});
+  EXPECT_EQ(t, 5.0);
+  EXPECT_EQ(cluster.time(0), 5.0);
+  EXPECT_EQ(cluster.time(1), 5.0);
+  EXPECT_EQ(cluster.time(2), 0.0);  // not in the barrier
+}
+
+TEST(Cluster, BarrierAllAndMaxTime) {
+  Cluster cluster(devices_from_ratio({1, 1}), 1.0);
+  cluster.advance(1, 7.0);
+  EXPECT_EQ(cluster.max_time(), 7.0);
+  cluster.barrier_all();
+  EXPECT_EQ(cluster.time(0), 7.0);
+}
+
+TEST(Cluster, AdvanceToNeverMovesBackwards) {
+  Cluster cluster(devices_from_ratio({1}), 1.0);
+  cluster.advance(0, 5.0);
+  cluster.advance_to(0, 3.0);
+  EXPECT_EQ(cluster.time(0), 5.0);
+  cluster.advance_to(0, 8.0);
+  EXPECT_EQ(cluster.time(0), 8.0);
+}
+
+TEST(Cluster, ResetClocks) {
+  Cluster cluster(devices_from_ratio({1, 2}), 1.0);
+  cluster.advance(0, 5.0);
+  cluster.reset_clocks();
+  EXPECT_EQ(cluster.max_time(), 0.0);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(Cluster({}, 1.0), InvalidArgument);
+  EXPECT_THROW(Cluster(devices_from_ratio({1}), 0.0), InvalidArgument);
+  Cluster cluster(devices_from_ratio({1}), 1.0);
+  EXPECT_THROW(cluster.time(5), InvalidArgument);
+  EXPECT_THROW(cluster.advance(0, -1.0), InvalidArgument);
+  EXPECT_THROW(cluster.barrier({}), InvalidArgument);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](SimTime) { order.push_back(3); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](SimTime) { order.push_back(10); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(20); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+TEST(EventQueue, RunUntilBound) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(1.0, [&](SimTime) { ++count; });
+  q.schedule(5.0, [&](SimTime) { ++count; });
+  EXPECT_EQ(q.run(2.0), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](SimTime now) {
+    q.schedule(now + 1.0, [&](SimTime) { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  EventQueue q;
+  q.schedule(5.0, [](SimTime) {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [](SimTime) {}), InvalidArgument);
+  EXPECT_THROW(q.schedule(10.0, nullptr), InvalidArgument);
+}
+
+TEST(Trace, RecordAndQuery) {
+  TraceRecorder trace;
+  trace.record(0, 0.0, 1.0, SpanKind::kCompute, "train");
+  trace.record(1, 0.5, 2.0, SpanKind::kSync);
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans_for(0).size(), 1u);
+  EXPECT_EQ(trace.end_time(), 2.0);
+  EXPECT_THROW(trace.record(0, 2.0, 1.0, SpanKind::kIdle), InvalidArgument);
+}
+
+TEST(Trace, TimelineRendersRows) {
+  TraceRecorder trace;
+  trace.record(0, 0.0, 1.0, SpanKind::kCompute);
+  trace.record(1, 0.0, 0.5, SpanKind::kSync);
+  const std::string timeline = trace.render_timeline(2, 10);
+  EXPECT_NE(timeline.find("dev0 |"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_NE(timeline.find('S'), std::string::npos);
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_STREQ(span_kind_name(SpanKind::kCompute), "compute");
+  EXPECT_STREQ(span_kind_name(SpanKind::kBroadcast), "broadcast");
+}
+
+}  // namespace
+}  // namespace hadfl::sim

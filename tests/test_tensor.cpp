@@ -1,0 +1,93 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hadfl {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.ndim(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, AdoptsDataWithMatchingSize) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, RejectsDataSizeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), ShapeError);
+}
+
+TEST(Tensor, At2RowMajorLayout) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at2(0, 2), 2.0f);
+  EXPECT_EQ(t.at2(1, 1), 4.0f);
+}
+
+TEST(Tensor, At4NchwLayout) {
+  Tensor t({1, 2, 2, 2}, std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at4(0, 1, 0, 1), 5.0f);
+  EXPECT_EQ(t.at4(0, 0, 1, 0), 2.0f);
+}
+
+TEST(Tensor, BoundsChecksThrow) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(4), InvalidArgument);
+  EXPECT_THROW(t.at2(2, 0), InvalidArgument);
+  Tensor t4({1, 1, 2, 2});
+  EXPECT_THROW(t4.at4(0, 1, 0, 0), InvalidArgument);
+  EXPECT_THROW(t.at4(0, 0, 0, 0), ShapeError);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), ShapeError);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t({3}, 1.0f);
+  t.fill(-2.0f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], -2.0f);
+}
+
+TEST(Tensor, AllcloseRespectsTolerance) {
+  Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b({2}, std::vector<float>{1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+  Tensor c({1, 2});
+  EXPECT_FALSE(a.allclose(c));  // shape mismatch
+}
+
+TEST(Tensor, DimAccessor) {
+  Tensor t({5, 7});
+  EXPECT_EQ(t.dim(0), 5u);
+  EXPECT_EQ(t.dim(1), 7u);
+  EXPECT_THROW(t.dim(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hadfl

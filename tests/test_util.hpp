@@ -1,0 +1,97 @@
+// Shared test helpers: numeric gradient checking for layers and losses.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hadfl::testutil {
+
+/// Scalar loss used to drive gradient checks: L = sum_i c_i * out_i with
+/// fixed pseudo-random coefficients, so dL/dout = c.
+inline std::vector<float> probe_coefficients(std::size_t n) {
+  std::vector<float> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = 0.25f + 0.5f * static_cast<float>((i * 2654435761u >> 8) % 97) / 97.0f;
+  }
+  return c;
+}
+
+inline double probe_loss(const Tensor& out, const std::vector<float>& c) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) acc += c[i] * out[i];
+  return acc;
+}
+
+/// Checks dL/dinput of `layer` against central differences. The layer must
+/// be deterministic given the input (training-mode batch statistics are
+/// fine). Returns the max absolute error.
+inline double check_input_gradient(nn::Layer& layer, const Tensor& input,
+                                   float eps = 1e-3f) {
+  Tensor out = layer.forward(input, /*training=*/true);
+  const std::vector<float> c = probe_coefficients(out.numel());
+  Tensor grad_out(out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) grad_out[i] = c[i];
+  for (nn::Parameter* p : layer.parameters()) p->zero_grad();
+  const Tensor grad_in = layer.backward(grad_out);
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    Tensor plus = input;
+    Tensor minus = input;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double lp = probe_loss(layer.forward(plus, true), c);
+    const double lm = probe_loss(layer.forward(minus, true), c);
+    const double numeric = (lp - lm) / (2.0 * eps);
+    max_err = std::max(max_err, std::fabs(numeric - grad_in[i]));
+  }
+  return max_err;
+}
+
+/// Checks dL/dparam for every trainable parameter of `layer`.
+inline double check_parameter_gradients(nn::Layer& layer, const Tensor& input,
+                                        float eps = 1e-3f) {
+  Tensor out = layer.forward(input, /*training=*/true);
+  const std::vector<float> c = probe_coefficients(out.numel());
+  Tensor grad_out(out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) grad_out[i] = c[i];
+  for (nn::Parameter* p : layer.parameters()) p->zero_grad();
+  layer.backward(grad_out);
+
+  double max_err = 0.0;
+  for (nn::Parameter* p : layer.parameters()) {
+    if (!p->trainable) continue;
+    for (std::size_t i = 0; i < p->numel(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double lp = probe_loss(layer.forward(input, true), c);
+      p->value[i] = saved - eps;
+      const double lm = probe_loss(layer.forward(input, true), c);
+      p->value[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      max_err = std::max(max_err, std::fabs(numeric - p->grad[i]));
+    }
+  }
+  return max_err;
+}
+
+/// Deterministic pseudo-random tensor filler.
+inline Tensor random_tensor(Shape shape, std::uint64_t seed = 1,
+                            float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    t[i] = scale * (static_cast<float>(s % 2000) / 1000.0f - 1.0f);
+  }
+  return t;
+}
+
+}  // namespace hadfl::testutil
