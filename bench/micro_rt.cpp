@@ -1,0 +1,130 @@
+// Micro-benchmarks for the real-time runtime (src/rt): mailbox round-trip
+// latency, ring collective throughput on real threads as the ring grows,
+// and an rt-vs-sim end-to-end smoke on the paper's {3,3,1,1} cell.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "exp/runner.hpp"
+#include "rt/collectives.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/runner.hpp"
+#include "rt/transport.hpp"
+
+namespace {
+
+using namespace hadfl;
+
+// Ping-pong between two threads through two mailboxes: one iteration is a
+// full command/report round trip, the unit cost of every coordinator step.
+void BM_MailboxRoundTrip(benchmark::State& state) {
+  rt::Mailbox<int> ping;
+  rt::Mailbox<int> pong;
+  std::thread echo([&] {
+    for (;;) {
+      const std::optional<int> v = ping.pop(10.0);
+      if (!v || *v < 0) return;
+      pong.push(*v);
+    }
+  });
+  for (auto _ : state) {
+    ping.push(1);
+    benchmark::DoNotOptimize(pong.pop(10.0));
+  }
+  ping.push(-1);
+  echo.join();
+}
+BENCHMARK(BM_MailboxRoundTrip);
+
+// Full ring all-gather of a model-sized state across K worker threads; the
+// reported rate is per-collective (K-1 rendezvous steps per member).
+void BM_RtRingAllgather(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t elems = 1 << 14;
+  std::vector<sim::DeviceId> ring(k);
+  for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  for (auto _ : state) {
+    rt::InprocTransport t(k, sim::NetworkModel{1e-5, 1e9});
+    std::vector<std::thread> members;
+    members.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      members.emplace_back([&, i] {
+        std::vector<float> local(elems, static_cast<float>(i));
+        benchmark::DoNotOptimize(rt::ring_allgather(
+            t, ring, i, std::move(local), 1, 0, 30.0));
+      });
+    }
+    for (auto& th : members) th.join();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * (k - 1) * elems *
+                                                    sizeof(float)));
+}
+BENCHMARK(BM_RtRingAllgather)->Arg(2)->Arg(4)->Arg(8);
+
+// Bandwidth-optimal reduce-scatter + all-gather on the same rings, for
+// comparison with the all-gather path the trainer uses.
+void BM_RtRingAllreduceAverage(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t elems = 1 << 14;
+  std::vector<sim::DeviceId> ring(k);
+  for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  for (auto _ : state) {
+    rt::InprocTransport t(k, sim::NetworkModel{1e-5, 1e9});
+    std::vector<std::vector<float>> data(
+        k, std::vector<float>(elems, 1.0f));
+    std::vector<std::thread> members;
+    members.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      members.emplace_back([&, i] {
+        rt::ring_allreduce_average(t, ring, i, data[i], 1, 30.0);
+      });
+    }
+    for (auto& th : members) th.join();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * elems *
+                                                    sizeof(float)));
+}
+BENCHMARK(BM_RtRingAllreduceAverage)->Arg(2)->Arg(4)->Arg(8);
+
+exp::Scenario smoke_scenario() {
+  exp::Scenario s =
+      exp::paper_scenario(nn::Architecture::kMlp, {3, 3, 1, 1}, /*scale=*/0.3);
+  s.train.total_epochs = 4;
+  return s;
+}
+
+// End-to-end HADFL on the virtual-clock simulator (baseline for the pair
+// below; the two runs produce bit-identical aggregates).
+void BM_HadflSimEndToEnd(benchmark::State& state) {
+  exp::Scenario s = smoke_scenario();
+  for (auto _ : state) {
+    exp::Environment env(s);
+    fl::SchemeContext ctx = env.context();
+    benchmark::DoNotOptimize(core::run_hadfl(ctx, s.hadfl));
+  }
+}
+BENCHMARK(BM_HadflSimEndToEnd)->Unit(benchmark::kMillisecond);
+
+// The same cell on the rt backend: one thread per device, real mailboxes,
+// real ring collectives. The delta against the sim run is the cost of
+// actual concurrency (thread hand-offs, rendezvous waits).
+void BM_HadflRtEndToEnd(benchmark::State& state) {
+  exp::Scenario s = smoke_scenario();
+  for (auto _ : state) {
+    exp::Environment env(s);
+    fl::SchemeContext ctx = env.context();
+    rt::RtConfig config;
+    config.hadfl = s.hadfl;
+    config.command_poll_s = 0.002;
+    benchmark::DoNotOptimize(rt::run_hadfl_rt(ctx, config));
+  }
+}
+BENCHMARK(BM_HadflRtEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,44 +1,26 @@
 // Minimal fork-join helper.
 //
 // Device-local training bursts are independent between synchronization
-// points, so the trainers run them on one thread per device. Determinism is
-// preserved: each task touches only its own device state and RNG stream,
-// and results are reduced in fixed index order afterwards.
+// points, so the trainers run them concurrently. Determinism is preserved:
+// each task touches only its own device state and RNG stream, and results
+// are reduced in fixed index order afterwards. Execution rides on the
+// process-shared ThreadPool (common/thread_pool.hpp), so repeated training
+// bursts stop paying per-call thread-creation cost.
 #pragma once
 
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "common/thread_pool.hpp"
 
 namespace hadfl {
 
-/// Runs fn(0), ..., fn(count-1) concurrently (one thread each; `count` is
-/// expected to be small — the device count). Rethrows the first exception.
+/// Runs fn(0), ..., fn(count-1) concurrently on the shared pool (the caller
+/// participates, so nested calls cannot deadlock). Rethrows the first
+/// exception after all tasks finish.
 inline void parallel_for_each(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  if (count == 1) {
-    fn(0);
-    return;
-  }
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(count);
-  threads.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    threads.emplace_back([&, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  ThreadPool::shared().run_batch(count, fn);
 }
 
 }  // namespace hadfl

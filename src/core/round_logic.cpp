@@ -1,0 +1,172 @@
+#include "core/round_logic.hpp"
+
+#include <algorithm>
+
+#include "comm/compression.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "nn/param_utils.hpp"
+#include "nn/serialize.hpp"
+
+namespace hadfl::core {
+
+DeviceSetup init_devices(const fl::SchemeContext& ctx,
+                         const HadflConfig& config, Rng& rng) {
+  const std::size_t k = ctx.cluster.size();
+  DeviceSetup setup;
+  setup.reference = ctx.make_model(rng);
+  if (!config.resume_from.empty()) {
+    nn::set_state(*setup.reference, nn::load_state(config.resume_from));
+    HADFL_INFO("resumed initial model from " << config.resume_from);
+  }
+  setup.init_state = nn::get_state(*setup.reference);
+  setup.wire_bytes = ctx.comm_state_bytes != 0
+                         ? ctx.comm_state_bytes
+                         : setup.init_state.size() * sizeof(float);
+
+  setup.devices.resize(k);
+  setup.iters_per_epoch.resize(k);
+  setup.compute_powers.resize(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    Rng dev_rng = rng.split();
+    DeviceState& dev = setup.devices[d];
+    dev.model = ctx.make_model(dev_rng);
+    nn::set_state(*dev.model, setup.init_state);
+    dev.optimizer = std::make_unique<nn::Sgd>(
+        dev.model->parameters(),
+        nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
+                      ctx.config.weight_decay});
+    dev.batches = std::make_unique<data::BatchIterator>(
+        ctx.train, ctx.partition[d], ctx.config.device_batch_size,
+        dev_rng.split());
+    dev.last_sync_state = setup.init_state;
+    setup.iters_per_epoch[d] = fl::iters_per_epoch(
+        ctx.partition[d].size(), ctx.config.device_batch_size);
+    setup.compute_powers[d] = ctx.cluster.device(d).compute_power;
+  }
+  return setup;
+}
+
+std::size_t compress_roundtrip(std::vector<float>& state,
+                               const std::vector<float>& reference,
+                               const HadflConfig& config) {
+  switch (config.compression) {
+    case SyncCompression::kNone:
+      return state.size() * sizeof(float);
+    case SyncCompression::kInt8:
+      return comm::apply_int8_roundtrip(state);
+    case SyncCompression::kTopK:
+      return comm::apply_top_k_roundtrip(state, reference,
+                                         config.top_k_ratio);
+  }
+  return state.size() * sizeof(float);
+}
+
+std::size_t effective_wire_bytes(std::size_t wire_bytes,
+                                 std::size_t codec_bytes,
+                                 std::size_t dense_bytes) {
+  if (dense_bytes == 0) return wire_bytes;
+  const double ratio = static_cast<double>(codec_bytes) /
+                       static_cast<double>(dense_bytes);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(wire_bytes) * ratio));
+}
+
+std::vector<float> mean_state_of(std::vector<DeviceState>& devices,
+                                 const std::vector<sim::DeviceId>& ids) {
+  std::vector<std::vector<float>> states;
+  states.reserve(ids.size());
+  for (sim::DeviceId id : ids) {
+    states.push_back(nn::get_state(*devices[id].model));
+  }
+  return nn::average(states);
+}
+
+std::vector<double> predict_versions(
+    PredictorMode mode, const RuntimeSupervisor& supervisor,
+    const std::vector<double>& fallback,
+    const std::vector<std::vector<double>>& history) {
+  switch (mode) {
+    case PredictorMode::kDes:
+      return supervisor.predict(fallback);
+    case PredictorMode::kStatic:
+      return fallback;
+    case PredictorMode::kLastValue:
+      return history.empty() ? fallback : history.back();
+  }
+  return fallback;
+}
+
+RingPlan plan_ring(SelectionPolicy& policy,
+                   const std::vector<sim::DeviceId>& candidates,
+                   const std::vector<double>& predicted,
+                   const std::vector<double>& compute_powers,
+                   const std::vector<double>& bandwidth_scales,
+                   std::size_t select_count, Rng& rng) {
+  SelectionContext sel_ctx;
+  sel_ctx.select_count = std::min(select_count, candidates.size());
+  for (sim::DeviceId id : candidates) {
+    sel_ctx.versions.push_back(predicted[id]);
+    sel_ctx.compute_powers.push_back(compute_powers[id]);
+    sel_ctx.bandwidth_scales.push_back(bandwidth_scales[id]);
+  }
+  const std::vector<std::size_t> picks = policy.select(sel_ctx, rng);
+  RingPlan plan;
+  plan.selected.reserve(picks.size());
+  for (std::size_t p : picks) plan.selected.push_back(candidates[p]);
+  plan.ring = StrategyGenerator::make_ring(plan.selected, rng);
+  return plan;
+}
+
+std::vector<double> ring_weights(const data::Partition& partition,
+                                 const std::vector<sim::DeviceId>& ring,
+                                 bool weight_by_samples) {
+  HADFL_CHECK_ARG(!ring.empty(), "ring_weights of empty ring");
+  if (!weight_by_samples) {
+    return std::vector<double>(ring.size(),
+                               1.0 / static_cast<double>(ring.size()));
+  }
+  std::vector<double> weights;
+  weights.reserve(ring.size());
+  double total_samples = 0.0;
+  for (sim::DeviceId id : ring) {
+    total_samples += static_cast<double>(partition[id].size());
+  }
+  for (sim::DeviceId id : ring) {
+    weights.push_back(static_cast<double>(partition[id].size()) /
+                      total_samples);
+  }
+  return weights;
+}
+
+double ring_version_mean(const std::vector<DeviceState>& devices,
+                         const std::vector<sim::DeviceId>& ring) {
+  double version_mean = 0.0;
+  for (sim::DeviceId id : ring) version_mean += devices[id].version;
+  return version_mean / static_cast<double>(ring.size());
+}
+
+void apply_aggregate(std::vector<DeviceState>& devices,
+                     const std::vector<sim::DeviceId>& ring,
+                     const std::vector<float>& aggregate,
+                     double version_mean) {
+  for (sim::DeviceId id : ring) {
+    nn::set_state(*devices[id].model, aggregate);
+    devices[id].version = version_mean;
+    devices[id].last_sync_state = aggregate;
+  }
+}
+
+void integrate_broadcast(DeviceState& dev, const std::vector<float>& aggregate,
+                         double version_mean, const HadflConfig& config) {
+  std::vector<float> received = aggregate;
+  compress_roundtrip(received, dev.last_sync_state, config);
+  std::vector<float> local = nn::get_state(*dev.model);
+  nn::mix_into(local, received, config.broadcast_mix_weight);
+  nn::set_state(*dev.model, local);
+  dev.last_sync_state = std::move(received);
+  dev.version = (1.0 - config.broadcast_mix_weight) * dev.version +
+                config.broadcast_mix_weight * version_mean;
+}
+
+}  // namespace hadfl::core

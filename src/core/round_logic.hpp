@@ -1,0 +1,125 @@
+// Backend-agnostic pieces of the HADFL round (paper Alg. 1 + §III).
+//
+// Two execution backends share this logic:
+//  * the virtual-clock simulator (core/trainer.cpp, comm::SimTransport) —
+//    deterministic evaluation on per-device Lamport clocks;
+//  * the real-time concurrent runtime (src/rt) — one worker thread per
+//    device, mailbox message passing, wall-clock timing.
+//
+// Everything that decides *what* the algorithm computes lives here —
+// device-state initialization (including the exact RNG split sequence, so
+// both backends derive identical streams from one seed), version
+// prediction, probability-based selection + ring generation, the ring
+// aggregation rule, and broadcast integration. Everything that decides
+// *when/where* it executes (clock advancement vs. real threads and
+// transports) stays in the backends. A seeded run with timing noise
+// disabled therefore produces bit-identical aggregates on both backends
+// (tests/test_rt.cpp pins this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/coordinator.hpp"
+#include "core/trainer.hpp"
+#include "data/batch_iterator.hpp"
+#include "fl/scheme.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace hadfl::core {
+
+/// Per-device runtime state (the device side of Fig. 2a). In the simulator
+/// all states live on the coordinator thread; in the rt backend each worker
+/// thread exclusively owns its entry between synchronization points.
+struct DeviceState {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<nn::Sgd> optimizer;
+  std::unique_ptr<data::BatchIterator> batches;
+  double version = 0.0;        ///< cumulative parameter version (iterations)
+  double last_loss = 0.0;
+  std::size_t last_executed = 0;
+  std::vector<float> last_sync_state;  ///< reference for top-k deltas
+};
+
+/// Everything `init_devices` derives from the scheme context.
+struct DeviceSetup {
+  std::vector<DeviceState> devices;
+  std::vector<std::size_t> iters_per_epoch;  ///< per-device, from partition
+  std::vector<double> compute_powers;
+  std::vector<float> init_state;             ///< the dispatched model state
+  std::unique_ptr<nn::Sequential> reference; ///< coordinator-side eval model
+  std::size_t wire_bytes = 0;                ///< per-exchange wire size
+};
+
+/// Initial model dispatch (workflow step 2 / Alg. 1 line 1): builds the
+/// reference model (fresh init or `config.resume_from` backup) and one
+/// DeviceState per device, all starting from the identical state. The RNG
+/// split sequence is part of the contract: reference first, then per device
+/// one split for the model and one for the batch iterator, in id order.
+DeviceSetup init_devices(const fl::SchemeContext& ctx,
+                         const HadflConfig& config, Rng& rng);
+
+/// Applies the configured codec round-trip to `state` (what the receiver
+/// reconstructs) and returns the codec's wire size in bytes of the *actual*
+/// state; kNone returns the dense size.
+std::size_t compress_roundtrip(std::vector<float>& state,
+                               const std::vector<float>& reference,
+                               const HadflConfig& config);
+
+/// Scales the full-size wire price by the codec's compression ratio.
+std::size_t effective_wire_bytes(std::size_t wire_bytes,
+                                 std::size_t codec_bytes,
+                                 std::size_t dense_bytes);
+
+/// Mean state across the listed devices (id order).
+std::vector<float> mean_state_of(std::vector<DeviceState>& devices,
+                                 const std::vector<sim::DeviceId>& ids);
+
+/// The coordinator's version forecast for the coming selection (workflow
+/// step 4). `fallback` is the Eq. 6 static expectation for the round;
+/// `history` is the per-round actual-version record (kLastValue mode).
+std::vector<double> predict_versions(
+    PredictorMode mode, const RuntimeSupervisor& supervisor,
+    const std::vector<double>& fallback,
+    const std::vector<std::vector<double>>& history);
+
+/// Probability-based selection (Eq. 8 via the policy) plus the random
+/// directed ring over the picks. Draws from `rng` exactly as the simulator
+/// backend always has: one policy->select call, then make_ring.
+struct RingPlan {
+  std::vector<sim::DeviceId> selected;  ///< policy picks (candidate order)
+  std::vector<sim::DeviceId> ring;      ///< directed ring over the picks
+};
+RingPlan plan_ring(SelectionPolicy& policy,
+                   const std::vector<sim::DeviceId>& candidates,
+                   const std::vector<double>& predicted,
+                   const std::vector<double>& compute_powers,
+                   const std::vector<double>& bandwidth_scales,
+                   std::size_t select_count, Rng& rng);
+
+/// Aggregation weights for the ring members, in ring order: n_k-proportional
+/// (the Eq. 2 objective) when `weight_by_samples`, else uniform (plain
+/// Eq. 5 — numerically identical to nn::average).
+std::vector<double> ring_weights(const data::Partition& partition,
+                                 const std::vector<sim::DeviceId>& ring,
+                                 bool weight_by_samples);
+
+/// Mean parameter version across the ring members.
+double ring_version_mean(const std::vector<DeviceState>& devices,
+                         const std::vector<sim::DeviceId>& ring);
+
+/// Installs the aggregate on every ring member (state, version, top-k
+/// reference).
+void apply_aggregate(std::vector<DeviceState>& devices,
+                     const std::vector<sim::DeviceId>& ring,
+                     const std::vector<float>& aggregate,
+                     double version_mean);
+
+/// An unselected device integrates a received aggregate (§III-D): codec
+/// round-trip against its own last-sync reference, then the configured mix
+/// into the local model and version.
+void integrate_broadcast(DeviceState& dev, const std::vector<float>& aggregate,
+                         double version_mean, const HadflConfig& config);
+
+}  // namespace hadfl::core

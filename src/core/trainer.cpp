@@ -5,72 +5,16 @@
 
 #include "comm/allreduce.hpp"
 #include "comm/broadcast.hpp"
-#include "comm/compression.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "core/coordinator.hpp"
-#include "data/batch_iterator.hpp"
+#include "core/round_logic.hpp"
 #include "fl/evaluate.hpp"
 #include "fl/local_trainer.hpp"
 #include "nn/param_utils.hpp"
-#include "nn/serialize.hpp"
 
 namespace hadfl::core {
-
-namespace {
-
-/// Per-device runtime state (the device side of Fig. 2a).
-struct DeviceRuntime {
-  std::unique_ptr<nn::Sequential> model;
-  std::unique_ptr<nn::Sgd> optimizer;
-  std::unique_ptr<data::BatchIterator> batches;
-  double version = 0.0;        ///< cumulative parameter version (iterations)
-  double last_loss = 0.0;
-  std::size_t last_executed = 0;
-  std::vector<float> last_sync_state;  ///< reference for top-k deltas
-};
-
-/// Applies the configured codec round-trip to `state` (what the receiver
-/// reconstructs) and returns the codec's wire size in bytes of the *actual*
-/// state; kNone returns the dense size.
-std::size_t compress_roundtrip(std::vector<float>& state,
-                               const std::vector<float>& reference,
-                               const HadflConfig& config) {
-  switch (config.compression) {
-    case SyncCompression::kNone:
-      return state.size() * sizeof(float);
-    case SyncCompression::kInt8:
-      return comm::apply_int8_roundtrip(state);
-    case SyncCompression::kTopK:
-      return comm::apply_top_k_roundtrip(state, reference,
-                                         config.top_k_ratio);
-  }
-  return state.size() * sizeof(float);
-}
-
-/// Scales the full-size wire price by the codec's compression ratio.
-std::size_t effective_wire_bytes(std::size_t wire_bytes,
-                                 std::size_t codec_bytes,
-                                 std::size_t dense_bytes) {
-  if (dense_bytes == 0) return wire_bytes;
-  const double ratio = static_cast<double>(codec_bytes) /
-                       static_cast<double>(dense_bytes);
-  return std::max<std::size_t>(
-      1, static_cast<std::size_t>(static_cast<double>(wire_bytes) * ratio));
-}
-
-std::vector<float> mean_state_of(std::vector<DeviceRuntime>& devices,
-                                 const std::vector<sim::DeviceId>& ids) {
-  std::vector<std::vector<float>> states;
-  states.reserve(ids.size());
-  for (sim::DeviceId id : ids) {
-    states.push_back(nn::get_state(*devices[id].model));
-  }
-  return nn::average(states);
-}
-
-}  // namespace
 
 HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
@@ -91,36 +35,17 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
 
   // ---- Initial model dispatch (workflow step 2 / Alg. 1 line 1). ----
   // The dispatched model is either a fresh initialization or a model-
-  // manager backup (checkpoint resume).
+  // manager backup (checkpoint resume). The RNG split sequence inside
+  // init_devices is shared with the rt backend (round_logic.hpp).
   Rng rng(ctx.config.seed);
-  auto reference = ctx.make_model(rng);
-  if (!config.resume_from.empty()) {
-    nn::set_state(*reference, nn::load_state(config.resume_from));
-    HADFL_INFO("resumed initial model from " << config.resume_from);
-  }
-  const std::vector<float> init_state = nn::get_state(*reference);
-  const std::size_t wire_bytes = ctx.comm_state_bytes != 0
-                                     ? ctx.comm_state_bytes
-                                     : init_state.size() * sizeof(float);
+  DeviceSetup setup = init_devices(ctx, config, rng);
+  std::vector<DeviceState>& devices = setup.devices;
+  const std::vector<std::size_t>& ipe = setup.iters_per_epoch;
+  const std::size_t wire_bytes = setup.wire_bytes;
 
-  std::vector<DeviceRuntime> devices(k);
-  std::vector<std::size_t> ipe(k);  // iterations per local epoch
-  std::vector<double> powers(k);
+  std::vector<double> bandwidth_scales(k);
   for (std::size_t d = 0; d < k; ++d) {
-    Rng dev_rng = rng.split();
-    devices[d].model = ctx.make_model(dev_rng);
-    nn::set_state(*devices[d].model, init_state);
-    devices[d].optimizer = std::make_unique<nn::Sgd>(
-        devices[d].model->parameters(),
-        nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
-                      ctx.config.weight_decay});
-    devices[d].batches = std::make_unique<data::BatchIterator>(
-        ctx.train, ctx.partition[d], ctx.config.device_batch_size,
-        dev_rng.split());
-    devices[d].last_sync_state = init_state;
-    ipe[d] = fl::iters_per_epoch(ctx.partition[d].size(),
-                                 ctx.config.device_batch_size);
-    powers[d] = cluster.device(d).compute_power;
+    bandwidth_scales[d] = cluster.device(d).bandwidth_scale;
   }
 
   HadflResult result;
@@ -188,8 +113,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   // Record the post-negotiation starting point.
   {
     std::vector<float> mean = mean_state_of(devices, fl::all_device_ids(cluster));
-    nn::set_state(*reference, mean);
-    const fl::EvalResult eval = fl::evaluate(*reference, ctx.test);
+    nn::set_state(*setup.reference, mean);
+    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
     double loss_sum = 0.0;
     for (const auto& dev : devices) loss_sum += dev.last_loss;
     result.scheme.metrics.add(fl::ConvergencePoint{
@@ -225,7 +150,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       jitter[d] = cluster.sample_jitter_factor(d);
     }
     parallel_for_each(k, [&](std::size_t d) {
-      DeviceRuntime& dev = devices[d];
+      DeviceState& dev = devices[d];
       dev.optimizer->set_learning_rate(ctx.config.learning_rate);
       const double iter_time = cluster.iteration_time(d) * jitter[d];
       const auto fit = static_cast<std::size_t>(
@@ -240,7 +165,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
     });
     double executed_total = 0.0;
     for (std::size_t d = 0; d < k; ++d) {
-      DeviceRuntime& dev = devices[d];
+      DeviceState& dev = devices[d];
       const double burst = cluster.iteration_time(d) * jitter[d] *
                            static_cast<double>(dev.last_executed);
       cluster.advance(d, burst);
@@ -261,22 +186,9 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       fallback[d] =
           static_cast<double>(round) * strategy.expected_versions[d];
     }
-    std::vector<double> predicted;
-    switch (config.predictor) {
-      case PredictorMode::kDes:
-        predicted = supervisor.predict(fallback);
-        break;
-      case PredictorMode::kStatic:
-        predicted = fallback;
-        break;
-      case PredictorMode::kLastValue:
-        if (result.extras.actual_versions.empty()) {
-          predicted = fallback;
-        } else {
-          predicted = result.extras.actual_versions.back();
-        }
-        break;
-    }
+    const std::vector<double> predicted =
+        predict_versions(config.predictor, supervisor, fallback,
+                         result.extras.actual_versions);
 
     // -- Supervisor observation (workflow step 7): the versions each device
     //    *brings to* the synchronization point, before aggregation mixes
@@ -296,21 +208,10 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       }
       if (candidates.empty()) continue;
 
-      SelectionContext sel_ctx;
-      sel_ctx.select_count =
-          std::min(config.strategy.select_count, candidates.size());
-      for (sim::DeviceId id : candidates) {
-        sel_ctx.versions.push_back(predicted[id]);
-        sel_ctx.compute_powers.push_back(powers[id]);
-        sel_ctx.bandwidth_scales.push_back(
-            cluster.device(id).bandwidth_scale);
-      }
-      const std::vector<std::size_t> picks = policy->select(sel_ctx, rng);
-      std::vector<sim::DeviceId> selected;
-      selected.reserve(picks.size());
-      for (std::size_t p : picks) selected.push_back(candidates[p]);
-      std::vector<sim::DeviceId> ring =
-          StrategyGenerator::make_ring(selected, rng);
+      RingPlan plan =
+          plan_ring(*policy, candidates, predicted, setup.compute_powers,
+                    bandwidth_scales, config.strategy.select_count, rng);
+      std::vector<sim::DeviceId> ring = std::move(plan.ring);
 
       // -- Fault-tolerant gossip aggregation (§III-D). A device can die
       //    *between* the repair scan and the collective (its fault window
@@ -347,22 +248,10 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
           const sim::SimTime sync_done = comm::simulate_ring_allreduce(
               transport, ring,
               effective_wire_bytes(wire_bytes, codec_bytes, dense_bytes));
-          if (config.weight_by_samples) {
-            // Eq. 2 objective: weight by each member's sample count n_k.
-            std::vector<double> weights;
-            weights.reserve(ring.size());
-            double total_samples = 0.0;
-            for (sim::DeviceId id : ring) {
-              total_samples += static_cast<double>(ctx.partition[id].size());
-            }
-            for (sim::DeviceId id : ring) {
-              weights.push_back(static_cast<double>(ctx.partition[id].size()) /
-                                total_samples);
-            }
-            aggregate = nn::weighted_average(contributions, weights);
-          } else {
-            aggregate = nn::average(contributions);  // plain Eq. 5
-          }
+          // Eq. 2 objective when weight_by_samples, else plain Eq. 5.
+          aggregate = nn::weighted_average(
+              contributions,
+              ring_weights(ctx.partition, ring, config.weight_by_samples));
           if (config.trace != nullptr) {
             for (sim::DeviceId id : ring) {
               config.trace->record(id, sync_start, sync_done,
@@ -383,14 +272,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       if (ring.empty() || aggregate.empty()) continue;
       selected_this_round.insert(selected_this_round.end(), ring.begin(),
                                  ring.end());
-      double version_mean = 0.0;
-      for (sim::DeviceId id : ring) version_mean += devices[id].version;
-      version_mean /= static_cast<double>(ring.size());
-      for (sim::DeviceId id : ring) {
-        nn::set_state(*devices[id].model, aggregate);
-        devices[id].version = version_mean;
-        devices[id].last_sync_state = aggregate;
-      }
+      const double version_mean = ring_version_mean(devices, ring);
+      apply_aggregate(devices, ring, aggregate, version_mean);
 
       // -- Non-blocking broadcast to the unselected group members.
       std::vector<sim::DeviceId> others;
@@ -419,15 +302,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
           }
         }
         for (sim::DeviceId id : bc.delivered) {
-          std::vector<float> received = aggregate;
-          compress_roundtrip(received, devices[id].last_sync_state, config);
-          std::vector<float> local = nn::get_state(*devices[id].model);
-          nn::mix_into(local, received, config.broadcast_mix_weight);
-          nn::set_state(*devices[id].model, local);
-          devices[id].last_sync_state = std::move(received);
-          devices[id].version =
-              (1.0 - config.broadcast_mix_weight) * devices[id].version +
-              config.broadcast_mix_weight * version_mean;
+          integrate_broadcast(devices[id], aggregate, version_mean, config);
         }
       }
 
@@ -490,8 +365,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       eval_state = mean_state_of(
           devices, avail.empty() ? fl::all_device_ids(cluster) : avail);
     }
-    nn::set_state(*reference, eval_state);
-    const fl::EvalResult eval = fl::evaluate(*reference, ctx.test);
+    nn::set_state(*setup.reference, eval_state);
+    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
     double loss_sum = 0.0;
     double loss_weight = 0.0;
     for (const auto& dev : devices) {

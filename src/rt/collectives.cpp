@@ -1,0 +1,122 @@
+#include "rt/collectives.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hadfl::rt {
+
+namespace {
+
+/// Chunk c's element range for an n-element buffer split across k chunks.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, std::size_t k,
+                                                std::size_t c) {
+  const std::size_t begin = c * n / k;
+  const std::size_t end = (c + 1) * n / k;
+  return {begin, end};
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> ring_allgather(
+    InprocTransport& transport, const std::vector<DeviceId>& ring,
+    std::size_t my_index, std::vector<float> local,
+    std::int64_t collective_id, std::size_t wire_bytes,
+    double step_timeout_s) {
+  const std::size_t k = ring.size();
+  HADFL_CHECK_ARG(k > 0, "ring_allgather on empty ring");
+  HADFL_CHECK_ARG(my_index < k, "my_index out of range");
+  std::vector<std::vector<float>> contributions(k);
+  contributions[my_index] = std::move(local);
+  if (k == 1) return contributions;
+
+  const DeviceId self = ring[my_index];
+  const DeviceId next = ring[(my_index + 1) % k];
+  const DeviceId prev = ring[(my_index + k - 1) % k];
+  for (std::size_t step = 0; step + 1 < k; ++step) {
+    // Forward the contribution that arrived last step (own state first).
+    const std::size_t send_slot = (my_index + k - step) % k;
+    const std::size_t recv_slot = (my_index + k - step - 1) % k;
+    Message msg;
+    msg.tag = make_tag(MsgKind::kData, collective_id,
+                       static_cast<std::int64_t>(step));
+    msg.payload = contributions[send_slot];
+    msg.wire_bytes = wire_bytes;
+    std::shared_ptr<PendingSend> pending =
+        transport.isend(self, next, std::move(msg));
+    Message incoming = transport.recv_match(
+        self, prev,
+        make_tag(MsgKind::kData, collective_id,
+                 static_cast<std::int64_t>(step)),
+        step_timeout_s);
+    contributions[recv_slot] = std::move(incoming.payload);
+    pending->wait(step_timeout_s, self, next);
+  }
+  return contributions;
+}
+
+void ring_allreduce_average(InprocTransport& transport,
+                            const std::vector<DeviceId>& ring,
+                            std::size_t my_index, std::span<float> data,
+                            std::int64_t collective_id,
+                            double step_timeout_s) {
+  const std::size_t k = ring.size();
+  HADFL_CHECK_ARG(k > 0, "ring_allreduce on empty ring");
+  HADFL_CHECK_ARG(my_index < k, "my_index out of range");
+  if (k == 1) return;
+
+  const DeviceId self = ring[my_index];
+  const DeviceId next = ring[(my_index + 1) % k];
+  const DeviceId prev = ring[(my_index + k - 1) % k];
+  const std::size_t n = data.size();
+
+  auto exchange = [&](std::size_t step, std::size_t send_chunk,
+                      std::size_t recv_chunk, bool accumulate) {
+    const auto [sb, se] = chunk_range(n, k, send_chunk);
+    Message msg;
+    msg.tag = make_tag(MsgKind::kData, collective_id,
+                       static_cast<std::int64_t>(step));
+    msg.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(sb),
+                       data.begin() + static_cast<std::ptrdiff_t>(se));
+    std::shared_ptr<PendingSend> pending =
+        transport.isend(self, next, std::move(msg));
+    Message incoming = transport.recv_match(
+        self, prev,
+        make_tag(MsgKind::kData, collective_id,
+                 static_cast<std::int64_t>(step)),
+        step_timeout_s);
+    const auto [rb, re] = chunk_range(n, k, recv_chunk);
+    HADFL_CHECK(incoming.payload.size() == re - rb);
+    if (accumulate) {
+      for (std::size_t i = rb; i < re; ++i) {
+        data[i] += incoming.payload[i - rb];
+      }
+    } else {
+      std::copy(incoming.payload.begin(), incoming.payload.end(),
+                data.begin() + static_cast<std::ptrdiff_t>(rb));
+    }
+    pending->wait(step_timeout_s, self, next);
+  };
+
+  // Reduce-scatter: after K-1 steps, member i owns the fully reduced chunk
+  // (i + 1) % k.
+  for (std::size_t step = 0; step + 1 < k; ++step) {
+    const std::size_t send_chunk = (my_index + k - step) % k;
+    const std::size_t recv_chunk = (my_index + k - step - 1) % k;
+    exchange(step, send_chunk, recv_chunk, /*accumulate=*/true);
+  }
+  // Average the owned chunk before circulating results.
+  {
+    const auto [b, e] = chunk_range(n, k, (my_index + 1) % k);
+    const float inv = 1.0f / static_cast<float>(k);
+    for (std::size_t i = b; i < e; ++i) data[i] *= inv;
+  }
+  // All-gather the reduced chunks.
+  for (std::size_t step = 0; step + 1 < k; ++step) {
+    const std::size_t send_chunk = (my_index + 1 + k - step) % k;
+    const std::size_t recv_chunk = (my_index + k - step) % k;
+    exchange(k - 1 + step, send_chunk, recv_chunk, /*accumulate=*/false);
+  }
+}
+
+}  // namespace hadfl::rt

@@ -1,0 +1,45 @@
+// Ring collectives over the in-process transport, executed cooperatively:
+// every ring member calls the same function from its own worker thread.
+//
+// Each step posts the outgoing chunk (isend), receives the incoming chunk,
+// then waits for the outgoing rendezvous ack — the standard way to run
+// rendezvous semantics around a cycle without deadlock.
+//
+//  * `ring_allgather` — K-1 steps circulating full states; used by the
+//    training path because every member ends up with the contributions in
+//    ring order and can apply the exact same weighted average the
+//    simulator computes (bit-identical aggregation across backends).
+//  * `ring_allreduce_average` — the classic reduce-scatter + all-gather
+//    (2(K-1) steps of N/K-element chunks); bandwidth-optimal, used by the
+//    throughput benchmarks and available for schemes that do not need the
+//    individual contributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rt/transport.hpp"
+
+namespace hadfl::rt {
+
+/// All-gathers the members' `local` vectors around the directed ring.
+/// Returns the contributions indexed in ring order (result[i] came from
+/// ring[i]); `result[my_index]` is `local` itself. `wire_bytes` prices each
+/// hop for volume accounting (0 = dense payload size). Throws CommError if
+/// a neighbour dies or a step exceeds `step_timeout_s`.
+std::vector<std::vector<float>> ring_allgather(
+    InprocTransport& transport, const std::vector<DeviceId>& ring,
+    std::size_t my_index, std::vector<float> local,
+    std::int64_t collective_id, std::size_t wire_bytes,
+    double step_timeout_s);
+
+/// Averages `data` elementwise across the ring members in place via
+/// reduce-scatter + all-gather. All members must pass equal-sized spans.
+void ring_allreduce_average(InprocTransport& transport,
+                            const std::vector<DeviceId>& ring,
+                            std::size_t my_index, std::span<float> data,
+                            std::int64_t collective_id,
+                            double step_timeout_s);
+
+}  // namespace hadfl::rt

@@ -1,0 +1,135 @@
+#include "rt/failure_detector.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace hadfl::rt {
+
+namespace {
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+FailureDetector::FailureDetector(std::size_t devices, HeartbeatConfig config)
+    : config_(config) {
+  HADFL_CHECK_ARG(devices > 0, "detector needs at least one device");
+  HADFL_CHECK_ARG(config_.timeout_s > 0.0,
+                  "heartbeat timeout must be positive");
+  slots_.reserve(devices);
+  const std::int64_t start = now_ns();
+  for (std::size_t d = 0; d < devices; ++d) {
+    slots_.push_back(std::make_unique<Slot>());
+    // Everyone starts fresh: a worker that never gets scheduled within the
+    // window is indistinguishable from a dead one, which is the point.
+    slots_.back()->last_beat_ns.store(start, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t FailureDetector::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+void FailureDetector::check_device(DeviceId id) const {
+  HADFL_CHECK_ARG(id < slots_.size(), "device id " << id << " out of range");
+}
+
+void FailureDetector::beat(DeviceId id) {
+  check_device(id);
+  slots_[id]->last_beat_ns.store(now_ns(), std::memory_order_release);
+}
+
+void FailureDetector::mark_dead(DeviceId id) {
+  check_device(id);
+  slots_[id]->dead.store(true, std::memory_order_release);
+}
+
+bool FailureDetector::is_alive(DeviceId id) const {
+  check_device(id);
+  if (slots_[id]->dead.load(std::memory_order_acquire)) return false;
+  const std::int64_t last =
+      slots_[id]->last_beat_ns.load(std::memory_order_acquire);
+  const double silence_s =
+      static_cast<double>(now_ns() - last) / 1e9;
+  return silence_s <= config_.timeout_s;
+}
+
+std::vector<DeviceId> FailureDetector::suspects() const {
+  std::vector<DeviceId> out;
+  for (DeviceId d = 0; d < slots_.size(); ++d) {
+    if (!is_alive(d)) out.push_back(d);
+  }
+  return out;
+}
+
+RtRingRepairResult repair_ring(InprocTransport& transport,
+                               const FailureDetector& detector,
+                               const std::vector<DeviceId>& ring,
+                               const RtRingRepairConfig& config) {
+  HADFL_CHECK_ARG(!ring.empty(), "repair_ring on empty ring");
+
+  RtRingRepairResult result;
+  result.ring = ring;
+
+  // Iterate until stable: bypassing one device changes the downstream
+  // relationships, and multiple (possibly consecutive) members may be dead.
+  bool changed = true;
+  while (changed && result.ring.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < result.ring.size(); ++i) {
+      const DeviceId candidate = result.ring[i];
+      const DeviceId downstream = result.ring[(i + 1) % result.ring.size()];
+      if (downstream == candidate) break;
+      // Suspicion: stale heartbeat or an endpoint the transport already
+      // knows is closed. Either way death must be confirmed by handshake.
+      if (detector.is_alive(candidate) && transport.alive(candidate)) {
+        continue;
+      }
+      // Downstream waits the pre-specified time, then handshakes.
+      sleep_s(config.wait_before_handshake_s);
+      const bool alive = transport.handshake(downstream, candidate,
+                                             config.handshake_timeout_s);
+      if (alive) continue;  // transient: came back within the window
+      // Warn the dead device's upstream, which bypasses it.
+      const DeviceId upstream =
+          result.ring[(i + result.ring.size() - 1) % result.ring.size()];
+      if (upstream != downstream && transport.alive(upstream) &&
+          transport.alive(downstream)) {
+        Message warn;
+        warn.tag = make_tag(MsgKind::kWarn, candidate);
+        try {
+          transport.send_nonblocking(downstream, upstream, std::move(warn));
+        } catch (const CommError&) {
+          // The upstream died between the check and the push; the next
+          // sweep of the loop will bypass it too.
+        }
+      }
+      HADFL_INFO("rt ring repair: dev" << candidate << " bypassed (upstream dev"
+                                       << upstream << " -> dev" << downstream
+                                       << ")");
+      result.warns.emplace_back(upstream, downstream);
+      result.removed.push_back(candidate);
+      result.ring.erase(result.ring.begin() + static_cast<std::ptrdiff_t>(i));
+      ++result.repairs;
+      changed = true;
+      break;
+    }
+  }
+
+  // Single survivor that is itself dead: report an empty ring.
+  if (result.ring.size() == 1 && (!detector.is_alive(result.ring[0]) ||
+                                  !transport.alive(result.ring[0]))) {
+    result.removed.push_back(result.ring[0]);
+    result.ring.clear();
+  }
+  return result;
+}
+
+}  // namespace hadfl::rt

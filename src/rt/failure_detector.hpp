@@ -1,0 +1,92 @@
+// Wall-clock failure detection for the real-time runtime.
+//
+// Two layers, mirroring the paper's §III-D protocol on real threads:
+//
+//  * `FailureDetector` — heartbeat table. Every worker thread beats on each
+//    command-poll iteration (its "daemon"); a device whose last beat is
+//    older than the configured timeout is suspected dead. Suspicion is
+//    cheap and possibly transient — it only triggers the handshake below.
+//  * `repair_ring` — the wait → handshake → warn-upstream → bypass protocol
+//    executed on real time: for each suspect the downstream neighbour waits
+//    the pre-specified time, confirms death via a transport handshake (a
+//    real probe against the peer's endpoint), then warns the dead device's
+//    upstream with a fire-and-forget kWarn push so it bypasses the dead
+//    member. Consecutive dead members chain: once d is bypassed, its
+//    (also dead) upstream becomes the new silent neighbour and the loop
+//    repeats until the ring is stable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rt/transport.hpp"
+
+namespace hadfl::rt {
+
+struct HeartbeatConfig {
+  double timeout_s = 0.5;  ///< silence longer than this marks a suspect
+};
+
+/// Lock-free heartbeat table (one slot per device). Workers call `beat`
+/// from their own threads; the coordinator reads `is_alive`/`suspects`.
+class FailureDetector {
+ public:
+  explicit FailureDetector(std::size_t devices, HeartbeatConfig config = {});
+
+  /// Records a heartbeat for `id` at the current wall clock.
+  void beat(DeviceId id);
+
+  /// Marks `id` permanently dead (e.g. its worker exited or was killed);
+  /// no later beat resurrects it.
+  void mark_dead(DeviceId id);
+
+  /// True while `id` has not been marked dead and its last beat is within
+  /// the timeout window.
+  bool is_alive(DeviceId id) const;
+
+  /// Devices currently suspected dead (stale beat or marked).
+  std::vector<DeviceId> suspects() const;
+
+  const HeartbeatConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> last_beat_ns{0};
+    std::atomic<bool> dead{false};
+  };
+
+  void check_device(DeviceId id) const;
+  static std::int64_t now_ns();
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  HeartbeatConfig config_;
+};
+
+struct RtRingRepairConfig {
+  double wait_before_handshake_s = 0.05;  ///< §III-D pre-specified wait
+  double handshake_timeout_s = 0.05;
+};
+
+struct RtRingRepairResult {
+  std::vector<DeviceId> ring;     ///< surviving members in ring order
+  std::vector<DeviceId> removed;  ///< bypassed (dead) members
+  std::size_t repairs = 0;        ///< number of bypass operations
+  /// (warned upstream, downstream it should now talk to) per repair.
+  std::vector<std::pair<DeviceId, DeviceId>> warns;
+};
+
+/// Executes the §III-D repair protocol against real endpoints: suspects come
+/// from the heartbeat detector (or an already-closed transport endpoint),
+/// death is confirmed by a wall-clock handshake, and the bypass warning is a
+/// kWarn push on the upstream link. Iterates until the ring is stable, so
+/// runs of consecutive dead devices are chained out one by one.
+RtRingRepairResult repair_ring(InprocTransport& transport,
+                               const FailureDetector& detector,
+                               const std::vector<DeviceId>& ring,
+                               const RtRingRepairConfig& config = {});
+
+}  // namespace hadfl::rt

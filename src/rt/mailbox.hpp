@@ -1,0 +1,141 @@
+// Typed MPSC mailbox: the message-passing primitive of the real-time
+// runtime (one mailbox per device worker thread, any thread may push).
+//
+// Built on mutex + condition variable over a FIFO deque. Consumers can pop
+// in arrival order or by predicate (`pop_match`) — ring-collective steps
+// receive "the step-s message from my upstream neighbour" while unrelated
+// pushes (non-blocking broadcast payloads, warnings) stay queued.
+//
+// If the element type declares a `deliver_at` time point (the transport's
+// throttled envelopes do), a message becomes visible to consumers only once
+// that instant has passed — this is how injected latency/bandwidth delays
+// are enforced without the sender sleeping.
+//
+// `close()` models endpoint death: pending and future pops return nullopt
+// immediately, pushes are rejected. Closing wakes every blocked consumer,
+// which is what turns a peer's crash into a prompt CommError instead of a
+// full timeout wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace hadfl::rt {
+
+using Clock = std::chrono::steady_clock;
+
+namespace detail {
+template <typename T>
+Clock::time_point ready_time(const T& value) {
+  if constexpr (requires { value.deliver_at; }) {
+    return value.deliver_at;
+  } else {
+    return Clock::time_point::min();
+  }
+}
+}  // namespace detail
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message. Returns false (message dropped) if closed.
+  bool push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Pops the oldest deliverable message, waiting up to `timeout_s`.
+  /// Returns nullopt on timeout or when closed.
+  std::optional<T> pop(double timeout_s) {
+    return pop_match([](const T&) { return true; }, timeout_s);
+  }
+
+  /// Pops the oldest deliverable message satisfying `pred`, waiting up to
+  /// `timeout_s`. Returns nullopt on timeout or when closed.
+  template <typename Pred>
+  std::optional<T> pop_match(Pred pred, double timeout_s) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const Clock::time_point now = Clock::now();
+      Clock::time_point next_ready = Clock::time_point::max();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (!pred(*it)) continue;
+        const Clock::time_point at = detail::ready_time(*it);
+        if (at <= now) {
+          T out = std::move(*it);
+          queue_.erase(it);
+          return out;
+        }
+        next_ready = std::min(next_ready, at);
+      }
+      if (closed_) return std::nullopt;
+      if (now >= deadline) return std::nullopt;
+      cv_.wait_until(lock, std::min(deadline, next_ready));
+    }
+  }
+
+  /// Removes every queued message satisfying `pred`, invoking `on_drop` on
+  /// each (the transport acks dropped rendezvous envelopes so their senders
+  /// unblock). Returns the number removed.
+  template <typename Pred, typename OnDrop>
+  std::size_t purge(Pred pred, OnDrop on_drop) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t removed = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (pred(*it)) {
+        on_drop(*it);
+        it = queue_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  /// Closes the mailbox: drops queued messages (after `on_drop`-style ack
+  /// handling by the owner via purge, if desired), rejects future pushes,
+  /// wakes all waiters.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hadfl::rt

@@ -1,0 +1,794 @@
+#include "rt/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "core/coordinator.hpp"
+#include "core/grouping.hpp"
+#include "core/round_logic.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/param_utils.hpp"
+#include "rt/collectives.hpp"
+
+namespace hadfl::rt {
+
+namespace {
+
+/// Iterations between heartbeats while a worker trains.
+constexpr std::size_t kTrainChunk = 8;
+/// Synchronization attempts per round (repair + retry under a fresh id).
+constexpr int kMaxSyncAttempts = 4;
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double elapsed_s(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+enum class CmdKind {
+  kWarmup,
+  kSetState,
+  kTrain,
+  kSync,
+  kCommit,
+  kAbort,
+  kBroadcast,
+  kIntegrate,
+  kStop,
+};
+
+struct Command {
+  CmdKind kind = CmdKind::kStop;
+  std::size_t steps = 0;           ///< kWarmup / kTrain budget
+  double learning_rate = 0.0;
+  double deadline_s = 0.0;         ///< kTrain wall deadline (<= 0: none)
+  std::int64_t die_after = -1;     ///< fault injection (kTrain)
+  bool die_silently = false;
+  std::vector<float> state;        ///< kSetState payload
+  double version_mean = 0.0;       ///< kCommit / kIntegrate
+  std::vector<DeviceId> peers;     ///< kSync ring / kBroadcast targets
+  std::size_t my_index = 0;        ///< kSync: own position in the ring
+  std::int64_t collective_id = 0;  ///< kSync/kAbort/kBroadcast/kIntegrate
+  std::vector<double> weights;     ///< kSync aggregation weights, ring order
+  std::size_t wire_bytes = 0;      ///< per-exchange wire price
+  DeviceId peer = 0;               ///< kIntegrate: broadcast source
+};
+
+enum class ReportKind {
+  kWarmupDone,
+  kAck,
+  kTrainDone,
+  kSyncDone,
+  kCommitDone,
+  kBroadcastDone,
+  kIntegrateDone,
+  kStopped,
+};
+
+struct Report {
+  DeviceId device = 0;
+  ReportKind kind = ReportKind::kAck;
+  bool ok = true;
+  double loss = 0.0;
+  double wall_s = 0.0;              ///< kWarmupDone: measured duration
+  std::size_t executed = 0;         ///< kTrainDone
+  double version = 0.0;             ///< post-command parameter version
+  std::vector<float> aggregate;     ///< kSyncDone, from ring index 0 only
+  std::vector<DeviceId> delivered;  ///< kBroadcastDone
+};
+
+}  // namespace
+
+RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(config.hadfl.alpha > 0.0 && config.hadfl.alpha < 1.0,
+                  "alpha must be in (0, 1)");
+  HADFL_CHECK_ARG(config.hadfl.broadcast_mix_weight >= 0.0 &&
+                      config.hadfl.broadcast_mix_weight <= 1.0,
+                  "broadcast mix weight must be in [0, 1]");
+  HADFL_CHECK_ARG(config.collective_timeout_s > 0.0 &&
+                      config.command_poll_s > 0.0,
+                  "rt timeouts must be positive");
+  HADFL_CHECK_ARG(
+      core::make_groups(ctx.cluster, config.hadfl.grouping).size() == 1,
+      "rt backend supports the flat topology only (disable grouping)");
+
+  sim::Cluster& cluster = ctx.cluster;
+  const std::size_t k = cluster.size();
+  const Clock::time_point run_start = Clock::now();
+  const auto wall = [&] { return elapsed_s(run_start); };
+
+  std::shared_ptr<core::SelectionPolicy> policy = config.hadfl.policy;
+  if (!policy) policy = std::make_shared<core::GaussianQuartileSelection>();
+
+  // ---- Initial model dispatch — the RNG split sequence is shared with the
+  // simulator backend (core/round_logic.hpp), which is what makes seeded
+  // rt-vs-sim runs draw identical selection/ring streams.
+  Rng rng(ctx.config.seed);
+  core::DeviceSetup setup = init_devices(ctx, config.hadfl, rng);
+  std::vector<core::DeviceState>& devices = setup.devices;
+  const std::vector<std::size_t>& ipe = setup.iters_per_epoch;
+  const std::size_t wire_bytes = setup.wire_bytes;
+
+  std::vector<double> bandwidth_scales(k);
+  std::vector<double> iter_time(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    bandwidth_scales[d] = cluster.device(d).bandwidth_scale;
+    iter_time[d] = cluster.iteration_time(d);
+  }
+
+  InprocTransport transport(k, ctx.network, config.time_scale,
+                            bandwidth_scales);
+  FailureDetector detector(k, HeartbeatConfig{config.heartbeat_timeout_s});
+  std::vector<std::unique_ptr<Mailbox<Command>>> inboxes;
+  inboxes.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    inboxes.push_back(std::make_unique<Mailbox<Command>>());
+  }
+  Mailbox<Report> reports;
+
+  RtResult result;
+  result.scheme.scheme_name = "hadfl-rt";
+
+  // ---- Device worker loop: one per thread, driven purely by commands.
+  const auto worker_main = [&](DeviceId d) {
+    core::DeviceState& dev = devices[d];
+    Mailbox<Command>& inbox = *inboxes[d];
+    std::vector<float> pending_aggregate;
+
+    const auto throttled_sleep = [&](double seconds) {
+      const double slice = std::max(0.001, config.heartbeat_timeout_s / 4.0);
+      while (seconds > 0.0) {
+        const double s = std::min(seconds, slice);
+        sleep_s(s);
+        seconds -= s;
+        detector.beat(d);
+      }
+    };
+    const auto throttle = [&](std::size_t steps) {
+      if (config.compute_throttle > 0.0) {
+        throttled_sleep(config.compute_throttle * iter_time[d] *
+                        static_cast<double>(steps));
+      }
+    };
+    const auto report = [&](Report r) {
+      r.device = d;
+      reports.push(std::move(r));
+    };
+
+    for (;;) {
+      detector.beat(d);
+      std::optional<Command> cmd = inbox.pop(config.command_poll_s);
+      if (!cmd) {
+        if (inbox.closed()) return;
+        continue;
+      }
+      switch (cmd->kind) {
+        case CmdKind::kWarmup: {
+          dev.optimizer->set_learning_rate(cmd->learning_rate);
+          const Clock::time_point t0 = Clock::now();
+          double loss_sum = 0.0;
+          std::size_t done = 0;
+          while (done < cmd->steps) {
+            const std::size_t chunk =
+                std::min(kTrainChunk, cmd->steps - done);
+            loss_sum += fl::run_local_steps(*dev.model, *dev.optimizer,
+                                            *dev.batches, chunk)
+                            .mean_loss *
+                        static_cast<double>(chunk);
+            done += chunk;
+            throttle(chunk);
+            detector.beat(d);
+          }
+          dev.last_loss =
+              done > 0 ? loss_sum / static_cast<double>(done) : 0.0;
+          Report r;
+          r.kind = ReportKind::kWarmupDone;
+          r.loss = dev.last_loss;
+          r.wall_s = elapsed_s(t0);
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kSetState: {
+          nn::set_state(*dev.model, cmd->state);
+          Report r;
+          r.kind = ReportKind::kAck;
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kTrain: {
+          dev.optimizer->set_learning_rate(cmd->learning_rate);
+          const Clock::time_point t0 = Clock::now();
+          double loss_sum = 0.0;
+          std::size_t executed = 0;
+          bool died = false;
+          while (executed < cmd->steps) {
+            std::size_t chunk = std::min(kTrainChunk, cmd->steps - executed);
+            if (cmd->die_after >= 0) {
+              chunk = std::min(chunk, static_cast<std::size_t>(
+                                          cmd->die_after) -
+                                          executed);
+            }
+            if (chunk > 0) {
+              loss_sum += fl::run_local_steps(*dev.model, *dev.optimizer,
+                                              *dev.batches, chunk)
+                              .mean_loss *
+                          static_cast<double>(chunk);
+              executed += chunk;
+              throttle(chunk);
+            }
+            if (cmd->die_after >= 0 &&
+                executed >= static_cast<std::size_t>(cmd->die_after)) {
+              died = true;
+              break;
+            }
+            detector.beat(d);
+            if (cmd->deadline_s > 0.0 && elapsed_s(t0) >= cmd->deadline_s) {
+              break;  // window boundary: report a lower version (§III-B)
+            }
+          }
+          dev.version += static_cast<double>(executed);
+          dev.last_executed = executed;
+          if (executed > 0) {
+            dev.last_loss = loss_sum / static_cast<double>(executed);
+          }
+          if (died) {
+            // Injected crash: no report, no further beats. Closing the
+            // endpoint models the OS tearing down a dead process's
+            // sockets; a silent death leaves even that to the heartbeat.
+            if (!cmd->die_silently) transport.kill(d);
+            return;
+          }
+          Report r;
+          r.kind = ReportKind::kTrainDone;
+          r.executed = executed;
+          r.loss = dev.last_loss;
+          r.version = dev.version;
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kSync: {
+          Report r;
+          r.kind = ReportKind::kSyncDone;
+          try {
+            std::vector<float> state = nn::get_state(*dev.model);
+            const std::size_t dense = state.size() * sizeof(float);
+            const std::size_t codec = core::compress_roundtrip(
+                state, dev.last_sync_state, config.hadfl);
+            const std::size_t eff =
+                core::effective_wire_bytes(cmd->wire_bytes, codec, dense);
+            const std::vector<std::vector<float>> contributions =
+                ring_allgather(transport, cmd->peers, cmd->my_index,
+                               std::move(state), cmd->collective_id, eff,
+                               config.collective_timeout_s);
+            // Same reduction, same order, on every member: the aggregate is
+            // bitwise identical ring-wide and to the simulator's.
+            pending_aggregate =
+                nn::weighted_average(contributions, cmd->weights);
+            if (cmd->my_index == 0) r.aggregate = pending_aggregate;
+          } catch (const CommError& e) {
+            HADFL_DEBUG("dev" << d << " sync failed: " << e.what());
+            pending_aggregate.clear();
+            r.ok = false;
+          }
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kCommit: {
+          nn::set_state(*dev.model, pending_aggregate);
+          dev.version = cmd->version_mean;
+          dev.last_sync_state = std::move(pending_aggregate);
+          pending_aggregate.clear();
+          Report r;
+          r.kind = ReportKind::kCommitDone;
+          r.version = dev.version;
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kAbort: {
+          pending_aggregate.clear();
+          transport.purge_stale(d, cmd->collective_id);
+          Report r;
+          r.kind = ReportKind::kAck;
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kBroadcast: {
+          Report r;
+          r.kind = ReportKind::kBroadcastDone;
+          for (DeviceId target : cmd->peers) {
+            Message msg;
+            msg.tag = make_tag(MsgKind::kModelPush, cmd->collective_id);
+            msg.payload = dev.last_sync_state;
+            msg.wire_bytes = cmd->wire_bytes;
+            try {
+              transport.send_nonblocking(d, target, std::move(msg));
+              r.delivered.push_back(target);
+            } catch (const CommError&) {
+              // The push is consumed (volume counted) but never arrives —
+              // SimTransport parity.
+            }
+            detector.beat(d);
+          }
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kIntegrate: {
+          Report r;
+          r.kind = ReportKind::kIntegrateDone;
+          try {
+            Message msg = transport.recv_match(
+                d, cmd->peer,
+                make_tag(MsgKind::kModelPush, cmd->collective_id),
+                config.collective_timeout_s);
+            core::integrate_broadcast(dev, msg.payload, cmd->version_mean,
+                                      config.hadfl);
+            r.version = dev.version;
+          } catch (const CommError&) {
+            r.ok = false;
+          }
+          report(std::move(r));
+          break;
+        }
+        case CmdKind::kStop: {
+          Report r;
+          r.kind = ReportKind::kStopped;
+          report(std::move(r));
+          return;
+        }
+      }
+    }
+  };
+
+  // One dedicated thread per device: the pool joins them on destruction,
+  // after the shutdown guard below has closed every inbox.
+  ThreadPool pool(k);
+  struct InboxCloser {
+    std::vector<std::unique_ptr<Mailbox<Command>>>& boxes;
+    ~InboxCloser() {
+      for (auto& box : boxes) box->close();
+    }
+  } closer{inboxes};
+  for (std::size_t d = 0; d < k; ++d) {
+    pool.submit([&worker_main, d] { worker_main(d); });
+  }
+
+  // ---- Coordinator-side liveness + messaging helpers.
+  std::vector<bool> live(k, true);
+  const auto live_ids = [&] {
+    std::vector<DeviceId> ids;
+    for (DeviceId d = 0; d < k; ++d) {
+      if (live[d]) ids.push_back(d);
+    }
+    return ids;
+  };
+  const auto fence = [&](DeviceId d) {
+    if (!live[d]) return;
+    live[d] = false;
+    ++result.deaths_detected;
+    detector.mark_dead(d);
+    if (transport.alive(d)) transport.kill(d);
+    inboxes[d]->close();
+    HADFL_WARN("rt: device " << d << " declared dead and fenced");
+  };
+  const auto post = [&](DeviceId d, Command c) {
+    if (!live[d]) return false;
+    if (!inboxes[d]->push(std::move(c))) {
+      fence(d);
+      return false;
+    }
+    return true;
+  };
+  // Robust report collection: waits for every pending device to report,
+  // dropping (and fencing) devices whose endpoint closed, whose heartbeat
+  // went stale (`use_detector` — only where workers beat frequently), or
+  // that exceeded a hard deadline (bounded commands like collectives).
+  const auto collect = [&](std::vector<DeviceId> pending, ReportKind kind,
+                           bool use_detector, double deadline_s = 0.0) {
+    std::map<DeviceId, Report> out;
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](DeviceId d) { return !live[d]; }),
+                  pending.end());
+    const Clock::time_point start = Clock::now();
+    while (!pending.empty()) {
+      std::optional<Report> r = reports.pop(config.command_poll_s);
+      if (r) {
+        const auto it =
+            std::find(pending.begin(), pending.end(), r->device);
+        if (it != pending.end() && r->kind == kind) {
+          out.emplace(r->device, std::move(*r));
+          pending.erase(it);
+        }
+        continue;  // stale/unexpected reports are dropped
+      }
+      const bool expired =
+          deadline_s > 0.0 && elapsed_s(start) >= deadline_s;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const DeviceId d = *it;
+        const bool dead = !transport.alive(d) ||
+                          (use_detector && !detector.is_alive(d)) || expired;
+        if (dead) {
+          fence(d);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return out;
+  };
+  // Generous bound on a ring collective + report: every step is capped by
+  // the rendezvous/recv timeout, so a member that blows through this is
+  // hung, not slow.
+  const auto sync_deadline = [&](std::size_t ring_size) {
+    return 4.0 * static_cast<double>(ring_size) * config.collective_timeout_s +
+           5.0;
+  };
+
+  // Shadow of each worker's last reported progress. The coordinator never
+  // reads a (possibly dead) worker's DeviceState for bookkeeping — only
+  // model states of devices known idle-and-live, which the report mailbox
+  // orders correctly.
+  std::vector<double> sh_version(k, 0.0);
+  std::vector<double> sh_loss(k, 0.0);
+  std::vector<std::size_t> sh_executed(k, 0);
+
+  // ---- Mutual negotiation (§III-B) on real threads.
+  const int warmup_epochs = std::max(1, ctx.config.warmup_epochs);
+  for (DeviceId d = 0; d < k; ++d) {
+    Command c;
+    c.kind = CmdKind::kWarmup;
+    c.steps = static_cast<std::size_t>(warmup_epochs) * ipe[d];
+    c.learning_rate = ctx.config.warmup_learning_rate;
+    post(d, std::move(c));
+  }
+  std::vector<sim::SimTime> epoch_times(k, 0.0);
+  {
+    const auto reps =
+        collect(fl::all_device_ids(cluster), ReportKind::kWarmupDone,
+                /*use_detector=*/true);
+    for (DeviceId d = 0; d < k; ++d) {
+      // kVirtual derives T_i from the specs exactly like the simulator's
+      // clock accounting; kWallclock reports the measured duration.
+      epoch_times[d] =
+          static_cast<double>(ipe[d]) * iter_time[d];
+      const auto it = reps.find(d);
+      if (it != reps.end()) {
+        sh_loss[d] = it->second.loss;
+        if (config.timing == TimingMode::kWallclock) {
+          epoch_times[d] =
+              it->second.wall_s / static_cast<double>(warmup_epochs);
+        }
+      }
+    }
+  }
+  result.extras.negotiated_epoch_times = epoch_times;
+
+  if (config.hadfl.full_sync_after_negotiation) {
+    const std::vector<DeviceId> reachable = live_ids();
+    if (reachable.size() > 1) {
+      const std::vector<float> mean = core::mean_state_of(devices, reachable);
+      const std::size_t n = reachable.size();
+      const std::size_t chunk = (wire_bytes + n - 1) / n;
+      for (std::size_t i = 0; i < n; ++i) {
+        transport.account(reachable[i], reachable[(i + 1) % n],
+                          2 * (n - 1) * chunk);
+      }
+      std::vector<DeviceId> posted;
+      for (DeviceId d : reachable) {
+        Command c;
+        c.kind = CmdKind::kSetState;
+        c.state = mean;
+        if (post(d, std::move(c))) posted.push_back(d);
+      }
+      collect(posted, ReportKind::kAck, /*use_detector=*/true, 30.0);
+    }
+  }
+
+  double epochs_done = warmup_epochs;
+
+  // ---- Strategy generation (§III-C) from the negotiated epoch times.
+  const core::StrategyGenerator generator(config.hadfl.strategy);
+  const core::TrainingStrategy strategy = generator.generate(epoch_times, ipe);
+  result.extras.strategy = strategy;
+  HADFL_INFO("hadfl-rt strategy: H_E=" << strategy.hyperperiod << "s window="
+                                       << strategy.round_window << "s");
+
+  core::RuntimeSupervisor supervisor(k, config.hadfl.alpha);
+  core::ModelManager model_manager(config.hadfl.backup_dir,
+                                   config.hadfl.backup_every_rounds);
+
+  // Post-negotiation starting point.
+  {
+    // A fenced device's worker may still be running (heartbeat fencing does
+    // not stop the thread), so its DeviceState must never be read — fall
+    // back to the common initial state when nobody live is left.
+    const std::vector<DeviceId> ids = live_ids();
+    const std::vector<float> mean =
+        ids.empty() ? setup.init_state : core::mean_state_of(devices, ids);
+    nn::set_state(*setup.reference, mean);
+    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
+    double loss_sum = 0.0;
+    for (DeviceId d = 0; d < k; ++d) loss_sum += sh_loss[d];
+    result.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done, wall(), loss_sum / static_cast<double>(k), eval.loss,
+        eval.accuracy});
+  }
+
+  const double total_train = static_cast<double>(ctx.train.size());
+  std::size_t round = 0;
+  std::int64_t next_collective_id = 1;
+  int idle_rounds = 0;
+
+  while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
+    if (live_ids().empty()) {
+      HADFL_WARN("rt: no live devices left; stopping");
+      break;
+    }
+    ++round;
+    const double window = strategy.round_window;
+
+    // Workflow step 1: the available set is fixed *before* the round
+    // starts. A device dying during the round stays selectable on this
+    // stale view — the §III-D repair protocol is what handles it.
+    std::vector<bool> available_at_start(k, false);
+    for (DeviceId d = 0; d < k; ++d) available_at_start[d] = live[d];
+
+    // -- Asynchronous local training with deadline truncation.
+    std::vector<DeviceId> trainees;
+    for (DeviceId d = 0; d < k; ++d) {
+      if (!live[d]) continue;
+      Command c;
+      c.kind = CmdKind::kTrain;
+      c.learning_rate = ctx.config.learning_rate;
+      if (config.timing == TimingMode::kVirtual) {
+        // Same truncation arithmetic as the simulator (jitter factor 1).
+        const auto fit = static_cast<std::size_t>(
+            std::max(0.0, std::floor(window / iter_time[d] + 1e-9)));
+        c.steps = std::min(strategy.local_steps[d], fit);
+      } else {
+        c.steps = strategy.local_steps[d];
+        c.deadline_s = window;
+      }
+      for (const FaultPlan& plan : config.faults) {
+        if (plan.device == d && plan.round == round) {
+          c.die_after = static_cast<std::int64_t>(plan.after_steps);
+          c.die_silently = plan.silent;
+        }
+      }
+      if (post(d, std::move(c))) trainees.push_back(d);
+    }
+    double executed_total = 0.0;
+    {
+      const auto reps =
+          collect(trainees, ReportKind::kTrainDone, /*use_detector=*/true);
+      for (const auto& [d, r] : reps) {
+        sh_executed[d] = r.executed;
+        sh_loss[d] = r.loss;
+        sh_version[d] = r.version;
+        executed_total += static_cast<double>(r.executed);
+      }
+    }
+
+    // -- Coordinator: prediction, observation (same order as the sim).
+    std::vector<double> fallback(k);
+    for (DeviceId d = 0; d < k; ++d) {
+      fallback[d] =
+          static_cast<double>(round) * strategy.expected_versions[d];
+    }
+    const std::vector<double> predicted =
+        core::predict_versions(config.hadfl.predictor, supervisor, fallback,
+                               result.extras.actual_versions);
+    supervisor.observe_round(sh_version);
+    result.extras.actual_versions.push_back(sh_version);
+    result.extras.predicted_versions.push_back(predicted);
+
+    // -- Selection, fault-tolerant ring synchronization, broadcast.
+    std::vector<float> eval_state;
+    std::vector<DeviceId> selected_this_round;
+    std::vector<DeviceId> candidates;
+    for (DeviceId d = 0; d < k; ++d) {
+      if (available_at_start[d]) candidates.push_back(d);
+    }
+    if (!candidates.empty()) {
+      core::RingPlan plan = core::plan_ring(
+          *policy, candidates, predicted, setup.compute_powers,
+          bandwidth_scales, config.hadfl.strategy.select_count, rng);
+      std::vector<DeviceId> ring = std::move(plan.ring);
+
+      std::vector<float> aggregate;
+      double version_mean = 0.0;
+      for (int attempt = 0; attempt < kMaxSyncAttempts && !ring.empty();
+           ++attempt) {
+        const RtRingRepairResult repair =
+            repair_ring(transport, detector, ring, config.repair);
+        result.extras.ring_repairs += repair.repairs;
+        for (DeviceId d : repair.removed) fence(d);
+        ring = repair.ring;
+        if (ring.empty()) break;
+
+        const std::int64_t cid = next_collective_id++;
+        const std::vector<double> weights = core::ring_weights(
+            ctx.partition, ring, config.hadfl.weight_by_samples);
+        std::vector<DeviceId> posted;
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+          Command c;
+          c.kind = CmdKind::kSync;
+          c.peers = ring;
+          c.my_index = i;
+          c.collective_id = cid;
+          c.weights = weights;
+          c.wire_bytes = wire_bytes;
+          if (post(ring[i], std::move(c))) posted.push_back(ring[i]);
+        }
+        auto sreps = collect(posted, ReportKind::kSyncDone,
+                             /*use_detector=*/false,
+                             sync_deadline(ring.size()));
+        const bool all_ok =
+            posted.size() == ring.size() && sreps.size() == ring.size() &&
+            std::all_of(sreps.begin(), sreps.end(),
+                        [](const auto& kv) { return kv.second.ok; });
+        if (all_ok) {
+          aggregate = std::move(sreps.at(ring.front()).aggregate);
+          version_mean = 0.0;
+          for (DeviceId d : ring) version_mean += sh_version[d];
+          version_mean /= static_cast<double>(ring.size());
+          std::vector<DeviceId> committed;
+          for (DeviceId d : ring) {
+            Command c;
+            c.kind = CmdKind::kCommit;
+            c.version_mean = version_mean;
+            if (post(d, std::move(c))) committed.push_back(d);
+          }
+          const auto creps = collect(committed, ReportKind::kCommitDone,
+                                     /*use_detector=*/false, 30.0);
+          for (const auto& [d, r] : creps) sh_version[d] = r.version;
+          break;
+        }
+        // Abort the survivors, purge stale collective traffic, repair and
+        // retry under a fresh id.
+        HADFL_WARN("rt: partial sync attempt " << attempt
+                                               << " failed; repairing");
+        aggregate.clear();
+        std::vector<DeviceId> aborted;
+        for (DeviceId d : ring) {
+          Command c;
+          c.kind = CmdKind::kAbort;
+          c.collective_id = next_collective_id;
+          if (post(d, std::move(c))) aborted.push_back(d);
+        }
+        collect(aborted, ReportKind::kAck, /*use_detector=*/false,
+                sync_deadline(ring.size()));
+      }
+
+      if (!ring.empty() && !aggregate.empty()) {
+        selected_this_round.insert(selected_this_round.end(), ring.begin(),
+                                   ring.end());
+
+        // -- Non-blocking broadcast to the unselected candidates.
+        std::vector<DeviceId> others;
+        for (DeviceId id : candidates) {
+          if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
+            others.push_back(id);
+          }
+        }
+        if (!others.empty()) {
+          const DeviceId src = ring[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(ring.size()) - 1))];
+          // Price the pushes with a representative live receiver's codec
+          // reconstruction, like the simulator's probe.
+          std::size_t codec_bytes = aggregate.size() * sizeof(float);
+          for (DeviceId id : others) {
+            if (!live[id]) continue;
+            std::vector<float> probe = aggregate;
+            codec_bytes = core::compress_roundtrip(
+                probe, devices[id].last_sync_state, config.hadfl);
+            break;
+          }
+          const std::size_t eff = core::effective_wire_bytes(
+              wire_bytes, codec_bytes, aggregate.size() * sizeof(float));
+          const std::int64_t bc_id = next_collective_id++;
+          Command c;
+          c.kind = CmdKind::kBroadcast;
+          c.peers = others;
+          c.collective_id = bc_id;
+          c.wire_bytes = eff;
+          std::vector<DeviceId> delivered;
+          if (post(src, std::move(c))) {
+            const auto breps = collect({src}, ReportKind::kBroadcastDone,
+                                       /*use_detector=*/false, 30.0);
+            const auto it = breps.find(src);
+            if (it != breps.end()) delivered = it->second.delivered;
+          }
+          std::vector<DeviceId> integrating;
+          for (DeviceId id : delivered) {
+            Command c2;
+            c2.kind = CmdKind::kIntegrate;
+            c2.peer = src;
+            c2.collective_id = bc_id;
+            c2.version_mean = version_mean;
+            if (post(id, std::move(c2))) integrating.push_back(id);
+          }
+          const auto ireps = collect(integrating, ReportKind::kIntegrateDone,
+                                     /*use_detector=*/false, 30.0);
+          for (const auto& [d, r] : ireps) {
+            if (r.ok) sh_version[d] = r.version;
+          }
+        }
+        eval_state = std::move(aggregate);
+      }
+    }
+    result.extras.selected.push_back(selected_this_round);
+
+    epochs_done +=
+        executed_total * static_cast<double>(ctx.config.device_batch_size) /
+        total_train;
+    idle_rounds = executed_total > 0.0 ? 0 : idle_rounds + 1;
+
+    // -- Record convergence on the aggregated model.
+    if (eval_state.empty()) {
+      const std::vector<DeviceId> avail = live_ids();
+      if (avail.empty()) break;
+      eval_state = core::mean_state_of(devices, avail);
+    }
+    nn::set_state(*setup.reference, eval_state);
+    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
+    double loss_sum = 0.0;
+    double loss_weight = 0.0;
+    for (DeviceId d = 0; d < k; ++d) {
+      loss_sum += sh_loss[d] * static_cast<double>(sh_executed[d]);
+      loss_weight += static_cast<double>(sh_executed[d]);
+    }
+    result.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done, wall(), loss_weight > 0.0 ? loss_sum / loss_weight : 0.0,
+        eval.loss, eval.accuracy});
+
+    model_manager.update(eval_state, round);
+    ++result.scheme.sync_rounds;
+
+    if (idle_rounds >= 3) {
+      HADFL_WARN("rt: no training progress in 3 consecutive rounds; stopping");
+      break;
+    }
+  }
+
+  // ---- Orderly shutdown: after the kStopped reports the workers make no
+  // further writes, so the final state reads below are race-free even
+  // before the pool joins.
+  {
+    std::vector<DeviceId> stopping;
+    for (DeviceId d = 0; d < k; ++d) {
+      Command c;
+      c.kind = CmdKind::kStop;
+      if (post(d, std::move(c))) stopping.push_back(d);
+    }
+    collect(stopping, ReportKind::kStopped, /*use_detector=*/true, 30.0);
+  }
+
+  result.extras.model_backups = model_manager.backups_written();
+  result.scheme.volume = transport.volume();
+  if (model_manager.has_model()) {
+    result.scheme.final_state = model_manager.latest();
+  } else {
+    const std::vector<DeviceId> ids = live_ids();
+    result.scheme.final_state =
+        ids.empty() ? setup.init_state : core::mean_state_of(devices, ids);
+  }
+  result.scheme.total_time = wall();
+  result.wall_seconds = wall();
+  return result;
+}
+
+}  // namespace hadfl::rt

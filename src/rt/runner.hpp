@@ -1,0 +1,86 @@
+// Real-time concurrent HADFL runner: the full pipeline of core/trainer.cpp
+// (warmup negotiation → strategy generation → version prediction →
+// probability selection → ring synchronization → non-blocking broadcast →
+// §III-D fault tolerance) executed on actual threads.
+//
+// Architecture (Fig. 2a on threads): the calling thread is the cloud
+// coordinator; each device is a worker loop hosted on a dedicated
+// common/ThreadPool thread. Coordinator → worker commands travel through
+// per-worker mailboxes; worker → coordinator reports through one shared
+// mailbox. Model/optimizer state is exclusively owned by its worker between
+// synchronization points — the coordinator only reads it after receiving
+// the worker's report (the mailbox handoff is the happens-before edge), so
+// the runner is clean under -DHADFL_SANITIZE=thread.
+//
+// Ring collectives (rt/collectives.hpp) and the non-blocking broadcast run
+// peer-to-peer over rt::InprocTransport; the coordinator only orchestrates.
+// Synchronization is two-phase (compute the aggregate, report, then commit
+// or abort), so a device dying mid-collective can never leave the surviving
+// members with mixed states: the coordinator repairs the ring
+// (rt/failure_detector.hpp) and retries under a fresh collective id.
+//
+// Timing modes:
+//  * kVirtual — epoch times and step budgets are derived from the cluster's
+//    device specs exactly as the simulator derives them. A seeded run with
+//    jitter and faults disabled then produces the same strategy, the same
+//    selection/ring draws, and a bit-identical final aggregate as
+//    core::run_hadfl (tests/test_rt.cpp pins this equivalence).
+//  * kWallclock — epoch times are measured with steady_clock on the worker
+//    threads and the round window is enforced as a real deadline; use
+//    `compute_throttle` to make the specs' heterogeneity visible in wall
+//    time on a single machine.
+#pragma once
+
+#include "core/trainer.hpp"
+#include "fl/scheme.hpp"
+#include "rt/failure_detector.hpp"
+
+namespace hadfl::rt {
+
+enum class TimingMode { kVirtual, kWallclock };
+
+/// Injected device death: during local training of `round` (1-based, 0 =
+/// never), the worker stops after `after_steps` iterations. By default it
+/// closes its transport endpoint on the way out (a crashing process's
+/// sockets); `silent` leaves the endpoint open so only the missing
+/// heartbeats reveal the death and the coordinator must fence the device.
+struct FaultPlan {
+  DeviceId device = 0;
+  std::size_t round = 0;
+  std::size_t after_steps = 0;
+  bool silent = false;
+};
+
+struct RtConfig {
+  core::HadflConfig hadfl;           ///< algorithm knobs shared with the sim
+  TimingMode timing = TimingMode::kVirtual;
+  /// Wall seconds per virtual network second (transport throttling);
+  /// 0 = messages move at memory speed.
+  double time_scale = 0.0;
+  /// Wall seconds slept per virtual compute second (worker-side throttle);
+  /// 0 = train at full speed.
+  double compute_throttle = 0.0;
+  double heartbeat_timeout_s = 1.0;  ///< silence before a device is suspect
+  double collective_timeout_s = 5.0; ///< per ring step / rendezvous wait
+  double command_poll_s = 0.02;      ///< worker poll slice (= beat period)
+  RtRingRepairConfig repair;         ///< wall-clock §III-D repair timing
+  std::vector<FaultPlan> faults;
+};
+
+struct RtResult {
+  fl::SchemeResult scheme;    ///< total_time is wall seconds
+  core::HadflExtras extras;
+  double wall_seconds = 0.0;
+  /// Devices the coordinator declared dead (heartbeat/endpoint), fenced,
+  /// and excluded for the rest of the run.
+  std::size_t deaths_detected = 0;
+};
+
+/// Runs HADFL end-to-end on one thread per device. Flat topology only
+/// (grouping is a simulator extension). `ctx.cluster` provides the device
+/// specs (compute powers, bandwidth scales, virtual iteration times); its
+/// clocks and fault injector are not used — time is real and faults come
+/// from `config.faults`.
+RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config = {});
+
+}  // namespace hadfl::rt

@@ -1,0 +1,255 @@
+#include "rt/transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace hadfl::rt {
+
+namespace {
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+MsgKind tag_kind(std::int64_t tag) {
+  return static_cast<MsgKind>(tag >> 56);
+}
+
+std::size_t accounted_bytes(const Message& msg) {
+  return msg.wire_bytes != 0 ? msg.wire_bytes
+                             : msg.payload.size() * sizeof(float);
+}
+
+}  // namespace
+
+void PendingSend::wait(double timeout_s, DeviceId src, DeviceId dst) {
+  std::unique_lock<std::mutex> lock(mu);
+  const bool resolved =
+      cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                  [this] { return consumed || dropped; });
+  if (consumed) return;
+  if (dropped) {
+    throw CommError("send: receiver device " + std::to_string(dst) +
+                    " died before consuming (from device " +
+                    std::to_string(src) + ")");
+  }
+  (void)resolved;
+  throw CommError("send: rendezvous from device " + std::to_string(src) +
+                  " to device " + std::to_string(dst) + " timed out");
+}
+
+InprocTransport::InprocTransport(std::size_t devices,
+                                 sim::NetworkModel network, double time_scale,
+                                 std::vector<double> bandwidth_scales)
+    : network_(network), time_scale_(time_scale) {
+  HADFL_CHECK_ARG(devices > 0, "transport needs at least one device");
+  HADFL_CHECK_ARG(time_scale >= 0.0, "time_scale must be non-negative");
+  HADFL_CHECK_ARG(
+      bandwidth_scales.empty() || bandwidth_scales.size() == devices,
+      "bandwidth_scales count mismatch");
+  endpoints_.reserve(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    endpoints_.push_back(std::make_unique<Endpoint>());
+    if (!bandwidth_scales.empty()) {
+      endpoints_.back()->bandwidth_scale = bandwidth_scales[d];
+    }
+  }
+}
+
+void InprocTransport::check_device(DeviceId id) const {
+  HADFL_CHECK_ARG(id < endpoints_.size(),
+                  "device id " << id << " out of range");
+}
+
+double InprocTransport::link_delay_s(DeviceId src, DeviceId dst,
+                                     std::size_t bytes) const {
+  check_device(src);
+  check_device(dst);
+  if (time_scale_ <= 0.0) return 0.0;
+  const double scale = std::min(endpoints_[src]->bandwidth_scale,
+                                endpoints_[dst]->bandwidth_scale);
+  return time_scale_ * (network_.latency + static_cast<double>(bytes) /
+                                               (network_.bandwidth * scale));
+}
+
+void InprocTransport::release(Envelope& envelope, bool consumed) {
+  if (!envelope.ack) return;
+  {
+    std::lock_guard<std::mutex> lock(envelope.ack->mu);
+    if (consumed) {
+      envelope.ack->consumed = true;
+    } else {
+      envelope.ack->dropped = true;
+    }
+  }
+  envelope.ack->cv.notify_all();
+}
+
+std::shared_ptr<PendingSend> InprocTransport::isend(DeviceId src,
+                                                    DeviceId dst,
+                                                    Message msg) {
+  check_device(src);
+  check_device(dst);
+  HADFL_CHECK_ARG(src != dst, "send to self");
+  if (!endpoints_[src]->alive.load(std::memory_order_acquire)) {
+    throw CommError("send: source device " + std::to_string(src) +
+                    " is down");
+  }
+  if (!endpoints_[dst]->alive.load(std::memory_order_acquire)) {
+    throw CommError("send: destination device " + std::to_string(dst) +
+                    " is down");
+  }
+  const std::size_t bytes = accounted_bytes(msg);
+  msg.src = src;
+  Envelope envelope;
+  envelope.msg = std::move(msg);
+  envelope.deliver_at =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             link_delay_s(src, dst, bytes)));
+  envelope.ack = std::make_shared<PendingSend>();
+  std::shared_ptr<PendingSend> handle = envelope.ack;
+  if (!endpoints_[dst]->box.push(std::move(envelope))) {
+    throw CommError("send: destination device " + std::to_string(dst) +
+                    " is down");
+  }
+  endpoints_[src]->sent.fetch_add(bytes, std::memory_order_relaxed);
+  endpoints_[dst]->received.fetch_add(bytes, std::memory_order_relaxed);
+  return handle;
+}
+
+void InprocTransport::send(DeviceId src, DeviceId dst, Message msg,
+                           double timeout_s) {
+  isend(src, dst, std::move(msg))->wait(timeout_s, src, dst);
+}
+
+void InprocTransport::send_nonblocking(DeviceId src, DeviceId dst,
+                                       Message msg) {
+  check_device(src);
+  check_device(dst);
+  HADFL_CHECK_ARG(src != dst, "send to self");
+  if (!endpoints_[src]->alive.load(std::memory_order_acquire)) {
+    throw CommError("send_nonblocking: source device " + std::to_string(src) +
+                    " is down");
+  }
+  const std::size_t bytes = accounted_bytes(msg);
+  // §III-D parity with SimTransport: the payload leaves the sender (volume
+  // counted) whether or not the receiver is up; a dead receiver consumes
+  // the send but the failure is reported.
+  endpoints_[src]->sent.fetch_add(bytes, std::memory_order_relaxed);
+  if (!endpoints_[dst]->alive.load(std::memory_order_acquire)) {
+    throw CommError("send_nonblocking: destination device " +
+                    std::to_string(dst) + " is down");
+  }
+  msg.src = src;
+  Envelope envelope;
+  envelope.msg = std::move(msg);
+  envelope.deliver_at =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             link_delay_s(src, dst, bytes)));
+  if (!endpoints_[dst]->box.push(std::move(envelope))) {
+    throw CommError("send_nonblocking: destination device " +
+                    std::to_string(dst) + " is down");
+  }
+  endpoints_[dst]->received.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+Message InprocTransport::recv_match(DeviceId dst, DeviceId from,
+                                    std::int64_t tag, double timeout_s) {
+  check_device(dst);
+  std::optional<Envelope> envelope = endpoints_[dst]->box.pop_match(
+      [from, tag](const Envelope& e) {
+        return e.msg.src == from && e.msg.tag == tag;
+      },
+      timeout_s);
+  if (!envelope) {
+    if (!endpoints_[dst]->alive.load(std::memory_order_acquire)) {
+      throw CommError("recv: device " + std::to_string(dst) + " is down");
+    }
+    throw CommError("recv: device " + std::to_string(dst) +
+                    " timed out waiting for device " + std::to_string(from) +
+                    " (tag " + std::to_string(tag) + ")");
+  }
+  release(*envelope, /*consumed=*/true);
+  return std::move(envelope->msg);
+}
+
+std::optional<Message> InprocTransport::recv_any(DeviceId dst,
+                                                 double timeout_s) {
+  check_device(dst);
+  std::optional<Envelope> envelope = endpoints_[dst]->box.pop(timeout_s);
+  if (!envelope) return std::nullopt;
+  release(*envelope, /*consumed=*/true);
+  return std::move(envelope->msg);
+}
+
+bool InprocTransport::handshake(DeviceId src, DeviceId dst,
+                                double timeout_s) {
+  check_device(src);
+  check_device(dst);
+  HADFL_CHECK_ARG(timeout_s >= 0.0, "handshake timeout must be non-negative");
+  if (endpoints_[dst]->alive.load(std::memory_order_acquire)) {
+    // The endpoint daemon answers the ping; the prober pays the round trip.
+    sleep_s(2.0 * network_.latency * time_scale_);
+    return true;
+  }
+  HADFL_DEBUG("handshake from dev" << src << " to dev" << dst
+                                   << " timed out after " << timeout_s << "s");
+  sleep_s(timeout_s);
+  return false;
+}
+
+void InprocTransport::kill(DeviceId id) {
+  check_device(id);
+  endpoints_[id]->alive.store(false, std::memory_order_release);
+  // Release any senders still waiting on unconsumed rendezvous envelopes.
+  endpoints_[id]->box.purge([](const Envelope&) { return true; },
+                            [](Envelope& e) { release(e, false); });
+  endpoints_[id]->box.close();
+}
+
+bool InprocTransport::alive(DeviceId id) const {
+  check_device(id);
+  return endpoints_[id]->alive.load(std::memory_order_acquire);
+}
+
+std::size_t InprocTransport::purge_stale(DeviceId dst,
+                                         std::int64_t min_collective_id) {
+  check_device(dst);
+  return endpoints_[dst]->box.purge(
+      [min_collective_id](const Envelope& e) {
+        const MsgKind kind = tag_kind(e.msg.tag);
+        if (kind != MsgKind::kData && kind != MsgKind::kModelPush) {
+          return false;
+        }
+        return tag_collective_id(e.msg.tag) < min_collective_id;
+      },
+      [](Envelope& e) { release(e, false); });
+}
+
+void InprocTransport::account(DeviceId src, DeviceId dst, std::size_t bytes) {
+  check_device(src);
+  check_device(dst);
+  endpoints_[src]->sent.fetch_add(bytes, std::memory_order_relaxed);
+  endpoints_[dst]->received.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+comm::VolumeCounters InprocTransport::volume() const {
+  comm::VolumeCounters counters;
+  counters.sent.reserve(endpoints_.size());
+  counters.received.reserve(endpoints_.size());
+  for (const auto& endpoint : endpoints_) {
+    counters.sent.push_back(endpoint->sent.load(std::memory_order_relaxed));
+    counters.received.push_back(
+        endpoint->received.load(std::memory_order_relaxed));
+  }
+  return counters;
+}
+
+}  // namespace hadfl::rt

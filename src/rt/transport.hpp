@@ -1,0 +1,159 @@
+// In-process transport over real threads — the rt counterpart of
+// comm::SimTransport, with the same primitive semantics (pinned by
+// tests/test_rt.cpp against the simulator's contract):
+//
+//  * `send` / `isend`+`wait`: rendezvous transfer — the sender does not get
+//    past the transfer until the receiver has consumed the message (how the
+//    synchronous ring steps behave). Throws hadfl::CommError if either
+//    endpoint is dead or the receiver never consumes within the timeout.
+//  * `send_nonblocking`: fire-and-forget push (paper §III-D non-blocking
+//    broadcast). Throws if the sender is dead; a dead receiver CONSUMES the
+//    send — volume is counted at the sender — but throws CommError, exactly
+//    matching SimTransport::send_nonblocking.
+//  * `handshake`: liveness probe answered by the transport's per-endpoint
+//    daemon (the analogue of an OS closing a crashed process's sockets);
+//    costs the prober 2 * latency when the peer answers, or the full
+//    `timeout` wall wait when it does not.
+//
+// Optional throttling (`time_scale` > 0) converts the virtual network
+// model's latency + bytes/bandwidth cost into real sleeps/delays, so the
+// simulator's heterogeneous timing is reproducible on a single machine.
+// With `time_scale` == 0 messages move at memory speed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "rt/mailbox.hpp"
+#include "sim/network.hpp"
+
+namespace hadfl::rt {
+
+using sim::DeviceId;
+
+/// What a message is for; encoded in the tag so consumers can match.
+enum class MsgKind : std::int64_t { kData = 1, kModelPush = 2, kWarn = 3 };
+
+/// Tag layout: kind | collective id | step. Collective retries use fresh
+/// ids, so stale messages from an aborted attempt can never be matched.
+constexpr std::int64_t make_tag(MsgKind kind, std::int64_t collective_id,
+                                std::int64_t step = 0) {
+  return (static_cast<std::int64_t>(kind) << 56) | (collective_id << 16) |
+         step;
+}
+
+struct Message {
+  DeviceId src = 0;
+  std::int64_t tag = 0;
+  std::vector<float> payload;
+  /// Accounted wire size; 0 = payload bytes. Lets callers price codec-
+  /// compressed exchanges like the simulator does.
+  std::size_t wire_bytes = 0;
+};
+
+/// Handle for an in-flight rendezvous send (isend). `wait` blocks until the
+/// receiver consumed the message; throws CommError on timeout or receiver
+/// death. Exactly one of wait/abandoned must resolve the handle.
+class PendingSend {
+ public:
+  void wait(double timeout_s, DeviceId src, DeviceId dst);
+
+ private:
+  friend class InprocTransport;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool consumed = false;
+  bool dropped = false;  // receiver died / purged before consuming
+};
+
+class InprocTransport {
+ public:
+  /// `bandwidth_scales` (optional, per device) mirror the simulator's
+  /// heterogeneous-link extension; empty = all 1.0.
+  InprocTransport(std::size_t devices, sim::NetworkModel network,
+                  double time_scale = 0.0,
+                  std::vector<double> bandwidth_scales = {});
+
+  std::size_t size() const { return endpoints_.size(); }
+  const sim::NetworkModel& network() const { return network_; }
+  double time_scale() const { return time_scale_; }
+
+  /// Rendezvous transfer: isend + wait.
+  void send(DeviceId src, DeviceId dst, Message msg, double timeout_s);
+
+  /// Posts a rendezvous send without waiting (so ring steps can post their
+  /// outgoing chunk, then receive, then wait — no cyclic-wait deadlock).
+  std::shared_ptr<PendingSend> isend(DeviceId src, DeviceId dst, Message msg);
+
+  /// Fire-and-forget push. Sender volume always counted once the sender is
+  /// known alive; a dead receiver then still throws CommError ("the send is
+  /// consumed"), matching SimTransport.
+  void send_nonblocking(DeviceId src, DeviceId dst, Message msg);
+
+  /// Receives the next message for `dst` matching (from, tag), waiting up
+  /// to `timeout_s`. Throws CommError on timeout or when `dst` is dead.
+  Message recv_match(DeviceId dst, DeviceId from, std::int64_t tag,
+                     double timeout_s);
+
+  /// Receives any next message for `dst`; nullopt on timeout/closed.
+  std::optional<Message> recv_any(DeviceId dst, double timeout_s);
+
+  /// Liveness probe: true within ~2*latency when the peer's endpoint is up,
+  /// false after a real `timeout_s` wait when it is not.
+  bool handshake(DeviceId src, DeviceId dst, double timeout_s);
+
+  /// Marks the endpoint dead and closes its mailbox: blocked consumers wake
+  /// with CommError semantics, pending rendezvous senders are released as
+  /// dropped, future sends to it fail.
+  void kill(DeviceId id);
+
+  bool alive(DeviceId id) const;
+
+  /// Drops every queued kData/kModelPush message for `dst` from a
+  /// collective older than `min_collective_id`, acking their senders (so a
+  /// peer blocked on a rendezvous from an aborted attempt unblocks). Used
+  /// when a collective aborts and retries under a fresh id.
+  std::size_t purge_stale(DeviceId dst, std::int64_t min_collective_id);
+
+  /// The collective id embedded in a tag (see make_tag).
+  static constexpr std::int64_t tag_collective_id(std::int64_t tag) {
+    return (tag >> 16) & ((std::int64_t{1} << 40) - 1);
+  }
+
+  /// Volume-only accounting (coordinator-mediated exchanges).
+  void account(DeviceId src, DeviceId dst, std::size_t bytes);
+
+  /// Snapshot of per-device byte counters.
+  comm::VolumeCounters volume() const;
+
+  /// Wall-clock cost of moving `bytes` across the src→dst link under the
+  /// configured throttle (0 when time_scale == 0).
+  double link_delay_s(DeviceId src, DeviceId dst, std::size_t bytes) const;
+
+ private:
+  struct Envelope {
+    Message msg;
+    Clock::time_point deliver_at;
+    std::shared_ptr<PendingSend> ack;  // null for fire-and-forget
+  };
+
+  struct Endpoint {
+    Mailbox<Envelope> box;
+    std::atomic<bool> alive{true};
+    std::atomic<std::size_t> sent{0};
+    std::atomic<std::size_t> received{0};
+    double bandwidth_scale = 1.0;
+  };
+
+  void check_device(DeviceId id) const;
+  static void release(Envelope& envelope, bool consumed);
+
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  sim::NetworkModel network_;
+  double time_scale_;
+};
+
+}  // namespace hadfl::rt

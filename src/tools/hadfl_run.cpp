@@ -12,6 +12,13 @@
 //
 // Options (defaults in brackets):
 //   --scheme=hadfl|distributed|dfedavg|central|async   [hadfl]
+//   --backend=sim|rt        hadfl execution backend    [sim]
+//                           (rt = one real thread per device; see
+//                           docs/RUNTIME.md)
+//   --time-scale=<float>    rt: wall s per virtual network s   [0]
+//   --throttle=<float>      rt: wall s per virtual compute s   [0]
+//   --wallclock             rt: measure epoch times on the real clock
+//   --die=<dev:round:step>  rt: inject a device death mid-round
 //   --model=mlp|resnet18|vgg16                         [mlp]
 //   --ratio=<comma powers>                             [3,3,1,1]
 //   --epochs=<int>          total training epochs      [16]
@@ -27,6 +34,7 @@
 //   --jitter=<float>        compute jitter sigma       [0]
 //   --csv=<path>            write the convergence series
 //   --verbose               info-level logging
+#include <cstdio>
 #include <iostream>
 
 #include "baselines/async_fedavg.hpp"
@@ -34,6 +42,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/trainer.hpp"
+#include "rt/runner.hpp"
 #include "data/partition.hpp"
 #include "exp/report.hpp"
 
@@ -44,7 +53,8 @@ namespace {
 const std::vector<std::string> kKnownOptions{
     "scheme", "model", "ratio",  "epochs",     "scale", "seed",
     "np",     "tsync", "policy", "mix",        "group-size",
-    "partition", "network", "jitter", "csv",   "verbose", "help"};
+    "partition", "network", "jitter", "csv",   "verbose", "help",
+    "backend", "time-scale", "throttle", "wallclock", "die"};
 
 nn::Architecture parse_model(const std::string& name) {
   if (name == "mlp") return nn::Architecture::kMlp;
@@ -78,7 +88,8 @@ void print_usage() {
       "                 [--group-size=N] [--partition=iid|dirichlet:A|"
       "shards:N]\n"
       "                 [--network=pcie|wan] [--jitter=S] [--csv=PATH]\n"
-      "                 [--verbose]\n";
+      "                 [--backend=sim|rt] [--time-scale=S] [--throttle=S]\n"
+      "                 [--wallclock] [--die=DEV:ROUND:STEP] [--verbose]\n";
 }
 
 void report(const fl::SchemeResult& result, const std::string& csv_path) {
@@ -151,7 +162,48 @@ int main(int argc, char** argv) {
     const std::string scheme = args.get("scheme", "hadfl");
     const std::string csv = args.get("csv", "");
     std::cout << "== hadfl_run: " << scheme << " on " << s.name << " ==\n";
-    if (scheme == "hadfl") {
+    const std::string backend = args.get("backend", "sim");
+    if (backend != "sim" && backend != "rt") {
+      std::cerr << "unknown --backend: " << backend << "\n";
+      print_usage();
+      return 2;
+    }
+    if (backend == "rt" && scheme != "hadfl") {
+      std::cerr << "--backend=rt only applies to --scheme=hadfl\n";
+      return 2;
+    }
+    if (scheme == "hadfl" && backend == "rt") {
+      rt::RtConfig rt_config;
+      rt_config.hadfl = s.hadfl;
+      rt_config.timing = args.has("wallclock") ? rt::TimingMode::kWallclock
+                                               : rt::TimingMode::kVirtual;
+      rt_config.time_scale = args.get_double("time-scale", 0.0);
+      rt_config.compute_throttle = args.get_double("throttle", 0.0);
+      const std::string die = args.get("die", "");
+      if (!die.empty()) {
+        rt::FaultPlan plan;
+        if (std::sscanf(die.c_str(), "%zu:%zu:%zu", &plan.device, &plan.round,
+                        &plan.after_steps) != 3) {
+          std::cerr << "bad --die spec (want DEV:ROUND:STEP): " << die << "\n";
+          return 2;
+        }
+        if (plan.device >= s.num_devices()) {
+          std::cerr << "--die device " << plan.device
+                    << " out of range (cluster has " << s.num_devices()
+                    << " devices)\n";
+          return 2;
+        }
+        rt_config.faults.push_back(plan);
+      }
+      const rt::RtResult r = rt::run_hadfl_rt(ctx, rt_config);
+      std::cout << "backend:           rt (real threads)\n"
+                << "hyperperiod:       " << r.extras.strategy.hyperperiod
+                << " virtual s\n"
+                << "ring repairs:      " << r.extras.ring_repairs << "\n"
+                << "deaths detected:   " << r.deaths_detected << "\n"
+                << "wall time:         " << r.wall_seconds << " s\n";
+      report(r.scheme, csv);
+    } else if (scheme == "hadfl") {
       const core::HadflResult r = core::run_hadfl(ctx, s.hadfl);
       std::cout << "hyperperiod:       " << r.extras.strategy.hyperperiod
                 << " virtual s\n"

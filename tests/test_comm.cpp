@@ -62,6 +62,19 @@ TEST(Transport, SendFromDeadDeviceThrows) {
   EXPECT_THROW(t.send(0, 1, 100), CommError);
 }
 
+TEST(Transport, NonblockingDeadReceiverConsumesSend) {
+  // §III-D contract pinned for both backends (rt::InprocTransport mirrors
+  // it in test_rt.cpp): a non-blocking push to a dead receiver is consumed
+  // — the sender's volume is counted — but the failure is reported as a
+  // CommError and the receiver's counter stays untouched.
+  sim::Cluster cluster = make_cluster(2);
+  cluster.faults().schedule_disconnect(1, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{0.001, 1e6});
+  EXPECT_THROW(t.send_nonblocking(0, 1, 4096), CommError);
+  EXPECT_EQ(t.volume().sent[0], 4096u);
+  EXPECT_EQ(t.volume().received[1], 0u);
+}
+
 TEST(Transport, HandshakeAliveCostsTwoLatencies) {
   sim::Cluster cluster = make_cluster(2);
   SimTransport t(cluster, sim::NetworkModel{0.01, 1e9});
@@ -215,6 +228,27 @@ TEST(RingRepair, MultipleFailures) {
   const RingRepairResult r = repair_ring(t, {0, 1, 2, 3, 4});
   EXPECT_EQ(r.ring, (std::vector<sim::DeviceId>{0, 2, 4}));
   EXPECT_EQ(r.repairs, 2u);
+}
+
+TEST(RingRepair, TwoConsecutiveDeadMembersChainWarnings) {
+  // Fig. 2b chaining: with ring 0 -> 1 -> 2 -> 3 -> 4 and devices 1 AND 2
+  // dead, both are bypassed across successive sweeps and the surviving ring
+  // wires device 0 directly to device 3.
+  sim::Cluster cluster = make_cluster(5);
+  cluster.faults().schedule_disconnect(1, 0.0);
+  cluster.faults().schedule_disconnect(2, 0.0);
+  SimTransport t(cluster, sim::NetworkModel{1e-4, 1e9});
+  RingRepairConfig cfg;
+  const RingRepairResult r = repair_ring(t, {0, 1, 2, 3, 4}, cfg);
+  EXPECT_EQ(r.ring, (std::vector<sim::DeviceId>{0, 3, 4}));
+  EXPECT_EQ(r.repairs, 2u);
+  ASSERT_EQ(r.removed.size(), 2u);
+  EXPECT_TRUE((r.removed[0] == 1 && r.removed[1] == 2) ||
+              (r.removed[0] == 2 && r.removed[1] == 1));
+  // The live downstream survivor (device 3) paid at least one protocol
+  // round — the wait plus the timed-out handshake — on its own clock.
+  EXPECT_GE(cluster.time(3),
+            cfg.wait_before_handshake + cfg.handshake_timeout - 1e-9);
 }
 
 TEST(RingRepair, AllDeadYieldsEmptyRing) {

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/trace.hpp"
 
 namespace hadfl {
@@ -50,6 +54,54 @@ TEST(ParallelForEach, OtherTasksStillCompleteOnException) {
     });
     FAIL() << "expected throw";
   } catch (const Error&) {
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRunsTasksOnPoolThreads) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 16 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, NestedRunBatchDoesNotDeadlock) {
+  // run_batch from inside a pool task must complete even when every pool
+  // thread is already busy — the caller participates in its own batch.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.run_batch(4, [&](std::size_t) {
+    ThreadPool::shared().run_batch(4, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ThreadPool, EnsureThreadsGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  pool.ensure_threads(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  pool.ensure_threads(2);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, RunBatchRethrowsAfterCompletion) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(6);
+  try {
+    pool.run_batch(6, [&](std::size_t i) {
+      ++hits[i];
+      if (i == 3) throw InvalidArgument("batch boom");
+    });
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument&) {
   }
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }

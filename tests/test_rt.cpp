@@ -1,0 +1,463 @@
+// Tests for the real-time concurrent runtime (src/rt): mailbox primitives,
+// transport semantics pinned against comm::SimTransport's contract, ring
+// collectives on real threads, wall-clock failure detection + §III-D
+// repair, and the end-to-end runner — including the seeded rt-vs-sim
+// equivalence (bit-identical final aggregate with timing noise disabled).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+#include "exp/runner.hpp"
+#include "rt/collectives.hpp"
+#include "rt/failure_detector.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/runner.hpp"
+#include "rt/transport.hpp"
+
+namespace hadfl::rt {
+namespace {
+
+double elapsed_s(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+// ThreadSanitizer slows training chunks ~10x, so wall-clock heartbeat
+// windows tuned for native runs starve under it; scale them up.
+#if defined(__SANITIZE_THREAD__)
+constexpr double kTimingSlack = 8.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr double kTimingSlack = 8.0;
+#else
+constexpr double kTimingSlack = 1.0;
+#endif
+#else
+constexpr double kTimingSlack = 1.0;
+#endif
+
+// ---------------------------------------------------------------- Mailbox
+
+TEST(Mailbox, FifoAcrossThreads) {
+  Mailbox<int> box;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) box.push(i);
+  });
+  for (int i = 0; i < 100; ++i) {
+    const std::optional<int> v = box.pop(5.0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  producer.join();
+}
+
+TEST(Mailbox, PopMatchSkipsNonMatching) {
+  Mailbox<int> box;
+  box.push(1);
+  box.push(2);
+  box.push(3);
+  const auto even = box.pop_match([](int v) { return v % 2 == 0; }, 0.1);
+  ASSERT_TRUE(even.has_value());
+  EXPECT_EQ(*even, 2);
+  // Non-matching messages stay queued in order.
+  EXPECT_EQ(*box.pop(0.1), 1);
+  EXPECT_EQ(*box.pop(0.1), 3);
+}
+
+TEST(Mailbox, PopTimesOutWhenEmpty) {
+  Mailbox<int> box;
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_FALSE(box.pop(0.05).has_value());
+  EXPECT_GE(elapsed_s(t0), 0.05 - 1e-3);
+}
+
+TEST(Mailbox, CloseWakesBlockedConsumerAndRejectsPushes) {
+  Mailbox<int> box;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+  });
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_FALSE(box.pop(10.0).has_value());
+  EXPECT_LT(elapsed_s(t0), 5.0);  // woke well before the timeout
+  closer.join();
+  EXPECT_FALSE(box.push(1));
+}
+
+struct Delayed {
+  int value = 0;
+  Clock::time_point deliver_at;
+};
+
+TEST(Mailbox, DeliverAtDelaysVisibility) {
+  Mailbox<Delayed> box;
+  Delayed msg;
+  msg.value = 7;
+  msg.deliver_at = Clock::now() + std::chrono::milliseconds(60);
+  box.push(msg);
+  // Not deliverable yet: a short pop times out.
+  EXPECT_FALSE(box.pop(0.01).has_value());
+  // A long pop waits until the injected latency has passed.
+  const std::optional<Delayed> got = box.pop(5.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->value, 7);
+}
+
+TEST(Mailbox, PurgeRemovesMatchingAndReportsThem) {
+  Mailbox<int> box;
+  for (int i = 0; i < 6; ++i) box.push(i);
+  std::vector<int> dropped;
+  const std::size_t removed = box.purge(
+      [](int v) { return v < 3; }, [&](int& v) { dropped.push_back(v); });
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(dropped, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(box.size(), 3u);
+}
+
+// -------------------------------------------------------------- Transport
+
+sim::NetworkModel fast_net() { return sim::NetworkModel{1e-4, 1e9}; }
+
+TEST(InprocTransport, RendezvousTransfersPayloadAndVolume) {
+  InprocTransport t(2, fast_net());
+  std::thread sender([&] {
+    Message msg;
+    msg.tag = 42;
+    msg.payload = {1.0f, 2.0f, 3.0f};
+    t.send(0, 1, std::move(msg), 5.0);
+  });
+  const Message got = t.recv_match(1, 0, 42, 5.0);
+  sender.join();
+  EXPECT_EQ(got.payload, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(t.volume().sent[0], 3 * sizeof(float));
+  EXPECT_EQ(t.volume().received[1], 3 * sizeof(float));
+}
+
+TEST(InprocTransport, RendezvousSenderBlocksUntilConsumed) {
+  InprocTransport t(2, fast_net());
+  std::atomic<bool> send_returned{false};
+  std::thread sender([&] {
+    Message msg;
+    msg.tag = 1;
+    t.send(0, 1, std::move(msg), 5.0);
+    send_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(send_returned.load());  // nobody consumed yet
+  (void)t.recv_match(1, 0, 1, 5.0);
+  sender.join();
+  EXPECT_TRUE(send_returned.load());
+}
+
+TEST(InprocTransport, NonblockingDeadReceiverConsumesSend) {
+  // Must match SimTransport's pinned contract (test_comm.cpp): sender
+  // volume counted, CommError thrown, receiver volume untouched.
+  InprocTransport t(2, fast_net());
+  t.kill(1);
+  Message msg;
+  msg.payload.resize(1024);
+  EXPECT_THROW(t.send_nonblocking(0, 1, std::move(msg)), CommError);
+  EXPECT_EQ(t.volume().sent[0], 1024 * sizeof(float));
+  EXPECT_EQ(t.volume().received[1], 0u);
+}
+
+TEST(InprocTransport, NonblockingDeadSenderThrowsWithoutVolume) {
+  InprocTransport t(2, fast_net());
+  t.kill(0);
+  Message msg;
+  msg.payload.resize(16);
+  EXPECT_THROW(t.send_nonblocking(0, 1, std::move(msg)), CommError);
+  EXPECT_EQ(t.volume().sent[0], 0u);
+}
+
+TEST(InprocTransport, KillReleasesPendingRendezvousSender) {
+  InprocTransport t(2, fast_net());
+  Message msg;
+  msg.tag = 9;
+  std::shared_ptr<PendingSend> pending = t.isend(0, 1, std::move(msg));
+  t.kill(1);
+  EXPECT_THROW(pending->wait(5.0, 0, 1), CommError);
+}
+
+TEST(InprocTransport, HandshakeAliveFastDeadWaitsTimeout) {
+  InprocTransport t(2, fast_net());
+  EXPECT_TRUE(t.handshake(0, 1, 0.5));
+  t.kill(1);
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_FALSE(t.handshake(0, 1, 0.05));
+  EXPECT_GE(elapsed_s(t0), 0.05 - 1e-3);
+}
+
+TEST(InprocTransport, ThrottledLinkDelaysDelivery) {
+  // latency 50 ms at time_scale 1: the push is not visible immediately.
+  InprocTransport t(2, sim::NetworkModel{0.05, 1e9}, /*time_scale=*/1.0);
+  Message msg;
+  msg.tag = 5;
+  t.send_nonblocking(0, 1, std::move(msg));
+  EXPECT_THROW(t.recv_match(1, 0, 5, 0.005), CommError);  // too early
+  const Message got = t.recv_match(1, 0, 5, 5.0);
+  EXPECT_EQ(got.tag, 5);
+}
+
+TEST(InprocTransport, PurgeStaleDropsOldCollectivesOnly) {
+  InprocTransport t(2, fast_net());
+  Message old_msg;
+  old_msg.tag = make_tag(MsgKind::kData, 3, 0);
+  t.send_nonblocking(0, 1, std::move(old_msg));
+  Message fresh;
+  fresh.tag = make_tag(MsgKind::kData, 7, 0);
+  t.send_nonblocking(0, 1, std::move(fresh));
+  EXPECT_EQ(t.purge_stale(1, 7), 1u);
+  const Message got = t.recv_match(1, 0, make_tag(MsgKind::kData, 7, 0), 1.0);
+  EXPECT_EQ(InprocTransport::tag_collective_id(got.tag), 7);
+}
+
+// ------------------------------------------------------------ Collectives
+
+TEST(RtCollectives, AllGatherReturnsContributionsInRingOrder) {
+  const std::vector<DeviceId> ring{2, 0, 3, 1};
+  InprocTransport t(4, fast_net());
+  std::vector<std::vector<std::vector<float>>> results(ring.size());
+  std::vector<std::thread> members;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    members.emplace_back([&, i] {
+      results[i] = ring_allgather(
+          t, ring, i, {static_cast<float>(ring[i]) + 0.5f},
+          /*collective_id=*/1, /*wire_bytes=*/0, /*step_timeout_s=*/5.0);
+    });
+  }
+  for (auto& th : members) th.join();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ASSERT_EQ(results[i].size(), ring.size());
+    for (std::size_t j = 0; j < ring.size(); ++j) {
+      ASSERT_EQ(results[i][j].size(), 1u);
+      EXPECT_FLOAT_EQ(results[i][j][0], static_cast<float>(ring[j]) + 0.5f);
+    }
+  }
+}
+
+TEST(RtCollectives, AllReduceAverageMatchesMean) {
+  const std::vector<DeviceId> ring{0, 1, 2};
+  InprocTransport t(3, fast_net());
+  // 7 elements: exercises uneven chunk boundaries.
+  std::vector<std::vector<float>> data(3, std::vector<float>(7));
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      data[d][j] = static_cast<float>(d * 10 + j);
+    }
+  }
+  std::vector<float> expected(7);
+  for (std::size_t j = 0; j < 7; ++j) {
+    expected[j] = (data[0][j] + data[1][j] + data[2][j]) / 3.0f;
+  }
+  std::vector<std::thread> members;
+  for (std::size_t i = 0; i < 3; ++i) {
+    members.emplace_back([&, i] {
+      ring_allreduce_average(t, ring, i, data[i], /*collective_id=*/2, 5.0);
+    });
+  }
+  for (auto& th : members) th.join();
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_NEAR(data[d][j], expected[j], 1e-4) << "dev " << d << " elem "
+                                                 << j;
+    }
+  }
+}
+
+TEST(RtCollectives, DeadNeighbourFailsTheStep) {
+  const std::vector<DeviceId> ring{0, 1};
+  InprocTransport t(2, fast_net());
+  t.kill(1);
+  EXPECT_THROW(ring_allgather(t, ring, 0, {1.0f}, 1, 0, 0.1), CommError);
+}
+
+// ------------------------------------------------- Heartbeats and repair
+
+TEST(FailureDetector, StaleBeatBecomesSuspect) {
+  FailureDetector det(2, HeartbeatConfig{0.05});
+  EXPECT_TRUE(det.is_alive(0));
+  det.beat(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(det.is_alive(0));
+  det.beat(0);
+  EXPECT_TRUE(det.is_alive(0));  // beats resurrect a mere suspect
+  const std::vector<DeviceId> sus = det.suspects();
+  EXPECT_TRUE(std::find(sus.begin(), sus.end(), 1) != sus.end());
+}
+
+TEST(FailureDetector, MarkDeadIsPermanent) {
+  FailureDetector det(1, HeartbeatConfig{10.0});
+  det.mark_dead(0);
+  det.beat(0);
+  EXPECT_FALSE(det.is_alive(0));
+}
+
+TEST(RtRingRepair, HealthyRingUntouched) {
+  InprocTransport t(3, fast_net());
+  FailureDetector det(3, HeartbeatConfig{10.0});
+  const RtRingRepairResult r = repair_ring(t, det, {2, 0, 1});
+  EXPECT_EQ(r.ring, (std::vector<DeviceId>{2, 0, 1}));
+  EXPECT_EQ(r.repairs, 0u);
+}
+
+TEST(RtRingRepair, TwoConsecutiveDeadMembersChainWarnings) {
+  // Same scenario as the simulator's pinned test (test_comm.cpp): ring
+  // 0 -> 1 -> 2 -> 3 -> 4 with devices 1 and 2 dead. The sweep bypasses 1
+  // first (upstream 0, downstream the equally-dead 2 — no warning can be
+  // delivered), then on the next sweep bypasses 2, whose warning chain ends
+  // with device 0 feeding device 3 directly.
+  InprocTransport t(5, fast_net());
+  FailureDetector det(5, HeartbeatConfig{10.0});
+  t.kill(1);
+  t.kill(2);
+  RtRingRepairConfig cfg;
+  cfg.wait_before_handshake_s = 0.005;
+  cfg.handshake_timeout_s = 0.01;
+  const RtRingRepairResult r = repair_ring(t, det, {0, 1, 2, 3, 4}, cfg);
+  EXPECT_EQ(r.ring, (std::vector<DeviceId>{0, 3, 4}));
+  EXPECT_EQ(r.repairs, 2u);
+  EXPECT_EQ(r.removed, (std::vector<DeviceId>{1, 2}));
+  ASSERT_EQ(r.warns.size(), 2u);
+  // First repair: 1 bypassed; its upstream 0 is to be warned by downstream 2.
+  EXPECT_EQ(r.warns[0].first, 0u);
+  EXPECT_EQ(r.warns[0].second, 2u);
+  // Second repair: 2 bypassed; upstream 0 is warned and now feeds 3.
+  EXPECT_EQ(r.warns[1].first, 0u);
+  EXPECT_EQ(r.warns[1].second, 3u);
+}
+
+TEST(RtRingRepair, HeartbeatSilenceAloneTriggersBypass) {
+  // The endpoint is still open (no kill): only the stale heartbeat makes
+  // the device a suspect, and the handshake then *succeeds* — a transient —
+  // so the member survives. After the transport endpoint closes, the same
+  // suspect is confirmed dead and bypassed.
+  InprocTransport t(3, fast_net());
+  FailureDetector det(3, HeartbeatConfig{0.03});
+  det.beat(0);
+  det.beat(2);
+  std::thread keeper([&] {
+    for (int i = 0; i < 40; ++i) {
+      det.beat(0);
+      det.beat(2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  RtRingRepairConfig cfg;
+  cfg.wait_before_handshake_s = 0.005;
+  cfg.handshake_timeout_s = 0.01;
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // 1 goes stale
+  const RtRingRepairResult transient = repair_ring(t, det, {0, 1, 2}, cfg);
+  EXPECT_EQ(transient.repairs, 0u);  // handshake answered: transient
+  t.kill(1);
+  const RtRingRepairResult confirmed = repair_ring(t, det, {0, 1, 2}, cfg);
+  keeper.join();
+  EXPECT_EQ(confirmed.ring, (std::vector<DeviceId>{0, 2}));
+  EXPECT_EQ(confirmed.repairs, 1u);
+}
+
+// ------------------------------------------------------------- End-to-end
+
+exp::Scenario rt_scenario(std::vector<double> ratio = {3, 3, 1, 1}) {
+  exp::Scenario s = exp::paper_scenario(nn::Architecture::kMlp,
+                                        std::move(ratio), /*scale=*/0.5);
+  s.train.total_epochs = 8;
+  return s;
+}
+
+RtConfig fast_rt_config(const core::HadflConfig& hadfl) {
+  RtConfig config;
+  config.hadfl = hadfl;
+  config.heartbeat_timeout_s = 2.0;  // generous: CI boxes schedule coarsely
+  config.collective_timeout_s = 5.0;
+  config.command_poll_s = 0.002;
+  config.repair.wait_before_handshake_s = 0.002;
+  config.repair.handshake_timeout_s = 0.01;
+  return config;
+}
+
+TEST(RtRunner, RunsHadflOnRealThreads) {
+  exp::Scenario s = rt_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  const RtResult r = run_hadfl_rt(ctx, fast_rt_config(s.hadfl));
+  EXPECT_EQ(r.scheme.scheme_name, "hadfl-rt");
+  EXPECT_GT(r.scheme.metrics.best_accuracy(), 0.5);
+  EXPECT_GT(r.scheme.sync_rounds, 0u);
+  EXPECT_FALSE(r.scheme.final_state.empty());
+  EXPECT_EQ(r.deaths_detected, 0u);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  // Strategy was negotiated from the specs like the simulator's.
+  EXPECT_EQ(r.extras.strategy.local_steps[0],
+            3 * r.extras.strategy.local_steps[2]);
+}
+
+TEST(RtRunner, MatchesSimulatorBitExactlyWhenSeeded) {
+  // The headline equivalence: with timing noise disabled (no jitter, no
+  // faults, virtual timing), the rt backend draws the same selection/ring
+  // streams and computes bit-identical aggregates, so the final model
+  // states agree exactly.
+  exp::Scenario s = rt_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext sim_ctx = env.context();
+  const core::HadflResult sim = core::run_hadfl(sim_ctx, s.hadfl);
+  fl::SchemeContext rt_ctx = env.context();
+  const RtResult rt = run_hadfl_rt(rt_ctx, fast_rt_config(s.hadfl));
+
+  EXPECT_EQ(sim.scheme.sync_rounds, rt.scheme.sync_rounds);
+  ASSERT_EQ(sim.extras.selected.size(), rt.extras.selected.size());
+  for (std::size_t i = 0; i < sim.extras.selected.size(); ++i) {
+    EXPECT_EQ(sim.extras.selected[i], rt.extras.selected[i]) << "round " << i;
+  }
+  ASSERT_EQ(sim.scheme.final_state.size(), rt.scheme.final_state.size());
+  for (std::size_t i = 0; i < sim.scheme.final_state.size(); ++i) {
+    ASSERT_EQ(sim.scheme.final_state[i], rt.scheme.final_state[i])
+        << "parameter " << i;
+  }
+}
+
+TEST(RtRunner, SurvivesDeviceDeathMidRound) {
+  exp::Scenario s = rt_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  RtConfig config = fast_rt_config(s.hadfl);
+  // Select every candidate so the dead device is guaranteed to be in the
+  // ring that the §III-D protocol must repair.
+  config.hadfl.strategy.select_count = 4;
+  config.faults.push_back(FaultPlan{/*device=*/1, /*round=*/1,
+                                    /*after_steps=*/1, /*silent=*/false});
+  const RtResult r = run_hadfl_rt(ctx, config);
+  EXPECT_EQ(r.deaths_detected, 1u);
+  EXPECT_GE(r.extras.ring_repairs, 1u);
+  EXPECT_GT(r.scheme.sync_rounds, 1u);  // kept aggregating after the death
+  EXPECT_FALSE(r.scheme.final_state.empty());
+  // The dead device is out of every post-death ring.
+  for (std::size_t round = 1; round < r.extras.selected.size(); ++round) {
+    const auto& ring = r.extras.selected[round];
+    EXPECT_TRUE(std::find(ring.begin(), ring.end(), 1u) == ring.end())
+        << "round " << round;
+  }
+}
+
+TEST(RtRunner, SilentDeathIsCaughtByHeartbeatAndFenced) {
+  exp::Scenario s = rt_scenario();
+  s.train.total_epochs = 6;
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  RtConfig config = fast_rt_config(s.hadfl);
+  config.heartbeat_timeout_s = 0.3 * kTimingSlack;  // the only death signal
+  config.faults.push_back(FaultPlan{/*device=*/2, /*round=*/1,
+                                    /*after_steps=*/1, /*silent=*/true});
+  const RtResult r = run_hadfl_rt(ctx, config);
+  EXPECT_EQ(r.deaths_detected, 1u);
+  EXPECT_GT(r.scheme.sync_rounds, 0u);
+  EXPECT_FALSE(r.scheme.final_state.empty());
+}
+
+}  // namespace
+}  // namespace hadfl::rt
