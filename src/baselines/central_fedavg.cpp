@@ -45,6 +45,7 @@ CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
   for (std::size_t d = 0; d < k; ++d) {
     Rng dev_rng = rng.split();
     clients[d].model = ctx.make_model(dev_rng);
+    clients[d].model->pack();  // idempotent; custom make_model may not pack
     nn::set_state(*clients[d].model, init_state);
     clients[d].optimizer = std::make_unique<nn::Sgd>(
         clients[d].model->parameters(),
@@ -107,10 +108,19 @@ CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
     }
     out.server_bytes += 2 * k * model_bytes;
 
-    std::vector<std::vector<float>> states;
-    states.reserve(k);
-    for (auto& c : clients) states.push_back(nn::get_state(*c.model));
-    const std::vector<float> global = fl::fedavg(states, sample_counts);
+    // Sample-weighted FedAvg (Eq. 2/4), streamed straight off the clients'
+    // arena views — same arithmetic as fl::fedavg without the K state
+    // copies.
+    std::size_t total_samples = 0;
+    for (std::size_t n : sample_counts) total_samples += n;
+    nn::StateAccumulator acc;
+    acc.reset(nn::state_size(*clients[0].model));
+    for (std::size_t d = 0; d < k; ++d) {
+      acc.accumulate(nn::state_view(*clients[d].model),
+                     static_cast<double>(sample_counts[d]) /
+                         static_cast<double>(total_samples));
+    }
+    const std::vector<float> global = acc.materialize();
     for (auto& c : clients) nn::set_state(*c.model, global);
     ++out.scheme.sync_rounds;
     epochs_done += local_epochs;

@@ -20,7 +20,6 @@ struct Replica {
   std::unique_ptr<nn::Sequential> model;
   std::unique_ptr<nn::Sgd> optimizer;
   std::unique_ptr<data::BatchIterator> batches;
-  std::vector<float> state;  ///< staging buffer for the gossip collective
   double last_loss = 0.0;
 };
 
@@ -52,6 +51,7 @@ fl::SchemeResult run_decentralized_fedavg(
   for (std::size_t d = 0; d < k; ++d) {
     Rng dev_rng = rng.split();
     replicas[d].model = ctx.make_model(dev_rng);
+    replicas[d].model->pack();  // idempotent; custom make_model may not pack
     nn::set_state(*replicas[d].model, init_state);
     replicas[d].optimizer = std::make_unique<nn::Sgd>(
         replicas[d].model->parameters(),
@@ -105,23 +105,27 @@ fl::SchemeResult run_decentralized_fedavg(
     // and volume follow the configured wire size (full-size model bytes in
     // the paper-matching experiments).
     if (opts.gossip_mode == GossipMode::kFullRing) {
-      // Exact elementwise mean, ring-all-reduce schedule.
-      std::vector<std::vector<float>> states;
-      states.reserve(k);
-      for (auto& rep : replicas) states.push_back(nn::get_state(*rep.model));
-      const std::vector<float> mean = nn::average(states);
+      // Exact elementwise mean, ring-all-reduce schedule: streamed straight
+      // off the replicas' arena views (no per-replica state copies).
+      nn::StateAccumulator acc;
+      acc.reset(nn::state_size(*replicas[0].model));
+      const double w = 1.0 / static_cast<double>(k);
+      for (auto& rep : replicas) {
+        acc.accumulate(nn::state_view(*rep.model), w);
+      }
+      const std::vector<float> mean = acc.materialize();
       comm::simulate_ring_allreduce(transport, everyone, state_bytes);
       for (auto& rep : replicas) nn::set_state(*rep.model, mean);
     } else {
-      // Segmented gossip (§V-A refs. [8][9]): approximate, cheaper.
-      for (auto& rep : replicas) rep.state = nn::get_state(*rep.model);
+      // Segmented gossip (§V-A refs. [8][9]): approximate, cheaper. The
+      // collective mutates its spans in place, so it operates directly on
+      // the models' arena views — the staging copies are gone.
       std::vector<std::span<float>> views;
       views.reserve(k);
-      for (auto& rep : replicas) views.emplace_back(rep.state);
+      for (auto& rep : replicas) views.emplace_back(nn::state_view(*rep.model));
       comm::SegmentedGossipConfig seg_cfg{opts.segments, opts.fanout};
       comm::segmented_gossip_average(transport, everyone, views, seg_cfg,
                                      gossip_rng, state_bytes);
-      for (auto& rep : replicas) nn::set_state(*rep.model, rep.state);
     }
     ++result.sync_rounds;
     epochs_done += local_epochs;

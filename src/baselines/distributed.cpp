@@ -26,6 +26,7 @@ fl::SchemeResult run_distributed(const fl::SchemeContext& ctx,
 
   Rng rng(ctx.config.seed);
   auto model = ctx.make_model(rng);
+  model->pack();  // idempotent; custom make_model may not pack
   nn::Sgd optimizer(model->parameters(),
                     nn::SgdConfig{ctx.config.learning_rate,
                                   ctx.config.momentum,

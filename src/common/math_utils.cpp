@@ -82,4 +82,37 @@ double standard_normal_pdf(double x, double mu) {
   return std::exp(-0.5 * d * d) / std::sqrt(2.0 * std::numbers::pi);
 }
 
+void axpy_into(std::span<double> acc, double w, std::span<const float> x) {
+  HADFL_CHECK_SHAPE(acc.size() == x.size(),
+                    "axpy_into size mismatch: " << acc.size() << " vs "
+                                                << x.size());
+  double* a = acc.data();
+  const float* p = x.data();
+  const std::size_t n = acc.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] += w * p[i];
+}
+
+void cast_into(std::span<float> dst, std::span<const double> acc) {
+  HADFL_CHECK_SHAPE(dst.size() == acc.size(),
+                    "cast_into size mismatch: " << dst.size() << " vs "
+                                                << acc.size());
+  float* d = dst.data();
+  const double* a = acc.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = static_cast<float>(a[i]);
+}
+
+void mix_spans(std::span<float> dst, std::span<const float> src, double w) {
+  HADFL_CHECK_SHAPE(dst.size() == src.size(),
+                    "mix_spans size mismatch: " << dst.size() << " vs "
+                                                << src.size());
+  HADFL_CHECK_ARG(w >= 0.0 && w <= 1.0,
+                  "mix weight must be in [0,1], got " << w);
+  const auto wf = static_cast<float>(w);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = (1.0f - wf) * d[i] + wf * s[i];
+}
+
 }  // namespace hadfl

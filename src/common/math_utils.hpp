@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace hadfl {
@@ -40,5 +41,23 @@ double hyperperiod(const std::vector<double>& durations, double resolution);
 /// Standard normal probability density evaluated at (x - mu), unit variance:
 /// f(x) = 1/sqrt(2*pi) * exp(-(x-mu)^2 / 2)  — paper Eq. 8.
 double standard_normal_pdf(double x, double mu);
+
+// ---- Flat-state kernels -------------------------------------------------
+// The elementwise primitives under every aggregation rule in the framework
+// (nn::StateAccumulator, weighted_average, broadcast integration). They are
+// span-based so arena state views stream through without materializing
+// per-contributor copies, and the accumulator side stays double-precision —
+// the rounding behaviour every backend's bit-identical aggregate depends on.
+
+/// acc[i] += w * x[i]. Sizes must match.
+void axpy_into(std::span<double> acc, double w, std::span<const float> x);
+
+/// dst[i] = float(acc[i]). Sizes must match.
+void cast_into(std::span<float> dst, std::span<const double> acc);
+
+/// In-place convex blend: dst[i] = (1 - w) * dst[i] + w * src[i], with the
+/// weight applied in float, matching the historic mix_into arithmetic.
+/// `w` must be in [0, 1]; sizes must match.
+void mix_spans(std::span<float> dst, std::span<const float> src, double w);
 
 }  // namespace hadfl

@@ -15,6 +15,7 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
   const std::size_t k = ctx.cluster.size();
   DeviceSetup setup;
   setup.reference = ctx.make_model(rng);
+  setup.reference->pack();  // idempotent; custom make_model may not pack
   if (!config.resume_from.empty()) {
     nn::set_state(*setup.reference, nn::load_state(config.resume_from));
     HADFL_INFO("resumed initial model from " << config.resume_from);
@@ -31,6 +32,7 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
     Rng dev_rng = rng.split();
     DeviceState& dev = setup.devices[d];
     dev.model = ctx.make_model(dev_rng);
+    dev.model->pack();
     nn::set_state(*dev.model, setup.init_state);
     dev.optimizer = std::make_unique<nn::Sgd>(
         dev.model->parameters(),
@@ -47,8 +49,8 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
   return setup;
 }
 
-std::size_t compress_roundtrip(std::vector<float>& state,
-                               const std::vector<float>& reference,
+std::size_t compress_roundtrip(std::span<float> state,
+                               std::span<const float> reference,
                                const HadflConfig& config) {
   switch (config.compression) {
     case SyncCompression::kNone:
@@ -74,12 +76,14 @@ std::size_t effective_wire_bytes(std::size_t wire_bytes,
 
 std::vector<float> mean_state_of(std::vector<DeviceState>& devices,
                                  const std::vector<sim::DeviceId>& ids) {
-  std::vector<std::vector<float>> states;
-  states.reserve(ids.size());
+  HADFL_CHECK_ARG(!ids.empty(), "mean_state_of over zero devices");
+  nn::StateAccumulator acc;
+  acc.reset(nn::state_size(*devices[ids.front()].model));
+  const double w = 1.0 / static_cast<double>(ids.size());
   for (sim::DeviceId id : ids) {
-    states.push_back(nn::get_state(*devices[id].model));
+    acc.accumulate(nn::state_view(*devices[id].model), w);
   }
-  return nn::average(states);
+  return acc.materialize();
 }
 
 std::vector<double> predict_versions(
@@ -157,14 +161,12 @@ void apply_aggregate(std::vector<DeviceState>& devices,
   }
 }
 
-void integrate_broadcast(DeviceState& dev, const std::vector<float>& aggregate,
+void integrate_broadcast(DeviceState& dev, std::span<const float> aggregate,
                          double version_mean, const HadflConfig& config) {
-  std::vector<float> received = aggregate;
-  compress_roundtrip(received, dev.last_sync_state, config);
-  std::vector<float> local = nn::get_state(*dev.model);
-  nn::mix_into(local, received, config.broadcast_mix_weight);
-  nn::set_state(*dev.model, local);
-  dev.last_sync_state = std::move(received);
+  dev.scratch.assign(aggregate.begin(), aggregate.end());
+  compress_roundtrip(dev.scratch, dev.last_sync_state, config);
+  nn::mix_state(*dev.model, dev.scratch, config.broadcast_mix_weight);
+  std::swap(dev.last_sync_state, dev.scratch);
   dev.version = (1.0 - config.broadcast_mix_weight) * dev.version +
                 config.broadcast_mix_weight * version_mean;
 }

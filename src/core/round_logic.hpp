@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/coordinator.hpp"
@@ -40,6 +41,8 @@ struct DeviceState {
   double last_loss = 0.0;
   std::size_t last_executed = 0;
   std::vector<float> last_sync_state;  ///< reference for top-k deltas
+  std::vector<float> scratch;  ///< per-device staging buffer, reused across
+                               ///< rounds so sync paths don't allocate
 };
 
 /// Everything `init_devices` derives from the scheme context.
@@ -60,11 +63,11 @@ struct DeviceSetup {
 DeviceSetup init_devices(const fl::SchemeContext& ctx,
                          const HadflConfig& config, Rng& rng);
 
-/// Applies the configured codec round-trip to `state` (what the receiver
-/// reconstructs) and returns the codec's wire size in bytes of the *actual*
-/// state; kNone returns the dense size.
-std::size_t compress_roundtrip(std::vector<float>& state,
-                               const std::vector<float>& reference,
+/// Applies the configured codec round-trip to `state` in place (what the
+/// receiver reconstructs) and returns the codec's wire size in bytes of the
+/// *actual* state; kNone returns the dense size.
+std::size_t compress_roundtrip(std::span<float> state,
+                               std::span<const float> reference,
                                const HadflConfig& config);
 
 /// Scales the full-size wire price by the codec's compression ratio.
@@ -72,7 +75,8 @@ std::size_t effective_wire_bytes(std::size_t wire_bytes,
                                  std::size_t codec_bytes,
                                  std::size_t dense_bytes);
 
-/// Mean state across the listed devices (id order).
+/// Mean state across the listed devices (id order), streamed straight off
+/// the devices' arena views — no per-device state copies.
 std::vector<float> mean_state_of(std::vector<DeviceState>& devices,
                                  const std::vector<sim::DeviceId>& ids);
 
@@ -118,8 +122,9 @@ void apply_aggregate(std::vector<DeviceState>& devices,
 
 /// An unselected device integrates a received aggregate (§III-D): codec
 /// round-trip against its own last-sync reference, then the configured mix
-/// into the local model and version.
-void integrate_broadcast(DeviceState& dev, const std::vector<float>& aggregate,
+/// into the local model and version. Stages through dev.scratch (reused
+/// capacity) and mixes in place through the model's state view.
+void integrate_broadcast(DeviceState& dev, std::span<const float> aggregate,
                          double version_mean, const HadflConfig& config);
 
 }  // namespace hadfl::core

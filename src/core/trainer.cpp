@@ -125,6 +125,13 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   const double total_train =
       static_cast<double>(ctx.train.size());
 
+  // Round-persistent sync buffers: the ring aggregation below streams each
+  // member's arena view through `sync_scratch` (codec staging) into
+  // `ring_acc`, so steady-state rounds reuse capacity instead of
+  // materializing one state copy per contributor.
+  nn::StateAccumulator ring_acc;
+  std::vector<float> sync_scratch;
+
   std::size_t round = 0;
   while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
     ++round;
@@ -226,19 +233,26 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
         if (ring.empty()) break;
         try {
           // Each member's contribution passes through the configured codec
-          // (what the peers reconstruct); the ring's wire cost shrinks by
-          // the codec's ratio.
-          std::vector<std::vector<float>> contributions;
-          contributions.reserve(ring.size());
+          // (what the peers reconstruct) and is folded straight into the
+          // accumulator in ring order — the same double-precision partial
+          // sums the materializing weighted_average produced, without the
+          // per-member state copies. The ring's wire cost shrinks by the
+          // codec's ratio.
+          const std::vector<double> weights =
+              ring_weights(ctx.partition, ring, config.weight_by_samples);
+          ring_acc.reset(nn::state_size(*devices[ring.front()].model));
           std::size_t codec_bytes = 0;
           std::size_t dense_bytes = 0;
-          for (sim::DeviceId id : ring) {
-            std::vector<float> state = nn::get_state(*devices[id].model);
-            dense_bytes = state.size() * sizeof(float);
+          for (std::size_t m = 0; m < ring.size(); ++m) {
+            const sim::DeviceId id = ring[m];
+            const auto view = nn::state_view(*devices[id].model);
+            sync_scratch.assign(view.begin(), view.end());
+            dense_bytes = sync_scratch.size() * sizeof(float);
             codec_bytes = std::max(
-                codec_bytes, compress_roundtrip(
-                                 state, devices[id].last_sync_state, config));
-            contributions.push_back(std::move(state));
+                codec_bytes,
+                compress_roundtrip(sync_scratch, devices[id].last_sync_state,
+                                   config));
+            ring_acc.accumulate(sync_scratch, weights[m]);
           }
           sim::SimTime sync_start = 0.0;  // the collective starts when the
                                           // slowest member arrives
@@ -249,9 +263,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
               transport, ring,
               effective_wire_bytes(wire_bytes, codec_bytes, dense_bytes));
           // Eq. 2 objective when weight_by_samples, else plain Eq. 5.
-          aggregate = nn::weighted_average(
-              contributions,
-              ring_weights(ctx.partition, ring, config.weight_by_samples));
+          aggregate.resize(ring_acc.size());
+          ring_acc.write(aggregate);
           if (config.trace != nullptr) {
             for (sim::DeviceId id : ring) {
               config.trace->record(id, sync_start, sync_done,
@@ -286,10 +299,11 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
         const sim::DeviceId src = ring[static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(ring.size()) - 1))];
         // Codec sizes are deterministic, so price the broadcast with a
-        // representative receiver's reconstruction.
-        std::vector<float> probe = aggregate;
+        // representative receiver's reconstruction (staged through the
+        // reused scratch buffer).
+        sync_scratch.assign(aggregate.begin(), aggregate.end());
         const std::size_t codec_bytes = compress_roundtrip(
-            probe, devices[others.front()].last_sync_state, config);
+            sync_scratch, devices[others.front()].last_sync_state, config);
         const sim::SimTime bc_start = cluster.time(src);
         const comm::BroadcastResult bc = comm::broadcast_nonblocking(
             transport, src, others,
@@ -339,9 +353,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
         for (std::size_t g = 0; g < groups.size() && g < leaders.size(); ++g) {
           for (sim::DeviceId id : groups[g]) {
             if (!liveness.is_available(id)) continue;
-            std::vector<float> local = nn::get_state(*devices[id].model);
-            nn::mix_into(local, global, config.broadcast_mix_weight);
-            nn::set_state(*devices[id].model, local);
+            nn::mix_state(*devices[id].model, global,
+                          config.broadcast_mix_weight);
             if (id != leaders[g]) {
               transport.account(leaders[g], id, wire_bytes);
             }

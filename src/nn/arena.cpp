@@ -1,0 +1,40 @@
+#include "nn/arena.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::nn {
+
+void ParameterArena::pack(const std::vector<Parameter*>& params) {
+  std::size_t value_count = 0;
+  std::size_t grad_count = 0;
+  for (const Parameter* p : params) {
+    HADFL_CHECK_ARG(p != nullptr, "pack of null parameter");
+    value_count += p->numel();
+    if (p->trainable) grad_count += p->numel();
+  }
+  if (packed_) {
+    HADFL_CHECK_ARG(
+        value_count == values_.size() && grad_count == grads_.size(),
+        "re-pack with different parameter set (" << value_count << "/"
+                                                 << grad_count << " vs "
+                                                 << values_.size() << "/"
+                                                 << grads_.size() << ")");
+    return;
+  }
+  values_.resize(value_count);
+  grads_.resize(grad_count);
+  std::size_t voff = 0;
+  std::size_t goff = 0;
+  for (Parameter* p : params) {
+    const std::size_t n = p->numel();
+    p->value.rebind(values_.data() + voff, n);
+    voff += n;
+    if (p->trainable) {
+      p->grad.rebind(grads_.data() + goff, n);
+      goff += n;
+    }
+  }
+  packed_ = true;
+}
+
+}  // namespace hadfl::nn

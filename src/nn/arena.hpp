@@ -1,0 +1,57 @@
+// Contiguous parameter arena: the storage behind zero-copy model state.
+//
+// A model's parameters are created by its layers as individually owning
+// tensors; `pack` migrates them into two contiguous buffers —
+//
+//  * `values` — every parameter value including non-trainable buffers
+//    (batch-norm running statistics), in parameters() order. This is the
+//    flat "state" vector that crosses the network, now available as a
+//    span without gathering: state_view() IS the model state.
+//  * `grads`  — the trainable parameters' gradients only, in the same
+//    order with buffers skipped: the exact layout nn::get_gradients
+//    produced by copying, now a view.
+//
+// Packing rebinds each parameter tensor (tensor/tensor.hpp view mode), so
+// layers keep reading and writing their parameters exactly as before —
+// forward/backward/optimizer code is oblivious — while get_state/set_state
+// collapse to one memcpy and aggregation streams straight over the spans.
+//
+// The arena must outlive the parameters bound into it (nn::Sequential owns
+// both, in the right order). Packing is idempotent; adding parameters
+// after packing is an error the owner guards against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hadfl::nn {
+
+class ParameterArena {
+ public:
+  ParameterArena() = default;
+  ParameterArena(const ParameterArena&) = delete;
+  ParameterArena& operator=(const ParameterArena&) = delete;
+
+  /// Migrates every parameter into the arena. Current values/gradients are
+  /// preserved. No-op when already packed with the same total sizes.
+  void pack(const std::vector<Parameter*>& params);
+
+  bool packed() const { return packed_; }
+
+  /// The full model state (params + buffers), contiguous.
+  std::span<float> state_view() { return values_; }
+  std::span<const float> state_view() const { return values_; }
+
+  /// The trainable gradients, contiguous.
+  std::span<float> grad_view() { return grads_; }
+  std::span<const float> grad_view() const { return grads_; }
+
+ private:
+  std::vector<float> values_;
+  std::vector<float> grads_;
+  bool packed_ = false;
+};
+
+}  // namespace hadfl::nn

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,24 @@ class Layer {
   virtual std::vector<Parameter*> parameters() { return {}; }
 
   virtual std::string name() const = 0;
+
+  // ---- Contiguous state (arena-backed models) ---------------------------
+  // Models that pack their parameters into a ParameterArena expose the full
+  // flat state and the trainable-gradient slice as O(1) spans. The default
+  // (non-packed) implementation reports empty views; callers fall back to
+  // the copying get_state/set_state path in nn/param_utils.hpp.
+
+  /// True when parameters live in a contiguous arena and the views below
+  /// are valid.
+  virtual bool packed() const { return false; }
+
+  /// The model's full flat state (parameters + buffers) in parameters()
+  /// order, or an empty span when not packed.
+  virtual std::span<float> state_view() { return {}; }
+
+  /// The trainable parameters' gradients, contiguous, or an empty span
+  /// when not packed.
+  virtual std::span<float> grad_view() { return {}; }
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

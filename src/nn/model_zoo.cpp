@@ -33,6 +33,7 @@ std::unique_ptr<Sequential> make_mlp(const ModelConfig& config, Rng& rng) {
   model->emplace<ReLU>();
   model->emplace<Dense>(config.mlp_hidden, config.num_classes);
   initialize_model(*model, rng);
+  model->pack();
   return model;
 }
 
@@ -60,6 +61,7 @@ std::unique_ptr<Sequential> make_resnet18_lite(const ModelConfig& config,
   model->emplace<GlobalAvgPool>();
   model->emplace<Dense>(8 * b, config.num_classes);
   initialize_model(*model, rng);
+  model->pack();
   return model;
 }
 
@@ -100,6 +102,7 @@ std::unique_ptr<Sequential> make_vgg16_lite(const ModelConfig& config,
   model->emplace<ReLU>();
   model->emplace<Dense>(4 * b, config.num_classes);
   initialize_model(*model, rng);
+  model->pack();
   return model;
 }
 

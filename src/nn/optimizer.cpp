@@ -25,14 +25,17 @@ void Sgd::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
     if (!p.trainable) continue;
-    auto& v = velocity_[i];
-    for (std::size_t j = 0; j < p.numel(); ++j) {
-      float g = p.grad[j] + wd * p.value[j];
+    float* v = velocity_[i].data();
+    float* val = p.value.data();
+    const float* grad = p.grad.data();
+    const std::size_t n = p.numel();
+    for (std::size_t j = 0; j < n; ++j) {
+      float g = grad[j] + wd * val[j];
       if (mu > 0.0f) {
         v[j] = mu * v[j] + g;
         g = v[j];
       }
-      p.value[j] -= lr * g;
+      val[j] -= lr * g;
     }
   }
 }

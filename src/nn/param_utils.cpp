@@ -3,16 +3,19 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/math_utils.hpp"
 
 namespace hadfl::nn {
 
 std::size_t state_size(Layer& model) {
+  if (model.packed()) return model.state_view().size();
   std::size_t n = 0;
   for (const Parameter* p : model.parameters()) n += p->numel();
   return n;
 }
 
 std::size_t gradient_size(Layer& model) {
+  if (model.packed()) return model.grad_view().size();
   std::size_t n = 0;
   for (const Parameter* p : model.parameters()) {
     if (p->trainable) n += p->numel();
@@ -24,12 +27,56 @@ std::size_t state_bytes(Layer& model) {
   return state_size(model) * sizeof(float);
 }
 
+std::span<float> state_view(Layer& model) {
+  HADFL_CHECK_MSG(model.packed(),
+                  "state_view requires an arena-packed model ("
+                      << model.name() << "); call Sequential::pack()");
+  return model.state_view();
+}
+
+std::span<float> grad_view(Layer& model) {
+  HADFL_CHECK_MSG(model.packed(),
+                  "grad_view requires an arena-packed model ("
+                      << model.name() << "); call Sequential::pack()");
+  return model.grad_view();
+}
+
+void mix_state(Layer& model, std::span<const float> src, double w) {
+  mix_spans(state_view(model), src, w);
+}
+
+void StateAccumulator::reset(std::size_t n) {
+  acc_.assign(n, 0.0);
+  weight_sum_ = 0.0;
+}
+
+void StateAccumulator::accumulate(std::span<const float> state, double w) {
+  axpy_into(acc_, w, state);
+  weight_sum_ += w;
+}
+
+void StateAccumulator::write(std::span<float> dst) const {
+  HADFL_CHECK_ARG(weight_sum_ != 0.0,
+                  "StateAccumulator::write with zero accumulated weight");
+  cast_into(dst, acc_);
+}
+
+std::vector<float> StateAccumulator::materialize() const {
+  std::vector<float> out(acc_.size());
+  write(out);
+  return out;
+}
+
 std::vector<float> get_state(Layer& model) {
+  if (model.packed()) {
+    const auto v = model.state_view();
+    return std::vector<float>(v.begin(), v.end());
+  }
   std::vector<float> out;
   out.reserve(state_size(model));
   for (const Parameter* p : model.parameters()) {
-    const auto& v = p->value.storage();
-    out.insert(out.end(), v.begin(), v.end());
+    const float* v = p->value.data();
+    out.insert(out.end(), v, v + p->numel());
   }
   return out;
 }
@@ -38,6 +85,11 @@ void set_state(Layer& model, std::span<const float> state) {
   HADFL_CHECK_SHAPE(state.size() == state_size(model),
                     "state size " << state.size() << " != model state size "
                                   << state_size(model));
+  if (model.packed()) {
+    const auto v = model.state_view();
+    std::copy_n(state.data(), state.size(), v.data());
+    return;
+  }
   std::size_t offset = 0;
   for (Parameter* p : model.parameters()) {
     std::copy_n(state.data() + offset, p->numel(), p->value.data());
@@ -46,12 +98,16 @@ void set_state(Layer& model, std::span<const float> state) {
 }
 
 std::vector<float> get_gradients(Layer& model) {
+  if (model.packed()) {
+    const auto g = model.grad_view();
+    return std::vector<float>(g.begin(), g.end());
+  }
   std::vector<float> out;
   out.reserve(gradient_size(model));
   for (const Parameter* p : model.parameters()) {
     if (!p->trainable) continue;
-    const auto& g = p->grad.storage();
-    out.insert(out.end(), g.begin(), g.end());
+    const float* g = p->grad.data();
+    out.insert(out.end(), g, g + p->numel());
   }
   return out;
 }
@@ -61,6 +117,11 @@ void set_gradients(Layer& model, std::span<const float> grads) {
                     "gradient size " << grads.size()
                                      << " != model gradient size "
                                      << gradient_size(model));
+  if (model.packed()) {
+    const auto g = model.grad_view();
+    std::copy_n(grads.data(), grads.size(), g.data());
+    return;
+  }
   std::size_t offset = 0;
   for (Parameter* p : model.parameters()) {
     if (!p->trainable) continue;
@@ -70,6 +131,13 @@ void set_gradients(Layer& model, std::span<const float> grads) {
 }
 
 void zero_gradients(Layer& model) {
+  if (model.packed()) {
+    const auto g = model.grad_view();
+    std::fill_n(g.data(), g.size(), 0.0f);
+    // Non-trainable buffers have no live gradient in the arena; their
+    // per-parameter grad tensors stay zero by construction.
+    return;
+  }
   for (Parameter* p : model.parameters()) p->zero_grad();
 }
 
@@ -81,17 +149,15 @@ std::vector<float> weighted_average(
                   "states/weights count mismatch: " << states.size() << " vs "
                                                     << weights.size());
   const std::size_t n = states.front().size();
-  std::vector<double> acc(n, 0.0);
+  StateAccumulator acc;
+  acc.reset(n);
   for (std::size_t k = 0; k < states.size(); ++k) {
     HADFL_CHECK_SHAPE(states[k].size() == n,
                       "state " << k << " has size " << states[k].size()
                                << ", expected " << n);
-    const double w = weights[k];
-    for (std::size_t i = 0; i < n; ++i) acc[i] += w * states[k][i];
+    acc.accumulate(states[k], weights[k]);
   }
-  std::vector<float> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(acc[i]);
-  return out;
+  return acc.materialize();
 }
 
 std::vector<float> average(const std::vector<std::vector<float>>& states) {
@@ -100,13 +166,12 @@ std::vector<float> average(const std::vector<std::vector<float>>& states) {
   return weighted_average(states, std::vector<double>(states.size(), w));
 }
 
+void mix_into(std::span<float> dst, std::span<const float> src, double w) {
+  mix_spans(dst, src, w);
+}
+
 void mix_into(std::vector<float>& dst, std::span<const float> src, double w) {
-  HADFL_CHECK_SHAPE(dst.size() == src.size(), "mix_into size mismatch");
-  HADFL_CHECK_ARG(w >= 0.0 && w <= 1.0, "mix weight must be in [0,1], got " << w);
-  const auto wf = static_cast<float>(w);
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = (1.0f - wf) * dst[i] + wf * src[i];
-  }
+  mix_spans(dst, src, w);
 }
 
 }  // namespace hadfl::nn

@@ -8,6 +8,15 @@
 //                 state vectors.
 //  * "gradient" = trainable parameters' gradients only — what the
 //                 distributed-training baseline all-reduces each iteration.
+//
+// Arena-backed models (nn::Sequential after pack(); everything produced by
+// the model zoo) hold their whole state contiguously, so the preferred API
+// is the zero-copy one: state_view()/grad_view() spans, StateAccumulator
+// for streaming aggregation, and mix_state for in-place blending. The
+// copying get_state/set_state/weighted_average functions below remain as
+// migration shims — get_state still allocates a fresh vector per call and
+// weighted_average requires every contributor state materialized up front.
+// New code should stream over views instead.
 #pragma once
 
 #include <span>
@@ -27,7 +36,54 @@ std::size_t gradient_size(Layer& model);
 /// communication-volume analysis.
 std::size_t state_bytes(Layer& model);
 
+// ---- Zero-copy API (packed models) --------------------------------------
+
+/// The model's contiguous state span. Requires a packed model; O(1), no
+/// copies — mutations through the span ARE mutations of the model.
+std::span<float> state_view(Layer& model);
+
+/// The model's contiguous trainable-gradient span. Requires a packed model.
+std::span<float> grad_view(Layer& model);
+
+/// In-place blend of a received state into a packed model:
+/// model = (1 - w) * model + w * src. Equivalent to the historic
+/// get_state + mix_into + set_state round trip, without the copies.
+void mix_state(Layer& model, std::span<const float> src, double w);
+
+/// Streaming weighted-sum accumulator over flat states. Replaces the
+/// materialize-everything weighted_average for hot aggregation paths:
+/// contributors are folded in one at a time (double-precision partial sums,
+/// same accumulation order == bit-identical result) and the buffer capacity
+/// is reused across rounds.
+class StateAccumulator {
+ public:
+  /// Starts a fresh accumulation of `n`-element states. Reuses capacity.
+  void reset(std::size_t n);
+
+  /// acc += w * state. Size must match reset(). Order matters for the final
+  /// float rounding: fold contributors in the same order the legacy
+  /// weighted_average iterated them (slot order, not arrival order).
+  void accumulate(std::span<const float> state, double w);
+
+  /// Writes float(acc) into dst. Size must match. Requires a non-zero
+  /// accumulated weight sum (an all-zero-weight aggregate is a bug).
+  void write(std::span<float> dst) const;
+
+  /// write() into a fresh vector — for callers that need ownership.
+  std::vector<float> materialize() const;
+
+  std::size_t size() const { return acc_.size(); }
+  double weight_sum() const { return weight_sum_; }
+
+ private:
+  std::vector<double> acc_;
+  double weight_sum_ = 0.0;
+};
+
+// ---- Copying API (migration shims) --------------------------------------
+
 /// Copies all parameter values (including buffers) into one flat vector.
+/// For packed models this is a single bulk copy of state_view().
 std::vector<float> get_state(Layer& model);
 
 /// Writes a flat state vector back into the model. Size must match.
@@ -42,8 +98,9 @@ void set_gradients(Layer& model, std::span<const float> grads);
 /// Zeroes all gradients.
 void zero_gradients(Layer& model);
 
-/// dst = sum_i weights[i] * states[i]; all states must have equal size and
-/// weights must match states in count. Used by every aggregation rule.
+/// dst = sum_i weights[i] * states[i]; all states must have equal size,
+/// weights must match states in count, and the weight sum must be non-zero.
+/// Materializes every contributor — prefer StateAccumulator in hot paths.
 std::vector<float> weighted_average(
     const std::vector<std::vector<float>>& states,
     const std::vector<double>& weights);
@@ -53,6 +110,7 @@ std::vector<float> average(const std::vector<std::vector<float>>& states);
 
 /// In-place mix: dst = (1 - w) * dst + w * src. Used when an unselected
 /// device integrates a received aggregate with its local model (§III-D).
+void mix_into(std::span<float> dst, std::span<const float> src, double w);
 void mix_into(std::vector<float>& dst, std::span<const float> src, double w);
 
 }  // namespace hadfl::nn

@@ -6,9 +6,13 @@ namespace hadfl::nn {
 
 Sequential& Sequential::add(LayerPtr layer) {
   HADFL_CHECK_ARG(layer != nullptr, "Sequential::add(nullptr)");
+  HADFL_CHECK_MSG(!arena_.packed(),
+                  "Sequential::add after pack(): the arena layout is fixed");
   layers_.push_back(std::move(layer));
   return *this;
 }
+
+void Sequential::pack() { arena_.pack(parameters()); }
 
 Tensor Sequential::forward(const Tensor& input, bool training) {
   Tensor x = input;

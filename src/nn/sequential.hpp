@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "nn/arena.hpp"
 #include "nn/layer.hpp"
 
 namespace hadfl::nn {
@@ -29,8 +30,18 @@ class Sequential : public Layer {
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i);
 
+  /// Migrates all parameters into a contiguous arena (values + trainable
+  /// gradients), after which state_view()/grad_view() are O(1) spans over
+  /// the whole model. Idempotent. Layers may not be added afterwards.
+  void pack();
+
+  bool packed() const override { return arena_.packed(); }
+  std::span<float> state_view() override { return arena_.state_view(); }
+  std::span<float> grad_view() override { return arena_.grad_view(); }
+
  private:
   std::vector<LayerPtr> layers_;
+  ParameterArena arena_;
 };
 
 }  // namespace hadfl::nn

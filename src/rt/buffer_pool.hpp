@@ -1,0 +1,62 @@
+// Recycled payload buffers for the rt transport layer.
+//
+// Every ring-collective hop ships a std::vector<float> payload. Without
+// pooling, each hop allocates a fresh buffer and frees it after the
+// receiver consumes it — at ResNet scale that is megabytes of allocator
+// churn per synchronization round, concurrently from every worker thread.
+// The pool keeps consumed buffers' capacity on a free list instead:
+// acquire() hands back a recycled buffer resized to the requested length
+// (heap-allocating only until the steady-state working set is reached),
+// and release() returns a spent payload. The InprocTransport owns one pool
+// shared by all endpoints, so a buffer released by the receiving worker is
+// reused by the next sender.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hadfl::rt {
+
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer of exactly `n` elements (contents unspecified): recycled
+  /// capacity when available, freshly allocated otherwise.
+  std::vector<float> acquire(std::size_t n) {
+    std::vector<float> buf;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        buf = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    buf.resize(n);
+    return buf;
+  }
+
+  /// Returns a spent buffer's capacity to the pool. Empty buffers (e.g.
+  /// moved-from payloads) are dropped — nothing to recycle.
+  void release(std::vector<float>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(buf));
+  }
+
+  /// Number of buffers currently on the free list (observability/tests).
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<float>> free_;
+};
+
+}  // namespace hadfl::rt

@@ -20,14 +20,16 @@ std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, std::size_t k,
 
 std::vector<std::vector<float>> ring_allgather(
     InprocTransport& transport, const std::vector<DeviceId>& ring,
-    std::size_t my_index, std::vector<float> local,
+    std::size_t my_index, std::span<const float> local,
     std::int64_t collective_id, std::size_t wire_bytes,
     double step_timeout_s) {
   const std::size_t k = ring.size();
   HADFL_CHECK_ARG(k > 0, "ring_allgather on empty ring");
   HADFL_CHECK_ARG(my_index < k, "my_index out of range");
+  BufferPool& pool = transport.pool();
   std::vector<std::vector<float>> contributions(k);
-  contributions[my_index] = std::move(local);
+  contributions[my_index] = pool.acquire(local.size());
+  std::copy(local.begin(), local.end(), contributions[my_index].begin());
   if (k == 1) return contributions;
 
   const DeviceId self = ring[my_index];
@@ -35,12 +37,16 @@ std::vector<std::vector<float>> ring_allgather(
   const DeviceId prev = ring[(my_index + k - 1) % k];
   for (std::size_t step = 0; step + 1 < k; ++step) {
     // Forward the contribution that arrived last step (own state first).
+    // The outbound copy lives in a pooled buffer; the receiver's consumed
+    // payloads are what refill the pool.
     const std::size_t send_slot = (my_index + k - step) % k;
     const std::size_t recv_slot = (my_index + k - step - 1) % k;
     Message msg;
     msg.tag = make_tag(MsgKind::kData, collective_id,
                        static_cast<std::int64_t>(step));
-    msg.payload = contributions[send_slot];
+    msg.payload = pool.acquire(contributions[send_slot].size());
+    std::copy(contributions[send_slot].begin(),
+              contributions[send_slot].end(), msg.payload.begin());
     msg.wire_bytes = wire_bytes;
     std::shared_ptr<PendingSend> pending =
         transport.isend(self, next, std::move(msg));
@@ -70,14 +76,17 @@ void ring_allreduce_average(InprocTransport& transport,
   const DeviceId prev = ring[(my_index + k - 1) % k];
   const std::size_t n = data.size();
 
+  BufferPool& pool = transport.pool();
   auto exchange = [&](std::size_t step, std::size_t send_chunk,
                       std::size_t recv_chunk, bool accumulate) {
     const auto [sb, se] = chunk_range(n, k, send_chunk);
     Message msg;
     msg.tag = make_tag(MsgKind::kData, collective_id,
                        static_cast<std::int64_t>(step));
-    msg.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(sb),
-                       data.begin() + static_cast<std::ptrdiff_t>(se));
+    msg.payload = pool.acquire(se - sb);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(sb),
+              data.begin() + static_cast<std::ptrdiff_t>(se),
+              msg.payload.begin());
     std::shared_ptr<PendingSend> pending =
         transport.isend(self, next, std::move(msg));
     Message incoming = transport.recv_match(
@@ -95,6 +104,7 @@ void ring_allreduce_average(InprocTransport& transport,
       std::copy(incoming.payload.begin(), incoming.payload.end(),
                 data.begin() + static_cast<std::ptrdiff_t>(rb));
     }
+    pool.release(std::move(incoming.payload));
     pending->wait(step_timeout_s, self, next);
   };
 

@@ -23,14 +23,20 @@
 
 namespace hadfl::rt {
 
-/// All-gathers the members' `local` vectors around the directed ring.
+/// All-gathers the members' `local` states around the directed ring.
 /// Returns the contributions indexed in ring order (result[i] came from
-/// ring[i]); `result[my_index]` is `local` itself. `wire_bytes` prices each
-/// hop for volume accounting (0 = dense payload size). Throws CommError if
-/// a neighbour dies or a step exceeds `step_timeout_s`.
+/// ring[i]); `result[my_index]` is a copy of `local`. `wire_bytes` prices
+/// each hop for volume accounting (0 = dense payload size). Throws
+/// CommError if a neighbour dies or a step exceeds `step_timeout_s`.
+///
+/// `local` is read-only — callers pass their arena state view (or codec
+/// scratch) without relinquishing it. All buffers in the result (and every
+/// hop's outbound payload) come from the transport's BufferPool; return
+/// them with `transport.pool().release(std::move(buf))` once consumed so
+/// subsequent rounds recycle instead of allocating.
 std::vector<std::vector<float>> ring_allgather(
     InprocTransport& transport, const std::vector<DeviceId>& ring,
-    std::size_t my_index, std::vector<float> local,
+    std::size_t my_index, std::span<const float> local,
     std::int64_t collective_id, std::size_t wire_bytes,
     double step_timeout_s);
 

@@ -146,7 +146,12 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   const auto worker_main = [&](DeviceId d) {
     core::DeviceState& dev = devices[d];
     Mailbox<Command>& inbox = *inboxes[d];
+    // Sync-path working set, persistent across rounds: the codec scratch
+    // (dev.scratch), the double-precision accumulator, and the staged
+    // aggregate all keep their capacity, so steady-state synchronization
+    // does not allocate on this thread.
     std::vector<float> pending_aggregate;
+    nn::StateAccumulator sync_acc;
 
     const auto throttled_sleep = [&](double seconds) {
       const double slice = std::max(0.001, config.heartbeat_timeout_s / 4.0);
@@ -263,20 +268,29 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           Report r;
           r.kind = ReportKind::kSyncDone;
           try {
-            std::vector<float> state = nn::get_state(*dev.model);
-            const std::size_t dense = state.size() * sizeof(float);
+            const auto view = nn::state_view(*dev.model);
+            dev.scratch.assign(view.begin(), view.end());
+            const std::size_t dense = dev.scratch.size() * sizeof(float);
             const std::size_t codec = core::compress_roundtrip(
-                state, dev.last_sync_state, config.hadfl);
+                dev.scratch, dev.last_sync_state, config.hadfl);
             const std::size_t eff =
                 core::effective_wire_bytes(cmd->wire_bytes, codec, dense);
-            const std::vector<std::vector<float>> contributions =
+            std::vector<std::vector<float>> contributions =
                 ring_allgather(transport, cmd->peers, cmd->my_index,
-                               std::move(state), cmd->collective_id, eff,
+                               dev.scratch, cmd->collective_id, eff,
                                config.collective_timeout_s);
             // Same reduction, same order, on every member: the aggregate is
-            // bitwise identical ring-wide and to the simulator's.
-            pending_aggregate =
-                nn::weighted_average(contributions, cmd->weights);
+            // bitwise identical ring-wide and to the simulator's (ring-order
+            // double-precision accumulation, then one cast).
+            sync_acc.reset(dev.scratch.size());
+            for (std::size_t m = 0; m < contributions.size(); ++m) {
+              sync_acc.accumulate(contributions[m], cmd->weights[m]);
+            }
+            pending_aggregate.resize(sync_acc.size());
+            sync_acc.write(pending_aggregate);
+            for (auto& buf : contributions) {
+              transport.pool().release(std::move(buf));
+            }
             if (cmd->my_index == 0) r.aggregate = pending_aggregate;
           } catch (const CommError& e) {
             HADFL_DEBUG("dev" << d << " sync failed: " << e.what());
@@ -289,7 +303,9 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         case CmdKind::kCommit: {
           nn::set_state(*dev.model, pending_aggregate);
           dev.version = cmd->version_mean;
-          dev.last_sync_state = std::move(pending_aggregate);
+          // Swap instead of move-assign: the displaced last_sync_state
+          // capacity becomes next round's pending_aggregate buffer.
+          std::swap(dev.last_sync_state, pending_aggregate);
           pending_aggregate.clear();
           Report r;
           r.kind = ReportKind::kCommitDone;
@@ -311,7 +327,9 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           for (DeviceId target : cmd->peers) {
             Message msg;
             msg.tag = make_tag(MsgKind::kModelPush, cmd->collective_id);
-            msg.payload = dev.last_sync_state;
+            msg.payload = transport.pool().acquire(dev.last_sync_state.size());
+            std::copy(dev.last_sync_state.begin(), dev.last_sync_state.end(),
+                      msg.payload.begin());
             msg.wire_bytes = cmd->wire_bytes;
             try {
               transport.send_nonblocking(d, target, std::move(msg));
@@ -335,6 +353,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
                 config.collective_timeout_s);
             core::integrate_broadcast(dev, msg.payload, cmd->version_mean,
                                       config.hadfl);
+            transport.pool().release(std::move(msg.payload));
             r.version = dev.version;
           } catch (const CommError&) {
             r.ok = false;

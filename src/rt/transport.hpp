@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "comm/transport.hpp"
+#include "rt/buffer_pool.hpp"
 #include "rt/mailbox.hpp"
 #include "sim/network.hpp"
 
@@ -129,6 +130,11 @@ class InprocTransport {
   /// Snapshot of per-device byte counters.
   comm::VolumeCounters volume() const;
 
+  /// Shared payload-buffer pool: collectives draw outbound buffers from it
+  /// and consumers return spent payloads, so steady-state synchronization
+  /// rounds recirculate capacity instead of allocating per hop.
+  BufferPool& pool() { return pool_; }
+
   /// Wall-clock cost of moving `bytes` across the src→dst link under the
   /// configured throttle (0 when time_scale == 0).
   double link_delay_s(DeviceId src, DeviceId dst, std::size_t bytes) const;
@@ -154,6 +160,7 @@ class InprocTransport {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   sim::NetworkModel network_;
   double time_scale_;
+  BufferPool pool_;
 };
 
 }  // namespace hadfl::rt

@@ -1,5 +1,6 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -25,16 +26,95 @@ std::size_t shape_numel(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {
+  ptr_ = data_.data();
+  numel_ = data_.size();
+}
 
 Tensor::Tensor(Shape shape, float value)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {
+  ptr_ = data_.data();
+  numel_ = data_.size();
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   HADFL_CHECK_SHAPE(data_.size() == shape_numel(shape_),
                     "data size " << data_.size() << " != numel of shape "
                                  << shape_to_string(shape_));
+  ptr_ = data_.data();
+  numel_ = data_.size();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      data_(other.ptr_, other.ptr_ + other.numel_),
+      numel_(other.numel_) {
+  // Copying a view decays to an owning deep copy: value semantics hold and
+  // the copy never outlives someone else's arena.
+  ptr_ = data_.data();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  data_.assign(other.ptr_, other.ptr_ + other.numel_);
+  ptr_ = data_.data();
+  numel_ = other.numel_;
+  view_ = false;
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      ptr_(other.ptr_),
+      numel_(other.numel_),
+      view_(other.view_) {
+  if (!view_) ptr_ = data_.data();
+  other.shape_.clear();
+  other.data_.clear();
+  other.ptr_ = other.data_.data();
+  other.numel_ = 0;
+  other.view_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  numel_ = other.numel_;
+  view_ = other.view_;
+  ptr_ = view_ ? other.ptr_ : data_.data();
+  other.shape_.clear();
+  other.data_.clear();
+  other.ptr_ = other.data_.data();
+  other.numel_ = 0;
+  other.view_ = false;
+  return *this;
+}
+
+std::vector<float>& Tensor::storage() {
+  HADFL_CHECK_MSG(!view_, "storage() on an arena-view tensor");
+  return data_;
+}
+
+const std::vector<float>& Tensor::storage() const {
+  HADFL_CHECK_MSG(!view_, "storage() on an arena-view tensor");
+  return data_;
+}
+
+void Tensor::rebind(float* storage, std::size_t count) {
+  HADFL_CHECK_ARG(storage != nullptr || numel_ == 0,
+                  "rebind to null storage");
+  HADFL_CHECK_SHAPE(count == numel_, "rebind size " << count << " != numel "
+                                                    << numel_);
+  if (view_ && ptr_ == storage) return;
+  std::copy_n(ptr_, numel_, storage);
+  data_.clear();
+  data_.shrink_to_fit();
+  ptr_ = storage;
+  view_ = true;
 }
 
 std::size_t Tensor::dim(std::size_t axis) const {
@@ -44,13 +124,13 @@ std::size_t Tensor::dim(std::size_t axis) const {
 }
 
 float& Tensor::at(std::size_t i) {
-  HADFL_CHECK_ARG(i < data_.size(), "index " << i << " out of range " << data_.size());
-  return data_[i];
+  HADFL_CHECK_ARG(i < numel_, "index " << i << " out of range " << numel_);
+  return ptr_[i];
 }
 
 float Tensor::at(std::size_t i) const {
-  HADFL_CHECK_ARG(i < data_.size(), "index " << i << " out of range " << data_.size());
-  return data_[i];
+  HADFL_CHECK_ARG(i < numel_, "index " << i << " out of range " << numel_);
+  return ptr_[i];
 }
 
 float& Tensor::at2(std::size_t r, std::size_t c) {
@@ -58,7 +138,7 @@ float& Tensor::at2(std::size_t r, std::size_t c) {
   HADFL_CHECK_ARG(r < shape_[0] && c < shape_[1],
                   "(" << r << "," << c << ") out of range "
                       << shape_to_string(shape_));
-  return data_[r * shape_[1] + c];
+  return ptr_[r * shape_[1] + c];
 }
 
 float Tensor::at2(std::size_t r, std::size_t c) const {
@@ -70,7 +150,7 @@ float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
   HADFL_CHECK_ARG(n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
                   "(" << n << "," << c << "," << h << "," << w
                       << ") out of range " << shape_to_string(shape_));
-  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  return ptr_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
@@ -83,17 +163,17 @@ Tensor Tensor::reshaped(Shape new_shape) const {
                     "cannot reshape " << shape_to_string(shape_) << " ("
                                       << numel() << " elems) to "
                                       << shape_to_string(new_shape));
-  return Tensor(std::move(new_shape), data_);
+  return Tensor(std::move(new_shape), std::vector<float>(ptr_, ptr_ + numel_));
 }
 
 void Tensor::fill(float value) {
-  for (auto& v : data_) v = value;
+  std::fill_n(ptr_, numel_, value);
 }
 
 bool Tensor::allclose(const Tensor& other, float tol) const {
   if (shape_ != other.shape_) return false;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  for (std::size_t i = 0; i < numel_; ++i) {
+    if (std::fabs(ptr_[i] - other.ptr_[i]) > tol) return false;
   }
   return true;
 }

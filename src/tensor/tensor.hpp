@@ -1,9 +1,16 @@
-// Dense float tensor with owning, contiguous, row-major storage.
+// Dense float tensor with contiguous, row-major storage.
 //
 // This is the numeric workhorse under the NN library. It is deliberately
-// simple: no views, no broadcasting, no autograd — layers implement their
-// own backward passes (src/nn). Value semantics throughout (copy copies the
+// simple: no broadcasting, no autograd — layers implement their own
+// backward passes (src/nn). Value semantics throughout (copy copies the
 // buffer; move steals it), per C.20/C.61 of the Core Guidelines.
+//
+// A tensor either OWNS its buffer (the default) or is a VIEW into storage
+// owned by someone else — a nn::ParameterArena slot, so that a whole
+// model's state is one contiguous span. `rebind` migrates an owning tensor
+// into external storage; copying a view produces an owning deep copy (value
+// semantics are preserved either way), and moving a view moves the
+// reference. The viewed storage must outlive the view.
 #pragma once
 
 #include <cstddef>
@@ -18,7 +25,7 @@ using Shape = std::vector<std::size_t>;
 std::string shape_to_string(const Shape& shape);
 std::size_t shape_numel(const Shape& shape);
 
-/// Owning row-major float tensor.
+/// Contiguous row-major float tensor (owning buffer or arena view).
 class Tensor {
  public:
   /// Empty 0-d tensor (numel() == 0 with empty shape is distinguished from
@@ -34,6 +41,12 @@ class Tensor {
   /// Adopts the given data; data.size() must equal the shape's numel.
   Tensor(Shape shape, std::vector<float> data);
 
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
+
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float value) {
     return Tensor(std::move(shape), value);
@@ -41,16 +54,28 @@ class Tensor {
 
   const Shape& shape() const { return shape_; }
   std::size_t ndim() const { return shape_.size(); }
-  std::size_t numel() const { return data_.size(); }
+  std::size_t numel() const { return numel_; }
   std::size_t dim(std::size_t axis) const;
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
 
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  /// The owning buffer. Only valid on owning tensors — throws on views
+  /// (their storage belongs to an arena, not to this tensor).
+  std::vector<float>& storage();
+  const std::vector<float>& storage() const;
+
+  /// True when the buffer belongs to external storage (a parameter arena).
+  bool is_view() const { return view_; }
+
+  /// Migrates this tensor's contents into `storage` (which must hold at
+  /// least `count` == numel() floats and outlive the tensor) and turns the
+  /// tensor into a view of it. The owned buffer is released. Idempotent
+  /// when already bound to the same storage.
+  void rebind(float* storage, std::size_t count);
+
+  float& operator[](std::size_t i) { return ptr_[i]; }
+  float operator[](std::size_t i) const { return ptr_[i]; }
 
   /// Bounds-checked element access (linear index).
   float& at(std::size_t i);
@@ -65,6 +90,7 @@ class Tensor {
   float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
 
   /// Reinterpret with a new shape of identical numel (contiguous reshape).
+  /// Always returns an owning tensor.
   Tensor reshaped(Shape new_shape) const;
 
   void fill(float value);
@@ -74,7 +100,10 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float> data_;       ///< owning storage; empty for views
+  float* ptr_ = nullptr;          ///< active buffer (owned or external)
+  std::size_t numel_ = 0;
+  bool view_ = false;
 };
 
 }  // namespace hadfl

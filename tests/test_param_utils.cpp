@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "nn/batchnorm.hpp"
@@ -118,6 +121,134 @@ TEST(ParamUtils, AverageOfIdenticalStatesIsIdentity) {
   const std::vector<float> s = get_state(seq);
   const std::vector<float> avg = average({s, s, s});
   for (std::size_t i = 0; i < s.size(); ++i) EXPECT_NEAR(avg[i], s[i], 1e-6);
+}
+
+TEST(ParamUtils, WeightedAverageSingleState) {
+  const std::vector<std::vector<float>> states{{1.5f, -2.0f}};
+  const std::vector<float> avg = weighted_average(states, {1.0});
+  EXPECT_EQ(avg, states[0]);
+}
+
+TEST(ParamUtils, WeightedAverageRejectsZeroWeightSum) {
+  const std::vector<std::vector<float>> states{{1.0f}, {2.0f}};
+  EXPECT_THROW(weighted_average(states, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(weighted_average(states, {0.5, -0.5}), InvalidArgument);
+}
+
+// ---- Arena pack + views --------------------------------------------------
+
+TEST(Arena, PackMakesStateAndGradContiguous) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  Rng rng(3);
+  initialize_model(seq, rng);
+  const std::vector<float> before = get_state(seq);
+  seq.pack();
+  ASSERT_TRUE(seq.packed());
+  const std::span<float> view = seq.state_view();
+  ASSERT_EQ(view.size(), state_size(seq));
+  EXPECT_EQ(seq.grad_view().size(), gradient_size(seq));
+  // Packing must not change any value, and the view must alias every
+  // parameter tensor in parameters() order.
+  EXPECT_EQ(get_state(seq), before);
+  std::size_t offset = 0;
+  for (const Parameter* p : seq.parameters()) {
+    EXPECT_EQ(p->value.data(), view.data() + offset);
+    EXPECT_TRUE(p->value.is_view());
+    offset += p->numel();
+  }
+  EXPECT_EQ(offset, view.size());
+}
+
+TEST(Arena, PackIsIdempotentAndAddAfterPackThrows) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  seq.pack();
+  const float* data = seq.state_view().data();
+  seq.pack();  // second pack must keep the same storage
+  EXPECT_EQ(seq.state_view().data(), data);
+  EXPECT_THROW(seq.emplace<Dense>(2, 2), Error);
+}
+
+TEST(Arena, ViewWritesReachTheModel) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  seq.pack();
+  std::span<float> view = state_view(seq);
+  view[0] = 42.0f;
+  EXPECT_EQ(seq.parameters().front()->value[0], 42.0f);
+  EXPECT_EQ(get_state(seq)[0], 42.0f);  // copying shim sees the same storage
+}
+
+TEST(Arena, UnpackedModelHasEmptyViewsAndViewAccessorsThrow) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  EXPECT_FALSE(seq.packed());
+  EXPECT_TRUE(seq.state_view().empty());
+  EXPECT_THROW(state_view(seq), Error);
+  EXPECT_THROW(grad_view(seq), Error);
+}
+
+TEST(Arena, CopyingShimsStillWorkUnpacked) {
+  auto net_a = make_net();
+  auto net_b = make_net();
+  Rng rng(4);
+  initialize_model(*net_a, rng);
+  net_a->pack();  // packed source, unpacked destination
+  set_state(*net_b, get_state(*net_a));
+  EXPECT_EQ(get_state(*net_a), get_state(*net_b));
+}
+
+// ---- StateAccumulator ----------------------------------------------------
+
+TEST(StateAccumulator, MatchesLegacyWeightedAverage) {
+  const std::vector<std::vector<float>> states{{1, 2}, {3, 6}, {5, 10}};
+  const std::vector<double> weights{0.2, 0.3, 0.5};
+  StateAccumulator acc;
+  acc.reset(2);
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    acc.accumulate(states[k], weights[k]);
+  }
+  EXPECT_EQ(acc.materialize(), weighted_average(states, weights));
+  EXPECT_DOUBLE_EQ(acc.weight_sum(), 1.0);
+}
+
+TEST(StateAccumulator, ResetReusesAndRejectsMismatch) {
+  StateAccumulator acc;
+  acc.reset(2);
+  const std::vector<float> s3{1, 2, 3};
+  EXPECT_THROW(acc.accumulate(s3, 1.0), ShapeError);
+  const std::vector<float> s2{1, 2};
+  acc.accumulate(s2, 1.0);
+  acc.reset(3);  // reset clears both the sums and the weight
+  EXPECT_EQ(acc.size(), 3u);
+  EXPECT_EQ(acc.weight_sum(), 0.0);
+  acc.accumulate(s3, 2.0);
+  EXPECT_EQ(acc.materialize(), (std::vector<float>{2, 4, 6}));
+  std::vector<float> wrong(2);
+  EXPECT_THROW(acc.write(wrong), ShapeError);
+}
+
+TEST(StateAccumulator, WriteRejectsZeroWeightSum) {
+  StateAccumulator acc;
+  acc.reset(1);
+  std::vector<float> dst(1);
+  EXPECT_THROW(acc.write(dst), InvalidArgument);
+  const std::vector<float> s{4.0f};
+  acc.accumulate(s, 0.5);
+  EXPECT_NO_THROW(acc.write(dst));
+  EXPECT_EQ(dst[0], 2.0f);
+}
+
+TEST(ParamUtils, MixIntoSpanOverloadBlends) {
+  auto net = make_net();
+  Sequential& seq = *net;
+  seq.pack();
+  std::span<float> view = state_view(seq);
+  std::fill(view.begin(), view.end(), 0.0f);
+  const std::vector<float> src(view.size(), 8.0f);
+  mix_state(seq, src, 0.25);
+  for (float v : view) EXPECT_NEAR(v, 2.0f, 1e-6);
 }
 
 }  // namespace

@@ -119,6 +119,22 @@ TEST(Mailbox, PurgeRemovesMatchingAndReportsThem) {
   EXPECT_EQ(box.size(), 3u);
 }
 
+TEST(Mailbox, PushPopMovePayloadIdentity) {
+  // Payload buffers must move through the mailbox, not copy: the buffer
+  // the consumer pops is the very one the producer pushed, and the
+  // producer's message no longer aliases it.
+  Mailbox<Message> box;
+  Message msg;
+  msg.payload.assign(1024, 1.0f);
+  const float* buffer = msg.payload.data();
+  ASSERT_TRUE(box.push(std::move(msg)));
+  EXPECT_TRUE(msg.payload.empty());
+  const std::optional<Message> out = box.pop(1.0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.data(), buffer);
+  EXPECT_EQ(out->payload.size(), 1024u);
+}
+
 // -------------------------------------------------------------- Transport
 
 sim::NetworkModel fast_net() { return sim::NetworkModel{1e-4, 1e9}; }
@@ -217,6 +233,39 @@ TEST(InprocTransport, PurgeStaleDropsOldCollectivesOnly) {
   EXPECT_EQ(InprocTransport::tag_collective_id(got.tag), 7);
 }
 
+TEST(InprocTransport, RendezvousMovesPayloadBufferEndToEnd) {
+  InprocTransport t(2, fast_net());
+  const float* buffer = nullptr;
+  std::thread sender([&] {
+    Message msg;
+    msg.tag = 7;
+    msg.payload.assign(1 << 12, 2.0f);
+    buffer = msg.payload.data();
+    t.send(0, 1, std::move(msg), 5.0);
+  });
+  const Message got = t.recv_match(1, 0, 7, 5.0);
+  sender.join();
+  // The receiver holds the sender's buffer — moved hop to hop, no copy.
+  EXPECT_EQ(got.payload.data(), buffer);
+  EXPECT_EQ(got.payload.size(), std::size_t{1} << 12);
+  EXPECT_EQ(got.payload.front(), 2.0f);
+}
+
+TEST(BufferPool, RecyclesReleasedCapacity) {
+  BufferPool pool;
+  std::vector<float> a = pool.acquire(100);
+  const float* ptr = a.data();
+  EXPECT_EQ(a.size(), 100u);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+  std::vector<float> b = pool.acquire(50);  // must reuse the pooled block
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(pool.pooled(), 0u);
+  pool.release(std::vector<float>{});  // capacity-free buffers are dropped
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
 // ------------------------------------------------------------ Collectives
 
 TEST(RtCollectives, AllGatherReturnsContributionsInRingOrder) {
@@ -226,8 +275,9 @@ TEST(RtCollectives, AllGatherReturnsContributionsInRingOrder) {
   std::vector<std::thread> members;
   for (std::size_t i = 0; i < ring.size(); ++i) {
     members.emplace_back([&, i] {
+      const std::vector<float> local{static_cast<float>(ring[i]) + 0.5f};
       results[i] = ring_allgather(
-          t, ring, i, {static_cast<float>(ring[i]) + 0.5f},
+          t, ring, i, local,
           /*collective_id=*/1, /*wire_bytes=*/0, /*step_timeout_s=*/5.0);
     });
   }
@@ -274,7 +324,8 @@ TEST(RtCollectives, DeadNeighbourFailsTheStep) {
   const std::vector<DeviceId> ring{0, 1};
   InprocTransport t(2, fast_net());
   t.kill(1);
-  EXPECT_THROW(ring_allgather(t, ring, 0, {1.0f}, 1, 0, 0.1), CommError);
+  const std::vector<float> local{1.0f};
+  EXPECT_THROW(ring_allgather(t, ring, 0, local, 1, 0, 0.1), CommError);
 }
 
 // ------------------------------------------------- Heartbeats and repair

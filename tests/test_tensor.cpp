@@ -89,5 +89,55 @@ TEST(Tensor, DimAccessor) {
   EXPECT_THROW(t.dim(2), InvalidArgument);
 }
 
+TEST(TensorView, RebindMigratesContentsIntoExternalStorage) {
+  std::vector<float> arena(4, 0.0f);
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  t.rebind(arena.data(), 4);
+  EXPECT_TRUE(t.is_view());
+  EXPECT_EQ(t.data(), arena.data());
+  EXPECT_EQ(arena[2], 3.0f);  // contents moved with the rebind
+  t[0] = 9.0f;                // tensor writes land in the arena...
+  EXPECT_EQ(arena[0], 9.0f);
+  arena[3] = -1.0f;           // ...and arena writes are visible to the tensor
+  EXPECT_EQ(t[3], -1.0f);
+}
+
+TEST(TensorView, RebindRejectsSizeMismatch) {
+  std::vector<float> arena(3);
+  Tensor t({2, 2});
+  EXPECT_THROW(t.rebind(arena.data(), 3), ShapeError);
+}
+
+TEST(TensorView, StorageThrowsOnView) {
+  std::vector<float> arena(2);
+  Tensor t({2});
+  EXPECT_NO_THROW(t.storage());
+  t.rebind(arena.data(), 2);
+  EXPECT_THROW(t.storage(), Error);
+}
+
+TEST(TensorView, CopyOfViewDecaysToOwningDeepCopy) {
+  std::vector<float> arena(2);
+  Tensor t({2}, std::vector<float>{1, 2});
+  t.rebind(arena.data(), 2);
+  Tensor c = t;
+  EXPECT_FALSE(c.is_view());
+  EXPECT_NE(c.data(), arena.data());
+  EXPECT_NO_THROW(c.storage());
+  c[0] = 7.0f;  // the copy must not alias the arena
+  EXPECT_EQ(arena[0], 1.0f);
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(TensorView, MoveTransfersTheView) {
+  std::vector<float> arena(2);
+  Tensor t({2}, std::vector<float>{3, 4});
+  t.rebind(arena.data(), 2);
+  Tensor m = std::move(t);
+  EXPECT_TRUE(m.is_view());
+  EXPECT_EQ(m.data(), arena.data());
+  EXPECT_EQ(m[1], 4.0f);
+}
+
 }  // namespace
 }  // namespace hadfl
