@@ -1,12 +1,19 @@
 // Micro-benchmarks for HADFL's coordinator-side primitives: the version
 // predictor (Eq. 7), the selection function (Eq. 8), and strategy
 // generation (§III-C). These run on the coordinator every round, so their
-// cost bounds the control-plane overhead per aggregation.
+// cost bounds the control-plane overhead per aggregation. Also hosts the
+// end-to-end device-step benchmark (BM_LocalTrainingStep) since the
+// data-plane cost per local step is what the strategies trade against.
 #include <benchmark/benchmark.h>
 
 #include "core/selection.hpp"
 #include "core/strategy.hpp"
 #include "core/version_predictor.hpp"
+#include "data/batch_iterator.hpp"
+#include "data/synthetic.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/optimizer.hpp"
 
 namespace {
 
@@ -63,6 +70,30 @@ void BM_StrategyGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StrategyGeneration)->Arg(4)->Arg(64)->Arg(256);
+
+// One full local SGD step (forward + backward + optimizer update) on the
+// ResNet-lite zoo model at batch 16 — the unit of work every HADFL device
+// repeats `iters_per_epoch` times between aggregations. This is the
+// end-to-end view of the tensor/ kernel layer (batched-conv GEMMs, span
+// kernels, sgd_update).
+void BM_LocalTrainingStep(benchmark::State& state) {
+  data::SyntheticConfig data_cfg;
+  data_cfg.train_samples = 256;
+  data_cfg.test_samples = 16;
+  const auto split = data::make_synthetic_cifar(data_cfg);
+
+  Rng rng(42);
+  auto model = nn::make_resnet18_lite(nn::ModelConfig(), rng);
+  nn::Sgd opt(model->parameters(), {0.01, 0.9, 1e-4});
+  std::vector<std::size_t> idx(split.train.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  data::BatchIterator it(split.train, idx, 16, Rng(5));
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::run_local_steps(*model, opt, it, 1));
+  }
+}
+BENCHMARK(BM_LocalTrainingStep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,44 @@
+// Minimal over-aligned allocator for numeric slabs.
+//
+// The arena slabs (nn/arena) and kernel pack buffers hold the data every
+// vectorized span kernel streams over; 64-byte alignment puts them on
+// cache-line (and AVX-512 vector) boundaries so the compiler's vector
+// loops never straddle lines at the slab start. C++17 aligned operator
+// new does the heavy lifting.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hadfl {
+
+inline constexpr std::size_t kSlabAlignment = 64;
+
+template <typename T, std::size_t Alignment = kSlabAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below natural alignment");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace hadfl

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace hadfl {
 
@@ -86,20 +88,28 @@ void axpy_into(std::span<double> acc, double w, std::span<const float> x) {
   HADFL_CHECK_SHAPE(acc.size() == x.size(),
                     "axpy_into size mismatch: " << acc.size() << " vs "
                                                 << x.size());
-  double* a = acc.data();
-  const float* p = x.data();
-  const std::size_t n = acc.size();
-  for (std::size_t i = 0; i < n; ++i) a[i] += w * p[i];
+  double* HADFL_RESTRICT a = acc.data();
+  const float* HADFL_RESTRICT p = x.data();
+  parallel_chunks(acc.size(), kParallelChunkGrain, default_compute_threads(),
+                  [&](std::size_t begin, std::size_t end) {
+                    HADFL_PRAGMA_SIMD
+                    for (std::size_t i = begin; i < end; ++i) a[i] += w * p[i];
+                  });
 }
 
 void cast_into(std::span<float> dst, std::span<const double> acc) {
   HADFL_CHECK_SHAPE(dst.size() == acc.size(),
                     "cast_into size mismatch: " << dst.size() << " vs "
                                                 << acc.size());
-  float* d = dst.data();
-  const double* a = acc.data();
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) d[i] = static_cast<float>(a[i]);
+  float* HADFL_RESTRICT d = dst.data();
+  const double* HADFL_RESTRICT a = acc.data();
+  parallel_chunks(dst.size(), kParallelChunkGrain, default_compute_threads(),
+                  [&](std::size_t begin, std::size_t end) {
+                    HADFL_PRAGMA_SIMD
+                    for (std::size_t i = begin; i < end; ++i) {
+                      d[i] = static_cast<float>(a[i]);
+                    }
+                  });
 }
 
 void mix_spans(std::span<float> dst, std::span<const float> src, double w) {
@@ -109,10 +119,46 @@ void mix_spans(std::span<float> dst, std::span<const float> src, double w) {
   HADFL_CHECK_ARG(w >= 0.0 && w <= 1.0,
                   "mix weight must be in [0,1], got " << w);
   const auto wf = static_cast<float>(w);
-  float* d = dst.data();
-  const float* s = src.data();
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) d[i] = (1.0f - wf) * d[i] + wf * s[i];
+  float* HADFL_RESTRICT d = dst.data();
+  const float* HADFL_RESTRICT s = src.data();
+  parallel_chunks(dst.size(), kParallelChunkGrain, default_compute_threads(),
+                  [&](std::size_t begin, std::size_t end) {
+                    HADFL_PRAGMA_SIMD
+                    for (std::size_t i = begin; i < end; ++i) {
+                      d[i] = (1.0f - wf) * d[i] + wf * s[i];
+                    }
+                  });
+}
+
+void sgd_update(std::span<float> value, std::span<const float> grad,
+                std::span<float> vel, float lr, float momentum,
+                float weight_decay) {
+  HADFL_CHECK_SHAPE(value.size() == grad.size(),
+                    "sgd_update size mismatch: " << value.size() << " vs "
+                                                 << grad.size());
+  HADFL_CHECK_SHAPE(momentum == 0.0f || vel.size() == value.size(),
+                    "sgd_update velocity size mismatch: " << vel.size()
+                                                          << " vs "
+                                                          << value.size());
+  float* HADFL_RESTRICT val = value.data();
+  const float* HADFL_RESTRICT g = grad.data();
+  float* HADFL_RESTRICT v = vel.data();
+  parallel_chunks(value.size(), kParallelChunkGrain, default_compute_threads(),
+                  [&](std::size_t begin, std::size_t end) {
+                    if (momentum > 0.0f) {
+                      HADFL_PRAGMA_SIMD
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const float gi = g[i] + weight_decay * val[i];
+                        v[i] = momentum * v[i] + gi;
+                        val[i] -= lr * v[i];
+                      }
+                    } else {
+                      HADFL_PRAGMA_SIMD
+                      for (std::size_t i = begin; i < end; ++i) {
+                        val[i] -= lr * (g[i] + weight_decay * val[i]);
+                      }
+                    }
+                  });
 }
 
 }  // namespace hadfl

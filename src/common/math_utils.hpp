@@ -44,10 +44,14 @@ double standard_normal_pdf(double x, double mu);
 
 // ---- Flat-state kernels -------------------------------------------------
 // The elementwise primitives under every aggregation rule in the framework
-// (nn::StateAccumulator, weighted_average, broadcast integration). They are
-// span-based so arena state views stream through without materializing
-// per-contributor copies, and the accumulator side stays double-precision —
-// the rounding behaviour every backend's bit-identical aggregate depends on.
+// (nn::StateAccumulator, weighted_average, broadcast integration) plus the
+// SGD parameter update. They are span-based so arena state views stream
+// through without materializing per-contributor copies, and the accumulator
+// side stays double-precision — the rounding behaviour every backend's
+// bit-identical aggregate depends on. All of them are vectorized
+// (restrict-qualified, `omp simd`) and chunk-parallel on large spans; the
+// chunk grid is fixed by the span length (common/parallel.hpp), so results
+// are bit-identical at any `HADFL_NUM_THREADS`.
 
 /// acc[i] += w * x[i]. Sizes must match.
 void axpy_into(std::span<double> acc, double w, std::span<const float> x);
@@ -59,5 +63,14 @@ void cast_into(std::span<float> dst, std::span<const double> acc);
 /// weight applied in float, matching the historic mix_into arithmetic.
 /// `w` must be in [0, 1]; sizes must match.
 void mix_spans(std::span<float> dst, std::span<const float> src, double w);
+
+/// SGD update over one parameter span (the optimizer's hot loop):
+///   g      = grad[i] + weight_decay * value[i]
+///   vel[i] = momentum * vel[i] + g;  g = vel[i]   (when momentum > 0)
+///   value[i] -= lr * g
+/// `vel` may be empty when momentum == 0; otherwise sizes must match.
+void sgd_update(std::span<float> value, std::span<const float> grad,
+                std::span<float> vel, float lr, float momentum,
+                float weight_decay);
 
 }  // namespace hadfl

@@ -1,0 +1,23 @@
+#include "common/parallel.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace hadfl {
+
+std::size_t default_compute_threads() {
+  static const std::size_t resolved = [] {
+    if (const char* env = std::getenv("HADFL_NUM_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 0 ? hw : 1);
+  }();
+  return resolved;
+}
+
+}  // namespace hadfl

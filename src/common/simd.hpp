@@ -1,0 +1,21 @@
+// Portability macros for the vectorized kernels.
+//
+// HADFL_RESTRICT promises no aliasing between the annotated pointers —
+// the precondition every span kernel in ops/math_utils already has (spans
+// come from distinct slabs) — and HADFL_PRAGMA_SIMD asks for vector code
+// on the following loop. The pragma is the OpenMP *simd* directive only:
+// the build adds `-fopenmp-simd` (no OpenMP runtime, no new threads), so
+// threading stays exclusively on common/ThreadPool.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HADFL_RESTRICT __restrict__
+#else
+#define HADFL_RESTRICT
+#endif
+
+#if defined(_OPENMP) || defined(__GNUC__) || defined(__clang__)
+#define HADFL_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define HADFL_PRAGMA_SIMD
+#endif

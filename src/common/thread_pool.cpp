@@ -75,10 +75,11 @@ void ThreadPool::drain_batch(Batch& batch) {
 }
 
 void ThreadPool::run_batch(std::size_t count,
-                           const std::function<void(std::size_t)>& fn) {
+                           const std::function<void(std::size_t)>& fn,
+                           std::size_t max_concurrency) {
   if (count == 0) return;
-  if (count == 1) {
-    fn(0);
+  if (count == 1 || max_concurrency == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   // Heap-owned so a helper task that wakes after the caller returned (it
@@ -88,8 +89,10 @@ void ThreadPool::run_batch(std::size_t count,
   auto batch = std::make_shared<Batch>();
   batch->count = count;
   batch->fn = &fn;
-  // Helpers beyond count-1 would find the batch already drained, so cap.
-  const std::size_t helpers = std::min(count - 1, thread_count());
+  // Helpers beyond count-1 would find the batch already drained, so cap;
+  // the caller participates, so a concurrency cap of T means T-1 helpers.
+  std::size_t helpers = std::min(count - 1, thread_count());
+  if (max_concurrency > 0) helpers = std::min(helpers, max_concurrency - 1);
   for (std::size_t i = 0; i < helpers; ++i) {
     submit([batch] { drain_batch(*batch); });
   }

@@ -47,7 +47,14 @@ class ThreadPool {
   /// alongside the pool workers (it is never idle-blocked while work
   /// remains), so calling from inside a pool task is safe. Rethrows the
   /// first exception after all tasks finish.
-  void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `max_concurrency` caps the number of threads working on the batch,
+  /// caller included (0 = no cap). The cap only bounds *who executes*;
+  /// task order and results never depend on it — partitioning work by
+  /// shape and capping by thread count is how the compute kernels stay
+  /// bit-identical at any `HADFL_NUM_THREADS`.
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 std::size_t max_concurrency = 0);
 
   /// Process-wide shared pool used by parallel_for_each. Sized to
   /// max(hardware_concurrency, 4): device counts routinely exceed core

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "nn/layer.hpp"
 
 namespace hadfl::nn {
@@ -49,8 +50,11 @@ class ParameterArena {
   std::span<const float> grad_view() const { return grads_; }
 
  private:
-  std::vector<float> values_;
-  std::vector<float> grads_;
+  // 64-byte-aligned slabs: the whole aggregation path (StateAccumulator,
+  // mix_spans, the optimizer span kernels) streams over these, and
+  // cache-line alignment keeps those vector loops off split lines.
+  std::vector<float, AlignedAllocator<float>> values_;
+  std::vector<float, AlignedAllocator<float>> grads_;
   bool packed_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include "nn/conv2d.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "tensor/ops.hpp"
 
 namespace hadfl::nn {
@@ -34,24 +36,47 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   geom_.validate();
   const std::size_t rows = geom_.col_rows();
   const std::size_t cols = geom_.col_cols();
+  const std::size_t batch_cols = n * cols;
   cached_input_shape_ = input.shape();
-  cached_columns_ = Tensor({n, rows, cols});
-
-  Tensor out({n, out_channels_, geom_.out_h(), geom_.out_w()});
-  const std::size_t image_size = in_channels_ * input.dim(2) * input.dim(3);
-  for (std::size_t s = 0; s < n; ++s) {
-    float* columns = cached_columns_.data() + s * rows * cols;
-    ops::im2col(input.data() + s * image_size, geom_, columns);
-    float* out_s = out.data() + s * out_channels_ * cols;
-    ops::gemm(weight_.value.data(), columns, out_s, out_channels_, rows, cols);
-    if (use_bias_) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        const float b = bias_.value[c];
-        float* chan = out_s + c * cols;
-        for (std::size_t i = 0; i < cols; ++i) chan[i] += b;
-      }
-    }
+  if (cached_columns_.shape() != Shape{rows, batch_cols}) {
+    cached_columns_ = Tensor({rows, batch_cols});
   }
+  fwd_out_.resize(out_channels_ * batch_cols);
+
+  const std::size_t threads = ops::kernel_config().threads();
+  const std::size_t image_size = in_channels_ * input.dim(2) * input.dim(3);
+  // Unfold the whole batch into one column matrix; samples own disjoint
+  // column ranges, so this is parallel over samples.
+  float* columns = cached_columns_.data();
+  parallel_for_each(
+      n,
+      [&](std::size_t s) {
+        ops::im2col(input.data() + s * image_size, geom_, columns + s * cols,
+                    batch_cols);
+      },
+      threads);
+
+  // One GEMM for the entire batch: (outC, rows) x (rows, N*cols).
+  ops::gemm(weight_.value.data(), columns, fwd_out_.data(), out_channels_,
+            rows, batch_cols);
+
+  // The GEMM result is channel-major over the batch; scatter back to the
+  // (N, outC, OH, OW) layout, fusing the bias add into the copy.
+  Tensor out({n, out_channels_, geom_.out_h(), geom_.out_w()});
+  parallel_for_each(
+      n,
+      [&](std::size_t s) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          const float* HADFL_RESTRICT src =
+              fwd_out_.data() + c * batch_cols + s * cols;
+          float* HADFL_RESTRICT dst =
+              out.data() + (s * out_channels_ + c) * cols;
+          const float b = use_bias_ ? bias_.value[c] : 0.0f;
+          HADFL_PRAGMA_SIMD
+          for (std::size_t i = 0; i < cols; ++i) dst[i] = src[i] + b;
+        }
+      },
+      threads);
   return out;
 }
 
@@ -60,6 +85,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   HADFL_CHECK_MSG(n > 0, "Conv2d::backward called before forward");
   const std::size_t rows = geom_.col_rows();
   const std::size_t cols = geom_.col_cols();
+  const std::size_t batch_cols = n * cols;
   HADFL_CHECK_SHAPE(
       grad_output.ndim() == 4 && grad_output.dim(0) == n &&
           grad_output.dim(1) == out_channels_ &&
@@ -67,29 +93,50 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
           grad_output.dim(3) == geom_.out_w(),
       "Conv2d backward got " << shape_to_string(grad_output.shape()));
 
+  const std::size_t threads = ops::kernel_config().threads();
+  // Regather dY channel-major over the batch — the transpose of the
+  // forward scatter — so both weight and data GEMMs run over the full
+  // (.., N*cols) panels at once.
+  grad_out_cols_.resize(out_channels_ * batch_cols);
+  parallel_for_each(
+      n,
+      [&](std::size_t s) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          const float* HADFL_RESTRICT src =
+              grad_output.data() + (s * out_channels_ + c) * cols;
+          float* HADFL_RESTRICT dst =
+              grad_out_cols_.data() + c * batch_cols + s * cols;
+          for (std::size_t i = 0; i < cols; ++i) dst[i] = src[i];
+        }
+      },
+      threads);
+
+  // dW += dY * columns^T — one accumulating GEMM for the whole batch
+  // (dY is (outC, N*cols), columns is (rows, N*cols)).
+  ops::gemm_bt(grad_out_cols_.data(), cached_columns_.data(),
+               weight_.grad.data(), out_channels_, batch_cols, rows, 1.0f,
+               1.0f);
+  if (use_bias_) {
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      bias_.grad[c] += static_cast<float>(ops::sum(
+          {grad_out_cols_.data() + c * batch_cols, batch_cols}));
+    }
+  }
+
+  // d columns = W^T dY over the full panel, then fold back per sample.
+  grad_columns_.resize(rows * batch_cols);
+  ops::gemm_at(weight_.value.data(), grad_out_cols_.data(),
+               grad_columns_.data(), rows, out_channels_, batch_cols);
   Tensor grad_input(cached_input_shape_);
   const std::size_t image_size =
       in_channels_ * cached_input_shape_[2] * cached_input_shape_[3];
-  std::vector<float> grad_columns(rows * cols);
-  for (std::size_t s = 0; s < n; ++s) {
-    const float* gy = grad_output.data() + s * out_channels_ * cols;
-    const float* columns = cached_columns_.data() + s * rows * cols;
-    // dW += dY * columns^T   (dY is (outC, cols), columns is (rows, cols)).
-    ops::gemm_bt(gy, columns, weight_.grad.data(), out_channels_, cols, rows,
-                 1.0f, 1.0f);
-    if (use_bias_) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        const float* chan = gy + c * cols;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < cols; ++i) acc += chan[i];
-        bias_.grad[c] += acc;
-      }
-    }
-    // d columns = W^T dY, then fold back with col2im.
-    ops::gemm_at(weight_.value.data(), gy, grad_columns.data(), rows,
-                 out_channels_, cols);
-    ops::col2im(grad_columns.data(), geom_, grad_input.data() + s * image_size);
-  }
+  parallel_for_each(
+      n,
+      [&](std::size_t s) {
+        ops::col2im(grad_columns_.data() + s * cols, geom_,
+                    grad_input.data() + s * image_size, batch_cols);
+      },
+      threads);
   return grad_input;
 }
 

@@ -1,10 +1,16 @@
-// 2-d convolution via im2col + GEMM.
+// 2-d convolution via batched im2col + GEMM.
 //
 // Input/output layout is (N, C, H, W). The weight is stored as
-// (out_channels, in_channels * kh * kw) so the per-sample forward is a
-// single GEMM against the unfolded patch matrix.
+// (out_channels, in_channels * kh * kw). All N samples unfold into ONE
+// (C*KH*KW, N*OH*OW) column matrix (strided im2col, parallel over
+// samples), so forward is a single weight GEMM over the whole batch and
+// backward is one accumulating GEMM per operand — large, cache-blocked,
+// thread-parallel kernels instead of N small ones (tensor/ops.cpp).
 #pragma once
 
+#include <vector>
+
+#include "common/aligned.hpp"
 #include "nn/layer.hpp"
 #include "tensor/im2col.hpp"
 
@@ -28,6 +34,8 @@ class Conv2d : public Layer {
   std::size_t kernel() const { return kernel_; }
 
  private:
+  using Scratch = std::vector<float, AlignedAllocator<float>>;
+
   std::size_t in_channels_;
   std::size_t out_channels_;
   std::size_t kernel_;
@@ -38,8 +46,11 @@ class Conv2d : public Layer {
   Parameter bias_;
 
   ops::ConvGeometry geom_;        ///< geometry of the last forward
-  Tensor cached_columns_;         ///< (N, col_rows, col_cols) unfolded input
+  Tensor cached_columns_;         ///< (col_rows, N * col_cols) unfolded batch
   Shape cached_input_shape_;
+  Scratch fwd_out_;               ///< (out_channels, N * col_cols) GEMM output
+  Scratch grad_out_cols_;         ///< grad_output regathered channel-major
+  Scratch grad_columns_;          ///< (col_rows, N * col_cols) dColumns
 };
 
 }  // namespace hadfl::nn

@@ -1,6 +1,7 @@
 #include "nn/dense.hpp"
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "tensor/ops.hpp"
 
 namespace hadfl::nn {
@@ -23,9 +24,11 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   const std::size_t n = input.dim(0);
   Tensor out({n, out_});
   ops::gemm(input.data(), weight_.value.data(), out.data(), n, in_, out_);
+  const float* HADFL_RESTRICT bias = bias_.value.data();
   for (std::size_t i = 0; i < n; ++i) {
-    float* row = out.data() + i * out_;
-    for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
+    float* HADFL_RESTRICT row = out.data() + i * out_;
+    HADFL_PRAGMA_SIMD
+    for (std::size_t j = 0; j < out_; ++j) row[j] += bias[j];
   }
   return out;
 }
@@ -39,9 +42,11 @@ Tensor Dense::backward(const Tensor& grad_output) {
   ops::gemm_at(cached_input_.data(), grad_output.data(), weight_.grad.data(),
                in_, n, out_, 1.0f, 1.0f);
   // db += column sums of dY.
+  float* HADFL_RESTRICT bias_grad = bias_.grad.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const float* row = grad_output.data() + i * out_;
-    for (std::size_t j = 0; j < out_; ++j) bias_.grad[j] += row[j];
+    const float* HADFL_RESTRICT row = grad_output.data() + i * out_;
+    HADFL_PRAGMA_SIMD
+    for (std::size_t j = 0; j < out_; ++j) bias_grad[j] += row[j];
   }
   // dX = dY W^T.
   Tensor grad_input({n, in_});

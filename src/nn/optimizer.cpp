@@ -1,6 +1,7 @@
 #include "nn/optimizer.hpp"
 
 #include "common/error.hpp"
+#include "common/math_utils.hpp"
 
 namespace hadfl::nn {
 
@@ -25,18 +26,9 @@ void Sgd::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
     if (!p.trainable) continue;
-    float* v = velocity_[i].data();
-    float* val = p.value.data();
-    const float* grad = p.grad.data();
     const std::size_t n = p.numel();
-    for (std::size_t j = 0; j < n; ++j) {
-      float g = grad[j] + wd * val[j];
-      if (mu > 0.0f) {
-        v[j] = mu * v[j] + g;
-        g = v[j];
-      }
-      val[j] -= lr * g;
-    }
+    sgd_update({p.value.data(), n}, {p.grad.data(), n},
+               {velocity_[i].data(), velocity_[i].size()}, lr, mu, wd);
   }
 }
 

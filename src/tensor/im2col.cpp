@@ -15,7 +15,8 @@ void ConvGeometry::validate() const {
                             << "x" << (width + 2 * pad));
 }
 
-void im2col(const float* image, const ConvGeometry& g, float* columns) {
+void im2col(const float* image, const ConvGeometry& g, float* columns,
+            std::size_t row_stride) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   std::size_t row = 0;
@@ -23,7 +24,7 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
     const float* chan = image + c * g.height * g.width;
     for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out = columns + row * oh * ow;
+        float* out = columns + row * row_stride;
         for (std::size_t y = 0; y < oh; ++y) {
           // Signed arithmetic: padding can push source coordinates negative.
           const std::ptrdiff_t sy =
@@ -47,7 +48,8 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
   }
 }
 
-void col2im(const float* columns, const ConvGeometry& g, float* image) {
+void col2im(const float* columns, const ConvGeometry& g, float* image,
+            std::size_t row_stride) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   std::size_t row = 0;
@@ -55,7 +57,7 @@ void col2im(const float* columns, const ConvGeometry& g, float* image) {
     float* chan = image + c * g.height * g.width;
     for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* in = columns + row * oh * ow;
+        const float* in = columns + row * row_stride;
         for (std::size_t y = 0; y < oh; ++y) {
           const std::ptrdiff_t sy =
               static_cast<std::ptrdiff_t>(y * g.stride + kh) -

@@ -1,9 +1,15 @@
 // im2col / col2im lowering for convolution.
 //
 // Conv2d forward becomes one GEMM over the unfolded input patches; the
-// backward data pass uses col2im to fold patch gradients back into the input
-// gradient. Layout conventions: images are (C, H, W) per sample; the column
-// matrix is (C*KH*KW, OH*OW).
+// backward data pass uses col2im to fold patch gradients back into the
+// input gradient. Layout conventions: images are (C, H, W) per sample; the
+// column matrix is (C*KH*KW, OH*OW).
+//
+// The strided variants place one sample's columns inside a larger batched
+// matrix: with `row_stride` = N * OH*OW and `columns` offset to sample s's
+// first column, all N samples unfold into ONE (C*KH*KW, N*OH*OW) matrix,
+// so the whole batch's convolution is a single GEMM (nn::Conv2d). Samples
+// occupy disjoint column ranges, so unfolding is safely parallel over s.
 #pragma once
 
 #include <cstddef>
@@ -28,12 +34,27 @@ struct ConvGeometry {
   void validate() const;
 };
 
-/// Unfold one (C, H, W) image into the (C*KH*KW, OH*OW) column matrix.
-void im2col(const float* image, const ConvGeometry& g, float* columns);
+/// Unfold one (C, H, W) image into a column matrix whose rows are
+/// `row_stride` floats apart; the sample's OH*OW columns start at
+/// `columns`. `row_stride` must be >= col_cols().
+void im2col(const float* image, const ConvGeometry& g, float* columns,
+            std::size_t row_stride);
 
-/// Fold a (C*KH*KW, OH*OW) column matrix back into a (C, H, W) image,
-/// accumulating overlapping contributions. `image` must be zeroed by the
-/// caller if accumulation from scratch is wanted.
-void col2im(const float* columns, const ConvGeometry& g, float* image);
+/// Compact layout: row_stride == col_cols().
+inline void im2col(const float* image, const ConvGeometry& g, float* columns) {
+  im2col(image, g, columns, g.col_cols());
+}
+
+/// Fold a column matrix (rows `row_stride` apart, sample columns starting
+/// at `columns`) back into a (C, H, W) image, accumulating overlapping
+/// contributions. `image` must be zeroed by the caller if accumulation
+/// from scratch is wanted.
+void col2im(const float* columns, const ConvGeometry& g, float* image,
+            std::size_t row_stride);
+
+/// Compact layout: row_stride == col_cols().
+inline void col2im(const float* columns, const ConvGeometry& g, float* image) {
+  col2im(columns, g, image, g.col_cols());
+}
 
 }  // namespace hadfl::ops

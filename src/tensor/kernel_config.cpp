@@ -1,0 +1,33 @@
+#include "tensor/kernel_config.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace hadfl::ops {
+
+namespace {
+std::mutex g_config_mu;
+KernelConfig g_config;
+}  // namespace
+
+std::size_t KernelConfig::threads() const {
+  return max_threads > 0 ? max_threads : default_compute_threads();
+}
+
+KernelConfig kernel_config() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return g_config;
+}
+
+void set_kernel_config(const KernelConfig& config) {
+  HADFL_CHECK_ARG(config.mc > 0 && config.kc > 0 && config.nc > 0,
+                  "kernel block sizes must be positive (mc="
+                      << config.mc << ", kc=" << config.kc
+                      << ", nc=" << config.nc << ")");
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_config = config;
+}
+
+}  // namespace hadfl::ops
