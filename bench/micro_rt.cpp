@@ -1,11 +1,23 @@
 // Micro-benchmarks for the real-time runtime (src/rt): mailbox round-trip
 // latency, ring collective throughput on real threads as the ring grows,
-// and an rt-vs-sim end-to-end smoke on the paper's {3,3,1,1} cell.
+// the chunked-vs-monolithic weighted-aggregation sweep behind
+// EXPERIMENTS.md, and an rt-vs-sim end-to-end smoke on the paper's
+// {3,3,1,1} cell.
+//
+// `--smoke` skips timing and instead checks correctness: chunked
+// aggregates must be bit-identical to the single-threaded reference fold
+// for every chunk count, and the rt end-to-end run must reproduce the
+// simulator's final state bit-for-bit (the equivalence pin). CI runs this
+// mode on every push.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/round_logic.hpp"
 #include "core/trainer.hpp"
 #include "exp/runner.hpp"
 #include "rt/collectives.hpp"
@@ -95,6 +107,127 @@ void BM_RtRingAllreduceAverage(benchmark::State& state) {
 }
 BENCHMARK(BM_RtRingAllreduceAverage)->Arg(2)->Arg(4)->Arg(8);
 
+// ---- chunked vs monolithic weighted aggregation --------------------------
+//
+// The training-path sweep: `ring_weighted_aggregate` with C chunks against
+// the monolithic predecessor (full-state ring_allgather + ring-order fold),
+// K ∈ {4, 8}. Unthrottled runs (time_scale 0) move messages at memory
+// speed and measure pure software overhead, where more chunks mostly means
+// more per-message bookkeeping. Throttled runs replay the virtual link
+// cost in real time (0.1 ms latency, 50 MB/s), where the monolithic path
+// pays K-1 serial full-state transfers while the pipelined path keeps the
+// links busy with chunk-sized pieces — that is the regime the collective
+// was built for, and where the EXPERIMENTS.md numbers come from.
+
+constexpr std::size_t kSyncElems = 1 << 16;  // 256 KiB state
+
+sim::NetworkModel sweep_network(bool throttled) {
+  return throttled ? sim::NetworkModel{1e-4, 50e6}
+                   : sim::NetworkModel{1e-5, 1e9};
+}
+
+// Heterogeneous ring weights (normalized i+1 ramp), as the trainer produces.
+std::vector<double> sweep_weights(std::size_t k) {
+  std::vector<double> w(k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += static_cast<double>(i + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    w[i] = static_cast<double>(i + 1) / sum;
+  }
+  return w;
+}
+
+void report_pool(benchmark::State& state, rt::InprocTransport& t) {
+  const rt::BufferPool::Stats pool = t.pool().stats();
+  state.counters["pool_hits"] = static_cast<double>(pool.hits);
+  state.counters["pool_misses"] = static_cast<double>(pool.misses);
+  state.counters["pool_high_water"] = static_cast<double>(pool.high_water);
+}
+
+// Pipelined chunked aggregation. Args: {K, chunks, throttled}.
+void BM_RtWeightedAggregate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto chunks = static_cast<std::size_t>(state.range(1));
+  const bool throttled = state.range(2) != 0;
+  std::vector<sim::DeviceId> ring(k);
+  for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  const std::vector<double> weights = sweep_weights(k);
+  rt::InprocTransport t(k, sweep_network(throttled), throttled ? 1.0 : 0.0);
+  std::int64_t cid = 1;
+  for (auto _ : state) {
+    std::vector<std::thread> members;
+    members.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      members.emplace_back([&, i] {
+        const std::vector<float> local(kSyncElems,
+                                       static_cast<float>(i + 1));
+        core::WeightedRingFold fold;
+        std::vector<float> out(kSyncElems);
+        rt::ring_weighted_aggregate(t, ring, i, local, weights, fold, out,
+                                    cid, /*wire_bytes=*/0,
+                                    /*step_timeout_s=*/30.0, chunks);
+        benchmark::DoNotOptimize(out.data());
+      });
+    }
+    for (auto& th : members) th.join();
+    ++cid;
+  }
+  report_pool(state, t);
+  // Total traffic per collective: 2·(K-1)/K·M per member, K members.
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              2 * (k - 1) * kSyncElems * sizeof(float)));
+}
+BENCHMARK(BM_RtWeightedAggregate)
+    ->ArgsProduct({{4, 8}, {1, 4, 16, 64}, {0, 1}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The pre-pipelining training path: every member all-gathers the full
+// states, then folds locally in ring order. Args: {K, throttled}.
+void BM_RtMonolithicGatherFold(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const bool throttled = state.range(1) != 0;
+  std::vector<sim::DeviceId> ring(k);
+  for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  const std::vector<double> weights = sweep_weights(k);
+  rt::InprocTransport t(k, sweep_network(throttled), throttled ? 1.0 : 0.0);
+  std::int64_t cid = 1;
+  for (auto _ : state) {
+    std::vector<std::thread> members;
+    members.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      members.emplace_back([&, i] {
+        const std::vector<float> local(kSyncElems,
+                                       static_cast<float>(i + 1));
+        std::vector<std::vector<float>> parts =
+            rt::ring_allgather(t, ring, i, local, cid, /*wire_bytes=*/0,
+                               /*step_timeout_s=*/30.0);
+        core::WeightedRingFold fold;
+        fold.reset(kSyncElems);
+        for (std::size_t m = 0; m < k; ++m) {
+          fold.add(0, parts[m], weights[m]);
+        }
+        std::vector<float> out(kSyncElems);
+        fold.write(0, out);
+        benchmark::DoNotOptimize(out.data());
+        for (auto& buf : parts) t.pool().release(std::move(buf));
+      });
+    }
+    for (auto& th : members) th.join();
+    ++cid;
+  }
+  report_pool(state, t);
+  // Monolithic traffic: (K-1)·M per member, K members.
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              k * (k - 1) * kSyncElems * sizeof(float)));
+}
+BENCHMARK(BM_RtMonolithicGatherFold)
+    ->ArgsProduct({{4, 8}, {0, 1}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 exp::Scenario smoke_scenario() {
   exp::Scenario s =
       exp::paper_scenario(nn::Architecture::kMlp, {3, 3, 1, 1}, /*scale=*/0.3);
@@ -130,6 +263,112 @@ void BM_HadflRtEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_HadflRtEndToEnd)->Unit(benchmark::kMillisecond);
 
+// ---- smoke mode ----------------------------------------------------------
+
+// Chunked aggregation on real threads must be bit-identical to the
+// single-threaded reference fold for every chunk count.
+int smoke_chunk_equivalence() {
+  constexpr std::size_t kElems = 1237;  // odd, so chunks split unevenly
+  int failures = 0;
+  for (const std::size_t k : {2u, 4u}) {
+    std::vector<sim::DeviceId> ring(k);
+    for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+    const std::vector<double> weights = sweep_weights(k);
+
+    std::vector<std::vector<float>> locals(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      locals[i].resize(kElems);
+      for (std::size_t e = 0; e < kElems; ++e) {
+        locals[i][e] = 0.25f * static_cast<float>(i + 1) -
+                       0.001f * static_cast<float>(e % 97);
+      }
+    }
+    core::WeightedRingFold ref_fold;
+    ref_fold.reset(kElems);
+    for (std::size_t m = 0; m < k; ++m) {
+      ref_fold.add(0, locals[m], weights[m]);
+    }
+    std::vector<float> want(kElems);
+    ref_fold.write(0, want);
+
+    rt::InprocTransport t(k, sweep_network(false));
+    std::int64_t cid = 1;
+    for (const std::size_t chunks : {1u, 3u, 16u}) {
+      std::vector<std::vector<float>> outs(
+          k, std::vector<float>(kElems));
+      std::vector<std::thread> members;
+      members.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        members.emplace_back([&, i] {
+          core::WeightedRingFold fold;
+          rt::ring_weighted_aggregate(t, ring, i, locals[i], weights, fold,
+                                      outs[i], cid, /*wire_bytes=*/0,
+                                      /*step_timeout_s=*/30.0, chunks);
+        });
+      }
+      for (auto& th : members) th.join();
+      ++cid;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (std::memcmp(outs[i].data(), want.data(),
+                        kElems * sizeof(float)) != 0) {
+          std::printf("FAIL k=%zu chunks=%zu: member %zu aggregate is not "
+                      "bit-identical to the reference fold\n",
+                      k, chunks, i);
+          ++failures;
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+// The rt backend must reproduce the virtual-clock simulator bit-for-bit on
+// the paper cell (same seed, same fold order — the equivalence pin).
+int smoke_rt_matches_sim() {
+  exp::Scenario s = smoke_scenario();
+
+  exp::Environment sim_env(s);
+  fl::SchemeContext sim_ctx = sim_env.context();
+  const core::HadflResult sim_res = core::run_hadfl(sim_ctx, s.hadfl);
+
+  exp::Environment rt_env(s);
+  fl::SchemeContext rt_ctx = rt_env.context();
+  rt::RtConfig config;
+  config.hadfl = s.hadfl;
+  config.command_poll_s = 0.002;
+  const rt::RtResult rt_res = rt::run_hadfl_rt(rt_ctx, config);
+
+  const std::vector<float>& a = sim_res.scheme.final_state;
+  const std::vector<float>& b = rt_res.scheme.final_state;
+  if (a.size() != b.size() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    std::printf("FAIL rt end-to-end final state differs from the "
+                "simulator's (%zu vs %zu elems)\n",
+                b.size(), a.size());
+    return 1;
+  }
+  return 0;
+}
+
+int run_smoke() {
+  int failures = smoke_chunk_equivalence();
+  failures += smoke_rt_matches_sim();
+  if (failures == 0) {
+    std::printf("micro_rt --smoke: chunked aggregation bit-identical to the "
+                "reference fold; rt run matches the simulator\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

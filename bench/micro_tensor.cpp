@@ -278,7 +278,7 @@ void BM_StateSyncArena(benchmark::State& state) {
     acc.reset(aggregate.size());
     for (auto& m : fleet) acc.accumulate(nn::state_view(*m), w);
     acc.write(aggregate);
-    for (auto& m : fleet) nn::set_state(*m, aggregate);
+    for (auto& m : fleet) nn::load_state(*m, aggregate);
     benchmark::DoNotOptimize(nn::state_view(*fleet[0]).data());
   }
   state.counters["allocs/iter"] = allocs_per_iter(state, before);

@@ -42,7 +42,9 @@ AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
 
   Rng rng(ctx.config.seed);
   auto reference = ctx.make_model(rng);
-  std::vector<float> global = nn::get_state(*reference);
+  reference->pack();  // idempotent; custom make_model may not pack
+  const std::span<const float> ref_state = nn::state_view(*reference);
+  std::vector<float> global(ref_state.begin(), ref_state.end());
   std::size_t global_version = 0;
 
   const nn::WarmupSchedule schedule(ctx.config.learning_rate,
@@ -54,7 +56,7 @@ AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
     Rng dev_rng = rng.split();
     clients[d].model = ctx.make_model(dev_rng);
     clients[d].model->pack();  // idempotent; custom make_model may not pack
-    nn::set_state(*clients[d].model, global);
+    nn::load_state(*clients[d].model, global);
     clients[d].optimizer = std::make_unique<nn::Sgd>(
         clients[d].model->parameters(),
         nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
@@ -130,12 +132,12 @@ AsyncFedAvgResult run_async_fedavg(const fl::SchemeContext& ctx,
     ++out.scheme.sync_rounds;
 
     // Pull the fresh global model and continue.
-    nn::set_state(*c.model, global);
+    nn::load_state(*c.model, global);
     c.pulled_version = global_version;
 
     if (epochs_done >= next_eval_epoch ||
         epochs_done >= static_cast<double>(ctx.config.total_epochs)) {
-      nn::set_state(*reference, global);
+      nn::load_state(*reference, global);
       const fl::EvalResult eval = fl::evaluate(*reference, ctx.test);
       out.scheme.metrics.add(fl::ConvergencePoint{
           epochs_done, cluster.max_time(), c.last_loss, eval.loss,

@@ -35,7 +35,9 @@ CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
 
   Rng rng(ctx.config.seed);
   auto reference = ctx.make_model(rng);
-  const std::vector<float> init_state = nn::get_state(*reference);
+  reference->pack();  // idempotent; custom make_model may not pack
+  const std::span<const float> ref_state = nn::state_view(*reference);
+  const std::vector<float> init_state(ref_state.begin(), ref_state.end());
   const nn::WarmupSchedule schedule(ctx.config.learning_rate,
                                     ctx.config.warmup_learning_rate,
                                     ctx.config.warmup_epochs);
@@ -46,7 +48,7 @@ CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
     Rng dev_rng = rng.split();
     clients[d].model = ctx.make_model(dev_rng);
     clients[d].model->pack();  // idempotent; custom make_model may not pack
-    nn::set_state(*clients[d].model, init_state);
+    nn::load_state(*clients[d].model, init_state);
     clients[d].optimizer = std::make_unique<nn::Sgd>(
         clients[d].model->parameters(),
         nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
@@ -121,7 +123,7 @@ CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
                          static_cast<double>(total_samples));
     }
     const std::vector<float> global = acc.materialize();
-    for (auto& c : clients) nn::set_state(*c.model, global);
+    for (auto& c : clients) nn::load_state(*c.model, global);
     ++out.scheme.sync_rounds;
     epochs_done += local_epochs;
 
@@ -134,7 +136,8 @@ CentralFedAvgResult run_central_fedavg(const fl::SchemeContext& ctx,
   }
 
   out.scheme.volume = transport.volume();
-  out.scheme.final_state = nn::get_state(*clients[0].model);
+  const std::span<const float> final_view = nn::state_view(*clients[0].model);
+  out.scheme.final_state.assign(final_view.begin(), final_view.end());
   out.scheme.total_time = cluster.max_time();
   return out;
 }

@@ -41,7 +41,9 @@ fl::SchemeResult run_decentralized_fedavg(
   Rng rng(ctx.config.seed);
   Rng gossip_rng = rng.split();  // peer sampling in segmented mode
   auto reference = ctx.make_model(rng);
-  const std::vector<float> init_state = nn::get_state(*reference);
+  reference->pack();  // idempotent; custom make_model may not pack
+  const std::span<const float> ref_state = nn::state_view(*reference);
+  const std::vector<float> init_state(ref_state.begin(), ref_state.end());
 
   const nn::WarmupSchedule schedule(ctx.config.learning_rate,
                                     ctx.config.warmup_learning_rate,
@@ -52,7 +54,7 @@ fl::SchemeResult run_decentralized_fedavg(
     Rng dev_rng = rng.split();
     replicas[d].model = ctx.make_model(dev_rng);
     replicas[d].model->pack();  // idempotent; custom make_model may not pack
-    nn::set_state(*replicas[d].model, init_state);
+    nn::load_state(*replicas[d].model, init_state);
     replicas[d].optimizer = std::make_unique<nn::Sgd>(
         replicas[d].model->parameters(),
         nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
@@ -115,7 +117,7 @@ fl::SchemeResult run_decentralized_fedavg(
       }
       const std::vector<float> mean = acc.materialize();
       comm::simulate_ring_allreduce(transport, everyone, state_bytes);
-      for (auto& rep : replicas) nn::set_state(*rep.model, mean);
+      for (auto& rep : replicas) nn::load_state(*rep.model, mean);
     } else {
       // Segmented gossip (§V-A refs. [8][9]): approximate, cheaper. The
       // collective mutates its spans in place, so it operates directly on
@@ -140,7 +142,8 @@ fl::SchemeResult run_decentralized_fedavg(
   }
 
   result.volume = transport.volume();
-  result.final_state = nn::get_state(*replicas[0].model);
+  const std::span<const float> final_view = nn::state_view(*replicas[0].model);
+  result.final_state.assign(final_view.begin(), final_view.end());
   result.total_time = cluster.max_time();
   return result;
 }

@@ -95,7 +95,8 @@ fl::SchemeResult run_distributed(const fl::SchemeContext& ctx,
   }
 
   result.volume = transport.volume();
-  result.final_state = nn::get_state(*model);
+  const std::span<const float> final_view = nn::state_view(*model);
+  result.final_state.assign(final_view.begin(), final_view.end());
   result.total_time = cluster.max_time();
   return result;
 }

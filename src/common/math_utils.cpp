@@ -84,6 +84,14 @@ double standard_normal_pdf(double x, double mu) {
   return std::exp(-0.5 * d * d) / std::sqrt(2.0 * std::numbers::pi);
 }
 
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, std::size_t k,
+                                                std::size_t c) {
+  HADFL_CHECK_ARG(k > 0, "chunk_range with zero chunks");
+  HADFL_CHECK_ARG(c < k, "chunk index " << c << " out of range (k=" << k
+                                        << ")");
+  return {c * n / k, (c + 1) * n / k};
+}
+
 void axpy_into(std::span<double> acc, double w, std::span<const float> x) {
   HADFL_CHECK_SHAPE(acc.size() == x.size(),
                     "axpy_into size mismatch: " << acc.size() << " vs "

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace hadfl {
@@ -41,6 +42,13 @@ double hyperperiod(const std::vector<double>& durations, double resolution);
 /// Standard normal probability density evaluated at (x - mu), unit variance:
 /// f(x) = 1/sqrt(2*pi) * exp(-(x-mu)^2 / 2)  — paper Eq. 8.
 double standard_normal_pdf(double x, double mu);
+
+/// Element range [begin, end) of chunk `c` when an `n`-element buffer is
+/// split into `k` contiguous chunks. Chunk sizes differ by at most one and
+/// the ranges tile [0, n) exactly (the partition every chunked collective,
+/// arena chunk view, and wire-byte split in the framework agrees on).
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, std::size_t k,
+                                                std::size_t c);
 
 // ---- Flat-state kernels -------------------------------------------------
 // The elementwise primitives under every aggregation rule in the framework

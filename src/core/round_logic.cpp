@@ -5,6 +5,7 @@
 #include "comm/compression.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/math_utils.hpp"
 #include "nn/param_utils.hpp"
 #include "nn/serialize.hpp"
 
@@ -17,10 +18,12 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
   setup.reference = ctx.make_model(rng);
   setup.reference->pack();  // idempotent; custom make_model may not pack
   if (!config.resume_from.empty()) {
-    nn::set_state(*setup.reference, nn::load_state(config.resume_from));
+    const std::vector<float> resumed = nn::load_state(config.resume_from);
+    nn::load_state(*setup.reference, resumed);
     HADFL_INFO("resumed initial model from " << config.resume_from);
   }
-  setup.init_state = nn::get_state(*setup.reference);
+  const std::span<const float> ref_state = nn::state_view(*setup.reference);
+  setup.init_state.assign(ref_state.begin(), ref_state.end());
   setup.wire_bytes = ctx.comm_state_bytes != 0
                          ? ctx.comm_state_bytes
                          : setup.init_state.size() * sizeof(float);
@@ -33,7 +36,7 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
     DeviceState& dev = setup.devices[d];
     dev.model = ctx.make_model(dev_rng);
     dev.model->pack();
-    nn::set_state(*dev.model, setup.init_state);
+    nn::load_state(*dev.model, setup.init_state);
     dev.optimizer = std::make_unique<nn::Sgd>(
         dev.model->parameters(),
         nn::SgdConfig{ctx.config.learning_rate, ctx.config.momentum,
@@ -143,6 +146,28 @@ std::vector<double> ring_weights(const data::Partition& partition,
   return weights;
 }
 
+void WeightedRingFold::reset(std::size_t n) {
+  acc_.assign(n, 0.0);
+}
+
+void WeightedRingFold::add(std::size_t offset, std::span<const float> piece,
+                           double w) {
+  HADFL_CHECK_ARG(offset + piece.size() <= acc_.size(),
+                  "WeightedRingFold::add out of range: offset "
+                      << offset << " + " << piece.size() << " > "
+                      << acc_.size());
+  axpy_into(std::span<double>(acc_).subspan(offset, piece.size()), w, piece);
+}
+
+void WeightedRingFold::write(std::size_t offset, std::span<float> dst) const {
+  HADFL_CHECK_ARG(offset + dst.size() <= acc_.size(),
+                  "WeightedRingFold::write out of range: offset "
+                      << offset << " + " << dst.size() << " > "
+                      << acc_.size());
+  cast_into(dst,
+            std::span<const double>(acc_).subspan(offset, dst.size()));
+}
+
 double ring_version_mean(const std::vector<DeviceState>& devices,
                          const std::vector<sim::DeviceId>& ring) {
   double version_mean = 0.0;
@@ -155,7 +180,7 @@ void apply_aggregate(std::vector<DeviceState>& devices,
                      const std::vector<float>& aggregate,
                      double version_mean) {
   for (sim::DeviceId id : ring) {
-    nn::set_state(*devices[id].model, aggregate);
+    nn::load_state(*devices[id].model, aggregate);
     devices[id].version = version_mean;
     devices[id].last_sync_state = aggregate;
   }

@@ -109,6 +109,41 @@ std::vector<double> ring_weights(const data::Partition& partition,
                                  const std::vector<sim::DeviceId>& ring,
                                  bool weight_by_samples);
 
+/// The canonical HADFL aggregation rule, in chunked form — THE definition
+/// both backends compute, which is what keeps seeded sim/rt runs
+/// bit-identical:
+///
+///   aggregate[e] = float( sum_m weights[m] * (double)state_m[e] ),
+///
+/// with the sum taken in ring order (m = 0..K-1) in double precision and a
+/// single final cast. Because every element's fold order is ring order
+/// regardless of how [0, n) is cut into segments, a segment-by-segment fold
+/// (the rt pipelined collective: each segment owner folds the members'
+/// pieces as they arrive off the wire) produces exactly the same bits as
+/// the monolithic member-by-member fold (the simulator streaming whole
+/// arena views) — tests/test_rt.cpp pins this chunk-invariance property.
+///
+/// The accumulator is caller-owned scratch: capacity persists across
+/// rounds, so steady-state synchronization does not allocate.
+class WeightedRingFold {
+ public:
+  /// Starts a fresh n-element fold (zeroes the accumulator, reuses
+  /// capacity).
+  void reset(std::size_t n);
+
+  /// acc[offset .. offset+piece.size()) += w * piece. For each element
+  /// range, call in ring order — that order IS the fold definition.
+  void add(std::size_t offset, std::span<const float> piece, double w);
+
+  /// dst = float(acc[offset .. offset+dst.size())): the single final cast.
+  void write(std::size_t offset, std::span<float> dst) const;
+
+  std::size_t size() const { return acc_.size(); }
+
+ private:
+  std::vector<double> acc_;
+};
+
 /// Mean parameter version across the ring members.
 double ring_version_mean(const std::vector<DeviceState>& devices,
                          const std::vector<sim::DeviceId>& ring);

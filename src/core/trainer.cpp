@@ -88,7 +88,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       try {
         comm::simulate_ring_allreduce(transport, reachable, wire_bytes);
         for (sim::DeviceId d : reachable) {
-          nn::set_state(*devices[d].model, mean);
+          nn::load_state(*devices[d].model, mean);
         }
       } catch (const CommError&) {
         HADFL_WARN("post-negotiation sync skipped: device went down");
@@ -113,7 +113,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   // Record the post-negotiation starting point.
   {
     std::vector<float> mean = mean_state_of(devices, fl::all_device_ids(cluster));
-    nn::set_state(*setup.reference, mean);
+    nn::load_state(*setup.reference, mean);
     const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
     double loss_sum = 0.0;
     for (const auto& dev : devices) loss_sum += dev.last_loss;
@@ -127,9 +127,11 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
 
   // Round-persistent sync buffers: the ring aggregation below streams each
   // member's arena view through `sync_scratch` (codec staging) into
-  // `ring_acc`, so steady-state rounds reuse capacity instead of
-  // materializing one state copy per contributor.
-  nn::StateAccumulator ring_acc;
+  // `ring_fold`, so steady-state rounds reuse capacity instead of
+  // materializing one state copy per contributor. WeightedRingFold is the
+  // shared sim/rt fold definition — the rt pipelined collective folds the
+  // same pieces segment-by-segment and must land on identical bits.
+  WeightedRingFold ring_fold;
   std::vector<float> sync_scratch;
 
   std::size_t round = 0;
@@ -240,7 +242,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
           // codec's ratio.
           const std::vector<double> weights =
               ring_weights(ctx.partition, ring, config.weight_by_samples);
-          ring_acc.reset(nn::state_size(*devices[ring.front()].model));
+          ring_fold.reset(nn::state_size(*devices[ring.front()].model));
           std::size_t codec_bytes = 0;
           std::size_t dense_bytes = 0;
           for (std::size_t m = 0; m < ring.size(); ++m) {
@@ -252,7 +254,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
                 codec_bytes,
                 compress_roundtrip(sync_scratch, devices[id].last_sync_state,
                                    config));
-            ring_acc.accumulate(sync_scratch, weights[m]);
+            ring_fold.add(0, sync_scratch, weights[m]);
           }
           sim::SimTime sync_start = 0.0;  // the collective starts when the
                                           // slowest member arrives
@@ -263,8 +265,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
               transport, ring,
               effective_wire_bytes(wire_bytes, codec_bytes, dense_bytes));
           // Eq. 2 objective when weight_by_samples, else plain Eq. 5.
-          aggregate.resize(ring_acc.size());
-          ring_acc.write(aggregate);
+          aggregate.resize(ring_fold.size());
+          ring_fold.write(0, aggregate);
           if (config.trace != nullptr) {
             for (sim::DeviceId id : ring) {
               config.trace->record(id, sync_start, sync_done,
@@ -359,7 +361,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
               transport.account(leaders[g], id, wire_bytes);
             }
           }
-          nn::set_state(*devices[leaders[g]].model, global);
+          nn::load_state(*devices[leaders[g]].model, global);
         }
         if (!leaders.empty()) eval_state = global;
       }
@@ -378,7 +380,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       eval_state = mean_state_of(
           devices, avail.empty() ? fl::all_device_ids(cluster) : avail);
     }
-    nn::set_state(*setup.reference, eval_state);
+    nn::load_state(*setup.reference, eval_state);
     const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
     double loss_sum = 0.0;
     double loss_weight = 0.0;

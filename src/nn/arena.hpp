@@ -13,8 +13,8 @@
 //
 // Packing rebinds each parameter tensor (tensor/tensor.hpp view mode), so
 // layers keep reading and writing their parameters exactly as before —
-// forward/backward/optimizer code is oblivious — while get_state/set_state
-// collapse to one memcpy and aggregation streams straight over the spans.
+// forward/backward/optimizer code is oblivious — while load_state
+// collapses to one memcpy and aggregation streams straight over the spans.
 //
 // The arena must outlive the parameters bound into it (nn::Sequential owns
 // both, in the right order). Packing is idempotent; adding parameters
@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/math_utils.hpp"
 #include "nn/layer.hpp"
 
 namespace hadfl::nn {
@@ -48,6 +49,19 @@ class ParameterArena {
   /// The trainable gradients, contiguous.
   std::span<float> grad_view() { return grads_; }
   std::span<const float> grad_view() const { return grads_; }
+
+  /// Chunk `c` of the state when split into `chunks` contiguous segments
+  /// (the framework-wide `chunk_range` partition). The rt pipelined
+  /// collective and chunked broadcast stream these sub-views straight off
+  /// the arena — no per-chunk staging copies.
+  std::span<float> state_chunk(std::size_t chunks, std::size_t c) {
+    const auto [b, e] = chunk_range(values_.size(), chunks, c);
+    return std::span<float>(values_).subspan(b, e - b);
+  }
+  std::span<const float> state_chunk(std::size_t chunks, std::size_t c) const {
+    const auto [b, e] = chunk_range(values_.size(), chunks, c);
+    return std::span<const float>(values_).subspan(b, e - b);
+  }
 
  private:
   // 64-byte-aligned slabs: the whole aggregation path (StateAccumulator,

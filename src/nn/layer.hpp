@@ -63,8 +63,8 @@ class Layer {
   // ---- Contiguous state (arena-backed models) ---------------------------
   // Models that pack their parameters into a ParameterArena expose the full
   // flat state and the trainable-gradient slice as O(1) spans. The default
-  // (non-packed) implementation reports empty views; callers fall back to
-  // the copying get_state/set_state path in nn/param_utils.hpp.
+  // (non-packed) implementation reports empty views; nn::load_state falls
+  // back to per-parameter copies in that case.
 
   /// True when parameters live in a contiguous arena and the views below
   /// are valid.

@@ -67,21 +67,7 @@ std::vector<float> StateAccumulator::materialize() const {
   return out;
 }
 
-std::vector<float> get_state(Layer& model) {
-  if (model.packed()) {
-    const auto v = model.state_view();
-    return std::vector<float>(v.begin(), v.end());
-  }
-  std::vector<float> out;
-  out.reserve(state_size(model));
-  for (const Parameter* p : model.parameters()) {
-    const float* v = p->value.data();
-    out.insert(out.end(), v, v + p->numel());
-  }
-  return out;
-}
-
-void set_state(Layer& model, std::span<const float> state) {
+void load_state(Layer& model, std::span<const float> state) {
   HADFL_CHECK_SHAPE(state.size() == state_size(model),
                     "state size " << state.size() << " != model state size "
                                   << state_size(model));

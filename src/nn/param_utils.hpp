@@ -10,13 +10,14 @@
 //                 distributed-training baseline all-reduces each iteration.
 //
 // Arena-backed models (nn::Sequential after pack(); everything produced by
-// the model zoo) hold their whole state contiguously, so the preferred API
-// is the zero-copy one: state_view()/grad_view() spans, StateAccumulator
-// for streaming aggregation, and mix_state for in-place blending. The
-// copying get_state/set_state/weighted_average functions below remain as
-// migration shims — get_state still allocates a fresh vector per call and
-// weighted_average requires every contributor state materialized up front.
-// New code should stream over views instead.
+// the model zoo) hold their whole state contiguously, so the primary API is
+// the zero-copy one: state_view()/grad_view() spans, StateAccumulator for
+// streaming aggregation, and mix_state for in-place blending. Reading a
+// state means iterating (or copying from) state_view(); writing one back
+// means load_state(), which is a single bulk copy on packed models. The
+// historic get_state/set_state copy shims are gone — callers that need an
+// owned snapshot copy out of the view explicitly, which keeps every
+// allocation visible at the call site.
 #pragma once
 
 #include <span>
@@ -47,7 +48,7 @@ std::span<float> grad_view(Layer& model);
 
 /// In-place blend of a received state into a packed model:
 /// model = (1 - w) * model + w * src. Equivalent to the historic
-/// get_state + mix_into + set_state round trip, without the copies.
+/// get-mix-set state round trip, without the copies.
 void mix_state(Layer& model, std::span<const float> src, double w);
 
 /// Streaming weighted-sum accumulator over flat states. Replaces the
@@ -80,14 +81,13 @@ class StateAccumulator {
   double weight_sum_ = 0.0;
 };
 
-// ---- Copying API (migration shims) --------------------------------------
+/// Loads a flat state vector into the model in place. Size must match
+/// state_size(). Packed models take one bulk copy into the arena; unpacked
+/// models (hand-built nets before pack()) fall back to per-parameter
+/// copies, so deserialization works on any Layer.
+void load_state(Layer& model, std::span<const float> state);
 
-/// Copies all parameter values (including buffers) into one flat vector.
-/// For packed models this is a single bulk copy of state_view().
-std::vector<float> get_state(Layer& model);
-
-/// Writes a flat state vector back into the model. Size must match.
-void set_state(Layer& model, std::span<const float> state);
+// ---- Copying API ---------------------------------------------------------
 
 /// Copies trainable gradients into one flat vector.
 std::vector<float> get_gradients(Layer& model);

@@ -12,6 +12,7 @@
 // reused by the next sender.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <mutex>
 #include <utility>
@@ -21,6 +22,19 @@ namespace hadfl::rt {
 
 class BufferPool {
  public:
+  /// Recycling effectiveness counters (monotonic over the pool's life).
+  /// `hits`/`misses` partition the acquire() calls; `high_water` is the
+  /// largest number of buffers ever parked on the free list at once — the
+  /// steady-state working set the pool retains. A healthy pipelined sync
+  /// path shows misses plateauing after the first round while hits keep
+  /// growing; a leak (buffers dropped instead of released) shows up as
+  /// misses growing every round.
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t high_water = 0;
+  };
+
   BufferPool() = default;
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -34,6 +48,9 @@ class BufferPool {
       if (!free_.empty()) {
         buf = std::move(free_.back());
         free_.pop_back();
+        ++stats_.hits;
+      } else {
+        ++stats_.misses;
       }
     }
     buf.resize(n);
@@ -46,6 +63,7 @@ class BufferPool {
     if (buf.capacity() == 0) return;
     std::lock_guard<std::mutex> lock(mu_);
     free_.push_back(std::move(buf));
+    stats_.high_water = std::max(stats_.high_water, free_.size());
   }
 
   /// Number of buffers currently on the free list (observability/tests).
@@ -54,9 +72,16 @@ class BufferPool {
     return free_.size();
   }
 
+  /// Snapshot of the recycling counters.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<float>> free_;
+  Stats stats_;
 };
 
 }  // namespace hadfl::rt

@@ -1,22 +1,212 @@
 #include "rt/collectives.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/math_utils.hpp"
 
 namespace hadfl::rt {
 
 namespace {
 
-/// Chunk c's element range for an n-element buffer split across k chunks.
-std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, std::size_t k,
-                                                std::size_t c) {
-  const std::size_t begin = c * n / k;
-  const std::size_t end = (c + 1) * n / k;
-  return {begin, end};
+/// Slice length for beat-interleaved blocking waits: short enough that a
+/// worker's heartbeat never goes stale mid-collective, long enough that the
+/// fast path (message already queued) pays no extra wakeups.
+constexpr double kBeatSliceS = 0.05;
+
+/// Waits for every posted rendezvous ack, beating between slices. An
+/// unconsumed send after `timeout_s` (per handle) is a dead or wedged
+/// receiver — CommError, like PendingSend::wait.
+void wait_all_sends(
+    std::vector<std::pair<std::shared_ptr<PendingSend>, DeviceId>>& pending,
+    DeviceId self, double timeout_s, const BeatFn& beat) {
+  for (auto& [handle, dst] : pending) {
+    if (!beat) {
+      handle->wait(timeout_s, self, dst);
+      continue;
+    }
+    double remaining = timeout_s;
+    for (;;) {
+      const double slice = std::min(kBeatSliceS, remaining);
+      if (handle->try_wait(slice, self, dst)) break;
+      remaining -= slice;
+      beat();
+      if (remaining <= 0.0) {
+        throw CommError("send: rendezvous from device " +
+                        std::to_string(self) + " to device " +
+                        std::to_string(dst) + " timed out");
+      }
+    }
+  }
+  pending.clear();
 }
 
 }  // namespace
+
+std::size_t resolve_chunk_count(std::size_t requested, std::size_t n) {
+  std::size_t chunks = requested == 0 ? kDefaultSyncChunks : requested;
+  chunks = std::min(chunks, std::size_t{4096});
+  chunks = std::min(chunks, std::max<std::size_t>(1, n));
+  return std::max<std::size_t>(1, chunks);
+}
+
+std::size_t chunk_wire_bytes(std::size_t wire_bytes, std::size_t n,
+                             std::size_t begin, std::size_t end) {
+  if (wire_bytes == 0 || n == 0 || begin == end) return 0;
+  const std::size_t share = wire_bytes * end / n - wire_bytes * begin / n;
+  return std::max<std::size_t>(1, share);
+}
+
+Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
+                          DeviceId from, std::int64_t tag, double timeout_s,
+                          const BeatFn& beat) {
+  if (!beat) return transport.recv_match(self, from, tag, timeout_s);
+  double remaining = timeout_s;
+  for (;;) {
+    const double slice = std::min(kBeatSliceS, remaining);
+    try {
+      return transport.recv_match(self, from, tag, slice);
+    } catch (const CommError&) {
+      if (!transport.alive(self)) throw;
+      // A dead sender can never deliver: once the peer's endpoint is gone
+      // (crash, or the coordinator fenced a silent death) and nothing
+      // matched this slice, abort now instead of burning the whole step
+      // timeout — the collective is doomed and retries on a repaired ring.
+      if (!transport.alive(from)) {
+        throw CommError("recv: device " + std::to_string(from) +
+                        " died mid-collective");
+      }
+      remaining -= slice;
+      beat();
+      if (remaining <= 0.0) throw;
+    }
+  }
+}
+
+void ring_weighted_aggregate(InprocTransport& transport,
+                             const std::vector<DeviceId>& ring,
+                             std::size_t my_index,
+                             std::span<const float> local,
+                             const std::vector<double>& weights,
+                             core::WeightedRingFold& fold,
+                             std::vector<float>& out,
+                             std::int64_t collective_id,
+                             std::size_t wire_bytes, double step_timeout_s,
+                             std::size_t chunks, const BeatFn& beat) {
+  const std::size_t k = ring.size();
+  HADFL_CHECK_ARG(k > 0, "ring_weighted_aggregate on empty ring");
+  HADFL_CHECK_ARG(my_index < k, "my_index out of range");
+  HADFL_CHECK_ARG(weights.size() == k, "weights/ring size mismatch");
+  const std::size_t n = local.size();
+  out.resize(n);
+  fold.reset(n);
+  if (k == 1) {
+    // Degenerate ring: the fold is still applied so a lone member's
+    // aggregate carries its (normalized) weight exactly like the sim's.
+    fold.add(0, local, weights[0]);
+    fold.write(0, out);
+    return;
+  }
+  if (n == 0) return;
+
+  const std::size_t c_count = resolve_chunk_count(chunks, n);
+  const DeviceId self = ring[my_index];
+  const DeviceId next = ring[(my_index + 1) % k];
+  const DeviceId prev = ring[(my_index + k - 1) % k];
+  BufferPool& pool = transport.pool();
+  std::vector<std::pair<std::shared_ptr<PendingSend>, DeviceId>> pending;
+  pending.reserve(2 * c_count);
+
+  // ---- Phase 1 (scatter): every non-owned chunk goes straight to its
+  // owner. All sends are posted before any blocking receive, so the whole
+  // chunk set is in flight at once.
+  for (std::size_t c = 0; c < c_count; ++c) {
+    const std::size_t owner = c % k;
+    if (owner == my_index) continue;
+    const auto [b, e] = chunk_range(n, c_count, c);
+    if (b == e) continue;
+    Message msg;
+    msg.tag = sync_chunk_tag(collective_id, 0, c);
+    msg.payload = pool.acquire(e - b);
+    std::copy(local.begin() + static_cast<std::ptrdiff_t>(b),
+              local.begin() + static_cast<std::ptrdiff_t>(e),
+              msg.payload.begin());
+    msg.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
+    pending.emplace_back(transport.isend(self, ring[owner], std::move(msg)),
+                         ring[owner]);
+  }
+
+  // ---- Phase 1 (fold): owned chunks accumulate the members' pieces in
+  // ring order — the order IS the aggregation definition (round_logic.hpp)
+  // — while later members' chunks are still on the wire.
+  for (std::size_t m = 0; m < k; ++m) {
+    for (std::size_t c = my_index; c < c_count; c += k) {
+      const auto [b, e] = chunk_range(n, c_count, c);
+      if (b == e) continue;
+      if (m == my_index) {
+        fold.add(b, local.subspan(b, e - b), weights[m]);
+      } else {
+        Message in =
+            recv_chunk_sliced(transport, self, ring[m],
+                              sync_chunk_tag(collective_id, 0, c),
+                              step_timeout_s, beat);
+        HADFL_CHECK(in.payload.size() == e - b);
+        fold.add(b, in.payload, weights[m]);
+        pool.release(std::move(in.payload));
+      }
+      if (beat) beat();
+    }
+  }
+
+  // ---- Phase 2 kick-off: cast each owned chunk once (the fold's single
+  // double→float cast) and start it around the ring.
+  for (std::size_t c = my_index; c < c_count; c += k) {
+    const auto [b, e] = chunk_range(n, c_count, c);
+    if (b == e) continue;
+    fold.write(b, std::span<float>(out).subspan(b, e - b));
+    Message msg;
+    msg.tag = sync_chunk_tag(collective_id, 1, c);
+    msg.payload = pool.acquire(e - b);
+    std::copy(out.begin() + static_cast<std::ptrdiff_t>(b),
+              out.begin() + static_cast<std::ptrdiff_t>(e),
+              msg.payload.begin());
+    msg.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
+    pending.emplace_back(transport.isend(self, next, std::move(msg)), next);
+    if (beat) beat();
+  }
+
+  // ---- Phase 2 (allgather): hop h delivers the chunks owned h positions
+  // upstream. Receiving in hop order keeps progress inductive (hop 1 only
+  // needs the owners' kick-off sends); forwarding moves the payload —
+  // zero-copy — unless the next member is the chunk's owner.
+  for (std::size_t h = 1; h < k; ++h) {
+    const std::size_t owner = (my_index + k - h) % k;
+    for (std::size_t c = owner; c < c_count; c += k) {
+      const auto [b, e] = chunk_range(n, c_count, c);
+      if (b == e) continue;
+      Message in = recv_chunk_sliced(transport, self, prev,
+                                     sync_chunk_tag(collective_id, 1, c),
+                                     step_timeout_s, beat);
+      HADFL_CHECK(in.payload.size() == e - b);
+      std::copy(in.payload.begin(), in.payload.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(b));
+      if (h + 1 < k) {
+        Message fwd;
+        fwd.tag = in.tag;
+        fwd.payload = std::move(in.payload);
+        fwd.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
+        pending.emplace_back(transport.isend(self, next, std::move(fwd)),
+                             next);
+      } else {
+        pool.release(std::move(in.payload));
+      }
+      if (beat) beat();
+    }
+  }
+
+  wait_all_sends(pending, self, step_timeout_s, beat);
+}
 
 std::vector<std::vector<float>> ring_allgather(
     InprocTransport& transport, const std::vector<DeviceId>& ring,

@@ -1,27 +1,113 @@
 // Ring collectives over the in-process transport, executed cooperatively:
 // every ring member calls the same function from its own worker thread.
 //
-// Each step posts the outgoing chunk (isend), receives the incoming chunk,
-// then waits for the outgoing rendezvous ack — the standard way to run
-// rendezvous semantics around a cycle without deadlock.
+//  * `ring_weighted_aggregate` — the training-path collective: a chunk-
+//    pipelined weighted scatter-fold + ring allgather. The state is split
+//    into C chunks (`hadfl::chunk_range`); chunk c is owned by ring member
+//    c % K. Phase 1 scatters every member's raw chunk straight to its
+//    owner, which folds the arriving pieces in ring order into a
+//    double-precision core::WeightedRingFold *while later chunks are still
+//    on the wire*; phase 2 circulates the folded float chunks around the
+//    ring. Per-member traffic is 2·(K-1)/K·M ≤ 2·M (vs (K-1)·M for the
+//    monolithic allgather) and multiple chunks are in flight per link under
+//    distinct tags, so wall time approaches the bandwidth bound instead of
+//    K-1 full-state round-trip latencies. Because each element is folded in
+//    ring order regardless of the chunking, the result is bit-identical to
+//    the monolithic fold — and to the simulator's aggregate (the sim/rt
+//    equivalence pin).
+//  * `ring_allgather` — K-1 steps circulating full states; the monolithic
+//    predecessor, kept for the chunked-vs-monolithic benchmarks and for
+//    callers that need the individual contributions.
+//  * `ring_allreduce_average` — the classic unweighted reduce-scatter +
+//    all-gather; used by the throughput benchmarks.
 //
-//  * `ring_allgather` — K-1 steps circulating full states; used by the
-//    training path because every member ends up with the contributions in
-//    ring order and can apply the exact same weighted average the
-//    simulator computes (bit-identical aggregation across backends).
-//  * `ring_allreduce_average` — the classic reduce-scatter + all-gather
-//    (2(K-1) steps of N/K-element chunks); bandwidth-optimal, used by the
-//    throughput benchmarks and available for schemes that do not need the
-//    individual contributions.
+// Each rendezvous step posts the outgoing chunk (isend), receives the
+// incoming chunk, then waits for the outgoing acks at the end — the
+// standard way to run rendezvous semantics around a cycle without deadlock.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
+#include "core/round_logic.hpp"
 #include "rt/transport.hpp"
 
 namespace hadfl::rt {
+
+/// Optional heartbeat hook: long-running collectives call it between chunk
+/// operations and receive/ack-wait slices so the caller's failure-detector
+/// beats keep flowing while the collective blocks. May throw to abandon the
+/// collective (fault-injection tests kill a member mid-pipeline this way).
+using BeatFn = std::function<void()>;
+
+/// Default chunk count for the pipelined collective (bench/micro_rt sweep:
+/// past ~16 chunks the pipeline is saturated and per-message overhead
+/// starts to win; see EXPERIMENTS.md).
+constexpr std::size_t kDefaultSyncChunks = 16;
+
+/// Chunk count actually used for an `n`-element state: `requested`, with
+/// 0 meaning kDefaultSyncChunks, clamped to [1, min(n, 4096)] so every
+/// chunk is non-empty and tags stay within the 15-bit chunk field.
+std::size_t resolve_chunk_count(std::size_t requested, std::size_t n);
+
+/// Tag of chunk `c` in `phase` (0 = scatter to owner, 1 = allgather) of the
+/// pipelined collective. Exposed so fault-injection tests can hand-craft a
+/// partial participant.
+constexpr std::int64_t sync_chunk_tag(std::int64_t collective_id, int phase,
+                                      std::size_t chunk) {
+  return make_tag(MsgKind::kData, collective_id,
+                  (static_cast<std::int64_t>(phase) << 15) |
+                      static_cast<std::int64_t>(chunk));
+}
+
+/// Tag of chunk `c` of a chunked non-blocking broadcast.
+constexpr std::int64_t broadcast_chunk_tag(std::int64_t collective_id,
+                                           std::size_t chunk) {
+  return make_tag(MsgKind::kModelPush, collective_id,
+                  static_cast<std::int64_t>(chunk));
+}
+
+/// Wire price of elements [begin, end) when a full-state transfer of `n`
+/// elements is priced at `wire_bytes`. The telescoping integer split: chunk
+/// prices sum to exactly `wire_bytes` over a full partition (non-empty
+/// chunks are floored at 1 byte). 0 in, 0 out — wire_bytes == 0 keeps the
+/// transport's pay-for-payload default, which is already exact per chunk.
+std::size_t chunk_wire_bytes(std::size_t wire_bytes, std::size_t n,
+                             std::size_t begin, std::size_t end);
+
+/// Receives (from, tag) for `self` in beat-slice increments: waits up to
+/// `timeout_s` total, invoking `beat` between slices so heartbeats keep
+/// flowing. Throws CommError on timeout or endpoint death like recv_match,
+/// and additionally as soon as `from`'s endpoint dies — a dead sender can
+/// never deliver, so a mid-collective death aborts in about one beat slice
+/// instead of a full step timeout.
+Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
+                          DeviceId from, std::int64_t tag, double timeout_s,
+                          const BeatFn& beat);
+
+/// The pipelined weighted aggregation described above. All ring members
+/// must call it with the same ring/weights/collective_id/chunks; `local` is
+/// the member's (codec-processed) state, `weights` the ring-order
+/// aggregation weights. On return `out` holds the full weighted aggregate —
+/// identical bits on every member. `fold` is caller-owned scratch (capacity
+/// persists across rounds); `wire_bytes` prices a full-state transfer for
+/// volume accounting (0 = dense payload size); `chunks` = 0 picks the
+/// default. Throws CommError if a member dies or a step exceeds
+/// `step_timeout_s` — the caller aborts, purges and retries on the repaired
+/// ring under a fresh collective id.
+void ring_weighted_aggregate(InprocTransport& transport,
+                             const std::vector<DeviceId>& ring,
+                             std::size_t my_index,
+                             std::span<const float> local,
+                             const std::vector<double>& weights,
+                             core::WeightedRingFold& fold,
+                             std::vector<float>& out,
+                             std::int64_t collective_id,
+                             std::size_t wire_bytes, double step_timeout_s,
+                             std::size_t chunks = 0,
+                             const BeatFn& beat = {});
 
 /// All-gathers the members' `local` states around the directed ring.
 /// Returns the contributions indexed in ring order (result[i] came from

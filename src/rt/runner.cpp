@@ -1,14 +1,18 @@
 #include "rt/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/math_utils.hpp"
 #include "common/thread_pool.hpp"
 #include "core/coordinator.hpp"
 #include "core/grouping.hpp"
@@ -17,6 +21,7 @@
 #include "fl/local_trainer.hpp"
 #include "nn/param_utils.hpp"
 #include "rt/collectives.hpp"
+#include "rt/wire_format.hpp"
 
 namespace hadfl::rt {
 
@@ -53,7 +58,7 @@ struct Command {
   std::size_t steps = 0;           ///< kWarmup / kTrain budget
   double learning_rate = 0.0;
   double deadline_s = 0.0;         ///< kTrain wall deadline (<= 0: none)
-  std::int64_t die_after = -1;     ///< fault injection (kTrain)
+  std::int64_t die_after = -1;     ///< fault injection (kTrain/kSync)
   bool die_silently = false;
   std::vector<float> state;        ///< kSetState payload
   double version_mean = 0.0;       ///< kCommit / kIntegrate
@@ -63,6 +68,14 @@ struct Command {
   std::vector<double> weights;     ///< kSync aggregation weights, ring order
   std::size_t wire_bytes = 0;      ///< per-exchange wire price
   DeviceId peer = 0;               ///< kIntegrate: broadcast source
+  std::size_t chunks = 0;          ///< kSync/kBroadcast/kIntegrate chunking
+  bool int8 = false;               ///< kBroadcast/kIntegrate wire format
+  /// kSync abort propagation: the coordinator raises this shared flag the
+  /// moment the attempt is known doomed (first failed report or fenced
+  /// member), so members blocked on a chunk from an already-aborted — but
+  /// live — neighbour bail at their next beat slice instead of burning the
+  /// full step timeout.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 enum class ReportKind {
@@ -87,6 +100,11 @@ struct Report {
   std::vector<float> aggregate;     ///< kSyncDone, from ring index 0 only
   std::vector<DeviceId> delivered;  ///< kBroadcastDone
 };
+
+/// Thrown by a worker's beat hook to model a device dying mid-collective
+/// (FaultPlan::during_sync): unwinds out of the pipelined collective
+/// between two chunk operations, exactly where a real crash would cut it.
+struct InjectedDeath {};
 
 }  // namespace
 
@@ -147,11 +165,12 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
     core::DeviceState& dev = devices[d];
     Mailbox<Command>& inbox = *inboxes[d];
     // Sync-path working set, persistent across rounds: the codec scratch
-    // (dev.scratch), the double-precision accumulator, and the staged
-    // aggregate all keep their capacity, so steady-state synchronization
-    // does not allocate on this thread.
+    // (dev.scratch), the double-precision fold, the staged aggregate and
+    // the broadcast staging buffer all keep their capacity, so steady-state
+    // synchronization does not allocate on this thread.
     std::vector<float> pending_aggregate;
-    nn::StateAccumulator sync_acc;
+    core::WeightedRingFold sync_fold;
+    std::vector<float> bc_stage;
 
     const auto throttled_sleep = [&](double seconds) {
       const double slice = std::max(0.001, config.heartbeat_timeout_s / 4.0);
@@ -207,7 +226,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           break;
         }
         case CmdKind::kSetState: {
-          nn::set_state(*dev.model, cmd->state);
+          nn::load_state(*dev.model, cmd->state);
           Report r;
           r.kind = ReportKind::kAck;
           report(std::move(r));
@@ -267,6 +286,22 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         case CmdKind::kSync: {
           Report r;
           r.kind = ReportKind::kSyncDone;
+          // The beat hook keeps the heartbeat fresh through every blocking
+          // slice of the collective (so the coordinator may watch the
+          // detector during sync), and doubles as the mid-pipeline fault
+          // injection point.
+          std::int64_t die_budget = cmd->die_after;
+          const auto sync_beat = [&] {
+            detector.beat(d);
+            if (die_budget >= 0 && die_budget-- == 0) {
+              if (!cmd->die_silently) transport.kill(d);
+              throw InjectedDeath{};
+            }
+            if (cmd->cancel &&
+                cmd->cancel->load(std::memory_order_relaxed)) {
+              throw CommError("sync collective cancelled by coordinator");
+            }
+          };
           try {
             const auto view = nn::state_view(*dev.model);
             dev.scratch.assign(view.begin(), view.end());
@@ -275,33 +310,29 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
                 dev.scratch, dev.last_sync_state, config.hadfl);
             const std::size_t eff =
                 core::effective_wire_bytes(cmd->wire_bytes, codec, dense);
-            std::vector<std::vector<float>> contributions =
-                ring_allgather(transport, cmd->peers, cmd->my_index,
-                               dev.scratch, cmd->collective_id, eff,
-                               config.collective_timeout_s);
-            // Same reduction, same order, on every member: the aggregate is
-            // bitwise identical ring-wide and to the simulator's (ring-order
-            // double-precision accumulation, then one cast).
-            sync_acc.reset(dev.scratch.size());
-            for (std::size_t m = 0; m < contributions.size(); ++m) {
-              sync_acc.accumulate(contributions[m], cmd->weights[m]);
-            }
-            pending_aggregate.resize(sync_acc.size());
-            sync_acc.write(pending_aggregate);
-            for (auto& buf : contributions) {
-              transport.pool().release(std::move(buf));
-            }
+            // Chunk-pipelined weighted scatter-fold + allgather: the shared
+            // WeightedRingFold makes the aggregate bitwise identical
+            // ring-wide and to the simulator's (ring-order double-precision
+            // accumulation per segment, then one cast).
+            ring_weighted_aggregate(transport, cmd->peers, cmd->my_index,
+                                    dev.scratch, cmd->weights, sync_fold,
+                                    pending_aggregate, cmd->collective_id,
+                                    eff, config.collective_timeout_s,
+                                    cmd->chunks, sync_beat);
             if (cmd->my_index == 0) r.aggregate = pending_aggregate;
           } catch (const CommError& e) {
             HADFL_DEBUG("dev" << d << " sync failed: " << e.what());
             pending_aggregate.clear();
             r.ok = false;
+          } catch (const InjectedDeath&) {
+            // Like the kTrain crash: no report, no further beats.
+            return;
           }
           report(std::move(r));
           break;
         }
         case CmdKind::kCommit: {
-          nn::set_state(*dev.model, pending_aggregate);
+          nn::load_state(*dev.model, pending_aggregate);
           dev.version = cmd->version_mean;
           // Swap instead of move-assign: the displaced last_sync_state
           // capacity becomes next round's pending_aggregate buffer.
@@ -322,23 +353,44 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           break;
         }
         case CmdKind::kBroadcast: {
+          // Genuinely non-blocking broadcast (§III-D): the pushes are
+          // fire-and-forget, the coordinator never waits on this command,
+          // and the next kTrain is already queued behind it — the
+          // broadcaster is back to training while the chunks drain.
           Report r;
           r.kind = ReportKind::kBroadcastDone;
+          const std::size_t n = dev.last_sync_state.size();
+          const std::size_t chunks = resolve_chunk_count(cmd->chunks, n);
           for (DeviceId target : cmd->peers) {
-            Message msg;
-            msg.tag = make_tag(MsgKind::kModelPush, cmd->collective_id);
-            msg.payload = transport.pool().acquire(dev.last_sync_state.size());
-            std::copy(dev.last_sync_state.begin(), dev.last_sync_state.end(),
-                      msg.payload.begin());
-            msg.wire_bytes = cmd->wire_bytes;
             try {
-              transport.send_nonblocking(d, target, std::move(msg));
+              for (std::size_t c = 0; c < chunks; ++c) {
+                const auto [b, e] = chunk_range(n, chunks, c);
+                const std::span<const float> chunk(
+                    dev.last_sync_state.data() + b, e - b);
+                Message msg;
+                msg.tag = broadcast_chunk_tag(cmd->collective_id, c);
+                std::size_t share = chunk_wire_bytes(cmd->wire_bytes, n, b, e);
+                if (cmd->int8) {
+                  msg.payload = encode_int8_chunk(transport.pool(), chunk);
+                  // Same ratio arithmetic as the sim's codec pricing,
+                  // applied per chunk.
+                  share = core::effective_wire_bytes(
+                      share, int8_chunk_wire_bytes(e - b),
+                      (e - b) * sizeof(float));
+                } else {
+                  msg.payload = transport.pool().acquire(e - b);
+                  std::copy(chunk.begin(), chunk.end(), msg.payload.begin());
+                }
+                msg.wire_bytes = share;
+                transport.send_nonblocking(d, target, std::move(msg));
+                detector.beat(d);
+              }
               r.delivered.push_back(target);
             } catch (const CommError&) {
               // The push is consumed (volume counted) but never arrives —
-              // SimTransport parity.
+              // SimTransport parity. Remaining chunks for this target are
+              // pointless; move on to the next one.
             }
-            detector.beat(d);
           }
           report(std::move(r));
           break;
@@ -346,16 +398,56 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         case CmdKind::kIntegrate: {
           Report r;
           r.kind = ReportKind::kIntegrateDone;
+          const std::size_t n = nn::state_size(*dev.model);
+          const std::size_t chunks = resolve_chunk_count(cmd->chunks, n);
+          // With no sync codec the convex mix is elementwise, so each chunk
+          // can be folded into the model the moment it lands (bitwise equal
+          // to the whole-state mix) — receive/compute overlap on the
+          // integration side. A configured codec needs the whole state
+          // (whole-state scale / top-k reference), so integration then
+          // assembles first and defers to the shared sim path.
+          const bool chunkwise_mix =
+              config.hadfl.compression == core::SyncCompression::kNone;
+          bc_stage.resize(n);
           try {
-            Message msg = transport.recv_match(
-                d, cmd->peer,
-                make_tag(MsgKind::kModelPush, cmd->collective_id),
-                config.collective_timeout_s);
-            core::integrate_broadcast(dev, msg.payload, cmd->version_mean,
-                                      config.hadfl);
-            transport.pool().release(std::move(msg.payload));
+            for (std::size_t c = 0; c < chunks; ++c) {
+              const auto [b, e] = chunk_range(n, chunks, c);
+              Message msg = recv_chunk_sliced(
+                  transport, d, cmd->peer,
+                  broadcast_chunk_tag(cmd->collective_id, c),
+                  config.collective_timeout_s, [&] { detector.beat(d); });
+              const std::span<float> stage(bc_stage.data() + b, e - b);
+              if (cmd->int8) {
+                decode_int8_chunk(msg.payload, stage);
+              } else {
+                HADFL_CHECK(msg.payload.size() == e - b);
+                std::copy(msg.payload.begin(), msg.payload.end(),
+                          stage.begin());
+              }
+              transport.pool().release(std::move(msg.payload));
+              if (chunkwise_mix) {
+                mix_spans(nn::state_view(*dev.model).subspan(b, e - b),
+                          stage, config.hadfl.broadcast_mix_weight);
+              }
+              detector.beat(d);
+            }
+            if (chunkwise_mix) {
+              // Same bookkeeping as core::integrate_broadcast: the staged
+              // aggregate becomes the new top-k reference (swap keeps the
+              // displaced capacity), the version takes the convex mix.
+              std::swap(dev.last_sync_state, bc_stage);
+              dev.version =
+                  (1.0 - config.hadfl.broadcast_mix_weight) * dev.version +
+                  config.hadfl.broadcast_mix_weight * cmd->version_mean;
+            } else {
+              core::integrate_broadcast(dev, bc_stage, cmd->version_mean,
+                                        config.hadfl);
+            }
             r.version = dev.version;
           } catch (const CommError&) {
+            // Source died mid-broadcast: give up on the rest. Chunks mixed
+            // so far stay — each is a valid elementwise convex step; the
+            // version/reference updates are withheld.
             r.ok = false;
           }
           report(std::move(r));
@@ -415,7 +507,8 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   // went stale (`use_detector` — only where workers beat frequently), or
   // that exceeded a hard deadline (bounded commands like collectives).
   const auto collect = [&](std::vector<DeviceId> pending, ReportKind kind,
-                           bool use_detector, double deadline_s = 0.0) {
+                           bool use_detector, double deadline_s = 0.0,
+                           const std::function<void()>& on_trouble = {}) {
     std::map<DeviceId, Report> out;
     pending.erase(std::remove_if(pending.begin(), pending.end(),
                                  [&](DeviceId d) { return !live[d]; }),
@@ -427,6 +520,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         const auto it =
             std::find(pending.begin(), pending.end(), r->device);
         if (it != pending.end() && r->kind == kind) {
+          if (!r->ok && on_trouble) on_trouble();
           out.emplace(r->device, std::move(*r));
           pending.erase(it);
         }
@@ -439,6 +533,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         const bool dead = !transport.alive(d) ||
                           (use_detector && !detector.is_alive(d)) || expired;
         if (dead) {
+          if (on_trouble) on_trouble();
           fence(d);
           it = pending.erase(it);
         } else {
@@ -537,7 +632,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
     const std::vector<DeviceId> ids = live_ids();
     const std::vector<float> mean =
         ids.empty() ? setup.init_state : core::mean_state_of(devices, ids);
-    nn::set_state(*setup.reference, mean);
+    nn::load_state(*setup.reference, mean);
     const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
     double loss_sum = 0.0;
     for (DeviceId d = 0; d < k; ++d) loss_sum += sh_loss[d];
@@ -582,7 +677,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         c.deadline_s = window;
       }
       for (const FaultPlan& plan : config.faults) {
-        if (plan.device == d && plan.round == round) {
+        if (plan.device == d && plan.round == round && !plan.during_sync) {
           c.die_after = static_cast<std::int64_t>(plan.after_steps);
           c.die_silently = plan.silent;
         }
@@ -641,6 +736,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         const std::int64_t cid = next_collective_id++;
         const std::vector<double> weights = core::ring_weights(
             ctx.partition, ring, config.hadfl.weight_by_samples);
+        auto cancel = std::make_shared<std::atomic<bool>>(false);
         std::vector<DeviceId> posted;
         for (std::size_t i = 0; i < ring.size(); ++i) {
           Command c;
@@ -650,11 +746,26 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           c.collective_id = cid;
           c.weights = weights;
           c.wire_bytes = wire_bytes;
+          c.chunks = config.sync_chunks;
+          c.cancel = cancel;
+          for (const FaultPlan& plan : config.faults) {
+            if (plan.device == ring[i] && plan.round == round &&
+                plan.during_sync && attempt == 0) {
+              c.die_after = static_cast<std::int64_t>(plan.after_steps);
+              c.die_silently = plan.silent;
+            }
+          }
           if (post(ring[i], std::move(c))) posted.push_back(ring[i]);
         }
-        auto sreps = collect(posted, ReportKind::kSyncDone,
-                             /*use_detector=*/false,
-                             sync_deadline(ring.size()));
+        // The pipelined collective beats through every blocking slice, so
+        // the detector is authoritative here: a silent mid-pipeline death
+        // fences within ~heartbeat_timeout instead of the full deadline.
+        // The first failure raises the attempt's cancel flag, unblocking
+        // every member still waiting on a chunk that will never come.
+        auto sreps = collect(
+            posted, ReportKind::kSyncDone,
+            /*use_detector=*/true, sync_deadline(ring.size()),
+            [&] { cancel->store(true, std::memory_order_relaxed); });
         const bool all_ok =
             posted.size() == ring.size() && sreps.size() == ring.size() &&
             std::all_of(sreps.begin(), sreps.end(),
@@ -719,31 +830,36 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           const std::size_t eff = core::effective_wire_bytes(
               wire_bytes, codec_bytes, aggregate.size() * sizeof(float));
           const std::int64_t bc_id = next_collective_id++;
+          // End-to-end non-blocking (§III-D): the coordinator posts the
+          // push and the integrations and moves straight on — nobody
+          // collects these reports (collect() drops them as stale later).
+          // The per-worker command FIFO is the only ordering needed: the
+          // broadcaster trains its next round while the chunks drain, and
+          // each receiver integrates chunk-by-chunk before its next kTrain.
+          // sh_version self-heals because kTrainDone carries the absolute
+          // version.
+          std::vector<DeviceId> receivers;
+          for (DeviceId id : others) {
+            if (live[id]) receivers.push_back(id);
+          }
           Command c;
           c.kind = CmdKind::kBroadcast;
-          c.peers = others;
+          c.peers = receivers;
           c.collective_id = bc_id;
           c.wire_bytes = eff;
-          std::vector<DeviceId> delivered;
+          c.chunks = config.sync_chunks;
+          c.int8 = config.int8_broadcast;
           if (post(src, std::move(c))) {
-            const auto breps = collect({src}, ReportKind::kBroadcastDone,
-                                       /*use_detector=*/false, 30.0);
-            const auto it = breps.find(src);
-            if (it != breps.end()) delivered = it->second.delivered;
-          }
-          std::vector<DeviceId> integrating;
-          for (DeviceId id : delivered) {
-            Command c2;
-            c2.kind = CmdKind::kIntegrate;
-            c2.peer = src;
-            c2.collective_id = bc_id;
-            c2.version_mean = version_mean;
-            if (post(id, std::move(c2))) integrating.push_back(id);
-          }
-          const auto ireps = collect(integrating, ReportKind::kIntegrateDone,
-                                     /*use_detector=*/false, 30.0);
-          for (const auto& [d, r] : ireps) {
-            if (r.ok) sh_version[d] = r.version;
+            for (DeviceId id : receivers) {
+              Command c2;
+              c2.kind = CmdKind::kIntegrate;
+              c2.peer = src;
+              c2.collective_id = bc_id;
+              c2.version_mean = version_mean;
+              c2.chunks = config.sync_chunks;
+              c2.int8 = config.int8_broadcast;
+              post(id, std::move(c2));
+            }
           }
         }
         eval_state = std::move(aggregate);
@@ -762,7 +878,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
       if (avail.empty()) break;
       eval_state = core::mean_state_of(devices, avail);
     }
-    nn::set_state(*setup.reference, eval_state);
+    nn::load_state(*setup.reference, eval_state);
     const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
     double loss_sum = 0.0;
     double loss_weight = 0.0;
@@ -798,6 +914,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
 
   result.extras.model_backups = model_manager.backups_written();
   result.scheme.volume = transport.volume();
+  result.pool_stats = transport.pool().stats();
   if (model_manager.has_model()) {
     result.scheme.final_state = model_manager.latest();
   } else {

@@ -39,16 +39,21 @@ namespace hadfl::rt {
 
 enum class TimingMode { kVirtual, kWallclock };
 
-/// Injected device death: during local training of `round` (1-based, 0 =
-/// never), the worker stops after `after_steps` iterations. By default it
-/// closes its transport endpoint on the way out (a crashing process's
-/// sockets); `silent` leaves the endpoint open so only the missing
-/// heartbeats reveal the death and the coordinator must fence the device.
+/// Injected device death: during `round` (1-based, 0 = never) the worker
+/// stops mid-work. By default the death strikes during local training,
+/// after `after_steps` iterations; with `during_sync` it strikes inside the
+/// pipelined ring collective instead, after `after_steps` chunk operations
+/// — exercising the two-phase abort + §III-D repair on a mid-pipeline
+/// failure. By default the worker closes its transport endpoint on the way
+/// out (a crashing process's sockets); `silent` leaves the endpoint open so
+/// only the missing heartbeats reveal the death and the coordinator must
+/// fence the device.
 struct FaultPlan {
   DeviceId device = 0;
   std::size_t round = 0;
   std::size_t after_steps = 0;
   bool silent = false;
+  bool during_sync = false;
 };
 
 struct RtConfig {
@@ -63,6 +68,13 @@ struct RtConfig {
   double heartbeat_timeout_s = 1.0;  ///< silence before a device is suspect
   double collective_timeout_s = 5.0; ///< per ring step / rendezvous wait
   double command_poll_s = 0.02;      ///< worker poll slice (= beat period)
+  /// Chunk count for the pipelined ring aggregation and the chunked
+  /// broadcast; 0 = rt::kDefaultSyncChunks (clamped to the state size).
+  std::size_t sync_chunks = 0;
+  /// Ship broadcast chunks int8-quantized (rt/wire_format.hpp): ~4x less
+  /// broadcast wire volume, applied on the broadcast hop only — the
+  /// synchronization path and the sim/rt equivalence are unaffected.
+  bool int8_broadcast = false;
   RtRingRepairConfig repair;         ///< wall-clock §III-D repair timing
   std::vector<FaultPlan> faults;
 };
@@ -74,6 +86,10 @@ struct RtResult {
   /// Devices the coordinator declared dead (heartbeat/endpoint), fenced,
   /// and excluded for the rest of the run.
   std::size_t deaths_detected = 0;
+  /// Payload-buffer recycling counters for the run (rt/buffer_pool.hpp):
+  /// misses plateau after the first round when every path releases its
+  /// buffers; a growing miss count flags a leak.
+  BufferPool::Stats pool_stats;
 };
 
 /// Runs HADFL end-to-end on one thread per device. Flat topology only

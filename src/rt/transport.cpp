@@ -43,6 +43,19 @@ void PendingSend::wait(double timeout_s, DeviceId src, DeviceId dst) {
                   " to device " + std::to_string(dst) + " timed out");
 }
 
+bool PendingSend::try_wait(double timeout_s, DeviceId src, DeviceId dst) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+              [this] { return consumed || dropped; });
+  if (consumed) return true;
+  if (dropped) {
+    throw CommError("send: receiver device " + std::to_string(dst) +
+                    " died before consuming (from device " +
+                    std::to_string(src) + ")");
+  }
+  return false;
+}
+
 InprocTransport::InprocTransport(std::size_t devices,
                                  sim::NetworkModel network, double time_scale,
                                  std::vector<double> bandwidth_scales)
@@ -208,9 +221,15 @@ bool InprocTransport::handshake(DeviceId src, DeviceId dst,
 void InprocTransport::kill(DeviceId id) {
   check_device(id);
   endpoints_[id]->alive.store(false, std::memory_order_release);
-  // Release any senders still waiting on unconsumed rendezvous envelopes.
+  // Release any senders still waiting on unconsumed rendezvous envelopes,
+  // and recycle the undelivered payloads — a fenced device's queue can hold
+  // a whole collective's worth of pooled buffers, which must flow back for
+  // the retry on the repaired ring.
   endpoints_[id]->box.purge([](const Envelope&) { return true; },
-                            [](Envelope& e) { release(e, false); });
+                            [this](Envelope& e) {
+                              release(e, false);
+                              pool_.release(std::move(e.msg.payload));
+                            });
   endpoints_[id]->box.close();
 }
 
@@ -230,7 +249,12 @@ std::size_t InprocTransport::purge_stale(DeviceId dst,
         }
         return tag_collective_id(e.msg.tag) < min_collective_id;
       },
-      [](Envelope& e) { release(e, false); });
+      [this](Envelope& e) {
+        release(e, false);
+        // Stale payloads from the aborted attempt go back to the pool
+        // instead of being freed — the retry immediately re-acquires them.
+        pool_.release(std::move(e.msg.payload));
+      });
 }
 
 void InprocTransport::account(DeviceId src, DeviceId dst, std::size_t bytes) {

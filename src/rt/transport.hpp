@@ -62,6 +62,13 @@ class PendingSend {
  public:
   void wait(double timeout_s, DeviceId src, DeviceId dst);
 
+  /// Sliced wait: true when consumed, false when `timeout_s` elapsed with
+  /// the transfer still pending (call again later — e.g. after emitting a
+  /// heartbeat), throws CommError when the receiver dropped the message.
+  /// Lets long-running collectives keep their failure-detector beats
+  /// flowing instead of going dark for a full rendezvous timeout.
+  bool try_wait(double timeout_s, DeviceId src, DeviceId dst);
+
  private:
   friend class InprocTransport;
   std::mutex mu;

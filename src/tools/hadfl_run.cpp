@@ -19,6 +19,8 @@
 //   --throttle=<float>      rt: wall s per virtual compute s   [0]
 //   --wallclock             rt: measure epoch times on the real clock
 //   --die=<dev:round:step>  rt: inject a device death mid-round
+//   --sync-chunks=<int>     rt: pipelined-sync chunk count     [0 = default]
+//   --int8-broadcast        rt: ship broadcast chunks int8-quantized
 //   --model=mlp|resnet18|vgg16                         [mlp]
 //   --ratio=<comma powers>                             [3,3,1,1]
 //   --epochs=<int>          total training epochs      [16]
@@ -54,7 +56,8 @@ const std::vector<std::string> kKnownOptions{
     "scheme", "model", "ratio",  "epochs",     "scale", "seed",
     "np",     "tsync", "policy", "mix",        "group-size",
     "partition", "network", "jitter", "csv",   "verbose", "help",
-    "backend", "time-scale", "throttle", "wallclock", "die"};
+    "backend", "time-scale", "throttle", "wallclock", "die",
+    "sync-chunks", "int8-broadcast"};
 
 nn::Architecture parse_model(const std::string& name) {
   if (name == "mlp") return nn::Architecture::kMlp;
@@ -89,7 +92,8 @@ void print_usage() {
       "shards:N]\n"
       "                 [--network=pcie|wan] [--jitter=S] [--csv=PATH]\n"
       "                 [--backend=sim|rt] [--time-scale=S] [--throttle=S]\n"
-      "                 [--wallclock] [--die=DEV:ROUND:STEP] [--verbose]\n";
+      "                 [--wallclock] [--die=DEV:ROUND:STEP]\n"
+      "                 [--sync-chunks=C] [--int8-broadcast] [--verbose]\n";
 }
 
 void report(const fl::SchemeResult& result, const std::string& csv_path) {
@@ -179,6 +183,9 @@ int main(int argc, char** argv) {
                                                : rt::TimingMode::kVirtual;
       rt_config.time_scale = args.get_double("time-scale", 0.0);
       rt_config.compute_throttle = args.get_double("throttle", 0.0);
+      rt_config.sync_chunks =
+          static_cast<std::size_t>(args.get_int("sync-chunks", 0));
+      rt_config.int8_broadcast = args.has("int8-broadcast");
       const std::string die = args.get("die", "");
       if (!die.empty()) {
         rt::FaultPlan plan;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
 #include "fl/aggregate.hpp"
@@ -8,6 +11,7 @@
 #include "fl/metrics.hpp"
 #include "fl/scheme.hpp"
 #include "nn/model_zoo.hpp"
+#include "nn/param_utils.hpp"
 
 namespace hadfl::fl {
 namespace {
@@ -71,10 +75,11 @@ TEST(LocalTrainer, ZeroStepsIsNoop) {
   nn::Sgd opt(model->parameters(), {0.05, 0.0, 0.0});
   std::vector<std::size_t> idx{0, 1, 2, 3};
   data::BatchIterator it(split.train, idx, 2, Rng(6));
-  const std::vector<float> before = nn::get_state(*model);
+  const std::span<const float> view = nn::state_view(*model);
+  const std::vector<float> before(view.begin(), view.end());
   const LocalTrainStats stats = run_local_steps(*model, opt, it, 0);
   EXPECT_EQ(stats.steps, 0u);
-  EXPECT_EQ(nn::get_state(*model), before);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), before.begin()));
 }
 
 TEST(Metrics, BestAccuracyAndTimeToBest) {

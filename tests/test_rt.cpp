@@ -266,6 +266,37 @@ TEST(BufferPool, RecyclesReleasedCapacity) {
   EXPECT_EQ(pool.pooled(), 0u);
 }
 
+TEST(BufferPool, StatsCountHitsMissesAndHighWater) {
+  BufferPool pool;
+  std::vector<float> a = pool.acquire(10);  // empty pool: miss
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().high_water, 1u);
+  std::vector<float> b = pool.acquire(5);  // recycled: hit
+  EXPECT_EQ(pool.stats().hits, 1u);
+  std::vector<float> c = pool.acquire(5);  // pool drained again: miss
+  EXPECT_EQ(pool.stats().misses, 2u);
+  pool.release(std::move(b));
+  pool.release(std::move(c));
+  EXPECT_EQ(pool.stats().high_water, 2u);
+}
+
+TEST(InprocTransport, KillRecyclesQueuedPayloadsToPool) {
+  // A message queued for a device that dies must return its payload buffer
+  // to the pool (the abort path recycles, it doesn't leak).
+  InprocTransport t(2, fast_net());
+  Message m;
+  m.src = 0;
+  m.tag = make_tag(MsgKind::kData, 1, 0);
+  m.payload = t.pool().acquire(8);
+  auto pending = t.isend(0, 1, std::move(m));
+  EXPECT_EQ(t.pool().pooled(), 0u);
+  t.kill(1);
+  EXPECT_EQ(t.pool().pooled(), 1u);
+  EXPECT_THROW(pending->wait(0.1, 0, 1), CommError);
+}
+
 // ------------------------------------------------------------ Collectives
 
 TEST(RtCollectives, AllGatherReturnsContributionsInRingOrder) {
@@ -326,6 +357,142 @@ TEST(RtCollectives, DeadNeighbourFailsTheStep) {
   t.kill(1);
   const std::vector<float> local{1.0f};
   EXPECT_THROW(ring_allgather(t, ring, 0, local, 1, 0, 0.1), CommError);
+}
+
+// ------------------------------------------- Pipelined weighted aggregate
+
+TEST(RtCollectives, ResolveChunkCountClampsToStateAndTagRange) {
+  EXPECT_EQ(resolve_chunk_count(0, 1000), kDefaultSyncChunks);
+  EXPECT_EQ(resolve_chunk_count(0, 5), 5u);    // never an empty chunk
+  EXPECT_EQ(resolve_chunk_count(7, 1000), 7u);
+  EXPECT_EQ(resolve_chunk_count(100, 3), 3u);
+  EXPECT_EQ(resolve_chunk_count(3, 0), 1u);
+  EXPECT_EQ(resolve_chunk_count(100000, 1000000), 4096u);  // 15-bit tag field
+}
+
+TEST(RtCollectives, ChunkWireBytesTelescopesToTheFullPrice) {
+  const std::size_t wire = 1000;
+  const std::size_t n = 7;
+  for (std::size_t chunks : {1u, 2u, 3u, 7u}) {
+    std::size_t sum = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [b, e] = chunk_range(n, chunks, c);
+      sum += chunk_wire_bytes(wire, n, b, e);
+    }
+    EXPECT_EQ(sum, wire) << chunks << " chunks";
+  }
+  EXPECT_EQ(chunk_wire_bytes(0, 7, 0, 3), 0u);     // dense payload pricing
+  EXPECT_EQ(chunk_wire_bytes(2, 1000, 10, 11), 1u);  // non-empty floors at 1
+  EXPECT_EQ(chunk_wire_bytes(1000, 7, 3, 3), 0u);  // empty chunk is free
+}
+
+// The tentpole property: for any ring size and chunk count, every member's
+// pipelined aggregate is bit-for-bit the monolithic ring-order fold of the
+// same contributions — the invariant that keeps the sim/rt equivalence pin
+// green regardless of RtConfig::sync_chunks.
+TEST(RtCollectives, WeightedAggregateMatchesMonolithicFoldBitExact) {
+  std::int64_t cid = 100;
+  for (const std::size_t k : {2u, 3u, 4u, 8u}) {
+    for (const std::size_t chunks : {1u, 2u, 7u, 16u}) {
+      const std::size_t n = 37;  // odd: uneven chunk boundaries everywhere
+      std::vector<DeviceId> ring(k);
+      for (std::size_t i = 0; i < k; ++i) ring[i] = (i * 5) % k;  // shuffled
+      std::vector<std::vector<float>> data(k, std::vector<float>(n));
+      std::vector<double> weights(k);
+      double wsum = 0.0;
+      for (std::size_t m = 0; m < k; ++m) {
+        wsum += static_cast<double>(m + 1);
+        for (std::size_t j = 0; j < n; ++j) {
+          data[m][j] =
+              static_cast<float>(((m + 1) * 37 + j * 11) % 97) / 13.0f - 3.0f;
+        }
+      }
+      for (std::size_t m = 0; m < k; ++m) {
+        weights[m] = static_cast<double>(m + 1) / wsum;
+      }
+
+      // Reference: the monolithic fold, member by member in ring order.
+      core::WeightedRingFold ref_fold;
+      ref_fold.reset(n);
+      for (std::size_t m = 0; m < k; ++m) {
+        ref_fold.add(0, data[m], weights[m]);
+      }
+      std::vector<float> expected(n);
+      ref_fold.write(0, expected);
+
+      const std::size_t wire = n * sizeof(float);
+      InprocTransport t(k, fast_net());
+      std::vector<std::vector<float>> outs(k);
+      std::vector<std::thread> members;
+      for (std::size_t i = 0; i < k; ++i) {
+        members.emplace_back([&, i] {
+          core::WeightedRingFold fold;
+          ring_weighted_aggregate(t, ring, i, data[i], weights, fold, outs[i],
+                                  cid, wire, /*step_timeout_s=*/5.0, chunks);
+        });
+      }
+      for (auto& th : members) th.join();
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(outs[i].size(), n) << "k=" << k << " chunks=" << chunks;
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(outs[i][j], expected[j])
+              << "k=" << k << " chunks=" << chunks << " member " << i
+              << " elem " << j;
+        }
+      }
+      // Acceptance bound: each member moves at most 2*M on the wire
+      // (2*(k-1)/k*M exactly, + <= 1 byte per chunk from the price floor).
+      const comm::VolumeCounters vol = t.volume();
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_LE(vol.sent[ring[i]], 2 * wire + chunks)
+            << "k=" << k << " chunks=" << chunks << " member " << i;
+      }
+      ++cid;
+    }
+  }
+}
+
+TEST(RtCollectives, WeightedAggregateSingleMemberIsLocalFold) {
+  InprocTransport t(1, fast_net());
+  const std::vector<float> local{2.0f, -4.0f, 6.0f};
+  core::WeightedRingFold fold;
+  std::vector<float> out;
+  ring_weighted_aggregate(t, {0}, 0, local, {0.5}, fold, out, 1, 0, 1.0, 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], -2.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+}
+
+TEST(RtCollectives, MidPipelineDeathAbortsSurvivorsWithoutMixedState) {
+  // Member 1 dies before participating: the survivors' collectives must
+  // throw (two-phase abort — the caller never applies a partial result) and
+  // their local states must be untouched, because the collective only ever
+  // writes the separate `out` buffer.
+  const std::vector<DeviceId> ring{0, 1, 2};
+  InprocTransport t(3, fast_net());
+  t.kill(1);
+  const std::vector<double> weights{0.25, 0.25, 0.5};
+  std::vector<std::vector<float>> data(3, std::vector<float>(9, 1.5f));
+  const std::vector<float> snapshot = data[0];
+  std::atomic<int> failures{0};
+  std::vector<std::thread> members;
+  for (const std::size_t i : {0u, 2u}) {
+    members.emplace_back([&, i] {
+      core::WeightedRingFold fold;
+      std::vector<float> out;
+      try {
+        ring_weighted_aggregate(t, ring, i, data[i], weights, fold, out,
+                                /*collective_id=*/7, 0, /*step_timeout_s=*/0.3,
+                                /*chunks=*/4);
+      } catch (const CommError&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : members) th.join();
+  EXPECT_EQ(failures.load(), 2);
+  EXPECT_EQ(data[0], snapshot);  // no partial writes into the local state
 }
 
 // ------------------------------------------------- Heartbeats and repair
@@ -446,6 +613,11 @@ TEST(RtRunner, RunsHadflOnRealThreads) {
   // Strategy was negotiated from the specs like the simulator's.
   EXPECT_EQ(r.extras.strategy.local_steps[0],
             3 * r.extras.strategy.local_steps[2]);
+  // Steady-state rounds recycle payload buffers instead of allocating.
+  EXPECT_GT(r.pool_stats.hits, 0u);
+  EXPECT_GT(r.pool_stats.high_water, 0u);
+  EXPECT_GT(r.pool_stats.misses, 0u);
+  EXPECT_LT(r.pool_stats.misses, r.pool_stats.hits);
 }
 
 TEST(RtRunner, MatchesSimulatorBitExactlyWhenSeeded) {
@@ -508,6 +680,87 @@ TEST(RtRunner, SilentDeathIsCaughtByHeartbeatAndFenced) {
   EXPECT_EQ(r.deaths_detected, 1u);
   EXPECT_GT(r.scheme.sync_rounds, 0u);
   EXPECT_FALSE(r.scheme.final_state.empty());
+}
+
+TEST(RtRunner, SurvivesCrashMidCollective) {
+  // The fault strikes *inside* the pipelined ring aggregation (after two
+  // chunk operations): the survivors' collectives abort, the coordinator
+  // repairs the ring and the retry on the repaired ring converges.
+  exp::Scenario s = rt_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  RtConfig config = fast_rt_config(s.hadfl);
+  config.hadfl.strategy.select_count = 4;  // the victim is in the ring
+  config.faults.push_back(FaultPlan{/*device=*/1, /*round=*/1,
+                                    /*after_steps=*/2, /*silent=*/false,
+                                    /*during_sync=*/true});
+  const RtResult r = run_hadfl_rt(ctx, config);
+  EXPECT_EQ(r.deaths_detected, 1u);
+  EXPECT_GE(r.extras.ring_repairs, 1u);
+  EXPECT_GT(r.scheme.sync_rounds, 1u);  // the repaired ring kept aggregating
+  EXPECT_FALSE(r.scheme.final_state.empty());
+  for (std::size_t round = 1; round < r.extras.selected.size(); ++round) {
+    const auto& ring = r.extras.selected[round];
+    EXPECT_TRUE(std::find(ring.begin(), ring.end(), 1u) == ring.end())
+        << "round " << round;
+  }
+  // The abort path recycled its buffers instead of leaking them.
+  EXPECT_GT(r.pool_stats.hits, 0u);
+}
+
+TEST(RtRunner, SurvivesSilentDeathMidCollective) {
+  // Same mid-pipeline fault, but the endpoint stays open: only the missing
+  // heartbeats — kept flowing by the collective's beat slices — reveal the
+  // death, and the coordinator must fence the device before retrying.
+  exp::Scenario s = rt_scenario();
+  s.train.total_epochs = 6;
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  RtConfig config = fast_rt_config(s.hadfl);
+  config.hadfl.strategy.select_count = 4;
+  config.heartbeat_timeout_s = 0.3 * kTimingSlack;
+  config.faults.push_back(FaultPlan{/*device=*/2, /*round=*/1,
+                                    /*after_steps=*/1, /*silent=*/true,
+                                    /*during_sync=*/true});
+  const RtResult r = run_hadfl_rt(ctx, config);
+  EXPECT_EQ(r.deaths_detected, 1u);
+  EXPECT_GT(r.scheme.sync_rounds, 0u);
+  EXPECT_FALSE(r.scheme.final_state.empty());
+}
+
+TEST(RtRunner, ChunkCountDoesNotChangeTheAggregate) {
+  // sync_chunks is a wall-time knob, not a numerics knob: runs that differ
+  // only in chunk count end with bit-identical models.
+  exp::Scenario s = rt_scenario();
+  s.train.total_epochs = 6;
+  exp::Environment env(s);
+  fl::SchemeContext ctx_a = env.context();
+  RtConfig config_a = fast_rt_config(s.hadfl);
+  config_a.sync_chunks = 1;  // monolithic
+  const RtResult a = run_hadfl_rt(ctx_a, config_a);
+  fl::SchemeContext ctx_b = env.context();
+  RtConfig config_b = fast_rt_config(s.hadfl);
+  config_b.sync_chunks = 5;  // uneven pipeline
+  const RtResult b = run_hadfl_rt(ctx_b, config_b);
+  ASSERT_EQ(a.scheme.final_state.size(), b.scheme.final_state.size());
+  for (std::size_t i = 0; i < a.scheme.final_state.size(); ++i) {
+    ASSERT_EQ(a.scheme.final_state[i], b.scheme.final_state[i])
+        << "parameter " << i;
+  }
+}
+
+TEST(RtRunner, Int8BroadcastShrinksWireVolumeAndStillLearns) {
+  exp::Scenario s = rt_scenario();
+  s.train.total_epochs = 6;
+  exp::Environment env(s);
+  fl::SchemeContext ctx_a = env.context();
+  const RtResult dense = run_hadfl_rt(ctx_a, fast_rt_config(s.hadfl));
+  fl::SchemeContext ctx_b = env.context();
+  RtConfig config = fast_rt_config(s.hadfl);
+  config.int8_broadcast = true;
+  const RtResult int8 = run_hadfl_rt(ctx_b, config);
+  EXPECT_LT(int8.scheme.volume.total_sent(), dense.scheme.volume.total_sent());
+  EXPECT_GT(int8.scheme.metrics.best_accuracy(), 0.4);
 }
 
 }  // namespace
