@@ -263,6 +263,23 @@ void BM_HadflRtEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_HadflRtEndToEnd)->Unit(benchmark::kMillisecond);
 
+// The same end-to-end run with telemetry on: per-device span recording,
+// byte counters, latency histograms. The delta against BM_HadflRtEndToEnd
+// is the full cost of observation (acceptance target: under 2%).
+void BM_HadflRtEndToEndTelemetry(benchmark::State& state) {
+  exp::Scenario s = smoke_scenario();
+  for (auto _ : state) {
+    exp::Environment env(s);
+    fl::SchemeContext ctx = env.context();
+    rt::RtConfig config;
+    config.hadfl = s.hadfl;
+    config.command_poll_s = 0.002;
+    config.telemetry = true;
+    benchmark::DoNotOptimize(rt::run_hadfl_rt(ctx, config));
+  }
+}
+BENCHMARK(BM_HadflRtEndToEndTelemetry)->Unit(benchmark::kMillisecond);
+
 // ---- smoke mode ----------------------------------------------------------
 
 // Chunked aggregation on real threads must be bit-identical to the
@@ -350,12 +367,100 @@ int smoke_rt_matches_sim() {
   return 0;
 }
 
+// Telemetry must observe without perturbing: the instrumented run stays
+// bit-identical to the dark one, every device shows spans, the headline
+// metrics exist — and the wall-clock overhead is measured and printed.
+int smoke_telemetry_equivalence() {
+  exp::Scenario s = smoke_scenario();
+  int failures = 0;
+
+  const auto run_once = [&s](bool telemetry) {
+    exp::Environment env(s);
+    fl::SchemeContext ctx = env.context();
+    rt::RtConfig config;
+    config.hadfl = s.hadfl;
+    config.command_poll_s = 0.002;
+    config.telemetry = telemetry;
+    return rt::run_hadfl_rt(ctx, config);
+  };
+
+  // Best-of-3 each way: the runs are short, so a single scheduler hiccup
+  // would otherwise dominate the overhead estimate.
+  double dark_s = 0.0;
+  double lit_s = 0.0;
+  rt::RtResult dark;
+  rt::RtResult lit;
+  for (int rep = 0; rep < 3; ++rep) {
+    rt::RtResult d = run_once(false);
+    rt::RtResult l = run_once(true);
+    if (rep == 0 || d.wall_seconds < dark_s) dark_s = d.wall_seconds;
+    if (rep == 0 || l.wall_seconds < lit_s) lit_s = l.wall_seconds;
+    if (rep == 0) {
+      dark = std::move(d);
+      lit = std::move(l);
+    }
+  }
+
+  const std::vector<float>& a = dark.scheme.final_state;
+  const std::vector<float>& b = lit.scheme.final_state;
+  if (a.size() != b.size() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    std::printf("FAIL telemetry-enabled rt run is not bit-identical to the "
+                "telemetry-off run\n");
+    ++failures;
+  }
+
+  const std::size_t k = s.num_devices();
+  for (std::size_t d = 0; d < k; ++d) {
+    if (lit.timeline.spans_for(d).empty()) {
+      std::printf("FAIL telemetry run recorded no spans for device %zu\n", d);
+      ++failures;
+    }
+  }
+  if (lit.spans_dropped != 0) {
+    std::printf("FAIL telemetry run dropped %llu spans\n",
+                static_cast<unsigned long long>(lit.spans_dropped));
+    ++failures;
+  }
+  for (const char* name : {"sync.latency_s", "heartbeat.silence_s"}) {
+    if (lit.metrics.find_histogram(name) == nullptr) {
+      std::printf("FAIL telemetry run missing histogram %s\n", name);
+      ++failures;
+    }
+  }
+  for (const char* name :
+       {"sync.scatter_bytes", "sync.allgather_bytes", "broadcast.bytes"}) {
+    if (lit.metrics.find_counter(name) == nullptr) {
+      std::printf("FAIL telemetry run missing counter %s\n", name);
+      ++failures;
+    }
+  }
+
+  const double overhead =
+      dark_s > 0.0 ? 100.0 * (lit_s - dark_s) / dark_s : 0.0;
+  std::printf("telemetry overhead: %.2f%% (dark %.3fs, lit %.3fs, "
+              "%zu spans)\n",
+              overhead, dark_s, lit_s, lit.timeline.spans().size());
+  // Target is < 2%; gate loosely so one noisy CI box cannot flake the
+  // build while a real hot-path regression (which shows up as tens of
+  // percent) still fails.
+  if (overhead > 25.0) {
+    std::printf("FAIL telemetry overhead %.2f%% exceeds the 25%% smoke "
+                "ceiling\n",
+                overhead);
+    ++failures;
+  }
+  return failures;
+}
+
 int run_smoke() {
   int failures = smoke_chunk_equivalence();
   failures += smoke_rt_matches_sim();
+  failures += smoke_telemetry_equivalence();
   if (failures == 0) {
     std::printf("micro_rt --smoke: chunked aggregation bit-identical to the "
-                "reference fold; rt run matches the simulator\n");
+                "reference fold; rt run matches the simulator; telemetry "
+                "observes without perturbing\n");
   }
   return failures == 0 ? 0 : 1;
 }

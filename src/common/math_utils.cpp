@@ -11,16 +11,38 @@
 
 namespace hadfl {
 
+namespace {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double quantile(std::vector<double> values, double q) {
   HADFL_CHECK_ARG(!values.empty(), "quantile of empty vector");
   HADFL_CHECK_ARG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1], got " << q);
   std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values.front();
-  const double pos = q * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted_quantile(values, q);
+}
+
+std::vector<double> quantiles(std::vector<double> values,
+                              std::span<const double> qs) {
+  HADFL_CHECK_ARG(!values.empty(), "quantiles of empty vector");
+  for (const double q : qs) {
+    HADFL_CHECK_ARG(q >= 0.0 && q <= 1.0,
+                    "quantile q must be in [0,1], got " << q);
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(sorted_quantile(values, q));
+  return out;
 }
 
 double third_quartile(const std::vector<double>& values) {

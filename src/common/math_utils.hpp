@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <utility>
 #include <vector>
@@ -15,6 +16,18 @@ namespace hadfl {
 /// Linear-interpolation quantile (same convention as numpy's default).
 /// `q` in [0, 1]. The input need not be sorted. Throws on empty input.
 double quantile(std::vector<double> values, double q);
+
+/// Several quantiles of the same data from ONE copy+sort: returns
+/// quantile(values, qs[i]) for every i, bit-identical to the per-call form
+/// (same sorted data, same interpolation). Throws on empty input or any q
+/// outside [0, 1].
+std::vector<double> quantiles(std::vector<double> values,
+                              std::span<const double> qs);
+inline std::vector<double> quantiles(std::vector<double> values,
+                                     std::initializer_list<double> qs) {
+  return quantiles(std::move(values),
+                   std::span<const double>(qs.begin(), qs.size()));
+}
 
 /// Third quartile, i.e. quantile(values, 0.75) — the μ of paper Eq. 8.
 double third_quartile(const std::vector<double>& values);

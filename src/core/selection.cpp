@@ -32,15 +32,15 @@ std::vector<double> GaussianQuartileSelection::probabilities(
   HADFL_CHECK_ARG(!versions.empty(), "probabilities of zero devices");
   // Normalize so the density's unit variance is meaningful on any version
   // scale: auto mode uses the interquartile spread (falls back to 1 when
-  // all versions coincide).
+  // all versions coincide). One sorted copy serves q1, q3 and μ — μ IS the
+  // third quartile (Eq. 8), so q3 is reused rather than re-sorting.
+  const std::vector<double> q = quantiles(versions, {0.25, 0.75});
   double scale = version_scale;
   if (scale <= 0.0) {
-    const double q1 = quantile(versions, 0.25);
-    const double q3 = quantile(versions, 0.75);
-    scale = q3 - q1;
+    scale = q[1] - q[0];
     if (scale <= 1e-12) scale = 1.0;
   }
-  const double mu = third_quartile(versions);
+  const double mu = q[1];
   std::vector<double> probs(versions.size());
   double total = 0.0;
   for (std::size_t i = 0; i < versions.size(); ++i) {

@@ -231,6 +231,18 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
         const comm::RingRepairResult repair =
             comm::repair_ring(transport, ring, config.repair);
         result.extras.ring_repairs += repair.repairs;
+        if (config.trace != nullptr) {
+          // Same vocabulary as the rt backend: each bypass shows as a
+          // kRepair span covering the §III-D wait + handshake window, drawn
+          // on the bypassed device's row (which goes silent afterwards).
+          for (const sim::DeviceId dead : repair.removed) {
+            const sim::SimTime t = cluster.time(dead);
+            config.trace->record(dead, t,
+                                 t + config.repair.wait_before_handshake +
+                                     config.repair.handshake_timeout,
+                                 sim::SpanKind::kRepair, "bypassed");
+          }
+        }
         ring = repair.ring;
         if (ring.empty()) break;
         try {

@@ -86,4 +86,33 @@ std::string render_table1(const std::vector<Table1Cell>& cells) {
   return os.str();
 }
 
+std::string render_time_breakdown(const obs::Timeline& timeline,
+                                  std::size_t num_devices) {
+  const double horizon = timeline.end_time();
+  TextTable table({"device", "compute [s]", "sync [s]", "broadcast [s]",
+                   "stall [s]", "repair [s]", "busy %"});
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    double by_kind[6] = {};
+    double busy = 0.0;
+    for (const obs::Span& s : timeline.spans_for(d)) {
+      const double len = s.end - s.start;
+      by_kind[static_cast<std::size_t>(s.kind)] += len;
+      if (s.kind != obs::SpanKind::kIdle) busy += len;
+    }
+    const auto seconds = [&](obs::SpanKind kind) {
+      return TextTable::num(by_kind[static_cast<std::size_t>(kind)], 3);
+    };
+    table.add_row({"dev" + std::to_string(d),
+                   seconds(obs::SpanKind::kCompute),
+                   seconds(obs::SpanKind::kSync),
+                   seconds(obs::SpanKind::kBroadcast),
+                   seconds(obs::SpanKind::kStall),
+                   seconds(obs::SpanKind::kRepair),
+                   horizon > 0.0
+                       ? TextTable::num(100.0 * busy / horizon, 1)
+                       : TextTable::num(0.0, 1)});
+  }
+  return table.render();
+}
+
 }  // namespace hadfl::exp

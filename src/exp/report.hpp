@@ -6,6 +6,7 @@
 
 #include "common/table.hpp"
 #include "exp/runner.hpp"
+#include "obs/span.hpp"
 
 namespace hadfl::exp {
 
@@ -42,5 +43,13 @@ Table1Cell average_cells(const std::string& name,
 /// group per cell, rows = schemes, entries = accuracy / time) plus the
 /// speedup summary lines quoted in the abstract.
 std::string render_table1(const std::vector<Table1Cell>& cells);
+
+/// Renders a per-device wall/virtual-time breakdown of a span timeline:
+/// seconds and share of the trace horizon spent per span kind (compute,
+/// sync, broadcast, stall, repair), with the uncovered remainder reported
+/// as idle — the paper's Fig. 1 "where does the time go" question as a
+/// table, for either backend's trace.
+std::string render_time_breakdown(const obs::Timeline& timeline,
+                                  std::size_t num_devices);
 
 }  // namespace hadfl::exp

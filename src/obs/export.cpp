@@ -1,0 +1,56 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hadfl::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans) {
+  std::ofstream out(path);
+  HADFL_CHECK_MSG(out.good(), "failed to open trace file " << path);
+  out << "{\"traceEvents\":[";
+  out.precision(17);
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out << ",";
+    first = false;
+    const std::string name =
+        s.label.empty() ? span_kind_name(s.kind) : s.label;
+    // Complete events; the span clock is seconds, Chrome wants µs.
+    out << "\n{\"name\":\"" << json_escape(name) << "\",\"cat\":\""
+        << span_kind_name(s.kind) << "\",\"ph\":\"X\",\"ts\":"
+        << s.start * 1e6 << ",\"dur\":" << (s.end - s.start) * 1e6
+        << ",\"pid\":0,\"tid\":" << s.device << "}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace hadfl::obs

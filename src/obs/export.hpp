@@ -1,0 +1,25 @@
+// Trace exporters.
+//
+// `write_chrome_trace` emits the Trace Event Format JSON that
+// chrome://tracing and https://ui.perfetto.dev load directly: one complete
+// ("ph":"X") event per span, timestamps in microseconds, one Perfetto
+// track per device (tid = device id). The CSV and ASCII forms live on
+// `obs::Timeline` itself (write_csv / render_timeline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace hadfl::obs {
+
+/// Writes `spans` as Chrome trace-event JSON to `path`. Throws Error on
+/// failure to open the file.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans);
+
+/// JSON string escaping for span labels (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace hadfl::obs

@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace hadfl::obs {
+
+namespace {
+
+/// Relaxed CAS loop for atomic<double> accumulation/min/max (fetch_add on
+/// floating atomics is not guaranteed everywhere we build).
+template <typename Op>
+void update_double(std::atomic<double>& target, double x, Op op) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, op(cur, x),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  HADFL_CHECK_ARG(!bounds_.empty(), "histogram needs at least one bound");
+  HADFL_CHECK_ARG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bounds must be strictly increasing");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  update_double(sum_, x, [](double a, double b) { return a + b; });
+  update_double(min_, x, [](double a, double b) { return std::min(a, b); });
+  update_double(max_, x, [](double a, double b) { return std::max(a, b); });
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  HADFL_CHECK_ARG(i <= bounds_.size(), "histogram bucket out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return count() > 0 ? v : 0.0;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return count() > 0 ? v : 0.0;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  HADFL_CHECK_ARG(start > 0.0 && factor > 1.0 && count > 0,
+                  "exponential_bounds needs start > 0, factor > 1, count > 0");
+  std::vector<double> bounds(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds[i] = b;
+    b *= factor;
+  }
+  return bounds;
+}
+
+const CounterSample* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"metric", "type", "stat", "value"});
+  for (const auto& c : counters) {
+    csv.row(std::vector<std::string>{c.name, "counter", "value",
+                                     std::to_string(c.value)});
+  }
+  for (const auto& h : histograms) {
+    const auto stat = [&](const std::string& name, const std::string& v) {
+      csv.row(std::vector<std::string>{h.name, "histogram", name, v});
+    };
+    stat("count", std::to_string(h.count));
+    stat("sum", format_double(h.sum));
+    stat("mean", format_double(h.mean()));
+    stat("min", format_double(h.min));
+    stat("max", format_double(h.max));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? "le_" + format_double(h.bounds[i]) : "le_inf";
+      stat(le, std::to_string(cumulative));
+    }
+  }
+}
+
+std::string MetricsSnapshot::render() const {
+  std::ostringstream os;
+  for (const auto& c : counters) {
+    os << c.name << ": " << c.value << "\n";
+  }
+  os.precision(6);
+  for (const auto& h : histograms) {
+    os << h.name << ": count=" << h.count << " mean=" << h.mean()
+       << " min=" << h.min << " max=" << h.max << "\n";
+  }
+  return os.str();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back(CounterSample{name, c->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.buckets.resize(s.bounds.size() + 1);
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      s.buckets[i] = h->bucket_count(i);
+    }
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace hadfl::obs

@@ -1,0 +1,126 @@
+// Thread-safe counters and fixed-bucket histograms for the rt runtime.
+//
+// Everything on the hot path is a relaxed atomic: `Counter::add` is one
+// fetch_add, `Histogram::observe` is a branchless-ish bucket walk plus a
+// handful of relaxed RMWs. Registration (name → instrument lookup) takes a
+// mutex, so callers resolve their instruments once up front and keep the
+// reference — the registry hands out stable references for its lifetime.
+// `MetricsRegistry::snapshot()` copies the current values into a plain
+// `MetricsSnapshot` that can be stored in results, rendered, or dumped to
+// CSV after the run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hadfl::obs {
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+/// an implicit +inf overflow bucket. Tracks count/sum/min/max alongside.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket `i` (i == bounds().size() is the +inf bucket).
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// `count` bucket bounds start, start*factor, start*factor^2, ... — the
+/// usual latency-histogram spacing. start > 0, factor > 1, count > 0.
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+inf last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Copied point-in-time values of every registered instrument.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+  const CounterSample* find_counter(const std::string& name) const;
+  const HistogramSample* find_histogram(const std::string& name) const;
+
+  /// Long-format CSV: metric,type,stat,value. Counters emit one `value`
+  /// row; histograms emit count/sum/mean/min/max rows plus cumulative
+  /// `le_<bound>` bucket rows (Prometheus convention, `le_inf` last).
+  void write_csv(const std::string& path) const;
+
+  /// Human-readable multi-line summary for run reports.
+  std::string render() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The reference stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it with
+  /// `upper_bounds` on first use (later calls ignore the bounds argument).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hadfl::obs

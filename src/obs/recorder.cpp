@@ -1,0 +1,73 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hadfl::obs {
+
+SpanRecorder::SpanRecorder(std::size_t tracks, std::size_t capacity_per_track)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity_per_track) {
+  HADFL_CHECK_ARG(tracks > 0, "recorder needs at least one track");
+  HADFL_CHECK_ARG(capacity_per_track > 0,
+                  "recorder track capacity must be positive");
+  tracks_.reserve(tracks);
+  for (std::size_t t = 0; t < tracks; ++t) {
+    tracks_.push_back(std::make_unique<Track>());
+    // reserve, not resize: slots are appended by the owning writer, so the
+    // data pointer must never move (drain reads it concurrently) but the
+    // elements need not be constructed up front.
+    tracks_.back()->slots.reserve(capacity_);
+  }
+}
+
+double SpanRecorder::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SpanRecorder::record(std::size_t track, double start, double end,
+                          SpanKind kind, std::string label) {
+  HADFL_CHECK_ARG(track < tracks_.size(), "recorder track out of range");
+  Track& t = *tracks_[track];
+  const std::size_t n = t.count.load(std::memory_order_relaxed);
+  if (n >= capacity_) {
+    t.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Within the reserved capacity push_back never reallocates, so the data
+  // pointer the drain side holds stays valid; `count` is published with
+  // release only after the element is fully constructed.
+  t.slots.push_back(Span{track, start, end, kind, std::move(label)});
+  t.count.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t SpanRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tracks_) {
+    total += t->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Timeline SpanRecorder::drain() const {
+  std::vector<Span> all;
+  for (const auto& t : tracks_) {
+    const std::size_t n = t->count.load(std::memory_order_acquire);
+    all.insert(all.end(), t->slots.begin(),
+               t->slots.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    return a.start < b.start;
+  });
+  Timeline out;
+  for (auto& s : all) {
+    out.record(s.device, s.start, s.end, s.kind, std::move(s.label));
+  }
+  return out;
+}
+
+}  // namespace hadfl::obs

@@ -1,0 +1,65 @@
+// Concurrent span recording for the real-time runtime.
+//
+// `SpanRecorder` holds one pre-reserved track per producer thread (one per
+// device worker plus one for the coordinator). Each track is single-writer:
+// only its owning thread calls `record` on it, so publishing a span is a
+// plain slot write followed by a release store of the count — no locks, no
+// CAS, nothing shared between producers. The drain side reads each count
+// with acquire and copies exactly the published prefix, which stays valid
+// even while straggler threads (e.g. a fenced worker finishing its last
+// command) are still appending: a full track drops new spans instead of
+// overwriting old ones, so every published slot is immutable for the rest
+// of the run. That drop-newest policy is what makes an end-of-run drain
+// race-free without joining the producers first; dropped spans are counted
+// so a truncated trace is detectable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace hadfl::obs {
+
+class SpanRecorder {
+ public:
+  /// `capacity_per_track` bounds the spans kept per producer; recording
+  /// beyond it drops (and counts) the newest spans.
+  explicit SpanRecorder(std::size_t tracks,
+                        std::size_t capacity_per_track = 1 << 14);
+
+  /// Seconds elapsed on the steady clock since this recorder was built —
+  /// the time base every recorded span uses.
+  double now_s() const;
+
+  /// Appends a span to `track`. Must only be called from the track's
+  /// owning thread (single writer per track).
+  void record(std::size_t track, double start, double end, SpanKind kind,
+              std::string label = {});
+
+  std::size_t tracks() const { return tracks_.size(); }
+
+  /// Spans rejected because their track was full.
+  std::uint64_t dropped() const;
+
+  /// Copies every published span into a Timeline (ordered by start time).
+  /// Safe to call while producers are still recording — it sees a
+  /// consistent prefix of each track.
+  Timeline drain() const;
+
+ private:
+  struct Track {
+    std::vector<Span> slots;
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+};
+
+}  // namespace hadfl::obs

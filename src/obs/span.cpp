@@ -1,11 +1,11 @@
-#include "sim/trace.hpp"
+#include "obs/span.hpp"
 
 #include <algorithm>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
 
-namespace hadfl::sim {
+namespace hadfl::obs {
 
 const char* span_kind_name(SpanKind kind) {
   switch (kind) {
@@ -14,17 +14,30 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kIdle: return "idle";
     case SpanKind::kBroadcast: return "broadcast";
     case SpanKind::kStall: return "stall";
+    case SpanKind::kRepair: return "repair";
   }
   return "?";
 }
 
-void TraceRecorder::record(DeviceId device, SimTime start, SimTime end,
-                           SpanKind kind, std::string label) {
+char span_kind_char(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute: return '#';
+    case SpanKind::kSync: return 'S';
+    case SpanKind::kBroadcast: return 'B';
+    case SpanKind::kIdle: return '.';
+    case SpanKind::kStall: return 'x';
+    case SpanKind::kRepair: return 'R';
+  }
+  return '?';
+}
+
+void Timeline::record(std::size_t device, double start, double end,
+                      SpanKind kind, std::string label) {
   HADFL_CHECK_ARG(end >= start, "span ends before it starts");
   spans_.push_back(Span{device, start, end, kind, std::move(label)});
 }
 
-std::vector<Span> TraceRecorder::spans_for(DeviceId device) const {
+std::vector<Span> Timeline::spans_for(std::size_t device) const {
   std::vector<Span> out;
   for (const auto& s : spans_) {
     if (s.device == device) out.push_back(s);
@@ -32,35 +45,28 @@ std::vector<Span> TraceRecorder::spans_for(DeviceId device) const {
   return out;
 }
 
-SimTime TraceRecorder::end_time() const {
-  SimTime t = 0.0;
+double Timeline::end_time() const {
+  double t = 0.0;
   for (const auto& s : spans_) t = std::max(t, s.end);
   return t;
 }
 
-std::string TraceRecorder::render_timeline(std::size_t num_devices,
-                                           std::size_t columns) const {
+std::string Timeline::render_timeline(std::size_t num_devices,
+                                      std::size_t columns) const {
   HADFL_CHECK_ARG(columns > 0, "timeline needs at least one column");
-  const SimTime horizon = end_time();
+  const double horizon = end_time();
   std::string out;
   for (std::size_t d = 0; d < num_devices; ++d) {
     std::string row(columns, '.');
     for (const auto& s : spans_) {
       if (s.device != d || horizon <= 0.0) continue;
-      auto col = [&](SimTime t) {
+      auto col = [&](double t) {
         return std::min<std::size_t>(
             columns - 1,
             static_cast<std::size_t>(t / horizon *
                                      static_cast<double>(columns)));
       };
-      char c = '#';
-      switch (s.kind) {
-        case SpanKind::kCompute: c = '#'; break;
-        case SpanKind::kSync: c = 'S'; break;
-        case SpanKind::kBroadcast: c = 'B'; break;
-        case SpanKind::kIdle: c = '.'; break;
-        case SpanKind::kStall: c = 'x'; break;
-      }
+      const char c = span_kind_char(s.kind);
       for (std::size_t col_i = col(s.start); col_i <= col(s.end - 1e-12) &&
                                              col_i < columns;
            ++col_i) {
@@ -72,7 +78,7 @@ std::string TraceRecorder::render_timeline(std::size_t num_devices,
   return out;
 }
 
-void TraceRecorder::write_csv(const std::string& path) const {
+void Timeline::write_csv(const std::string& path) const {
   CsvWriter csv(path, {"device", "start", "end", "kind", "label"});
   for (const auto& s : spans_) {
     csv.row(std::vector<std::string>{
@@ -81,4 +87,4 @@ void TraceRecorder::write_csv(const std::string& path) const {
   }
 }
 
-}  // namespace hadfl::sim
+}  // namespace hadfl::obs

@@ -42,6 +42,12 @@ void wait_all_sends(
   pending.clear();
 }
 
+/// What the transport will charge for this message: the explicit wire
+/// price, or the dense payload size when priced at 0 (pay-for-payload).
+std::size_t accounted_bytes(std::size_t wire_bytes, std::size_t elements) {
+  return wire_bytes != 0 ? wire_bytes : elements * sizeof(float);
+}
+
 }  // namespace
 
 std::size_t resolve_chunk_count(std::size_t requested, std::size_t n) {
@@ -93,7 +99,9 @@ void ring_weighted_aggregate(InprocTransport& transport,
                              std::vector<float>& out,
                              std::int64_t collective_id,
                              std::size_t wire_bytes, double step_timeout_s,
-                             std::size_t chunks, const BeatFn& beat) {
+                             std::size_t chunks, const BeatFn& beat,
+                             obs::Counter* scatter_bytes,
+                             obs::Counter* allgather_bytes) {
   const std::size_t k = ring.size();
   HADFL_CHECK_ARG(k > 0, "ring_weighted_aggregate on empty ring");
   HADFL_CHECK_ARG(my_index < k, "my_index out of range");
@@ -133,6 +141,9 @@ void ring_weighted_aggregate(InprocTransport& transport,
               local.begin() + static_cast<std::ptrdiff_t>(e),
               msg.payload.begin());
     msg.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
+    if (scatter_bytes != nullptr) {
+      scatter_bytes->add(accounted_bytes(msg.wire_bytes, e - b));
+    }
     pending.emplace_back(transport.isend(self, ring[owner], std::move(msg)),
                          ring[owner]);
   }
@@ -172,6 +183,9 @@ void ring_weighted_aggregate(InprocTransport& transport,
               out.begin() + static_cast<std::ptrdiff_t>(e),
               msg.payload.begin());
     msg.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
+    if (allgather_bytes != nullptr) {
+      allgather_bytes->add(accounted_bytes(msg.wire_bytes, e - b));
+    }
     pending.emplace_back(transport.isend(self, next, std::move(msg)), next);
     if (beat) beat();
   }
@@ -196,6 +210,9 @@ void ring_weighted_aggregate(InprocTransport& transport,
         fwd.tag = in.tag;
         fwd.payload = std::move(in.payload);
         fwd.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
+        if (allgather_bytes != nullptr) {
+          allgather_bytes->add(accounted_bytes(fwd.wire_bytes, e - b));
+        }
         pending.emplace_back(transport.isend(self, next, std::move(fwd)),
                              next);
       } else {

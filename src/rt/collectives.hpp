@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/round_logic.hpp"
+#include "obs/metrics.hpp"
 #include "rt/transport.hpp"
 
 namespace hadfl::rt {
@@ -97,6 +98,11 @@ Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
 /// default. Throws CommError if a member dies or a step exceeds
 /// `step_timeout_s` — the caller aborts, purges and retries on the repaired
 /// ring under a fresh collective id.
+///
+/// Telemetry: `scatter_bytes` / `allgather_bytes`, when set, accumulate the
+/// wire bytes this member pushed in phase 1 (chunk scatter to owners) and
+/// phase 2 (folded-chunk circulation) respectively — the per-collective-
+/// phase traffic split. Thread-safe; ring members may share one counter.
 void ring_weighted_aggregate(InprocTransport& transport,
                              const std::vector<DeviceId>& ring,
                              std::size_t my_index,
@@ -107,7 +113,9 @@ void ring_weighted_aggregate(InprocTransport& transport,
                              std::int64_t collective_id,
                              std::size_t wire_bytes, double step_timeout_s,
                              std::size_t chunks = 0,
-                             const BeatFn& beat = {});
+                             const BeatFn& beat = {},
+                             obs::Counter* scatter_bytes = nullptr,
+                             obs::Counter* allgather_bytes = nullptr);
 
 /// All-gathers the members' `local` states around the directed ring.
 /// Returns the contributions indexed in ring order (result[i] came from

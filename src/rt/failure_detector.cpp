@@ -1,11 +1,19 @@
 #include "rt/failure_detector.hpp"
 
 #include <thread>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace hadfl::rt {
+
+// Heartbeat staleness must be immune to wall-clock steps: if the Clock
+// alias ever regressed to system_clock, one NTP adjustment would age every
+// slot at once and mass-suspect live devices.
+static_assert(std::is_same_v<Clock, std::chrono::steady_clock> &&
+                  Clock::is_steady,
+              "FailureDetector timing requires std::chrono::steady_clock");
 
 namespace {
 
@@ -43,7 +51,16 @@ void FailureDetector::check_device(DeviceId id) const {
 
 void FailureDetector::beat(DeviceId id) {
   check_device(id);
-  slots_[id]->last_beat_ns.store(now_ns(), std::memory_order_release);
+  const std::int64_t now = now_ns();
+  if (silence_ != nullptr) {
+    // Loading our own slot is race-free for the gap's purpose: the owning
+    // worker is the only frequent writer, and a racing coordinator read
+    // never writes.
+    const std::int64_t last =
+        slots_[id]->last_beat_ns.load(std::memory_order_relaxed);
+    silence_->observe(static_cast<double>(now - last) / 1e9);
+  }
+  slots_[id]->last_beat_ns.store(now, std::memory_order_release);
 }
 
 void FailureDetector::mark_dead(DeviceId id) {
@@ -72,7 +89,9 @@ std::vector<DeviceId> FailureDetector::suspects() const {
 RtRingRepairResult repair_ring(InprocTransport& transport,
                                const FailureDetector& detector,
                                const std::vector<DeviceId>& ring,
-                               const RtRingRepairConfig& config) {
+                               const RtRingRepairConfig& config,
+                               obs::SpanRecorder* spans,
+                               std::size_t span_track) {
   HADFL_CHECK_ARG(!ring.empty(), "repair_ring on empty ring");
 
   RtRingRepairResult result;
@@ -93,19 +112,25 @@ RtRingRepairResult repair_ring(InprocTransport& transport,
         continue;
       }
       // Downstream waits the pre-specified time, then handshakes.
+      const double t0 = spans != nullptr ? spans->now_s() : 0.0;
       sleep_s(config.wait_before_handshake_s);
       const bool alive = transport.handshake(downstream, candidate,
                                              config.handshake_timeout_s);
       if (alive) continue;  // transient: came back within the window
-      // Warn the dead device's upstream, which bypasses it.
+      // Warn the dead device's upstream, which bypasses it. The warn is
+      // recorded only when the push actually went out: a 2-member ring
+      // (the survivor IS the upstream), a dead neighbour, or the upstream
+      // dying under the push all repair without a warning.
       const DeviceId upstream =
           result.ring[(i + result.ring.size() - 1) % result.ring.size()];
+      bool warned = false;
       if (upstream != downstream && transport.alive(upstream) &&
           transport.alive(downstream)) {
         Message warn;
         warn.tag = make_tag(MsgKind::kWarn, candidate);
         try {
           transport.send_nonblocking(downstream, upstream, std::move(warn));
+          warned = true;
         } catch (const CommError&) {
           // The upstream died between the check and the push; the next
           // sweep of the loop will bypass it too.
@@ -114,7 +139,11 @@ RtRingRepairResult repair_ring(InprocTransport& transport,
       HADFL_INFO("rt ring repair: dev" << candidate << " bypassed (upstream dev"
                                        << upstream << " -> dev" << downstream
                                        << ")");
-      result.warns.emplace_back(upstream, downstream);
+      if (spans != nullptr) {
+        spans->record(span_track, t0, spans->now_s(), obs::SpanKind::kRepair,
+                      "repair dev" + std::to_string(candidate));
+      }
+      if (warned) result.warns.emplace_back(upstream, downstream);
       result.removed.push_back(candidate);
       result.ring.erase(result.ring.begin() + static_cast<std::ptrdiff_t>(i));
       ++result.repairs;

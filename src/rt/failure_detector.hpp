@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "rt/transport.hpp"
 
 namespace hadfl::rt {
@@ -53,6 +55,11 @@ class FailureDetector {
 
   const HeartbeatConfig& config() const { return config_; }
 
+  /// Telemetry hook: when set, every `beat` records the silence gap it
+  /// closes (seconds since the device's previous beat) into `h`. Attach
+  /// before any worker thread starts beating; detach is not supported.
+  void attach_silence_histogram(obs::Histogram* h) { silence_ = h; }
+
  private:
   struct Slot {
     std::atomic<std::int64_t> last_beat_ns{0};
@@ -64,6 +71,7 @@ class FailureDetector {
 
   std::vector<std::unique_ptr<Slot>> slots_;
   HeartbeatConfig config_;
+  obs::Histogram* silence_ = nullptr;
 };
 
 struct RtRingRepairConfig {
@@ -75,7 +83,11 @@ struct RtRingRepairResult {
   std::vector<DeviceId> ring;     ///< surviving members in ring order
   std::vector<DeviceId> removed;  ///< bypassed (dead) members
   std::size_t repairs = 0;        ///< number of bypass operations
-  /// (warned upstream, downstream it should now talk to) per repair.
+  /// (warned upstream, downstream it should now talk to), one entry per
+  /// kWarn push that actually went out. A repair contributes no entry when
+  /// no warning was sendable: a 2-member ring (upstream == downstream, the
+  /// survivor needs no warning), a dead upstream or downstream, or the
+  /// upstream dying between the liveness check and the push.
   std::vector<std::pair<DeviceId, DeviceId>> warns;
 };
 
@@ -84,9 +96,16 @@ struct RtRingRepairResult {
 /// death is confirmed by a wall-clock handshake, and the bypass warning is a
 /// kWarn push on the upstream link. Iterates until the ring is stable, so
 /// runs of consecutive dead devices are chained out one by one.
+///
+/// Telemetry: with `spans` set, each bypass records a kRepair span on
+/// `span_track` (the caller's — normally the coordinator's — track; the
+/// repair protocol runs on the calling thread, and worker tracks are
+/// single-writer).
 RtRingRepairResult repair_ring(InprocTransport& transport,
                                const FailureDetector& detector,
                                const std::vector<DeviceId>& ring,
-                               const RtRingRepairConfig& config = {});
+                               const RtRingRepairConfig& config = {},
+                               obs::SpanRecorder* spans = nullptr,
+                               std::size_t span_track = 0);
 
 }  // namespace hadfl::rt

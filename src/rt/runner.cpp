@@ -157,6 +157,41 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   }
   Mailbox<Report> reports;
 
+  // ---- Telemetry (optional). Span tracks are single-writer: device d
+  // records on track d from its own worker thread, the coordinator (ring
+  // repairs) on track k. Workers reach the instruments through captured
+  // pointers; with telemetry off every site reduces to one null test, so
+  // the dark path stays effectively free and, either way, the training
+  // math — and thus the seeded sim/rt equivalence — is untouched.
+  std::unique_ptr<obs::SpanRecorder> span_recorder;
+  std::unique_ptr<obs::MetricsRegistry> metrics_registry;
+  obs::SpanRecorder* rec = nullptr;
+  obs::Counter* scatter_bytes = nullptr;
+  obs::Counter* allgather_bytes = nullptr;
+  obs::Counter* broadcast_bytes = nullptr;
+  obs::Histogram* sync_latency = nullptr;
+  obs::Histogram* abort_latency = nullptr;
+  obs::Histogram* selection_prob = nullptr;
+  if (config.telemetry) {
+    span_recorder = std::make_unique<obs::SpanRecorder>(
+        k + 1, config.telemetry_span_capacity);
+    rec = span_recorder.get();
+    metrics_registry = std::make_unique<obs::MetricsRegistry>();
+    scatter_bytes = &metrics_registry->counter("sync.scatter_bytes");
+    allgather_bytes = &metrics_registry->counter("sync.allgather_bytes");
+    broadcast_bytes = &metrics_registry->counter("broadcast.bytes");
+    sync_latency = &metrics_registry->histogram(
+        "sync.latency_s", obs::exponential_bounds(1e-4, 2.0, 18));
+    abort_latency = &metrics_registry->histogram(
+        "sync.abort_latency_s", obs::exponential_bounds(1e-4, 2.0, 18));
+    selection_prob = &metrics_registry->histogram(
+        "selection.probability",
+        {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0});
+    detector.attach_silence_histogram(&metrics_registry->histogram(
+        "heartbeat.silence_s", obs::exponential_bounds(1e-4, 2.0, 16)));
+  }
+  const std::size_t coord_track = k;
+
   RtResult result;
   result.scheme.scheme_name = "hadfl-rt";
 
@@ -202,6 +237,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
       switch (cmd->kind) {
         case CmdKind::kWarmup: {
           dev.optimizer->set_learning_rate(cmd->learning_rate);
+          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
           const Clock::time_point t0 = Clock::now();
           double loss_sum = 0.0;
           std::size_t done = 0;
@@ -218,6 +254,10 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           }
           dev.last_loss =
               done > 0 ? loss_sum / static_cast<double>(done) : 0.0;
+          if (rec != nullptr) {
+            rec->record(d, ts0, rec->now_s(), obs::SpanKind::kCompute,
+                        "warmup");
+          }
           Report r;
           r.kind = ReportKind::kWarmupDone;
           r.loss = dev.last_loss;
@@ -234,6 +274,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         }
         case CmdKind::kTrain: {
           dev.optimizer->set_learning_rate(cmd->learning_rate);
+          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
           const Clock::time_point t0 = Clock::now();
           double loss_sum = 0.0;
           std::size_t executed = 0;
@@ -268,6 +309,10 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           if (executed > 0) {
             dev.last_loss = loss_sum / static_cast<double>(executed);
           }
+          if (rec != nullptr) {
+            rec->record(d, ts0, rec->now_s(), obs::SpanKind::kCompute,
+                        "train");
+          }
           if (died) {
             // Injected crash: no report, no further beats. Closing the
             // endpoint models the OS tearing down a dead process's
@@ -284,6 +329,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           break;
         }
         case CmdKind::kSync: {
+          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
           Report r;
           r.kind = ReportKind::kSyncDone;
           // The beat hook keeps the heartbeat fresh through every blocking
@@ -318,7 +364,8 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
                                     dev.scratch, cmd->weights, sync_fold,
                                     pending_aggregate, cmd->collective_id,
                                     eff, config.collective_timeout_s,
-                                    cmd->chunks, sync_beat);
+                                    cmd->chunks, sync_beat, scatter_bytes,
+                                    allgather_bytes);
             if (cmd->my_index == 0) r.aggregate = pending_aggregate;
           } catch (const CommError& e) {
             HADFL_DEBUG("dev" << d << " sync failed: " << e.what());
@@ -327,6 +374,13 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           } catch (const InjectedDeath&) {
             // Like the kTrain crash: no report, no further beats.
             return;
+          }
+          if (rec != nullptr) {
+            // A failed attempt shows as a stall: time burned on a
+            // collective that aborted and will retry on a repaired ring.
+            rec->record(d, ts0, rec->now_s(),
+                        r.ok ? obs::SpanKind::kSync : obs::SpanKind::kStall,
+                        r.ok ? "sync" : "sync-abort");
           }
           report(std::move(r));
           break;
@@ -357,6 +411,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           // fire-and-forget, the coordinator never waits on this command,
           // and the next kTrain is already queued behind it — the
           // broadcaster is back to training while the chunks drain.
+          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
           Report r;
           r.kind = ReportKind::kBroadcastDone;
           const std::size_t n = dev.last_sync_state.size();
@@ -382,6 +437,11 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
                   std::copy(chunk.begin(), chunk.end(), msg.payload.begin());
                 }
                 msg.wire_bytes = share;
+                if (broadcast_bytes != nullptr) {
+                  broadcast_bytes->add(
+                      share != 0 ? share
+                                 : msg.payload.size() * sizeof(float));
+                }
                 transport.send_nonblocking(d, target, std::move(msg));
                 detector.beat(d);
               }
@@ -392,10 +452,15 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
               // pointless; move on to the next one.
             }
           }
+          if (rec != nullptr) {
+            rec->record(d, ts0, rec->now_s(), obs::SpanKind::kBroadcast,
+                        "broadcast");
+          }
           report(std::move(r));
           break;
         }
         case CmdKind::kIntegrate: {
+          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
           Report r;
           r.kind = ReportKind::kIntegrateDone;
           const std::size_t n = nn::state_size(*dev.model);
@@ -449,6 +514,12 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
             // so far stay — each is a valid elementwise convex step; the
             // version/reference updates are withheld.
             r.ok = false;
+          }
+          if (rec != nullptr) {
+            rec->record(d, ts0, rec->now_s(),
+                        r.ok ? obs::SpanKind::kBroadcast
+                             : obs::SpanKind::kStall,
+                        r.ok ? "integrate" : "integrate-abort");
           }
           report(std::move(r));
           break;
@@ -717,6 +788,20 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
       if (available_at_start[d]) candidates.push_back(d);
     }
     if (!candidates.empty()) {
+      // Snapshot the Eq. 8 selection probabilities this round's draw sees.
+      // Read-only: probabilities() consumes no RNG, so the seeded draw
+      // stream — and the sim/rt equivalence — is unchanged.
+      if (selection_prob != nullptr &&
+          dynamic_cast<core::GaussianQuartileSelection*>(policy.get()) !=
+              nullptr) {
+        std::vector<double> cand_versions;
+        cand_versions.reserve(candidates.size());
+        for (DeviceId d : candidates) cand_versions.push_back(predicted[d]);
+        for (const double p :
+             core::GaussianQuartileSelection::probabilities(cand_versions)) {
+          selection_prob->observe(p);
+        }
+      }
       core::RingPlan plan = core::plan_ring(
           *policy, candidates, predicted, setup.compute_powers,
           bandwidth_scales, config.hadfl.strategy.select_count, rng);
@@ -726,8 +811,9 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
       double version_mean = 0.0;
       for (int attempt = 0; attempt < kMaxSyncAttempts && !ring.empty();
            ++attempt) {
-        const RtRingRepairResult repair =
-            repair_ring(transport, detector, ring, config.repair);
+        const double att0 = rec != nullptr ? rec->now_s() : 0.0;
+        const RtRingRepairResult repair = repair_ring(
+            transport, detector, ring, config.repair, rec, coord_track);
         result.extras.ring_repairs += repair.repairs;
         for (DeviceId d : repair.removed) fence(d);
         ring = repair.ring;
@@ -785,6 +871,11 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
           const auto creps = collect(committed, ReportKind::kCommitDone,
                                      /*use_detector=*/false, 30.0);
           for (const auto& [d, r] : creps) sh_version[d] = r.version;
+          // Successful-attempt latency: repair sweep → posted collective →
+          // every member folded, reported and committed.
+          if (sync_latency != nullptr) {
+            sync_latency->observe(rec->now_s() - att0);
+          }
           break;
         }
         // Abort the survivors, purge stale collective traffic, repair and
@@ -801,6 +892,11 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         }
         collect(aborted, ReportKind::kAck, /*use_detector=*/false,
                 sync_deadline(ring.size()));
+        // Abort latency: how long a doomed attempt held the ring before
+        // every survivor acknowledged the abort.
+        if (abort_latency != nullptr) {
+          abort_latency->observe(rec->now_s() - att0);
+        }
       }
 
       if (!ring.empty() && !aggregate.empty()) {
@@ -915,6 +1011,25 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   result.extras.model_backups = model_manager.backups_written();
   result.scheme.volume = transport.volume();
   result.pool_stats = transport.pool().stats();
+  if (metrics_registry != nullptr) {
+    metrics_registry->counter("rt.deaths_detected")
+        .add(result.deaths_detected);
+    metrics_registry->counter("rt.ring_repairs")
+        .add(result.extras.ring_repairs);
+    metrics_registry->counter("buffer_pool.hits").add(result.pool_stats.hits);
+    metrics_registry->counter("buffer_pool.misses")
+        .add(result.pool_stats.misses);
+    metrics_registry->counter("buffer_pool.high_water")
+        .add(result.pool_stats.high_water);
+    result.metrics = metrics_registry->snapshot();
+  }
+  if (span_recorder != nullptr) {
+    // Draining now (before the pool joins) is safe: tracks drop-append, so
+    // a fenced worker still finishing its last command can only add spans
+    // past the published prefix this drain reads.
+    result.spans_dropped = span_recorder->dropped();
+    result.timeline = span_recorder->drain();
+  }
   if (model_manager.has_model()) {
     result.scheme.final_state = model_manager.latest();
   } else {

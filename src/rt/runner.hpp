@@ -33,6 +33,9 @@
 
 #include "core/trainer.hpp"
 #include "fl/scheme.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/span.hpp"
 #include "rt/failure_detector.hpp"
 
 namespace hadfl::rt {
@@ -77,6 +80,17 @@ struct RtConfig {
   bool int8_broadcast = false;
   RtRingRepairConfig repair;         ///< wall-clock §III-D repair timing
   std::vector<FaultPlan> faults;
+  /// Telemetry (src/obs/): record per-device wall-clock spans
+  /// (compute/sync/broadcast/stall/repair) and runtime metrics (latency
+  /// histograms, per-phase wire bytes, heartbeat gaps, pool counters),
+  /// surfaced in RtResult::timeline / RtResult::metrics and exportable via
+  /// obs/export.hpp. Off by default; when off each instrumentation site
+  /// costs a single null-pointer test, and either way the training math is
+  /// untouched — a seeded telemetry run is bit-identical to a dark one.
+  bool telemetry = false;
+  /// Per-thread span capacity when telemetry is on; spans beyond it are
+  /// dropped and counted (RtResult::spans_dropped), never overwritten.
+  std::size_t telemetry_span_capacity = 1 << 14;
 };
 
 struct RtResult {
@@ -90,6 +104,14 @@ struct RtResult {
   /// misses plateau after the first round when every path releases its
   /// buffers; a growing miss count flags a leak.
   BufferPool::Stats pool_stats;
+  /// Wall-clock span timeline (telemetry runs only; empty otherwise).
+  /// Device d's spans carry device == d; the coordinator's (ring repairs)
+  /// carry device == cluster size.
+  obs::Timeline timeline;
+  /// Snapshot of the run's counters and histograms (telemetry runs only).
+  obs::MetricsSnapshot metrics;
+  /// Spans lost to a full track (telemetry runs only; 0 = complete trace).
+  std::uint64_t spans_dropped = 0;
 };
 
 /// Runs HADFL end-to-end on one thread per device. Flat topology only

@@ -1,49 +1,24 @@
 // Execution trace recording and ASCII timeline rendering.
 //
-// Used by the Fig. 1 reproduction to draw per-device compute/sync activity
-// over virtual time, and by tests to assert scheduling behaviour.
+// The simulator's trace is the shared obs span model (src/obs/span.hpp):
+// `sim::TraceRecorder` is `obs::Timeline`, so the simulator and the rt
+// runtime emit the same compute/sync/broadcast/idle/stall/repair
+// vocabulary and every exporter (obs/export.hpp: Chrome trace JSON, CSV,
+// ASCII Gantt) applies to both. Used by the Fig. 1 reproduction to draw
+// per-device compute/sync activity over virtual time, and by tests to
+// assert scheduling behaviour.
 #pragma once
 
-#include <string>
-#include <vector>
-
+#include "obs/span.hpp"
 #include "sim/device.hpp"
 #include "sim/time.hpp"
 
 namespace hadfl::sim {
 
-enum class SpanKind { kCompute, kSync, kIdle, kBroadcast, kStall };
-
-const char* span_kind_name(SpanKind kind);
-
-struct Span {
-  DeviceId device = 0;
-  SimTime start = 0.0;
-  SimTime end = 0.0;
-  SpanKind kind = SpanKind::kCompute;
-  std::string label;
-};
-
-class TraceRecorder {
- public:
-  void record(DeviceId device, SimTime start, SimTime end, SpanKind kind,
-              std::string label = {});
-
-  const std::vector<Span>& spans() const { return spans_; }
-  std::vector<Span> spans_for(DeviceId device) const;
-  SimTime end_time() const;
-
-  /// Renders an ASCII Gantt chart: one row per device, `columns` characters
-  /// wide, compute = '#', sync = 'S', broadcast = 'B', idle = '.',
-  /// stall = 'x'.
-  std::string render_timeline(std::size_t num_devices,
-                              std::size_t columns = 80) const;
-
-  /// CSV dump (device, start, end, kind, label).
-  void write_csv(const std::string& path) const;
-
- private:
-  std::vector<Span> spans_;
-};
+using SpanKind = obs::SpanKind;
+using Span = obs::Span;
+using TraceRecorder = obs::Timeline;
+using obs::span_kind_char;
+using obs::span_kind_name;
 
 }  // namespace hadfl::sim

@@ -35,6 +35,10 @@
 //   --network=pcie|wan                                 [pcie]
 //   --jitter=<float>        compute jitter sigma       [0]
 //   --csv=<path>            write the convergence series
+//   --trace-out=<path>      write a Chrome/Perfetto trace of the run
+//                           (hadfl scheme; sim and rt backends) and print
+//                           the per-device time breakdown
+//   --metrics-out=<path>    rt: write the telemetry counters/histograms CSV
 //   --verbose               info-level logging
 #include <cstdio>
 #include <iostream>
@@ -44,6 +48,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/trainer.hpp"
+#include "obs/export.hpp"
 #include "rt/runner.hpp"
 #include "data/partition.hpp"
 #include "exp/report.hpp"
@@ -57,7 +62,7 @@ const std::vector<std::string> kKnownOptions{
     "np",     "tsync", "policy", "mix",        "group-size",
     "partition", "network", "jitter", "csv",   "verbose", "help",
     "backend", "time-scale", "throttle", "wallclock", "die",
-    "sync-chunks", "int8-broadcast"};
+    "sync-chunks", "int8-broadcast", "trace-out", "metrics-out"};
 
 nn::Architecture parse_model(const std::string& name) {
   if (name == "mlp") return nn::Architecture::kMlp;
@@ -93,7 +98,8 @@ void print_usage() {
       "                 [--network=pcie|wan] [--jitter=S] [--csv=PATH]\n"
       "                 [--backend=sim|rt] [--time-scale=S] [--throttle=S]\n"
       "                 [--wallclock] [--die=DEV:ROUND:STEP]\n"
-      "                 [--sync-chunks=C] [--int8-broadcast] [--verbose]\n";
+      "                 [--sync-chunks=C] [--int8-broadcast]\n"
+      "                 [--trace-out=PATH] [--metrics-out=PATH] [--verbose]\n";
 }
 
 void report(const fl::SchemeResult& result, const std::string& csv_path) {
@@ -165,6 +171,12 @@ int main(int argc, char** argv) {
 
     const std::string scheme = args.get("scheme", "hadfl");
     const std::string csv = args.get("csv", "");
+    const std::string trace_out = args.get("trace-out", "");
+    const std::string metrics_out = args.get("metrics-out", "");
+    if ((!trace_out.empty() || !metrics_out.empty()) && scheme != "hadfl") {
+      std::cerr << "--trace-out/--metrics-out only apply to --scheme=hadfl\n";
+      return 2;
+    }
     std::cout << "== hadfl_run: " << scheme << " on " << s.name << " ==\n";
     const std::string backend = args.get("backend", "sim");
     if (backend != "sim" && backend != "rt") {
@@ -202,6 +214,7 @@ int main(int argc, char** argv) {
         }
         rt_config.faults.push_back(plan);
       }
+      rt_config.telemetry = !trace_out.empty() || !metrics_out.empty();
       const rt::RtResult r = rt::run_hadfl_rt(ctx, rt_config);
       std::cout << "backend:           rt (real threads)\n"
                 << "hyperperiod:       " << r.extras.strategy.hyperperiod
@@ -210,12 +223,39 @@ int main(int argc, char** argv) {
                 << "deaths detected:   " << r.deaths_detected << "\n"
                 << "wall time:         " << r.wall_seconds << " s\n";
       report(r.scheme, csv);
+      if (rt_config.telemetry) {
+        std::cout << exp::render_time_breakdown(r.timeline, s.num_devices());
+        if (r.spans_dropped > 0) {
+          std::cout << "spans dropped:     " << r.spans_dropped
+                    << " (raise RtConfig::telemetry_span_capacity)\n";
+        }
+        if (!trace_out.empty()) {
+          obs::write_chrome_trace(trace_out, r.timeline.spans());
+          std::cout << "trace written to:  " << trace_out
+                    << " (load in chrome://tracing or ui.perfetto.dev)\n";
+        }
+        if (!metrics_out.empty()) {
+          r.metrics.write_csv(metrics_out);
+          std::cout << "metrics written:   " << metrics_out << "\n";
+        }
+      }
     } else if (scheme == "hadfl") {
+      sim::TraceRecorder trace;
+      if (!trace_out.empty()) s.hadfl.trace = &trace;
+      if (!metrics_out.empty()) {
+        std::cerr << "--metrics-out requires --backend=rt; ignoring\n";
+      }
       const core::HadflResult r = core::run_hadfl(ctx, s.hadfl);
       std::cout << "hyperperiod:       " << r.extras.strategy.hyperperiod
                 << " virtual s\n"
                 << "ring repairs:      " << r.extras.ring_repairs << "\n";
       report(r.scheme, csv);
+      if (!trace_out.empty()) {
+        std::cout << exp::render_time_breakdown(trace, s.num_devices());
+        obs::write_chrome_trace(trace_out, trace.spans());
+        std::cout << "trace written to:  " << trace_out
+                  << " (load in chrome://tracing or ui.perfetto.dev)\n";
+      }
     } else if (scheme == "distributed") {
       report(baselines::run_distributed(ctx), csv);
     } else if (scheme == "dfedavg") {

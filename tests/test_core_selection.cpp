@@ -65,6 +65,54 @@ TEST(GaussianQuartile, ScaleInvarianceWithAutoScale) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
 }
 
+TEST(GaussianQuartile, ShiftInvarianceWithAutoScale) {
+  // Adding a constant to every version shifts μ (Q3) by the same constant
+  // and leaves the IQR untouched, so the auto-scaled densities — and with
+  // them the normalized probabilities — are unchanged.
+  const std::vector<double> versions{2, 4, 7, 9, 13};
+  std::vector<double> shifted;
+  for (double v : versions) shifted.push_back(v + 1000.0);
+  const auto a = GaussianQuartileSelection::probabilities(versions);
+  const auto b = GaussianQuartileSelection::probabilities(shifted);
+  ASSERT_EQ(a.size(), b.size());
+  // FP shift of the pdf argument is not bit-exact; NEAR is the contract.
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(GaussianQuartile, SingleSortRewriteIsBitIdenticalToTripleSort) {
+  // Regression for the single-sort rewrite: the old implementation sorted
+  // the versions three times (quantile(0.25), quantile(0.75), then Q3
+  // again for μ). Reimplement it inline and pin bit-identity so the
+  // rewrite can never drift the selection RNG stream.
+  const std::vector<std::vector<double>> cases{
+      {10, 20, 30, 40},
+      {1, 5, 8, 10},
+      {0.5, 0.25, 0.125, 9.75, 3.0},
+      {7, 7, 7},
+      {42},
+      {3.25, -1.5, 0.0, 12.75, 6.5, 6.5, 1.0},
+  };
+  for (const auto& versions : cases) {
+    const double q1 = quantile(versions, 0.25);
+    const double q3 = quantile(versions, 0.75);
+    double scale = q3 - q1;
+    if (scale <= 1e-12) scale = 1.0;
+    const double mu = q3;
+    std::vector<double> expected(versions.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < versions.size(); ++i) {
+      expected[i] = standard_normal_pdf(versions[i] / scale, mu / scale);
+      total += expected[i];
+    }
+    for (auto& p : expected) p /= total;
+    const auto got = GaussianQuartileSelection::probabilities(versions);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "device " << i;  // bit-exact
+    }
+  }
+}
+
 TEST(GaussianQuartile, SelectionFollowsProbabilities) {
   GaussianQuartileSelection policy;
   SelectionContext ctx;

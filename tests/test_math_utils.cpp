@@ -34,6 +34,32 @@ TEST(Quantile, RejectsEmptyAndBadQ) {
   EXPECT_THROW(quantile({1.0}, 1.1), InvalidArgument);
 }
 
+TEST(Quantiles, MatchesRepeatedQuantileCalls) {
+  const std::vector<double> v{5, 9, 1, 7, 3, 8};
+  const std::vector<double> qs{0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<double> got = quantiles(v, {0.0, 0.25, 0.5, 0.75, 1.0});
+  ASSERT_EQ(got.size(), qs.size());
+  // One sort must give exactly what per-call sorting gives, bit for bit.
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(got[i], quantile(v, qs[i])) << "q = " << qs[i];
+  }
+}
+
+TEST(Quantiles, AcceptsUnsortedInputAndEmptyQs) {
+  const std::vector<double> got = quantiles({4, 2, 3, 1}, {0.75, 0.25});
+  ASSERT_EQ(got.size(), 2u);
+  // Order of the requested quantiles is preserved, not sorted.
+  EXPECT_DOUBLE_EQ(got[0], 3.25);
+  EXPECT_DOUBLE_EQ(got[1], 1.75);
+  EXPECT_TRUE(quantiles({1.0, 2.0}, std::initializer_list<double>{}).empty());
+}
+
+TEST(Quantiles, RejectsEmptyValuesAndBadQ) {
+  EXPECT_THROW(quantiles({}, {0.5}), InvalidArgument);
+  EXPECT_THROW(quantiles({1.0}, {-0.1}), InvalidArgument);
+  EXPECT_THROW(quantiles({1.0}, {0.5, 1.1}), InvalidArgument);
+}
+
 TEST(ThirdQuartile, MatchesQuantile75) {
   const std::vector<double> v{10, 20, 30, 40, 50};
   EXPECT_DOUBLE_EQ(third_quartile(v), quantile(v, 0.75));

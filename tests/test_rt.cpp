@@ -516,6 +516,32 @@ TEST(FailureDetector, MarkDeadIsPermanent) {
   EXPECT_FALSE(det.is_alive(0));
 }
 
+TEST(FailureDetector, NeverBeatsStaysAliveUntilTimeoutElapses) {
+  // Construction seeds every slot with "now": a device that never beats
+  // must read as alive for the full timeout window (so slow starters are
+  // not mass-suspected at launch) and as a suspect only after it elapses.
+  FailureDetector det(2, HeartbeatConfig{0.08});
+  EXPECT_TRUE(det.is_alive(0));
+  EXPECT_TRUE(det.is_alive(1));
+  EXPECT_TRUE(det.suspects().empty());
+  std::this_thread::sleep_for(std::chrono::milliseconds(160));
+  EXPECT_FALSE(det.is_alive(0));
+  EXPECT_FALSE(det.is_alive(1));
+  EXPECT_EQ(det.suspects().size(), 2u);
+}
+
+TEST(FailureDetector, SilenceHistogramObservesGapPerBeat) {
+  FailureDetector det(1, HeartbeatConfig{10.0});
+  obs::Histogram h({0.001, 0.01, 0.1, 1.0});
+  det.attach_silence_histogram(&h);
+  det.beat(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  det.beat(0);
+  EXPECT_EQ(h.count(), 2u);
+  // The second gap slept ~20ms, so the histogram saw something >= 10ms.
+  EXPECT_GE(h.max(), 0.01);
+}
+
 TEST(RtRingRepair, HealthyRingUntouched) {
   InprocTransport t(3, fast_net());
   FailureDetector det(3, HeartbeatConfig{10.0});
@@ -527,9 +553,9 @@ TEST(RtRingRepair, HealthyRingUntouched) {
 TEST(RtRingRepair, TwoConsecutiveDeadMembersChainWarnings) {
   // Same scenario as the simulator's pinned test (test_comm.cpp): ring
   // 0 -> 1 -> 2 -> 3 -> 4 with devices 1 and 2 dead. The sweep bypasses 1
-  // first (upstream 0, downstream the equally-dead 2 — no warning can be
-  // delivered), then on the next sweep bypasses 2, whose warning chain ends
-  // with device 0 feeding device 3 directly.
+  // first (upstream 0, downstream the equally-dead 2 — the kWarn push fails,
+  // so no warn is *recorded*), then on the next sweep bypasses 2, whose
+  // warning actually reaches device 3: device 0 now feeds 3 directly.
   InprocTransport t(5, fast_net());
   FailureDetector det(5, HeartbeatConfig{10.0});
   t.kill(1);
@@ -541,13 +567,28 @@ TEST(RtRingRepair, TwoConsecutiveDeadMembersChainWarnings) {
   EXPECT_EQ(r.ring, (std::vector<DeviceId>{0, 3, 4}));
   EXPECT_EQ(r.repairs, 2u);
   EXPECT_EQ(r.removed, (std::vector<DeviceId>{1, 2}));
-  ASSERT_EQ(r.warns.size(), 2u);
-  // First repair: 1 bypassed; its upstream 0 is to be warned by downstream 2.
+  // Only the delivered warning shows up: the first repair's downstream (2)
+  // was itself dead, so that push never went out and records nothing.
+  ASSERT_EQ(r.warns.size(), 1u);
   EXPECT_EQ(r.warns[0].first, 0u);
-  EXPECT_EQ(r.warns[0].second, 2u);
-  // Second repair: 2 bypassed; upstream 0 is warned and now feeds 3.
-  EXPECT_EQ(r.warns[1].first, 0u);
-  EXPECT_EQ(r.warns[1].second, 3u);
+  EXPECT_EQ(r.warns[0].second, 3u);
+}
+
+TEST(RtRingRepair, TwoMemberRingRecordsNoSelfWarn) {
+  // Regression: with only two live members, bypassing the dead one leaves
+  // upstream == downstream. The survivor must not be told to "expect data
+  // from itself", so no warn entry may be recorded for the repair.
+  InprocTransport t(3, fast_net());
+  FailureDetector det(3, HeartbeatConfig{10.0});
+  t.kill(1);
+  RtRingRepairConfig cfg;
+  cfg.wait_before_handshake_s = 0.005;
+  cfg.handshake_timeout_s = 0.01;
+  const RtRingRepairResult r = repair_ring(t, det, {0, 1}, cfg);
+  EXPECT_EQ(r.ring, (std::vector<DeviceId>{0}));
+  EXPECT_EQ(r.repairs, 1u);
+  EXPECT_EQ(r.removed, (std::vector<DeviceId>{1}));
+  EXPECT_TRUE(r.warns.empty());
 }
 
 TEST(RtRingRepair, HeartbeatSilenceAloneTriggersBypass) {
@@ -642,6 +683,66 @@ TEST(RtRunner, MatchesSimulatorBitExactlyWhenSeeded) {
     ASSERT_EQ(sim.scheme.final_state[i], rt.scheme.final_state[i])
         << "parameter " << i;
   }
+}
+
+TEST(RtRunner, TelemetryDoesNotPerturbSeededResults) {
+  // Observation must be free of side effects: the instrumented run draws
+  // the same RNG streams and folds the same floats, so every selection and
+  // the final aggregate are bit-identical to the dark run.
+  exp::Scenario s = rt_scenario();
+  exp::Environment env(s);
+  fl::SchemeContext dark_ctx = env.context();
+  const RtResult dark = run_hadfl_rt(dark_ctx, fast_rt_config(s.hadfl));
+
+  fl::SchemeContext lit_ctx = env.context();
+  RtConfig lit_config = fast_rt_config(s.hadfl);
+  lit_config.telemetry = true;
+  const RtResult lit = run_hadfl_rt(lit_ctx, lit_config);
+
+  EXPECT_EQ(dark.scheme.sync_rounds, lit.scheme.sync_rounds);
+  ASSERT_EQ(dark.extras.selected.size(), lit.extras.selected.size());
+  for (std::size_t i = 0; i < dark.extras.selected.size(); ++i) {
+    EXPECT_EQ(dark.extras.selected[i], lit.extras.selected[i])
+        << "round " << i;
+  }
+  ASSERT_EQ(dark.scheme.final_state.size(), lit.scheme.final_state.size());
+  for (std::size_t i = 0; i < dark.scheme.final_state.size(); ++i) {
+    ASSERT_EQ(dark.scheme.final_state[i], lit.scheme.final_state[i])
+        << "parameter " << i;
+  }
+
+  // The dark run carries no telemetry at all.
+  EXPECT_TRUE(dark.timeline.spans().empty());
+  EXPECT_TRUE(dark.metrics.empty());
+
+  // The lit run has at least one compute span per device and the headline
+  // metrics families populated.
+  const std::size_t k = s.num_devices();
+  EXPECT_EQ(lit.spans_dropped, 0u);
+  for (std::size_t d = 0; d < k; ++d) {
+    bool has_compute = false;
+    for (const obs::Span& span : lit.timeline.spans_for(d)) {
+      EXPECT_LE(span.start, span.end);
+      if (span.kind == obs::SpanKind::kCompute) has_compute = true;
+    }
+    EXPECT_TRUE(has_compute) << "device " << d;
+  }
+  const obs::HistogramSample* lat =
+      lit.metrics.find_histogram("sync.latency_s");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GT(lat->count, 0u);
+  const obs::CounterSample* scatter =
+      lit.metrics.find_counter("sync.scatter_bytes");
+  ASSERT_NE(scatter, nullptr);
+  EXPECT_GT(scatter->value, 0u);
+  const obs::CounterSample* hits =
+      lit.metrics.find_counter("buffer_pool.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, lit.pool_stats.hits);
+  const obs::HistogramSample* probs =
+      lit.metrics.find_histogram("selection.probability");
+  ASSERT_NE(probs, nullptr);
+  EXPECT_GT(probs->count, 0u);
 }
 
 TEST(RtRunner, SurvivesDeviceDeathMidRound) {
