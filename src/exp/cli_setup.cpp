@@ -1,0 +1,151 @@
+#include "exp/cli_setup.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+#include "sim/network.hpp"
+
+namespace hadfl::exp {
+
+nn::Architecture parse_model(const std::string& name) {
+  if (name == "mlp") return nn::Architecture::kMlp;
+  if (name == "resnet18") return nn::Architecture::kResNet18Lite;
+  if (name == "vgg16") return nn::Architecture::kVgg16Lite;
+  throw InvalidArgument("unknown --model: " + name);
+}
+
+data::Partition parse_partition(const std::string& spec,
+                                const data::Dataset& train,
+                                std::size_t devices, Rng& rng) {
+  if (spec == "iid") return data::partition_iid(train, devices, rng);
+  if (spec.rfind("dirichlet:", 0) == 0) {
+    const double alpha = std::atof(spec.c_str() + 10);
+    return data::partition_dirichlet(train, devices, alpha, rng);
+  }
+  if (spec.rfind("shards:", 0) == 0) {
+    const int shards = std::atoi(spec.c_str() + 7);
+    return data::partition_shards(train, devices,
+                                  static_cast<std::size_t>(shards), rng);
+  }
+  throw InvalidArgument("unknown --partition: " + spec);
+}
+
+fl::SchemeContext RunSetup::context() const {
+  const fl::SchemeContext base = env->context();
+  return fl::SchemeContext{base.cluster, base.network,  base.train,
+                           base.test,    partition,     base.make_model,
+                           base.config,  base.comm_state_bytes};
+}
+
+RunSetup make_run_setup(const ArgParser& args) {
+  RunSetup setup;
+  setup.scenario = paper_scenario(
+      parse_model(args.get("model", "mlp")),
+      args.get_double_list("ratio", {3, 3, 1, 1}),
+      args.get_double("scale", 1.0),
+      static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  Scenario& s = setup.scenario;
+  s.train.total_epochs = args.get_int("epochs", 16);
+  s.jitter_std = args.get_double("jitter", 0.0);
+  s.hadfl.strategy.select_count =
+      static_cast<std::size_t>(args.get_int("np", 2));
+  s.hadfl.strategy.t_sync = args.get_int("tsync", 1);
+  s.hadfl.broadcast_mix_weight = args.get_double("mix", 0.8);
+  s.hadfl.policy =
+      core::make_selection_policy(args.get("policy", "gaussian-quartile"));
+  const int group_size = args.get_int("group-size", 0);
+  if (group_size > 0) {
+    s.hadfl.grouping.group_size = static_cast<std::size_t>(group_size);
+  }
+  if (args.get("network", "pcie") == "wan") {
+    s.network = sim::NetworkModel::wan();
+  }
+
+  setup.env = std::make_unique<Environment>(s);
+  // The partition stream is pinned: Rng(seed ^ 0x5151), drawn exactly once.
+  Rng part_rng(s.train.seed ^ 0x5151u);
+  setup.partition =
+      parse_partition(args.get("partition", "iid"), setup.env->train(),
+                      s.num_devices(), part_rng);
+  return setup;
+}
+
+rt::RtConfig make_rt_config(const ArgParser& args, const Scenario& scenario) {
+  rt::RtConfig config;
+  config.hadfl = scenario.hadfl;
+  config.timing = args.has("wallclock") ? rt::TimingMode::kWallclock
+                                        : rt::TimingMode::kVirtual;
+  config.time_scale = args.get_double("time-scale", 0.0);
+  config.compute_throttle = args.get_double("throttle", 0.0);
+  config.sync_chunks =
+      static_cast<std::size_t>(args.get_int("sync-chunks", 0));
+  config.int8_broadcast = args.has("int8-broadcast");
+  const std::string die = args.get("die", "");
+  if (!die.empty()) {
+    rt::FaultPlan plan;
+    if (std::sscanf(die.c_str(), "%zu:%zu:%zu", &plan.device, &plan.round,
+                    &plan.after_steps) != 3) {
+      throw InvalidArgument("bad --die spec (want DEV:ROUND:STEP): " + die);
+    }
+    if (plan.device >= scenario.num_devices()) {
+      throw InvalidArgument("--die device out of range: " + die);
+    }
+    config.faults.push_back(plan);
+  }
+  return config;
+}
+
+std::vector<std::string> scenario_forward_args(const ArgParser& args) {
+  // Value flags a node needs verbatim; --die is intentionally absent.
+  static const char* const kValueKeys[] = {
+      "model", "ratio",     "epochs",  "scale",  "seed",
+      "np",    "tsync",     "policy",  "mix",    "group-size",
+      "partition", "network", "jitter", "throttle", "sync-chunks"};
+  static const char* const kFlagKeys[] = {"wallclock", "int8-broadcast"};
+  std::vector<std::string> out;
+  for (const char* key : kValueKeys) {
+    if (args.has(key)) out.push_back("--" + std::string(key) + "=" +
+                                     args.get(key));
+  }
+  for (const char* key : kFlagKeys) {
+    if (args.has(key)) out.push_back("--" + std::string(key));
+  }
+  return out;
+}
+
+std::string backend_flag_error(const std::string& scheme,
+                               const std::string& backend,
+                               bool has_transport,
+                               const std::string& transport) {
+  if (backend != "sim" && backend != "rt" && backend != "net") {
+    return "unknown --backend: " + backend + " (want sim, rt, or net)";
+  }
+  if (transport != "tcp" && transport != "uds") {
+    return "unknown --transport: " + transport + " (want tcp or uds)";
+  }
+  if (has_transport && backend != "net") {
+    return "--transport requires --backend=net";
+  }
+  if (backend != "sim" && scheme != "hadfl") {
+    return "--backend=" + backend + " only applies to --scheme=hadfl";
+  }
+  return "";
+}
+
+std::uint64_t state_hash(std::span<const float> state) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (float x : state) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (bits >> shift) & 0xffu;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+}  // namespace hadfl::exp

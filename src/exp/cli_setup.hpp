@@ -1,0 +1,83 @@
+// Shared command-line → run-context construction for the driver binaries.
+//
+// `hadfl_run` and the net backend's per-device `hadfl_node` must build the
+// *identical* scenario, environment, partition, and runtime config from the
+// same flags — the whole sim/rt/net bit-identity contract rests on every
+// process deriving the same state from the same seed. This header is that
+// single construction path: hadfl_run uses it directly, and
+// `scenario_forward_args` produces the exact flag list the fleet forwards
+// so each node re-enters the same path.
+//
+// The construction order is pinned (scenario → Environment → partition from
+// `Rng(seed ^ 0x5151)`) and must not be reordered: the partition RNG stream
+// is part of the cross-backend contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "data/partition.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "fl/scheme.hpp"
+#include "nn/sequential.hpp"
+#include "rt/config.hpp"
+
+namespace hadfl::exp {
+
+nn::Architecture parse_model(const std::string& name);
+
+/// iid | dirichlet:<alpha> | shards:<n>.
+data::Partition parse_partition(const std::string& spec,
+                                const data::Dataset& train,
+                                std::size_t devices, Rng& rng);
+
+/// Everything a run context needs, with owned storage — fl::SchemeContext
+/// holds references, so the Environment and Partition must outlive every
+/// context() call.
+struct RunSetup {
+  Scenario scenario;
+  std::unique_ptr<Environment> env;
+  data::Partition partition;
+
+  /// A context viewing this setup's environment and partition.
+  fl::SchemeContext context() const;
+};
+
+/// Builds scenario + environment + partition from the standard flags
+/// (--model/--ratio/--epochs/--scale/--seed/--np/--tsync/--policy/--mix/
+/// --group-size/--partition/--network/--jitter). Throws InvalidArgument on
+/// a malformed value.
+RunSetup make_run_setup(const ArgParser& args);
+
+/// The rt/net runtime knobs (--time-scale/--throttle/--wallclock/--die/
+/// --sync-chunks/--int8-broadcast). Telemetry stays off — the caller
+/// decides based on its output flags.
+rt::RtConfig make_rt_config(const ArgParser& args, const Scenario& scenario);
+
+/// The subset of flags a node process needs to rebuild the identical
+/// context, re-emitted as --key=value strings. Fault injection (--die) is
+/// deliberately NOT forwarded: faults reach remote workers through
+/// Command::die_after.
+std::vector<std::string> scenario_forward_args(const ArgParser& args);
+
+/// Validates the --scheme/--backend/--transport flag combination. Returns
+/// the empty string when valid, else the one-line diagnostic hadfl_run
+/// prints to stderr before exiting with status 2. `has_transport` is
+/// whether --transport was given explicitly (the tcp default is fine for
+/// every backend; an *explicit* transport outside --backend=net is a user
+/// error worth rejecting loudly).
+std::string backend_flag_error(const std::string& scheme,
+                               const std::string& backend,
+                               bool has_transport,
+                               const std::string& transport);
+
+/// FNV-1a over the state's raw bytes — the "state hash" line hadfl_run
+/// prints, which is what the CI loopback smoke compares across backends.
+std::uint64_t state_hash(std::span<const float> state);
+
+}  // namespace hadfl::exp

@@ -1,0 +1,154 @@
+#include "net/codec.hpp"
+
+#include "rt/wire_format.hpp"
+
+namespace hadfl::net {
+
+namespace {
+
+using rt::ByteReader;
+using rt::ByteWriter;
+
+void put_f32s(ByteWriter& w, const std::vector<float>& v) {
+  w.u64(v.size());
+  if (!v.empty()) w.bytes(v.data(), v.size() * sizeof(float));
+}
+
+void put_f64s(ByteWriter& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  for (double x : v) w.f64(x);
+}
+
+void put_ids(ByteWriter& w, const std::vector<rt::DeviceId>& v) {
+  w.u64(v.size());
+  for (rt::DeviceId id : v) w.u32(static_cast<std::uint32_t>(id));
+}
+
+/// Validates a decoded element count against the bytes actually present
+/// before resizing — a corrupt count must not drive an allocation.
+bool take_count(ByteReader& r, std::size_t elem_bytes, std::size_t& out) {
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count > r.remaining() ||
+      count * elem_bytes > r.remaining()) {
+    return false;
+  }
+  out = static_cast<std::size_t>(count);
+  return true;
+}
+
+bool get_f32s(ByteReader& r, std::vector<float>& v) {
+  std::size_t count = 0;
+  if (!take_count(r, sizeof(float), count)) return false;
+  v.resize(count);
+  if (count != 0) r.bytes(v.data(), count * sizeof(float));
+  return r.ok();
+}
+
+bool get_f64s(ByteReader& r, std::vector<double>& v) {
+  std::size_t count = 0;
+  if (!take_count(r, sizeof(double), count)) return false;
+  v.resize(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = r.f64();
+  return r.ok();
+}
+
+bool get_ids(ByteReader& r, std::vector<rt::DeviceId>& v) {
+  std::size_t count = 0;
+  if (!take_count(r, sizeof(std::uint32_t), count)) return false;
+  v.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    v[i] = static_cast<rt::DeviceId>(r.u32());
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_command(const rt::Command& cmd) {
+  std::vector<std::uint8_t> out;
+  out.reserve(128 + cmd.state.size() * sizeof(float));
+  ByteWriter w(out);
+  w.u8(kCtrlCommand);
+  w.u8(static_cast<std::uint8_t>(cmd.kind));
+  w.u64(cmd.steps);
+  w.f64(cmd.learning_rate);
+  w.f64(cmd.deadline_s);
+  w.i64(cmd.die_after);
+  w.u8(cmd.die_silently ? 1 : 0);
+  put_f32s(w, cmd.state);
+  w.f64(cmd.version_mean);
+  put_ids(w, cmd.peers);
+  w.u64(cmd.my_index);
+  w.i64(cmd.collective_id);
+  put_f64s(w, cmd.weights);
+  w.u64(cmd.wire_bytes);
+  w.u32(static_cast<std::uint32_t>(cmd.peer));
+  w.u64(cmd.chunks);
+  w.u8(cmd.int8 ? 1 : 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_report(const rt::Report& report) {
+  std::vector<std::uint8_t> out;
+  out.reserve(128 + report.aggregate.size() * sizeof(float));
+  ByteWriter w(out);
+  w.u8(kCtrlReport);
+  w.u32(static_cast<std::uint32_t>(report.device));
+  w.u8(static_cast<std::uint8_t>(report.kind));
+  w.u8(report.ok ? 1 : 0);
+  w.f64(report.loss);
+  w.f64(report.wall_s);
+  w.u64(report.executed);
+  w.f64(report.version);
+  put_f32s(w, report.aggregate);
+  put_ids(w, report.delivered);
+  w.u64(report.sent_bytes);
+  w.u64(report.received_bytes);
+  w.u64(report.pool.hits);
+  w.u64(report.pool.misses);
+  w.u64(report.pool.high_water);
+  return out;
+}
+
+bool decode_command(std::span<const std::uint8_t> body, rt::Command& out) {
+  ByteReader r(body);
+  out.kind = static_cast<rt::CmdKind>(r.u8());
+  out.steps = static_cast<std::size_t>(r.u64());
+  out.learning_rate = r.f64();
+  out.deadline_s = r.f64();
+  out.die_after = r.i64();
+  out.die_silently = r.u8() != 0;
+  if (!get_f32s(r, out.state)) return false;
+  out.version_mean = r.f64();
+  if (!get_ids(r, out.peers)) return false;
+  out.my_index = static_cast<std::size_t>(r.u64());
+  out.collective_id = r.i64();
+  if (!get_f64s(r, out.weights)) return false;
+  out.wire_bytes = static_cast<std::size_t>(r.u64());
+  out.peer = static_cast<rt::DeviceId>(r.u32());
+  out.chunks = static_cast<std::size_t>(r.u64());
+  out.int8 = r.u8() != 0;
+  out.cancel.reset();  // process-local; the receiver recreates it
+  return r.ok() && r.remaining() == 0;
+}
+
+bool decode_report(std::span<const std::uint8_t> body, rt::Report& out) {
+  ByteReader r(body);
+  out.device = static_cast<rt::DeviceId>(r.u32());
+  out.kind = static_cast<rt::ReportKind>(r.u8());
+  out.ok = r.u8() != 0;
+  out.loss = r.f64();
+  out.wall_s = r.f64();
+  out.executed = static_cast<std::size_t>(r.u64());
+  out.version = r.f64();
+  if (!get_f32s(r, out.aggregate)) return false;
+  if (!get_ids(r, out.delivered)) return false;
+  out.sent_bytes = static_cast<std::size_t>(r.u64());
+  out.received_bytes = static_cast<std::size_t>(r.u64());
+  out.pool.hits = static_cast<std::size_t>(r.u64());
+  out.pool.misses = static_cast<std::size_t>(r.u64());
+  out.pool.high_water = static_cast<std::size_t>(r.u64());
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace hadfl::net

@@ -1,0 +1,39 @@
+// Control-plane serialization for the socket backend: rt::Command and
+// rt::Report travel between the coordinator process and the device
+// processes as kControl frames (rt/wire_format.hpp). The body is one
+// subtype byte (kCtrlCommand / kCtrlReport) followed by the fields in
+// declaration order, little-endian via ByteWriter/ByteReader.
+//
+// Command::cancel is deliberately NOT serialized: it is a process-local
+// atomic. The receiving NetWorkerIo recreates a fresh flag per collective
+// id and raises it when a kCancel frame arrives (net/runner.cpp), so abort
+// propagation works across the process boundary with identical worker-side
+// semantics.
+//
+// Every decoder is total: a truncated, oversized, or trailing-garbage body
+// returns false (the caller drops the frame / connection) and never
+// over-reads or allocates from a corrupt length field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rt/protocol.hpp"
+
+namespace hadfl::net {
+
+constexpr std::uint8_t kCtrlCommand = 1;
+constexpr std::uint8_t kCtrlReport = 2;
+
+/// Serializes `cmd` into a kControl body (leading kCtrlCommand byte).
+std::vector<std::uint8_t> encode_command(const rt::Command& cmd);
+
+/// Serializes `report` into a kControl body (leading kCtrlReport byte).
+std::vector<std::uint8_t> encode_report(const rt::Report& report);
+
+/// Decodes the payload after the subtype byte. False on malformed input.
+bool decode_command(std::span<const std::uint8_t> body, rt::Command& out);
+bool decode_report(std::span<const std::uint8_t> body, rt::Report& out);
+
+}  // namespace hadfl::net

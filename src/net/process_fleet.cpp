@@ -1,0 +1,171 @@
+#include "net/process_fleet.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "net/socket_util.hpp"
+
+namespace hadfl::net {
+
+namespace {
+
+std::string join_ports(const std::vector<std::uint16_t>& ports) {
+  std::string out;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(ports[i]);
+  }
+  return out;
+}
+
+int status_to_exit_code(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+ProcessFleet::ProcessFleet(FleetOptions options)
+    : options_(std::move(options)) {
+  HADFL_CHECK_ARG(options_.num_devices > 0, "fleet needs at least one node");
+  HADFL_CHECK_ARG(!options_.node_binary.empty(), "fleet needs a node binary");
+  children_.resize(options_.num_devices);
+  if (options_.kind == TransportKind::kTcp) {
+    ports_.reserve(options_.num_devices);
+    listener_fds_.reserve(options_.num_devices);
+    for (std::size_t d = 0; d < options_.num_devices; ++d) {
+      TcpListener listener = make_tcp_listener();
+      // CLOEXEC by default; child d clears it on its own fd before exec.
+      set_cloexec(listener.fd, true);
+      ports_.push_back(listener.port);
+      listener_fds_.push_back(listener.fd);
+    }
+  } else {
+    socket_dir_ = make_socket_dir();
+  }
+}
+
+ProcessFleet::~ProcessFleet() {
+  shutdown();
+  for (int fd : listener_fds_) close_fd(fd);
+  listener_fds_.clear();
+  if (!socket_dir_.empty()) remove_socket_dir(socket_dir_);
+}
+
+void ProcessFleet::spawn() {
+  HADFL_CHECK_ARG(!spawned_, "fleet already spawned");
+  spawned_ = true;
+  for (std::size_t d = 0; d < options_.num_devices; ++d) {
+    std::vector<std::string> args;
+    args.push_back(options_.node_binary);
+    for (const std::string& arg : options_.common_args) args.push_back(arg);
+    args.push_back("--node-id=" + std::to_string(d));
+    args.push_back("--run-nonce=" + std::to_string(options_.run_nonce));
+    if (options_.kind == TransportKind::kTcp) {
+      args.push_back("--transport=tcp");
+      args.push_back("--listen-fd=" + std::to_string(listener_fds_[d]));
+      args.push_back("--tcp-ports=" + join_ports(ports_));
+    } else {
+      args.push_back("--transport=uds");
+      args.push_back("--socket-dir=" + socket_dir_);
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw CommError("net: fork: " + std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child. Keep only this node's listener across exec; every other
+      // inherited listener fd is CLOEXEC and vanishes automatically.
+      if (options_.kind == TransportKind::kTcp) {
+        try {
+          set_cloexec(listener_fds_[d], false);
+        } catch (...) {
+          _exit(127);
+        }
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      _exit(127);  // exec failed
+    }
+    children_[d].pid = pid;
+    children_[d].running = true;
+  }
+  // The children now own their listeners; the parent side is done with
+  // every listener fd.
+  for (int fd : listener_fds_) close_fd(fd);
+  listener_fds_.clear();
+}
+
+void ProcessFleet::reap(bool block) {
+  for (Child& child : children_) {
+    if (!child.running) continue;
+    int status = 0;
+    const pid_t r = ::waitpid(child.pid, &status, block ? 0 : WNOHANG);
+    if (r == child.pid) {
+      child.running = false;
+      child.status = status_to_exit_code(status);
+    }
+  }
+}
+
+std::size_t ProcessFleet::poll_exits() {
+  reap(/*block=*/false);
+  std::size_t exited = 0;
+  for (const Child& child : children_) {
+    if (!child.running) ++exited;
+  }
+  return exited;
+}
+
+bool ProcessFleet::node_running(std::size_t d) const {
+  return d < children_.size() && children_[d].running;
+}
+
+int ProcessFleet::exit_status(std::size_t d) const {
+  return d < children_.size() ? children_[d].status : -1;
+}
+
+void ProcessFleet::kill_node(std::size_t d, int signo) {
+  HADFL_CHECK_ARG(d < children_.size(), "node index out of range");
+  if (children_[d].running) ::kill(children_[d].pid, signo);
+}
+
+std::size_t ProcessFleet::shutdown() {
+  if (!spawned_) return 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(
+                            options_.shutdown_grace_s);
+  for (;;) {
+    reap(/*block=*/false);
+    bool any_running = false;
+    for (const Child& child : children_) any_running |= child.running;
+    if (!any_running || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (Child& child : children_) {
+    if (child.running) {
+      HADFL_DEBUG("net: SIGKILL straggler node pid " << child.pid);
+      ::kill(child.pid, SIGKILL);
+    }
+  }
+  reap(/*block=*/true);
+  std::size_t abnormal = 0;
+  for (const Child& child : children_) {
+    if (child.status != 0) ++abnormal;
+  }
+  return abnormal;
+}
+
+}  // namespace hadfl::net

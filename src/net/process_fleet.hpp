@@ -1,0 +1,90 @@
+// ProcessFleet — spawns, monitors, and reaps the K device processes of a
+// net-backend run.
+//
+// The parent (coordinator) process prepares the rendezvous *before* any
+// fork so there is no bind/dial race it cannot absorb:
+//   * TCP: binds one loopback listener per device up front; the kernel
+//     queues connections in the backlog even before the child accepts, and
+//     every process learns the full port list on its command line. Child d
+//     inherits its own listener fd (cleared of CLOEXEC across exec); all
+//     other fds are CLOEXEC and vanish at exec.
+//   * UDS: creates a private socket directory; each node binds
+//     node-<id>.sock itself and dialers retry until the bind lands.
+//
+// Each child runs `node_binary` (hadfl_node) with the forwarded scenario
+// arguments plus its endpoint wiring. Children exit on their own after the
+// coordinator's kStop (or when the coordinator connection drops); shutdown
+// grants a grace period, then SIGKILLs stragglers. kill_node() lets fault
+// tests kill a live device process mid-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace hadfl::net {
+
+struct FleetOptions {
+  std::string node_binary;
+  /// Scenario arguments every node needs to rebuild the identical run
+  /// context (exp/cli_setup.hpp builds this list).
+  std::vector<std::string> common_args;
+  TransportKind kind = TransportKind::kTcp;
+  std::size_t num_devices = 0;
+  std::uint64_t run_nonce = 0;
+  double shutdown_grace_s = 5.0;
+};
+
+class ProcessFleet {
+ public:
+  /// Prepares the rendezvous (listeners / socket dir). Does not fork yet.
+  explicit ProcessFleet(FleetOptions options);
+  ProcessFleet(const ProcessFleet&) = delete;
+  ProcessFleet& operator=(const ProcessFleet&) = delete;
+  /// Reaps every child (grace, then SIGKILL) and removes the socket dir.
+  ~ProcessFleet();
+
+  /// Forks and execs all K device processes.
+  void spawn();
+
+  /// TCP: the per-device listener ports (valid after construction).
+  const std::vector<std::uint16_t>& ports() const { return ports_; }
+  /// UDS: the private socket directory.
+  const std::string& socket_dir() const { return socket_dir_; }
+
+  /// Reaps any children that exited (non-blocking). Returns how many of
+  /// the K processes are no longer running.
+  std::size_t poll_exits();
+  bool node_running(std::size_t d) const;
+  /// Exit status of node d (-1 while running / unknown; signal deaths
+  /// report 128+signo like a shell).
+  int exit_status(std::size_t d) const;
+
+  /// Sends `signo` to node d (fault-injection tests: SIGKILL a device).
+  void kill_node(std::size_t d, int signo);
+
+  /// Waits out the grace period, SIGKILLs stragglers, reaps everything.
+  /// Returns the number of nodes that exited abnormally.
+  std::size_t shutdown();
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    bool running = false;
+    int status = -1;
+  };
+
+  void reap(bool block);
+
+  FleetOptions options_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<int> listener_fds_;
+  std::string socket_dir_;
+  std::vector<Child> children_;
+  bool spawned_ = false;
+};
+
+}  // namespace hadfl::net

@@ -1,0 +1,77 @@
+// Multi-process execution backend: the same HADFL pipeline as rt/runner.hpp
+// (shared coordinator + shared device worker), but with every device in its
+// own OS process and all traffic on real sockets.
+//
+// `run_hadfl_net` is the coordinator half, called from `hadfl_run
+// --backend=net`: it spawns K `hadfl_node` processes (net/process_fleet.hpp),
+// joins the socket mesh as endpoint K (net/transport.hpp), drives the
+// shared `rt::run_hadfl_coordinator` through control frames
+// (net/codec.hpp), and merges each process's byte/pool counters — shipped
+// home on the kStopped reports — into the usual RtResult.
+//
+// `run_hadfl_node` is the device half, hosted by the `hadfl_node` binary:
+// it rebuilds the identical run context from the forwarded scenario
+// arguments (the caller does that part), derives the same DeviceSetup from
+// the same seed, joins the mesh as endpoint d, and runs the shared
+// `rt::run_device_worker` loop until kStop or an injected death.
+//
+// Determinism: the algorithm draws (selection, rings, broadcast targets)
+// all happen on the coordinator from the shared seed, and the aggregation
+// fold is the order-pinned core::WeightedRingFold — so a seeded net run
+// produces the bit-identical final model of the inproc rt run and the
+// simulator (tests/test_net.cpp pins this across TCP and UDS).
+//
+// Limits vs the inproc backend: `time_scale` is ignored (sockets move at
+// real network speed) and lossy sync compression is rejected — the codec
+// pricing probe needs device-addressable reference states, which only the
+// in-process oracle has.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fl/scheme.hpp"
+#include "net/transport.hpp"
+#include "rt/config.hpp"
+
+namespace hadfl::net {
+
+struct NetRunConfig {
+  rt::RtConfig rt;                 ///< shared algorithm/runtime knobs
+  TransportKind kind = TransportKind::kTcp;
+  /// Path of the hadfl_node binary the fleet execs.
+  std::string node_binary;
+  /// Scenario arguments forwarded to every node so it rebuilds the
+  /// identical context (exp/cli_setup.hpp builds this list).
+  std::vector<std::string> node_args;
+  double connect_timeout_s = 10.0;
+  double shutdown_grace_s = 5.0;
+  /// Run nonce stamped into every kHello; 0 = derive a fresh one. All
+  /// processes of one run must agree (the fleet forwards it).
+  std::uint64_t run_nonce = 0;
+};
+
+/// Coordinator process: fleet + mesh + shared coordinator + result merge.
+rt::RtResult run_hadfl_net(const fl::SchemeContext& ctx,
+                           const NetRunConfig& config);
+
+/// Endpoint wiring a node process receives on its command line
+/// (net/process_fleet.cpp puts it there).
+struct NodeOptions {
+  rt::DeviceId node_id = 0;
+  std::uint64_t run_nonce = 0;
+  TransportKind kind = TransportKind::kTcp;
+  int listen_fd = -1;                    ///< TCP: inherited listener
+  std::vector<std::uint16_t> tcp_ports;  ///< TCP: all nodes' ports
+  std::string socket_dir;                ///< UDS: the fleet's socket dir
+  double connect_timeout_s = 10.0;
+};
+
+/// Device process: joins the mesh and runs the worker loop. Returns the
+/// process exit code (0 on an orderly stop *and* after an injected death —
+/// fault runs are expected runs; a real crash never gets here).
+int run_hadfl_node(const fl::SchemeContext& ctx, const rt::RtConfig& config,
+                   const NodeOptions& options);
+
+}  // namespace hadfl::net

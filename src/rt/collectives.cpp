@@ -64,7 +64,7 @@ std::size_t chunk_wire_bytes(std::size_t wire_bytes, std::size_t n,
   return std::max<std::size_t>(1, share);
 }
 
-Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
+Message recv_chunk_sliced(Transport& transport, DeviceId self,
                           DeviceId from, std::int64_t tag, double timeout_s,
                           const BeatFn& beat) {
   if (!beat) return transport.recv_match(self, from, tag, timeout_s);
@@ -90,7 +90,7 @@ Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
   }
 }
 
-void ring_weighted_aggregate(InprocTransport& transport,
+void ring_weighted_aggregate(Transport& transport,
                              const std::vector<DeviceId>& ring,
                              std::size_t my_index,
                              std::span<const float> local,
@@ -226,10 +226,10 @@ void ring_weighted_aggregate(InprocTransport& transport,
 }
 
 std::vector<std::vector<float>> ring_allgather(
-    InprocTransport& transport, const std::vector<DeviceId>& ring,
+    Transport& transport, const std::vector<DeviceId>& ring,
     std::size_t my_index, std::span<const float> local,
     std::int64_t collective_id, std::size_t wire_bytes,
-    double step_timeout_s) {
+    double step_timeout_s, const BeatFn& beat) {
   const std::size_t k = ring.size();
   HADFL_CHECK_ARG(k > 0, "ring_allgather on empty ring");
   HADFL_CHECK_ARG(my_index < k, "my_index out of range");
@@ -242,6 +242,7 @@ std::vector<std::vector<float>> ring_allgather(
   const DeviceId self = ring[my_index];
   const DeviceId next = ring[(my_index + 1) % k];
   const DeviceId prev = ring[(my_index + k - 1) % k];
+  std::vector<std::pair<std::shared_ptr<PendingSend>, DeviceId>> pending;
   for (std::size_t step = 0; step + 1 < k; ++step) {
     // Forward the contribution that arrived last step (own state first).
     // The outbound copy lives in a pooled buffer; the receiver's consumed
@@ -255,20 +256,20 @@ std::vector<std::vector<float>> ring_allgather(
     std::copy(contributions[send_slot].begin(),
               contributions[send_slot].end(), msg.payload.begin());
     msg.wire_bytes = wire_bytes;
-    std::shared_ptr<PendingSend> pending =
-        transport.isend(self, next, std::move(msg));
-    Message incoming = transport.recv_match(
-        self, prev,
+    pending.emplace_back(transport.isend(self, next, std::move(msg)), next);
+    Message incoming = recv_chunk_sliced(
+        transport, self, prev,
         make_tag(MsgKind::kData, collective_id,
                  static_cast<std::int64_t>(step)),
-        step_timeout_s);
+        step_timeout_s, beat);
     contributions[recv_slot] = std::move(incoming.payload);
-    pending->wait(step_timeout_s, self, next);
+    wait_all_sends(pending, self, step_timeout_s, beat);
+    if (beat) beat();
   }
   return contributions;
 }
 
-void ring_allreduce_average(InprocTransport& transport,
+void ring_allreduce_average(Transport& transport,
                             const std::vector<DeviceId>& ring,
                             std::size_t my_index, std::span<float> data,
                             std::int64_t collective_id,

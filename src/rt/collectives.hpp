@@ -84,7 +84,7 @@ std::size_t chunk_wire_bytes(std::size_t wire_bytes, std::size_t n,
 /// and additionally as soon as `from`'s endpoint dies — a dead sender can
 /// never deliver, so a mid-collective death aborts in about one beat slice
 /// instead of a full step timeout.
-Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
+Message recv_chunk_sliced(Transport& transport, DeviceId self,
                           DeviceId from, std::int64_t tag, double timeout_s,
                           const BeatFn& beat);
 
@@ -103,7 +103,7 @@ Message recv_chunk_sliced(InprocTransport& transport, DeviceId self,
 /// wire bytes this member pushed in phase 1 (chunk scatter to owners) and
 /// phase 2 (folded-chunk circulation) respectively — the per-collective-
 /// phase traffic split. Thread-safe; ring members may share one counter.
-void ring_weighted_aggregate(InprocTransport& transport,
+void ring_weighted_aggregate(Transport& transport,
                              const std::vector<DeviceId>& ring,
                              std::size_t my_index,
                              std::span<const float> local,
@@ -127,16 +127,19 @@ void ring_weighted_aggregate(InprocTransport& transport,
 /// scratch) without relinquishing it. All buffers in the result (and every
 /// hop's outbound payload) come from the transport's BufferPool; return
 /// them with `transport.pool().release(std::move(buf))` once consumed so
-/// subsequent rounds recycle instead of allocating.
+/// subsequent rounds recycle instead of allocating. `beat`, when set, is
+/// invoked between blocking slices (heartbeats keep flowing) and may throw
+/// to abandon the collective — the inter-group leader exchange cancels
+/// through it.
 std::vector<std::vector<float>> ring_allgather(
-    InprocTransport& transport, const std::vector<DeviceId>& ring,
+    Transport& transport, const std::vector<DeviceId>& ring,
     std::size_t my_index, std::span<const float> local,
     std::int64_t collective_id, std::size_t wire_bytes,
-    double step_timeout_s);
+    double step_timeout_s, const BeatFn& beat = {});
 
 /// Averages `data` elementwise across the ring members in place via
 /// reduce-scatter + all-gather. All members must pass equal-sized spans.
-void ring_allreduce_average(InprocTransport& transport,
+void ring_allreduce_average(Transport& transport,
                             const std::vector<DeviceId>& ring,
                             std::size_t my_index, std::span<float> data,
                             std::int64_t collective_id,

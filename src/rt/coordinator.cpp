@@ -1,0 +1,659 @@
+#include "rt/coordinator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/coordinator.hpp"
+#include "core/grouping.hpp"
+#include "fl/evaluate.hpp"
+#include "nn/param_utils.hpp"
+#include "rt/collectives.hpp"
+
+namespace hadfl::rt {
+
+namespace {
+
+/// Synchronization attempts per round (repair + retry under a fresh id).
+constexpr int kMaxSyncAttempts = 4;
+
+double elapsed_s(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+}  // namespace
+
+RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
+                               const RtConfig& config,
+                               const core::DeviceSetup& setup, Rng& rng,
+                               CoordinatorEnv& env) {
+  HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
+                  "partition count != device count");
+  HADFL_CHECK_ARG(config.hadfl.alpha > 0.0 && config.hadfl.alpha < 1.0,
+                  "alpha must be in (0, 1)");
+  HADFL_CHECK_ARG(config.hadfl.broadcast_mix_weight >= 0.0 &&
+                      config.hadfl.broadcast_mix_weight <= 1.0,
+                  "broadcast mix weight must be in [0, 1]");
+  HADFL_CHECK_ARG(config.collective_timeout_s > 0.0 &&
+                      config.command_poll_s > 0.0,
+                  "rt timeouts must be positive");
+
+  Transport& transport = *env.transport;
+  FailureDetector& detector = *env.detector;
+  CoordinatorIo& io = *env.io;
+  DeviceOracle& oracle = *env.oracle;
+  obs::SpanRecorder* rec = env.telemetry.rec;
+  const std::size_t coord_track = env.telemetry.coord_track;
+
+  sim::Cluster& cluster = ctx.cluster;
+  const std::size_t k = cluster.size();
+  // §III-A topology: one ring (and one broadcast) per group each round; a
+  // single group degenerates to the original flat pipeline.
+  const std::vector<std::vector<DeviceId>> groups =
+      core::make_groups(cluster, config.hadfl.grouping);
+  const Clock::time_point run_start = Clock::now();
+  const auto wall = [&] { return elapsed_s(run_start); };
+
+  std::shared_ptr<core::SelectionPolicy> policy = config.hadfl.policy;
+  if (!policy) policy = std::make_shared<core::GaussianQuartileSelection>();
+
+  const std::vector<std::size_t>& ipe = setup.iters_per_epoch;
+  const std::size_t wire_bytes = setup.wire_bytes;
+
+  std::vector<double> bandwidth_scales(k);
+  std::vector<double> iter_time(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    bandwidth_scales[d] = cluster.device(d).bandwidth_scale;
+    iter_time[d] = cluster.iteration_time(d);
+  }
+
+  RtResult result;
+  result.scheme.scheme_name = env.scheme_name;
+  result.device_stats.resize(k);
+
+  // ---- Coordinator-side liveness + messaging helpers.
+  std::vector<bool> live(k, true);
+  const auto live_ids = [&] {
+    std::vector<DeviceId> ids;
+    for (DeviceId d = 0; d < k; ++d) {
+      if (live[d]) ids.push_back(d);
+    }
+    return ids;
+  };
+  const auto fence = [&](DeviceId d) {
+    if (!live[d]) return;
+    live[d] = false;
+    ++result.deaths_detected;
+    detector.mark_dead(d);
+    if (transport.alive(d)) transport.kill(d);
+    io.close_channel(d);
+    HADFL_WARN("rt: device " << d << " declared dead and fenced");
+  };
+  const auto post = [&](DeviceId d, Command c) {
+    if (!live[d]) return false;
+    if (!io.post(d, std::move(c))) {
+      fence(d);
+      return false;
+    }
+    return true;
+  };
+  // Robust report collection: waits for every pending device to report,
+  // dropping (and fencing) devices whose endpoint closed, whose heartbeat
+  // went stale (`use_detector` — only where workers beat frequently), or
+  // that exceeded a hard deadline (bounded commands like collectives).
+  const auto collect = [&](std::vector<DeviceId> pending, ReportKind kind,
+                           bool use_detector, double deadline_s = 0.0,
+                           const std::function<void()>& on_trouble = {}) {
+    std::map<DeviceId, Report> out;
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](DeviceId d) { return !live[d]; }),
+                  pending.end());
+    const Clock::time_point start = Clock::now();
+    while (!pending.empty()) {
+      std::optional<Report> r = io.poll_report(config.command_poll_s);
+      if (r) {
+        const auto it =
+            std::find(pending.begin(), pending.end(), r->device);
+        if (it != pending.end() && r->kind == kind) {
+          if (!r->ok && on_trouble) on_trouble();
+          out.emplace(r->device, std::move(*r));
+          pending.erase(it);
+        }
+        continue;  // stale/unexpected reports are dropped
+      }
+      const bool expired =
+          deadline_s > 0.0 && elapsed_s(start) >= deadline_s;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const DeviceId d = *it;
+        const bool dead = !transport.alive(d) ||
+                          (use_detector && !detector.is_alive(d)) || expired;
+        if (dead) {
+          if (on_trouble) on_trouble();
+          fence(d);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return out;
+  };
+  // Generous bound on a ring collective + report: every step is capped by
+  // the rendezvous/recv timeout, so a member that blows through this is
+  // hung, not slow.
+  const auto sync_deadline = [&](std::size_t ring_size) {
+    return 4.0 * static_cast<double>(ring_size) * config.collective_timeout_s +
+           5.0;
+  };
+
+  // Shadow of each worker's last reported progress. The coordinator never
+  // reads a (possibly dead) worker's DeviceState for bookkeeping — only
+  // model states of devices known idle-and-live, through the oracle.
+  std::vector<double> sh_version(k, 0.0);
+  std::vector<double> sh_loss(k, 0.0);
+  std::vector<std::size_t> sh_executed(k, 0);
+
+  // ---- Mutual negotiation (§III-B) on real threads.
+  const int warmup_epochs = std::max(1, ctx.config.warmup_epochs);
+  for (DeviceId d = 0; d < k; ++d) {
+    Command c;
+    c.kind = CmdKind::kWarmup;
+    c.steps = static_cast<std::size_t>(warmup_epochs) * ipe[d];
+    c.learning_rate = ctx.config.warmup_learning_rate;
+    post(d, std::move(c));
+  }
+  std::vector<sim::SimTime> epoch_times(k, 0.0);
+  {
+    const auto reps =
+        collect(fl::all_device_ids(cluster), ReportKind::kWarmupDone,
+                /*use_detector=*/true);
+    for (DeviceId d = 0; d < k; ++d) {
+      // kVirtual derives T_i from the specs exactly like the simulator's
+      // clock accounting; kWallclock reports the measured duration.
+      epoch_times[d] =
+          static_cast<double>(ipe[d]) * iter_time[d];
+      const auto it = reps.find(d);
+      if (it != reps.end()) {
+        sh_loss[d] = it->second.loss;
+        if (config.timing == TimingMode::kWallclock) {
+          epoch_times[d] =
+              it->second.wall_s / static_cast<double>(warmup_epochs);
+        }
+      }
+    }
+  }
+  result.extras.negotiated_epoch_times = epoch_times;
+
+  if (config.hadfl.full_sync_after_negotiation) {
+    const std::vector<DeviceId> reachable = live_ids();
+    if (reachable.size() > 1) {
+      const std::vector<float> mean = oracle.mean_state(reachable);
+      const std::size_t n = reachable.size();
+      const std::size_t chunk = (wire_bytes + n - 1) / n;
+      for (std::size_t i = 0; i < n; ++i) {
+        transport.account(reachable[i], reachable[(i + 1) % n],
+                          2 * (n - 1) * chunk);
+      }
+      std::vector<DeviceId> posted;
+      for (DeviceId d : reachable) {
+        Command c;
+        c.kind = CmdKind::kSetState;
+        c.state = mean;
+        if (post(d, std::move(c))) posted.push_back(d);
+      }
+      collect(posted, ReportKind::kAck, /*use_detector=*/true, 30.0);
+    }
+  }
+
+  double epochs_done = warmup_epochs;
+
+  // ---- Strategy generation (§III-C) from the negotiated epoch times.
+  const core::StrategyGenerator generator(config.hadfl.strategy);
+  const core::TrainingStrategy strategy = generator.generate(epoch_times, ipe);
+  result.extras.strategy = strategy;
+  HADFL_INFO("hadfl-rt strategy: H_E=" << strategy.hyperperiod << "s window="
+                                       << strategy.round_window << "s");
+
+  core::RuntimeSupervisor supervisor(k, config.hadfl.alpha);
+  core::ModelManager model_manager(config.hadfl.backup_dir,
+                                   config.hadfl.backup_every_rounds);
+
+  // Post-negotiation starting point.
+  {
+    // A fenced device's worker may still be running (heartbeat fencing does
+    // not stop the thread), so its DeviceState must never be read — fall
+    // back to the common initial state when nobody live is left.
+    const std::vector<DeviceId> ids = live_ids();
+    const std::vector<float> mean =
+        ids.empty() ? setup.init_state : oracle.mean_state(ids);
+    nn::load_state(*setup.reference, mean);
+    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
+    double loss_sum = 0.0;
+    for (DeviceId d = 0; d < k; ++d) loss_sum += sh_loss[d];
+    result.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done, wall(), loss_sum / static_cast<double>(k), eval.loss,
+        eval.accuracy});
+  }
+
+  const double total_train = static_cast<double>(ctx.train.size());
+  std::size_t round = 0;
+  std::int64_t next_collective_id = 1;
+  int idle_rounds = 0;
+
+  while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
+    if (live_ids().empty()) {
+      HADFL_WARN("rt: no live devices left; stopping");
+      break;
+    }
+    ++round;
+    const double window = strategy.round_window;
+
+    // Workflow step 1: the available set is fixed *before* the round
+    // starts. A device dying during the round stays selectable on this
+    // stale view — the §III-D repair protocol is what handles it.
+    std::vector<bool> available_at_start(k, false);
+    for (DeviceId d = 0; d < k; ++d) available_at_start[d] = live[d];
+
+    // -- Asynchronous local training with deadline truncation.
+    std::vector<DeviceId> trainees;
+    for (DeviceId d = 0; d < k; ++d) {
+      if (!live[d]) continue;
+      Command c;
+      c.kind = CmdKind::kTrain;
+      c.learning_rate = ctx.config.learning_rate;
+      if (config.timing == TimingMode::kVirtual) {
+        // Same truncation arithmetic as the simulator (jitter factor 1).
+        const auto fit = static_cast<std::size_t>(
+            std::max(0.0, std::floor(window / iter_time[d] + 1e-9)));
+        c.steps = std::min(strategy.local_steps[d], fit);
+      } else {
+        c.steps = strategy.local_steps[d];
+        c.deadline_s = window;
+      }
+      for (const FaultPlan& plan : config.faults) {
+        if (plan.device == d && plan.round == round && !plan.during_sync) {
+          c.die_after = static_cast<std::int64_t>(plan.after_steps);
+          c.die_silently = plan.silent;
+        }
+      }
+      if (post(d, std::move(c))) trainees.push_back(d);
+    }
+    double executed_total = 0.0;
+    {
+      const auto reps =
+          collect(trainees, ReportKind::kTrainDone, /*use_detector=*/true);
+      for (const auto& [d, r] : reps) {
+        sh_executed[d] = r.executed;
+        sh_loss[d] = r.loss;
+        sh_version[d] = r.version;
+        executed_total += static_cast<double>(r.executed);
+      }
+    }
+
+    // -- Coordinator: prediction, observation (same order as the sim).
+    std::vector<double> fallback(k);
+    for (DeviceId d = 0; d < k; ++d) {
+      fallback[d] =
+          static_cast<double>(round) * strategy.expected_versions[d];
+    }
+    const std::vector<double> predicted =
+        core::predict_versions(config.hadfl.predictor, supervisor, fallback,
+                               result.extras.actual_versions);
+    supervisor.observe_round(sh_version);
+    result.extras.actual_versions.push_back(sh_version);
+    result.extras.predicted_versions.push_back(predicted);
+
+    // -- Per group: selection, fault-tolerant ring synchronization,
+    //    broadcast — the same loop the simulator runs, so the seeded
+    //    selection/ring/broadcast draw streams stay identical.
+    std::vector<float> eval_state;
+    std::vector<DeviceId> selected_this_round;
+    for (const auto& group : groups) {
+      std::vector<DeviceId> candidates;
+      for (DeviceId id : group) {
+        if (available_at_start[id]) candidates.push_back(id);
+      }
+      if (candidates.empty()) continue;
+
+      // Snapshot the Eq. 8 selection probabilities this group's draw sees.
+      // Read-only: probabilities() consumes no RNG, so the seeded draw
+      // stream — and the sim/rt equivalence — is unchanged.
+      if (env.telemetry.selection_prob != nullptr &&
+          dynamic_cast<core::GaussianQuartileSelection*>(policy.get()) !=
+              nullptr) {
+        std::vector<double> cand_versions;
+        cand_versions.reserve(candidates.size());
+        for (DeviceId d : candidates) cand_versions.push_back(predicted[d]);
+        for (const double p :
+             core::GaussianQuartileSelection::probabilities(cand_versions)) {
+          env.telemetry.selection_prob->observe(p);
+        }
+      }
+      core::RingPlan plan = core::plan_ring(
+          *policy, candidates, predicted, setup.compute_powers,
+          bandwidth_scales, config.hadfl.strategy.select_count, rng);
+      std::vector<DeviceId> ring = std::move(plan.ring);
+
+      std::vector<float> aggregate;
+      double version_mean = 0.0;
+      for (int attempt = 0; attempt < kMaxSyncAttempts && !ring.empty();
+           ++attempt) {
+        const double att0 = rec != nullptr ? rec->now_s() : 0.0;
+        const RtRingRepairResult repair = repair_ring(
+            transport, detector, ring, config.repair, rec, coord_track);
+        result.extras.ring_repairs += repair.repairs;
+        for (DeviceId d : repair.removed) fence(d);
+        ring = repair.ring;
+        if (ring.empty()) break;
+
+        const std::int64_t cid = next_collective_id++;
+        const std::vector<double> weights = core::ring_weights(
+            ctx.partition, ring, config.hadfl.weight_by_samples);
+        auto cancel = std::make_shared<std::atomic<bool>>(false);
+        std::vector<DeviceId> posted;
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+          Command c;
+          c.kind = CmdKind::kSync;
+          c.peers = ring;
+          c.my_index = i;
+          c.collective_id = cid;
+          c.weights = weights;
+          c.wire_bytes = wire_bytes;
+          c.chunks = config.sync_chunks;
+          c.cancel = cancel;
+          for (const FaultPlan& plan : config.faults) {
+            if (plan.device == ring[i] && plan.round == round &&
+                plan.during_sync && attempt == 0) {
+              c.die_after = static_cast<std::int64_t>(plan.after_steps);
+              c.die_silently = plan.silent;
+            }
+          }
+          if (post(ring[i], std::move(c))) posted.push_back(ring[i]);
+        }
+        // The pipelined collective beats through every blocking slice, so
+        // the detector is authoritative here: a silent mid-pipeline death
+        // fences within ~heartbeat_timeout instead of the full deadline.
+        // The first failure raises the attempt's cancel flag — and, on the
+        // socket backend, kCancel frames — unblocking every member still
+        // waiting on a chunk that will never come.
+        auto sreps = collect(
+            posted, ReportKind::kSyncDone,
+            /*use_detector=*/true, sync_deadline(ring.size()), [&] {
+              cancel->store(true, std::memory_order_relaxed);
+              io.cancel_collective(ring, cid);
+            });
+        const bool all_ok =
+            posted.size() == ring.size() && sreps.size() == ring.size() &&
+            std::all_of(sreps.begin(), sreps.end(),
+                        [](const auto& kv) { return kv.second.ok; });
+        if (all_ok) {
+          aggregate = std::move(sreps.at(ring.front()).aggregate);
+          version_mean = 0.0;
+          for (DeviceId d : ring) version_mean += sh_version[d];
+          version_mean /= static_cast<double>(ring.size());
+          std::vector<DeviceId> committed;
+          for (DeviceId d : ring) {
+            Command c;
+            c.kind = CmdKind::kCommit;
+            c.version_mean = version_mean;
+            if (post(d, std::move(c))) committed.push_back(d);
+          }
+          const auto creps = collect(committed, ReportKind::kCommitDone,
+                                     /*use_detector=*/false, 30.0);
+          for (const auto& [d, r] : creps) sh_version[d] = r.version;
+          // Successful-attempt latency: repair sweep → posted collective →
+          // every member folded, reported and committed.
+          if (env.telemetry.sync_latency != nullptr) {
+            env.telemetry.sync_latency->observe(rec->now_s() - att0);
+          }
+          break;
+        }
+        // Abort the survivors, purge stale collective traffic, repair and
+        // retry under a fresh id.
+        HADFL_WARN("rt: partial sync attempt " << attempt
+                                               << " failed; repairing");
+        aggregate.clear();
+        std::vector<DeviceId> aborted;
+        for (DeviceId d : ring) {
+          Command c;
+          c.kind = CmdKind::kAbort;
+          c.collective_id = next_collective_id;
+          if (post(d, std::move(c))) aborted.push_back(d);
+        }
+        collect(aborted, ReportKind::kAck, /*use_detector=*/false,
+                sync_deadline(ring.size()));
+        // Abort latency: how long a doomed attempt held the ring before
+        // every survivor acknowledged the abort.
+        if (env.telemetry.abort_latency != nullptr) {
+          env.telemetry.abort_latency->observe(rec->now_s() - att0);
+        }
+      }
+
+      if (!ring.empty() && !aggregate.empty()) {
+        selected_this_round.insert(selected_this_round.end(), ring.begin(),
+                                   ring.end());
+
+        // -- Non-blocking broadcast to the unselected group members.
+        std::vector<DeviceId> others;
+        for (DeviceId id : candidates) {
+          if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
+            others.push_back(id);
+          }
+        }
+        if (!others.empty()) {
+          const DeviceId src = ring[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(ring.size()) - 1))];
+          std::vector<DeviceId> receivers;
+          for (DeviceId id : others) {
+            if (live[id]) receivers.push_back(id);
+          }
+          // Price the pushes with a representative live receiver's codec
+          // reconstruction, like the simulator's probe.
+          const std::size_t codec_bytes =
+              oracle.broadcast_codec_bytes(aggregate, receivers);
+          const std::size_t eff = core::effective_wire_bytes(
+              wire_bytes, codec_bytes, aggregate.size() * sizeof(float));
+          const std::int64_t bc_id = next_collective_id++;
+          // End-to-end non-blocking (§III-D): the coordinator posts the
+          // push and the integrations and moves straight on — nobody
+          // collects these reports (collect() drops them as stale later).
+          // The per-worker command FIFO is the only ordering needed: the
+          // broadcaster trains its next round while the chunks drain, and
+          // each receiver integrates chunk-by-chunk before its next kTrain.
+          // sh_version self-heals because kTrainDone carries the absolute
+          // version.
+          Command c;
+          c.kind = CmdKind::kBroadcast;
+          c.peers = receivers;
+          c.collective_id = bc_id;
+          c.wire_bytes = eff;
+          c.chunks = config.sync_chunks;
+          c.int8 = config.int8_broadcast;
+          if (post(src, std::move(c))) {
+            for (DeviceId id : receivers) {
+              Command c2;
+              c2.kind = CmdKind::kIntegrate;
+              c2.peer = src;
+              c2.collective_id = bc_id;
+              c2.version_mean = version_mean;
+              c2.chunks = config.sync_chunks;
+              c2.int8 = config.int8_broadcast;
+              post(id, std::move(c2));
+            }
+          }
+        }
+        if (eval_state.empty()) {
+          eval_state = std::move(aggregate);
+        } else {
+          // Multiple groups: evaluate the mean of group aggregates.
+          nn::mix_into(eval_state, aggregate, 0.5);
+        }
+      }
+    }
+
+    // -- Inter-group synchronization (§III-A hierarchical mode), two-phase
+    //    like the ring sync: every group's leader (first live member)
+    //    allgathers the leader states and stages the global mean
+    //    (kInterSync); only when all leaders report success does the
+    //    coordinator post the commit — each leader loads the global and
+    //    pushes it non-blockingly to its group, each member mixes it in
+    //    (kInterCommit / kInterMix, fire-and-forget like the broadcast).
+    //    The applied state and mix match the simulator's leader exchange
+    //    bit for bit; a failed phase 1 aborts with no state touched.
+    if (groups.size() > 1 &&
+        round % static_cast<std::size_t>(
+                    std::max(1, config.hadfl.grouping.inter_group_period)) ==
+            0) {
+      std::vector<DeviceId> leaders;
+      for (const auto& group : groups) {
+        for (DeviceId id : group) {
+          if (live[id]) {
+            leaders.push_back(id);
+            break;
+          }
+        }
+      }
+      if (leaders.size() > 1) {
+        const std::int64_t cid = next_collective_id++;
+        auto cancel = std::make_shared<std::atomic<bool>>(false);
+        std::vector<DeviceId> posted;
+        for (std::size_t i = 0; i < leaders.size(); ++i) {
+          Command c;
+          c.kind = CmdKind::kInterSync;
+          c.peers = leaders;
+          c.my_index = i;
+          c.collective_id = cid;
+          c.wire_bytes = wire_bytes;
+          c.chunks = config.sync_chunks;
+          c.cancel = cancel;
+          if (post(leaders[i], std::move(c))) posted.push_back(leaders[i]);
+        }
+        auto reps = collect(
+            posted, ReportKind::kInterSyncDone,
+            /*use_detector=*/true, sync_deadline(leaders.size()), [&] {
+              cancel->store(true, std::memory_order_relaxed);
+              io.cancel_collective(leaders, cid);
+            });
+        const bool all_ok =
+            posted.size() == leaders.size() &&
+            reps.size() == leaders.size() &&
+            std::all_of(reps.begin(), reps.end(),
+                        [](const auto& kv) { return kv.second.ok; });
+        if (all_ok) {
+          std::vector<float> global =
+              std::move(reps.at(leaders.front()).aggregate);
+          const std::int64_t push_id = next_collective_id++;
+          for (std::size_t g = 0; g < groups.size() && g < leaders.size();
+               ++g) {
+            std::vector<DeviceId> members;
+            for (DeviceId id : groups[g]) {
+              if (live[id] && id != leaders[g]) members.push_back(id);
+            }
+            Command c;
+            c.kind = CmdKind::kInterCommit;
+            c.peers = members;
+            c.collective_id = push_id;
+            c.wire_bytes = wire_bytes;
+            c.chunks = config.sync_chunks;
+            if (post(leaders[g], std::move(c))) {
+              for (DeviceId id : members) {
+                Command c2;
+                c2.kind = CmdKind::kInterMix;
+                c2.peer = leaders[g];
+                c2.collective_id = push_id;
+                c2.chunks = config.sync_chunks;
+                post(id, std::move(c2));
+              }
+            }
+          }
+          eval_state = std::move(global);
+        } else {
+          // Abort: drop the staged globals and purge phase-1 traffic; the
+          // next period retries with whoever is still alive.
+          HADFL_WARN("rt: inter-group sync failed; skipping this period");
+          std::vector<DeviceId> aborted;
+          for (DeviceId id : leaders) {
+            Command c;
+            c.kind = CmdKind::kAbort;
+            c.collective_id = next_collective_id;
+            if (post(id, std::move(c))) aborted.push_back(id);
+          }
+          collect(aborted, ReportKind::kAck, /*use_detector=*/false,
+                  sync_deadline(leaders.size()));
+        }
+      }
+    }
+    result.extras.selected.push_back(selected_this_round);
+
+    epochs_done +=
+        executed_total * static_cast<double>(ctx.config.device_batch_size) /
+        total_train;
+    idle_rounds = executed_total > 0.0 ? 0 : idle_rounds + 1;
+
+    // -- Record convergence on the aggregated model.
+    if (eval_state.empty()) {
+      const std::vector<DeviceId> avail = live_ids();
+      if (avail.empty()) break;
+      eval_state = oracle.mean_state(avail);
+    }
+    nn::load_state(*setup.reference, eval_state);
+    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
+    double loss_sum = 0.0;
+    double loss_weight = 0.0;
+    for (DeviceId d = 0; d < k; ++d) {
+      loss_sum += sh_loss[d] * static_cast<double>(sh_executed[d]);
+      loss_weight += static_cast<double>(sh_executed[d]);
+    }
+    result.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done, wall(), loss_weight > 0.0 ? loss_sum / loss_weight : 0.0,
+        eval.loss, eval.accuracy});
+
+    model_manager.update(eval_state, round);
+    ++result.scheme.sync_rounds;
+
+    if (idle_rounds >= 3) {
+      HADFL_WARN("rt: no training progress in 3 consecutive rounds; stopping");
+      break;
+    }
+  }
+
+  // ---- Orderly shutdown: after the kStopped reports the workers make no
+  // further writes, so the final state reads below are race-free even
+  // before the worker threads/processes are reaped.
+  {
+    std::vector<DeviceId> stopping;
+    for (DeviceId d = 0; d < k; ++d) {
+      Command c;
+      c.kind = CmdKind::kStop;
+      if (post(d, std::move(c))) stopping.push_back(d);
+    }
+    const auto sreps =
+        collect(stopping, ReportKind::kStopped, /*use_detector=*/true, 30.0);
+    for (const auto& [d, r] : sreps) {
+      result.device_stats[d].reported = true;
+      result.device_stats[d].sent_bytes = r.sent_bytes;
+      result.device_stats[d].received_bytes = r.received_bytes;
+      result.device_stats[d].pool = r.pool;
+    }
+  }
+
+  result.extras.model_backups = model_manager.backups_written();
+  if (model_manager.has_model()) {
+    result.scheme.final_state = model_manager.latest();
+  } else {
+    const std::vector<DeviceId> ids = live_ids();
+    result.scheme.final_state =
+        ids.empty() ? setup.init_state : oracle.mean_state(ids);
+  }
+  result.scheme.total_time = wall();
+  result.wall_seconds = wall();
+  return result;
+}
+
+}  // namespace hadfl::rt

@@ -86,7 +86,7 @@ std::vector<DeviceId> FailureDetector::suspects() const {
   return out;
 }
 
-RtRingRepairResult repair_ring(InprocTransport& transport,
+RtRingRepairResult repair_ring(Transport& transport,
                                const FailureDetector& detector,
                                const std::vector<DeviceId>& ring,
                                const RtRingRepairConfig& config,

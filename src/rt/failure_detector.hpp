@@ -101,7 +101,7 @@ struct RtRingRepairResult {
 /// `span_track` (the caller's — normally the coordinator's — track; the
 /// repair protocol runs on the calling thread, and worker tracks are
 /// single-writer).
-RtRingRepairResult repair_ring(InprocTransport& transport,
+RtRingRepairResult repair_ring(Transport& transport,
                                const FailureDetector& detector,
                                const std::vector<DeviceId>& ring,
                                const RtRingRepairConfig& config = {},

@@ -1,0 +1,99 @@
+// Coordinator ↔ device-worker control protocol for the rt runtime.
+//
+// The coordinator (rt/coordinator.hpp) drives every device through a FIFO
+// stream of Commands and hears back through Reports. On the inproc backend
+// the stream is a Mailbox<Command> per worker thread plus one shared
+// Mailbox<Report>; on the socket backend (src/net/) both directions are
+// serialized through net/codec.hpp and travel as control frames on the
+// device's connection. Enumerator values are part of that wire encoding —
+// they are explicit and must never be renumbered, only appended to.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/buffer_pool.hpp"
+#include "rt/transport.hpp"
+
+namespace hadfl::rt {
+
+enum class CmdKind : std::uint8_t {
+  kWarmup = 1,      ///< §III-B negotiation epochs
+  kSetState = 2,    ///< install a full state (post-negotiation full sync)
+  kGetState = 3,    ///< report the current state (net-backend oracle reads)
+  kTrain = 4,       ///< local training burst with deadline truncation
+  kSync = 5,        ///< join the pipelined weighted ring collective
+  kCommit = 6,      ///< install the staged aggregate (two-phase commit)
+  kAbort = 7,       ///< drop the staged aggregate + purge stale traffic
+  kBroadcast = 8,   ///< non-blocking chunked push to the unselected
+  kIntegrate = 9,   ///< receive + mix a broadcast (broadcast's other end)
+  kInterSync = 10,  ///< §III-A leader exchange: allgather + mean of leaders
+  kInterCommit = 11,  ///< leader: load the global mean, push it group-wide
+  kInterMix = 12,     ///< group member: receive + mix the leader's global
+  kStop = 13,         ///< orderly shutdown; answer kStopped with run stats
+};
+
+struct Command {
+  CmdKind kind = CmdKind::kStop;
+  std::size_t steps = 0;           ///< kWarmup / kTrain budget
+  double learning_rate = 0.0;
+  double deadline_s = 0.0;         ///< kTrain wall deadline (<= 0: none)
+  std::int64_t die_after = -1;     ///< fault injection (kTrain/kSync)
+  bool die_silently = false;
+  std::vector<float> state;        ///< kSetState payload
+  double version_mean = 0.0;       ///< kCommit / kIntegrate
+  /// kSync/kInterSync ring (ring order) / kBroadcast/kInterCommit targets.
+  std::vector<DeviceId> peers;
+  std::size_t my_index = 0;        ///< kSync/kInterSync: ring position
+  std::int64_t collective_id = 0;
+  std::vector<double> weights;     ///< kSync aggregation weights, ring order
+  std::size_t wire_bytes = 0;      ///< per-exchange wire price
+  DeviceId peer = 0;               ///< kIntegrate/kInterMix: push source
+  std::size_t chunks = 0;          ///< collective/broadcast chunking
+  bool int8 = false;               ///< kBroadcast/kIntegrate wire format
+  /// kSync/kInterSync abort propagation: the coordinator raises this shared
+  /// flag the moment the attempt is known doomed (first failed report or
+  /// fenced member), so members blocked on a chunk from an already-aborted
+  /// — but live — neighbour bail at their next beat slice instead of
+  /// burning the full step timeout. Process-local; the socket backend
+  /// recreates it on the worker side and raises it on a kCancel frame
+  /// (never serialized — see net/codec.hpp).
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+enum class ReportKind : std::uint8_t {
+  kWarmupDone = 1,
+  kAck = 2,
+  kTrainDone = 3,
+  kSyncDone = 4,
+  kCommitDone = 5,
+  kStateDone = 6,        ///< kGetState answer (state in `aggregate`)
+  kBroadcastDone = 7,
+  kIntegrateDone = 8,
+  kInterSyncDone = 9,    ///< leader finished the inter-group allgather
+  kInterCommitDone = 10,
+  kInterMixDone = 11,
+  kStopped = 12,
+};
+
+struct Report {
+  DeviceId device = 0;
+  ReportKind kind = ReportKind::kAck;
+  bool ok = true;
+  double loss = 0.0;
+  double wall_s = 0.0;              ///< kWarmupDone: measured duration
+  std::size_t executed = 0;         ///< kTrainDone
+  double version = 0.0;             ///< post-command parameter version
+  /// kSyncDone/kInterSyncDone from ring index 0, kStateDone from everyone.
+  std::vector<float> aggregate;
+  std::vector<DeviceId> delivered;  ///< kBroadcastDone / kInterCommitDone
+  // kStopped run stats — how a remote worker process ships its transport
+  // byte counters and pool stats home (RtResult::device_stats).
+  std::size_t sent_bytes = 0;
+  std::size_t received_bytes = 0;
+  BufferPool::Stats pool;
+};
+
+}  // namespace hadfl::rt

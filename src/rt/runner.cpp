@@ -1,144 +1,113 @@
 #include "rt/runner.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <cmath>
-#include <functional>
-#include <map>
 #include <memory>
-#include <optional>
-#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
-#include "common/logging.hpp"
-#include "common/math_utils.hpp"
 #include "common/thread_pool.hpp"
-#include "core/coordinator.hpp"
-#include "core/grouping.hpp"
 #include "core/round_logic.hpp"
-#include "fl/evaluate.hpp"
-#include "fl/local_trainer.hpp"
-#include "nn/param_utils.hpp"
-#include "rt/collectives.hpp"
-#include "rt/wire_format.hpp"
+#include "rt/coordinator.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/worker.hpp"
 
 namespace hadfl::rt {
 
 namespace {
 
-/// Iterations between heartbeats while a worker trains.
-constexpr std::size_t kTrainChunk = 8;
-/// Synchronization attempts per round (repair + retry under a fresh id).
-constexpr int kMaxSyncAttempts = 4;
+/// Worker endpoints on the inproc backend: a dedicated command mailbox, the
+/// shared report mailbox, and direct beats into the shared FailureDetector.
+class InprocWorkerIo final : public WorkerIo {
+ public:
+  InprocWorkerIo(DeviceId id, Mailbox<Command>& inbox,
+                 Mailbox<Report>& reports, FailureDetector& detector)
+      : id_(id), inbox_(inbox), reports_(reports), detector_(detector) {}
 
-void sleep_s(double seconds) {
-  if (seconds <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
+  std::optional<Command> next_command(double timeout_s) override {
+    return inbox_.pop(timeout_s);
+  }
+  bool command_channel_closed() override { return inbox_.closed(); }
+  void send_report(Report report) override {
+    reports_.push(std::move(report));
+  }
+  void beat() override { detector_.beat(id_); }
 
-double elapsed_s(Clock::time_point since) {
-  return std::chrono::duration<double>(Clock::now() - since).count();
-}
-
-enum class CmdKind {
-  kWarmup,
-  kSetState,
-  kTrain,
-  kSync,
-  kCommit,
-  kAbort,
-  kBroadcast,
-  kIntegrate,
-  kStop,
+ private:
+  DeviceId id_;
+  Mailbox<Command>& inbox_;
+  Mailbox<Report>& reports_;
+  FailureDetector& detector_;
 };
 
-struct Command {
-  CmdKind kind = CmdKind::kStop;
-  std::size_t steps = 0;           ///< kWarmup / kTrain budget
-  double learning_rate = 0.0;
-  double deadline_s = 0.0;         ///< kTrain wall deadline (<= 0: none)
-  std::int64_t die_after = -1;     ///< fault injection (kTrain/kSync)
-  bool die_silently = false;
-  std::vector<float> state;        ///< kSetState payload
-  double version_mean = 0.0;       ///< kCommit / kIntegrate
-  std::vector<DeviceId> peers;     ///< kSync ring / kBroadcast targets
-  std::size_t my_index = 0;        ///< kSync: own position in the ring
-  std::int64_t collective_id = 0;  ///< kSync/kAbort/kBroadcast/kIntegrate
-  std::vector<double> weights;     ///< kSync aggregation weights, ring order
-  std::size_t wire_bytes = 0;      ///< per-exchange wire price
-  DeviceId peer = 0;               ///< kIntegrate: broadcast source
-  std::size_t chunks = 0;          ///< kSync/kBroadcast/kIntegrate chunking
-  bool int8 = false;               ///< kBroadcast/kIntegrate wire format
-  /// kSync abort propagation: the coordinator raises this shared flag the
-  /// moment the attempt is known doomed (first failed report or fenced
-  /// member), so members blocked on a chunk from an already-aborted — but
-  /// live — neighbour bail at their next beat slice instead of burning the
-  /// full step timeout.
-  std::shared_ptr<std::atomic<bool>> cancel;
+class InprocCoordinatorIo final : public CoordinatorIo {
+ public:
+  InprocCoordinatorIo(std::vector<std::unique_ptr<Mailbox<Command>>>& inboxes,
+                      Mailbox<Report>& reports)
+      : inboxes_(inboxes), reports_(reports) {}
+
+  bool post(DeviceId d, Command command) override {
+    return inboxes_[d]->push(std::move(command));
+  }
+  std::optional<Report> poll_report(double timeout_s) override {
+    return reports_.pop(timeout_s);
+  }
+  void close_channel(DeviceId d) override { inboxes_[d]->close(); }
+  void cancel_collective(const std::vector<DeviceId>&,
+                         std::int64_t) override {
+    // The Command's shared cancel flag is the same atomic the workers poll
+    // in-process; raising it (which the coordinator already did) is enough.
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox<Command>>>& inboxes_;
+  Mailbox<Report>& reports_;
 };
 
-enum class ReportKind {
-  kWarmupDone,
-  kAck,
-  kTrainDone,
-  kSyncDone,
-  kCommitDone,
-  kBroadcastDone,
-  kIntegrateDone,
-  kStopped,
-};
+/// Direct reads of the worker DeviceStates. Only safe for devices the
+/// coordinator knows are idle-and-live — the report mailbox handoff is the
+/// happens-before edge (see runner.hpp).
+class InprocDeviceOracle final : public DeviceOracle {
+ public:
+  InprocDeviceOracle(std::vector<core::DeviceState>& devices,
+                     const RtConfig& config)
+      : devices_(devices), config_(config) {}
 
-struct Report {
-  DeviceId device = 0;
-  ReportKind kind = ReportKind::kAck;
-  bool ok = true;
-  double loss = 0.0;
-  double wall_s = 0.0;              ///< kWarmupDone: measured duration
-  std::size_t executed = 0;         ///< kTrainDone
-  double version = 0.0;             ///< post-command parameter version
-  std::vector<float> aggregate;     ///< kSyncDone, from ring index 0 only
-  std::vector<DeviceId> delivered;  ///< kBroadcastDone
-};
+  std::vector<float> mean_state(const std::vector<DeviceId>& ids) override {
+    return core::mean_state_of(devices_, ids);
+  }
 
-/// Thrown by a worker's beat hook to model a device dying mid-collective
-/// (FaultPlan::during_sync): unwinds out of the pipelined collective
-/// between two chunk operations, exactly where a real crash would cut it.
-struct InjectedDeath {};
+  std::size_t broadcast_codec_bytes(
+      const std::vector<float>& aggregate,
+      const std::vector<DeviceId>& receivers) override {
+    std::size_t codec_bytes = aggregate.size() * sizeof(float);
+    for (DeviceId id : receivers) {
+      // Price against the first receiver's codec reconstruction, like the
+      // simulator's probe (codec sizes are deterministic).
+      std::vector<float> probe = aggregate;
+      codec_bytes = core::compress_roundtrip(
+          probe, devices_[id].last_sync_state, config_.hadfl);
+      break;
+    }
+    return codec_bytes;
+  }
+
+ private:
+  std::vector<core::DeviceState>& devices_;
+  const RtConfig& config_;
+};
 
 }  // namespace
 
 RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
                   "partition count != device count");
-  HADFL_CHECK_ARG(config.hadfl.alpha > 0.0 && config.hadfl.alpha < 1.0,
-                  "alpha must be in (0, 1)");
-  HADFL_CHECK_ARG(config.hadfl.broadcast_mix_weight >= 0.0 &&
-                      config.hadfl.broadcast_mix_weight <= 1.0,
-                  "broadcast mix weight must be in [0, 1]");
-  HADFL_CHECK_ARG(config.collective_timeout_s > 0.0 &&
-                      config.command_poll_s > 0.0,
-                  "rt timeouts must be positive");
-  HADFL_CHECK_ARG(
-      core::make_groups(ctx.cluster, config.hadfl.grouping).size() == 1,
-      "rt backend supports the flat topology only (disable grouping)");
-
   sim::Cluster& cluster = ctx.cluster;
   const std::size_t k = cluster.size();
-  const Clock::time_point run_start = Clock::now();
-  const auto wall = [&] { return elapsed_s(run_start); };
-
-  std::shared_ptr<core::SelectionPolicy> policy = config.hadfl.policy;
-  if (!policy) policy = std::make_shared<core::GaussianQuartileSelection>();
 
   // ---- Initial model dispatch — the RNG split sequence is shared with the
   // simulator backend (core/round_logic.hpp), which is what makes seeded
   // rt-vs-sim runs draw identical selection/ring streams.
   Rng rng(ctx.config.seed);
   core::DeviceSetup setup = init_devices(ctx, config.hadfl, rng);
-  std::vector<core::DeviceState>& devices = setup.devices;
-  const std::vector<std::size_t>& ipe = setup.iters_per_epoch;
-  const std::size_t wire_bytes = setup.wire_bytes;
 
   std::vector<double> bandwidth_scales(k);
   std::vector<double> iter_time(k);
@@ -159,383 +128,57 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
 
   // ---- Telemetry (optional). Span tracks are single-writer: device d
   // records on track d from its own worker thread, the coordinator (ring
-  // repairs) on track k. Workers reach the instruments through captured
+  // repairs) on track k. Workers reach the instruments through WorkerEnv
   // pointers; with telemetry off every site reduces to one null test, so
   // the dark path stays effectively free and, either way, the training
   // math — and thus the seeded sim/rt equivalence — is untouched.
   std::unique_ptr<obs::SpanRecorder> span_recorder;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry;
-  obs::SpanRecorder* rec = nullptr;
-  obs::Counter* scatter_bytes = nullptr;
-  obs::Counter* allgather_bytes = nullptr;
-  obs::Counter* broadcast_bytes = nullptr;
-  obs::Histogram* sync_latency = nullptr;
-  obs::Histogram* abort_latency = nullptr;
-  obs::Histogram* selection_prob = nullptr;
+  WorkerTelemetry worker_telemetry;
+  CoordinatorTelemetry coord_telemetry;
+  coord_telemetry.coord_track = k;
   if (config.telemetry) {
     span_recorder = std::make_unique<obs::SpanRecorder>(
         k + 1, config.telemetry_span_capacity);
-    rec = span_recorder.get();
     metrics_registry = std::make_unique<obs::MetricsRegistry>();
-    scatter_bytes = &metrics_registry->counter("sync.scatter_bytes");
-    allgather_bytes = &metrics_registry->counter("sync.allgather_bytes");
-    broadcast_bytes = &metrics_registry->counter("broadcast.bytes");
-    sync_latency = &metrics_registry->histogram(
+    worker_telemetry.rec = span_recorder.get();
+    worker_telemetry.scatter_bytes =
+        &metrics_registry->counter("sync.scatter_bytes");
+    worker_telemetry.allgather_bytes =
+        &metrics_registry->counter("sync.allgather_bytes");
+    worker_telemetry.broadcast_bytes =
+        &metrics_registry->counter("broadcast.bytes");
+    coord_telemetry.rec = span_recorder.get();
+    coord_telemetry.sync_latency = &metrics_registry->histogram(
         "sync.latency_s", obs::exponential_bounds(1e-4, 2.0, 18));
-    abort_latency = &metrics_registry->histogram(
+    coord_telemetry.abort_latency = &metrics_registry->histogram(
         "sync.abort_latency_s", obs::exponential_bounds(1e-4, 2.0, 18));
-    selection_prob = &metrics_registry->histogram(
+    coord_telemetry.selection_prob = &metrics_registry->histogram(
         "selection.probability",
         {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0});
     detector.attach_silence_histogram(&metrics_registry->histogram(
         "heartbeat.silence_s", obs::exponential_bounds(1e-4, 2.0, 16)));
   }
-  const std::size_t coord_track = k;
 
-  RtResult result;
-  result.scheme.scheme_name = "hadfl-rt";
-
-  // ---- Device worker loop: one per thread, driven purely by commands.
-  const auto worker_main = [&](DeviceId d) {
-    core::DeviceState& dev = devices[d];
-    Mailbox<Command>& inbox = *inboxes[d];
-    // Sync-path working set, persistent across rounds: the codec scratch
-    // (dev.scratch), the double-precision fold, the staged aggregate and
-    // the broadcast staging buffer all keep their capacity, so steady-state
-    // synchronization does not allocate on this thread.
-    std::vector<float> pending_aggregate;
-    core::WeightedRingFold sync_fold;
-    std::vector<float> bc_stage;
-
-    const auto throttled_sleep = [&](double seconds) {
-      const double slice = std::max(0.001, config.heartbeat_timeout_s / 4.0);
-      while (seconds > 0.0) {
-        const double s = std::min(seconds, slice);
-        sleep_s(s);
-        seconds -= s;
-        detector.beat(d);
-      }
-    };
-    const auto throttle = [&](std::size_t steps) {
-      if (config.compute_throttle > 0.0) {
-        throttled_sleep(config.compute_throttle * iter_time[d] *
-                        static_cast<double>(steps));
-      }
-    };
-    const auto report = [&](Report r) {
-      r.device = d;
-      reports.push(std::move(r));
-    };
-
-    for (;;) {
-      detector.beat(d);
-      std::optional<Command> cmd = inbox.pop(config.command_poll_s);
-      if (!cmd) {
-        if (inbox.closed()) return;
-        continue;
-      }
-      switch (cmd->kind) {
-        case CmdKind::kWarmup: {
-          dev.optimizer->set_learning_rate(cmd->learning_rate);
-          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
-          const Clock::time_point t0 = Clock::now();
-          double loss_sum = 0.0;
-          std::size_t done = 0;
-          while (done < cmd->steps) {
-            const std::size_t chunk =
-                std::min(kTrainChunk, cmd->steps - done);
-            loss_sum += fl::run_local_steps(*dev.model, *dev.optimizer,
-                                            *dev.batches, chunk)
-                            .mean_loss *
-                        static_cast<double>(chunk);
-            done += chunk;
-            throttle(chunk);
-            detector.beat(d);
-          }
-          dev.last_loss =
-              done > 0 ? loss_sum / static_cast<double>(done) : 0.0;
-          if (rec != nullptr) {
-            rec->record(d, ts0, rec->now_s(), obs::SpanKind::kCompute,
-                        "warmup");
-          }
-          Report r;
-          r.kind = ReportKind::kWarmupDone;
-          r.loss = dev.last_loss;
-          r.wall_s = elapsed_s(t0);
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kSetState: {
-          nn::load_state(*dev.model, cmd->state);
-          Report r;
-          r.kind = ReportKind::kAck;
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kTrain: {
-          dev.optimizer->set_learning_rate(cmd->learning_rate);
-          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
-          const Clock::time_point t0 = Clock::now();
-          double loss_sum = 0.0;
-          std::size_t executed = 0;
-          bool died = false;
-          while (executed < cmd->steps) {
-            std::size_t chunk = std::min(kTrainChunk, cmd->steps - executed);
-            if (cmd->die_after >= 0) {
-              chunk = std::min(chunk, static_cast<std::size_t>(
-                                          cmd->die_after) -
-                                          executed);
-            }
-            if (chunk > 0) {
-              loss_sum += fl::run_local_steps(*dev.model, *dev.optimizer,
-                                              *dev.batches, chunk)
-                              .mean_loss *
-                          static_cast<double>(chunk);
-              executed += chunk;
-              throttle(chunk);
-            }
-            if (cmd->die_after >= 0 &&
-                executed >= static_cast<std::size_t>(cmd->die_after)) {
-              died = true;
-              break;
-            }
-            detector.beat(d);
-            if (cmd->deadline_s > 0.0 && elapsed_s(t0) >= cmd->deadline_s) {
-              break;  // window boundary: report a lower version (§III-B)
-            }
-          }
-          dev.version += static_cast<double>(executed);
-          dev.last_executed = executed;
-          if (executed > 0) {
-            dev.last_loss = loss_sum / static_cast<double>(executed);
-          }
-          if (rec != nullptr) {
-            rec->record(d, ts0, rec->now_s(), obs::SpanKind::kCompute,
-                        "train");
-          }
-          if (died) {
-            // Injected crash: no report, no further beats. Closing the
-            // endpoint models the OS tearing down a dead process's
-            // sockets; a silent death leaves even that to the heartbeat.
-            if (!cmd->die_silently) transport.kill(d);
-            return;
-          }
-          Report r;
-          r.kind = ReportKind::kTrainDone;
-          r.executed = executed;
-          r.loss = dev.last_loss;
-          r.version = dev.version;
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kSync: {
-          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
-          Report r;
-          r.kind = ReportKind::kSyncDone;
-          // The beat hook keeps the heartbeat fresh through every blocking
-          // slice of the collective (so the coordinator may watch the
-          // detector during sync), and doubles as the mid-pipeline fault
-          // injection point.
-          std::int64_t die_budget = cmd->die_after;
-          const auto sync_beat = [&] {
-            detector.beat(d);
-            if (die_budget >= 0 && die_budget-- == 0) {
-              if (!cmd->die_silently) transport.kill(d);
-              throw InjectedDeath{};
-            }
-            if (cmd->cancel &&
-                cmd->cancel->load(std::memory_order_relaxed)) {
-              throw CommError("sync collective cancelled by coordinator");
-            }
-          };
-          try {
-            const auto view = nn::state_view(*dev.model);
-            dev.scratch.assign(view.begin(), view.end());
-            const std::size_t dense = dev.scratch.size() * sizeof(float);
-            const std::size_t codec = core::compress_roundtrip(
-                dev.scratch, dev.last_sync_state, config.hadfl);
-            const std::size_t eff =
-                core::effective_wire_bytes(cmd->wire_bytes, codec, dense);
-            // Chunk-pipelined weighted scatter-fold + allgather: the shared
-            // WeightedRingFold makes the aggregate bitwise identical
-            // ring-wide and to the simulator's (ring-order double-precision
-            // accumulation per segment, then one cast).
-            ring_weighted_aggregate(transport, cmd->peers, cmd->my_index,
-                                    dev.scratch, cmd->weights, sync_fold,
-                                    pending_aggregate, cmd->collective_id,
-                                    eff, config.collective_timeout_s,
-                                    cmd->chunks, sync_beat, scatter_bytes,
-                                    allgather_bytes);
-            if (cmd->my_index == 0) r.aggregate = pending_aggregate;
-          } catch (const CommError& e) {
-            HADFL_DEBUG("dev" << d << " sync failed: " << e.what());
-            pending_aggregate.clear();
-            r.ok = false;
-          } catch (const InjectedDeath&) {
-            // Like the kTrain crash: no report, no further beats.
-            return;
-          }
-          if (rec != nullptr) {
-            // A failed attempt shows as a stall: time burned on a
-            // collective that aborted and will retry on a repaired ring.
-            rec->record(d, ts0, rec->now_s(),
-                        r.ok ? obs::SpanKind::kSync : obs::SpanKind::kStall,
-                        r.ok ? "sync" : "sync-abort");
-          }
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kCommit: {
-          nn::load_state(*dev.model, pending_aggregate);
-          dev.version = cmd->version_mean;
-          // Swap instead of move-assign: the displaced last_sync_state
-          // capacity becomes next round's pending_aggregate buffer.
-          std::swap(dev.last_sync_state, pending_aggregate);
-          pending_aggregate.clear();
-          Report r;
-          r.kind = ReportKind::kCommitDone;
-          r.version = dev.version;
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kAbort: {
-          pending_aggregate.clear();
-          transport.purge_stale(d, cmd->collective_id);
-          Report r;
-          r.kind = ReportKind::kAck;
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kBroadcast: {
-          // Genuinely non-blocking broadcast (§III-D): the pushes are
-          // fire-and-forget, the coordinator never waits on this command,
-          // and the next kTrain is already queued behind it — the
-          // broadcaster is back to training while the chunks drain.
-          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
-          Report r;
-          r.kind = ReportKind::kBroadcastDone;
-          const std::size_t n = dev.last_sync_state.size();
-          const std::size_t chunks = resolve_chunk_count(cmd->chunks, n);
-          for (DeviceId target : cmd->peers) {
-            try {
-              for (std::size_t c = 0; c < chunks; ++c) {
-                const auto [b, e] = chunk_range(n, chunks, c);
-                const std::span<const float> chunk(
-                    dev.last_sync_state.data() + b, e - b);
-                Message msg;
-                msg.tag = broadcast_chunk_tag(cmd->collective_id, c);
-                std::size_t share = chunk_wire_bytes(cmd->wire_bytes, n, b, e);
-                if (cmd->int8) {
-                  msg.payload = encode_int8_chunk(transport.pool(), chunk);
-                  // Same ratio arithmetic as the sim's codec pricing,
-                  // applied per chunk.
-                  share = core::effective_wire_bytes(
-                      share, int8_chunk_wire_bytes(e - b),
-                      (e - b) * sizeof(float));
-                } else {
-                  msg.payload = transport.pool().acquire(e - b);
-                  std::copy(chunk.begin(), chunk.end(), msg.payload.begin());
-                }
-                msg.wire_bytes = share;
-                if (broadcast_bytes != nullptr) {
-                  broadcast_bytes->add(
-                      share != 0 ? share
-                                 : msg.payload.size() * sizeof(float));
-                }
-                transport.send_nonblocking(d, target, std::move(msg));
-                detector.beat(d);
-              }
-              r.delivered.push_back(target);
-            } catch (const CommError&) {
-              // The push is consumed (volume counted) but never arrives —
-              // SimTransport parity. Remaining chunks for this target are
-              // pointless; move on to the next one.
-            }
-          }
-          if (rec != nullptr) {
-            rec->record(d, ts0, rec->now_s(), obs::SpanKind::kBroadcast,
-                        "broadcast");
-          }
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kIntegrate: {
-          const double ts0 = rec != nullptr ? rec->now_s() : 0.0;
-          Report r;
-          r.kind = ReportKind::kIntegrateDone;
-          const std::size_t n = nn::state_size(*dev.model);
-          const std::size_t chunks = resolve_chunk_count(cmd->chunks, n);
-          // With no sync codec the convex mix is elementwise, so each chunk
-          // can be folded into the model the moment it lands (bitwise equal
-          // to the whole-state mix) — receive/compute overlap on the
-          // integration side. A configured codec needs the whole state
-          // (whole-state scale / top-k reference), so integration then
-          // assembles first and defers to the shared sim path.
-          const bool chunkwise_mix =
-              config.hadfl.compression == core::SyncCompression::kNone;
-          bc_stage.resize(n);
-          try {
-            for (std::size_t c = 0; c < chunks; ++c) {
-              const auto [b, e] = chunk_range(n, chunks, c);
-              Message msg = recv_chunk_sliced(
-                  transport, d, cmd->peer,
-                  broadcast_chunk_tag(cmd->collective_id, c),
-                  config.collective_timeout_s, [&] { detector.beat(d); });
-              const std::span<float> stage(bc_stage.data() + b, e - b);
-              if (cmd->int8) {
-                decode_int8_chunk(msg.payload, stage);
-              } else {
-                HADFL_CHECK(msg.payload.size() == e - b);
-                std::copy(msg.payload.begin(), msg.payload.end(),
-                          stage.begin());
-              }
-              transport.pool().release(std::move(msg.payload));
-              if (chunkwise_mix) {
-                mix_spans(nn::state_view(*dev.model).subspan(b, e - b),
-                          stage, config.hadfl.broadcast_mix_weight);
-              }
-              detector.beat(d);
-            }
-            if (chunkwise_mix) {
-              // Same bookkeeping as core::integrate_broadcast: the staged
-              // aggregate becomes the new top-k reference (swap keeps the
-              // displaced capacity), the version takes the convex mix.
-              std::swap(dev.last_sync_state, bc_stage);
-              dev.version =
-                  (1.0 - config.hadfl.broadcast_mix_weight) * dev.version +
-                  config.hadfl.broadcast_mix_weight * cmd->version_mean;
-            } else {
-              core::integrate_broadcast(dev, bc_stage, cmd->version_mean,
-                                        config.hadfl);
-            }
-            r.version = dev.version;
-          } catch (const CommError&) {
-            // Source died mid-broadcast: give up on the rest. Chunks mixed
-            // so far stay — each is a valid elementwise convex step; the
-            // version/reference updates are withheld.
-            r.ok = false;
-          }
-          if (rec != nullptr) {
-            rec->record(d, ts0, rec->now_s(),
-                        r.ok ? obs::SpanKind::kBroadcast
-                             : obs::SpanKind::kStall,
-                        r.ok ? "integrate" : "integrate-abort");
-          }
-          report(std::move(r));
-          break;
-        }
-        case CmdKind::kStop: {
-          Report r;
-          r.kind = ReportKind::kStopped;
-          report(std::move(r));
-          return;
-        }
-      }
-    }
-  };
-
-  // One dedicated thread per device: the pool joins them on destruction,
-  // after the shutdown guard below has closed every inbox.
+  // ---- Device workers: one dedicated thread per device, each running the
+  // shared command loop (rt/worker.cpp). Envs and Ios are declared before
+  // the pool so they outlive the threads; the pool joins them on
+  // destruction, after the shutdown guard below has closed every inbox.
+  std::vector<std::unique_ptr<InprocWorkerIo>> worker_ios;
+  worker_ios.reserve(k);
+  std::vector<WorkerEnv> worker_envs(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    worker_ios.push_back(
+        std::make_unique<InprocWorkerIo>(d, *inboxes[d], reports, detector));
+    WorkerEnv& env = worker_envs[d];
+    env.id = d;
+    env.dev = &setup.devices[d];
+    env.transport = &transport;
+    env.io = worker_ios[d].get();
+    env.config = &config;
+    env.iter_time = iter_time[d];
+    env.telemetry = worker_telemetry;
+  }
   ThreadPool pool(k);
   struct InboxCloser {
     std::vector<std::unique_ptr<Mailbox<Command>>>& boxes;
@@ -544,473 +187,32 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
     }
   } closer{inboxes};
   for (std::size_t d = 0; d < k; ++d) {
-    pool.submit([&worker_main, d] { worker_main(d); });
+    pool.submit([&worker_envs, d] { run_device_worker(worker_envs[d]); });
   }
 
-  // ---- Coordinator-side liveness + messaging helpers.
-  std::vector<bool> live(k, true);
-  const auto live_ids = [&] {
-    std::vector<DeviceId> ids;
-    for (DeviceId d = 0; d < k; ++d) {
-      if (live[d]) ids.push_back(d);
-    }
-    return ids;
-  };
-  const auto fence = [&](DeviceId d) {
-    if (!live[d]) return;
-    live[d] = false;
-    ++result.deaths_detected;
-    detector.mark_dead(d);
-    if (transport.alive(d)) transport.kill(d);
-    inboxes[d]->close();
-    HADFL_WARN("rt: device " << d << " declared dead and fenced");
-  };
-  const auto post = [&](DeviceId d, Command c) {
-    if (!live[d]) return false;
-    if (!inboxes[d]->push(std::move(c))) {
-      fence(d);
-      return false;
-    }
-    return true;
-  };
-  // Robust report collection: waits for every pending device to report,
-  // dropping (and fencing) devices whose endpoint closed, whose heartbeat
-  // went stale (`use_detector` — only where workers beat frequently), or
-  // that exceeded a hard deadline (bounded commands like collectives).
-  const auto collect = [&](std::vector<DeviceId> pending, ReportKind kind,
-                           bool use_detector, double deadline_s = 0.0,
-                           const std::function<void()>& on_trouble = {}) {
-    std::map<DeviceId, Report> out;
-    pending.erase(std::remove_if(pending.begin(), pending.end(),
-                                 [&](DeviceId d) { return !live[d]; }),
-                  pending.end());
-    const Clock::time_point start = Clock::now();
-    while (!pending.empty()) {
-      std::optional<Report> r = reports.pop(config.command_poll_s);
-      if (r) {
-        const auto it =
-            std::find(pending.begin(), pending.end(), r->device);
-        if (it != pending.end() && r->kind == kind) {
-          if (!r->ok && on_trouble) on_trouble();
-          out.emplace(r->device, std::move(*r));
-          pending.erase(it);
-        }
-        continue;  // stale/unexpected reports are dropped
-      }
-      const bool expired =
-          deadline_s > 0.0 && elapsed_s(start) >= deadline_s;
-      for (auto it = pending.begin(); it != pending.end();) {
-        const DeviceId d = *it;
-        const bool dead = !transport.alive(d) ||
-                          (use_detector && !detector.is_alive(d)) || expired;
-        if (dead) {
-          if (on_trouble) on_trouble();
-          fence(d);
-          it = pending.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    return out;
-  };
-  // Generous bound on a ring collective + report: every step is capped by
-  // the rendezvous/recv timeout, so a member that blows through this is
-  // hung, not slow.
-  const auto sync_deadline = [&](std::size_t ring_size) {
-    return 4.0 * static_cast<double>(ring_size) * config.collective_timeout_s +
-           5.0;
-  };
+  // ---- Shared coordinator over the in-process channels.
+  InprocCoordinatorIo io(inboxes, reports);
+  InprocDeviceOracle oracle(setup.devices, config);
+  CoordinatorEnv env;
+  env.transport = &transport;
+  env.detector = &detector;
+  env.io = &io;
+  env.oracle = &oracle;
+  env.telemetry = coord_telemetry;
+  env.scheme_name = "hadfl-rt";
+  RtResult result = run_hadfl_coordinator(ctx, config, setup, rng, env);
 
-  // Shadow of each worker's last reported progress. The coordinator never
-  // reads a (possibly dead) worker's DeviceState for bookkeeping — only
-  // model states of devices known idle-and-live, which the report mailbox
-  // orders correctly.
-  std::vector<double> sh_version(k, 0.0);
-  std::vector<double> sh_loss(k, 0.0);
-  std::vector<std::size_t> sh_executed(k, 0);
-
-  // ---- Mutual negotiation (§III-B) on real threads.
-  const int warmup_epochs = std::max(1, ctx.config.warmup_epochs);
-  for (DeviceId d = 0; d < k; ++d) {
-    Command c;
-    c.kind = CmdKind::kWarmup;
-    c.steps = static_cast<std::size_t>(warmup_epochs) * ipe[d];
-    c.learning_rate = ctx.config.warmup_learning_rate;
-    post(d, std::move(c));
-  }
-  std::vector<sim::SimTime> epoch_times(k, 0.0);
-  {
-    const auto reps =
-        collect(fl::all_device_ids(cluster), ReportKind::kWarmupDone,
-                /*use_detector=*/true);
-    for (DeviceId d = 0; d < k; ++d) {
-      // kVirtual derives T_i from the specs exactly like the simulator's
-      // clock accounting; kWallclock reports the measured duration.
-      epoch_times[d] =
-          static_cast<double>(ipe[d]) * iter_time[d];
-      const auto it = reps.find(d);
-      if (it != reps.end()) {
-        sh_loss[d] = it->second.loss;
-        if (config.timing == TimingMode::kWallclock) {
-          epoch_times[d] =
-              it->second.wall_s / static_cast<double>(warmup_epochs);
-        }
-      }
-    }
-  }
-  result.extras.negotiated_epoch_times = epoch_times;
-
-  if (config.hadfl.full_sync_after_negotiation) {
-    const std::vector<DeviceId> reachable = live_ids();
-    if (reachable.size() > 1) {
-      const std::vector<float> mean = core::mean_state_of(devices, reachable);
-      const std::size_t n = reachable.size();
-      const std::size_t chunk = (wire_bytes + n - 1) / n;
-      for (std::size_t i = 0; i < n; ++i) {
-        transport.account(reachable[i], reachable[(i + 1) % n],
-                          2 * (n - 1) * chunk);
-      }
-      std::vector<DeviceId> posted;
-      for (DeviceId d : reachable) {
-        Command c;
-        c.kind = CmdKind::kSetState;
-        c.state = mean;
-        if (post(d, std::move(c))) posted.push_back(d);
-      }
-      collect(posted, ReportKind::kAck, /*use_detector=*/true, 30.0);
-    }
-  }
-
-  double epochs_done = warmup_epochs;
-
-  // ---- Strategy generation (§III-C) from the negotiated epoch times.
-  const core::StrategyGenerator generator(config.hadfl.strategy);
-  const core::TrainingStrategy strategy = generator.generate(epoch_times, ipe);
-  result.extras.strategy = strategy;
-  HADFL_INFO("hadfl-rt strategy: H_E=" << strategy.hyperperiod << "s window="
-                                       << strategy.round_window << "s");
-
-  core::RuntimeSupervisor supervisor(k, config.hadfl.alpha);
-  core::ModelManager model_manager(config.hadfl.backup_dir,
-                                   config.hadfl.backup_every_rounds);
-
-  // Post-negotiation starting point.
-  {
-    // A fenced device's worker may still be running (heartbeat fencing does
-    // not stop the thread), so its DeviceState must never be read — fall
-    // back to the common initial state when nobody live is left.
-    const std::vector<DeviceId> ids = live_ids();
-    const std::vector<float> mean =
-        ids.empty() ? setup.init_state : core::mean_state_of(devices, ids);
-    nn::load_state(*setup.reference, mean);
-    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
-    double loss_sum = 0.0;
-    for (DeviceId d = 0; d < k; ++d) loss_sum += sh_loss[d];
-    result.scheme.metrics.add(fl::ConvergencePoint{
-        epochs_done, wall(), loss_sum / static_cast<double>(k), eval.loss,
-        eval.accuracy});
-  }
-
-  const double total_train = static_cast<double>(ctx.train.size());
-  std::size_t round = 0;
-  std::int64_t next_collective_id = 1;
-  int idle_rounds = 0;
-
-  while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
-    if (live_ids().empty()) {
-      HADFL_WARN("rt: no live devices left; stopping");
-      break;
-    }
-    ++round;
-    const double window = strategy.round_window;
-
-    // Workflow step 1: the available set is fixed *before* the round
-    // starts. A device dying during the round stays selectable on this
-    // stale view — the §III-D repair protocol is what handles it.
-    std::vector<bool> available_at_start(k, false);
-    for (DeviceId d = 0; d < k; ++d) available_at_start[d] = live[d];
-
-    // -- Asynchronous local training with deadline truncation.
-    std::vector<DeviceId> trainees;
-    for (DeviceId d = 0; d < k; ++d) {
-      if (!live[d]) continue;
-      Command c;
-      c.kind = CmdKind::kTrain;
-      c.learning_rate = ctx.config.learning_rate;
-      if (config.timing == TimingMode::kVirtual) {
-        // Same truncation arithmetic as the simulator (jitter factor 1).
-        const auto fit = static_cast<std::size_t>(
-            std::max(0.0, std::floor(window / iter_time[d] + 1e-9)));
-        c.steps = std::min(strategy.local_steps[d], fit);
-      } else {
-        c.steps = strategy.local_steps[d];
-        c.deadline_s = window;
-      }
-      for (const FaultPlan& plan : config.faults) {
-        if (plan.device == d && plan.round == round && !plan.during_sync) {
-          c.die_after = static_cast<std::int64_t>(plan.after_steps);
-          c.die_silently = plan.silent;
-        }
-      }
-      if (post(d, std::move(c))) trainees.push_back(d);
-    }
-    double executed_total = 0.0;
-    {
-      const auto reps =
-          collect(trainees, ReportKind::kTrainDone, /*use_detector=*/true);
-      for (const auto& [d, r] : reps) {
-        sh_executed[d] = r.executed;
-        sh_loss[d] = r.loss;
-        sh_version[d] = r.version;
-        executed_total += static_cast<double>(r.executed);
-      }
-    }
-
-    // -- Coordinator: prediction, observation (same order as the sim).
-    std::vector<double> fallback(k);
-    for (DeviceId d = 0; d < k; ++d) {
-      fallback[d] =
-          static_cast<double>(round) * strategy.expected_versions[d];
-    }
-    const std::vector<double> predicted =
-        core::predict_versions(config.hadfl.predictor, supervisor, fallback,
-                               result.extras.actual_versions);
-    supervisor.observe_round(sh_version);
-    result.extras.actual_versions.push_back(sh_version);
-    result.extras.predicted_versions.push_back(predicted);
-
-    // -- Selection, fault-tolerant ring synchronization, broadcast.
-    std::vector<float> eval_state;
-    std::vector<DeviceId> selected_this_round;
-    std::vector<DeviceId> candidates;
-    for (DeviceId d = 0; d < k; ++d) {
-      if (available_at_start[d]) candidates.push_back(d);
-    }
-    if (!candidates.empty()) {
-      // Snapshot the Eq. 8 selection probabilities this round's draw sees.
-      // Read-only: probabilities() consumes no RNG, so the seeded draw
-      // stream — and the sim/rt equivalence — is unchanged.
-      if (selection_prob != nullptr &&
-          dynamic_cast<core::GaussianQuartileSelection*>(policy.get()) !=
-              nullptr) {
-        std::vector<double> cand_versions;
-        cand_versions.reserve(candidates.size());
-        for (DeviceId d : candidates) cand_versions.push_back(predicted[d]);
-        for (const double p :
-             core::GaussianQuartileSelection::probabilities(cand_versions)) {
-          selection_prob->observe(p);
-        }
-      }
-      core::RingPlan plan = core::plan_ring(
-          *policy, candidates, predicted, setup.compute_powers,
-          bandwidth_scales, config.hadfl.strategy.select_count, rng);
-      std::vector<DeviceId> ring = std::move(plan.ring);
-
-      std::vector<float> aggregate;
-      double version_mean = 0.0;
-      for (int attempt = 0; attempt < kMaxSyncAttempts && !ring.empty();
-           ++attempt) {
-        const double att0 = rec != nullptr ? rec->now_s() : 0.0;
-        const RtRingRepairResult repair = repair_ring(
-            transport, detector, ring, config.repair, rec, coord_track);
-        result.extras.ring_repairs += repair.repairs;
-        for (DeviceId d : repair.removed) fence(d);
-        ring = repair.ring;
-        if (ring.empty()) break;
-
-        const std::int64_t cid = next_collective_id++;
-        const std::vector<double> weights = core::ring_weights(
-            ctx.partition, ring, config.hadfl.weight_by_samples);
-        auto cancel = std::make_shared<std::atomic<bool>>(false);
-        std::vector<DeviceId> posted;
-        for (std::size_t i = 0; i < ring.size(); ++i) {
-          Command c;
-          c.kind = CmdKind::kSync;
-          c.peers = ring;
-          c.my_index = i;
-          c.collective_id = cid;
-          c.weights = weights;
-          c.wire_bytes = wire_bytes;
-          c.chunks = config.sync_chunks;
-          c.cancel = cancel;
-          for (const FaultPlan& plan : config.faults) {
-            if (plan.device == ring[i] && plan.round == round &&
-                plan.during_sync && attempt == 0) {
-              c.die_after = static_cast<std::int64_t>(plan.after_steps);
-              c.die_silently = plan.silent;
-            }
-          }
-          if (post(ring[i], std::move(c))) posted.push_back(ring[i]);
-        }
-        // The pipelined collective beats through every blocking slice, so
-        // the detector is authoritative here: a silent mid-pipeline death
-        // fences within ~heartbeat_timeout instead of the full deadline.
-        // The first failure raises the attempt's cancel flag, unblocking
-        // every member still waiting on a chunk that will never come.
-        auto sreps = collect(
-            posted, ReportKind::kSyncDone,
-            /*use_detector=*/true, sync_deadline(ring.size()),
-            [&] { cancel->store(true, std::memory_order_relaxed); });
-        const bool all_ok =
-            posted.size() == ring.size() && sreps.size() == ring.size() &&
-            std::all_of(sreps.begin(), sreps.end(),
-                        [](const auto& kv) { return kv.second.ok; });
-        if (all_ok) {
-          aggregate = std::move(sreps.at(ring.front()).aggregate);
-          version_mean = 0.0;
-          for (DeviceId d : ring) version_mean += sh_version[d];
-          version_mean /= static_cast<double>(ring.size());
-          std::vector<DeviceId> committed;
-          for (DeviceId d : ring) {
-            Command c;
-            c.kind = CmdKind::kCommit;
-            c.version_mean = version_mean;
-            if (post(d, std::move(c))) committed.push_back(d);
-          }
-          const auto creps = collect(committed, ReportKind::kCommitDone,
-                                     /*use_detector=*/false, 30.0);
-          for (const auto& [d, r] : creps) sh_version[d] = r.version;
-          // Successful-attempt latency: repair sweep → posted collective →
-          // every member folded, reported and committed.
-          if (sync_latency != nullptr) {
-            sync_latency->observe(rec->now_s() - att0);
-          }
-          break;
-        }
-        // Abort the survivors, purge stale collective traffic, repair and
-        // retry under a fresh id.
-        HADFL_WARN("rt: partial sync attempt " << attempt
-                                               << " failed; repairing");
-        aggregate.clear();
-        std::vector<DeviceId> aborted;
-        for (DeviceId d : ring) {
-          Command c;
-          c.kind = CmdKind::kAbort;
-          c.collective_id = next_collective_id;
-          if (post(d, std::move(c))) aborted.push_back(d);
-        }
-        collect(aborted, ReportKind::kAck, /*use_detector=*/false,
-                sync_deadline(ring.size()));
-        // Abort latency: how long a doomed attempt held the ring before
-        // every survivor acknowledged the abort.
-        if (abort_latency != nullptr) {
-          abort_latency->observe(rec->now_s() - att0);
-        }
-      }
-
-      if (!ring.empty() && !aggregate.empty()) {
-        selected_this_round.insert(selected_this_round.end(), ring.begin(),
-                                   ring.end());
-
-        // -- Non-blocking broadcast to the unselected candidates.
-        std::vector<DeviceId> others;
-        for (DeviceId id : candidates) {
-          if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
-            others.push_back(id);
-          }
-        }
-        if (!others.empty()) {
-          const DeviceId src = ring[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(ring.size()) - 1))];
-          // Price the pushes with a representative live receiver's codec
-          // reconstruction, like the simulator's probe.
-          std::size_t codec_bytes = aggregate.size() * sizeof(float);
-          for (DeviceId id : others) {
-            if (!live[id]) continue;
-            std::vector<float> probe = aggregate;
-            codec_bytes = core::compress_roundtrip(
-                probe, devices[id].last_sync_state, config.hadfl);
-            break;
-          }
-          const std::size_t eff = core::effective_wire_bytes(
-              wire_bytes, codec_bytes, aggregate.size() * sizeof(float));
-          const std::int64_t bc_id = next_collective_id++;
-          // End-to-end non-blocking (§III-D): the coordinator posts the
-          // push and the integrations and moves straight on — nobody
-          // collects these reports (collect() drops them as stale later).
-          // The per-worker command FIFO is the only ordering needed: the
-          // broadcaster trains its next round while the chunks drain, and
-          // each receiver integrates chunk-by-chunk before its next kTrain.
-          // sh_version self-heals because kTrainDone carries the absolute
-          // version.
-          std::vector<DeviceId> receivers;
-          for (DeviceId id : others) {
-            if (live[id]) receivers.push_back(id);
-          }
-          Command c;
-          c.kind = CmdKind::kBroadcast;
-          c.peers = receivers;
-          c.collective_id = bc_id;
-          c.wire_bytes = eff;
-          c.chunks = config.sync_chunks;
-          c.int8 = config.int8_broadcast;
-          if (post(src, std::move(c))) {
-            for (DeviceId id : receivers) {
-              Command c2;
-              c2.kind = CmdKind::kIntegrate;
-              c2.peer = src;
-              c2.collective_id = bc_id;
-              c2.version_mean = version_mean;
-              c2.chunks = config.sync_chunks;
-              c2.int8 = config.int8_broadcast;
-              post(id, std::move(c2));
-            }
-          }
-        }
-        eval_state = std::move(aggregate);
-      }
-    }
-    result.extras.selected.push_back(selected_this_round);
-
-    epochs_done +=
-        executed_total * static_cast<double>(ctx.config.device_batch_size) /
-        total_train;
-    idle_rounds = executed_total > 0.0 ? 0 : idle_rounds + 1;
-
-    // -- Record convergence on the aggregated model.
-    if (eval_state.empty()) {
-      const std::vector<DeviceId> avail = live_ids();
-      if (avail.empty()) break;
-      eval_state = core::mean_state_of(devices, avail);
-    }
-    nn::load_state(*setup.reference, eval_state);
-    const fl::EvalResult eval = fl::evaluate(*setup.reference, ctx.test);
-    double loss_sum = 0.0;
-    double loss_weight = 0.0;
-    for (DeviceId d = 0; d < k; ++d) {
-      loss_sum += sh_loss[d] * static_cast<double>(sh_executed[d]);
-      loss_weight += static_cast<double>(sh_executed[d]);
-    }
-    result.scheme.metrics.add(fl::ConvergencePoint{
-        epochs_done, wall(), loss_weight > 0.0 ? loss_sum / loss_weight : 0.0,
-        eval.loss, eval.accuracy});
-
-    model_manager.update(eval_state, round);
-    ++result.scheme.sync_rounds;
-
-    if (idle_rounds >= 3) {
-      HADFL_WARN("rt: no training progress in 3 consecutive rounds; stopping");
-      break;
-    }
-  }
-
-  // ---- Orderly shutdown: after the kStopped reports the workers make no
-  // further writes, so the final state reads below are race-free even
-  // before the pool joins.
-  {
-    std::vector<DeviceId> stopping;
-    for (DeviceId d = 0; d < k; ++d) {
-      Command c;
-      c.kind = CmdKind::kStop;
-      if (post(d, std::move(c))) stopping.push_back(d);
-    }
-    collect(stopping, ReportKind::kStopped, /*use_detector=*/true, 30.0);
-  }
-
-  result.extras.model_backups = model_manager.backups_written();
+  // ---- Backend-owned result merges: the shared transport/pool see every
+  // endpoint in-process, so their counters are authoritative as-is.
   result.scheme.volume = transport.volume();
   result.pool_stats = transport.pool().stats();
+  if (span_recorder != nullptr) {
+    // Draining now (before the pool joins) is safe: tracks drop-append, so
+    // a fenced worker still finishing its last command can only add spans
+    // past the published prefix this drain reads.
+    result.spans_dropped = span_recorder->dropped();
+    result.timeline = span_recorder->drain();
+  }
   if (metrics_registry != nullptr) {
     metrics_registry->counter("rt.deaths_detected")
         .add(result.deaths_detected);
@@ -1021,24 +223,10 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         .add(result.pool_stats.misses);
     metrics_registry->counter("buffer_pool.high_water")
         .add(result.pool_stats.high_water);
+    metrics_registry->counter("telemetry.spans_dropped")
+        .add(result.spans_dropped);
     result.metrics = metrics_registry->snapshot();
   }
-  if (span_recorder != nullptr) {
-    // Draining now (before the pool joins) is safe: tracks drop-append, so
-    // a fenced worker still finishing its last command can only add spans
-    // past the published prefix this drain reads.
-    result.spans_dropped = span_recorder->dropped();
-    result.timeline = span_recorder->drain();
-  }
-  if (model_manager.has_model()) {
-    result.scheme.final_state = model_manager.latest();
-  } else {
-    const std::vector<DeviceId> ids = live_ids();
-    result.scheme.final_state =
-        ids.empty() ? setup.init_state : core::mean_state_of(devices, ids);
-  }
-  result.scheme.total_time = wall();
-  result.wall_seconds = wall();
   return result;
 }
 

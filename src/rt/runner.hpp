@@ -1,16 +1,18 @@
 // Real-time concurrent HADFL runner: the full pipeline of core/trainer.cpp
 // (warmup negotiation → strategy generation → version prediction →
 // probability selection → ring synchronization → non-blocking broadcast →
-// §III-D fault tolerance) executed on actual threads.
+// §III-A hierarchical group sync → §III-D fault tolerance) executed on
+// actual threads.
 //
-// Architecture (Fig. 2a on threads): the calling thread is the cloud
-// coordinator; each device is a worker loop hosted on a dedicated
-// common/ThreadPool thread. Coordinator → worker commands travel through
-// per-worker mailboxes; worker → coordinator reports through one shared
-// mailbox. Model/optimizer state is exclusively owned by its worker between
-// synchronization points — the coordinator only reads it after receiving
-// the worker's report (the mailbox handoff is the happens-before edge), so
-// the runner is clean under -DHADFL_SANITIZE=thread.
+// Architecture (Fig. 2a on threads): the calling thread runs the shared
+// coordinator (rt/coordinator.hpp); each device is a worker loop
+// (rt/worker.hpp) hosted on a dedicated common/ThreadPool thread.
+// Coordinator → worker commands travel through per-worker mailboxes;
+// worker → coordinator reports through one shared mailbox. Model/optimizer
+// state is exclusively owned by its worker between synchronization points —
+// the coordinator only reads it after receiving the worker's report (the
+// mailbox handoff is the happens-before edge), so the runner is clean under
+// -DHADFL_SANITIZE=thread.
 //
 // Ring collectives (rt/collectives.hpp) and the non-blocking broadcast run
 // peer-to-peer over rt::InprocTransport; the coordinator only orchestrates.
@@ -18,107 +20,36 @@
 // or abort), so a device dying mid-collective can never leave the surviving
 // members with mixed states: the coordinator repairs the ring
 // (rt/failure_detector.hpp) and retries under a fresh collective id.
+// With `config.hadfl.grouping` enabled, each group runs its own selection
+// ring and a periodic inter-group leader exchange aggregates across groups
+// (§III-A) — the same hierarchy the simulator runs, on threads.
 //
 // Timing modes:
 //  * kVirtual — epoch times and step budgets are derived from the cluster's
 //    device specs exactly as the simulator derives them. A seeded run with
 //    jitter and faults disabled then produces the same strategy, the same
 //    selection/ring draws, and a bit-identical final aggregate as
-//    core::run_hadfl (tests/test_rt.cpp pins this equivalence).
+//    core::run_hadfl (tests/test_rt.cpp pins this equivalence, flat and
+//    grouped).
 //  * kWallclock — epoch times are measured with steady_clock on the worker
 //    threads and the round window is enforced as a real deadline; use
 //    `compute_throttle` to make the specs' heterogeneity visible in wall
 //    time on a single machine.
+//
+// The multi-process variant of this runner — same coordinator and worker
+// code, device processes over net::SocketTransport — is
+// net::run_hadfl_net (src/net/runner.hpp).
 #pragma once
 
-#include "core/trainer.hpp"
 #include "fl/scheme.hpp"
-#include "obs/metrics.hpp"
-#include "obs/recorder.hpp"
-#include "obs/span.hpp"
-#include "rt/failure_detector.hpp"
+#include "rt/config.hpp"
 
 namespace hadfl::rt {
 
-enum class TimingMode { kVirtual, kWallclock };
-
-/// Injected device death: during `round` (1-based, 0 = never) the worker
-/// stops mid-work. By default the death strikes during local training,
-/// after `after_steps` iterations; with `during_sync` it strikes inside the
-/// pipelined ring collective instead, after `after_steps` chunk operations
-/// — exercising the two-phase abort + §III-D repair on a mid-pipeline
-/// failure. By default the worker closes its transport endpoint on the way
-/// out (a crashing process's sockets); `silent` leaves the endpoint open so
-/// only the missing heartbeats reveal the death and the coordinator must
-/// fence the device.
-struct FaultPlan {
-  DeviceId device = 0;
-  std::size_t round = 0;
-  std::size_t after_steps = 0;
-  bool silent = false;
-  bool during_sync = false;
-};
-
-struct RtConfig {
-  core::HadflConfig hadfl;           ///< algorithm knobs shared with the sim
-  TimingMode timing = TimingMode::kVirtual;
-  /// Wall seconds per virtual network second (transport throttling);
-  /// 0 = messages move at memory speed.
-  double time_scale = 0.0;
-  /// Wall seconds slept per virtual compute second (worker-side throttle);
-  /// 0 = train at full speed.
-  double compute_throttle = 0.0;
-  double heartbeat_timeout_s = 1.0;  ///< silence before a device is suspect
-  double collective_timeout_s = 5.0; ///< per ring step / rendezvous wait
-  double command_poll_s = 0.02;      ///< worker poll slice (= beat period)
-  /// Chunk count for the pipelined ring aggregation and the chunked
-  /// broadcast; 0 = rt::kDefaultSyncChunks (clamped to the state size).
-  std::size_t sync_chunks = 0;
-  /// Ship broadcast chunks int8-quantized (rt/wire_format.hpp): ~4x less
-  /// broadcast wire volume, applied on the broadcast hop only — the
-  /// synchronization path and the sim/rt equivalence are unaffected.
-  bool int8_broadcast = false;
-  RtRingRepairConfig repair;         ///< wall-clock §III-D repair timing
-  std::vector<FaultPlan> faults;
-  /// Telemetry (src/obs/): record per-device wall-clock spans
-  /// (compute/sync/broadcast/stall/repair) and runtime metrics (latency
-  /// histograms, per-phase wire bytes, heartbeat gaps, pool counters),
-  /// surfaced in RtResult::timeline / RtResult::metrics and exportable via
-  /// obs/export.hpp. Off by default; when off each instrumentation site
-  /// costs a single null-pointer test, and either way the training math is
-  /// untouched — a seeded telemetry run is bit-identical to a dark one.
-  bool telemetry = false;
-  /// Per-thread span capacity when telemetry is on; spans beyond it are
-  /// dropped and counted (RtResult::spans_dropped), never overwritten.
-  std::size_t telemetry_span_capacity = 1 << 14;
-};
-
-struct RtResult {
-  fl::SchemeResult scheme;    ///< total_time is wall seconds
-  core::HadflExtras extras;
-  double wall_seconds = 0.0;
-  /// Devices the coordinator declared dead (heartbeat/endpoint), fenced,
-  /// and excluded for the rest of the run.
-  std::size_t deaths_detected = 0;
-  /// Payload-buffer recycling counters for the run (rt/buffer_pool.hpp):
-  /// misses plateau after the first round when every path releases its
-  /// buffers; a growing miss count flags a leak.
-  BufferPool::Stats pool_stats;
-  /// Wall-clock span timeline (telemetry runs only; empty otherwise).
-  /// Device d's spans carry device == d; the coordinator's (ring repairs)
-  /// carry device == cluster size.
-  obs::Timeline timeline;
-  /// Snapshot of the run's counters and histograms (telemetry runs only).
-  obs::MetricsSnapshot metrics;
-  /// Spans lost to a full track (telemetry runs only; 0 = complete trace).
-  std::uint64_t spans_dropped = 0;
-};
-
-/// Runs HADFL end-to-end on one thread per device. Flat topology only
-/// (grouping is a simulator extension). `ctx.cluster` provides the device
-/// specs (compute powers, bandwidth scales, virtual iteration times); its
-/// clocks and fault injector are not used — time is real and faults come
-/// from `config.faults`.
+/// Runs HADFL end-to-end on one thread per device. `ctx.cluster` provides
+/// the device specs (compute powers, bandwidth scales, virtual iteration
+/// times); its clocks and fault injector are not used — time is real and
+/// faults come from `config.faults`.
 RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config = {});
 
 }  // namespace hadfl::rt

@@ -56,6 +56,19 @@ bool PendingSend::try_wait(double timeout_s, DeviceId src, DeviceId dst) {
   return false;
 }
 
+void PendingSend::resolve(bool was_consumed) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (consumed || dropped) return;  // first resolution wins
+    if (was_consumed) {
+      consumed = true;
+    } else {
+      dropped = true;
+    }
+  }
+  cv.notify_all();
+}
+
 InprocTransport::InprocTransport(std::size_t devices,
                                  sim::NetworkModel network, double time_scale,
                                  std::vector<double> bandwidth_scales)
@@ -92,15 +105,7 @@ double InprocTransport::link_delay_s(DeviceId src, DeviceId dst,
 
 void InprocTransport::release(Envelope& envelope, bool consumed) {
   if (!envelope.ack) return;
-  {
-    std::lock_guard<std::mutex> lock(envelope.ack->mu);
-    if (consumed) {
-      envelope.ack->consumed = true;
-    } else {
-      envelope.ack->dropped = true;
-    }
-  }
-  envelope.ack->cv.notify_all();
+  envelope.ack->resolve(consumed);
 }
 
 std::shared_ptr<PendingSend> InprocTransport::isend(DeviceId src,
@@ -134,11 +139,6 @@ std::shared_ptr<PendingSend> InprocTransport::isend(DeviceId src,
   endpoints_[src]->sent.fetch_add(bytes, std::memory_order_relaxed);
   endpoints_[dst]->received.fetch_add(bytes, std::memory_order_relaxed);
   return handle;
-}
-
-void InprocTransport::send(DeviceId src, DeviceId dst, Message msg,
-                           double timeout_s) {
-  isend(src, dst, std::move(msg))->wait(timeout_s, src, dst);
 }
 
 void InprocTransport::send_nonblocking(DeviceId src, DeviceId dst,

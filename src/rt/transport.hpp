@@ -1,6 +1,17 @@
-// In-process transport over real threads — the rt counterpart of
-// comm::SimTransport, with the same primitive semantics (pinned by
-// tests/test_rt.cpp against the simulator's contract):
+// Point-to-point transports for the real-time runtime.
+//
+// `Transport` is the abstract message-passing contract the rt collectives,
+// the §III-D failure machinery and the device workers are written against.
+// Two implementations exist:
+//
+//  * `InprocTransport` (this header) — every endpoint is a mailbox inside
+//    one process; the original backend, one worker thread per device.
+//  * `net::SocketTransport` (src/net/transport.hpp) — every endpoint is a
+//    process with real TCP/Unix-domain connections; frames are serialized
+//    through rt/wire_format.hpp.
+//
+// Shared primitive semantics (pinned by tests/test_rt.cpp against the
+// simulator's contract, and by tests/test_net.cpp for the socket backend):
 //
 //  * `send` / `isend`+`wait`: rendezvous transfer — the sender does not get
 //    past the transfer until the receiver has consumed the message (how the
@@ -10,20 +21,22 @@
 //    broadcast). Throws if the sender is dead; a dead receiver CONSUMES the
 //    send — volume is counted at the sender — but throws CommError, exactly
 //    matching SimTransport::send_nonblocking.
-//  * `handshake`: liveness probe answered by the transport's per-endpoint
-//    daemon (the analogue of an OS closing a crashed process's sockets);
-//    costs the prober 2 * latency when the peer answers, or the full
-//    `timeout` wall wait when it does not.
+//  * `handshake`: liveness probe answered by the endpoint's daemon (the
+//    in-process per-endpoint flag, or the socket backend's IO thread — the
+//    analogue of an OS closing a crashed process's sockets).
 //
-// Optional throttling (`time_scale` > 0) converts the virtual network
-// model's latency + bytes/bandwidth cost into real sleeps/delays, so the
-// simulator's heterogeneous timing is reproducible on a single machine.
+// Optional throttling (`time_scale` > 0, inproc only) converts the virtual
+// network model's latency + bytes/bandwidth cost into real sleeps/delays, so
+// the simulator's heterogeneous timing is reproducible on a single machine.
 // With `time_scale` == 0 messages move at memory speed.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "comm/transport.hpp"
@@ -69,15 +82,98 @@ class PendingSend {
   /// flowing instead of going dark for a full rendezvous timeout.
   bool try_wait(double timeout_s, DeviceId src, DeviceId dst);
 
+  /// Transport-side resolution: wakes the waiting sender with either
+  /// "consumed" (the receiver popped the message) or "dropped" (the
+  /// receiver died, purged, or nacked). Idempotent — only the first call
+  /// takes effect. For transport implementations; callers use wait().
+  void resolve(bool consumed);
+
  private:
-  friend class InprocTransport;
   std::mutex mu;
   std::condition_variable cv;
   bool consumed = false;
   bool dropped = false;  // receiver died / purged before consuming
 };
 
-class InprocTransport {
+/// Abstract endpoint-addressed transport (semantics above). Device ids are
+/// dense [0, size()); implementations may host all endpoints in-process or
+/// only the local one with the rest behind sockets.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of addressable endpoints.
+  virtual std::size_t size() const = 0;
+
+  /// Posts a rendezvous send without waiting (so ring steps can post their
+  /// outgoing chunk, then receive, then wait — no cyclic-wait deadlock).
+  virtual std::shared_ptr<PendingSend> isend(DeviceId src, DeviceId dst,
+                                             Message msg) = 0;
+
+  /// Fire-and-forget push. Sender volume always counted once the sender is
+  /// known alive; a dead receiver then still throws CommError ("the send is
+  /// consumed"), matching SimTransport.
+  virtual void send_nonblocking(DeviceId src, DeviceId dst, Message msg) = 0;
+
+  /// Receives the next message for `dst` matching (from, tag), waiting up
+  /// to `timeout_s`. Throws CommError on timeout or when `dst` is dead.
+  virtual Message recv_match(DeviceId dst, DeviceId from, std::int64_t tag,
+                             double timeout_s) = 0;
+
+  /// Receives any next message for `dst`; nullopt on timeout/closed.
+  virtual std::optional<Message> recv_any(DeviceId dst, double timeout_s) = 0;
+
+  /// Liveness probe: true quickly when the peer's endpoint daemon answers,
+  /// false when it does not (after up to `timeout_s`).
+  virtual bool handshake(DeviceId src, DeviceId dst, double timeout_s) = 0;
+
+  /// Marks the endpoint dead: blocked consumers wake with CommError
+  /// semantics, pending rendezvous senders are released as dropped, future
+  /// sends to it fail. On the socket backend, killing the local endpoint
+  /// closes every connection (a crashing process); killing a remote one
+  /// drops this process's link to it (coordinator fencing).
+  virtual void kill(DeviceId id) = 0;
+
+  virtual bool alive(DeviceId id) const = 0;
+
+  /// Drops every queued kData/kModelPush message for `dst` from a
+  /// collective older than `min_collective_id`, acking their senders (so a
+  /// peer blocked on a rendezvous from an aborted attempt unblocks). Used
+  /// when a collective aborts and retries under a fresh id.
+  virtual std::size_t purge_stale(DeviceId dst,
+                                  std::int64_t min_collective_id) = 0;
+
+  /// Volume-only accounting (coordinator-mediated exchanges).
+  virtual void account(DeviceId src, DeviceId dst, std::size_t bytes) = 0;
+
+  /// Snapshot of per-device byte counters. Implementations that host only
+  /// the local endpoint report the entries they can see (their own id plus
+  /// account()-attributed pairs); the caller merges across processes.
+  virtual comm::VolumeCounters volume() const = 0;
+
+  /// Shared payload-buffer pool: collectives draw outbound buffers from it
+  /// and consumers return spent payloads, so steady-state synchronization
+  /// rounds recirculate capacity instead of allocating per hop.
+  virtual BufferPool& pool() = 0;
+
+  /// Wall-clock cost of moving `bytes` across the src→dst link under the
+  /// configured throttle (0 when not throttled — the socket backend always
+  /// moves at real network speed).
+  virtual double link_delay_s(DeviceId src, DeviceId dst,
+                              std::size_t bytes) const = 0;
+
+  /// Rendezvous transfer: isend + wait.
+  void send(DeviceId src, DeviceId dst, Message msg, double timeout_s) {
+    isend(src, dst, std::move(msg))->wait(timeout_s, src, dst);
+  }
+
+  /// The collective id embedded in a tag (see make_tag).
+  static constexpr std::int64_t tag_collective_id(std::int64_t tag) {
+    return (tag >> 16) & ((std::int64_t{1} << 40) - 1);
+  }
+};
+
+class InprocTransport final : public Transport {
  public:
   /// `bandwidth_scales` (optional, per device) mirror the simulator's
   /// heterogeneous-link extension; empty = all 1.0.
@@ -85,66 +181,30 @@ class InprocTransport {
                   double time_scale = 0.0,
                   std::vector<double> bandwidth_scales = {});
 
-  std::size_t size() const { return endpoints_.size(); }
+  std::size_t size() const override { return endpoints_.size(); }
   const sim::NetworkModel& network() const { return network_; }
   double time_scale() const { return time_scale_; }
 
-  /// Rendezvous transfer: isend + wait.
-  void send(DeviceId src, DeviceId dst, Message msg, double timeout_s);
-
-  /// Posts a rendezvous send without waiting (so ring steps can post their
-  /// outgoing chunk, then receive, then wait — no cyclic-wait deadlock).
-  std::shared_ptr<PendingSend> isend(DeviceId src, DeviceId dst, Message msg);
-
-  /// Fire-and-forget push. Sender volume always counted once the sender is
-  /// known alive; a dead receiver then still throws CommError ("the send is
-  /// consumed"), matching SimTransport.
-  void send_nonblocking(DeviceId src, DeviceId dst, Message msg);
-
-  /// Receives the next message for `dst` matching (from, tag), waiting up
-  /// to `timeout_s`. Throws CommError on timeout or when `dst` is dead.
+  std::shared_ptr<PendingSend> isend(DeviceId src, DeviceId dst,
+                                     Message msg) override;
+  void send_nonblocking(DeviceId src, DeviceId dst, Message msg) override;
   Message recv_match(DeviceId dst, DeviceId from, std::int64_t tag,
-                     double timeout_s);
-
-  /// Receives any next message for `dst`; nullopt on timeout/closed.
-  std::optional<Message> recv_any(DeviceId dst, double timeout_s);
+                     double timeout_s) override;
+  std::optional<Message> recv_any(DeviceId dst, double timeout_s) override;
 
   /// Liveness probe: true within ~2*latency when the peer's endpoint is up,
   /// false after a real `timeout_s` wait when it is not.
-  bool handshake(DeviceId src, DeviceId dst, double timeout_s);
+  bool handshake(DeviceId src, DeviceId dst, double timeout_s) override;
 
-  /// Marks the endpoint dead and closes its mailbox: blocked consumers wake
-  /// with CommError semantics, pending rendezvous senders are released as
-  /// dropped, future sends to it fail.
-  void kill(DeviceId id);
-
-  bool alive(DeviceId id) const;
-
-  /// Drops every queued kData/kModelPush message for `dst` from a
-  /// collective older than `min_collective_id`, acking their senders (so a
-  /// peer blocked on a rendezvous from an aborted attempt unblocks). Used
-  /// when a collective aborts and retries under a fresh id.
-  std::size_t purge_stale(DeviceId dst, std::int64_t min_collective_id);
-
-  /// The collective id embedded in a tag (see make_tag).
-  static constexpr std::int64_t tag_collective_id(std::int64_t tag) {
-    return (tag >> 16) & ((std::int64_t{1} << 40) - 1);
-  }
-
-  /// Volume-only accounting (coordinator-mediated exchanges).
-  void account(DeviceId src, DeviceId dst, std::size_t bytes);
-
-  /// Snapshot of per-device byte counters.
-  comm::VolumeCounters volume() const;
-
-  /// Shared payload-buffer pool: collectives draw outbound buffers from it
-  /// and consumers return spent payloads, so steady-state synchronization
-  /// rounds recirculate capacity instead of allocating per hop.
-  BufferPool& pool() { return pool_; }
-
-  /// Wall-clock cost of moving `bytes` across the src→dst link under the
-  /// configured throttle (0 when time_scale == 0).
-  double link_delay_s(DeviceId src, DeviceId dst, std::size_t bytes) const;
+  void kill(DeviceId id) override;
+  bool alive(DeviceId id) const override;
+  std::size_t purge_stale(DeviceId dst,
+                          std::int64_t min_collective_id) override;
+  void account(DeviceId src, DeviceId dst, std::size_t bytes) override;
+  comm::VolumeCounters volume() const override;
+  BufferPool& pool() override { return pool_; }
+  double link_delay_s(DeviceId src, DeviceId dst,
+                      std::size_t bytes) const override;
 
  private:
   struct Envelope {

@@ -1,0 +1,138 @@
+#include "rt/wire_format.hpp"
+
+namespace hadfl::rt {
+
+namespace {
+
+bool valid_frame_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kControl);
+}
+
+}  // namespace
+
+void encode_frame_header(const FrameHeader& header, std::uint8_t* out) {
+  std::vector<std::uint8_t> scratch;
+  scratch.reserve(kFrameHeaderBytes);
+  ByteWriter w(scratch);
+  w.u32(header.body_len);
+  w.u8(static_cast<std::uint8_t>(header.type));
+  w.u8(header.flags);
+  w.u16(0);  // reserved
+  w.u32(header.src);
+  HADFL_CHECK(scratch.size() == kFrameHeaderBytes);
+  std::memcpy(out, scratch.data(), kFrameHeaderBytes);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint8_t flags, std::uint32_t src,
+                  std::span<const std::uint8_t> body) {
+  HADFL_CHECK_ARG(body.size() <= kMaxFrameBody,
+                  "frame body " << body.size() << " exceeds kMaxFrameBody");
+  FrameHeader header;
+  header.body_len = static_cast<std::uint32_t>(body.size());
+  header.type = type;
+  header.flags = flags;
+  header.src = src;
+  std::uint8_t raw[kFrameHeaderBytes];
+  encode_frame_header(header, raw);
+  out.insert(out.end(), raw, raw + kFrameHeaderBytes);
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+DecodeStatus decode_frame_header(std::span<const std::uint8_t> buf,
+                                 FrameHeader& out) {
+  if (buf.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  ByteReader r(buf.first(kFrameHeaderBytes));
+  const std::uint32_t body_len = r.u32();
+  const std::uint8_t type = r.u8();
+  const std::uint8_t flags = r.u8();
+  const std::uint16_t reserved = r.u16();
+  const std::uint32_t src = r.u32();
+  // Validate before trusting the length: a corrupt prefix must not drive
+  // an allocation or a wait for gigabytes that will never arrive.
+  if (!valid_frame_type(type) || reserved != 0 || body_len > kMaxFrameBody) {
+    return DecodeStatus::kError;
+  }
+  out.body_len = body_len;
+  out.type = static_cast<FrameType>(type);
+  out.flags = flags;
+  out.src = src;
+  return DecodeStatus::kOk;
+}
+
+void append_hello_body(std::vector<std::uint8_t>& out,
+                       const HelloBody& hello) {
+  ByteWriter w(out);
+  w.u32(kHelloMagic);
+  w.u16(kWireVersion);
+  w.u16(0);  // reserved
+  w.u32(hello.device_id);
+  w.u64(hello.epoch);
+}
+
+bool decode_hello_body(std::span<const std::uint8_t> body, HelloBody& out) {
+  ByteReader r(body);
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t reserved = r.u16();
+  out.device_id = r.u32();
+  out.epoch = r.u64();
+  return r.ok() && r.remaining() == 0 && magic == kHelloMagic &&
+         version == kWireVersion && reserved == 0;
+}
+
+void append_data_frame(std::vector<std::uint8_t>& out, std::uint32_t src,
+                       const Message& msg, std::uint64_t seq, bool want_ack) {
+  std::vector<std::uint8_t> body;
+  body.reserve(4 * sizeof(std::uint64_t) + msg.payload.size() * sizeof(float));
+  ByteWriter w(body);
+  w.i64(msg.tag);
+  w.u64(seq);
+  w.u64(msg.wire_bytes);
+  w.u64(msg.payload.size());
+  if (!msg.payload.empty()) {
+    w.bytes(msg.payload.data(), msg.payload.size() * sizeof(float));
+  }
+  append_frame(out, FrameType::kData,
+               want_ack ? kFrameFlagWantAck : std::uint8_t{0}, src, body);
+}
+
+bool decode_data_body(std::span<const std::uint8_t> body, BufferPool& pool,
+                      Message& msg, std::uint64_t& seq) {
+  ByteReader r(body);
+  const std::int64_t tag = r.i64();
+  seq = r.u64();
+  const std::uint64_t wire_bytes = r.u64();
+  const std::uint64_t count = r.u64();
+  if (!r.ok()) return false;
+  // Check the count before multiplying: a corrupt 2^62-ish count must not
+  // wrap around into a "matching" size and drive a giant allocation.
+  if (count > r.remaining() || r.remaining() != count * sizeof(float)) {
+    return false;
+  }
+  msg.tag = tag;
+  msg.wire_bytes = static_cast<std::size_t>(wire_bytes);
+  msg.payload = pool.acquire(static_cast<std::size_t>(count));
+  if (count != 0) {
+    r.bytes(msg.payload.data(), msg.payload.size() * sizeof(float));
+  }
+  return r.ok();
+}
+
+void append_seq_frame(std::vector<std::uint8_t>& out, FrameType type,
+                      std::uint32_t src, std::uint64_t seq) {
+  std::vector<std::uint8_t> body;
+  body.reserve(sizeof(std::uint64_t));
+  ByteWriter w(body);
+  w.u64(seq);
+  append_frame(out, type, 0, src, body);
+}
+
+bool decode_seq_body(std::span<const std::uint8_t> body, std::uint64_t& seq) {
+  ByteReader r(body);
+  seq = r.u64();
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace hadfl::rt

@@ -1,4 +1,40 @@
-// int8 wire format for rt broadcast chunks.
+// Wire formats for the rt runtime: the int8 broadcast-chunk codec (below)
+// and the length-prefixed frame layer the socket backend (src/net/) speaks.
+//
+// ---- Frame layer -----------------------------------------------------
+//
+// Every byte on a net connection is a frame: a fixed 12-byte little-endian
+// header followed by `body_len` body bytes.
+//
+//   offset  size  field
+//        0     4  body_len   (u32, <= kMaxFrameBody)
+//        4     1  type       (FrameType)
+//        5     1  flags      (kFrameFlagWantAck on kData)
+//        6     2  reserved   (must be 0 — corruption canary)
+//        8     4  src        (sender's device id claim; the connection
+//                             handshake pins which ids a peer may speak
+//                             for — see net/transport.cpp)
+//
+// Decoding is incremental and never over-reads: a buffer shorter than the
+// header (or than header+body) yields kNeedMore; a header with an unknown
+// type, a nonzero reserved field, or an oversized body_len yields kError
+// and the connection is dropped — a malformed length prefix can therefore
+// neither allocate unbounded memory nor desynchronize the stream.
+// tests/test_net.cpp carries the round-trip/error-path contract tests.
+//
+// Body formats (all little-endian, via ByteWriter/ByteReader):
+//   kHello/kHelloAck — u32 magic 'HDFL', u16 version, u16 reserved(0),
+//                      u32 device_id, u64 epoch (the run nonce: both ends
+//                      of a connection must be in the same run)
+//   kData            — i64 tag, u64 seq, u64 wire_bytes, u64 count,
+//                      count f32 payload values (an rt::Message)
+//   kAck/kNack       — u64 seq (rendezvous resolution for that kData)
+//   kPing/kPong      — u64 seq (liveness probe, answered by the IO thread)
+//   kBeat            — empty (FailureDetector heartbeat)
+//   kCancel          — i64 collective id (abort propagation)
+//   kControl         — u8 subtype + net/codec.hpp payload (Command/Report)
+//
+// ---- int8 broadcast chunks -------------------------------------------
 //
 // The rt transport ships std::vector<float> payloads, so the int8 codec
 // (comm/compression.hpp) is packed into float slots for the wire:
@@ -15,6 +51,7 @@
 // than one whole-state scale.
 #pragma once
 
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <vector>
@@ -22,8 +59,150 @@
 #include "comm/compression.hpp"
 #include "common/error.hpp"
 #include "rt/buffer_pool.hpp"
+#include "rt/transport.hpp"
 
 namespace hadfl::rt {
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< connection handshake (device id + run epoch)
+  kHelloAck = 2,  ///< handshake accepted
+  kData = 3,      ///< an rt::Message (payload chunk)
+  kAck = 4,       ///< kData consumed by the receiver (rendezvous)
+  kNack = 5,      ///< kData dropped (purge / endpoint death)
+  kPing = 6,      ///< liveness probe (Transport::handshake)
+  kPong = 7,      ///< probe answer, sent by the peer's IO thread
+  kBeat = 8,      ///< FailureDetector heartbeat
+  kCancel = 9,    ///< collective abort propagation
+  kControl = 10,  ///< coordinator<->worker Command/Report (net/codec.hpp)
+};
+
+constexpr std::size_t kFrameHeaderBytes = 12;
+/// Hard body ceiling: large enough for any model state this repo ships,
+/// small enough that a corrupt length prefix cannot drive an allocation.
+constexpr std::size_t kMaxFrameBody = std::size_t{1} << 28;
+constexpr std::uint8_t kFrameFlagWantAck = 0x01;  ///< kData: rendezvous send
+constexpr std::uint32_t kHelloMagic = 0x4844464Cu;  // "HDFL"
+constexpr std::uint16_t kWireVersion = 1;
+
+struct FrameHeader {
+  std::uint32_t body_len = 0;
+  FrameType type = FrameType::kBeat;
+  std::uint8_t flags = 0;
+  std::uint32_t src = 0;
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk,
+  kNeedMore,  ///< truncated — keep the bytes, read more
+  kError,     ///< malformed — drop the connection
+};
+
+/// Bounds-checked little-endian appender.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void bytes(const void* data, std::size_t n) { raw(data, n); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reader: an over-read flips ok() to false
+/// and yields zeros — it never touches memory past the span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int64_t i64() { return take<std::int64_t>(); }
+  float f32() { return take<float>(); }
+  double f64() { return take<double>(); }
+  void bytes(void* dst, std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      std::memset(dst, 0, n);
+      return;
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T take() {
+    T v{};
+    bytes(&v, sizeof(T));
+    return v;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serializes `header` into exactly kFrameHeaderBytes at `out`.
+void encode_frame_header(const FrameHeader& header, std::uint8_t* out);
+
+/// Appends a complete frame (header + body) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint8_t flags, std::uint32_t src,
+                  std::span<const std::uint8_t> body);
+
+/// Parses a frame header from the front of `buf` (see the contract above:
+/// kNeedMore on truncation, kError on any malformed field, and the body
+/// length is validated before a single body byte is trusted).
+DecodeStatus decode_frame_header(std::span<const std::uint8_t> buf,
+                                 FrameHeader& out);
+
+struct HelloBody {
+  std::uint32_t device_id = 0;
+  std::uint64_t epoch = 0;  ///< run nonce — both ends must agree
+};
+
+void append_hello_body(std::vector<std::uint8_t>& out, const HelloBody& hello);
+/// False on bad magic/version/reserved or a truncated body.
+bool decode_hello_body(std::span<const std::uint8_t> body, HelloBody& out);
+
+/// Appends a kData frame for `msg` (tag/wire_bytes/payload + the transfer
+/// sequence number used by acks).
+void append_data_frame(std::vector<std::uint8_t>& out, std::uint32_t src,
+                       const Message& msg, std::uint64_t seq, bool want_ack);
+
+/// Decodes a kData body. The payload buffer is drawn from `pool` so
+/// consumed messages recycle through the receiving process's BufferPool.
+/// False on a truncated body or a count/size mismatch.
+bool decode_data_body(std::span<const std::uint8_t> body, BufferPool& pool,
+                      Message& msg, std::uint64_t& seq);
+
+/// Appends a frame whose body is a single u64 sequence number
+/// (kAck/kNack/kPing/kPong).
+void append_seq_frame(std::vector<std::uint8_t>& out, FrameType type,
+                      std::uint32_t src, std::uint64_t seq);
+
+/// False on a truncated body.
+bool decode_seq_body(std::span<const std::uint8_t> body, std::uint64_t& seq);
+
+// ---------------------------------------------------------------------
+// int8 broadcast chunks
+// ---------------------------------------------------------------------
 
 /// Float slots an int8-encoded chunk of `n` values occupies on the wire.
 constexpr std::size_t int8_payload_floats(std::size_t n) {

@@ -1,0 +1,75 @@
+// Device-side half of the rt runtime: the command loop every HADFL device
+// runs, factored out of the in-process runner so the same handler code
+// drives both backends. The inproc backend hosts one `run_device_worker`
+// per thread (rt/runner.cpp); the socket backend hosts exactly one in each
+// `hadfl_node` process (src/net/runner.cpp). Everything backend-specific —
+// where commands come from, where reports go, how heartbeats reach the
+// coordinator's FailureDetector — is behind `WorkerIo`.
+#pragma once
+
+#include <optional>
+
+#include "core/round_logic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "rt/config.hpp"
+#include "rt/protocol.hpp"
+#include "rt/transport.hpp"
+
+namespace hadfl::rt {
+
+/// Backend-specific worker endpoints. Implementations: the inproc runner's
+/// mailbox pair + direct FailureDetector beats, and the socket backend's
+/// control-frame channel + kBeat frames (net/runner.cpp).
+class WorkerIo {
+ public:
+  virtual ~WorkerIo() = default;
+
+  /// Next queued command, waiting up to `timeout_s`; nullopt on timeout.
+  virtual std::optional<Command> next_command(double timeout_s) = 0;
+
+  /// True once the command channel is permanently gone (coordinator closed
+  /// it, or the connection dropped) — the worker loop exits.
+  virtual bool command_channel_closed() = 0;
+
+  virtual void send_report(Report report) = 0;
+
+  /// Heartbeat to the coordinator's FailureDetector. Called at every
+  /// command-poll tick and between blocking slices of the collectives, so
+  /// liveness is observable even mid-pipeline.
+  virtual void beat() = 0;
+};
+
+/// Optional per-worker instruments (null = dark, one pointer test per
+/// site). Counters may be shared across workers (they are thread-safe);
+/// the span recorder track is the worker's device id.
+struct WorkerTelemetry {
+  obs::SpanRecorder* rec = nullptr;
+  obs::Counter* scatter_bytes = nullptr;
+  obs::Counter* allgather_bytes = nullptr;
+  obs::Counter* broadcast_bytes = nullptr;
+};
+
+/// Everything one device worker needs. All pointers are non-owning and must
+/// outlive the `run_device_worker` call.
+struct WorkerEnv {
+  DeviceId id = 0;
+  core::DeviceState* dev = nullptr;   ///< exclusively owned while running
+  Transport* transport = nullptr;
+  WorkerIo* io = nullptr;
+  const RtConfig* config = nullptr;
+  /// Virtual seconds per local iteration (cluster spec) — drives the
+  /// compute throttle.
+  double iter_time = 0.0;
+  WorkerTelemetry telemetry;
+};
+
+/// Runs the device command loop until kStop, a closed command channel, or
+/// an injected death (FaultPlan). Returns true on an orderly exit, false
+/// when a death cut the loop — a non-silent death has already closed the
+/// local transport endpoint (a crashing process's sockets); a silent one
+/// left it open and simply stops beating, so only the coordinator's
+/// heartbeat fencing reveals it.
+bool run_device_worker(WorkerEnv& env);
+
+}  // namespace hadfl::rt

@@ -7,20 +7,22 @@
 // Examples:
 //   hadfl_run --scheme=hadfl --model=resnet18 --ratio=4,2,2,1
 //   hadfl_run --scheme=dfedavg --model=mlp --epochs=10 --csv=curve.csv
-//   hadfl_run --scheme=hadfl --policy=bandwidth-aware --network=wan
-//             --partition=dirichlet:0.3 --np=3 --tsync=2
+//   hadfl_run --scheme=hadfl --backend=net --transport=tcp --ratio=2,2,1,1
 //
 // Options (defaults in brackets):
 //   --scheme=hadfl|distributed|dfedavg|central|async   [hadfl]
-//   --backend=sim|rt        hadfl execution backend    [sim]
-//                           (rt = one real thread per device; see
-//                           docs/RUNTIME.md)
+//   --backend=sim|rt|net    hadfl execution backend    [sim]
+//                           (rt = one real thread per device; net = one
+//                           real process per device on sockets; see
+//                           docs/RUNTIME.md and docs/NETWORK.md)
+//   --transport=tcp|uds     net: socket flavour        [tcp]
+//   --node-binary=<path>    net: hadfl_node to exec    [next to hadfl_run]
 //   --time-scale=<float>    rt: wall s per virtual network s   [0]
-//   --throttle=<float>      rt: wall s per virtual compute s   [0]
-//   --wallclock             rt: measure epoch times on the real clock
-//   --die=<dev:round:step>  rt: inject a device death mid-round
-//   --sync-chunks=<int>     rt: pipelined-sync chunk count     [0 = default]
-//   --int8-broadcast        rt: ship broadcast chunks int8-quantized
+//   --throttle=<float>      rt/net: wall s per virtual compute s [0]
+//   --wallclock             rt/net: measure epoch times on the real clock
+//   --die=<dev:round:step>  rt/net: inject a device death mid-round
+//   --sync-chunks=<int>     rt/net: pipelined-sync chunk count [0 = default]
+//   --int8-broadcast        rt/net: ship broadcast chunks int8-quantized
 //   --model=mlp|resnet18|vgg16                         [mlp]
 //   --ratio=<comma powers>                             [3,3,1,1]
 //   --epochs=<int>          total training epochs      [16]
@@ -38,8 +40,10 @@
 //   --trace-out=<path>      write a Chrome/Perfetto trace of the run
 //                           (hadfl scheme; sim and rt backends) and print
 //                           the per-device time breakdown
-//   --metrics-out=<path>    rt: write the telemetry counters/histograms CSV
+//   --metrics-out=<path>    rt/net: write the telemetry counters CSV
 //   --verbose               info-level logging
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 
@@ -48,10 +52,11 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/trainer.hpp"
+#include "exp/cli_setup.hpp"
+#include "exp/report.hpp"
+#include "net/runner.hpp"
 #include "obs/export.hpp"
 #include "rt/runner.hpp"
-#include "data/partition.hpp"
-#include "exp/report.hpp"
 
 using namespace hadfl;
 
@@ -61,31 +66,9 @@ const std::vector<std::string> kKnownOptions{
     "scheme", "model", "ratio",  "epochs",     "scale", "seed",
     "np",     "tsync", "policy", "mix",        "group-size",
     "partition", "network", "jitter", "csv",   "verbose", "help",
-    "backend", "time-scale", "throttle", "wallclock", "die",
-    "sync-chunks", "int8-broadcast", "trace-out", "metrics-out"};
-
-nn::Architecture parse_model(const std::string& name) {
-  if (name == "mlp") return nn::Architecture::kMlp;
-  if (name == "resnet18") return nn::Architecture::kResNet18Lite;
-  if (name == "vgg16") return nn::Architecture::kVgg16Lite;
-  throw InvalidArgument("unknown --model: " + name);
-}
-
-data::Partition parse_partition(const std::string& spec,
-                                const data::Dataset& train,
-                                std::size_t devices, Rng& rng) {
-  if (spec == "iid") return data::partition_iid(train, devices, rng);
-  if (spec.rfind("dirichlet:", 0) == 0) {
-    const double alpha = std::atof(spec.c_str() + 10);
-    return data::partition_dirichlet(train, devices, alpha, rng);
-  }
-  if (spec.rfind("shards:", 0) == 0) {
-    const int shards = std::atoi(spec.c_str() + 7);
-    return data::partition_shards(train, devices,
-                                  static_cast<std::size_t>(shards), rng);
-  }
-  throw InvalidArgument("unknown --partition: " + spec);
-}
+    "backend", "transport", "node-binary", "time-scale", "throttle",
+    "wallclock", "die", "sync-chunks", "int8-broadcast", "trace-out",
+    "metrics-out"};
 
 void print_usage() {
   std::cout <<
@@ -96,8 +79,9 @@ void print_usage() {
       "                 [--group-size=N] [--partition=iid|dirichlet:A|"
       "shards:N]\n"
       "                 [--network=pcie|wan] [--jitter=S] [--csv=PATH]\n"
-      "                 [--backend=sim|rt] [--time-scale=S] [--throttle=S]\n"
-      "                 [--wallclock] [--die=DEV:ROUND:STEP]\n"
+      "                 [--backend=sim|rt|net] [--transport=tcp|uds]\n"
+      "                 [--node-binary=PATH] [--time-scale=S]\n"
+      "                 [--throttle=S] [--wallclock] [--die=DEV:ROUND:STEP]\n"
       "                 [--sync-chunks=C] [--int8-broadcast]\n"
       "                 [--trace-out=PATH] [--metrics-out=PATH] [--verbose]\n";
 }
@@ -114,12 +98,65 @@ void report(const fl::SchemeResult& result, const std::string& csv_path) {
                                    result.volume.total_received()) /
                    (1024.0 * 1024.0)
             << " MB\n";
+  if (!result.final_state.empty()) {
+    // The cross-backend identity line: a seeded sim / rt / net run must
+    // print the same hash (the CI loopback smoke greps it).
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(
+                      exp::state_hash(result.final_state)));
+    std::cout << "state hash:        " << hex << "\n";
+  }
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path, {"series", "epoch", "time", "train_loss",
                              "test_loss", "test_acc"});
     result.metrics.append_csv_rows(csv, result.scheme_name);
     std::cout << "curve written to:  " << csv_path << "\n";
   }
+}
+
+/// Default hadfl_node location: same directory as this binary.
+std::string sibling_node_binary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "hadfl_node";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "hadfl_node";
+  return path.substr(0, slash + 1) + "hadfl_node";
+}
+
+/// Prints the rt-flavoured result block shared by the rt and net backends;
+/// returns 0 (the process exit code).
+int report_rt_result(const rt::RtResult& r, const std::string& backend_line,
+                     std::size_t num_devices, const std::string& csv,
+                     const std::string& trace_out,
+                     const std::string& metrics_out, bool telemetry) {
+  std::cout << "backend:           " << backend_line << "\n"
+            << "hyperperiod:       " << r.extras.strategy.hyperperiod
+            << " virtual s\n"
+            << "ring repairs:      " << r.extras.ring_repairs << "\n"
+            << "deaths detected:   " << r.deaths_detected << "\n"
+            << "wall time:         " << r.wall_seconds << " s\n";
+  report(r.scheme, csv);
+  if (telemetry) {
+    std::cout << exp::render_time_breakdown(r.timeline, num_devices);
+    if (r.spans_dropped > 0) {
+      std::cout << "spans dropped:     " << r.spans_dropped
+                << " (raise RtConfig::telemetry_span_capacity)\n";
+    }
+    if (!trace_out.empty()) {
+      obs::write_chrome_trace(trace_out, r.timeline.spans());
+      std::cout << "trace written to:  " << trace_out
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!metrics_out.empty()) {
+      r.metrics.write_csv(metrics_out);
+      std::cout << "metrics written:   " << metrics_out << "\n";
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -139,111 +176,54 @@ int main(int argc, char** argv) {
     }
     if (args.has("verbose")) set_log_level(LogLevel::kInfo);
 
-    exp::Scenario s = exp::paper_scenario(
-        parse_model(args.get("model", "mlp")),
-        args.get_double_list("ratio", {3, 3, 1, 1}),
-        args.get_double("scale", 1.0),
-        static_cast<std::uint64_t>(args.get_int("seed", 7)));
-    s.train.total_epochs = args.get_int("epochs", 16);
-    s.jitter_std = args.get_double("jitter", 0.0);
-    s.hadfl.strategy.select_count =
-        static_cast<std::size_t>(args.get_int("np", 2));
-    s.hadfl.strategy.t_sync = args.get_int("tsync", 1);
-    s.hadfl.broadcast_mix_weight = args.get_double("mix", 0.8);
-    s.hadfl.policy =
-        core::make_selection_policy(args.get("policy", "gaussian-quartile"));
-    const int group_size = args.get_int("group-size", 0);
-    if (group_size > 0) {
-      s.hadfl.grouping.group_size = static_cast<std::size_t>(group_size);
-    }
-    if (args.get("network", "pcie") == "wan") {
-      s.network = sim::NetworkModel::wan();
-    }
-
-    exp::Environment env(s);
-    Rng part_rng(s.train.seed ^ 0x5151u);
-    const data::Partition partition = parse_partition(
-        args.get("partition", "iid"), env.train(), s.num_devices(), part_rng);
-    const fl::SchemeContext base = env.context();
-    const fl::SchemeContext ctx{base.cluster, base.network,     base.train,
-                                base.test,    partition,        base.make_model,
-                                base.config,  base.comm_state_bytes};
-
     const std::string scheme = args.get("scheme", "hadfl");
     const std::string csv = args.get("csv", "");
     const std::string trace_out = args.get("trace-out", "");
     const std::string metrics_out = args.get("metrics-out", "");
+    const std::string backend = args.get("backend", "sim");
+    const std::string transport = args.get("transport", "tcp");
+    const std::string flag_error = exp::backend_flag_error(
+        scheme, backend, args.has("transport"), transport);
+    if (!flag_error.empty()) {
+      std::cerr << flag_error << "\n";
+      return 2;
+    }
     if ((!trace_out.empty() || !metrics_out.empty()) && scheme != "hadfl") {
       std::cerr << "--trace-out/--metrics-out only apply to --scheme=hadfl\n";
       return 2;
     }
+
+    exp::RunSetup setup = exp::make_run_setup(args);
+    exp::Scenario& s = setup.scenario;
+    const fl::SchemeContext ctx = setup.context();
+
     std::cout << "== hadfl_run: " << scheme << " on " << s.name << " ==\n";
-    const std::string backend = args.get("backend", "sim");
-    if (backend != "sim" && backend != "rt") {
-      std::cerr << "unknown --backend: " << backend << "\n";
-      print_usage();
-      return 2;
-    }
-    if (backend == "rt" && scheme != "hadfl") {
-      std::cerr << "--backend=rt only applies to --scheme=hadfl\n";
-      return 2;
-    }
     if (scheme == "hadfl" && backend == "rt") {
-      rt::RtConfig rt_config;
-      rt_config.hadfl = s.hadfl;
-      rt_config.timing = args.has("wallclock") ? rt::TimingMode::kWallclock
-                                               : rt::TimingMode::kVirtual;
-      rt_config.time_scale = args.get_double("time-scale", 0.0);
-      rt_config.compute_throttle = args.get_double("throttle", 0.0);
-      rt_config.sync_chunks =
-          static_cast<std::size_t>(args.get_int("sync-chunks", 0));
-      rt_config.int8_broadcast = args.has("int8-broadcast");
-      const std::string die = args.get("die", "");
-      if (!die.empty()) {
-        rt::FaultPlan plan;
-        if (std::sscanf(die.c_str(), "%zu:%zu:%zu", &plan.device, &plan.round,
-                        &plan.after_steps) != 3) {
-          std::cerr << "bad --die spec (want DEV:ROUND:STEP): " << die << "\n";
-          return 2;
-        }
-        if (plan.device >= s.num_devices()) {
-          std::cerr << "--die device " << plan.device
-                    << " out of range (cluster has " << s.num_devices()
-                    << " devices)\n";
-          return 2;
-        }
-        rt_config.faults.push_back(plan);
-      }
+      rt::RtConfig rt_config = exp::make_rt_config(args, s);
       rt_config.telemetry = !trace_out.empty() || !metrics_out.empty();
       const rt::RtResult r = rt::run_hadfl_rt(ctx, rt_config);
-      std::cout << "backend:           rt (real threads)\n"
-                << "hyperperiod:       " << r.extras.strategy.hyperperiod
-                << " virtual s\n"
-                << "ring repairs:      " << r.extras.ring_repairs << "\n"
-                << "deaths detected:   " << r.deaths_detected << "\n"
-                << "wall time:         " << r.wall_seconds << " s\n";
-      report(r.scheme, csv);
-      if (rt_config.telemetry) {
-        std::cout << exp::render_time_breakdown(r.timeline, s.num_devices());
-        if (r.spans_dropped > 0) {
-          std::cout << "spans dropped:     " << r.spans_dropped
-                    << " (raise RtConfig::telemetry_span_capacity)\n";
-        }
-        if (!trace_out.empty()) {
-          obs::write_chrome_trace(trace_out, r.timeline.spans());
-          std::cout << "trace written to:  " << trace_out
-                    << " (load in chrome://tracing or ui.perfetto.dev)\n";
-        }
-        if (!metrics_out.empty()) {
-          r.metrics.write_csv(metrics_out);
-          std::cout << "metrics written:   " << metrics_out << "\n";
-        }
-      }
+      return report_rt_result(r, "rt (real threads)", s.num_devices(), csv,
+                              trace_out, metrics_out, rt_config.telemetry);
+    } else if (scheme == "hadfl" && backend == "net") {
+      net::NetRunConfig net_config;
+      net_config.rt = exp::make_rt_config(args, s);
+      net_config.rt.telemetry = !trace_out.empty() || !metrics_out.empty();
+      net_config.kind = transport == "uds" ? net::TransportKind::kUds
+                                           : net::TransportKind::kTcp;
+      net_config.node_binary =
+          args.get("node-binary", sibling_node_binary());
+      net_config.node_args = exp::scenario_forward_args(args);
+      const rt::RtResult r = net::run_hadfl_net(ctx, net_config);
+      return report_rt_result(
+          r, "net (" + std::to_string(s.num_devices()) + " processes, " +
+                 transport + ")",
+          s.num_devices(), csv, trace_out, metrics_out,
+          net_config.rt.telemetry);
     } else if (scheme == "hadfl") {
       sim::TraceRecorder trace;
       if (!trace_out.empty()) s.hadfl.trace = &trace;
       if (!metrics_out.empty()) {
-        std::cerr << "--metrics-out requires --backend=rt; ignoring\n";
+        std::cerr << "--metrics-out requires --backend=rt|net; ignoring\n";
       }
       const core::HadflResult r = core::run_hadfl(ctx, s.hadfl);
       std::cout << "hyperperiod:       " << r.extras.strategy.hyperperiod

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "exp/cli_setup.hpp"
 
 namespace hadfl {
 namespace {
@@ -59,6 +60,44 @@ TEST(ArgParser, UnknownOptionDetection) {
   const auto unknown = args.unknown_options({"scheme", "model"});
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0], "typo");
+}
+
+// hadfl_run prints exp::backend_flag_error's message and exits 2 whenever
+// it is non-empty; these pin the rejection surface for --backend/--transport.
+TEST(BackendFlags, AcceptsKnownCombinations) {
+  EXPECT_EQ(exp::backend_flag_error("hadfl", "sim", false, "tcp"), "");
+  EXPECT_EQ(exp::backend_flag_error("hadfl", "rt", false, "tcp"), "");
+  EXPECT_EQ(exp::backend_flag_error("hadfl", "net", true, "tcp"), "");
+  EXPECT_EQ(exp::backend_flag_error("hadfl", "net", true, "uds"), "");
+  EXPECT_EQ(exp::backend_flag_error("fedavg", "sim", false, "tcp"), "");
+}
+
+TEST(BackendFlags, RejectsUnknownBackend) {
+  const std::string err = exp::backend_flag_error("hadfl", "mpi", false, "tcp");
+  EXPECT_NE(err.find("unknown --backend: mpi"), std::string::npos);
+  EXPECT_NE(err.find("want sim, rt, or net"), std::string::npos);
+}
+
+TEST(BackendFlags, RejectsUnknownTransport) {
+  const std::string err =
+      exp::backend_flag_error("hadfl", "net", true, "carrier-pigeon");
+  EXPECT_NE(err.find("unknown --transport: carrier-pigeon"),
+            std::string::npos);
+  EXPECT_NE(err.find("want tcp or uds"), std::string::npos);
+}
+
+TEST(BackendFlags, TransportRequiresNetBackend) {
+  EXPECT_EQ(exp::backend_flag_error("hadfl", "rt", true, "tcp"),
+            "--transport requires --backend=net");
+  // The implicit tcp default is fine on every backend.
+  EXPECT_EQ(exp::backend_flag_error("hadfl", "rt", false, "tcp"), "");
+}
+
+TEST(BackendFlags, RuntimeBackendsRequireHadflScheme) {
+  EXPECT_EQ(exp::backend_flag_error("fedavg", "rt", false, "tcp"),
+            "--backend=rt only applies to --scheme=hadfl");
+  EXPECT_EQ(exp::backend_flag_error("fedavg", "net", false, "tcp"),
+            "--backend=net only applies to --scheme=hadfl");
 }
 
 }  // namespace
