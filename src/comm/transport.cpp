@@ -30,8 +30,8 @@ SimTime SimTransport::link_time(DeviceId src, DeviceId dst,
                                 std::size_t bytes) const {
   check_device(src);
   check_device(dst);
-  const double scale = std::min(cluster_->device(src).bandwidth_scale,
-                                cluster_->device(dst).bandwidth_scale);
+  const double scale = std::min(cluster_->bandwidth_scale(src),
+                                cluster_->bandwidth_scale(dst));
   return network_.latency +
          static_cast<double>(bytes) / (network_.bandwidth * scale);
 }

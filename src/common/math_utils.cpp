@@ -11,24 +11,8 @@
 
 namespace hadfl {
 
-namespace {
-
-double sorted_quantile(const std::vector<double>& sorted, double q) {
-  if (sorted.size() == 1) return sorted.front();
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-}  // namespace
-
 double quantile(std::vector<double> values, double q) {
-  HADFL_CHECK_ARG(!values.empty(), "quantile of empty vector");
-  HADFL_CHECK_ARG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1], got " << q);
-  std::sort(values.begin(), values.end());
-  return sorted_quantile(values, q);
+  return quantiles(std::move(values), {q}).front();
 }
 
 std::vector<double> quantiles(std::vector<double> values,
@@ -38,10 +22,46 @@ std::vector<double> quantiles(std::vector<double> values,
     HADFL_CHECK_ARG(q >= 0.0 && q <= 1.0,
                     "quantile q must be in [0,1], got " << q);
   }
-  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  // Each quantile interpolates between at most two order statistics, so a
+  // handful of successive nth_element passes (O(n) each) replace the full
+  // O(n log n) sort — the per-round selection path at fleet scale (K=10^5+)
+  // needs exactly two quantiles of K versions. A multiset's k-th order
+  // statistic is a unique *value*, so the interpolated results are
+  // bit-identical to the sorted implementation.
+  std::vector<std::size_t> needed;
+  needed.reserve(qs.size() * 2);
+  for (const double q : qs) {
+    const double pos = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    needed.push_back(lo);
+    needed.push_back(std::min(lo + 1, n - 1));
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  // After nth_element at position i, [0, i] holds (a permutation of) the
+  // i+1 smallest values, so the next selection can start past it.
+  std::size_t start = 0;
+  for (const std::size_t i : needed) {
+    if (start >= n) break;
+    std::nth_element(values.begin() + static_cast<std::ptrdiff_t>(start),
+                     values.begin() + static_cast<std::ptrdiff_t>(i),
+                     values.end());
+    start = i + 1;
+  }
   std::vector<double> out;
   out.reserve(qs.size());
-  for (const double q : qs) out.push_back(sorted_quantile(values, q));
+  for (const double q : qs) {
+    if (n == 1) {
+      out.push_back(values.front());
+      continue;
+    }
+    const double pos = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(values[lo] * (1.0 - frac) + values[hi] * frac);
+  }
   return out;
 }
 

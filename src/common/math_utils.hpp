@@ -17,10 +17,11 @@ namespace hadfl {
 /// `q` in [0, 1]. The input need not be sorted. Throws on empty input.
 double quantile(std::vector<double> values, double q);
 
-/// Several quantiles of the same data from ONE copy+sort: returns
-/// quantile(values, qs[i]) for every i, bit-identical to the per-call form
-/// (same sorted data, same interpolation). Throws on empty input or any q
-/// outside [0, 1].
+/// Several quantiles of the same data from one copy and a few O(n)
+/// selection passes (nth_element per needed order statistic — no full
+/// sort): returns quantile(values, qs[i]) for every i, bit-identical to a
+/// sort-based implementation (order statistics are unique values, same
+/// interpolation). Throws on empty input or any q outside [0, 1].
 std::vector<double> quantiles(std::vector<double> values,
                               std::span<const double> qs);
 inline std::vector<double> quantiles(std::vector<double> values,

@@ -1,0 +1,806 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "comm/allreduce.hpp"
+#include "comm/broadcast.hpp"
+#include "comm/failure_detector.hpp"
+#include "comm/transport.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+#include "common/parallel.hpp"
+#include "core/coordinator.hpp"
+#include "core/fleet_selection.hpp"
+#include "core/round_logic.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_trainer.hpp"
+#include "nn/cow_store.hpp"
+#include "nn/param_utils.hpp"
+#include "nn/serialize.hpp"
+
+namespace hadfl::core {
+
+namespace {
+
+using nn::CowStateStore;
+using SlabId = CowStateStore::SlabId;
+
+/// A reusable training seat: one packed model + one stateless SGD. A
+/// device's slab is loaded into the seat, trained, and written back — the
+/// same arithmetic run_hadfl performs on the device's private model, since
+/// packed models of one architecture share the arena layout and SGD with
+/// momentum == 0 carries no cross-episode state.
+struct TrainerSlot {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<nn::Sgd> optimizer;
+};
+
+/// One device-training burst queued for the parallel phase. `state` is the
+/// device's already-detached slab span (exclusively owned), so the threads
+/// write disjoint memory and never touch the store.
+struct TrainJob {
+  sim::DeviceId id = 0;
+  std::size_t steps = 0;
+  std::span<float> state;
+  double loss = 0.0;
+};
+
+std::vector<double> capped_copy(const std::vector<double>& values,
+                                std::size_t cap) {
+  if (values.size() <= cap) return values;
+  return {values.begin(),
+          values.begin() + static_cast<std::ptrdiff_t>(cap)};
+}
+
+class FleetEngine {
+ public:
+  FleetEngine(const fl::SchemeContext& ctx, const HadflConfig& config,
+              const FleetConfig& fleet)
+      : ctx_(ctx),
+        config_(config),
+        fleet_(fleet),
+        cluster_(ctx.cluster),
+        k_(ctx.cluster.size()),
+        transport_(ctx.cluster, ctx.network),
+        rng_(ctx.config.seed) {}
+
+  FleetResult run();
+
+ private:
+  // ---- setup ----
+  void init_fleet();
+  void build_slots(std::size_t count);
+
+  // ---- state plumbing ----
+  std::span<const float> state_of(sim::DeviceId d) {
+    return store_->view(state_slab_[d]);
+  }
+  std::span<const float> sync_of(sim::DeviceId d) {
+    return store_->view(sync_slab_[d]);
+  }
+  /// Rebinds a device's slab handle: takes over one reference on `slab`
+  /// (callers retain before passing) and drops the old one.
+  void rebind_state(sim::DeviceId d, SlabId slab) {
+    store_->release(state_slab_[d]);
+    state_slab_[d] = slab;
+  }
+  void rebind_sync(sim::DeviceId d, SlabId slab) {
+    store_->release(sync_slab_[d]);
+    sync_slab_[d] = slab;
+  }
+
+  /// Exact per-device-order mean — the same StateAccumulator fold
+  /// mean_state_of runs, reading slab views instead of model arenas.
+  std::vector<float> mean_state_exact(const std::vector<sim::DeviceId>& ids);
+  /// Class-folded mean (cohort mode): one accumulate per distinct slab,
+  /// weighted by its share — same value up to float fold order.
+  std::vector<float> mean_state_classes(const std::vector<sim::DeviceId>& ids);
+  std::vector<float> mean_state(const std::vector<sim::DeviceId>& ids) {
+    return exact_mode() ? mean_state_exact(ids) : mean_state_classes(ids);
+  }
+
+  // ---- training ----
+  data::BatchIterator& batches_for(sim::DeviceId d);
+  void run_jobs(std::vector<TrainJob>& jobs, double learning_rate);
+
+  // ---- round pieces ----
+  void warm_up();
+  void full_sync_after_negotiation();
+  void record_point(const std::vector<float>& eval_state);
+  bool aggregate_group(const std::vector<sim::DeviceId>& candidates,
+                       const std::vector<double>& predicted,
+                       std::vector<sim::DeviceId>& selected_this_round,
+                       std::vector<float>& eval_state);
+  void broadcast_integrate(const std::vector<sim::DeviceId>& delivered,
+                           const std::vector<float>& aggregate,
+                           double version_mean);
+  void inter_group_sync(const DeviceGroups& groups,
+                        const LivenessMonitor& liveness,
+                        std::vector<float>& eval_state);
+
+  bool exact_mode() const { return fleet_.cohort == 0; }
+
+  const fl::SchemeContext& ctx_;
+  const HadflConfig& config_;
+  const FleetConfig& fleet_;
+  sim::Cluster& cluster_;
+  const std::size_t k_;
+  comm::SimTransport transport_;
+  Rng rng_;
+
+  std::shared_ptr<SelectionPolicy> policy_;
+  std::unique_ptr<CowStateStore> store_;
+  std::unique_ptr<nn::Sequential> reference_;
+  std::size_t state_floats_ = 0;
+  std::size_t wire_bytes_ = 0;
+
+  // Per-device SoA (scalars only — all model state lives in the store).
+  std::vector<SlabId> state_slab_;
+  std::vector<SlabId> sync_slab_;
+  std::vector<double> version_;
+  std::vector<double> last_loss_;
+  std::vector<std::size_t> last_executed_;
+  std::vector<std::uint8_t> trained_this_round_;
+  std::vector<Rng> batch_rngs_;
+  std::vector<std::size_t> ipe_;
+  std::vector<double> compute_powers_;
+  std::vector<double> bandwidth_scales_;
+  std::unordered_map<sim::DeviceId, data::BatchIterator> batches_;
+
+  std::vector<TrainerSlot> slots_;
+  nn::StateAccumulator mean_acc_;
+  WeightedRingFold ring_fold_;
+  std::vector<float> sync_scratch_;
+
+  TrainingStrategy strategy_;
+  std::vector<double> prev_actual_;  ///< full-K kLastValue history
+  double epochs_done_ = 0.0;
+
+  FleetResult result_;
+};
+
+void FleetEngine::init_fleet() {
+  // Mirrors init_devices' RNG contract draw for draw (round_logic.hpp):
+  // the reference model consumes the main stream, then each device splits
+  // a device stream whose model split is *discarded* — every device's
+  // random init is overwritten by the dispatched state anyway, which is
+  // exactly why the fleet can start all K devices on one shared slab.
+  reference_ = ctx_.make_model(rng_);
+  reference_->pack();
+  if (!config_.resume_from.empty()) {
+    const std::vector<float> resumed = nn::load_state(config_.resume_from);
+    nn::load_state(*reference_, resumed);
+    HADFL_INFO("resumed initial model from " << config_.resume_from);
+  }
+  const std::span<const float> ref_state = nn::state_view(*reference_);
+  state_floats_ = ref_state.size();
+  wire_bytes_ = ctx_.comm_state_bytes != 0 ? ctx_.comm_state_bytes
+                                           : state_floats_ * sizeof(float);
+  store_ = std::make_unique<CowStateStore>(state_floats_);
+
+  state_slab_.resize(k_);
+  sync_slab_.resize(k_);
+  version_.assign(k_, 0.0);
+  last_loss_.assign(k_, 0.0);
+  last_executed_.assign(k_, 0);
+  trained_this_round_.assign(k_, 0);
+  batch_rngs_.reserve(k_);
+  ipe_.resize(k_);
+  compute_powers_.resize(k_);
+  bandwidth_scales_.resize(k_);
+
+  const SlabId init = store_->create(ref_state);
+  for (std::size_t d = 0; d < k_; ++d) {
+    Rng dev_rng = rng_.split();
+    (void)dev_rng.split();  // the model stream — unused, see above
+    batch_rngs_.push_back(dev_rng.split());
+    store_->retain(init);
+    state_slab_[d] = init;
+    store_->retain(init);
+    sync_slab_[d] = init;
+    ipe_[d] = fl::iters_per_epoch(ctx_.partition[d].size(),
+                                  ctx_.config.device_batch_size);
+    compute_powers_[d] = cluster_.compute_power(d);
+    bandwidth_scales_[d] = cluster_.bandwidth_scale(d);
+  }
+  store_->release(init);  // drop the creation reference
+}
+
+void FleetEngine::build_slots(std::size_t count) {
+  count = std::max<std::size_t>(1, std::min(count, k_));
+  slots_.resize(count);
+  for (TrainerSlot& slot : slots_) {
+    // Slot init state is throwaway (every episode starts with load_state),
+    // so the build rng is local and never touches the main stream.
+    Rng slot_rng(0x51075107ull);
+    slot.model = ctx_.make_model(slot_rng);
+    slot.model->pack();
+    slot.optimizer = std::make_unique<nn::Sgd>(
+        slot.model->parameters(),
+        nn::SgdConfig{ctx_.config.learning_rate, ctx_.config.momentum,
+                      ctx_.config.weight_decay});
+  }
+}
+
+data::BatchIterator& FleetEngine::batches_for(sim::DeviceId d) {
+  const auto it = batches_.find(d);
+  if (it != batches_.end()) return it->second;
+  // Lazily built from the stored batch stream: the iterator's RNG is
+  // self-contained, so a first-use build is in the exact state an
+  // init-time build would be in.
+  return batches_
+      .emplace(d, data::BatchIterator(ctx_.train, ctx_.partition[d],
+                                      ctx_.config.device_batch_size,
+                                      batch_rngs_[d]))
+      .first->second;
+}
+
+void FleetEngine::run_jobs(std::vector<TrainJob>& jobs, double learning_rate) {
+  if (jobs.empty()) return;
+  for (TrainJob& job : jobs) batches_for(job.id);  // serial map fill
+  const std::size_t lanes = std::min(slots_.size(), jobs.size());
+  parallel_for_each(
+      lanes,
+      [&](std::size_t lane) {
+        TrainerSlot& slot = slots_[lane];
+        slot.optimizer->set_learning_rate(learning_rate);
+        const auto [begin, end] = chunk_range(jobs.size(), lanes, lane);
+        for (std::size_t j = begin; j < end; ++j) {
+          TrainJob& job = jobs[j];
+          nn::load_state(*slot.model, job.state);
+          job.loss = fl::run_local_steps(*slot.model, *slot.optimizer,
+                                         batches_.at(job.id), job.steps)
+                         .mean_loss;
+          const std::span<const float> out = nn::state_view(*slot.model);
+          std::copy(out.begin(), out.end(), job.state.begin());
+        }
+      },
+      lanes);
+  for (const TrainJob& job : jobs) trained_this_round_[job.id] = 1;
+  result_.stats.train_episodes += jobs.size();
+}
+
+std::vector<float> FleetEngine::mean_state_exact(
+    const std::vector<sim::DeviceId>& ids) {
+  HADFL_CHECK_ARG(!ids.empty(), "fleet mean over zero devices");
+  mean_acc_.reset(state_floats_);
+  const double w = 1.0 / static_cast<double>(ids.size());
+  for (const sim::DeviceId id : ids) {
+    mean_acc_.accumulate(state_of(id), w);
+  }
+  return mean_acc_.materialize();
+}
+
+std::vector<float> FleetEngine::mean_state_classes(
+    const std::vector<sim::DeviceId>& ids) {
+  HADFL_CHECK_ARG(!ids.empty(), "fleet mean over zero devices");
+  std::map<SlabId, std::size_t> counts;  // ordered: deterministic fold
+  for (const sim::DeviceId id : ids) ++counts[state_slab_[id]];
+  mean_acc_.reset(state_floats_);
+  const double n = static_cast<double>(ids.size());
+  for (const auto& [slab, count] : counts) {
+    mean_acc_.accumulate(store_->view(slab),
+                         static_cast<double>(count) / n);
+  }
+  return mean_acc_.materialize();
+}
+
+void FleetEngine::warm_up() {
+  const int warmup_epochs = std::max(1, ctx_.config.warmup_epochs);
+  std::vector<sim::DeviceId> sample;
+  if (exact_mode()) {
+    sample.resize(k_);
+    for (std::size_t d = 0; d < k_; ++d) sample[d] = d;
+  } else {
+    // Train the first `cohort` devices: with a cycled power-ratio table the
+    // id prefix covers every heterogeneity class as long as cohort >= the
+    // ratio length. The rest of the fleet keeps the dispatched state and
+    // inherits the sample's mean loss for the first convergence point.
+    sample.resize(std::min(fleet_.cohort, k_));
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      sample[i] = static_cast<sim::DeviceId>(i);
+    }
+  }
+
+  std::vector<TrainJob> jobs;
+  jobs.reserve(sample.size());
+  for (const sim::DeviceId d : sample) {
+    state_slab_[d] = store_->detach(state_slab_[d]);
+    TrainJob job;
+    job.id = d;
+    job.steps = static_cast<std::size_t>(warmup_epochs) * ipe_[d];
+    job.state = store_->mutable_view(state_slab_[d]);
+    jobs.push_back(job);
+  }
+  run_jobs(jobs, ctx_.config.warmup_learning_rate);
+  double sample_loss = 0.0;
+  for (const TrainJob& job : jobs) {
+    last_loss_[job.id] = job.loss;
+    sample_loss += job.loss;
+  }
+  if (!exact_mode() && !jobs.empty()) {
+    sample_loss /= static_cast<double>(jobs.size());
+    std::vector<bool> trained(k_, false);
+    for (const TrainJob& job : jobs) trained[job.id] = true;
+    for (std::size_t d = 0; d < k_; ++d) {
+      if (!trained[d]) last_loss_[d] = sample_loss;
+    }
+  }
+
+  // Timing is analytic for every device (advance_compute draws each
+  // device's own jitter stream), so the negotiation clock walk is exact in
+  // both modes — the strategy a 100k cohort run generates is the strategy
+  // the exact run would.
+  std::vector<sim::SimTime> epoch_times(k_);
+  for (std::size_t d = 0; d < k_; ++d) {
+    const sim::SimTime duration = cluster_.advance_compute(
+        d, static_cast<std::size_t>(warmup_epochs) * ipe_[d]);
+    epoch_times[d] = duration / static_cast<double>(warmup_epochs);
+  }
+  cluster_.barrier_all();
+  result_.extras.negotiated_epoch_times.assign(
+      epoch_times.begin(),
+      epoch_times.begin() +
+          static_cast<std::ptrdiff_t>(
+              std::min(fleet_.extras_device_cap, k_)));
+
+  const StrategyGenerator generator(config_.strategy);
+  strategy_ = generator.generate(epoch_times, ipe_);
+  result_.extras.strategy = strategy_;
+  HADFL_INFO("hadfl-fleet strategy: H_E=" << strategy_.hyperperiod
+                                          << "s window="
+                                          << strategy_.round_window << "s");
+  epochs_done_ = warmup_epochs;
+}
+
+void FleetEngine::full_sync_after_negotiation() {
+  std::vector<sim::DeviceId> reachable;
+  for (std::size_t d = 0; d < k_; ++d) {
+    if (cluster_.faults().alive(d, cluster_.time(d))) reachable.push_back(d);
+  }
+  if (reachable.size() <= 1) return;
+  const std::vector<float> mean = mean_state(reachable);
+  try {
+    comm::simulate_ring_allreduce(transport_, reachable, wire_bytes_);
+    const SlabId shared = store_->create(mean);
+    for (const sim::DeviceId d : reachable) {
+      store_->retain(shared);
+      rebind_state(d, shared);  // run_hadfl load_states the model only;
+                                // the last-sync reference stays put
+    }
+    store_->release(shared);
+  } catch (const CommError&) {
+    HADFL_WARN("post-negotiation sync skipped: device went down");
+  }
+}
+
+void FleetEngine::record_point(const std::vector<float>& eval_state) {
+  nn::load_state(*reference_, eval_state);
+  const fl::EvalResult eval = fl::evaluate(*reference_, ctx_.test);
+  double loss_sum = 0.0;
+  double loss_weight = 0.0;
+  // Exact mode: every device with executed > 0 trained, so this is
+  // run_hadfl's executed-weighted sum (executed == 0 contributes nothing
+  // there too). Cohort mode: untrained devices carry stale losses, so only
+  // the trained cohort enters the point.
+  for (std::size_t d = 0; d < k_; ++d) {
+    if (trained_this_round_[d] == 0) continue;
+    loss_sum += last_loss_[d] * static_cast<double>(last_executed_[d]);
+    loss_weight += static_cast<double>(last_executed_[d]);
+  }
+  result_.scheme.metrics.add(fl::ConvergencePoint{
+      epochs_done_, cluster_.max_time(),
+      loss_weight > 0.0 ? loss_sum / loss_weight : 0.0, eval.loss,
+      eval.accuracy});
+}
+
+bool FleetEngine::aggregate_group(
+    const std::vector<sim::DeviceId>& candidates,
+    const std::vector<double>& predicted,
+    std::vector<sim::DeviceId>& selected_this_round,
+    std::vector<float>& eval_state) {
+  std::vector<sim::DeviceId> ring;
+  if (exact_mode()) {
+    RingPlan plan =
+        plan_ring(*policy_, candidates, predicted, compute_powers_,
+                  bandwidth_scales_, config_.strategy.select_count, rng_);
+    ring = std::move(plan.ring);
+  } else {
+    const FleetSelection sel = select_fleet_cohort(
+        predicted, candidates, config_.strategy.select_count,
+        fleet_.cohort - std::min(fleet_.cohort,
+                                 config_.strategy.select_count),
+        fleet_.selection_buckets, rng_);
+    ring = StrategyGenerator::make_ring(sel.cohort, rng_);
+    // Only now does any SGD happen: ring members + shadow runners-up train
+    // their analytic step budgets; everyone else is already fully priced.
+    std::vector<sim::DeviceId> to_train = ring;
+    to_train.insert(to_train.end(), sel.shadow.begin(), sel.shadow.end());
+    std::vector<TrainJob> jobs;
+    jobs.reserve(to_train.size());
+    for (const sim::DeviceId d : to_train) {
+      if (last_executed_[d] == 0) continue;
+      state_slab_[d] = store_->detach(state_slab_[d]);
+      TrainJob job;
+      job.id = d;
+      job.steps = last_executed_[d];
+      job.state = store_->mutable_view(state_slab_[d]);
+      jobs.push_back(job);
+    }
+    run_jobs(jobs, ctx_.config.learning_rate);
+    for (const TrainJob& job : jobs) last_loss_[job.id] = job.loss;
+  }
+
+  // Fault-tolerant gossip aggregation (§III-D) — the run_hadfl loop with
+  // slab views in place of model arenas.
+  std::vector<float> aggregate;
+  for (int attempt = 0; attempt < 4 && !ring.empty(); ++attempt) {
+    const comm::RingRepairResult repair =
+        comm::repair_ring(transport_, ring, config_.repair);
+    result_.extras.ring_repairs += repair.repairs;
+    ring = repair.ring;
+    if (ring.empty()) break;
+    try {
+      const std::vector<double> weights =
+          ring_weights(ctx_.partition, ring, config_.weight_by_samples);
+      ring_fold_.reset(state_floats_);
+      std::size_t codec_bytes = 0;
+      std::size_t dense_bytes = 0;
+      for (std::size_t m = 0; m < ring.size(); ++m) {
+        const sim::DeviceId id = ring[m];
+        const std::span<const float> view = state_of(id);
+        sync_scratch_.assign(view.begin(), view.end());
+        dense_bytes = sync_scratch_.size() * sizeof(float);
+        codec_bytes = std::max(
+            codec_bytes,
+            compress_roundtrip(sync_scratch_, sync_of(id), config_));
+        ring_fold_.add(0, sync_scratch_, weights[m]);
+      }
+      comm::simulate_ring_allreduce(
+          transport_, ring,
+          effective_wire_bytes(wire_bytes_, codec_bytes, dense_bytes));
+      aggregate.resize(ring_fold_.size());
+      ring_fold_.write(0, aggregate);
+      break;
+    } catch (const CommError&) {
+      HADFL_WARN("partial sync hit a mid-collective fault; repairing");
+      aggregate.clear();
+      for (const sim::DeviceId id : ring) {
+        cluster_.advance(id, config_.repair.wait_before_handshake);
+      }
+    }
+  }
+  if (ring.empty() || aggregate.empty()) return false;
+  selected_this_round.insert(selected_this_round.end(), ring.begin(),
+                             ring.end());
+
+  double version_mean = 0.0;
+  for (const sim::DeviceId id : ring) version_mean += version_[id];
+  version_mean /= static_cast<double>(ring.size());
+
+  // apply_aggregate, dedup'd: every ring member's state AND last-sync
+  // reference become the same bits, so all of them share one slab.
+  const SlabId agg_slab = store_->create(aggregate);
+  for (const sim::DeviceId id : ring) {
+    store_->retain(agg_slab);
+    rebind_state(id, agg_slab);
+    store_->retain(agg_slab);
+    rebind_sync(id, agg_slab);
+    version_[id] = version_mean;
+  }
+  store_->release(agg_slab);
+
+  // Non-blocking broadcast to the unselected members.
+  std::vector<sim::DeviceId> others;
+  for (const sim::DeviceId id : candidates) {
+    if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
+      others.push_back(id);
+    }
+  }
+  if (!others.empty()) {
+    const sim::DeviceId src = ring[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(ring.size()) - 1))];
+    sync_scratch_.assign(aggregate.begin(), aggregate.end());
+    const std::size_t codec_bytes =
+        compress_roundtrip(sync_scratch_, sync_of(others.front()), config_);
+    const comm::BroadcastResult bc = comm::broadcast_nonblocking(
+        transport_, src, others,
+        effective_wire_bytes(wire_bytes_, codec_bytes,
+                             aggregate.size() * sizeof(float)));
+    broadcast_integrate(bc.delivered, aggregate, version_mean);
+  }
+
+  if (eval_state.empty()) {
+    eval_state = aggregate;
+  } else {
+    nn::mix_into(eval_state, aggregate, 0.5);
+  }
+  return true;
+}
+
+void FleetEngine::broadcast_integrate(
+    const std::vector<sim::DeviceId>& delivered,
+    const std::vector<float>& aggregate, double version_mean) {
+  // integrate_broadcast is a pure function of (state, last-sync) — group
+  // the receivers by that slab pair and run it once per class. Exact-mode
+  // bit-identity is preserved: every class member would compute exactly
+  // these bits on its own, and no receiver's result feeds another's.
+  // Recycling is safe mid-loop: a later class's key slabs are still
+  // referenced by its (not yet rebound) members, so they cannot have been
+  // freed and reused.
+  std::map<std::pair<SlabId, SlabId>, std::vector<sim::DeviceId>> classes;
+  for (const sim::DeviceId id : delivered) {
+    classes[{state_slab_[id], sync_slab_[id]}].push_back(id);
+  }
+  std::vector<float> mixed;
+  for (const auto& [key, members] : classes) {
+    sync_scratch_.assign(aggregate.begin(), aggregate.end());
+    compress_roundtrip(sync_scratch_, store_->view(key.second), config_);
+    const std::span<const float> state = store_->view(key.first);
+    mixed.assign(state.begin(), state.end());
+    nn::mix_into(mixed, sync_scratch_, config_.broadcast_mix_weight);
+    const SlabId new_state = store_->create(mixed);
+    const SlabId new_sync = store_->create(sync_scratch_);
+    for (const sim::DeviceId id : members) {
+      store_->retain(new_state);
+      rebind_state(id, new_state);
+      store_->retain(new_sync);
+      rebind_sync(id, new_sync);
+      version_[id] =
+          (1.0 - config_.broadcast_mix_weight) * version_[id] +
+          config_.broadcast_mix_weight * version_mean;
+    }
+    store_->release(new_state);
+    store_->release(new_sync);
+  }
+}
+
+void FleetEngine::inter_group_sync(const DeviceGroups& groups,
+                                   const LivenessMonitor& liveness,
+                                   std::vector<float>& eval_state) {
+  std::vector<sim::DeviceId> leaders;
+  for (const auto& group : groups) {
+    for (const sim::DeviceId id : group) {
+      if (liveness.is_available(id)) {
+        leaders.push_back(id);
+        break;
+      }
+    }
+  }
+  if (leaders.size() <= 1) return;
+  const std::vector<float> global = mean_state(leaders);
+  try {
+    comm::simulate_ring_allreduce(transport_, leaders, wire_bytes_);
+  } catch (const CommError&) {
+    HADFL_WARN("inter-group sync skipped: leader unreachable");
+    return;
+  }
+  const SlabId global_slab = store_->create(global);
+  std::vector<float> mixed;
+  for (std::size_t g = 0; g < groups.size() && g < leaders.size(); ++g) {
+    // Available non-leader members mix the global state in; classes are
+    // keyed by state slab only (the last-sync reference is untouched, as
+    // in run_hadfl's inter-group pass).
+    std::map<SlabId, std::vector<sim::DeviceId>> classes;
+    for (const sim::DeviceId id : groups[g]) {
+      if (!liveness.is_available(id)) continue;
+      if (id == leaders[g]) continue;
+      transport_.account(leaders[g], id, wire_bytes_);
+      classes[state_slab_[id]].push_back(id);
+    }
+    for (const auto& [slab, members] : classes) {
+      const std::span<const float> state = store_->view(slab);
+      mixed.assign(state.begin(), state.end());
+      nn::mix_into(mixed, global, config_.broadcast_mix_weight);
+      const SlabId new_state = store_->create(mixed);
+      for (const sim::DeviceId id : members) {
+        store_->retain(new_state);
+        rebind_state(id, new_state);
+      }
+      store_->release(new_state);
+    }
+    store_->retain(global_slab);
+    rebind_state(leaders[g], global_slab);
+  }
+  store_->release(global_slab);
+  eval_state = global;
+}
+
+FleetResult FleetEngine::run() {
+  HADFL_CHECK_ARG(ctx_.partition.size() == k_,
+                  "partition count != device count");
+  HADFL_CHECK_ARG(config_.alpha > 0.0 && config_.alpha < 1.0,
+                  "alpha must be in (0, 1)");
+  HADFL_CHECK_ARG(config_.broadcast_mix_weight >= 0.0 &&
+                      config_.broadcast_mix_weight <= 1.0,
+                  "broadcast mix weight must be in [0, 1]");
+  HADFL_CHECK_ARG(ctx_.config.momentum == 0.0,
+                  "fleet trainer requires momentum == 0 (trainer slots are "
+                  "shared across devices)");
+  policy_ = config_.policy;
+  if (!policy_) policy_ = std::make_shared<GaussianQuartileSelection>();
+  if (!exact_mode()) {
+    HADFL_CHECK_ARG(fleet_.cohort >= config_.strategy.select_count,
+                    "fleet cohort " << fleet_.cohort
+                                    << " smaller than select_count "
+                                    << config_.strategy.select_count);
+    HADFL_CHECK_ARG(!config_.grouping.enabled(),
+                    "sampled-cohort mode requires flat grouping");
+    HADFL_CHECK_ARG(policy_->name() == "gaussian-quartile",
+                    "sampled-cohort mode approximates the gaussian-quartile "
+                    "policy; got " << policy_->name());
+  }
+
+  cluster_.reset_clocks();
+  result_.scheme.scheme_name = "hadfl-fleet";
+  result_.stats.devices = k_;
+
+  init_fleet();
+  build_slots(default_compute_threads());
+  result_.stats.state_floats = state_floats_;
+  result_.stats.naive_state_bytes =
+      2 * k_ * state_floats_ * sizeof(float);  // model + last-sync, per dev
+
+  warm_up();
+  if (config_.full_sync_after_negotiation) full_sync_after_negotiation();
+
+  LivenessMonitor liveness(cluster_);
+  RuntimeSupervisor supervisor(k_, config_.alpha);
+  ModelManager model_manager(config_.backup_dir, config_.backup_every_rounds);
+  const DeviceGroups groups = make_groups(cluster_, config_.grouping);
+
+  {
+    std::vector<sim::DeviceId> all(k_);
+    for (std::size_t d = 0; d < k_; ++d) all[d] = d;
+    const std::vector<float> mean = mean_state(all);
+    nn::load_state(*reference_, mean);
+    const fl::EvalResult eval = fl::evaluate(*reference_, ctx_.test);
+    double loss_sum = 0.0;
+    for (std::size_t d = 0; d < k_; ++d) loss_sum += last_loss_[d];
+    result_.scheme.metrics.add(fl::ConvergencePoint{
+        epochs_done_, cluster_.max_time(),
+        loss_sum / static_cast<double>(k_), eval.loss, eval.accuracy});
+  }
+
+  const double total_train = static_cast<double>(ctx_.train.size());
+  std::size_t round = 0;
+  while (epochs_done_ < static_cast<double>(ctx_.config.total_epochs) &&
+         (fleet_.max_rounds == 0 || round < fleet_.max_rounds)) {
+    ++round;
+    std::fill(trained_this_round_.begin(), trained_this_round_.end(),
+              std::uint8_t{0});
+    const sim::SimTime window = strategy_.round_window;
+    const sim::SimTime t0 = cluster_.max_time();
+    for (std::size_t d = 0; d < k_; ++d) cluster_.advance_to(d, t0);
+
+    std::vector<bool> available_at_start(k_);
+    for (std::size_t d = 0; d < k_; ++d) {
+      available_at_start[d] = liveness.is_available(d);
+    }
+
+    // Deadline-truncated step budgets are analytic: what fits the window
+    // given the device's iteration time and this burst's jitter draw. In
+    // exact mode the SGD for every budget runs below (via jobs); in cohort
+    // mode the budgets stand on their own and only the cohort's SGD runs.
+    std::vector<TrainJob> jobs;
+    double executed_total = 0.0;
+    for (std::size_t d = 0; d < k_; ++d) {
+      const double jitter = cluster_.sample_jitter_factor(d);
+      const double iter_time = cluster_.iteration_time(d) * jitter;
+      const auto fit = static_cast<std::size_t>(
+          std::max(0.0, std::floor(window / iter_time + 1e-9)));
+      const std::size_t executed = std::min(strategy_.local_steps[d], fit);
+      last_executed_[d] = executed;
+      if (exact_mode() && executed > 0) {
+        state_slab_[d] = store_->detach(state_slab_[d]);
+        TrainJob job;
+        job.id = d;
+        job.steps = executed;
+        job.state = store_->mutable_view(state_slab_[d]);
+        jobs.push_back(job);
+      }
+      const double burst =
+          iter_time * static_cast<double>(executed);
+      cluster_.advance(d, burst);
+      cluster_.advance_to(d, t0 + window);
+      version_[d] += static_cast<double>(executed);
+      executed_total += static_cast<double>(executed);
+    }
+    run_jobs(jobs, ctx_.config.learning_rate);
+    for (const TrainJob& job : jobs) last_loss_[job.id] = job.loss;
+
+    std::vector<double> fallback(k_);
+    for (std::size_t d = 0; d < k_; ++d) {
+      fallback[d] =
+          static_cast<double>(round) * strategy_.expected_versions[d];
+    }
+    std::vector<double> predicted;
+    switch (config_.predictor) {  // inline predict_versions: the kLastValue
+      case PredictorMode::kDes:   // history lives here full-size, while the
+        predicted = supervisor.predict(fallback);  // extras copy is capped
+        break;
+      case PredictorMode::kStatic:
+        predicted = fallback;
+        break;
+      case PredictorMode::kLastValue:
+        predicted = prev_actual_.empty() ? fallback : prev_actual_;
+        break;
+    }
+
+    supervisor.observe_round(version_);
+    prev_actual_ = version_;
+    result_.extras.actual_versions.push_back(
+        capped_copy(version_, fleet_.extras_device_cap));
+    result_.extras.predicted_versions.push_back(
+        capped_copy(predicted, fleet_.extras_device_cap));
+
+    std::vector<float> eval_state;
+    std::vector<sim::DeviceId> selected_this_round;
+    for (const auto& group : groups) {
+      std::vector<sim::DeviceId> candidates;
+      for (const sim::DeviceId id : group) {
+        if (available_at_start[id]) candidates.push_back(id);
+      }
+      if (candidates.empty()) continue;
+      aggregate_group(candidates, predicted, selected_this_round,
+                      eval_state);
+    }
+
+    if (groups.size() > 1 &&
+        round % static_cast<std::size_t>(
+                    std::max(1, config_.grouping.inter_group_period)) ==
+            0) {
+      inter_group_sync(groups, liveness, eval_state);
+    }
+
+    result_.extras.selected.push_back(selected_this_round);
+    epochs_done_ += executed_total *
+                    static_cast<double>(ctx_.config.device_batch_size) /
+                    total_train;
+
+    if (eval_state.empty()) {
+      std::vector<sim::DeviceId> avail = liveness.available();
+      if (avail.empty()) {
+        avail.resize(k_);
+        for (std::size_t d = 0; d < k_; ++d) avail[d] = d;
+      }
+      eval_state = mean_state(avail);
+    }
+    record_point(eval_state);
+    model_manager.update(eval_state, round);
+    ++result_.scheme.sync_rounds;
+  }
+
+  result_.stats.rounds = round;
+  result_.stats.peak_state_slabs = store_->peak_slabs();
+  result_.stats.peak_state_bytes = store_->peak_bytes();
+  result_.stats.ring_repairs = result_.extras.ring_repairs;
+  result_.extras.model_backups = model_manager.backups_written();
+  result_.scheme.volume = transport_.volume();
+  if (model_manager.has_model()) {
+    result_.scheme.final_state = model_manager.latest();
+  } else {
+    std::vector<sim::DeviceId> all(k_);
+    for (std::size_t d = 0; d < k_; ++d) all[d] = d;
+    result_.scheme.final_state = mean_state(all);
+  }
+  result_.scheme.total_time = cluster_.max_time();
+  return std::move(result_);
+}
+
+}  // namespace
+
+FleetResult run_hadfl_fleet(const fl::SchemeContext& ctx,
+                            const HadflConfig& config,
+                            const FleetConfig& fleet) {
+  FleetEngine engine(ctx, config, fleet);
+  return engine.run();
+}
+
+}  // namespace hadfl::core

@@ -1,0 +1,96 @@
+// Fleet-scale HADFL trainer: one process, 10^4–10^6 devices.
+//
+// run_hadfl (core/trainer.cpp) materializes one model, one optimizer, one
+// batch iterator and one last-sync reference per device — O(K) model
+// memory and O(K) training compute per round, which tops out around a few
+// hundred devices. The fleet engine reproduces the same protocol with
+// per-device model state deduplicated through a copy-on-write slab store
+// (nn/cow_store.hpp): a device handle is two slab ids (model state +
+// last-sync reference), devices that share bits share slabs, and a device
+// materializes a private copy only when it is about to train. Training runs
+// on a fixed pool of reusable trainer slots (model + stateless SGD), so
+// resident model memory is O(distinct states), not O(K).
+//
+// Two modes:
+//
+//  * Exact (`cohort == 0`): every device trains every round, exactly like
+//    run_hadfl. Bit-identical guarantee — a seeded exact-mode run produces
+//    the same final_state bits, total_time and communication volume as
+//    run_hadfl on the same context (tests/test_fleet.cpp pins this at
+//    K=8): the RNG draw order, the ring-fold order, and every elementwise
+//    float op match the original loop; slab sharing and class-based
+//    broadcast integration only deduplicate computations whose inputs are
+//    bit-equal. Memory still reaches O(K) slabs after warm-up (every
+//    device's warm-up trajectory differs), so exact mode is the validation
+//    path, not the scale path.
+//
+//  * Sampled cohort (`cohort > 0`): per round, only the `cohort` devices
+//    the Eq. 8 selection favours actually run SGD — the select_count ring
+//    winners plus (cohort - select_count) shadow runners-up (the next-best
+//    Efraimidis–Soules keys, core/fleet_selection.hpp). Every *other*
+//    device is priced analytically: executed steps, parameter versions,
+//    virtual clocks, selection dynamics and wire volume are computed
+//    exactly (they depend only on the strategy, jitter draws and the fault
+//    plan, not on model floats); only the unselected devices' model drift
+//    is approximated (their slabs move through shared broadcast
+//    integration, not private SGD). Warm-up trains `cohort` sample devices
+//    and reuses their mean. Documented approximations: bucketed quartiles
+//    and E–S sampling replace the exact selection draw stream; means over
+//    device sets are folded per slab class (count-weighted), not per
+//    device; train-loss points cover the trained cohort only. Requires
+//    flat grouping and the Gaussian-quartile policy.
+//
+// Both modes require momentum == 0 (trainer slots are shared across
+// devices, so per-device optimizer state would leak between them) and
+// ignore HadflConfig::trace.
+#pragma once
+
+#include "core/trainer.hpp"
+#include "fl/scheme.hpp"
+
+namespace hadfl::core {
+
+struct FleetConfig {
+  /// 0 = exact mode (every device trains; bit-identical to run_hadfl).
+  /// > 0 = sampled-cohort mode: that many devices train per round (must be
+  /// >= the strategy's select_count).
+  std::size_t cohort = 0;
+
+  /// Hard cap on synchronization rounds; 0 = run to the epoch budget like
+  /// run_hadfl. Fleet benches set a small cap so a K=100k sweep finishes.
+  std::size_t max_rounds = 0;
+
+  /// Per-round per-device diagnostic series (actual/predicted versions) are
+  /// recorded for at most this many devices — at K=10^5 the full series
+  /// would dwarf the model memory the engine exists to save. The
+  /// supervisor/selection always see all K devices.
+  std::size_t extras_device_cap = 4096;
+
+  /// Histogram buckets for the cohort-mode approximate quartiles.
+  std::size_t selection_buckets = 512;
+};
+
+struct FleetStats {
+  std::size_t devices = 0;
+  std::size_t rounds = 0;
+  std::size_t state_floats = 0;       ///< elements per model state
+  std::size_t train_episodes = 0;     ///< device-training bursts executed
+  std::size_t peak_state_slabs = 0;   ///< CoW store high-water slab count
+  std::size_t peak_state_bytes = 0;   ///< CoW store high-water bytes
+  /// What run_hadfl would keep resident for the same fleet: one model state
+  /// plus one last-sync reference per device.
+  std::size_t naive_state_bytes = 0;
+  std::size_t ring_repairs = 0;
+};
+
+struct FleetResult {
+  fl::SchemeResult scheme;
+  HadflExtras extras;   ///< version series capped to extras_device_cap
+  FleetStats stats;
+};
+
+FleetResult run_hadfl_fleet(const fl::SchemeContext& ctx,
+                            const HadflConfig& config,
+                            const FleetConfig& fleet = {});
+
+}  // namespace hadfl::core

@@ -1,0 +1,130 @@
+#include "core/fleet_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace hadfl::core {
+
+BucketedQuartiles bucketed_quartiles(std::span<const double> values,
+                                     std::size_t buckets) {
+  HADFL_CHECK_ARG(!values.empty(), "bucketed_quartiles of empty span");
+  HADFL_CHECK_ARG(buckets > 0, "bucketed_quartiles with zero buckets");
+  double lo = values.front();
+  double hi = values.front();
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  BucketedQuartiles out;
+  if (hi - lo <= 1e-12) {
+    out.q1 = lo;
+    out.q3 = lo;
+    return out;
+  }
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const double v : values) {
+    const auto b = std::min(
+        buckets - 1, static_cast<std::size_t>((v - lo) / width));
+    ++counts[b];
+  }
+  const auto rank_value = [&](double q) {
+    // Continuous target rank, same convention as quantile(): q * (n - 1).
+    const double target = q * static_cast<double>(values.size() - 1);
+    std::size_t before = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::size_t cb = counts[b];
+      if (cb == 0) continue;
+      if (target < static_cast<double>(before + cb)) {
+        // Spread the bucket's cb members evenly across its width and read
+        // the in-bucket position the target rank lands on.
+        const double frac =
+            (target - static_cast<double>(before) + 0.5) /
+            static_cast<double>(cb);
+        return lo + width * (static_cast<double>(b) +
+                             std::clamp(frac, 0.0, 1.0));
+      }
+      before += cb;
+    }
+    return hi;
+  };
+  out.q1 = rank_value(0.25);
+  out.q3 = rank_value(0.75);
+  return out;
+}
+
+FleetSelection select_fleet_cohort(std::span<const double> predicted,
+                                   const std::vector<sim::DeviceId>& candidates,
+                                   std::size_t select_count,
+                                   std::size_t shadow_count,
+                                   std::size_t buckets, Rng& rng) {
+  HADFL_CHECK_ARG(!candidates.empty(), "fleet selection over zero candidates");
+  HADFL_CHECK_ARG(select_count > 0, "fleet selection with zero picks");
+  select_count = std::min(select_count, candidates.size());
+  shadow_count = std::min(shadow_count, candidates.size() - select_count);
+
+  // Eq. 8 parameters from the candidates' predicted versions, one streaming
+  // histogram instead of a sorted copy.
+  std::vector<double> cand_versions;
+  cand_versions.reserve(candidates.size());
+  for (const sim::DeviceId id : candidates) {
+    cand_versions.push_back(predicted[id]);
+  }
+  const BucketedQuartiles q = bucketed_quartiles(cand_versions, buckets);
+  double scale = q.q3 - q.q1;
+  if (scale <= 1e-12) scale = 1.0;
+  const double mu = q.q3;
+
+  // Efraimidis–Soules: candidate i gets key log(u_i) / w_i (the log of
+  // u^(1/w), monotone-equivalent and underflow-free); the top keys are a
+  // weighted sample without replacement. A min-heap of the N best keys
+  // keeps the pass O(K log N). Zero-density stragglers (density underflow
+  // far from μ) get -inf keys: selected only when fewer than N candidates
+  // have positive density.
+  struct Keyed {
+    double key;
+    sim::DeviceId id;
+  };
+  const auto worse = [](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key > b.key;  // min-heap on key
+    return a.id < b.id;
+  };
+  const std::size_t keep = select_count + shadow_count;
+  std::vector<Keyed> heap;
+  heap.reserve(keep + 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double w =
+        standard_normal_pdf(cand_versions[i] / scale, mu / scale);
+    const double u = rng.uniform();
+    const double key = w > 0.0
+                           ? std::log(std::max(u, 1e-300)) / w
+                           : -std::numeric_limits<double>::infinity();
+    if (heap.size() < keep) {
+      heap.push_back({key, candidates[i]});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (key > heap.front().key) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = {key, candidates[i]};
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  // sort_heap orders ascending under `worse` (a before b iff a.key > b.key),
+  // i.e. descending key — best picks first.
+  std::sort_heap(heap.begin(), heap.end(), worse);
+
+  FleetSelection out;
+  out.mu = mu;
+  out.scale = scale;
+  out.cohort.reserve(select_count);
+  out.shadow.reserve(heap.size() - select_count);
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    (i < select_count ? out.cohort : out.shadow).push_back(heap[i].id);
+  }
+  return out;
+}
+
+}  // namespace hadfl::core

@@ -1,0 +1,66 @@
+// Sublinear-per-round selection for fleet-scale runs (10^4–10^6 devices).
+//
+// The exact Eq. 8 path (core/selection.hpp) sorts all K versions for the
+// quartiles, materializes K normalized probabilities, and runs a K-pass
+// draw-and-remove sample — O(K log K) time and O(K) fresh allocations per
+// round, which dominates a 10^5-device round. The fleet path replaces the
+// pieces with streaming equivalents:
+//
+//  * quartiles from a fixed-B bucketed histogram (two O(K) passes, O(B)
+//    memory, no sort, no copy of the versions);
+//  * an Efraimidis–Soules weighted reservoir over the *unnormalized*
+//    densities — each candidate gets key log(u)/w and the top-N keys are
+//    the sample, so no K-vector of probabilities ever exists and the
+//    selection is one pass with an O(N) heap.
+//
+// Both are documented approximations of the exact path (bucketed quartiles
+// vs. interpolated order statistics; E–S sampling vs. sequential
+// draw-and-remove — same weighted-without-replacement semantics, different
+// draw stream), used only in the fleet trainer's cohort mode. Exact mode
+// keeps the original path bit-for-bit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/device.hpp"
+
+namespace hadfl::core {
+
+/// Approximate interquartile summary from a B-bucket histogram: one pass
+/// for min/max, one for counts, then rank interpolation inside the target
+/// bucket. Error is bounded by one bucket width (range / buckets).
+struct BucketedQuartiles {
+  double q1 = 0.0;
+  double q3 = 0.0;
+};
+BucketedQuartiles bucketed_quartiles(std::span<const double> values,
+                                     std::size_t buckets);
+
+/// One fleet-round selection: `cohort` holds the select_count winners of
+/// the Efraimidis–Soules draw (descending key — the devices that will
+/// actually train and form the ring) and `shadow` the next shadow_count
+/// runners-up (trained so cohort-mode class means have off-ring
+/// representatives). `mu`/`scale` echo the Eq. 8 parameters used, so
+/// telemetry can price any device's probability on demand without a K
+/// vector.
+struct FleetSelection {
+  std::vector<sim::DeviceId> cohort;
+  std::vector<sim::DeviceId> shadow;
+  double mu = 0.0;
+  double scale = 1.0;
+};
+
+/// Streams over `candidates` (ids indexing `predicted`), weighting each by
+/// the Eq. 8 unnormalized density around the bucketed 3rd quartile, and
+/// keeps the top (select_count + shadow_count) Efraimidis–Soules keys.
+/// O(K log N) time, O(N + buckets) memory. Draws exactly one uniform per
+/// candidate from `rng`, in candidate order.
+FleetSelection select_fleet_cohort(std::span<const double> predicted,
+                                   const std::vector<sim::DeviceId>& candidates,
+                                   std::size_t select_count,
+                                   std::size_t shadow_count,
+                                   std::size_t buckets, Rng& rng);
+
+}  // namespace hadfl::core

@@ -26,8 +26,8 @@ DeviceGroups make_groups(const sim::Cluster& cluster,
   std::iota(order.begin(), order.end(), sim::DeviceId{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](sim::DeviceId a, sim::DeviceId b) {
-                     return cluster.device(a).compute_power >
-                            cluster.device(b).compute_power;
+                     return cluster.compute_power(a) >
+                            cluster.compute_power(b);
                    });
 
   DeviceGroups groups(num_groups);

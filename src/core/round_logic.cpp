@@ -33,8 +33,14 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
   setup.compute_powers.resize(k);
   for (std::size_t d = 0; d < k; ++d) {
     Rng dev_rng = rng.split();
+    // Model and batch streams are independent *splits* of the device stream
+    // (not sequential draws), so a backend that never materializes a
+    // device's model (the fleet engine's shared-slab devices) can still
+    // reproduce its batch stream exactly.
+    Rng model_rng = dev_rng.split();
+    Rng batch_rng = dev_rng.split();
     DeviceState& dev = setup.devices[d];
-    dev.model = ctx.make_model(dev_rng);
+    dev.model = ctx.make_model(model_rng);
     dev.model->pack();
     nn::load_state(*dev.model, setup.init_state);
     dev.optimizer = std::make_unique<nn::Sgd>(
@@ -43,11 +49,11 @@ DeviceSetup init_devices(const fl::SchemeContext& ctx,
                       ctx.config.weight_decay});
     dev.batches = std::make_unique<data::BatchIterator>(
         ctx.train, ctx.partition[d], ctx.config.device_batch_size,
-        dev_rng.split());
+        batch_rng);
     dev.last_sync_state = setup.init_state;
     setup.iters_per_epoch[d] = fl::iters_per_epoch(
         ctx.partition[d].size(), ctx.config.device_batch_size);
-    setup.compute_powers[d] = ctx.cluster.device(d).compute_power;
+    setup.compute_powers[d] = ctx.cluster.compute_power(d);
   }
   return setup;
 }

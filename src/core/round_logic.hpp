@@ -59,7 +59,10 @@ struct DeviceSetup {
 /// reference model (fresh init or `config.resume_from` backup) and one
 /// DeviceState per device, all starting from the identical state. The RNG
 /// split sequence is part of the contract: reference first, then per device
-/// one split for the model and one for the batch iterator, in id order.
+/// (in id order) one split for the device stream, from which the model
+/// stream and the batch stream are split in turn — so the batch stream is
+/// reproducible without running model init (the fleet engine relies on
+/// this to price devices whose model state is a shared slab).
 DeviceSetup init_devices(const fl::SchemeContext& ctx,
                          const HadflConfig& config, Rng& rng);
 

@@ -45,7 +45,7 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
 
   std::vector<double> bandwidth_scales(k);
   for (std::size_t d = 0; d < k; ++d) {
-    bandwidth_scales[d] = cluster.device(d).bandwidth_scale;
+    bandwidth_scales[d] = cluster.bandwidth_scale(d);
   }
 
   HadflResult result;

@@ -136,6 +136,22 @@ Partition partition_shards(const Dataset& dataset, std::size_t num_devices,
   return parts;
 }
 
+Partition cyclic_partition(std::size_t dataset_size, std::size_t num_devices,
+                           std::size_t per_device) {
+  HADFL_CHECK_ARG(dataset_size > 0, "cyclic_partition of empty dataset");
+  HADFL_CHECK_ARG(num_devices > 0, "cyclic_partition over zero devices");
+  HADFL_CHECK_ARG(per_device > 0, "cyclic_partition with zero samples/device");
+  Partition parts(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    std::vector<std::size_t>& part = parts[d];
+    part.resize(per_device);
+    for (std::size_t i = 0; i < per_device; ++i) {
+      part[i] = (d * per_device + i) % dataset_size;
+    }
+  }
+  return parts;
+}
+
 bool is_valid_partition(const Partition& partition, std::size_t dataset_size) {
   std::vector<std::size_t> seen(dataset_size, 0);
   for (const auto& part : partition) {

@@ -31,6 +31,16 @@ Partition partition_dirichlet(const Dataset& dataset, std::size_t num_devices,
 Partition partition_shards(const Dataset& dataset, std::size_t num_devices,
                            std::size_t shards_per_device, Rng& rng);
 
+/// Deterministic fleet-scale partition: device d gets `per_device` indices
+/// (d * per_device + i) mod dataset_size, i = 0..per_device-1. No RNG and
+/// no shuffle, so building it is O(num_devices * per_device) with no
+/// dataset-sized scratch — the shape a 10^5-device fleet needs. Indices may
+/// repeat across devices once num_devices * per_device exceeds the dataset
+/// (fleets oversubscribe a fixed dataset by design), so the result is NOT
+/// is_valid_partition-exact in general.
+Partition cyclic_partition(std::size_t dataset_size, std::size_t num_devices,
+                           std::size_t per_device);
+
 /// Sanity-check a partition: covers every index exactly once.
 bool is_valid_partition(const Partition& partition, std::size_t dataset_size);
 

@@ -1,0 +1,93 @@
+#include "exp/fleet_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/device_table.hpp"
+
+namespace hadfl::exp {
+
+FleetWorld::FleetWorld(const FleetWorldConfig& config)
+    : config_(config),
+      scenario_(paper_scenario(nn::Architecture::kMlp, config.ratio, 1.0,
+                               config.seed)) {
+  HADFL_CHECK_ARG(config.devices > 0, "fleet world needs devices > 0");
+  HADFL_CHECK_ARG(config.churn.fraction >= 0.0 &&
+                      config.churn.fraction <= 1.0,
+                  "fleet churn fraction must be in [0, 1]");
+
+  scenario_.name =
+      "fleet " + std::to_string(config.devices) + " devices, pattern " +
+      sim::ratio_to_string(config.ratio);
+  // Shared trainer slots cannot hold per-device velocity (core/fleet.hpp).
+  scenario_.train.momentum = 0.0;
+  scenario_.jitter_std = config.jitter_std;
+
+  split_ = data::make_synthetic_cifar(scenario_.data);
+
+  // `epochs` counts per-device passes over a device's own shard. The
+  // trainer's budget counts passes over the *global* dataset, and a fleet
+  // oversubscribes that dataset (K * samples_per_device is many times its
+  // size at K = 10^5), so one round of every device training would blow a
+  // raw budget instantly. Scale it so the knob keeps its meaning at any K.
+  const double oversubscription = std::max(
+      1.0, static_cast<double>(config.devices * config.samples_per_device) /
+               static_cast<double>(split_.train.size()));
+  scenario_.train.total_epochs = std::max(
+      config.epochs, static_cast<int>(std::lround(
+                         static_cast<double>(config.epochs) *
+                         oversubscription)));
+  partition_ = data::cyclic_partition(split_.train.size(), config.devices,
+                                      config.samples_per_device);
+
+  const double max_power =
+      *std::max_element(config.ratio.begin(), config.ratio.end());
+  cluster_ = std::make_unique<sim::Cluster>(
+      sim::DeviceTable::from_ratio_cycled(config.ratio, config.devices,
+                                          config.jitter_std),
+      scenario_.base_iteration_time * max_power, scenario_.train.seed);
+
+  const auto churners = static_cast<std::size_t>(
+      config.churn.fraction * static_cast<double>(config.devices));
+  if (churners > 0) {
+    Rng churn_rng(config.seed ^ 0xC0FFEEull);
+    for (std::size_t i = 0; i < churners; ++i) {
+      const auto id =
+          static_cast<sim::DeviceId>(i * config.devices / churners);
+      const sim::SimTime down =
+          config.churn.start + churn_rng.uniform() * config.churn.spread;
+      const bool permanent =
+          churn_rng.uniform() < config.churn.permanent_fraction;
+      if (permanent) {
+        cluster_->faults().schedule_disconnect(id, down);
+      } else {
+        cluster_->faults().schedule(
+            sim::FaultEvent{id, down, down + config.churn.outage});
+      }
+    }
+  }
+}
+
+std::size_t FleetWorld::churn_events() const {
+  return cluster_->faults().events().size();
+}
+
+fl::SchemeContext FleetWorld::context() {
+  const nn::Architecture arch = scenario_.arch;
+  const nn::ModelConfig model_cfg = scenario_.model;
+  return fl::SchemeContext{
+      *cluster_,
+      scenario_.network,
+      split_.train,
+      split_.test,
+      partition_,
+      [arch, model_cfg](Rng& rng) {
+        return nn::make_model(arch, model_cfg, rng);
+      },
+      scenario_.train,
+      scenario_.comm_state_bytes,
+  };
+}
+
+}  // namespace hadfl::exp

@@ -82,6 +82,21 @@ std::vector<double> exponential_bounds(double start, double factor,
   return bounds;
 }
 
+void observe_sampled(Histogram& histogram, std::span<const double> values,
+                     std::size_t cap) {
+  if (values.empty() || cap == 0) return;
+  if (values.size() <= cap) {
+    for (const double v : values) histogram.observe(v);
+    return;
+  }
+  // Even stride over the span: index floor(i * n / cap) for i = 0..cap-1,
+  // strictly increasing because n > cap.
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i < cap; ++i) {
+    histogram.observe(values[i * n / cap]);
+  }
+}
+
 const CounterSample* MetricsSnapshot::find_counter(
     const std::string& name) const {
   for (const auto& c : counters) {

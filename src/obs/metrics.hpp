@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,13 @@ class Histogram {
 /// usual latency-histogram spacing. start > 0, factor > 1, count > 0.
 std::vector<double> exponential_bounds(double start, double factor,
                                        std::size_t count);
+
+/// Observes at most `cap` of `values`, evenly strided across the span (the
+/// first value is always taken; cap 0 records nothing). For per-device
+/// series this bounds the per-round observe cost by the cap instead of the
+/// fleet size while keeping the sample spread over the id range.
+void observe_sampled(Histogram& histogram, std::span<const double> values,
+                     std::size_t cap);
 
 struct CounterSample {
   std::string name;

@@ -23,6 +23,10 @@ namespace {
 /// Synchronization attempts per round (repair + retry under a fresh id).
 constexpr int kMaxSyncAttempts = 4;
 
+/// Per-round cap on selection.probability observations (evenly strided
+/// over the candidates) — keeps telemetry O(1) per round at fleet scale.
+constexpr std::size_t kSelectionProbSampleCap = 64;
+
 double elapsed_s(Clock::time_point since) {
   return std::chrono::duration<double>(Clock::now() - since).count();
 }
@@ -69,7 +73,7 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
   std::vector<double> bandwidth_scales(k);
   std::vector<double> iter_time(k);
   for (std::size_t d = 0; d < k; ++d) {
-    bandwidth_scales[d] = cluster.device(d).bandwidth_scale;
+    bandwidth_scales[d] = cluster.bandwidth_scale(d);
     iter_time[d] = cluster.iteration_time(d);
   }
 
@@ -323,17 +327,19 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
 
       // Snapshot the Eq. 8 selection probabilities this group's draw sees.
       // Read-only: probabilities() consumes no RNG, so the seeded draw
-      // stream — and the sim/rt equivalence — is unchanged.
+      // stream — and the sim/rt equivalence — is unchanged. Observations
+      // are capped per round (evenly strided over the candidates) so the
+      // telemetry cost stays O(cap), not O(fleet).
       if (env.telemetry.selection_prob != nullptr &&
           dynamic_cast<core::GaussianQuartileSelection*>(policy.get()) !=
               nullptr) {
         std::vector<double> cand_versions;
         cand_versions.reserve(candidates.size());
         for (DeviceId d : candidates) cand_versions.push_back(predicted[d]);
-        for (const double p :
-             core::GaussianQuartileSelection::probabilities(cand_versions)) {
-          env.telemetry.selection_prob->observe(p);
-        }
+        obs::observe_sampled(
+            *env.telemetry.selection_prob,
+            core::GaussianQuartileSelection::probabilities(cand_versions),
+            kSelectionProbSampleCap);
       }
       core::RingPlan plan = core::plan_ring(
           *policy, candidates, predicted, setup.compute_powers,

@@ -112,7 +112,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   std::vector<double> bandwidth_scales(k);
   std::vector<double> iter_time(k);
   for (std::size_t d = 0; d < k; ++d) {
-    bandwidth_scales[d] = cluster.device(d).bandwidth_scale;
+    bandwidth_scales[d] = cluster.bandwidth_scale(d);
     iter_time[d] = cluster.iteration_time(d);
   }
 

@@ -7,31 +7,43 @@
 
 namespace hadfl::sim {
 
-Cluster::Cluster(std::vector<DeviceSpec> devices, double base_iteration_time,
+Cluster::Cluster(DeviceTable devices, double base_iteration_time,
                  std::uint64_t seed)
-    : devices_(std::move(devices)),
-      clocks_(devices_.size(), 0.0),
+    : table_(std::move(devices)),
+      clocks_(table_.size(), 0.0),
       base_iteration_time_(base_iteration_time),
-      rng_(seed) {
-  HADFL_CHECK_ARG(!devices_.empty(), "cluster needs at least one device");
+      seed_(seed) {
+  HADFL_CHECK_ARG(!table_.empty(), "cluster needs at least one device");
   HADFL_CHECK_ARG(base_iteration_time > 0.0,
                   "base iteration time must be positive");
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    HADFL_CHECK_ARG(devices_[i].id == i,
-                    "device ids must be dense 0..K-1; device " << i
-                        << " has id " << devices_[i].id);
-    HADFL_CHECK_ARG(devices_[i].compute_power > 0.0,
-                    "compute power must be positive");
-  }
 }
 
-const DeviceSpec& Cluster::device(DeviceId id) const {
-  HADFL_CHECK_ARG(id < devices_.size(), "device id " << id << " out of range");
-  return devices_[id];
+Cluster::Cluster(std::vector<DeviceSpec> devices, double base_iteration_time,
+                 std::uint64_t seed)
+    : Cluster(DeviceTable::from_specs(devices), base_iteration_time, seed) {}
+
+DeviceSpec Cluster::device(DeviceId id) const {
+  HADFL_CHECK_ARG(id < table_.size(), "device id " << id << " out of range");
+  return table_.spec(id);
+}
+
+double Cluster::compute_power(DeviceId id) const {
+  HADFL_CHECK_ARG(id < table_.size(), "device id " << id << " out of range");
+  return table_.compute_power(id);
+}
+
+double Cluster::bandwidth_scale(DeviceId id) const {
+  HADFL_CHECK_ARG(id < table_.size(), "device id " << id << " out of range");
+  return table_.bandwidth_scale(id);
+}
+
+double Cluster::jitter_std(DeviceId id) const {
+  HADFL_CHECK_ARG(id < table_.size(), "device id " << id << " out of range");
+  return table_.jitter_std(id);
 }
 
 SimTime Cluster::iteration_time(DeviceId id) const {
-  return base_iteration_time_ / device(id).compute_power;
+  return base_iteration_time_ / compute_power(id);
 }
 
 SimTime Cluster::time(DeviceId id) const {
@@ -39,23 +51,32 @@ SimTime Cluster::time(DeviceId id) const {
   return clocks_[id];
 }
 
-SimTime Cluster::max_time() const {
-  return *std::max_element(clocks_.begin(), clocks_.end());
+Rng& Cluster::jitter_stream(DeviceId id) {
+  const auto it = jitter_streams_.find(id);
+  if (it != jitter_streams_.end()) return it->second;
+  // Counter-style derivation: the stream depends on (cluster seed, id)
+  // only, never on how many draws other devices have made — so reordering
+  // or skipping other devices' draws (the sampled-cohort fleet path) leaves
+  // this device's jitter sequence intact.
+  const std::uint64_t stream_seed =
+      seed_ ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(id) + 1));
+  return jitter_streams_.emplace(id, Rng(stream_seed)).first->second;
 }
 
 double Cluster::sample_jitter_factor(DeviceId id) {
-  const DeviceSpec& spec = device(id);
-  if (spec.jitter_std <= 0.0) return 1.0;
+  const double jstd = jitter_std(id);
+  if (jstd <= 0.0) return 1.0;
   // Multiplicative noise, clamped so time never goes backwards and a
   // disturbed burst is at most ~4 sigma slower.
-  return std::clamp(1.0 + rng_.normal(0.0, spec.jitter_std), 0.25,
-                    1.0 + 4.0 * spec.jitter_std);
+  return std::clamp(1.0 + jitter_stream(id).normal(0.0, jstd), 0.25,
+                    1.0 + 4.0 * jstd);
 }
 
 SimTime Cluster::advance_compute(DeviceId id, std::size_t iterations) {
   SimTime duration = iteration_time(id) * static_cast<double>(iterations);
   if (iterations > 0) duration *= sample_jitter_factor(id);
   clocks_[id] += duration;
+  max_clock_ = std::max(max_clock_, clocks_[id]);
   return duration;
 }
 
@@ -63,11 +84,15 @@ void Cluster::advance(DeviceId id, SimTime duration) {
   HADFL_CHECK_ARG(duration >= 0.0, "cannot advance by negative time");
   HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
   clocks_[id] += duration;
+  max_clock_ = std::max(max_clock_, clocks_[id]);
 }
 
 void Cluster::advance_to(DeviceId id, SimTime t) {
   HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
-  clocks_[id] = std::max(clocks_[id], t);
+  if (t > clocks_[id]) {
+    clocks_[id] = t;
+    max_clock_ = std::max(max_clock_, t);
+  }
 }
 
 SimTime Cluster::barrier(const std::vector<DeviceId>& ids) {
@@ -75,13 +100,13 @@ SimTime Cluster::barrier(const std::vector<DeviceId>& ids) {
   SimTime t = 0.0;
   for (DeviceId id : ids) t = std::max(t, time(id));
   for (DeviceId id : ids) clocks_[id] = t;
+  max_clock_ = std::max(max_clock_, t);
   return t;
 }
 
 SimTime Cluster::barrier_all() {
-  std::vector<DeviceId> all(devices_.size());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  return barrier(all);
+  std::fill(clocks_.begin(), clocks_.end(), max_clock_);
+  return max_clock_;
 }
 
 bool Cluster::alive_now(DeviceId id) const {
@@ -90,10 +115,16 @@ bool Cluster::alive_now(DeviceId id) const {
 
 void Cluster::reset_clocks() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  max_clock_ = 0.0;
 }
 
 void Cluster::set_bandwidth_scales(const std::vector<double>& scales) {
-  sim::set_bandwidth_scales(devices_, scales);
+  HADFL_CHECK_ARG(scales.size() == table_.size(),
+                  "bandwidth scales count mismatch: " << scales.size()
+                      << " for " << table_.size() << " devices");
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    table_.set_bandwidth_scale(i, scales[i]);
+  }
 }
 
 }  // namespace hadfl::sim

@@ -6,12 +6,22 @@
 // time; barriers advance a set of devices to their max. This models the
 // paper's barrier-structured training rounds exactly while staying fully
 // deterministic.
+//
+// Fleet-scale layout: device attributes live in a struct-of-arrays
+// DeviceTable (no per-device spec/name allocations), the global max clock
+// is maintained incrementally (clocks never move backwards, so the running
+// max is exact and max_time()/barrier_all() cost O(1)/O(K) with no scan),
+// and compute-jitter RNG streams are created lazily per device — a device
+// that never draws jitter costs nothing, and each stream is seeded from
+// (seed, id) alone, so draw order across devices does not couple streams.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "sim/device.hpp"
+#include "sim/device_table.hpp"
 #include "sim/fault.hpp"
 #include "sim/time.hpp"
 
@@ -21,12 +31,21 @@ class Cluster {
  public:
   /// `base_iteration_time` is the virtual seconds one training iteration
   /// (one mini-batch) takes on a power-1.0 device.
+  Cluster(DeviceTable devices, double base_iteration_time,
+          std::uint64_t seed = 1);
   Cluster(std::vector<DeviceSpec> devices, double base_iteration_time,
           std::uint64_t seed = 1);
 
-  std::size_t size() const { return devices_.size(); }
-  const DeviceSpec& device(DeviceId id) const;
-  const std::vector<DeviceSpec>& devices() const { return devices_; }
+  std::size_t size() const { return table_.size(); }
+
+  /// Materialized by-value spec — cold paths only (traces, reports). Hot
+  /// paths use the scalar accessors below, which read one SoA array.
+  DeviceSpec device(DeviceId id) const;
+
+  const DeviceTable& table() const { return table_; }
+  double compute_power(DeviceId id) const;
+  double bandwidth_scale(DeviceId id) const;
+  double jitter_std(DeviceId id) const;
 
   /// Deterministic per-iteration cost for a device (no jitter).
   SimTime iteration_time(DeviceId id) const;
@@ -34,8 +53,9 @@ class Cluster {
   /// Current virtual clock of a device.
   SimTime time(DeviceId id) const;
 
-  /// Latest clock across all devices (== global time at a barrier).
-  SimTime max_time() const;
+  /// Latest clock across all devices (== global time at a barrier). O(1):
+  /// the max is maintained incrementally since clocks never decrease.
+  SimTime max_time() const { return max_clock_; }
 
   /// Advance a device's clock by `iterations` compute steps. Jitter (if the
   /// spec declares any) perturbs the *total* duration multiplicatively,
@@ -46,7 +66,8 @@ class Cluster {
   /// Draws this burst's multiplicative compute-time disturbance for a
   /// device: 1.0 when the spec has no jitter, otherwise clamped noise.
   /// Exposed so deadline-bounded trainers (HADFL rounds) can decide how
-  /// many steps fit the window *before* running them.
+  /// many steps fit the window *before* running them. Each device draws
+  /// from its own lazily created stream seeded by (cluster seed, id).
   double sample_jitter_factor(DeviceId id);
 
   /// Advance a device's clock by an explicit duration (stall, timeout, ...).
@@ -58,7 +79,8 @@ class Cluster {
   /// Barrier over a subset: everyone in `ids` jumps to the subset max.
   SimTime barrier(const std::vector<DeviceId>& ids);
 
-  /// Barrier over all devices.
+  /// Barrier over all devices: everyone jumps to max_time(). No scan —
+  /// the incremental max is already the barrier time.
   SimTime barrier_all();
 
   FaultInjector& faults() { return faults_; }
@@ -74,11 +96,15 @@ class Cluster {
   void set_bandwidth_scales(const std::vector<double>& scales);
 
  private:
-  std::vector<DeviceSpec> devices_;
+  Rng& jitter_stream(DeviceId id);
+
+  DeviceTable table_;
   std::vector<SimTime> clocks_;
+  SimTime max_clock_ = 0.0;
   double base_iteration_time_;
   FaultInjector faults_;
-  Rng rng_;
+  std::uint64_t seed_;
+  std::unordered_map<DeviceId, Rng> jitter_streams_;  ///< lazy, per device
 };
 
 }  // namespace hadfl::sim

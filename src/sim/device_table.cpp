@@ -1,0 +1,78 @@
+#include "sim/device_table.hpp"
+
+#include "common/error.hpp"
+
+namespace hadfl::sim {
+
+DeviceTable DeviceTable::from_specs(const std::vector<DeviceSpec>& specs) {
+  DeviceTable table;
+  table.compute_power_.reserve(specs.size());
+  table.jitter_std_.reserve(specs.size());
+  table.bandwidth_scale_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DeviceSpec& spec = specs[i];
+    HADFL_CHECK_ARG(spec.id == i,
+                    "device ids must be dense 0..K-1; device " << i
+                        << " has id " << spec.id);
+    HADFL_CHECK_ARG(spec.compute_power > 0.0,
+                    "compute power must be positive");
+    HADFL_CHECK_ARG(spec.jitter_std >= 0.0, "jitter_std must be non-negative");
+    HADFL_CHECK_ARG(spec.bandwidth_scale > 0.0,
+                    "bandwidth scale must be positive");
+    table.compute_power_.push_back(spec.compute_power);
+    table.jitter_std_.push_back(spec.jitter_std);
+    table.bandwidth_scale_.push_back(spec.bandwidth_scale);
+    table.any_jitter_ = table.any_jitter_ || spec.jitter_std > 0.0;
+    if (!spec.name.empty() && spec.name != "dev" + std::to_string(i)) {
+      table.names_.emplace(spec.id, spec.name);
+    }
+  }
+  return table;
+}
+
+DeviceTable DeviceTable::from_ratio_cycled(const std::vector<double>& ratio,
+                                           std::size_t count,
+                                           double jitter_std) {
+  HADFL_CHECK_ARG(!ratio.empty(), "device ratio must be non-empty");
+  HADFL_CHECK_ARG(count > 0, "fleet needs at least one device");
+  HADFL_CHECK_ARG(jitter_std >= 0.0, "jitter_std must be non-negative");
+  for (const double r : ratio) {
+    HADFL_CHECK_ARG(r > 0.0, "compute power must be positive, got " << r);
+  }
+  DeviceTable table;
+  table.compute_power_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    table.compute_power_.push_back(ratio[i % ratio.size()]);
+  }
+  table.jitter_std_.assign(count, jitter_std);
+  table.bandwidth_scale_.assign(count, 1.0);
+  table.any_jitter_ = jitter_std > 0.0;
+  return table;
+}
+
+std::string DeviceTable::name(DeviceId id) const {
+  HADFL_CHECK_ARG(id < size(), "device id " << id << " out of range");
+  const auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  return "dev" + std::to_string(id);
+}
+
+DeviceSpec DeviceTable::spec(DeviceId id) const {
+  HADFL_CHECK_ARG(id < size(), "device id " << id << " out of range");
+  DeviceSpec spec;
+  spec.id = id;
+  spec.compute_power = compute_power_[id];
+  spec.jitter_std = jitter_std_[id];
+  spec.bandwidth_scale = bandwidth_scale_[id];
+  spec.name = name(id);
+  return spec;
+}
+
+void DeviceTable::set_bandwidth_scale(DeviceId id, double scale) {
+  HADFL_CHECK_ARG(id < size(), "device id " << id << " out of range");
+  HADFL_CHECK_ARG(scale > 0.0,
+                  "bandwidth scale must be positive, got " << scale);
+  bandwidth_scale_[id] = scale;
+}
+
+}  // namespace hadfl::sim

@@ -1,0 +1,62 @@
+// Struct-of-arrays device table for fleet-scale clusters.
+//
+// A 10^5–10^6 device fleet cannot afford a vector<DeviceSpec> with one
+// heap-allocated name string per device, nor per-field access that drags a
+// whole ~64-byte spec through the cache when the caller wants one double.
+// The table stores each scalar field in its own contiguous array (the hot
+// paths — iteration_time, link_time, grouping sort — each touch exactly one
+// array) and synthesizes the default "dev<id>" name on demand, keeping only
+// explicitly overridden names in a sparse map.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace hadfl::sim {
+
+class DeviceTable {
+ public:
+  DeviceTable() = default;
+
+  /// Adopts an explicit spec list (ids must be dense 0..K-1).
+  static DeviceTable from_specs(const std::vector<DeviceSpec>& specs);
+
+  /// Builds a `count`-device fleet by cycling a power-ratio pattern such as
+  /// {3,3,1,1} — the fleet-scale generalization of devices_from_ratio,
+  /// without materializing per-device specs or names.
+  static DeviceTable from_ratio_cycled(const std::vector<double>& ratio,
+                                       std::size_t count,
+                                       double jitter_std = 0.0);
+
+  std::size_t size() const { return compute_power_.size(); }
+  bool empty() const { return compute_power_.empty(); }
+
+  double compute_power(DeviceId id) const { return compute_power_[id]; }
+  double jitter_std(DeviceId id) const { return jitter_std_[id]; }
+  double bandwidth_scale(DeviceId id) const { return bandwidth_scale_[id]; }
+
+  /// "dev<id>" unless a spec carried an explicit different name.
+  std::string name(DeviceId id) const;
+
+  /// Materializes a by-value spec for cold paths (traces, reports).
+  DeviceSpec spec(DeviceId id) const;
+
+  void set_bandwidth_scale(DeviceId id, double scale);
+
+  /// Whether any device declares compute jitter (lets jitter-free fleets
+  /// skip per-device stream bookkeeping entirely).
+  bool any_jitter() const { return any_jitter_; }
+
+ private:
+  std::vector<double> compute_power_;
+  std::vector<double> jitter_std_;
+  std::vector<double> bandwidth_scale_;
+  std::unordered_map<DeviceId, std::string> names_;  ///< non-default only
+  bool any_jitter_ = false;
+};
+
+}  // namespace hadfl::sim

@@ -1,5 +1,8 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace hadfl::sim {
@@ -8,26 +11,65 @@ void EventQueue::schedule(SimTime at, Callback fn) {
   HADFL_CHECK_ARG(at >= now_, "cannot schedule event in the past (at=" << at
                                   << ", now=" << now_ << ")");
   HADFL_CHECK_ARG(fn != nullptr, "null event callback");
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(fn));
+  }
+  heap_.push_back(Entry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+EventQueue::Entry EventQueue::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+EventQueue::Callback EventQueue::take(std::uint32_t slot) {
+  Callback fn = std::move(pool_[slot]);
+  pool_[slot] = nullptr;  // release captured state before recycling
+  free_slots_.push_back(slot);
+  return fn;
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent,
-  // so copy the callback (events are lightweight).
-  Entry e = heap_.top();
-  heap_.pop();
+  const Entry e = pop_top();
+  const Callback fn = take(e.slot);
   now_ = e.at;
-  e.fn(now_);
+  fn(now_);
   return true;
 }
 
 std::size_t EventQueue::run(SimTime until) {
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().at <= until) {
-    step();
-    ++executed;
+  // Steal the staging buffer for the duration of this drain so a callback
+  // that re-enters run()/step() cannot alias it; capacity is handed back at
+  // the end either way.
+  std::vector<Entry> batch = std::move(batch_);
+  while (!heap_.empty() && heap_.front().at <= until) {
+    // Drain the whole equal-time cohort off the heap first, then execute it
+    // in insertion order. Callbacks scheduled *for this same instant* by a
+    // cohort member land in the next cohort (same `now`, larger seq) — the
+    // same relative order a one-at-a-time drain produces.
+    const SimTime t = heap_.front().at;
+    batch.clear();
+    while (!heap_.empty() && heap_.front().at == t) batch.push_back(pop_top());
+    now_ = t;
+    for (const Entry& e : batch) {
+      const Callback fn = take(e.slot);
+      fn(now_);
+      ++executed;
+    }
   }
+  batch.clear();
+  batch_ = std::move(batch);
   return executed;
 }
 

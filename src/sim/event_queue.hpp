@@ -1,13 +1,23 @@
-// Generic discrete-event queue.
+// Generic discrete-event queue, built for fleet-scale event counts.
 //
 // The training loops use per-device clocks (sim/cluster.hpp); the event
 // queue serves components that need globally ordered timestamps — the
-// Fig. 1 timeline bench and the coordinator's liveness monitor tests.
-// Events at equal times pop in insertion order (stable).
+// Fig. 1 timeline bench, the coordinator's liveness monitor tests, and the
+// fleet bench's churn schedules. Events at equal times pop in insertion
+// order (stable).
+//
+// Internals are sized for millions of pending events: the binary heap holds
+// 16-byte POD entries (timestamp + sequence/slot), while the callbacks live
+// in a pooled slot table whose slots are recycled through a free list — so
+// heap sift operations move PODs, not std::function objects, and steady-
+// state schedule/execute cycles reuse callback storage instead of growing.
+// `run` drains equal-time events in batches: one heap-maintenance pass
+// collects the whole timestamp cohort, then executes it in insertion order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -22,8 +32,10 @@ class EventQueue {
   void schedule(SimTime at, Callback fn);
 
   /// Runs events in time order until the queue is empty or `until` is
-  /// passed. Returns the number of events executed.
-  std::size_t run(SimTime until = 1e300);
+  /// passed. Returns the number of events executed. The default bound is
+  /// +infinity: every event executes, including ones scheduled at any
+  /// finite far-future timestamp (or at infinity itself).
+  std::size_t run(SimTime until = std::numeric_limits<SimTime>::infinity());
 
   /// Executes the single earliest event, if any. Returns whether one ran.
   bool step();
@@ -33,21 +45,31 @@ class EventQueue {
   std::size_t pending() const { return heap_.size(); }
 
  private:
+  /// POD heap entry: the callback is pool_[slot]. `seq` breaks timestamp
+  /// ties so equal-time events keep insertion order.
   struct Entry {
     SimTime at;
-    std::size_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  /// Pops the heap top and returns its entry (heap invariant restored).
+  Entry pop_top();
+
+  /// Moves the callback out of its pool slot and recycles the slot.
+  Callback take(std::uint32_t slot);
+
+  std::vector<Entry> heap_;            ///< binary min-heap of PODs
+  std::vector<Callback> pool_;         ///< slot -> callback
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Entry> batch_;           ///< equal-time drain staging (reused)
   SimTime now_ = 0.0;
-  std::size_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace hadfl::sim

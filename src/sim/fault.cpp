@@ -8,6 +8,8 @@ void FaultInjector::schedule(FaultEvent event) {
   HADFL_CHECK_ARG(event.down_at >= 0.0, "fault time must be non-negative");
   HADFL_CHECK_ARG(event.up_at > event.down_at,
                   "fault recovery must come after the failure");
+  by_device_[event.device].push_back(
+      static_cast<std::uint32_t>(events_.size()));
   events_.push_back(event);
 }
 
@@ -17,15 +19,21 @@ void FaultInjector::schedule_disconnect(DeviceId device, SimTime down_at) {
 }
 
 bool FaultInjector::alive(DeviceId device, SimTime t) const {
-  for (const auto& e : events_) {
-    if (e.device == device && t >= e.down_at && t < e.up_at) return false;
+  const auto it = by_device_.find(device);
+  if (it == by_device_.end()) return true;
+  for (const std::uint32_t i : it->second) {
+    const FaultEvent& e = events_[i];
+    if (t >= e.down_at && t < e.up_at) return false;
   }
   return true;
 }
 
 bool FaultInjector::fails_within(DeviceId device, SimTime t0, SimTime t1) const {
-  for (const auto& e : events_) {
-    if (e.device == device && e.down_at <= t1 && t0 < e.up_at) return true;
+  const auto it = by_device_.find(device);
+  if (it == by_device_.end()) return false;
+  for (const std::uint32_t i : it->second) {
+    const FaultEvent& e = events_[i];
+    if (e.down_at <= t1 && t0 < e.up_at) return true;
   }
   return false;
 }

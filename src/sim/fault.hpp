@@ -2,9 +2,15 @@
 //
 // A fault is an interval [down_at, up_at) of virtual time during which a
 // device is unreachable. up_at may be infinity for a permanent failure.
+//
+// Fleet-scale churn plans schedule one event per churning device, so the
+// liveness queries (`alive`, `fails_within`) — which run per device per
+// round — index events by device instead of scanning the full plan.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/device.hpp"
@@ -25,7 +31,8 @@ class FaultInjector {
   void schedule(FaultEvent event);
   void schedule_disconnect(DeviceId device, SimTime down_at);
 
-  /// True if the device is reachable at virtual time `t`.
+  /// True if the device is reachable at virtual time `t`. O(events of this
+  /// device), not O(all events).
   bool alive(DeviceId device, SimTime t) const;
 
   /// True if the device is down at any point within [t0, t1].
@@ -36,6 +43,8 @@ class FaultInjector {
 
  private:
   std::vector<FaultEvent> events_;
+  /// device -> indices into events_; only churning devices have an entry.
+  std::unordered_map<DeviceId, std::vector<std::uint32_t>> by_device_;
 };
 
 }  // namespace hadfl::sim

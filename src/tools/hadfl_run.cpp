@@ -36,6 +36,17 @@
 //   --partition=iid|dirichlet:<alpha>|shards:<n>       [iid]
 //   --network=pcie|wan                                 [pcie]
 //   --jitter=<float>        compute jitter sigma       [0]
+//   --fleet                 sim: run the fleet-scale engine on a generated
+//                           fleet world (see docs/SIMULATOR.md). Uses
+//                           --ratio/--jitter/--seed/--epochs plus the
+//                           fleet flags below; --model/--scale/--partition
+//                           do not apply (the world is fixed to the scaled
+//                           MLP with a cyclic partition, momentum 0)
+//   --fleet-devices=<int>   fleet: device count K               [1000]
+//   --fleet-cohort=<int>    fleet: devices trained per round    [0 = all,
+//                           exact mode, bit-identical to the sim backend]
+//   --fleet-rounds=<int>    fleet: sync-round cap               [0 = none]
+//   --fleet-churn=<float>   fleet: fraction of devices that churn [0]
 //   --csv=<path>            write the convergence series
 //   --trace-out=<path>      write a Chrome/Perfetto trace of the run
 //                           (hadfl scheme; sim and rt backends) and print
@@ -51,8 +62,10 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "core/fleet.hpp"
 #include "core/trainer.hpp"
 #include "exp/cli_setup.hpp"
+#include "exp/fleet_world.hpp"
 #include "exp/report.hpp"
 #include "net/runner.hpp"
 #include "obs/export.hpp"
@@ -68,7 +81,8 @@ const std::vector<std::string> kKnownOptions{
     "partition", "network", "jitter", "csv",   "verbose", "help",
     "backend", "transport", "node-binary", "time-scale", "throttle",
     "wallclock", "die", "sync-chunks", "int8-broadcast", "trace-out",
-    "metrics-out"};
+    "metrics-out", "fleet", "fleet-devices", "fleet-cohort",
+    "fleet-rounds", "fleet-churn"};
 
 void print_usage() {
   std::cout <<
@@ -83,6 +97,8 @@ void print_usage() {
       "                 [--node-binary=PATH] [--time-scale=S]\n"
       "                 [--throttle=S] [--wallclock] [--die=DEV:ROUND:STEP]\n"
       "                 [--sync-chunks=C] [--int8-broadcast]\n"
+      "                 [--fleet] [--fleet-devices=K] [--fleet-cohort=N]\n"
+      "                 [--fleet-rounds=R] [--fleet-churn=F]\n"
       "                 [--trace-out=PATH] [--metrics-out=PATH] [--verbose]\n";
 }
 
@@ -113,6 +129,62 @@ void report(const fl::SchemeResult& result, const std::string& csv_path) {
     result.metrics.append_csv_rows(csv, result.scheme_name);
     std::cout << "curve written to:  " << csv_path << "\n";
   }
+}
+
+/// The --fleet path: builds the generated fleet world (exp/fleet_world.hpp)
+/// and runs the fleet-scale engine on it. Exact mode (cohort 0) is
+/// bit-identical to the sim backend on the same world, so the "state hash"
+/// line is comparable across `--fleet-cohort=0` runs and tests.
+int run_fleet(const ArgParser& args, const std::string& csv) {
+  exp::FleetWorldConfig fw;
+  fw.devices = static_cast<std::size_t>(args.get_int("fleet-devices", 1000));
+  fw.ratio = args.get_double_list("ratio", {3, 3, 1, 1});
+  fw.jitter_std = args.get_double("jitter", 0.0);
+  fw.epochs = args.get_int("epochs", 4);
+  fw.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  fw.churn.fraction = args.get_double("fleet-churn", 0.0);
+  exp::FleetWorld world(fw);
+
+  exp::Scenario& s = world.scenario();
+  s.hadfl.strategy.select_count =
+      static_cast<std::size_t>(args.get_int("np", 2));
+  s.hadfl.strategy.t_sync = args.get_int("tsync", 1);
+  s.hadfl.broadcast_mix_weight = args.get_double("mix", 0.8);
+  s.hadfl.policy =
+      core::make_selection_policy(args.get("policy", "gaussian-quartile"));
+  const int group_size = args.get_int("group-size", 0);
+  if (group_size > 0) {
+    s.hadfl.grouping.group_size = static_cast<std::size_t>(group_size);
+  }
+
+  core::FleetConfig fleet;
+  fleet.cohort = static_cast<std::size_t>(args.get_int("fleet-cohort", 0));
+  fleet.max_rounds =
+      static_cast<std::size_t>(args.get_int("fleet-rounds", 0));
+
+  std::cout << "== hadfl_run: hadfl on " << s.name << " ==\n";
+  const core::FleetResult r =
+      core::run_hadfl_fleet(world.context(), s.hadfl, fleet);
+  const double mb = 1024.0 * 1024.0;
+  const double peak = static_cast<double>(r.stats.peak_state_bytes);
+  const double naive = static_cast<double>(r.stats.naive_state_bytes);
+  std::cout << "backend:           fleet ("
+            << (fleet.cohort == 0
+                    ? std::string("exact")
+                    : "cohort " + std::to_string(fleet.cohort))
+            << ")\n"
+            << "devices:           " << r.stats.devices
+            << " (churn events: " << world.churn_events() << ")\n"
+            << "fleet rounds:      " << r.stats.rounds << "\n"
+            << "train episodes:    " << r.stats.train_episodes << "\n"
+            << "peak model mem:    " << peak / mb << " MB (naive "
+            << naive / mb << " MB, "
+            << (peak > 0.0 ? naive / peak : 0.0) << "x less)\n"
+            << "hyperperiod:       " << r.extras.strategy.hyperperiod
+            << " virtual s\n"
+            << "ring repairs:      " << r.stats.ring_repairs << "\n";
+  report(r.scheme, csv);
+  return 0;
 }
 
 /// Default hadfl_node location: same directory as this binary.
@@ -191,6 +263,17 @@ int main(int argc, char** argv) {
     if ((!trace_out.empty() || !metrics_out.empty()) && scheme != "hadfl") {
       std::cerr << "--trace-out/--metrics-out only apply to --scheme=hadfl\n";
       return 2;
+    }
+    if (args.has("fleet")) {
+      if (scheme != "hadfl" || backend != "sim") {
+        std::cerr << "--fleet requires --scheme=hadfl --backend=sim\n";
+        return 2;
+      }
+      if (!trace_out.empty() || !metrics_out.empty()) {
+        std::cerr << "--trace-out/--metrics-out do not apply to --fleet\n";
+        return 2;
+      }
+      return run_fleet(args, csv);
     }
 
     exp::RunSetup setup = exp::make_run_setup(args);

@@ -1,0 +1,278 @@
+// Fleet-scale stack: the copy-on-write slab store's sharing semantics and
+// the fleet engine's bit-identity contract against core::run_hadfl.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/fleet.hpp"
+#include "core/trainer.hpp"
+#include "exp/fleet_world.hpp"
+#include "nn/cow_store.hpp"
+
+namespace hadfl {
+namespace {
+
+std::vector<float> ramp(std::size_t n, float start) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + 0.5f * i;
+  return v;
+}
+
+TEST(CowStateStore, CreateViewRoundtrip) {
+  nn::CowStateStore store(8);
+  const std::vector<float> bits = ramp(8, 1.0f);
+  const auto id = store.create(bits);
+  const auto got = store.view(id);
+  ASSERT_EQ(got.size(), 8u);
+  EXPECT_EQ(0, std::memcmp(got.data(), bits.data(), 8 * sizeof(float)));
+  EXPECT_EQ(store.refcount(id), 1u);
+  EXPECT_EQ(store.live_slabs(), 1u);
+  EXPECT_EQ(store.slab_bytes(), 8 * sizeof(float));
+}
+
+TEST(CowStateStore, RetainAliasesTheSameSlab) {
+  nn::CowStateStore store(4);
+  const auto id = store.create(ramp(4, 0.0f));
+  store.retain(id);
+  EXPECT_EQ(store.refcount(id), 2u);
+  EXPECT_EQ(store.live_slabs(), 1u);  // two handles, one slab
+  store.release(id);
+  EXPECT_EQ(store.refcount(id), 1u);
+  EXPECT_EQ(store.live_slabs(), 1u);
+}
+
+TEST(CowStateStore, DetachOnWriteLeavesSharersUntouched) {
+  nn::CowStateStore store(4);
+  const std::vector<float> bits = ramp(4, 2.0f);
+  const auto shared = store.create(bits);
+  store.retain(shared);  // two devices share the slab
+
+  const auto mine = store.detach(shared);
+  EXPECT_NE(mine, shared);
+  EXPECT_EQ(store.refcount(shared), 1u);
+  EXPECT_EQ(store.refcount(mine), 1u);
+
+  auto w = store.mutable_view(mine);
+  w[0] = -100.0f;
+  EXPECT_EQ(store.view(shared)[0], bits[0]);  // sharer's bits intact
+  EXPECT_EQ(store.view(mine)[0], -100.0f);
+  EXPECT_EQ(0, std::memcmp(store.view(mine).data() + 1,
+                           store.view(shared).data() + 1,
+                           3 * sizeof(float)));
+}
+
+TEST(CowStateStore, DetachExclusiveIsIdentity) {
+  nn::CowStateStore store(4);
+  const auto id = store.create(ramp(4, 3.0f));
+  EXPECT_EQ(store.detach(id), id);
+  EXPECT_EQ(store.live_slabs(), 1u);
+}
+
+TEST(CowStateStore, MutableViewOfSharedSlabThrows) {
+  nn::CowStateStore store(4);
+  const auto id = store.create(ramp(4, 0.0f));
+  store.retain(id);
+  EXPECT_THROW(store.mutable_view(id), Error);
+  store.release(id);
+  EXPECT_NO_THROW(store.mutable_view(id));
+}
+
+TEST(CowStateStore, RecyclesFreedSlabsAndTracksPeak) {
+  nn::CowStateStore store(4);
+  const auto a = store.create(ramp(4, 0.0f));
+  const auto b = store.create(ramp(4, 1.0f));
+  const auto c = store.create(ramp(4, 2.0f));
+  EXPECT_EQ(store.live_slabs(), 3u);
+  EXPECT_EQ(store.peak_slabs(), 3u);
+
+  store.release(b);
+  store.release(c);
+  EXPECT_EQ(store.live_slabs(), 1u);
+
+  // New slabs reuse the freed storage: live count grows, peak does not.
+  const auto d = store.create(ramp(4, 9.0f));
+  EXPECT_EQ(store.live_slabs(), 2u);
+  EXPECT_EQ(store.peak_slabs(), 3u);
+  EXPECT_EQ(store.view(d)[0], 9.0f);
+  EXPECT_EQ(store.view(a)[0], 0.0f);
+}
+
+TEST(CowStateStore, Validation) {
+  EXPECT_THROW(nn::CowStateStore(0), Error);
+  nn::CowStateStore store(4);
+  EXPECT_THROW(store.create(ramp(3, 0.0f)), Error);
+  const auto id = store.create(ramp(4, 0.0f));
+  store.release(id);
+  EXPECT_THROW(store.view(id), Error);
+  EXPECT_THROW(store.retain(id), Error);
+}
+
+// ---- fleet engine vs run_hadfl -------------------------------------------
+
+exp::FleetWorldConfig small_world(std::size_t devices) {
+  exp::FleetWorldConfig fw;
+  fw.devices = devices;
+  fw.epochs = 3;
+  fw.seed = 11;
+  return fw;
+}
+
+/// Runs both engines on freshly built copies of the same world and expects
+/// identical final bits, virtual time, wire volume, and round count.
+void expect_bit_identical(const exp::FleetWorldConfig& fw) {
+  exp::FleetWorld ref_world(fw);
+  const core::HadflResult want =
+      core::run_hadfl(ref_world.context(), ref_world.scenario().hadfl);
+
+  exp::FleetWorld fleet_world(fw);
+  const core::FleetResult got = core::run_hadfl_fleet(
+      fleet_world.context(), fleet_world.scenario().hadfl,
+      core::FleetConfig{});
+
+  ASSERT_EQ(want.scheme.final_state.size(), got.scheme.final_state.size());
+  EXPECT_EQ(0, std::memcmp(want.scheme.final_state.data(),
+                           got.scheme.final_state.data(),
+                           want.scheme.final_state.size() * sizeof(float)));
+  EXPECT_EQ(want.scheme.total_time, got.scheme.total_time);
+  EXPECT_EQ(want.scheme.sync_rounds, got.scheme.sync_rounds);
+  EXPECT_EQ(want.scheme.volume.total_sent(), got.scheme.volume.total_sent());
+  EXPECT_EQ(want.scheme.volume.total_received(),
+            got.scheme.volume.total_received());
+  EXPECT_EQ(want.extras.ring_repairs, got.stats.ring_repairs);
+}
+
+TEST(FleetEngine, ExactModeBitIdenticalAtK8) {
+  expect_bit_identical(small_world(8));
+}
+
+TEST(FleetEngine, ExactModeBitIdenticalWithJitter) {
+  exp::FleetWorldConfig fw = small_world(8);
+  fw.jitter_std = 0.05;
+  expect_bit_identical(fw);
+}
+
+TEST(FleetEngine, ExactModeBitIdenticalWithChurn) {
+  exp::FleetWorldConfig fw = small_world(8);
+  fw.churn.fraction = 0.5;  // 4 devices churn, one of them mid-run
+  fw.churn.start = 1.0;
+  fw.churn.spread = 10.0;
+  fw.churn.outage = 4.0;
+  expect_bit_identical(fw);
+}
+
+TEST(FleetEngine, ExactModeBitIdenticalGrouped) {
+  exp::FleetWorldConfig fw = small_world(8);
+
+  exp::FleetWorld ref_world(fw);
+  ref_world.scenario().hadfl.grouping.group_size = 4;
+  ref_world.scenario().hadfl.grouping.inter_group_period = 2;
+  const core::HadflResult want =
+      core::run_hadfl(ref_world.context(), ref_world.scenario().hadfl);
+
+  exp::FleetWorld fleet_world(fw);
+  fleet_world.scenario().hadfl.grouping.group_size = 4;
+  fleet_world.scenario().hadfl.grouping.inter_group_period = 2;
+  const core::FleetResult got = core::run_hadfl_fleet(
+      fleet_world.context(), fleet_world.scenario().hadfl,
+      core::FleetConfig{});
+
+  ASSERT_EQ(want.scheme.final_state.size(), got.scheme.final_state.size());
+  EXPECT_EQ(0, std::memcmp(want.scheme.final_state.data(),
+                           got.scheme.final_state.data(),
+                           want.scheme.final_state.size() * sizeof(float)));
+  EXPECT_EQ(want.scheme.total_time, got.scheme.total_time);
+}
+
+TEST(FleetEngine, CohortModeTrainsOnlyTheCohort) {
+  exp::FleetWorldConfig fw;
+  fw.devices = 256;
+  fw.epochs = 64;  // budget large enough that the round cap governs
+  fw.churn.fraction = 0.05;
+  exp::FleetWorld world(fw);
+
+  core::FleetConfig fleet;
+  fleet.cohort = 8;
+  fleet.max_rounds = 3;
+  const core::FleetResult r = core::run_hadfl_fleet(
+      world.context(), world.scenario().hadfl, fleet);
+
+  EXPECT_EQ(r.stats.devices, 256u);
+  EXPECT_EQ(r.stats.rounds, 3u);
+  // Warm-up trains the cohort once; each round trains at most the cohort.
+  EXPECT_LE(r.stats.train_episodes, 8u + 3u * 8u);
+  EXPECT_GE(r.stats.train_episodes, 8u);
+  EXPECT_LT(r.stats.peak_state_bytes, r.stats.naive_state_bytes);
+  EXPECT_FALSE(r.scheme.final_state.empty());
+  EXPECT_FALSE(r.scheme.metrics.empty());
+  for (const auto& sel : r.extras.selected) {
+    EXPECT_LE(sel.size(), world.scenario().hadfl.strategy.select_count);
+  }
+}
+
+TEST(FleetEngine, ExtrasSeriesCappedToConfiguredDevices) {
+  exp::FleetWorldConfig fw = small_world(8);
+  exp::FleetWorld world(fw);
+  core::FleetConfig fleet;
+  fleet.extras_device_cap = 3;
+  const core::FleetResult r = core::run_hadfl_fleet(
+      world.context(), world.scenario().hadfl, fleet);
+  ASSERT_FALSE(r.extras.actual_versions.empty());
+  for (const auto& round : r.extras.actual_versions) {
+    EXPECT_EQ(round.size(), 3u);
+  }
+  for (const auto& round : r.extras.predicted_versions) {
+    EXPECT_EQ(round.size(), 3u);
+  }
+  EXPECT_EQ(r.extras.negotiated_epoch_times.size(), 3u);
+}
+
+TEST(FleetEngine, RejectsUnsupportedConfigs) {
+  exp::FleetWorldConfig fw = small_world(8);
+  {
+    exp::FleetWorld world(fw);
+    world.scenario().train.momentum = 0.9;  // shared slots can't carry it
+    EXPECT_THROW(core::run_hadfl_fleet(world.context(),
+                                       world.scenario().hadfl,
+                                       core::FleetConfig{}),
+                 Error);
+  }
+  {
+    exp::FleetWorld world(fw);
+    core::FleetConfig fleet;
+    fleet.cohort = 1;  // below select_count
+    EXPECT_THROW(core::run_hadfl_fleet(world.context(),
+                                       world.scenario().hadfl, fleet),
+                 Error);
+  }
+  {
+    exp::FleetWorld world(fw);
+    world.scenario().hadfl.grouping.group_size = 4;  // cohort needs flat
+    core::FleetConfig fleet;
+    fleet.cohort = 4;
+    EXPECT_THROW(core::run_hadfl_fleet(world.context(),
+                                       world.scenario().hadfl, fleet),
+                 Error);
+  }
+}
+
+TEST(FleetWorld, ChurnPlanIsDeterministic) {
+  exp::FleetWorldConfig fw;
+  fw.devices = 100;
+  fw.churn.fraction = 0.1;
+  exp::FleetWorld a(fw);
+  exp::FleetWorld b(fw);
+  EXPECT_EQ(a.churn_events(), 10u);
+  const auto& ea = a.cluster().faults().events();
+  const auto& eb = b.cluster().faults().events();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].device, eb[i].device);
+    EXPECT_EQ(ea[i].down_at, eb[i].down_at);
+    EXPECT_EQ(ea[i].up_at, eb[i].up_at);
+  }
+}
+
+}  // namespace
+}  // namespace hadfl

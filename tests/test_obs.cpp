@@ -218,6 +218,35 @@ TEST(Metrics, ExponentialBoundsGrowGeometrically) {
   EXPECT_THROW(exponential_bounds(1.0, 2.0, 0), InvalidArgument);
 }
 
+TEST(Metrics, ObserveSampledCapsPerRoundObservations) {
+  Histogram h({0.5, 1.5, 2.5});
+  std::vector<double> values(100);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  observe_sampled(h, values, 10);
+  EXPECT_EQ(h.count(), 10u);
+  // Evenly strided: indices 0, 10, 20, ..., 90 — the first value is always
+  // taken and the sample spreads across the whole span.
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 90.0);
+}
+
+TEST(Metrics, ObserveSampledBelowCapObservesEverything) {
+  Histogram h({10.0});
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  observe_sampled(h, values, 8);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+}
+
+TEST(Metrics, ObserveSampledZeroCapOrEmptyRecordsNothing) {
+  Histogram h({10.0});
+  observe_sampled(h, std::vector<double>{1.0, 2.0}, 0);
+  observe_sampled(h, {}, 8);
+  EXPECT_EQ(h.count(), 0u);
+}
+
 TEST(Metrics, RegistryReturnsSameInstrumentForSameName) {
   MetricsRegistry reg;
   Counter& a = reg.counter("hits");

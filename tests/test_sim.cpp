@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "sim/cluster.hpp"
+#include "sim/device_table.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -27,6 +28,41 @@ TEST(DeviceSpec, RejectsBadRatios) {
   EXPECT_THROW(devices_from_ratio({}), InvalidArgument);
   EXPECT_THROW(devices_from_ratio({1, 0}), InvalidArgument);
   EXPECT_THROW(devices_from_ratio({1}, -0.1), InvalidArgument);
+}
+
+TEST(DeviceTable, FromRatioCycledRepeatsPattern) {
+  const DeviceTable t = DeviceTable::from_ratio_cycled({3, 1}, 5, 0.05);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.compute_power(0), 3.0);
+  EXPECT_EQ(t.compute_power(1), 1.0);
+  EXPECT_EQ(t.compute_power(4), 3.0);
+  EXPECT_EQ(t.jitter_std(3), 0.05);
+  EXPECT_TRUE(t.any_jitter());
+  EXPECT_EQ(t.name(4), "dev4");
+  EXPECT_EQ(t.spec(1).compute_power, 1.0);
+}
+
+TEST(DeviceTable, FromSpecsKeepsExplicitNamesOnly) {
+  std::vector<DeviceSpec> specs = devices_from_ratio({2, 1});
+  specs[1].name = "edge-node";
+  const DeviceTable t = DeviceTable::from_specs(specs);
+  EXPECT_EQ(t.name(0), "dev0");
+  EXPECT_EQ(t.name(1), "edge-node");
+  EXPECT_FALSE(t.any_jitter());
+}
+
+TEST(DeviceTable, MatchesDevicesFromRatioOnOneCycle) {
+  // The fleet generalization must agree with the per-spec builder when the
+  // count equals the pattern length.
+  const auto specs = devices_from_ratio({4, 2, 2, 1}, 0.1);
+  const DeviceTable cycled = DeviceTable::from_ratio_cycled({4, 2, 2, 1}, 4,
+                                                            0.1);
+  ASSERT_EQ(cycled.size(), specs.size());
+  for (DeviceId d = 0; d < specs.size(); ++d) {
+    EXPECT_EQ(cycled.compute_power(d), specs[d].compute_power);
+    EXPECT_EQ(cycled.jitter_std(d), specs[d].jitter_std);
+    EXPECT_EQ(cycled.name(d), specs[d].name);
+  }
 }
 
 TEST(NetworkModel, TransferTime) {
@@ -136,7 +172,7 @@ TEST(Cluster, ResetClocks) {
 }
 
 TEST(Cluster, Validation) {
-  EXPECT_THROW(Cluster({}, 1.0), InvalidArgument);
+  EXPECT_THROW(Cluster(std::vector<DeviceSpec>{}, 1.0), InvalidArgument);
   EXPECT_THROW(Cluster(devices_from_ratio({1}), 0.0), InvalidArgument);
   Cluster cluster(devices_from_ratio({1}), 1.0);
   EXPECT_THROW(cluster.time(5), InvalidArgument);
@@ -191,6 +227,81 @@ TEST(EventQueue, RejectsPastAndNull) {
   q.run();
   EXPECT_THROW(q.schedule(1.0, [](SimTime) {}), InvalidArgument);
   EXPECT_THROW(q.schedule(10.0, nullptr), InvalidArgument);
+}
+
+TEST(EventQueue, InfinityIsARealTimestampNotASentinel) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(std::numeric_limits<SimTime>::infinity(),
+             [&](SimTime) { ++fired; });
+  q.schedule(1.0, [&](SimTime) { ++fired; });
+  // A finite bound must never reach the infinity event...
+  EXPECT_EQ(q.run(1e308), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+  // ...but the default (unbounded) run executes it.
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), std::numeric_limits<SimTime>::infinity());
+}
+
+TEST(EventQueue, FarFutureTimestampsKeepOrdering) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1e300, [&](SimTime) { order.push_back(2); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(1e301, [&](SimTime) { order.push_back(3); });
+  EXPECT_EQ(q.run(1e299), 1u);
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 1e301);
+}
+
+TEST(EventQueue, LargeEqualTimeCohortPopsInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // Interleave one big equal-time cohort with earlier/later strays so the
+  // batched drain has to separate three cohorts.
+  q.schedule(2.0, [&](SimTime) { order.push_back(-1); });
+  for (int i = 0; i < 500; ++i) {
+    q.schedule(5.0, [&, i](SimTime) { order.push_back(i); });
+  }
+  q.schedule(9.0, [&](SimTime) { order.push_back(-2); });
+  EXPECT_EQ(q.run(), 502u);
+  ASSERT_EQ(order.size(), 502u);
+  EXPECT_EQ(order.front(), -1);
+  EXPECT_EQ(order.back(), -2);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[1 + i], i);
+}
+
+TEST(EventQueue, EqualTimeScheduleDuringBatchRunsAfterCohort) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](SimTime now) {
+    order.push_back(1);
+    // Same instant, scheduled mid-drain: lands after the current cohort,
+    // exactly where a one-at-a-time drain would put it.
+    q.schedule(now, [&](SimTime) { order.push_back(3); });
+  });
+  q.schedule(1.0, [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RecyclesCallbackSlotsAcrossCycles) {
+  EventQueue q;
+  int fired = 0;
+  // Steady-state schedule/run cycles: ordering and counts stay exact while
+  // the pooled slots are reused (pending never exceeds the live window).
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const SimTime base = static_cast<SimTime>(cycle) * 10.0;
+    for (int i = 0; i < 20; ++i) {
+      q.schedule(base + static_cast<SimTime>(i % 4), [&](SimTime) { ++fired; });
+    }
+    EXPECT_EQ(q.run(), 20u);
+    EXPECT_TRUE(q.empty());
+  }
+  EXPECT_EQ(fired, 50 * 20);
 }
 
 TEST(Trace, RecordAndQuery) {
