@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/delta_codec.hpp"
 #include "core/round_logic.hpp"
 #include "core/trainer.hpp"
 #include "exp/runner.hpp"
@@ -228,6 +229,61 @@ BENCHMARK(BM_RtMonolithicGatherFold)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Compressed-delta variant of the sweep: chunks travel codec-encoded in
+// both ring phases (int8 ≈ 4x, top-k 2% ≈ 25x fewer payload bytes), at the
+// cost of per-chunk encode/decode work. Args: {K, chunks, codec
+// (0 = int8, 1 = top-k 2%), throttled}. Under the throttled link the
+// encoded payloads repay their CPU cost many times over — that is the
+// EXPERIMENTS.md bytes/wall-time tradeoff.
+void BM_RtDeltaAggregate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto chunks = static_cast<std::size_t>(state.range(1));
+  const bool topk = state.range(2) != 0;
+  const bool throttled = state.range(3) != 0;
+  const comm::SyncCodec codec =
+      topk ? comm::SyncCodec::kTopK : comm::SyncCodec::kInt8;
+  const double ratio = 0.02;
+  std::vector<sim::DeviceId> ring(k);
+  for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+  const std::vector<double> weights = sweep_weights(k);
+  rt::InprocTransport t(k, sweep_network(throttled), throttled ? 1.0 : 0.0);
+  std::int64_t cid = 1;
+  for (auto _ : state) {
+    std::vector<std::thread> members;
+    members.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      members.emplace_back([&, i] {
+        std::vector<float> update(kSyncElems);
+        for (std::size_t e = 0; e < kSyncElems; ++e) {
+          update[e] = 0.01f * static_cast<float>(i + 1) -
+                      0.0001f * static_cast<float>(e % 101);
+        }
+        std::vector<float> staged(kSyncElems);
+        std::vector<std::vector<float>> stash;
+        core::WeightedRingFold fold;
+        std::vector<float> out(kSyncElems);
+        rt::ring_weighted_delta_aggregate(
+            t, ring, i, update, weights, fold, out, staged, stash, cid,
+            /*wire_bytes=*/0, /*step_timeout_s=*/30.0, chunks, codec, ratio);
+        benchmark::DoNotOptimize(out.data());
+      });
+    }
+    for (auto& th : members) th.join();
+    ++cid;
+  }
+  report_pool(state, t);
+  // Encoded traffic per collective: 2·(K-1)/K·Σ_chunks enc per member.
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(
+          2 * (k - 1) *
+          comm::encoded_state_bytes(codec, kSyncElems, chunks, ratio)));
+}
+BENCHMARK(BM_RtDeltaAggregate)
+    ->ArgsProduct({{4, 8}, {4, 16}, {0, 1}, {0, 1}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 exp::Scenario smoke_scenario() {
   exp::Scenario s =
       exp::paper_scenario(nn::Architecture::kMlp, {3, 3, 1, 1}, /*scale=*/0.3);
@@ -332,6 +388,92 @@ int smoke_chunk_equivalence() {
                       "bit-identical to the reference fold\n",
                       k, chunks, i);
           ++failures;
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+// The compressed collective on real threads must reproduce the
+// single-threaded reference exactly: decode every member's encoded update,
+// fold in ring order, encode the fold once — the same comm/delta_codec.hpp
+// ops the simulator uses, so bitwise agreement here is what underwrites
+// compressed sim/rt equivalence.
+int smoke_delta_collective() {
+  constexpr std::size_t kElems = 1237;  // odd, so chunks split unevenly
+  int failures = 0;
+  const double ratio = 0.1;
+  for (const comm::SyncCodec codec :
+       {comm::SyncCodec::kInt8, comm::SyncCodec::kTopK}) {
+    for (const std::size_t k : {2u, 4u}) {
+      std::vector<sim::DeviceId> ring(k);
+      for (std::size_t i = 0; i < k; ++i) ring[i] = i;
+      const std::vector<double> weights = sweep_weights(k);
+      std::vector<std::vector<float>> updates(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        updates[i].resize(kElems);
+        for (std::size_t e = 0; e < kElems; ++e) {
+          updates[i][e] = 0.25f * static_cast<float>(i + 1) -
+                          0.001f * static_cast<float>(e % 97);
+        }
+      }
+      rt::InprocTransport t(k, sweep_network(false));
+      std::int64_t cid = 1;
+      for (const std::size_t chunks : {1u, 3u, 16u}) {
+        const std::size_t c_count = rt::resolve_chunk_count(chunks, kElems);
+        // Single-threaded reference of the full delta round.
+        std::vector<float> staged(kElems);
+        core::WeightedRingFold ref_fold;
+        ref_fold.reset(kElems);
+        std::vector<std::vector<float>> decoded = updates;
+        for (std::size_t m = 0; m < k; ++m) {
+          for (std::size_t c = 0; c < c_count; ++c) {
+            const auto [b, e] = chunk_range(kElems, c_count, c);
+            std::vector<float> payload(
+                comm::encoded_chunk_floats(codec, e - b, ratio));
+            comm::roundtrip_chunk_staged(
+                codec, ratio, std::span<float>(decoded[m]).subspan(b, e - b),
+                std::span<float>(staged).subspan(b, e - b), payload);
+          }
+          ref_fold.add(0, decoded[m], weights[m]);
+        }
+        std::vector<float> want(kElems);
+        ref_fold.write(0, want);
+        for (std::size_t c = 0; c < c_count; ++c) {
+          const auto [b, e] = chunk_range(kElems, c_count, c);
+          std::vector<float> payload(
+              comm::encoded_chunk_floats(codec, e - b, ratio));
+          comm::roundtrip_folded_chunk(
+              codec, ratio, std::span<float>(want).subspan(b, e - b),
+              payload);
+        }
+
+        std::vector<std::vector<float>> outs(k, std::vector<float>(kElems));
+        std::vector<std::thread> members;
+        members.reserve(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          members.emplace_back([&, i] {
+            std::vector<float> update = updates[i];
+            std::vector<float> member_staged(kElems);
+            std::vector<std::vector<float>> stash;
+            core::WeightedRingFold fold;
+            rt::ring_weighted_delta_aggregate(
+                t, ring, i, update, weights, fold, outs[i], member_staged,
+                stash, cid, /*wire_bytes=*/0, /*step_timeout_s=*/30.0,
+                chunks, codec, ratio);
+          });
+        }
+        for (auto& th : members) th.join();
+        ++cid;
+        for (std::size_t i = 0; i < k; ++i) {
+          if (std::memcmp(outs[i].data(), want.data(),
+                          kElems * sizeof(float)) != 0) {
+            std::printf("FAIL codec=%d k=%zu chunks=%zu: member %zu delta "
+                        "aggregate is not bit-identical to the reference\n",
+                        static_cast<int>(codec), k, chunks, i);
+            ++failures;
+          }
         }
       }
     }
@@ -455,12 +597,13 @@ int smoke_telemetry_equivalence() {
 
 int run_smoke() {
   int failures = smoke_chunk_equivalence();
+  failures += smoke_delta_collective();
   failures += smoke_rt_matches_sim();
   failures += smoke_telemetry_equivalence();
   if (failures == 0) {
-    std::printf("micro_rt --smoke: chunked aggregation bit-identical to the "
-                "reference fold; rt run matches the simulator; telemetry "
-                "observes without perturbing\n");
+    std::printf("micro_rt --smoke: chunked and compressed-delta aggregation "
+                "bit-identical to the reference fold; rt run matches the "
+                "simulator; telemetry observes without perturbing\n");
   }
   return failures == 0 ? 0 : 1;
 }

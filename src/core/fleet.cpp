@@ -623,6 +623,11 @@ FleetResult FleetEngine::run() {
   HADFL_CHECK_ARG(ctx_.config.momentum == 0.0,
                   "fleet trainer requires momentum == 0 (trainer slots are "
                   "shared across devices)");
+  HADFL_CHECK_ARG(config_.compression == SyncCompression::kNone,
+                  "fleet engine supports the uncompressed sync codec only "
+                  "(the compressed-delta path needs per-device "
+                  "error-feedback residuals, which would defeat the "
+                  "shared-slab model store)");
   policy_ = config_.policy;
   if (!policy_) policy_ = std::make_shared<GaussianQuartileSelection>();
   if (!exact_mode()) {

@@ -192,14 +192,4 @@ void apply_aggregate(std::vector<DeviceState>& devices,
   }
 }
 
-void integrate_broadcast(DeviceState& dev, std::span<const float> aggregate,
-                         double version_mean, const HadflConfig& config) {
-  dev.scratch.assign(aggregate.begin(), aggregate.end());
-  compress_roundtrip(dev.scratch, dev.last_sync_state, config);
-  nn::mix_state(*dev.model, dev.scratch, config.broadcast_mix_weight);
-  std::swap(dev.last_sync_state, dev.scratch);
-  dev.version = (1.0 - config.broadcast_mix_weight) * dev.version +
-                config.broadcast_mix_weight * version_mean;
-}
-
 }  // namespace hadfl::core

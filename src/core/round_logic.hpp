@@ -40,7 +40,19 @@ struct DeviceState {
   double version = 0.0;        ///< cumulative parameter version (iterations)
   double last_loss = 0.0;
   std::size_t last_executed = 0;
-  std::vector<float> last_sync_state;  ///< reference for top-k deltas
+  std::vector<float> last_sync_state;  ///< shared delta reference: the last
+                                       ///< exact aggregate this device saw
+  /// Which synchronization produced `last_sync_state`: the collective id of
+  /// that sync (0 = the initial dispatch, identical everywhere). Devices
+  /// with equal ref_epoch hold bit-identical references, which is the
+  /// precondition for exchanging codec-encoded deltas against them; a
+  /// device that missed a broadcast keeps its stale epoch and is realigned
+  /// by the next raw (exact dense) round it participates in.
+  std::int64_t ref_epoch = 0;
+  /// Error-feedback residual for the compressed-delta sync path
+  /// (comm/delta_codec.hpp): carries x - decode(encode(x)) into the next
+  /// round's update so lossy codecs stay convergence-safe.
+  comm::ErrorFeedback error_feedback;
   std::vector<float> scratch;  ///< per-device staging buffer, reused across
                                ///< rounds so sync paths don't allocate
 };
@@ -151,18 +163,12 @@ class WeightedRingFold {
 double ring_version_mean(const std::vector<DeviceState>& devices,
                          const std::vector<sim::DeviceId>& ring);
 
-/// Installs the aggregate on every ring member (state, version, top-k
-/// reference).
+/// Installs the aggregate on every ring member (state, version, delta
+/// reference). The caller stamps ref_epoch / error-feedback per its commit
+/// rule (delta vs raw round).
 void apply_aggregate(std::vector<DeviceState>& devices,
                      const std::vector<sim::DeviceId>& ring,
                      const std::vector<float>& aggregate,
                      double version_mean);
-
-/// An unselected device integrates a received aggregate (§III-D): codec
-/// round-trip against its own last-sync reference, then the configured mix
-/// into the local model and version. Stages through dev.scratch (reused
-/// capacity) and mixes in place through the model's state view.
-void integrate_broadcast(DeviceState& dev, std::span<const float> aggregate,
-                         double version_mean, const HadflConfig& config);
 
 }  // namespace hadfl::core

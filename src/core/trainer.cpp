@@ -133,6 +133,14 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   // same pieces segment-by-segment and must land on identical bits.
   WeightedRingFold ring_fold;
   std::vector<float> sync_scratch;
+  std::vector<float> codec_payload;  // per-chunk encode staging (delta rounds)
+
+  // Reference-epoch counter for the compressed-delta path: each successful
+  // sync stamps its participants (and every reached broadcast receiver)
+  // with a fresh epoch. Devices sharing an epoch hold bit-identical
+  // references, which is the precondition for shipping encoded deltas; the
+  // rt backend uses its collective ids the same way.
+  std::int64_t sync_epoch = 0;
 
   std::size_t round = 0;
   while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
@@ -227,6 +235,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       //    opens mid-sync); the CommError then triggers another repair
       //    pass, exactly like the timeout would in a real deployment.
       std::vector<float> aggregate;
+      bool delta_round = false;       // this sync shipped encoded deltas
+      std::int64_t base_epoch = 0;    // the reference epoch it built on
       for (int attempt = 0; attempt < 4 && !ring.empty(); ++attempt) {
         const comm::RingRepairResult repair =
             comm::repair_ring(transport, ring, config.repair);
@@ -246,28 +256,58 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
         ring = repair.ring;
         if (ring.empty()) break;
         try {
-          // Each member's contribution passes through the configured codec
-          // (what the peers reconstruct) and is folded straight into the
-          // accumulator in ring order — the same double-precision partial
-          // sums the materializing weighted_average produced, without the
-          // per-member state copies. The ring's wire cost shrinks by the
-          // codec's ratio.
+          // With a codec configured, members whose references agree
+          // exchange encoded *deltas* against that shared reference
+          // (comm/delta_codec.hpp): u_m = x_m - r + e_m passes through the
+          // codec chunk by chunk, peers fold exactly what the wire
+          // delivers, and the encode error is staged as the next round's
+          // error-feedback residual. A ring containing a stale member (it
+          // missed a broadcast) falls back to a raw exact round, which
+          // realigns everyone. The fold itself is the same ring-order
+          // double-precision accumulation either way — the rt pipelined
+          // collective performs these exact chunk operations and lands on
+          // identical bits.
           const std::vector<double> weights =
               ring_weights(ctx.partition, ring, config.weight_by_samples);
-          ring_fold.reset(nn::state_size(*devices[ring.front()].model));
-          std::size_t codec_bytes = 0;
-          std::size_t dense_bytes = 0;
+          const std::size_t n = nn::state_size(*devices[ring.front()].model);
+          base_epoch = devices[ring.front()].ref_epoch;
+          bool delta = config.compression != SyncCompression::kNone;
+          for (sim::DeviceId id : ring) {
+            if (devices[id].ref_epoch != base_epoch) delta = false;
+          }
+          const std::size_t c_count =
+              comm::resolve_chunk_count(config.sync_chunks, n);
+          ring_fold.reset(n);
+          const std::size_t dense_bytes = n * sizeof(float);
           for (std::size_t m = 0; m < ring.size(); ++m) {
             const sim::DeviceId id = ring[m];
-            const auto view = nn::state_view(*devices[id].model);
+            DeviceState& dev = devices[id];
+            const auto view = nn::state_view(*dev.model);
             sync_scratch.assign(view.begin(), view.end());
-            dense_bytes = sync_scratch.size() * sizeof(float);
-            codec_bytes = std::max(
-                codec_bytes,
-                compress_roundtrip(sync_scratch, devices[id].last_sync_state,
-                                   config));
+            if (delta) {
+              dev.error_feedback.ensure(n);
+              comm::form_delta_update(sync_scratch, dev.last_sync_state,
+                                      dev.error_feedback.residual);
+              for (std::size_t c = 0; c < c_count; ++c) {
+                const std::size_t cb = c * n / c_count;
+                const std::size_t ce = (c + 1) * n / c_count;
+                codec_payload.resize(comm::encoded_chunk_floats(
+                    config.compression, ce - cb, config.top_k_ratio));
+                comm::roundtrip_chunk_staged(
+                    config.compression, config.top_k_ratio,
+                    std::span<float>(sync_scratch).subspan(cb, ce - cb),
+                    std::span<float>(dev.error_feedback.staged)
+                        .subspan(cb, ce - cb),
+                    codec_payload);
+              }
+            }
             ring_fold.add(0, sync_scratch, weights[m]);
           }
+          const std::size_t sync_codec_bytes =
+              delta ? comm::encoded_state_bytes(config.compression, n,
+                                                config.sync_chunks,
+                                                config.top_k_ratio)
+                    : dense_bytes;
           sim::SimTime sync_start = 0.0;  // the collective starts when the
                                           // slowest member arrives
           for (sim::DeviceId id : ring) {
@@ -275,10 +315,31 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
           }
           const sim::SimTime sync_done = comm::simulate_ring_allreduce(
               transport, ring,
-              effective_wire_bytes(wire_bytes, codec_bytes, dense_bytes));
+              effective_wire_bytes(wire_bytes, sync_codec_bytes, dense_bytes));
           // Eq. 2 objective when weight_by_samples, else plain Eq. 5.
           aggregate.resize(ring_fold.size());
           ring_fold.write(0, aggregate);
+          if (delta) {
+            // Phase-2 mirror: the folded delta circulates *encoded*, so
+            // what everyone commits is the decode of that encoding; the
+            // aggregate is then reference + decoded fold.
+            for (std::size_t c = 0; c < c_count; ++c) {
+              const std::size_t cb = c * n / c_count;
+              const std::size_t ce = (c + 1) * n / c_count;
+              codec_payload.resize(comm::encoded_chunk_floats(
+                  config.compression, ce - cb, config.top_k_ratio));
+              comm::roundtrip_folded_chunk(
+                  config.compression, config.top_k_ratio,
+                  std::span<float>(aggregate).subspan(cb, ce - cb),
+                  codec_payload);
+            }
+            const std::vector<float>& ref =
+                devices[ring.front()].last_sync_state;
+            for (std::size_t i = 0; i < n; ++i) {
+              aggregate[i] = ref[i] + aggregate[i];
+            }
+          }
+          delta_round = delta;
           if (config.trace != nullptr) {
             for (sim::DeviceId id : ring) {
               config.trace->record(id, sync_start, sync_done,
@@ -300,7 +361,18 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       selected_this_round.insert(selected_this_round.end(), ring.begin(),
                                  ring.end());
       const double version_mean = ring_version_mean(devices, ring);
+      const std::int64_t sync_id = ++sync_epoch;
       apply_aggregate(devices, ring, aggregate, version_mean);
+      for (sim::DeviceId id : ring) {
+        devices[id].ref_epoch = sync_id;
+        // A delta round's encode error becomes the committed residual; a
+        // raw round transmitted the exact state, so residual memory resets.
+        if (delta_round) {
+          devices[id].error_feedback.commit();
+        } else {
+          devices[id].error_feedback.clear();
+        }
+      }
 
       // -- Non-blocking broadcast to the unselected group members.
       std::vector<sim::DeviceId> others;
@@ -312,25 +384,63 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
       if (!others.empty()) {
         const sim::DeviceId src = ring[static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(ring.size()) - 1))];
-        // Codec sizes are deterministic, so price the broadcast with a
-        // representative receiver's reconstruction (staged through the
-        // reused scratch buffer).
-        sync_scratch.assign(aggregate.begin(), aggregate.end());
-        const std::size_t codec_bytes = compress_roundtrip(
-            sync_scratch, devices[others.front()].last_sync_state, config);
+        // After a delta round, receivers whose reference matches the round's
+        // base epoch take the codec-encoded fold (the rt backend re-ships
+        // the phase-2 encodings verbatim); stale receivers — and every
+        // receiver of a raw round — get the exact dense aggregate, which
+        // realigns them. Codec sizes are data-independent, so both legs are
+        // priced by formula.
+        std::vector<sim::DeviceId> delta_targets;
+        std::vector<sim::DeviceId> raw_targets;
+        for (sim::DeviceId id : others) {
+          if (delta_round && devices[id].ref_epoch == base_epoch) {
+            delta_targets.push_back(id);
+          } else {
+            raw_targets.push_back(id);
+          }
+        }
         const sim::SimTime bc_start = cluster.time(src);
-        const comm::BroadcastResult bc = comm::broadcast_nonblocking(
-            transport, src, others,
-            effective_wire_bytes(wire_bytes, codec_bytes,
-                                 aggregate.size() * sizeof(float)));
+        std::vector<sim::DeviceId> delivered;
+        if (!delta_targets.empty()) {
+          const std::size_t n = aggregate.size();
+          const comm::BroadcastResult bc = comm::broadcast_nonblocking(
+              transport, src, delta_targets,
+              effective_wire_bytes(
+                  wire_bytes,
+                  comm::encoded_state_bytes(config.compression, n,
+                                            config.sync_chunks,
+                                            config.top_k_ratio),
+                  n * sizeof(float)));
+          delivered.insert(delivered.end(), bc.delivered.begin(),
+                           bc.delivered.end());
+        }
+        if (!raw_targets.empty()) {
+          const comm::BroadcastResult bc = comm::broadcast_nonblocking(
+              transport, src, raw_targets, wire_bytes);
+          delivered.insert(delivered.end(), bc.delivered.begin(),
+                           bc.delivered.end());
+        }
         if (config.trace != nullptr) {
-          for (sim::DeviceId id : bc.delivered) {
+          for (sim::DeviceId id : delivered) {
             config.trace->record(id, bc_start, cluster.time(id),
                                  sim::SpanKind::kBroadcast, "broadcast");
           }
         }
-        for (sim::DeviceId id : bc.delivered) {
-          integrate_broadcast(devices[id], aggregate, version_mean, config);
+        // Either way the receiver reconstructs the aggregate bit-exactly
+        // (a delta receiver adds the decoded fold onto its — identical —
+        // reference), so integration is the same exact mix everywhere,
+        // and the receiver joins the new reference epoch. Error-feedback
+        // residuals are untouched: the broadcast is not an encode step.
+        for (sim::DeviceId id : delivered) {
+          DeviceState& dev = devices[id];
+          dev.scratch.assign(aggregate.begin(), aggregate.end());
+          nn::mix_state(*dev.model, dev.scratch,
+                        config.broadcast_mix_weight);
+          std::swap(dev.last_sync_state, dev.scratch);
+          dev.version =
+              (1.0 - config.broadcast_mix_weight) * dev.version +
+              config.broadcast_mix_weight * version_mean;
+          dev.ref_epoch = sync_id;
         }
       }
 

@@ -25,6 +25,7 @@
 
 #include <memory>
 
+#include "comm/delta_codec.hpp"
 #include "comm/failure_detector.hpp"
 #include "core/grouping.hpp"
 #include "core/selection.hpp"
@@ -42,10 +43,12 @@ enum class PredictorMode { kDes, kStatic, kLastValue };
 
 /// Optional lossy compression of synchronization messages (extension: the
 /// FL-standard byte-level reduction, composing with HADFL's frequency/
-/// topology reductions). kInt8 quantizes states to one byte per parameter;
-/// kTopK sends only the largest-magnitude entries of the delta since the
-/// device's last synchronization.
-enum class SyncCompression { kNone, kInt8, kTopK };
+/// topology reductions). kInt8 quantizes deltas to one byte per parameter;
+/// kTopK sends only the largest-magnitude entries of the delta against the
+/// shared round reference. The codec itself (and the error-feedback
+/// machinery that keeps it convergence-safe) lives in comm/delta_codec.hpp
+/// and is shared with the rt and net backends.
+using SyncCompression = comm::SyncCodec;
 
 struct HadflConfig {
   StrategyConfig strategy;
@@ -61,6 +64,11 @@ struct HadflConfig {
                                        ///< start from instead of fresh init
   SyncCompression compression = SyncCompression::kNone;
   double top_k_ratio = 0.05;           ///< fraction of entries kept (kTopK)
+  /// Chunk count for codec-path encoding (0 = comm::kDefaultSyncChunks).
+  /// Shared by the sim and the rt/net runtimes so a compressed run is
+  /// bit-identical across backends; with compression == kNone the sync is
+  /// chunk-count-invariant and this knob only shapes rt pipelining.
+  std::size_t sync_chunks = 0;
   /// Weight ring members' contributions by their partition sizes n_k (the
   /// FL objective of Eq. 2). With the paper's equal split this equals the
   /// unweighted Eq. 5 mean; with skewed partitions it keeps the aggregate

@@ -33,6 +33,32 @@ data::Partition parse_partition(const std::string& spec,
   throw InvalidArgument("unknown --partition: " + spec);
 }
 
+core::SyncCompression parse_sync_codec(const std::string& name) {
+  if (name == "none") return core::SyncCompression::kNone;
+  if (name == "int8") return core::SyncCompression::kInt8;
+  if (name == "topk") return core::SyncCompression::kTopK;
+  throw InvalidArgument("unknown --sync-codec: " + name);
+}
+
+std::string sync_codec_arg(const ArgParser& args) {
+  // --int8-broadcast predates --sync-codec and survives as an alias; an
+  // explicit --sync-codec wins.
+  if (args.has("sync-codec")) return args.get("sync-codec", "none");
+  return args.has("int8-broadcast") ? "int8" : "none";
+}
+
+std::string sync_codec_flag_error(const std::string& codec,
+                                  double topk_ratio) {
+  if (codec != "none" && codec != "int8" && codec != "topk") {
+    return "unknown --sync-codec: " + codec + " (want none, int8, or topk)";
+  }
+  if (!(topk_ratio > 0.0) || topk_ratio > 1.0) {
+    return "--topk-ratio out of range (want 0 < ratio <= 1): " +
+           std::to_string(topk_ratio);
+  }
+  return "";
+}
+
 fl::SchemeContext RunSetup::context() const {
   const fl::SchemeContext base = env->context();
   return fl::SchemeContext{base.cluster, base.network,  base.train,
@@ -63,6 +89,12 @@ RunSetup make_run_setup(const ArgParser& args) {
   if (args.get("network", "pcie") == "wan") {
     s.network = sim::NetworkModel::wan();
   }
+  // Codec knobs live on the hadfl config so the sim, rt, and net backends
+  // all encode the same chunks from the same settings.
+  s.hadfl.compression = parse_sync_codec(sync_codec_arg(args));
+  s.hadfl.top_k_ratio = args.get_double("topk-ratio", s.hadfl.top_k_ratio);
+  s.hadfl.sync_chunks =
+      static_cast<std::size_t>(args.get_int("sync-chunks", 0));
 
   setup.env = std::make_unique<Environment>(s);
   // The partition stream is pinned: Rng(seed ^ 0x5151), drawn exactly once.
@@ -80,9 +112,8 @@ rt::RtConfig make_rt_config(const ArgParser& args, const Scenario& scenario) {
                                         : rt::TimingMode::kVirtual;
   config.time_scale = args.get_double("time-scale", 0.0);
   config.compute_throttle = args.get_double("throttle", 0.0);
-  config.sync_chunks =
-      static_cast<std::size_t>(args.get_int("sync-chunks", 0));
-  config.int8_broadcast = args.has("int8-broadcast");
+  // --sync-chunks lands on hadfl.sync_chunks (make_run_setup); RtConfig's
+  // own sync_chunks stays 0 so the coordinator takes the shared grid.
   const std::string die = args.get("die", "");
   if (!die.empty()) {
     rt::FaultPlan plan;
@@ -103,7 +134,8 @@ std::vector<std::string> scenario_forward_args(const ArgParser& args) {
   static const char* const kValueKeys[] = {
       "model", "ratio",     "epochs",  "scale",  "seed",
       "np",    "tsync",     "policy",  "mix",    "group-size",
-      "partition", "network", "jitter", "throttle", "sync-chunks"};
+      "partition", "network", "jitter", "throttle", "sync-chunks",
+      "sync-codec", "topk-ratio"};
   static const char* const kFlagKeys[] = {"wallclock", "int8-broadcast"};
   std::vector<std::string> out;
   for (const char* key : kValueKeys) {

@@ -31,6 +31,20 @@ namespace hadfl::exp {
 
 nn::Architecture parse_model(const std::string& name);
 
+/// none | int8 | topk → the shared sync codec (comm/delta_codec.hpp).
+/// Throws InvalidArgument on anything else.
+core::SyncCompression parse_sync_codec(const std::string& name);
+
+/// The effective --sync-codec value: an explicit --sync-codec wins, else
+/// the legacy --int8-broadcast flag is an alias for "int8", else "none".
+std::string sync_codec_arg(const ArgParser& args);
+
+/// Validates the codec flags. Returns the empty string when valid, else
+/// the one-line diagnostic the drivers print to stderr before exiting
+/// with status 2 (the backend_flag_error pattern).
+std::string sync_codec_flag_error(const std::string& codec,
+                                  double topk_ratio);
+
 /// iid | dirichlet:<alpha> | shards:<n>.
 data::Partition parse_partition(const std::string& spec,
                                 const data::Dataset& train,
@@ -54,8 +68,9 @@ struct RunSetup {
 /// a malformed value.
 RunSetup make_run_setup(const ArgParser& args);
 
-/// The rt/net runtime knobs (--time-scale/--throttle/--wallclock/--die/
-/// --sync-chunks/--int8-broadcast). Telemetry stays off — the caller
+/// The rt/net runtime knobs (--time-scale/--throttle/--wallclock/--die).
+/// Codec flags (--sync-codec/--topk-ratio/--sync-chunks) are scenario
+/// state and land in make_run_setup. Telemetry stays off — the caller
 /// decides based on its output flags.
 rt::RtConfig make_rt_config(const ArgParser& args, const Scenario& scenario);
 

@@ -84,7 +84,8 @@ std::vector<std::uint8_t> encode_command(const rt::Command& cmd) {
   w.u64(cmd.wire_bytes);
   w.u32(static_cast<std::uint32_t>(cmd.peer));
   w.u64(cmd.chunks);
-  w.u8(cmd.int8 ? 1 : 0);
+  w.u8(cmd.delta ? 1 : 0);
+  w.i64(cmd.ref_epoch);
   return out;
 }
 
@@ -107,6 +108,7 @@ std::vector<std::uint8_t> encode_report(const rt::Report& report) {
   w.u64(report.pool.hits);
   w.u64(report.pool.misses);
   w.u64(report.pool.high_water);
+  w.i64(report.ref_epoch);
   return out;
 }
 
@@ -127,7 +129,8 @@ bool decode_command(std::span<const std::uint8_t> body, rt::Command& out) {
   out.wire_bytes = static_cast<std::size_t>(r.u64());
   out.peer = static_cast<rt::DeviceId>(r.u32());
   out.chunks = static_cast<std::size_t>(r.u64());
-  out.int8 = r.u8() != 0;
+  out.delta = r.u8() != 0;
+  out.ref_epoch = r.i64();
   out.cancel.reset();  // process-local; the receiver recreates it
   return r.ok() && r.remaining() == 0;
 }
@@ -148,6 +151,7 @@ bool decode_report(std::span<const std::uint8_t> body, rt::Report& out) {
   out.pool.hits = static_cast<std::size_t>(r.u64());
   out.pool.misses = static_cast<std::size_t>(r.u64());
   out.pool.high_water = static_cast<std::size_t>(r.u64());
+  out.ref_epoch = r.i64();
   return r.ok() && r.remaining() == 0;
 }
 

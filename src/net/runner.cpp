@@ -180,14 +180,6 @@ class NetDeviceOracle final : public rt::DeviceOracle {
     return acc.materialize();
   }
 
-  std::size_t broadcast_codec_bytes(
-      const std::vector<float>& aggregate,
-      const std::vector<rt::DeviceId>&) override {
-    // No device-addressable reference state from here; with the (enforced)
-    // kNone sync codec the dense price is exactly the inproc probe's.
-    return aggregate.size() * sizeof(float);
-  }
-
  private:
   NetCoordinatorIo& io_;
   const std::vector<float>& init_state_;
@@ -290,9 +282,12 @@ rt::RtResult run_hadfl_net(const fl::SchemeContext& ctx,
   HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
                   "partition count != device count");
   HADFL_CHECK_ARG(
-      config.rt.hadfl.compression == core::SyncCompression::kNone,
-      "net backend supports the uncompressed sync codec only (the codec "
-      "pricing probe needs in-process reference states)");
+      config.rt.hadfl.compression == core::SyncCompression::kNone ||
+          config.rt.sync_chunks == 0 ||
+          config.rt.sync_chunks == config.rt.hadfl.sync_chunks,
+      "compressed runs must take their chunk grid from hadfl.sync_chunks "
+      "(leave RtConfig::sync_chunks at 0) so all backends encode identical "
+      "chunks");
   HADFL_CHECK_ARG(!config.node_binary.empty(),
                   "net backend needs a node binary path");
   const std::size_t k = ctx.cluster.size();

@@ -42,19 +42,10 @@ void wait_all_sends(
   pending.clear();
 }
 
-/// What the transport will charge for this message: the explicit wire
-/// price, or the dense payload size when priced at 0 (pay-for-payload).
-std::size_t accounted_bytes(std::size_t wire_bytes, std::size_t elements) {
-  return wire_bytes != 0 ? wire_bytes : elements * sizeof(float);
-}
-
 }  // namespace
 
 std::size_t resolve_chunk_count(std::size_t requested, std::size_t n) {
-  std::size_t chunks = requested == 0 ? kDefaultSyncChunks : requested;
-  chunks = std::min(chunks, std::size_t{4096});
-  chunks = std::min(chunks, std::max<std::size_t>(1, n));
-  return std::max<std::size_t>(1, chunks);
+  return comm::resolve_chunk_count(requested, n);
 }
 
 std::size_t chunk_wire_bytes(std::size_t wire_bytes, std::size_t n,
@@ -101,7 +92,9 @@ void ring_weighted_aggregate(Transport& transport,
                              std::size_t wire_bytes, double step_timeout_s,
                              std::size_t chunks, const BeatFn& beat,
                              obs::Counter* scatter_bytes,
-                             obs::Counter* allgather_bytes) {
+                             obs::Counter* allgather_bytes,
+                             obs::Counter* scatter_raw_bytes,
+                             obs::Counter* allgather_raw_bytes) {
   const std::size_t k = ring.size();
   HADFL_CHECK_ARG(k > 0, "ring_weighted_aggregate on empty ring");
   HADFL_CHECK_ARG(my_index < k, "my_index out of range");
@@ -142,7 +135,10 @@ void ring_weighted_aggregate(Transport& transport,
               msg.payload.begin());
     msg.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
     if (scatter_bytes != nullptr) {
-      scatter_bytes->add(accounted_bytes(msg.wire_bytes, e - b));
+      scatter_bytes->add((e - b) * sizeof(float));
+    }
+    if (scatter_raw_bytes != nullptr) {
+      scatter_raw_bytes->add((e - b) * sizeof(float));
     }
     pending.emplace_back(transport.isend(self, ring[owner], std::move(msg)),
                          ring[owner]);
@@ -184,7 +180,10 @@ void ring_weighted_aggregate(Transport& transport,
               msg.payload.begin());
     msg.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
     if (allgather_bytes != nullptr) {
-      allgather_bytes->add(accounted_bytes(msg.wire_bytes, e - b));
+      allgather_bytes->add((e - b) * sizeof(float));
+    }
+    if (allgather_raw_bytes != nullptr) {
+      allgather_raw_bytes->add((e - b) * sizeof(float));
     }
     pending.emplace_back(transport.isend(self, next, std::move(msg)), next);
     if (beat) beat();
@@ -211,7 +210,211 @@ void ring_weighted_aggregate(Transport& transport,
         fwd.payload = std::move(in.payload);
         fwd.wire_bytes = chunk_wire_bytes(wire_bytes, n, b, e);
         if (allgather_bytes != nullptr) {
-          allgather_bytes->add(accounted_bytes(fwd.wire_bytes, e - b));
+          allgather_bytes->add((e - b) * sizeof(float));
+        }
+        if (allgather_raw_bytes != nullptr) {
+          allgather_raw_bytes->add((e - b) * sizeof(float));
+        }
+        pending.emplace_back(transport.isend(self, next, std::move(fwd)),
+                             next);
+      } else {
+        pool.release(std::move(in.payload));
+      }
+      if (beat) beat();
+    }
+  }
+
+  wait_all_sends(pending, self, step_timeout_s, beat);
+}
+
+void ring_weighted_delta_aggregate(
+    Transport& transport, const std::vector<DeviceId>& ring,
+    std::size_t my_index, std::span<float> update,
+    const std::vector<double>& weights, core::WeightedRingFold& fold,
+    std::vector<float>& out, std::span<float> staged_residual,
+    std::vector<std::vector<float>>& code_stash, std::int64_t collective_id,
+    std::size_t wire_bytes, double step_timeout_s, std::size_t chunks,
+    comm::SyncCodec codec, double topk_ratio, const BeatFn& beat,
+    obs::Counter* scatter_bytes, obs::Counter* allgather_bytes,
+    obs::Counter* scatter_raw_bytes, obs::Counter* allgather_raw_bytes) {
+  const std::size_t k = ring.size();
+  HADFL_CHECK_ARG(k > 0, "ring_weighted_delta_aggregate on empty ring");
+  HADFL_CHECK_ARG(my_index < k, "my_index out of range");
+  HADFL_CHECK_ARG(weights.size() == k, "weights/ring size mismatch");
+  const std::size_t n = update.size();
+  HADFL_CHECK_ARG(staged_residual.size() == n,
+                  "staged residual/update size mismatch");
+  out.resize(n);
+  fold.reset(n);
+  const std::size_t c_count = resolve_chunk_count(chunks, n);
+  code_stash.resize(c_count);
+  if (n == 0) return;
+
+  // Wire price of one encoded chunk: the dense chunk's share of
+  // `wire_bytes`, scaled by the codec's byte ratio — the same formula the
+  // sim applies to the whole state, so priced volume agrees per chunk.
+  // A 0 share keeps the transport's pay-for-payload default (the encoded
+  // payload size is already the exact wire size).
+  auto priced = [&](std::size_t b, std::size_t e, std::size_t enc_bytes) {
+    const std::size_t share = chunk_wire_bytes(wire_bytes, n, b, e);
+    if (share == 0) return share;
+    return core::effective_wire_bytes(share, enc_bytes,
+                                      (e - b) * sizeof(float));
+  };
+
+  if (k == 1) {
+    // Degenerate ring: the member round-trips its own chunks (the residual
+    // staging and the weighted fold still apply, exactly like the sim's
+    // single-member group), then encodes each folded chunk into the stash
+    // and commits its decode — the same ops the full ring performs.
+    std::vector<float> payload;
+    for (std::size_t c = 0; c < c_count; ++c) {
+      const auto [b, e] = chunk_range(n, c_count, c);
+      if (b == e) continue;
+      payload.resize(comm::encoded_chunk_floats(codec, e - b, topk_ratio));
+      comm::roundtrip_chunk_staged(codec, topk_ratio,
+                                   update.subspan(b, e - b),
+                                   staged_residual.subspan(b, e - b),
+                                   payload);
+    }
+    fold.add(0, update, weights[0]);
+    fold.write(0, out);
+    for (std::size_t c = 0; c < c_count; ++c) {
+      const auto [b, e] = chunk_range(n, c_count, c);
+      if (b == e) {
+        code_stash[c].clear();
+        continue;
+      }
+      code_stash[c].resize(
+          comm::encoded_chunk_floats(codec, e - b, topk_ratio));
+      comm::roundtrip_folded_chunk(codec, topk_ratio,
+                                   std::span<float>(out).subspan(b, e - b),
+                                   code_stash[c]);
+    }
+    return;
+  }
+
+  const DeviceId self = ring[my_index];
+  const DeviceId next = ring[(my_index + 1) % k];
+  const DeviceId prev = ring[(my_index + k - 1) % k];
+  BufferPool& pool = transport.pool();
+  std::vector<std::pair<std::shared_ptr<PendingSend>, DeviceId>> pending;
+  pending.reserve(2 * c_count);
+  std::vector<float> decode_buf;
+
+  // ---- Phase 1 (scatter): every chunk of the update round-trips through
+  // the codec — the residual is staged and the chunk becomes its decode —
+  // and non-owned encodings go straight to their owners.
+  for (std::size_t c = 0; c < c_count; ++c) {
+    const auto [b, e] = chunk_range(n, c_count, c);
+    if (b == e) continue;
+    const std::size_t enc_floats =
+        comm::encoded_chunk_floats(codec, e - b, topk_ratio);
+    std::vector<float> payload = pool.acquire(enc_floats);
+    comm::roundtrip_chunk_staged(codec, topk_ratio, update.subspan(b, e - b),
+                                 staged_residual.subspan(b, e - b), payload);
+    if (c % k == my_index) {
+      pool.release(std::move(payload));
+      continue;
+    }
+    Message msg;
+    msg.tag = sync_chunk_tag(collective_id, 0, c);
+    msg.payload = std::move(payload);
+    msg.wire_bytes = priced(b, e, enc_floats * sizeof(float));
+    if (scatter_bytes != nullptr) {
+      scatter_bytes->add(enc_floats * sizeof(float));
+    }
+    if (scatter_raw_bytes != nullptr) {
+      scatter_raw_bytes->add((e - b) * sizeof(float));
+    }
+    pending.emplace_back(transport.isend(self, ring[c % k], std::move(msg)),
+                         ring[c % k]);
+  }
+
+  // ---- Phase 1 (fold): owners decode the arriving encodings and fold the
+  // decodes in ring order — every folded contribution, local or remote, is
+  // a decode, so the fold is identical on any backend.
+  for (std::size_t m = 0; m < k; ++m) {
+    for (std::size_t c = my_index; c < c_count; c += k) {
+      const auto [b, e] = chunk_range(n, c_count, c);
+      if (b == e) continue;
+      if (m == my_index) {
+        fold.add(b, update.subspan(b, e - b), weights[m]);
+      } else {
+        Message in =
+            recv_chunk_sliced(transport, self, ring[m],
+                              sync_chunk_tag(collective_id, 0, c),
+                              step_timeout_s, beat);
+        HADFL_CHECK(in.payload.size() ==
+                    comm::encoded_chunk_floats(codec, e - b, topk_ratio));
+        decode_buf.resize(e - b);
+        comm::decode_chunk(codec, in.payload, decode_buf);
+        fold.add(b, decode_buf, weights[m]);
+        pool.release(std::move(in.payload));
+      }
+      if (beat) beat();
+    }
+  }
+
+  // ---- Phase 2 kick-off: cast each owned folded chunk, encode it ONCE,
+  // keep the encoding in the stash, commit its decode locally, and start
+  // the encoding around the ring. Everyone decodes this one payload, so
+  // `out` holds identical bits everywhere (re-encoding is not bit-stable).
+  for (std::size_t c = my_index; c < c_count; c += k) {
+    const auto [b, e] = chunk_range(n, c_count, c);
+    if (b == e) {
+      code_stash[c].clear();
+      continue;
+    }
+    fold.write(b, std::span<float>(out).subspan(b, e - b));
+    const std::size_t enc_floats =
+        comm::encoded_chunk_floats(codec, e - b, topk_ratio);
+    Message msg;
+    msg.tag = sync_chunk_tag(collective_id, 1, c);
+    msg.payload = pool.acquire(enc_floats);
+    comm::roundtrip_folded_chunk(codec, topk_ratio,
+                                 std::span<float>(out).subspan(b, e - b),
+                                 msg.payload);
+    code_stash[c].assign(msg.payload.begin(), msg.payload.end());
+    msg.wire_bytes = priced(b, e, enc_floats * sizeof(float));
+    if (allgather_bytes != nullptr) {
+      allgather_bytes->add(enc_floats * sizeof(float));
+    }
+    if (allgather_raw_bytes != nullptr) {
+      allgather_raw_bytes->add((e - b) * sizeof(float));
+    }
+    pending.emplace_back(transport.isend(self, next, std::move(msg)), next);
+    if (beat) beat();
+  }
+
+  // ---- Phase 2 (allgather): each hop delivers encodings owned upstream;
+  // stash the payload, commit its decode, and forward it verbatim.
+  for (std::size_t h = 1; h < k; ++h) {
+    const std::size_t owner = (my_index + k - h) % k;
+    for (std::size_t c = owner; c < c_count; c += k) {
+      const auto [b, e] = chunk_range(n, c_count, c);
+      if (b == e) {
+        code_stash[c].clear();
+        continue;
+      }
+      Message in = recv_chunk_sliced(transport, self, prev,
+                                     sync_chunk_tag(collective_id, 1, c),
+                                     step_timeout_s, beat);
+      HADFL_CHECK(in.payload.size() ==
+                  comm::encoded_chunk_floats(codec, e - b, topk_ratio));
+      code_stash[c].assign(in.payload.begin(), in.payload.end());
+      comm::decode_chunk(codec, in.payload,
+                         std::span<float>(out).subspan(b, e - b));
+      if (h + 1 < k) {
+        Message fwd;
+        fwd.tag = in.tag;
+        fwd.payload = std::move(in.payload);
+        fwd.wire_bytes = priced(b, e, code_stash[c].size() * sizeof(float));
+        if (allgather_bytes != nullptr) {
+          allgather_bytes->add(code_stash[c].size() * sizeof(float));
+        }
+        if (allgather_raw_bytes != nullptr) {
+          allgather_raw_bytes->add((e - b) * sizeof(float));
         }
         pending.emplace_back(transport.isend(self, next, std::move(fwd)),
                              next);

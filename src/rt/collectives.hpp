@@ -45,12 +45,14 @@ using BeatFn = std::function<void()>;
 
 /// Default chunk count for the pipelined collective (bench/micro_rt sweep:
 /// past ~16 chunks the pipeline is saturated and per-message overhead
-/// starts to win; see EXPERIMENTS.md).
-constexpr std::size_t kDefaultSyncChunks = 16;
+/// starts to win; see EXPERIMENTS.md). Canonically defined in
+/// comm/delta_codec.hpp so the sim's codec chunk grid agrees.
+constexpr std::size_t kDefaultSyncChunks = comm::kDefaultSyncChunks;
 
 /// Chunk count actually used for an `n`-element state: `requested`, with
 /// 0 meaning kDefaultSyncChunks, clamped to [1, min(n, 4096)] so every
 /// chunk is non-empty and tags stay within the 15-bit chunk field.
+/// Forwards to comm::resolve_chunk_count (the shared sim/rt definition).
 std::size_t resolve_chunk_count(std::size_t requested, std::size_t n);
 
 /// Tag of chunk `c` in `phase` (0 = scatter to owner, 1 = allgather) of the
@@ -115,7 +117,49 @@ void ring_weighted_aggregate(Transport& transport,
                              std::size_t chunks = 0,
                              const BeatFn& beat = {},
                              obs::Counter* scatter_bytes = nullptr,
-                             obs::Counter* allgather_bytes = nullptr);
+                             obs::Counter* allgather_bytes = nullptr,
+                             obs::Counter* scatter_raw_bytes = nullptr,
+                             obs::Counter* allgather_raw_bytes = nullptr);
+
+/// The compressed variant of ring_weighted_aggregate: every member calls it
+/// with `update` = its error-compensated delta u = x - r + e against the
+/// shared round reference r (form it with comm::form_delta_update). Chunks
+/// travel codec-encoded in both phases:
+///
+///  * Phase 1 scatters each chunk's *encoding*; the owner decodes and folds
+///    the decodes in ring order. The member's own chunks round-trip through
+///    the codec locally (comm::roundtrip_chunk_staged), so every
+///    contribution folded anywhere is a decode — and the residual
+///    u - decode(u) is staged into `staged_residual` for the caller's
+///    error-feedback commit (`update`'s chunks are overwritten by their
+///    decodes in the process).
+///  * Phase 2 circulates the folded chunk's encoding; everyone (owner
+///    included) decodes that one payload, so `out` — the decoded folded
+///    delta, NOT the aggregate; the caller commits reference + out — holds
+///    identical bits on every member. The phase-2 encodings are retained in
+///    `code_stash` (one payload per chunk): re-encoding a decode is not
+///    bit-stable (the int8 scale drifts by an ulp), so the broadcast to
+///    non-ring devices re-ships these payloads verbatim.
+///
+/// The chunk grid is resolve_chunk_count(chunks, n) — the sim uses the same
+/// grid and the same comm/delta_codec.hpp chunk ops, which keeps compressed
+/// runs bit-identical across backends. `wire_bytes` prices a *dense*
+/// full-state transfer; each chunk's priced share is scaled by its codec
+/// ratio (core::effective_wire_bytes), matching the sim's volume formula.
+/// `scatter_bytes`/`allgather_bytes` count actual encoded payload bytes,
+/// the `.raw` counters the dense equivalent.
+void ring_weighted_delta_aggregate(
+    Transport& transport, const std::vector<DeviceId>& ring,
+    std::size_t my_index, std::span<float> update,
+    const std::vector<double>& weights, core::WeightedRingFold& fold,
+    std::vector<float>& out, std::span<float> staged_residual,
+    std::vector<std::vector<float>>& code_stash, std::int64_t collective_id,
+    std::size_t wire_bytes, double step_timeout_s, std::size_t chunks,
+    comm::SyncCodec codec, double topk_ratio, const BeatFn& beat = {},
+    obs::Counter* scatter_bytes = nullptr,
+    obs::Counter* allgather_bytes = nullptr,
+    obs::Counter* scatter_raw_bytes = nullptr,
+    obs::Counter* allgather_raw_bytes = nullptr);
 
 /// All-gathers the members' `local` states around the directed ring.
 /// Returns the contributions indexed in ring order (result[i] came from

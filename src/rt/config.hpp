@@ -51,12 +51,13 @@ struct RtConfig {
   double collective_timeout_s = 5.0; ///< per ring step / rendezvous wait
   double command_poll_s = 0.02;      ///< worker poll slice (= beat period)
   /// Chunk count for the pipelined ring aggregation and the chunked
-  /// broadcast; 0 = rt::kDefaultSyncChunks (clamped to the state size).
+  /// broadcast; 0 falls back to hadfl.sync_chunks (and from there to
+  /// comm::kDefaultSyncChunks, clamped to the state size). Compressed
+  /// (hadfl.compression != kNone) runs must leave this 0 so the rt and sim
+  /// backends encode on the same chunk grid — set hadfl.sync_chunks
+  /// instead; with the uncompressed codec the aggregate is chunk-count-
+  /// invariant and this knob only shapes pipelining.
   std::size_t sync_chunks = 0;
-  /// Ship broadcast chunks int8-quantized (rt/wire_format.hpp): ~4x less
-  /// broadcast wire volume, applied on the broadcast hop only — the
-  /// synchronization path and the sim/rt equivalence are unaffected.
-  bool int8_broadcast = false;
   RtRingRepairConfig repair;         ///< wall-clock §III-D repair timing
   std::vector<FaultPlan> faults;
   /// Telemetry (src/obs/): record per-device wall-clock spans

@@ -69,6 +69,22 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
 
   const std::vector<std::size_t>& ipe = setup.iters_per_epoch;
   const std::size_t wire_bytes = setup.wire_bytes;
+  // Effective chunk grid for collectives and broadcasts: the rt override
+  // when set, else the algorithm-level knob shared with the sim — which is
+  // the one compressed runs must use, so both backends encode identical
+  // chunks (rt/runner.cpp validates the combination).
+  const std::size_t eff_chunks = config.sync_chunks != 0
+                                     ? config.sync_chunks
+                                     : config.hadfl.sync_chunks;
+  const bool codec_on =
+      config.hadfl.compression != core::SyncCompression::kNone;
+
+  // Shadow of each worker's reference epoch (updated from *every* drained
+  // report — they all carry it). A sync round ships codec-encoded deltas
+  // only when every ring member's shadow agrees on a non-negative epoch;
+  // negative means the worker flagged its reference unknown after a
+  // partial delta integrate.
+  std::vector<std::int64_t> sh_ref_epoch(k, 0);
 
   std::vector<double> bandwidth_scales(k);
   std::vector<double> iter_time(k);
@@ -122,6 +138,7 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
     while (!pending.empty()) {
       std::optional<Report> r = io.poll_report(config.command_poll_s);
       if (r) {
+        if (r->device < k) sh_ref_epoch[r->device] = r->ref_epoch;
         const auto it =
             std::find(pending.begin(), pending.end(), r->device);
         if (it != pending.end() && r->kind == kind) {
@@ -348,6 +365,9 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
 
       std::vector<float> aggregate;
       double version_mean = 0.0;
+      bool delta_round = false;
+      std::int64_t commit_id = 0;
+      std::int64_t base_epoch = 0;
       for (int attempt = 0; attempt < kMaxSyncAttempts && !ring.empty();
            ++attempt) {
         const double att0 = rec != nullptr ? rec->now_s() : 0.0;
@@ -361,6 +381,15 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
         const std::int64_t cid = next_collective_id++;
         const std::vector<double> weights = core::ring_weights(
             ctx.partition, ring, config.hadfl.weight_by_samples);
+        // Delta round only when every member's shadowed reference epoch
+        // agrees (bit-identical references are the precondition for
+        // exchanging encoded deltas against them); otherwise this attempt
+        // runs the exact dense path, which realigns everyone on commit.
+        base_epoch = sh_ref_epoch[ring.front()];
+        bool delta = codec_on && base_epoch >= 0;
+        for (DeviceId member : ring) {
+          delta = delta && sh_ref_epoch[member] == base_epoch;
+        }
         auto cancel = std::make_shared<std::atomic<bool>>(false);
         std::vector<DeviceId> posted;
         for (std::size_t i = 0; i < ring.size(); ++i) {
@@ -371,7 +400,9 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
           c.collective_id = cid;
           c.weights = weights;
           c.wire_bytes = wire_bytes;
-          c.chunks = config.sync_chunks;
+          c.chunks = eff_chunks;
+          c.delta = delta;
+          c.ref_epoch = base_epoch;
           c.cancel = cancel;
           for (const FaultPlan& plan : config.faults) {
             if (plan.device == ring[i] && plan.round == round &&
@@ -403,11 +434,16 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
           version_mean = 0.0;
           for (DeviceId d : ring) version_mean += sh_version[d];
           version_mean /= static_cast<double>(ring.size());
+          delta_round = delta;
+          commit_id = cid;
           std::vector<DeviceId> committed;
           for (DeviceId d : ring) {
             Command c;
             c.kind = CmdKind::kCommit;
             c.version_mean = version_mean;
+            c.collective_id = cid;
+            c.delta = delta;
+            c.ref_epoch = base_epoch;
             if (post(d, std::move(c))) committed.push_back(d);
           }
           const auto creps = collect(committed, ReportKind::kCommitDone,
@@ -455,44 +491,58 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
         if (!others.empty()) {
           const DeviceId src = ring[static_cast<std::size_t>(rng.uniform_int(
               0, static_cast<std::int64_t>(ring.size()) - 1))];
-          std::vector<DeviceId> receivers;
+          // Receivers whose shadowed reference epoch matches the committed
+          // round's base get the stashed delta encodings (codec-priced);
+          // everyone else — stale or flagged unknown — gets the exact
+          // dense aggregate, which realigns them. The sync's collective id
+          // doubles as the push tag and the receivers' new epoch, so every
+          // delivered device lands on the same epoch as the ring members.
+          std::vector<DeviceId> aligned;
+          std::vector<DeviceId> stale;
           for (DeviceId id : others) {
-            if (live[id]) receivers.push_back(id);
-          }
-          // Price the pushes with a representative live receiver's codec
-          // reconstruction, like the simulator's probe.
-          const std::size_t codec_bytes =
-              oracle.broadcast_codec_bytes(aggregate, receivers);
-          const std::size_t eff = core::effective_wire_bytes(
-              wire_bytes, codec_bytes, aggregate.size() * sizeof(float));
-          const std::int64_t bc_id = next_collective_id++;
-          // End-to-end non-blocking (§III-D): the coordinator posts the
-          // push and the integrations and moves straight on — nobody
-          // collects these reports (collect() drops them as stale later).
-          // The per-worker command FIFO is the only ordering needed: the
-          // broadcaster trains its next round while the chunks drain, and
-          // each receiver integrates chunk-by-chunk before its next kTrain.
-          // sh_version self-heals because kTrainDone carries the absolute
-          // version.
-          Command c;
-          c.kind = CmdKind::kBroadcast;
-          c.peers = receivers;
-          c.collective_id = bc_id;
-          c.wire_bytes = eff;
-          c.chunks = config.sync_chunks;
-          c.int8 = config.int8_broadcast;
-          if (post(src, std::move(c))) {
-            for (DeviceId id : receivers) {
-              Command c2;
-              c2.kind = CmdKind::kIntegrate;
-              c2.peer = src;
-              c2.collective_id = bc_id;
-              c2.version_mean = version_mean;
-              c2.chunks = config.sync_chunks;
-              c2.int8 = config.int8_broadcast;
-              post(id, std::move(c2));
+            if (!live[id]) continue;
+            if (delta_round && sh_ref_epoch[id] == base_epoch) {
+              aligned.push_back(id);
+            } else {
+              stale.push_back(id);
             }
           }
+          // End-to-end non-blocking (§III-D): the coordinator posts the
+          // push and the integrations and moves straight on — nobody
+          // collects these reports (collect() drops them as stale later,
+          // which is also what keeps sh_ref_epoch fresh). The per-worker
+          // command FIFO is the only ordering needed: the broadcaster
+          // trains its next round while the chunks drain, and each
+          // receiver integrates chunk-by-chunk before its next kTrain.
+          // sh_version self-heals because kTrainDone carries the absolute
+          // version.
+          const auto push_to = [&](const std::vector<DeviceId>& targets,
+                                   bool as_delta) {
+            if (targets.empty()) return;
+            Command c;
+            c.kind = CmdKind::kBroadcast;
+            c.peers = targets;
+            c.collective_id = commit_id;
+            c.wire_bytes = wire_bytes;
+            c.chunks = eff_chunks;
+            c.delta = as_delta;
+            c.ref_epoch = base_epoch;
+            if (post(src, std::move(c))) {
+              for (DeviceId id : targets) {
+                Command c2;
+                c2.kind = CmdKind::kIntegrate;
+                c2.peer = src;
+                c2.collective_id = commit_id;
+                c2.version_mean = version_mean;
+                c2.chunks = eff_chunks;
+                c2.delta = as_delta;
+                c2.ref_epoch = base_epoch;
+                post(id, std::move(c2));
+              }
+            }
+          };
+          push_to(aligned, /*as_delta=*/true);
+          push_to(stale, /*as_delta=*/false);
         }
         if (eval_state.empty()) {
           eval_state = std::move(aggregate);
@@ -536,7 +586,7 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
           c.my_index = i;
           c.collective_id = cid;
           c.wire_bytes = wire_bytes;
-          c.chunks = config.sync_chunks;
+          c.chunks = eff_chunks;
           c.cancel = cancel;
           if (post(leaders[i], std::move(c))) posted.push_back(leaders[i]);
         }
@@ -566,14 +616,14 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
             c.peers = members;
             c.collective_id = push_id;
             c.wire_bytes = wire_bytes;
-            c.chunks = config.sync_chunks;
+            c.chunks = eff_chunks;
             if (post(leaders[g], std::move(c))) {
               for (DeviceId id : members) {
                 Command c2;
                 c2.kind = CmdKind::kInterMix;
                 c2.peer = leaders[g];
                 c2.collective_id = push_id;
-                c2.chunks = config.sync_chunks;
+                c2.chunks = eff_chunks;
                 post(id, std::move(c2));
               }
             }

@@ -52,11 +52,12 @@ class CoordinatorIo {
 };
 
 /// Reads of device-side state the coordinator needs but does not own: the
-/// evaluation-time mean of idle devices' models, and the broadcast codec
-/// price probe. Inproc reads the worker DeviceStates directly (safe only
-/// for devices known idle-and-live — the report mailbox is the
-/// happens-before edge); the socket backend asks the processes (kGetState)
-/// or prices dense.
+/// evaluation-time mean of idle devices' models. Inproc reads the worker
+/// DeviceStates directly (safe only for devices known idle-and-live — the
+/// report mailbox is the happens-before edge); the socket backend asks the
+/// processes (kGetState). Broadcast pricing needs no probe anymore: the
+/// codec's encoded size is data-independent (comm/delta_codec.hpp), so the
+/// workers price each push chunk from the formula.
 class DeviceOracle {
  public:
   virtual ~DeviceOracle() = default;
@@ -64,14 +65,6 @@ class DeviceOracle {
   /// Mean of the named devices' current model states (ids order, weight
   /// 1/n — core::mean_state_of). `ids` is non-empty and live.
   virtual std::vector<float> mean_state(const std::vector<DeviceId>& ids) = 0;
-
-  /// Wire price of one broadcast push of `aggregate`: the configured sync
-  /// codec's size reconstructed against a representative receiver's
-  /// reference (the simulator's probe), or the dense size when no receiver
-  /// is reachable / no codec state is addressable.
-  virtual std::size_t broadcast_codec_bytes(
-      const std::vector<float>& aggregate,
-      const std::vector<DeviceId>& receivers) = 0;
 };
 
 /// Optional coordinator-side instruments (null = dark). The span recorder

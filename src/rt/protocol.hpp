@@ -52,7 +52,16 @@ struct Command {
   std::size_t wire_bytes = 0;      ///< per-exchange wire price
   DeviceId peer = 0;               ///< kIntegrate/kInterMix: push source
   std::size_t chunks = 0;          ///< collective/broadcast chunking
-  bool int8 = false;               ///< kBroadcast/kIntegrate wire format
+  /// kSync/kCommit/kBroadcast/kIntegrate: this round ships codec-encoded
+  /// deltas against the shared reference (comm/delta_codec.hpp). The
+  /// coordinator only sets it when every participant's reference epoch
+  /// matches `ref_epoch`; a raw round (delta=false) is the exact dense
+  /// path, bit-identical to the pre-codec runtime.
+  bool delta = false;
+  /// The reference epoch the delta round builds on (participants' shadows
+  /// all equal this); receivers guard against integrating a delta onto the
+  /// wrong reference after coordinator/worker races.
+  std::int64_t ref_epoch = 0;
   /// kSync/kInterSync abort propagation: the coordinator raises this shared
   /// flag the moment the attempt is known doomed (first failed report or
   /// fenced member), so members blocked on a chunk from an already-aborted
@@ -94,6 +103,10 @@ struct Report {
   std::size_t sent_bytes = 0;
   std::size_t received_bytes = 0;
   BufferPool::Stats pool;
+  /// Which sync produced the device's current delta reference (set on every
+  /// report) — the coordinator's shadow of this decides delta vs raw rounds
+  /// and partitions broadcast receivers into aligned/stale groups.
+  std::int64_t ref_epoch = 0;
 };
 
 }  // namespace hadfl::rt

@@ -67,32 +67,15 @@ class InprocCoordinatorIo final : public CoordinatorIo {
 /// happens-before edge (see runner.hpp).
 class InprocDeviceOracle final : public DeviceOracle {
  public:
-  InprocDeviceOracle(std::vector<core::DeviceState>& devices,
-                     const RtConfig& config)
-      : devices_(devices), config_(config) {}
+  explicit InprocDeviceOracle(std::vector<core::DeviceState>& devices)
+      : devices_(devices) {}
 
   std::vector<float> mean_state(const std::vector<DeviceId>& ids) override {
     return core::mean_state_of(devices_, ids);
   }
 
-  std::size_t broadcast_codec_bytes(
-      const std::vector<float>& aggregate,
-      const std::vector<DeviceId>& receivers) override {
-    std::size_t codec_bytes = aggregate.size() * sizeof(float);
-    for (DeviceId id : receivers) {
-      // Price against the first receiver's codec reconstruction, like the
-      // simulator's probe (codec sizes are deterministic).
-      std::vector<float> probe = aggregate;
-      codec_bytes = core::compress_roundtrip(
-          probe, devices_[id].last_sync_state, config_.hadfl);
-      break;
-    }
-    return codec_bytes;
-  }
-
  private:
   std::vector<core::DeviceState>& devices_;
-  const RtConfig& config_;
 };
 
 }  // namespace
@@ -100,6 +83,13 @@ class InprocDeviceOracle final : public DeviceOracle {
 RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
   HADFL_CHECK_ARG(ctx.partition.size() == ctx.cluster.size(),
                   "partition count != device count");
+  HADFL_CHECK_ARG(
+      config.hadfl.compression == core::SyncCompression::kNone ||
+          config.sync_chunks == 0 ||
+          config.sync_chunks == config.hadfl.sync_chunks,
+      "compressed runs must take their chunk grid from hadfl.sync_chunks "
+      "(leave RtConfig::sync_chunks at 0) so the rt and sim backends encode "
+      "identical chunks");
   sim::Cluster& cluster = ctx.cluster;
   const std::size_t k = cluster.size();
 
@@ -148,6 +138,12 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
         &metrics_registry->counter("sync.allgather_bytes");
     worker_telemetry.broadcast_bytes =
         &metrics_registry->counter("broadcast.bytes");
+    worker_telemetry.scatter_raw_bytes =
+        &metrics_registry->counter("sync.scatter_raw_bytes");
+    worker_telemetry.allgather_raw_bytes =
+        &metrics_registry->counter("sync.allgather_raw_bytes");
+    worker_telemetry.broadcast_raw_bytes =
+        &metrics_registry->counter("broadcast.raw_bytes");
     coord_telemetry.rec = span_recorder.get();
     coord_telemetry.sync_latency = &metrics_registry->histogram(
         "sync.latency_s", obs::exponential_bounds(1e-4, 2.0, 18));
@@ -192,7 +188,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
 
   // ---- Shared coordinator over the in-process channels.
   InprocCoordinatorIo io(inboxes, reports);
-  InprocDeviceOracle oracle(setup.devices, config);
+  InprocDeviceOracle oracle(setup.devices);
   CoordinatorEnv env;
   env.transport = &transport;
   env.detector = &detector;

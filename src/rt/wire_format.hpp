@@ -1,5 +1,7 @@
-// Wire formats for the rt runtime: the int8 broadcast-chunk codec (below)
-// and the length-prefixed frame layer the socket backend (src/net/) speaks.
+// Wire formats for the rt runtime: the length-prefixed frame layer the
+// socket backend (src/net/) speaks. (The sync/broadcast chunk codecs —
+// int8 quantization and top-k sparsification of deltas — live in
+// comm/delta_codec.hpp; payloads here are opaque float vectors.)
 //
 // ---- Frame layer -----------------------------------------------------
 //
@@ -33,22 +35,6 @@
 //   kBeat            — empty (FailureDetector heartbeat)
 //   kCancel          — i64 collective id (abort propagation)
 //   kControl         — u8 subtype + net/codec.hpp payload (Command/Report)
-//
-// ---- int8 broadcast chunks -------------------------------------------
-//
-// The rt transport ships std::vector<float> payloads, so the int8 codec
-// (comm/compression.hpp) is packed into float slots for the wire:
-//
-//   payload[0]      — the reconstruction scale (dequantized = value*scale)
-//   payload[1 ...]  — the int8 values, 4 per float slot, byte-packed
-//
-// This is the broadcast-hop analogue of the simulator's codec round-trip:
-// when RtConfig::int8_broadcast is set, each broadcast chunk travels
-// quantized (≈4x smaller on the wire) and the receiver dequantizes on
-// arrival — replacing the hadfl-codec reconstruction on that hop only, so
-// the synchronization path and the sim/rt equivalence pin are untouched.
-// Per-chunk scales bound the elementwise error per chunk, slightly tighter
-// than one whole-state scale.
 #pragma once
 
 #include <cstdint>
@@ -56,7 +42,6 @@
 #include <span>
 #include <vector>
 
-#include "comm/compression.hpp"
 #include "common/error.hpp"
 #include "rt/buffer_pool.hpp"
 #include "rt/transport.hpp"
@@ -86,7 +71,9 @@ constexpr std::size_t kFrameHeaderBytes = 12;
 constexpr std::size_t kMaxFrameBody = std::size_t{1} << 28;
 constexpr std::uint8_t kFrameFlagWantAck = 0x01;  ///< kData: rendezvous send
 constexpr std::uint32_t kHelloMagic = 0x4844464Cu;  // "HDFL"
-constexpr std::uint16_t kWireVersion = 1;
+// v2: Command carries {delta, ref_epoch} instead of the removed int8
+// flag; Report carries ref_epoch. Mixed-version runs fail the handshake.
+constexpr std::uint16_t kWireVersion = 2;
 
 struct FrameHeader {
   std::uint32_t body_len = 0;
@@ -199,48 +186,5 @@ void append_seq_frame(std::vector<std::uint8_t>& out, FrameType type,
 
 /// False on a truncated body.
 bool decode_seq_body(std::span<const std::uint8_t> body, std::uint64_t& seq);
-
-// ---------------------------------------------------------------------
-// int8 broadcast chunks
-// ---------------------------------------------------------------------
-
-/// Float slots an int8-encoded chunk of `n` values occupies on the wire.
-constexpr std::size_t int8_payload_floats(std::size_t n) {
-  return 1 + (n + sizeof(float) - 1) / sizeof(float);
-}
-
-/// Wire bytes the int8 codec charges for an `n`-value chunk (the
-/// QuantizedState convention: one byte per value + the scale).
-constexpr std::size_t int8_chunk_wire_bytes(std::size_t n) {
-  return n + sizeof(float);
-}
-
-/// Quantizes `chunk` and packs it into a pooled payload buffer.
-inline std::vector<float> encode_int8_chunk(BufferPool& pool,
-                                            std::span<const float> chunk) {
-  const comm::QuantizedState q = comm::quantize_int8(chunk);
-  std::vector<float> payload = pool.acquire(int8_payload_floats(chunk.size()));
-  payload[0] = q.scale;
-  if (!q.values.empty()) {
-    std::memcpy(payload.data() + 1, q.values.data(), q.values.size());
-  }
-  return payload;
-}
-
-/// Unpacks and dequantizes a payload produced by encode_int8_chunk into
-/// `dst` (sized to the chunk's element count).
-inline void decode_int8_chunk(std::span<const float> payload,
-                              std::span<float> dst) {
-  HADFL_CHECK_ARG(payload.size() == int8_payload_floats(dst.size()),
-                  "int8 chunk payload size " << payload.size()
-                                             << " != expected "
-                                             << int8_payload_floats(dst.size()));
-  const float scale = payload[0];
-  const auto* packed =
-      reinterpret_cast<const std::int8_t*>(payload.data() + 1);
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = static_cast<float>(packed[i]) * scale;
-  }
-}
 
 }  // namespace hadfl::rt

@@ -12,7 +12,6 @@
 #include "fl/local_trainer.hpp"
 #include "nn/param_utils.hpp"
 #include "rt/collectives.hpp"
-#include "rt/wire_format.hpp"
 
 namespace hadfl::rt {
 
@@ -48,10 +47,14 @@ bool run_device_worker(WorkerEnv& env) {
   // Sync-path working set, persistent across rounds: the codec scratch
   // (dev.scratch), the double-precision folds, the staged aggregate and
   // the broadcast staging buffer all keep their capacity, so steady-state
-  // synchronization does not allocate on this thread.
+  // synchronization does not allocate on this thread. On delta rounds
+  // `pending_aggregate` stages the decoded folded delta (not the full
+  // state) and `code_stash` retains the phase-2 encodings for the
+  // broadcast re-ship (re-encoding is not bit-stable; collectives.hpp).
   std::vector<float> pending_aggregate;
   core::WeightedRingFold sync_fold;
   std::vector<float> bc_stage;
+  std::vector<std::vector<float>> code_stash;
   nn::StateAccumulator inter_acc;
 
   const auto throttled_sleep = [&](double seconds) {
@@ -71,6 +74,9 @@ bool run_device_worker(WorkerEnv& env) {
   };
   const auto report = [&](Report r) {
     r.device = d;
+    // Every report carries the device's reference epoch — the
+    // coordinator's shadow of it decides delta vs raw rounds.
+    r.ref_epoch = dev.ref_epoch;
     io.send_report(std::move(r));
   };
 
@@ -210,23 +216,52 @@ bool run_device_worker(WorkerEnv& env) {
         try {
           const auto view = nn::state_view(*dev.model);
           dev.scratch.assign(view.begin(), view.end());
-          const std::size_t dense = dev.scratch.size() * sizeof(float);
-          const std::size_t codec = core::compress_roundtrip(
-              dev.scratch, dev.last_sync_state, config.hadfl);
-          const std::size_t eff =
-              core::effective_wire_bytes(cmd->wire_bytes, codec, dense);
-          // Chunk-pipelined weighted scatter-fold + allgather: the shared
-          // WeightedRingFold makes the aggregate bitwise identical
-          // ring-wide and to the simulator's (ring-order double-precision
-          // accumulation per segment, then one cast).
-          ring_weighted_aggregate(transport, cmd->peers, cmd->my_index,
-                                  dev.scratch, cmd->weights, sync_fold,
-                                  pending_aggregate, cmd->collective_id,
-                                  eff, config.collective_timeout_s,
-                                  cmd->chunks, sync_beat,
-                                  env.telemetry.scatter_bytes,
-                                  env.telemetry.allgather_bytes);
-          if (cmd->my_index == 0) r.aggregate = pending_aggregate;
+          if (cmd->delta) {
+            // Compressed round: ship the error-compensated delta against
+            // the shared reference; the collective stages the residual and
+            // leaves the decoded folded delta in pending_aggregate.
+            const std::size_t n = dev.scratch.size();
+            HADFL_CHECK(dev.last_sync_state.size() == n);
+            dev.error_feedback.ensure(n);
+            comm::form_delta_update(dev.scratch, dev.last_sync_state,
+                                    dev.error_feedback.residual);
+            ring_weighted_delta_aggregate(
+                transport, cmd->peers, cmd->my_index, dev.scratch,
+                cmd->weights, sync_fold, pending_aggregate,
+                dev.error_feedback.staged, code_stash, cmd->collective_id,
+                cmd->wire_bytes, config.collective_timeout_s, cmd->chunks,
+                config.hadfl.compression, config.hadfl.top_k_ratio,
+                sync_beat, env.telemetry.scatter_bytes,
+                env.telemetry.allgather_bytes,
+                env.telemetry.scatter_raw_bytes,
+                env.telemetry.allgather_raw_bytes);
+            if (cmd->my_index == 0) {
+              // The coordinator evaluates on the full aggregate, not the
+              // delta: reconstruct a = r + delta (every aligned member
+              // holds bit-identical r, so this matches the commit).
+              r.aggregate.resize(n);
+              for (std::size_t i = 0; i < n; ++i) {
+                r.aggregate[i] =
+                    dev.last_sync_state[i] + pending_aggregate[i];
+              }
+            }
+          } else {
+            // Chunk-pipelined weighted scatter-fold + allgather: the
+            // shared WeightedRingFold makes the aggregate bitwise
+            // identical ring-wide and to the simulator's (ring-order
+            // double-precision accumulation per segment, then one cast).
+            ring_weighted_aggregate(transport, cmd->peers, cmd->my_index,
+                                    dev.scratch, cmd->weights, sync_fold,
+                                    pending_aggregate, cmd->collective_id,
+                                    cmd->wire_bytes,
+                                    config.collective_timeout_s,
+                                    cmd->chunks, sync_beat,
+                                    env.telemetry.scatter_bytes,
+                                    env.telemetry.allgather_bytes,
+                                    env.telemetry.scatter_raw_bytes,
+                                    env.telemetry.allgather_raw_bytes);
+            if (cmd->my_index == 0) r.aggregate = pending_aggregate;
+          }
         } catch (const CommError& e) {
           HADFL_DEBUG("dev" << d << " sync failed: " << e.what());
           pending_aggregate.clear();
@@ -246,12 +281,31 @@ bool run_device_worker(WorkerEnv& env) {
         break;
       }
       case CmdKind::kCommit: {
+        if (cmd->delta) {
+          // pending_aggregate holds the decoded folded delta: commit
+          // a = r + delta. Every aligned member adds onto bit-identical r,
+          // so the committed state is ring-wide identical — and the staged
+          // error-feedback residual becomes live only now (an aborted
+          // attempt never reaches this point).
+          HADFL_CHECK(pending_aggregate.size() ==
+                      dev.last_sync_state.size());
+          for (std::size_t i = 0; i < pending_aggregate.size(); ++i) {
+            pending_aggregate[i] =
+                dev.last_sync_state[i] + pending_aggregate[i];
+          }
+          dev.error_feedback.commit();
+        } else {
+          // A raw round transmitted the exact states — no compression
+          // error to carry forward.
+          dev.error_feedback.clear();
+        }
         nn::load_state(*dev.model, pending_aggregate);
         dev.version = cmd->version_mean;
         // Swap instead of move-assign: the displaced last_sync_state
         // capacity becomes next round's pending_aggregate buffer.
         std::swap(dev.last_sync_state, pending_aggregate);
         pending_aggregate.clear();
+        dev.ref_epoch = cmd->collective_id;
         Report r;
         r.kind = ReportKind::kCommitDone;
         r.version = dev.version;
@@ -260,6 +314,7 @@ bool run_device_worker(WorkerEnv& env) {
       }
       case CmdKind::kAbort: {
         pending_aggregate.clear();
+        code_stash.clear();
         transport.purge_stale(d, cmd->collective_id);
         Report r;
         r.kind = ReportKind::kAck;
@@ -276,31 +331,45 @@ bool run_device_worker(WorkerEnv& env) {
         r.kind = ReportKind::kBroadcastDone;
         const std::size_t n = dev.last_sync_state.size();
         const std::size_t chunks = resolve_chunk_count(cmd->chunks, n);
+        if (cmd->delta) HADFL_CHECK(code_stash.size() == chunks);
         for (DeviceId target : cmd->peers) {
           try {
             for (std::size_t c = 0; c < chunks; ++c) {
               const auto [b, e] = chunk_range(n, chunks, c);
-              const std::span<const float> chunk(
-                  dev.last_sync_state.data() + b, e - b);
               Message msg;
               msg.tag = broadcast_chunk_tag(cmd->collective_id, c);
               std::size_t share = chunk_wire_bytes(cmd->wire_bytes, n, b, e);
-              if (cmd->int8) {
-                msg.payload = encode_int8_chunk(transport.pool(), chunk);
-                // Same ratio arithmetic as the sim's codec pricing,
-                // applied per chunk.
-                share = core::effective_wire_bytes(
-                    share, int8_chunk_wire_bytes(e - b),
-                    (e - b) * sizeof(float));
+              if (cmd->delta) {
+                // Re-ship the phase-2 encoding verbatim: decoding is a
+                // pure function of the payload bytes, so every aligned
+                // receiver reconstructs the committed delta bit-exactly
+                // (re-encoding it here would drift by an ulp).
+                msg.payload = transport.pool().acquire(code_stash[c].size());
+                std::copy(code_stash[c].begin(), code_stash[c].end(),
+                          msg.payload.begin());
+                if (share != 0) {
+                  // Same ratio arithmetic as the sim's codec pricing,
+                  // applied per chunk.
+                  share = core::effective_wire_bytes(
+                      share, code_stash[c].size() * sizeof(float),
+                      (e - b) * sizeof(float));
+                }
               } else {
                 msg.payload = transport.pool().acquire(e - b);
-                std::copy(chunk.begin(), chunk.end(), msg.payload.begin());
+                std::copy(dev.last_sync_state.begin() +
+                              static_cast<std::ptrdiff_t>(b),
+                          dev.last_sync_state.begin() +
+                              static_cast<std::ptrdiff_t>(e),
+                          msg.payload.begin());
               }
               msg.wire_bytes = share;
               if (env.telemetry.broadcast_bytes != nullptr) {
-                env.telemetry.broadcast_bytes->add(
-                    share != 0 ? share
-                               : msg.payload.size() * sizeof(float));
+                env.telemetry.broadcast_bytes->add(msg.payload.size() *
+                                                   sizeof(float));
+              }
+              if (env.telemetry.broadcast_raw_bytes != nullptr) {
+                env.telemetry.broadcast_raw_bytes->add((e - b) *
+                                                       sizeof(float));
               }
               transport.send_nonblocking(d, target, std::move(msg));
               io.beat();
@@ -325,55 +394,106 @@ bool run_device_worker(WorkerEnv& env) {
         r.kind = ReportKind::kIntegrateDone;
         const std::size_t n = nn::state_size(*dev.model);
         const std::size_t chunks = resolve_chunk_count(cmd->chunks, n);
-        // With no sync codec the convex mix is elementwise, so each chunk
-        // can be folded into the model the moment it lands (bitwise equal
-        // to the whole-state mix) — receive/compute overlap on the
-        // integration side. A configured codec needs the whole state
-        // (whole-state scale / top-k reference), so integration then
-        // assembles first and defers to the shared sim path.
-        const bool chunkwise_mix =
-            config.hadfl.compression == core::SyncCompression::kNone;
-        bc_stage.resize(n);
-        try {
-          for (std::size_t c = 0; c < chunks; ++c) {
-            const auto [b, e] = chunk_range(n, chunks, c);
-            Message msg = recv_chunk_sliced(
-                transport, d, cmd->peer,
-                broadcast_chunk_tag(cmd->collective_id, c),
-                config.collective_timeout_s, [&] { io.beat(); });
-            const std::span<float> stage(bc_stage.data() + b, e - b);
-            if (cmd->int8) {
-              decode_int8_chunk(msg.payload, stage);
-            } else {
+        const double mix_w = config.hadfl.broadcast_mix_weight;
+        if (cmd->delta && dev.ref_epoch != cmd->ref_epoch) {
+          // The coordinator's shadow raced this device's reference epoch:
+          // integrating a delta onto the wrong reference would corrupt it.
+          // Drain and discard the chunks; the next raw round realigns.
+          try {
+            for (std::size_t c = 0; c < chunks; ++c) {
+              Message msg = recv_chunk_sliced(
+                  transport, d, cmd->peer,
+                  broadcast_chunk_tag(cmd->collective_id, c),
+                  config.collective_timeout_s, [&] { io.beat(); });
+              transport.pool().release(std::move(msg.payload));
+              io.beat();
+            }
+          } catch (const CommError&) {
+          }
+          r.ok = false;
+        } else if (cmd->delta) {
+          // Aligned receiver: decode each stashed encoding, advance the
+          // reference chunk to the committed aggregate (r += delta — the
+          // same bits every ring member committed, since r is shared and
+          // the decode is payload-pure), then mix the model toward it.
+          bc_stage.resize(n);
+          bool complete = true;
+          try {
+            for (std::size_t c = 0; c < chunks; ++c) {
+              const auto [b, e] = chunk_range(n, chunks, c);
+              Message msg = recv_chunk_sliced(
+                  transport, d, cmd->peer,
+                  broadcast_chunk_tag(cmd->collective_id, c),
+                  config.collective_timeout_s, [&] { io.beat(); });
+              const std::span<float> stage(bc_stage.data() + b, e - b);
+              HADFL_CHECK(msg.payload.size() ==
+                          comm::encoded_chunk_floats(
+                              config.hadfl.compression, e - b,
+                              config.hadfl.top_k_ratio));
+              comm::decode_chunk(config.hadfl.compression, msg.payload,
+                                 stage);
+              transport.pool().release(std::move(msg.payload));
+              const std::span<float> ref(dev.last_sync_state.data() + b,
+                                         e - b);
+              for (std::size_t i = 0; i < stage.size(); ++i) {
+                ref[i] += stage[i];
+              }
+              mix_spans(nn::state_view(*dev.model).subspan(b, e - b), ref,
+                        mix_w);
+              io.beat();
+            }
+          } catch (const CommError&) {
+            // Source died mid-broadcast: the reference is partially
+            // advanced, so its bits no longer match its epoch's. Mark it
+            // unknown — the coordinator never builds a delta round on a
+            // negative epoch, and the next raw exchange restores it.
+            complete = false;
+            dev.ref_epoch = -1;
+            r.ok = false;
+          }
+          if (complete) {
+            dev.version = (1.0 - mix_w) * dev.version +
+                          mix_w * cmd->version_mean;
+            dev.ref_epoch = cmd->collective_id;
+            r.version = dev.version;
+          }
+        } else {
+          // Raw broadcast: the exact aggregate travels densely, and the
+          // convex mix is elementwise, so each chunk folds into the model
+          // the moment it lands (bitwise equal to the whole-state mix) —
+          // receive/compute overlap on the integration side.
+          bc_stage.resize(n);
+          try {
+            for (std::size_t c = 0; c < chunks; ++c) {
+              const auto [b, e] = chunk_range(n, chunks, c);
+              Message msg = recv_chunk_sliced(
+                  transport, d, cmd->peer,
+                  broadcast_chunk_tag(cmd->collective_id, c),
+                  config.collective_timeout_s, [&] { io.beat(); });
+              const std::span<float> stage(bc_stage.data() + b, e - b);
               HADFL_CHECK(msg.payload.size() == e - b);
               std::copy(msg.payload.begin(), msg.payload.end(),
                         stage.begin());
-            }
-            transport.pool().release(std::move(msg.payload));
-            if (chunkwise_mix) {
+              transport.pool().release(std::move(msg.payload));
               mix_spans(nn::state_view(*dev.model).subspan(b, e - b),
-                        stage, config.hadfl.broadcast_mix_weight);
+                        stage, mix_w);
+              io.beat();
             }
-            io.beat();
-          }
-          if (chunkwise_mix) {
-            // Same bookkeeping as core::integrate_broadcast: the staged
-            // aggregate becomes the new top-k reference (swap keeps the
-            // displaced capacity), the version takes the convex mix.
+            // The staged aggregate becomes the new delta reference (swap
+            // keeps the displaced capacity), the version takes the convex
+            // mix, and the device joins the broadcast's epoch — a raw
+            // push realigns even a receiver whose reference went stale.
             std::swap(dev.last_sync_state, bc_stage);
-            dev.version =
-                (1.0 - config.hadfl.broadcast_mix_weight) * dev.version +
-                config.hadfl.broadcast_mix_weight * cmd->version_mean;
-          } else {
-            core::integrate_broadcast(dev, bc_stage, cmd->version_mean,
-                                      config.hadfl);
+            dev.version = (1.0 - mix_w) * dev.version +
+                          mix_w * cmd->version_mean;
+            dev.ref_epoch = cmd->collective_id;
+            r.version = dev.version;
+          } catch (const CommError&) {
+            // Source died mid-broadcast: give up on the rest. Chunks mixed
+            // so far stay — each is a valid elementwise convex step; the
+            // version/reference updates are withheld.
+            r.ok = false;
           }
-          r.version = dev.version;
-        } catch (const CommError&) {
-          // Source died mid-broadcast: give up on the rest. Chunks mixed
-          // so far stay — each is a valid elementwise convex step; the
-          // version/reference updates are withheld.
-          r.ok = false;
         }
         if (rec != nullptr) {
           rec->record(d, ts0, rec->now_s(),
@@ -460,9 +580,11 @@ bool run_device_worker(WorkerEnv& env) {
                         msg.payload.begin());
               msg.wire_bytes = chunk_wire_bytes(cmd->wire_bytes, n, b, e);
               if (env.telemetry.broadcast_bytes != nullptr) {
-                env.telemetry.broadcast_bytes->add(
-                    msg.wire_bytes != 0 ? msg.wire_bytes
-                                        : (e - b) * sizeof(float));
+                env.telemetry.broadcast_bytes->add((e - b) * sizeof(float));
+              }
+              if (env.telemetry.broadcast_raw_bytes != nullptr) {
+                env.telemetry.broadcast_raw_bytes->add((e - b) *
+                                                       sizeof(float));
               }
               transport.send_nonblocking(d, target, std::move(msg));
               io.beat();

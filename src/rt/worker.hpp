@@ -45,9 +45,15 @@ class WorkerIo {
 /// the span recorder track is the worker's device id.
 struct WorkerTelemetry {
   obs::SpanRecorder* rec = nullptr;
+  /// Per-phase traffic, in *actual* payload bytes (codec-encoded sizes on
+  /// compressed rounds); the `_raw` twins count the dense equivalent, so
+  /// raw/actual is the realized compression ratio per phase.
   obs::Counter* scatter_bytes = nullptr;
   obs::Counter* allgather_bytes = nullptr;
   obs::Counter* broadcast_bytes = nullptr;
+  obs::Counter* scatter_raw_bytes = nullptr;
+  obs::Counter* allgather_raw_bytes = nullptr;
+  obs::Counter* broadcast_raw_bytes = nullptr;
 };
 
 /// Everything one device worker needs. All pointers are non-owning and must

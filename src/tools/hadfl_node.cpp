@@ -32,7 +32,7 @@ const std::vector<std::string> kKnownOptions{
     // scenario flags (exp/cli_setup.hpp forwards exactly these)
     "model", "ratio", "epochs", "scale", "seed", "np", "tsync", "policy",
     "mix", "group-size", "partition", "network", "jitter", "throttle",
-    "sync-chunks", "wallclock", "int8-broadcast",
+    "sync-chunks", "sync-codec", "topk-ratio", "wallclock", "int8-broadcast",
     // endpoint wiring
     "node-id", "run-nonce", "transport", "listen-fd", "tcp-ports",
     "socket-dir", "connect-timeout", "verbose"};
@@ -60,6 +60,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (args.has("verbose")) set_log_level(LogLevel::kInfo);
+    const std::string codec_error = exp::sync_codec_flag_error(
+        exp::sync_codec_arg(args), args.get_double("topk-ratio", 0.05));
+    if (!codec_error.empty()) {
+      std::cerr << "hadfl_node: " << codec_error << "\n";
+      return 2;
+    }
     if (!args.has("node-id") || !args.has("run-nonce")) {
       std::cerr << "hadfl_node: --node-id and --run-nonce are required "
                    "(this binary is launched by hadfl_run --backend=net)\n";

@@ -21,8 +21,11 @@
 //   --throttle=<float>      rt/net: wall s per virtual compute s [0]
 //   --wallclock             rt/net: measure epoch times on the real clock
 //   --die=<dev:round:step>  rt/net: inject a device death mid-round
-//   --sync-chunks=<int>     rt/net: pipelined-sync chunk count [0 = default]
-//   --int8-broadcast        rt/net: ship broadcast chunks int8-quantized
+//   --sync-chunks=<int>     pipelined-sync chunk count [0 = default]
+//   --sync-codec=none|int8|topk   compress sync/broadcast deltas with
+//                           error feedback (all backends)  [none]
+//   --topk-ratio=<float>    topk: fraction of entries kept [0.05]
+//   --int8-broadcast        alias for --sync-codec=int8
 //   --model=mlp|resnet18|vgg16                         [mlp]
 //   --ratio=<comma powers>                             [3,3,1,1]
 //   --epochs=<int>          total training epochs      [16]
@@ -80,7 +83,8 @@ const std::vector<std::string> kKnownOptions{
     "np",     "tsync", "policy", "mix",        "group-size",
     "partition", "network", "jitter", "csv",   "verbose", "help",
     "backend", "transport", "node-binary", "time-scale", "throttle",
-    "wallclock", "die", "sync-chunks", "int8-broadcast", "trace-out",
+    "wallclock", "die", "sync-chunks", "sync-codec", "topk-ratio",
+    "int8-broadcast", "trace-out",
     "metrics-out", "fleet", "fleet-devices", "fleet-cohort",
     "fleet-rounds", "fleet-churn"};
 
@@ -96,7 +100,8 @@ void print_usage() {
       "                 [--backend=sim|rt|net] [--transport=tcp|uds]\n"
       "                 [--node-binary=PATH] [--time-scale=S]\n"
       "                 [--throttle=S] [--wallclock] [--die=DEV:ROUND:STEP]\n"
-      "                 [--sync-chunks=C] [--int8-broadcast]\n"
+      "                 [--sync-chunks=C] [--sync-codec=none|int8|topk]\n"
+      "                 [--topk-ratio=R] [--int8-broadcast]\n"
       "                 [--fleet] [--fleet-devices=K] [--fleet-cohort=N]\n"
       "                 [--fleet-rounds=R] [--fleet-churn=F]\n"
       "                 [--trace-out=PATH] [--metrics-out=PATH] [--verbose]\n";
@@ -258,6 +263,12 @@ int main(int argc, char** argv) {
         scheme, backend, args.has("transport"), transport);
     if (!flag_error.empty()) {
       std::cerr << flag_error << "\n";
+      return 2;
+    }
+    const std::string codec_error = exp::sync_codec_flag_error(
+        exp::sync_codec_arg(args), args.get_double("topk-ratio", 0.05));
+    if (!codec_error.empty()) {
+      std::cerr << codec_error << "\n";
       return 2;
     }
     if ((!trace_out.empty() || !metrics_out.empty()) && scheme != "hadfl") {

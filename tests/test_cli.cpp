@@ -100,5 +100,43 @@ TEST(BackendFlags, RuntimeBackendsRequireHadflScheme) {
             "--backend=net only applies to --scheme=hadfl");
 }
 
+// hadfl_run/hadfl_node print exp::sync_codec_flag_error's message and exit
+// 2 on a bad --sync-codec or --topk-ratio (the backend_flag_error pattern).
+
+TEST(SyncCodecFlags, AcceptsKnownCodecs) {
+  EXPECT_EQ(exp::sync_codec_flag_error("none", 0.05), "");
+  EXPECT_EQ(exp::sync_codec_flag_error("int8", 0.05), "");
+  EXPECT_EQ(exp::sync_codec_flag_error("topk", 0.05), "");
+  EXPECT_EQ(exp::sync_codec_flag_error("topk", 1.0), "");
+}
+
+TEST(SyncCodecFlags, RejectsUnknownCodec) {
+  const std::string err = exp::sync_codec_flag_error("gzip", 0.05);
+  EXPECT_EQ(err, "unknown --sync-codec: gzip (want none, int8, or topk)");
+  EXPECT_THROW(exp::parse_sync_codec("gzip"), InvalidArgument);
+}
+
+TEST(SyncCodecFlags, RejectsOutOfRangeTopkRatio) {
+  EXPECT_NE(exp::sync_codec_flag_error("topk", 0.0), "");
+  EXPECT_NE(exp::sync_codec_flag_error("topk", -0.5), "");
+  EXPECT_NE(exp::sync_codec_flag_error("topk", 1.5), "");
+}
+
+TEST(SyncCodecFlags, Int8BroadcastIsAnAliasForSyncCodecInt8) {
+  EXPECT_EQ(exp::sync_codec_arg(parse({"--int8-broadcast"})), "int8");
+  EXPECT_EQ(exp::sync_codec_arg(parse({"--sync-codec=topk"})), "topk");
+  // An explicit --sync-codec wins over the legacy alias.
+  EXPECT_EQ(
+      exp::sync_codec_arg(parse({"--int8-broadcast", "--sync-codec=none"})),
+      "none");
+  EXPECT_EQ(exp::sync_codec_arg(parse({})), "none");
+}
+
+TEST(SyncCodecFlags, ParseMapsToTheSharedCodecEnum) {
+  EXPECT_EQ(exp::parse_sync_codec("none"), core::SyncCompression::kNone);
+  EXPECT_EQ(exp::parse_sync_codec("int8"), core::SyncCompression::kInt8);
+  EXPECT_EQ(exp::parse_sync_codec("topk"), core::SyncCompression::kTopK);
+}
+
 }  // namespace
 }  // namespace hadfl

@@ -270,7 +270,8 @@ rt::Command sample_command() {
   cmd.wire_bytes = 1234;
   cmd.peer = 2;
   cmd.chunks = 4;
-  cmd.int8 = true;
+  cmd.delta = true;
+  cmd.ref_epoch = 17;
   return cmd;
 }
 
@@ -297,7 +298,8 @@ TEST(ControlCodec, CommandRoundTripsEveryField) {
   EXPECT_EQ(out.wire_bytes, cmd.wire_bytes);
   EXPECT_EQ(out.peer, cmd.peer);
   EXPECT_EQ(out.chunks, cmd.chunks);
-  EXPECT_EQ(out.int8, cmd.int8);
+  EXPECT_EQ(out.delta, cmd.delta);
+  EXPECT_EQ(out.ref_epoch, cmd.ref_epoch);
   // The cancel flag never crosses the wire — NetWorkerIo makes a fresh one.
   EXPECT_EQ(out.cancel, nullptr);
 }
@@ -316,6 +318,7 @@ TEST(ControlCodec, ReportRoundTripsEveryField) {
   in.sent_bytes = 4096;
   in.received_bytes = 8192;
   in.pool = rt::BufferPool::Stats{10, 3, 5};
+  in.ref_epoch = 23;
   const std::vector<std::uint8_t> body = encode_report(in);
   ASSERT_FALSE(body.empty());
   EXPECT_EQ(body[0], kCtrlReport);
@@ -336,6 +339,7 @@ TEST(ControlCodec, ReportRoundTripsEveryField) {
   EXPECT_EQ(out.pool.hits, in.pool.hits);
   EXPECT_EQ(out.pool.misses, in.pool.misses);
   EXPECT_EQ(out.pool.high_water, in.pool.high_water);
+  EXPECT_EQ(out.ref_epoch, in.ref_epoch);
 }
 
 TEST(ControlCodec, TruncatedOrTrailingGarbageIsRejected) {

@@ -850,18 +850,71 @@ TEST(RtRunner, ChunkCountDoesNotChangeTheAggregate) {
   }
 }
 
-TEST(RtRunner, Int8BroadcastShrinksWireVolumeAndStillLearns) {
+/// Runs the same seeded scenario on the sim and rt backends with the given
+/// codec and asserts bit-identical final states — the compressed analogue
+/// of MatchesSimulatorBitExactlyWhenSeeded. The encode/decode round trips
+/// are deterministic float math shared through comm/delta_codec.hpp, so
+/// lossy codecs still converge to the same bits across backends.
+void expect_codec_matches_simulator(core::SyncCompression codec,
+                                    std::size_t chunks) {
+  exp::Scenario s = rt_scenario();
+  s.train.total_epochs = 6;
+  s.hadfl.compression = codec;
+  s.hadfl.top_k_ratio = 0.05;
+  s.hadfl.sync_chunks = chunks;
+  exp::Environment env(s);
+  fl::SchemeContext sim_ctx = env.context();
+  const core::HadflResult sim = core::run_hadfl(sim_ctx, s.hadfl);
+  fl::SchemeContext rt_ctx = env.context();
+  const RtResult rt = run_hadfl_rt(rt_ctx, fast_rt_config(s.hadfl));
+  EXPECT_EQ(sim.scheme.sync_rounds, rt.scheme.sync_rounds);
+  ASSERT_EQ(sim.scheme.final_state.size(), rt.scheme.final_state.size());
+  for (std::size_t i = 0; i < sim.scheme.final_state.size(); ++i) {
+    ASSERT_EQ(sim.scheme.final_state[i], rt.scheme.final_state[i])
+        << "parameter " << i;
+  }
+}
+
+TEST(RtRunner, Int8CodecMatchesSimulatorBitExactly) {
+  expect_codec_matches_simulator(core::SyncCompression::kInt8, 4);
+}
+
+TEST(RtRunner, TopKCodecMatchesSimulatorBitExactly) {
+  expect_codec_matches_simulator(core::SyncCompression::kTopK, 3);
+}
+
+TEST(RtRunner, CompressedSyncShrinksWireVolumeAndStillLearns) {
   exp::Scenario s = rt_scenario();
   s.train.total_epochs = 6;
   exp::Environment env(s);
   fl::SchemeContext ctx_a = env.context();
   const RtResult dense = run_hadfl_rt(ctx_a, fast_rt_config(s.hadfl));
+
+  s.hadfl.compression = core::SyncCompression::kInt8;
   fl::SchemeContext ctx_b = env.context();
-  RtConfig config = fast_rt_config(s.hadfl);
-  config.int8_broadcast = true;
-  const RtResult int8 = run_hadfl_rt(ctx_b, config);
+  const RtResult int8 = run_hadfl_rt(ctx_b, fast_rt_config(s.hadfl));
   EXPECT_LT(int8.scheme.volume.total_sent(), dense.scheme.volume.total_sent());
   EXPECT_GT(int8.scheme.metrics.best_accuracy(), 0.4);
+
+  s.hadfl.compression = core::SyncCompression::kTopK;
+  s.hadfl.top_k_ratio = 0.05;
+  fl::SchemeContext ctx_c = env.context();
+  const RtResult topk = run_hadfl_rt(ctx_c, fast_rt_config(s.hadfl));
+  EXPECT_LT(topk.scheme.volume.total_sent(), int8.scheme.volume.total_sent());
+  // 5% top-k at 6 half-scale epochs learns more slowly than int8 but must
+  // still be far above the 10-class chance floor.
+  EXPECT_GT(topk.scheme.metrics.best_accuracy(), 0.3);
+}
+
+TEST(RtRunner, CompressedRunRejectsMismatchedChunkGrids) {
+  exp::Scenario s = rt_scenario();
+  s.hadfl.compression = core::SyncCompression::kInt8;
+  s.hadfl.sync_chunks = 4;
+  exp::Environment env(s);
+  fl::SchemeContext ctx = env.context();
+  RtConfig config = fast_rt_config(s.hadfl);
+  config.sync_chunks = 8;  // disagrees with the shared hadfl grid
+  EXPECT_THROW(run_hadfl_rt(ctx, config), InvalidArgument);
 }
 
 }  // namespace
