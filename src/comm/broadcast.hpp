@@ -23,4 +23,11 @@ BroadcastResult broadcast_nonblocking(SimTransport& transport, DeviceId src,
                                       const std::vector<DeviceId>& dsts,
                                       std::size_t bytes);
 
+/// Same semantics and bit-identical results, with the O(dsts) per-receiver
+/// work (link timing, liveness, clock advancement) spread over `threads`
+/// via SimTransport::send_fanout — the fleet engine's K-wide broadcast.
+BroadcastResult broadcast_nonblocking(SimTransport& transport, DeviceId src,
+                                      const std::vector<DeviceId>& dsts,
+                                      std::size_t bytes, std::size_t threads);
+
 }  // namespace hadfl::comm

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace hadfl::comm {
 
@@ -76,6 +77,59 @@ SimTime SimTransport::send_nonblocking(DeviceId src, DeviceId dst,
   cluster_->advance_to(dst, arrival);
   volume_.received[dst] += bytes;
   return arrival;
+}
+
+SimTransport::FanoutResult SimTransport::send_fanout(
+    DeviceId src, const std::vector<DeviceId>& dsts, std::size_t bytes,
+    std::size_t threads) {
+  check_device(src);
+  const SimTime depart = cluster_->time(src);
+  if (!cluster_->faults().alive(src, depart)) {
+    throw CommError("send_nonblocking: source device " + std::to_string(src) +
+                    " is down");
+  }
+  // Fixed grain keeps the range grid (and thus the merged result) a pure
+  // function of dsts.size(), never of the thread count.
+  constexpr std::size_t kFanoutGrain = std::size_t{1} << 14;
+  const std::size_t n = dsts.size();
+  const std::size_t ranges = (n + kFanoutGrain - 1) / kFanoutGrain;
+  std::vector<std::vector<DeviceId>> delivered(ranges);
+  std::vector<std::vector<DeviceId>> unreachable(ranges);
+  std::vector<SimTime> last_arrivals(ranges, 0.0);
+  const sim::FaultInjector& faults = cluster_->faults();
+  parallel_chunks(
+      n, kFanoutGrain, threads, [&](std::size_t begin, std::size_t end) {
+        const std::size_t r = begin / kFanoutGrain;
+        for (std::size_t i = begin; i < end; ++i) {
+          const DeviceId dst = dsts[i];
+          check_device(dst);
+          HADFL_CHECK_ARG(dst != src, "broadcast destination equals source");
+          const SimTime arrival = depart + link_time(src, dst, bytes);
+          if (!faults.alive(dst, arrival)) {
+            unreachable[r].push_back(dst);
+            continue;
+          }
+          // Distinct destinations ⇒ disjoint clock slots and volume
+          // counters; the global max clock is folded back in afterwards.
+          cluster_->advance_to_unsynced(dst, arrival);
+          volume_.received[dst] += bytes;
+          delivered[r].push_back(dst);
+          last_arrivals[r] = std::max(last_arrivals[r], arrival);
+        }
+      });
+  // A dead receiver still consumes the send: volume counts at the sender
+  // for every destination, exactly as the serial per-dst loop accumulates.
+  volume_.sent[src] += bytes * n;
+  FanoutResult out;
+  for (std::size_t r = 0; r < ranges; ++r) {
+    out.delivered.insert(out.delivered.end(), delivered[r].begin(),
+                         delivered[r].end());
+    out.unreachable.insert(out.unreachable.end(), unreachable[r].begin(),
+                           unreachable[r].end());
+    out.last_arrival = std::max(out.last_arrival, last_arrivals[r]);
+  }
+  cluster_->note_clock(out.last_arrival);
+  return out;
 }
 
 bool SimTransport::handshake(DeviceId src, DeviceId dst, SimTime timeout) {

@@ -51,6 +51,22 @@ class SimTransport {
   /// (volume counted at the sender) but throws CommError.
   SimTime send_nonblocking(DeviceId src, DeviceId dst, std::size_t bytes);
 
+  /// Bulk non-blocking fan-out: per-destination semantics identical to
+  /// send_nonblocking (dead receivers consume the send but are reported,
+  /// not fatal), evaluated over a fixed destination-range grid so the
+  /// result — delivered/unreachable order, volume, clocks — is
+  /// bit-identical to the serial loop at any `threads` value. The O(dsts)
+  /// work (link timing, liveness, receiver clock advancement) runs in
+  /// parallel; destinations must be distinct. Throws only when the sender
+  /// itself is dead.
+  struct FanoutResult {
+    std::vector<DeviceId> delivered;
+    std::vector<DeviceId> unreachable;
+    SimTime last_arrival = 0.0;
+  };
+  FanoutResult send_fanout(DeviceId src, const std::vector<DeviceId>& dsts,
+                           std::size_t bytes, std::size_t threads);
+
   /// Liveness probe: a zero-payload round trip. Costs the prober
   /// 2 * latency when the peer answers, or `timeout` when it does not.
   /// Returns whether the peer is alive.

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "nn/serialize.hpp"
 
 namespace hadfl::core {
@@ -32,9 +33,12 @@ RuntimeSupervisor::RuntimeSupervisor(std::size_t num_devices, double alpha) {
 void RuntimeSupervisor::observe_round(const std::vector<double>& versions) {
   HADFL_CHECK_ARG(versions.size() == predictors_.size(),
                   "version vector size mismatch");
-  for (std::size_t i = 0; i < versions.size(); ++i) {
-    predictors_[i].observe(versions[i]);
-  }
+  parallel_chunks(versions.size(), kParallelChunkGrain, threads_,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      predictors_[i].observe(versions[i]);
+                    }
+                  });
   ++rounds_;
 }
 
@@ -43,10 +47,14 @@ std::vector<double> RuntimeSupervisor::predict(
   HADFL_CHECK_ARG(fallback.size() == predictors_.size(),
                   "fallback vector size mismatch");
   std::vector<double> out(predictors_.size());
-  for (std::size_t i = 0; i < predictors_.size(); ++i) {
-    out[i] = predictors_[i].observations() > 0 ? predictors_[i].predict(m)
-                                               : fallback[i];
-  }
+  parallel_chunks(out.size(), kParallelChunkGrain, threads_,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      out[i] = predictors_[i].observations() > 0
+                                   ? predictors_[i].predict(m)
+                                   : fallback[i];
+                    }
+                  });
   return out;
 }
 

@@ -50,12 +50,19 @@ class RuntimeSupervisor {
   std::vector<double> predict(const std::vector<double>& fallback,
                               int m = 1) const;
 
+  /// Thread budget for the elementwise observe/predict sweeps (1 = inline,
+  /// the default for K=8-scale runs). Each device's predictor is updated
+  /// independently over a fixed chunk grid, so results are bit-identical
+  /// at any setting — the fleet engine raises this for 10^5–10^6 devices.
+  void set_threads(std::size_t threads) { threads_ = threads == 0 ? 1 : threads; }
+
   std::size_t rounds_observed() const { return rounds_; }
   const VersionPredictor& predictor(sim::DeviceId id) const;
 
  private:
   std::vector<VersionPredictor> predictors_;
   std::size_t rounds_ = 0;
+  std::size_t threads_ = 1;
 };
 
 /// Holds the latest aggregated model and writes periodic backups

@@ -23,6 +23,7 @@
 #include "nn/cow_store.hpp"
 #include "nn/param_utils.hpp"
 #include "nn/serialize.hpp"
+#include "obs/recorder.hpp"
 
 namespace hadfl::core {
 
@@ -31,25 +32,35 @@ namespace {
 using nn::CowStateStore;
 using SlabId = CowStateStore::SlabId;
 
-/// A reusable training seat: one packed model + one stateless SGD. A
-/// device's slab is loaded into the seat, trained, and written back — the
-/// same arithmetic run_hadfl performs on the device's private model, since
-/// packed models of one architecture share the arena layout and SGD with
-/// momentum == 0 carries no cross-episode state.
+/// A reusable training seat: one packed model + one SGD. A device's slab is
+/// loaded into the seat, trained, and written back — the same arithmetic
+/// run_hadfl performs on the device's private model, since packed models of
+/// one architecture share the arena layout. With momentum > 0 the device's
+/// velocity slab is loaded into the seat's optimizer before the burst and
+/// saved back after, so the seat itself still carries no cross-episode
+/// state.
 struct TrainerSlot {
   std::unique_ptr<nn::Sequential> model;
   std::unique_ptr<nn::Sgd> optimizer;
 };
 
-/// One device-training burst queued for the parallel phase. `state` is the
-/// device's already-detached slab span (exclusively owned), so the threads
-/// write disjoint memory and never touch the store.
+/// One device-training burst queued for the parallel phase. `state` (and
+/// `velocity`, when momentum > 0) is the device's already-detached slab
+/// span (exclusively owned), so the threads write disjoint memory and
+/// never touch the stores.
 struct TrainJob {
   sim::DeviceId id = 0;
   std::size_t steps = 0;
   std::span<float> state;
+  std::span<float> velocity;
   double loss = 0.0;
 };
+
+/// Fixed device-range grain for the per-round O(K) scalar sweeps. Constant
+/// (never a function of thread count): the partial-reduction grid — and
+/// with it every merged result — is identical no matter how many threads
+/// execute, the same discipline as the GEMM tile grid.
+constexpr std::size_t kFleetGrain = std::size_t{1} << 13;
 
 std::vector<double> capped_copy(const std::vector<double>& values,
                                 std::size_t cap) {
@@ -108,9 +119,13 @@ class FleetEngine {
   // ---- training ----
   data::BatchIterator& batches_for(sim::DeviceId d);
   void run_jobs(std::vector<TrainJob>& jobs, double learning_rate);
+  /// Detaches the device's state (and velocity) slabs and builds the
+  /// exclusively-owned training job. Mutates the stores — coordinator
+  /// thread only.
+  TrainJob make_job(sim::DeviceId d, std::size_t steps);
 
   // ---- round pieces ----
-  void warm_up();
+  void warm_up(std::size_t num_groups);
   void full_sync_after_negotiation();
   void record_point(const std::vector<float>& eval_state);
   bool aggregate_group(const std::vector<sim::DeviceId>& candidates,
@@ -124,7 +139,34 @@ class FleetEngine {
                         const LivenessMonitor& liveness,
                         std::vector<float>& eval_state);
 
-  bool exact_mode() const { return fleet_.cohort == 0; }
+  /// A cohort covering the whole fleet has nothing to sample.
+  bool exact_mode() const {
+    return fleet_.cohort == 0 || fleet_.cohort >= k_;
+  }
+
+  // ---- fixed-grid parallel sweeps ----
+  static std::size_t range_count(std::size_t n) {
+    return (n + kFleetGrain - 1) / kFleetGrain;
+  }
+  /// Runs fn(range_index, begin, end) over the fixed grid on up to
+  /// `threads_` threads. The serial fallback lands everything in range 0,
+  /// so per-range partials must merge through neutral initial values.
+  void for_ranges(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& fn) {
+    parallel_chunks(n, kFleetGrain, threads_,
+                    [&](std::size_t begin, std::size_t end) {
+                      fn(begin / kFleetGrain, begin, end);
+                    });
+  }
+
+  // ---- phase spans ----
+  double span_now() const { return recorder_ ? recorder_->now_s() : 0.0; }
+  void span(double start, obs::SpanKind kind, const char* label) {
+    if (recorder_) {
+      recorder_->record(0, start, recorder_->now_s(), kind, label);
+    }
+  }
 
   const fl::SchemeContext& ctx_;
   const HadflConfig& config_;
@@ -136,13 +178,19 @@ class FleetEngine {
 
   std::shared_ptr<SelectionPolicy> policy_;
   std::unique_ptr<CowStateStore> store_;
+  std::unique_ptr<CowStateStore> vstore_;  ///< momentum velocity slabs
   std::unique_ptr<nn::Sequential> reference_;
   std::size_t state_floats_ = 0;
+  std::size_t velocity_floats_ = 0;
   std::size_t wire_bytes_ = 0;
+  std::size_t threads_ = 1;  ///< resolved scalar-sweep thread budget
+  obs::SpanRecorder* recorder_ = nullptr;
+  FleetObjective objective_ = FleetObjective::kGaussianQuartile;
 
   // Per-device SoA (scalars only — all model state lives in the store).
   std::vector<SlabId> state_slab_;
   std::vector<SlabId> sync_slab_;
+  std::vector<SlabId> velocity_slab_;  ///< sized only when momentum > 0
   std::vector<double> version_;
   std::vector<double> last_loss_;
   std::vector<std::size_t> last_executed_;
@@ -192,8 +240,11 @@ void FleetEngine::init_fleet() {
   trained_this_round_.assign(k_, 0);
   batch_rngs_.reserve(k_);
   ipe_.resize(k_);
-  compute_powers_.resize(k_);
-  bandwidth_scales_.resize(k_);
+  const sim::DeviceTable& table = cluster_.table();
+  compute_powers_.assign(table.compute_powers().begin(),
+                         table.compute_powers().end());
+  bandwidth_scales_.assign(table.bandwidth_scales().begin(),
+                           table.bandwidth_scales().end());
 
   const SlabId init = store_->create(ref_state);
   for (std::size_t d = 0; d < k_; ++d) {
@@ -206,8 +257,6 @@ void FleetEngine::init_fleet() {
     sync_slab_[d] = init;
     ipe_[d] = fl::iters_per_epoch(ctx_.partition[d].size(),
                                   ctx_.config.device_batch_size);
-    compute_powers_[d] = cluster_.compute_power(d);
-    bandwidth_scales_[d] = cluster_.bandwidth_scale(d);
   }
   store_->release(init);  // drop the creation reference
 }
@@ -243,6 +292,7 @@ data::BatchIterator& FleetEngine::batches_for(sim::DeviceId d) {
 
 void FleetEngine::run_jobs(std::vector<TrainJob>& jobs, double learning_rate) {
   if (jobs.empty()) return;
+  const double start = span_now();
   for (TrainJob& job : jobs) batches_for(job.id);  // serial map fill
   const std::size_t lanes = std::min(slots_.size(), jobs.size());
   parallel_for_each(
@@ -254,9 +304,11 @@ void FleetEngine::run_jobs(std::vector<TrainJob>& jobs, double learning_rate) {
         for (std::size_t j = begin; j < end; ++j) {
           TrainJob& job = jobs[j];
           nn::load_state(*slot.model, job.state);
+          if (vstore_) slot.optimizer->load_velocity(job.velocity);
           job.loss = fl::run_local_steps(*slot.model, *slot.optimizer,
                                          batches_.at(job.id), job.steps)
                          .mean_loss;
+          if (vstore_) slot.optimizer->save_velocity(job.velocity);
           const std::span<const float> out = nn::state_view(*slot.model);
           std::copy(out.begin(), out.end(), job.state.begin());
         }
@@ -264,6 +316,20 @@ void FleetEngine::run_jobs(std::vector<TrainJob>& jobs, double learning_rate) {
       lanes);
   for (const TrainJob& job : jobs) trained_this_round_[job.id] = 1;
   result_.stats.train_episodes += jobs.size();
+  span(start, obs::SpanKind::kCompute, "train");
+}
+
+TrainJob FleetEngine::make_job(sim::DeviceId d, std::size_t steps) {
+  state_slab_[d] = store_->detach(state_slab_[d]);
+  TrainJob job;
+  job.id = d;
+  job.steps = steps;
+  job.state = store_->mutable_view(state_slab_[d]);
+  if (vstore_) {
+    velocity_slab_[d] = vstore_->detach(velocity_slab_[d]);
+    job.velocity = vstore_->mutable_view(velocity_slab_[d]);
+  }
+  return job;
 }
 
 std::vector<float> FleetEngine::mean_state_exact(
@@ -280,29 +346,42 @@ std::vector<float> FleetEngine::mean_state_exact(
 std::vector<float> FleetEngine::mean_state_classes(
     const std::vector<sim::DeviceId>& ids) {
   HADFL_CHECK_ARG(!ids.empty(), "fleet mean over zero devices");
-  std::map<SlabId, std::size_t> counts;  // ordered: deterministic fold
-  for (const sim::DeviceId id : ids) ++counts[state_slab_[id]];
+  // Classes fold in first-member order: when every slab is distinct the
+  // accumulate sequence degenerates to mean_state_exact's per-device fold,
+  // bit for bit — which keeps saturated cohort groups on the exact path.
+  std::unordered_map<SlabId, std::size_t> index;
+  std::vector<std::pair<SlabId, std::size_t>> classes;  // (slab, count)
+  for (const sim::DeviceId id : ids) {
+    const SlabId slab = state_slab_[id];
+    const auto [it, inserted] = index.emplace(slab, classes.size());
+    if (inserted) {
+      classes.emplace_back(slab, 1);
+    } else {
+      ++classes[it->second].second;
+    }
+  }
   mean_acc_.reset(state_floats_);
   const double n = static_cast<double>(ids.size());
-  for (const auto& [slab, count] : counts) {
+  for (const auto& [slab, count] : classes) {
     mean_acc_.accumulate(store_->view(slab),
                          static_cast<double>(count) / n);
   }
   return mean_acc_.materialize();
 }
 
-void FleetEngine::warm_up() {
+void FleetEngine::warm_up(std::size_t num_groups) {
   const int warmup_epochs = std::max(1, ctx_.config.warmup_epochs);
   std::vector<sim::DeviceId> sample;
   if (exact_mode()) {
     sample.resize(k_);
     for (std::size_t d = 0; d < k_; ++d) sample[d] = d;
   } else {
-    // Train the first `cohort` devices: with a cycled power-ratio table the
-    // id prefix covers every heterogeneity class as long as cohort >= the
+    // Train a cohort-per-group id prefix: with a cycled power-ratio table
+    // the prefix covers every heterogeneity class as long as it spans the
     // ratio length. The rest of the fleet keeps the dispatched state and
     // inherits the sample's mean loss for the first convergence point.
-    sample.resize(std::min(fleet_.cohort, k_));
+    sample.resize(std::min(fleet_.cohort * std::max<std::size_t>(1, num_groups),
+                           k_));
     for (std::size_t i = 0; i < sample.size(); ++i) {
       sample[i] = static_cast<sim::DeviceId>(i);
     }
@@ -311,12 +390,8 @@ void FleetEngine::warm_up() {
   std::vector<TrainJob> jobs;
   jobs.reserve(sample.size());
   for (const sim::DeviceId d : sample) {
-    state_slab_[d] = store_->detach(state_slab_[d]);
-    TrainJob job;
-    job.id = d;
-    job.steps = static_cast<std::size_t>(warmup_epochs) * ipe_[d];
-    job.state = store_->mutable_view(state_slab_[d]);
-    jobs.push_back(job);
+    jobs.push_back(
+        make_job(d, static_cast<std::size_t>(warmup_epochs) * ipe_[d]));
   }
   run_jobs(jobs, ctx_.config.warmup_learning_rate);
   double sample_loss = 0.0;
@@ -333,16 +408,24 @@ void FleetEngine::warm_up() {
     }
   }
 
-  // Timing is analytic for every device (advance_compute draws each
-  // device's own jitter stream), so the negotiation clock walk is exact in
-  // both modes — the strategy a 100k cohort run generates is the strategy
-  // the exact run would.
+  // Timing is analytic for every device (the walk draws each device's own
+  // jitter stream), so the negotiation clock walk is exact in both modes —
+  // the strategy a 100k cohort run generates is the strategy the exact run
+  // would. Devices advance unsynced over the fixed range grid (disjoint
+  // ids ⇒ disjoint clock slots and jitter streams); per-range clock maxima
+  // fold back afterwards.
   std::vector<sim::SimTime> epoch_times(k_);
-  for (std::size_t d = 0; d < k_; ++d) {
-    const sim::SimTime duration = cluster_.advance_compute(
-        d, static_cast<std::size_t>(warmup_epochs) * ipe_[d]);
-    epoch_times[d] = duration / static_cast<double>(warmup_epochs);
-  }
+  const std::size_t ranges = range_count(k_);
+  std::vector<sim::SimTime> range_clock(ranges, 0.0);
+  for_ranges(k_, [&](std::size_t r, std::size_t begin, std::size_t end) {
+    for (std::size_t d = begin; d < end; ++d) {
+      const sim::SimTime duration = cluster_.advance_compute_unsynced(
+          d, static_cast<std::size_t>(warmup_epochs) * ipe_[d]);
+      epoch_times[d] = duration / static_cast<double>(warmup_epochs);
+      range_clock[r] = std::max(range_clock[r], cluster_.time(d));
+    }
+  });
+  for (const sim::SimTime t : range_clock) cluster_.note_clock(t);
   cluster_.barrier_all();
   result_.extras.negotiated_epoch_times.assign(
       epoch_times.begin(),
@@ -405,37 +488,50 @@ bool FleetEngine::aggregate_group(
     const std::vector<double>& predicted,
     std::vector<sim::DeviceId>& selected_this_round,
     std::vector<float>& eval_state) {
+  const double sel_start = span_now();
   std::vector<sim::DeviceId> ring;
-  if (exact_mode()) {
+  std::vector<TrainJob> jobs;  // cohort mode only — exact trains up front
+  if (exact_mode() || candidates.size() <= fleet_.cohort) {
     RingPlan plan =
         plan_ring(*policy_, candidates, predicted, compute_powers_,
                   bandwidth_scales_, config_.strategy.select_count, rng_);
     ring = std::move(plan.ring);
+    if (!exact_mode()) {
+      // Saturated group: the cohort covers every candidate, so the group
+      // degrades to the exact per-group plan — the policy's own draws pick
+      // the ring and every candidate with a step budget trains.
+      for (const sim::DeviceId d : candidates) {
+        if (last_executed_[d] == 0) continue;
+        jobs.push_back(make_job(d, last_executed_[d]));
+      }
+    }
   } else {
+    // One fresh seed per selection keeps the counter-keyed E–S draw stream
+    // range- and thread-invariant while still advancing the engine RNG
+    // exactly once per group selection.
+    const std::uint64_t draw_seed = rng_();
     const FleetSelection sel = select_fleet_cohort(
         predicted, candidates, config_.strategy.select_count,
         fleet_.cohort - std::min(fleet_.cohort,
                                  config_.strategy.select_count),
-        fleet_.selection_buckets, rng_);
+        fleet_.selection_buckets, draw_seed, objective_, threads_);
     ring = StrategyGenerator::make_ring(sel.cohort, rng_);
     // Only now does any SGD happen: ring members + shadow runners-up train
     // their analytic step budgets; everyone else is already fully priced.
     std::vector<sim::DeviceId> to_train = ring;
     to_train.insert(to_train.end(), sel.shadow.begin(), sel.shadow.end());
-    std::vector<TrainJob> jobs;
     jobs.reserve(to_train.size());
     for (const sim::DeviceId d : to_train) {
       if (last_executed_[d] == 0) continue;
-      state_slab_[d] = store_->detach(state_slab_[d]);
-      TrainJob job;
-      job.id = d;
-      job.steps = last_executed_[d];
-      job.state = store_->mutable_view(state_slab_[d]);
-      jobs.push_back(job);
+      jobs.push_back(make_job(d, last_executed_[d]));
     }
+  }
+  span(sel_start, obs::SpanKind::kSync, "select");
+  if (!jobs.empty()) {
     run_jobs(jobs, ctx_.config.learning_rate);
     for (const TrainJob& job : jobs) last_loss_[job.id] = job.loss;
   }
+  const double fold_start = span_now();
 
   // Fault-tolerant gossip aggregation (§III-D) — the run_hadfl loop with
   // slab views in place of model arenas.
@@ -476,7 +572,10 @@ bool FleetEngine::aggregate_group(
       }
     }
   }
-  if (ring.empty() || aggregate.empty()) return false;
+  if (ring.empty() || aggregate.empty()) {
+    span(fold_start, obs::SpanKind::kBroadcast, "fold");
+    return false;
+  }
   selected_this_round.insert(selected_this_round.end(), ring.begin(),
                              ring.end());
 
@@ -496,11 +595,23 @@ bool FleetEngine::aggregate_group(
   }
   store_->release(agg_slab);
 
-  // Non-blocking broadcast to the unselected members.
+  // Non-blocking broadcast to the unselected members. The membership scan
+  // is O(candidates) — per-range partial lists merge in range order, so
+  // `others` keeps the serial candidate order.
   std::vector<sim::DeviceId> others;
-  for (const sim::DeviceId id : candidates) {
-    if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
-      others.push_back(id);
+  {
+    const std::size_t nc = candidates.size();
+    std::vector<std::vector<sim::DeviceId>> parts(range_count(nc));
+    for_ranges(nc, [&](std::size_t r, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const sim::DeviceId id = candidates[i];
+        if (std::find(ring.begin(), ring.end(), id) == ring.end()) {
+          parts[r].push_back(id);
+        }
+      }
+    });
+    for (const auto& part : parts) {
+      others.insert(others.end(), part.begin(), part.end());
     }
   }
   if (!others.empty()) {
@@ -512,7 +623,8 @@ bool FleetEngine::aggregate_group(
     const comm::BroadcastResult bc = comm::broadcast_nonblocking(
         transport_, src, others,
         effective_wire_bytes(wire_bytes_, codec_bytes,
-                             aggregate.size() * sizeof(float)));
+                             aggregate.size() * sizeof(float)),
+        threads_);
     broadcast_integrate(bc.delivered, aggregate, version_mean);
   }
 
@@ -521,6 +633,7 @@ bool FleetEngine::aggregate_group(
   } else {
     nn::mix_into(eval_state, aggregate, 0.5);
   }
+  span(fold_start, obs::SpanKind::kBroadcast, "fold");
   return true;
 }
 
@@ -533,10 +646,25 @@ void FleetEngine::broadcast_integrate(
   // these bits on its own, and no receiver's result feeds another's.
   // Recycling is safe mid-loop: a later class's key slabs are still
   // referenced by its (not yet rebound) members, so they cannot have been
-  // freed and reused.
-  std::map<std::pair<SlabId, SlabId>, std::vector<sim::DeviceId>> classes;
-  for (const sim::DeviceId id : delivered) {
-    classes[{state_slab_[id], sync_slab_[id]}].push_back(id);
+  // freed and reused. The O(delivered) grouping scan runs per range (the
+  // slab arrays are read-only here); per-range maps merge in range order,
+  // so each class's member list keeps the serial delivered order.
+  using ClassKey = std::pair<SlabId, SlabId>;
+  const std::size_t n = delivered.size();
+  std::vector<std::map<ClassKey, std::vector<sim::DeviceId>>> parts(
+      range_count(n));
+  for_ranges(n, [&](std::size_t r, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const sim::DeviceId id = delivered[i];
+      parts[r][{state_slab_[id], sync_slab_[id]}].push_back(id);
+    }
+  });
+  std::map<ClassKey, std::vector<sim::DeviceId>> classes;
+  for (auto& part : parts) {
+    for (auto& [key, members] : part) {
+      auto& dst = classes[key];
+      dst.insert(dst.end(), members.begin(), members.end());
+    }
   }
   std::vector<float> mixed;
   for (const auto& [key, members] : classes) {
@@ -620,9 +748,6 @@ FleetResult FleetEngine::run() {
   HADFL_CHECK_ARG(config_.broadcast_mix_weight >= 0.0 &&
                       config_.broadcast_mix_weight <= 1.0,
                   "broadcast mix weight must be in [0, 1]");
-  HADFL_CHECK_ARG(ctx_.config.momentum == 0.0,
-                  "fleet trainer requires momentum == 0 (trainer slots are "
-                  "shared across devices)");
   HADFL_CHECK_ARG(config_.compression == SyncCompression::kNone,
                   "fleet engine supports the uncompressed sync codec only "
                   "(the compressed-delta path needs per-device "
@@ -635,12 +760,19 @@ FleetResult FleetEngine::run() {
                     "fleet cohort " << fleet_.cohort
                                     << " smaller than select_count "
                                     << config_.strategy.select_count);
-    HADFL_CHECK_ARG(!config_.grouping.enabled(),
-                    "sampled-cohort mode requires flat grouping");
-    HADFL_CHECK_ARG(policy_->name() == "gaussian-quartile",
-                    "sampled-cohort mode approximates the gaussian-quartile "
-                    "policy; got " << policy_->name());
+    if (policy_->name() == "gaussian-quartile") {
+      objective_ = FleetObjective::kGaussianQuartile;
+    } else if (policy_->name() == "top-k") {
+      objective_ = FleetObjective::kTopVersion;
+    } else {
+      HADFL_CHECK_ARG(false,
+                      "sampled-cohort mode supports the gaussian-quartile "
+                      "and top-k policies; got " << policy_->name());
+    }
   }
+  threads_ = fleet_.scalar_threads == 0 ? default_compute_threads()
+                                        : fleet_.scalar_threads;
+  recorder_ = fleet_.recorder;
 
   cluster_.reset_clocks();
   result_.scheme.scheme_name = "hadfl-fleet";
@@ -648,17 +780,36 @@ FleetResult FleetEngine::run() {
 
   init_fleet();
   build_slots(default_compute_threads());
+  velocity_floats_ = slots_[0].optimizer->velocity_size();
+  if (ctx_.config.momentum != 0.0 && velocity_floats_ > 0) {
+    // One zero slab shared by the whole fleet: a device forks a private
+    // velocity copy only when it first trains (make_job detaches it), so
+    // resident optimizer memory tracks the trained cohort, not K.
+    vstore_ = std::make_unique<CowStateStore>(velocity_floats_);
+    velocity_slab_.resize(k_);
+    const SlabId zero = vstore_->create_zeroed();
+    for (std::size_t d = 0; d < k_; ++d) {
+      vstore_->retain(zero);
+      velocity_slab_[d] = zero;
+    }
+    vstore_->release(zero);  // drop the creation reference
+  }
   result_.stats.state_floats = state_floats_;
   result_.stats.naive_state_bytes =
-      2 * k_ * state_floats_ * sizeof(float);  // model + last-sync, per dev
+      2 * k_ * state_floats_ * sizeof(float) +  // model + last-sync, per dev
+      (vstore_ ? k_ * velocity_floats_ * sizeof(float) : 0);
 
-  warm_up();
+  // make_groups is deterministic (compute-power sort, no RNG), so hoisting
+  // it ahead of warm-up changes nothing downstream; warm-up needs the
+  // group count to size its per-group cohort sample.
+  const DeviceGroups groups = make_groups(cluster_, config_.grouping);
+  warm_up(groups.size());
   if (config_.full_sync_after_negotiation) full_sync_after_negotiation();
 
   LivenessMonitor liveness(cluster_);
   RuntimeSupervisor supervisor(k_, config_.alpha);
+  supervisor.set_threads(threads_);
   ModelManager model_manager(config_.backup_dir, config_.backup_every_rounds);
-  const DeviceGroups groups = make_groups(cluster_, config_.grouping);
 
   {
     std::vector<sim::DeviceId> all(k_);
@@ -682,49 +833,67 @@ FleetResult FleetEngine::run() {
               std::uint8_t{0});
     const sim::SimTime window = strategy_.round_window;
     const sim::SimTime t0 = cluster_.max_time();
-    for (std::size_t d = 0; d < k_; ++d) cluster_.advance_to(d, t0);
 
-    std::vector<bool> available_at_start(k_);
-    for (std::size_t d = 0; d < k_; ++d) {
-      available_at_start[d] = liveness.is_available(d);
-    }
-
-    // Deadline-truncated step budgets are analytic: what fits the window
-    // given the device's iteration time and this burst's jitter draw. In
-    // exact mode the SGD for every budget runs below (via jobs); in cohort
-    // mode the budgets stand on their own and only the cohort's SGD runs.
-    std::vector<TrainJob> jobs;
-    double executed_total = 0.0;
-    for (std::size_t d = 0; d < k_; ++d) {
-      const double jitter = cluster_.sample_jitter_factor(d);
-      const double iter_time = cluster_.iteration_time(d) * jitter;
-      const auto fit = static_cast<std::size_t>(
-          std::max(0.0, std::floor(window / iter_time + 1e-9)));
-      const std::size_t executed = std::min(strategy_.local_steps[d], fit);
-      last_executed_[d] = executed;
-      if (exact_mode() && executed > 0) {
-        state_slab_[d] = store_->detach(state_slab_[d]);
-        TrainJob job;
-        job.id = d;
-        job.steps = executed;
-        job.state = store_->mutable_view(state_slab_[d]);
-        jobs.push_back(job);
+    // Fused O(K) round walk over the fixed range grid: align to t0,
+    // availability, jitter draw, deadline-truncated step budget (analytic:
+    // what fits the window given the device's iteration time and this
+    // burst's jitter draw), burst + window advancement, version bump. Every
+    // device touches only its own clock slot and jitter stream, so ranges
+    // run unsynced; the partials — integer-valued executed sums, clock
+    // maxima, trained-id lists — are order-independent or merge in range
+    // order, keeping every thread count bit-identical to the serial walk.
+    // In exact mode the SGD for every budget runs below (via jobs); in
+    // cohort mode the budgets stand on their own and only each group's
+    // cohort SGD runs later.
+    const double clock_start = span_now();
+    std::vector<std::uint8_t> available_at_start(k_, 0);
+    const std::size_t ranges = range_count(k_);
+    std::vector<double> range_executed(ranges, 0.0);
+    std::vector<sim::SimTime> range_clock(ranges, 0.0);
+    std::vector<std::vector<sim::DeviceId>> range_train(ranges);
+    const bool train_all = exact_mode();
+    for_ranges(k_, [&](std::size_t r, std::size_t begin, std::size_t end) {
+      for (std::size_t d = begin; d < end; ++d) {
+        cluster_.advance_to_unsynced(d, t0);
+        // == liveness.is_available(d) after the align: time(d) is now t0.
+        available_at_start[d] =
+            cluster_.faults().alive(d, t0) ? std::uint8_t{1} : std::uint8_t{0};
+        const double jitter = cluster_.sample_jitter_factor(d);
+        const double iter_time = cluster_.iteration_time(d) * jitter;
+        const auto fit = static_cast<std::size_t>(
+            std::max(0.0, std::floor(window / iter_time + 1e-9)));
+        const std::size_t executed = std::min(strategy_.local_steps[d], fit);
+        last_executed_[d] = executed;
+        if (train_all && executed > 0) range_train[r].push_back(d);
+        cluster_.advance_unsynced(d,
+                                  iter_time * static_cast<double>(executed));
+        cluster_.advance_to_unsynced(d, t0 + window);
+        version_[d] += static_cast<double>(executed);
+        range_executed[r] += static_cast<double>(executed);
+        range_clock[r] = std::max(range_clock[r], cluster_.time(d));
       }
-      const double burst =
-          iter_time * static_cast<double>(executed);
-      cluster_.advance(d, burst);
-      cluster_.advance_to(d, t0 + window);
-      version_[d] += static_cast<double>(executed);
-      executed_total += static_cast<double>(executed);
+    });
+    double executed_total = 0.0;
+    std::vector<TrainJob> jobs;
+    for (std::size_t r = 0; r < ranges; ++r) {
+      executed_total += range_executed[r];
+      cluster_.note_clock(range_clock[r]);
+      for (const sim::DeviceId d : range_train[r]) {
+        jobs.push_back(make_job(d, last_executed_[d]));
+      }
     }
+    span(clock_start, obs::SpanKind::kIdle, "clock");
     run_jobs(jobs, ctx_.config.learning_rate);
     for (const TrainJob& job : jobs) last_loss_[job.id] = job.loss;
 
+    const double select_start = span_now();
     std::vector<double> fallback(k_);
-    for (std::size_t d = 0; d < k_; ++d) {
-      fallback[d] =
-          static_cast<double>(round) * strategy_.expected_versions[d];
-    }
+    for_ranges(k_, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t d = begin; d < end; ++d) {
+        fallback[d] =
+            static_cast<double>(round) * strategy_.expected_versions[d];
+      }
+    });
     std::vector<double> predicted;
     switch (config_.predictor) {  // inline predict_versions: the kLastValue
       case PredictorMode::kDes:   // history lives here full-size, while the
@@ -744,13 +913,21 @@ FleetResult FleetEngine::run() {
         capped_copy(version_, fleet_.extras_device_cap));
     result_.extras.predicted_versions.push_back(
         capped_copy(predicted, fleet_.extras_device_cap));
+    span(select_start, obs::SpanKind::kSync, "select");
 
     std::vector<float> eval_state;
     std::vector<sim::DeviceId> selected_this_round;
     for (const auto& group : groups) {
       std::vector<sim::DeviceId> candidates;
-      for (const sim::DeviceId id : group) {
-        if (available_at_start[id]) candidates.push_back(id);
+      const std::size_t gn = group.size();
+      std::vector<std::vector<sim::DeviceId>> parts(range_count(gn));
+      for_ranges(gn, [&](std::size_t r, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (available_at_start[group[i]] != 0) parts[r].push_back(group[i]);
+        }
+      });
+      for (const auto& part : parts) {
+        candidates.insert(candidates.end(), part.begin(), part.end());
       }
       if (candidates.empty()) continue;
       aggregate_group(candidates, predicted, selected_this_round,
@@ -785,6 +962,10 @@ FleetResult FleetEngine::run() {
   result_.stats.rounds = round;
   result_.stats.peak_state_slabs = store_->peak_slabs();
   result_.stats.peak_state_bytes = store_->peak_bytes();
+  if (vstore_) {
+    result_.stats.peak_velocity_slabs = vstore_->peak_slabs();
+    result_.stats.peak_velocity_bytes = vstore_->peak_bytes();
+  }
   result_.stats.ring_repairs = result_.extras.ring_repairs;
   result_.extras.model_backups = model_manager.backups_written();
   result_.scheme.volume = transport_.volume();

@@ -8,52 +8,81 @@
 // (nn/cow_store.hpp): a device handle is two slab ids (model state +
 // last-sync reference), devices that share bits share slabs, and a device
 // materializes a private copy only when it is about to train. Training runs
-// on a fixed pool of reusable trainer slots (model + stateless SGD), so
-// resident model memory is O(distinct states), not O(K).
+// on a fixed pool of reusable trainer slots (model + SGD), so resident
+// model memory is O(distinct states), not O(K). With momentum > 0 each
+// device additionally carries an optimizer-velocity slab in a second CoW
+// store: untouched devices share one zero slab, so resident optimizer
+// memory is O(trained cohort), not O(K), and a trained device's momentum
+// history round-trips through its slab exactly as run_hadfl's per-device
+// Sgd would carry it.
+//
+// Parallel round work: all per-round O(K) scalar sweeps — clock
+// advancement, jitter draws, step-budget arithmetic, availability,
+// candidate collection, selection keys/quantiles, broadcast fan-out and
+// receiver-class grouping — run over a FIXED device-range grid (grain
+// constant, never derived from thread count) on the shared ThreadPool,
+// with per-range partials merged in range order. Every merged reduction is
+// either order-independent (max, integer-valued sums) or folded in range
+// order, so results are bit-identical at any `scalar_threads` value —
+// the same discipline as the tiled GEMM kernels.
 //
 // Two modes:
 //
-//  * Exact (`cohort == 0`): every device trains every round, exactly like
-//    run_hadfl. Bit-identical guarantee — a seeded exact-mode run produces
-//    the same final_state bits, total_time and communication volume as
-//    run_hadfl on the same context (tests/test_fleet.cpp pins this at
-//    K=8): the RNG draw order, the ring-fold order, and every elementwise
-//    float op match the original loop; slab sharing and class-based
-//    broadcast integration only deduplicate computations whose inputs are
-//    bit-equal. Memory still reaches O(K) slabs after warm-up (every
-//    device's warm-up trajectory differs), so exact mode is the validation
-//    path, not the scale path.
+//  * Exact (`cohort == 0`, or any cohort >= K — a cohort covering the
+//    fleet has nothing to sample): every device trains every round,
+//    exactly like run_hadfl. Bit-identical guarantee — a seeded exact-mode
+//    run produces the same final_state bits, total_time and communication
+//    volume as run_hadfl on the same context (tests/test_fleet.cpp pins
+//    this at K=8, including momentum > 0 and hierarchical grouping): the
+//    RNG draw order, the ring-fold order, and every elementwise float op
+//    match the original loop; slab sharing and class-based broadcast
+//    integration only deduplicate computations whose inputs are bit-equal.
+//    Memory still reaches O(K) slabs after warm-up (every device's warm-up
+//    trajectory differs), so exact mode is the validation path, not the
+//    scale path.
 //
-//  * Sampled cohort (`cohort > 0`): per round, only the `cohort` devices
-//    the Eq. 8 selection favours actually run SGD — the select_count ring
-//    winners plus (cohort - select_count) shadow runners-up (the next-best
-//    Efraimidis–Soules keys, core/fleet_selection.hpp). Every *other*
-//    device is priced analytically: executed steps, parameter versions,
-//    virtual clocks, selection dynamics and wire volume are computed
-//    exactly (they depend only on the strategy, jitter draws and the fault
-//    plan, not on model floats); only the unselected devices' model drift
-//    is approximated (their slabs move through shared broadcast
-//    integration, not private SGD). Warm-up trains `cohort` sample devices
-//    and reuses their mean. Documented approximations: bucketed quartiles
-//    and E–S sampling replace the exact selection draw stream; means over
-//    device sets are folded per slab class (count-weighted), not per
-//    device; train-loss points cover the trained cohort only. Requires
-//    flat grouping and the Gaussian-quartile policy.
+//  * Sampled cohort (`0 < cohort < K`): the cohort budget applies per
+//    selection domain — per group under hierarchical grouping, fleet-wide
+//    when flat. Each round, each group trains only the devices its
+//    selection favours: the select_count ring winners plus
+//    (cohort - select_count) shadow runners-up (core/fleet_selection.hpp);
+//    group rings aggregate and inter-group sync composes them exactly as
+//    the exact path does. A group whose candidate set fits inside the
+//    cohort degrades to the exact per-group plan (everyone trains,
+//    plan_ring draws). Every unselected device is priced analytically:
+//    executed steps, parameter versions, virtual clocks, selection
+//    dynamics and wire volume are computed exactly (they depend only on
+//    the strategy, jitter draws and the fault plan, not on model floats);
+//    only the unselected devices' model drift is approximated (their slabs
+//    move through shared broadcast integration, not private SGD) — the
+//    `fleet_scale --drift` bench quantifies that deviation against cohort
+//    size. Warm-up trains a min(cohort × groups, K) id-prefix sample and
+//    reuses its mean loss. Documented approximations: bucketed quartiles
+//    and counter-keyed Efraimidis–Soules sampling replace the exact
+//    selection draw stream; means over device sets are folded per slab
+//    class (count-weighted, ordered by first member) rather than per
+//    device; train-loss points cover the trained cohort only. Supports the
+//    gaussian-quartile (Eq. 8) and top-k selection policies through the
+//    same bucketed top-N machinery.
 //
-// Both modes require momentum == 0 (trainer slots are shared across
-// devices, so per-device optimizer state would leak between them) and
-// ignore HadflConfig::trace.
+// Both modes ignore HadflConfig::trace; per-round phase spans (`select`,
+// `clock`, `train`, `fold`) go to FleetConfig::recorder when set.
 #pragma once
 
 #include "core/trainer.hpp"
 #include "fl/scheme.hpp"
 
+namespace hadfl::obs {
+class SpanRecorder;
+}
+
 namespace hadfl::core {
 
 struct FleetConfig {
   /// 0 = exact mode (every device trains; bit-identical to run_hadfl).
-  /// > 0 = sampled-cohort mode: that many devices train per round (must be
-  /// >= the strategy's select_count).
+  /// > 0 = sampled-cohort mode: that many devices train per round per
+  /// selection domain (per group when grouping is hierarchical). Must be
+  /// >= the strategy's select_count. A cohort >= K degrades to exact mode.
   std::size_t cohort = 0;
 
   /// Hard cap on synchronization rounds; 0 = run to the epoch budget like
@@ -68,6 +97,15 @@ struct FleetConfig {
 
   /// Histogram buckets for the cohort-mode approximate quartiles.
   std::size_t selection_buckets = 512;
+
+  /// Thread budget for the per-round O(K) scalar sweeps. 0 = the process
+  /// compute-thread default (HADFL_NUM_THREADS); 1 = serial baseline.
+  /// Results are bit-identical at any value — this only changes wall time.
+  std::size_t scalar_threads = 0;
+
+  /// When set, per-round phase spans (`select`, `clock`, `train`, `fold`)
+  /// are recorded on track 0 — `hadfl_run --fleet --trace-out` wires this.
+  obs::SpanRecorder* recorder = nullptr;
 };
 
 struct FleetStats {
@@ -77,8 +115,12 @@ struct FleetStats {
   std::size_t train_episodes = 0;     ///< device-training bursts executed
   std::size_t peak_state_slabs = 0;   ///< CoW store high-water slab count
   std::size_t peak_state_bytes = 0;   ///< CoW store high-water bytes
+  /// Momentum-velocity CoW store high-water marks (0 when momentum == 0).
+  std::size_t peak_velocity_slabs = 0;
+  std::size_t peak_velocity_bytes = 0;
   /// What run_hadfl would keep resident for the same fleet: one model state
-  /// plus one last-sync reference per device.
+  /// plus one last-sync reference per device, plus (momentum > 0) one
+  /// optimizer-velocity buffer per device.
   std::size_t naive_state_bytes = 0;
   std::size_t ring_repairs = 0;
 };

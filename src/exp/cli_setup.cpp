@@ -59,6 +59,58 @@ std::string sync_codec_flag_error(const std::string& codec,
   return "";
 }
 
+std::string fleet_flag_error(const ArgParser& args) {
+  static const std::vector<std::string> kFleetFlags{
+      "fleet-devices", "fleet-cohort", "fleet-rounds",
+      "fleet-churn",   "fleet-threads", "fleet-momentum"};
+  if (!args.has("fleet")) {
+    for (const std::string& flag : kFleetFlags) {
+      if (args.has(flag)) {
+        return "--" + flag + " requires --fleet";
+      }
+    }
+    return "";
+  }
+  const int devices = args.get_int("fleet-devices", 1000);
+  if (devices <= 0) {
+    return "--fleet-devices must be positive: " + std::to_string(devices);
+  }
+  const int cohort = args.get_int("fleet-cohort", 0);
+  if (cohort < 0) {
+    return "--fleet-cohort must be non-negative: " + std::to_string(cohort);
+  }
+  const int rounds = args.get_int("fleet-rounds", 0);
+  if (rounds < 0) {
+    return "--fleet-rounds must be non-negative: " + std::to_string(rounds);
+  }
+  const int threads = args.get_int("fleet-threads", 0);
+  if (threads < 0) {
+    return "--fleet-threads must be non-negative: " + std::to_string(threads);
+  }
+  const double churn = args.get_double("fleet-churn", 0.0);
+  if (churn < 0.0 || churn > 1.0) {
+    return "--fleet-churn out of range (want 0 <= f <= 1): " +
+           std::to_string(churn);
+  }
+  const double momentum = args.get_double("fleet-momentum", 0.0);
+  if (momentum < 0.0 || momentum >= 1.0) {
+    return "--fleet-momentum out of range (want 0 <= mu < 1): " +
+           std::to_string(momentum);
+  }
+  const int np = args.get_int("np", 2);
+  const bool sampled = cohort > 0 && cohort < devices;
+  if (sampled && cohort < np) {
+    return "--fleet-cohort=" + std::to_string(cohort) +
+           " smaller than --np=" + std::to_string(np);
+  }
+  const std::string policy = args.get("policy", "gaussian-quartile");
+  if (sampled && policy != "gaussian-quartile" && policy != "top-k") {
+    return "--fleet-cohort supports --policy=gaussian-quartile|top-k; got " +
+           policy;
+  }
+  return "";
+}
+
 fl::SchemeContext RunSetup::context() const {
   const fl::SchemeContext base = env->context();
   return fl::SchemeContext{base.cluster, base.network,  base.train,

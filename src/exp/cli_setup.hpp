@@ -91,6 +91,15 @@ std::string backend_flag_error(const std::string& scheme,
                                bool has_transport,
                                const std::string& transport);
 
+/// Validates the --fleet flag family: every --fleet-* flag requires
+/// --fleet, value ranges must hold (devices/rounds/threads non-negative,
+/// churn in [0, 1], momentum in [0, 1)), a non-zero cohort must cover
+/// --np, and sampled-cohort mode supports the gaussian-quartile and top-k
+/// policies only. Returns the empty string when valid, else the one-line
+/// diagnostic hadfl_run prints to stderr before exiting with status 2
+/// (the sync_codec_flag_error pattern).
+std::string fleet_flag_error(const ArgParser& args);
+
 /// FNV-1a over the state's raw bytes — the "state hash" line hadfl_run
 /// prints, which is what the CI loopback smoke compares across backends.
 std::uint64_t state_hash(std::span<const float> state);

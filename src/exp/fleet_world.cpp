@@ -20,8 +20,11 @@ FleetWorld::FleetWorld(const FleetWorldConfig& config)
   scenario_.name =
       "fleet " + std::to_string(config.devices) + " devices, pattern " +
       sim::ratio_to_string(config.ratio);
-  // Shared trainer slots cannot hold per-device velocity (core/fleet.hpp).
-  scenario_.train.momentum = 0.0;
+  HADFL_CHECK_ARG(config.momentum >= 0.0 && config.momentum < 1.0,
+                  "fleet momentum must be in [0, 1)");
+  // Per-device velocity lives in the engine's CoW slab store
+  // (core/fleet.hpp), so momentum needs no special casing here.
+  scenario_.train.momentum = config.momentum;
   scenario_.jitter_std = config.jitter_std;
 
   split_ = data::make_synthetic_cifar(scenario_.data);

@@ -10,9 +10,6 @@
 // struct-of-arrays DeviceTable, oversubscribes a fixed synthetic dataset
 // with the deterministic cyclic partition, and schedules a staggered churn
 // plan (one fault interval per churning device, a slice of them permanent).
-//
-// Momentum is forced to 0: the fleet engine's shared trainer slots cannot
-// carry per-device optimizer state (core/fleet.hpp).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +40,7 @@ struct FleetWorldConfig {
   std::size_t devices = 1000;              ///< K
   std::vector<double> ratio{3, 3, 1, 1};   ///< compute pattern, cycled
   double jitter_std = 0.0;                 ///< per-burst compute noise
+  double momentum = 0.0;                   ///< SGD momentum, in [0, 1)
   std::size_t samples_per_device = 64;     ///< cyclic oversubscription
   int epochs = 4;                          ///< total training epochs
   std::uint64_t seed = 7;

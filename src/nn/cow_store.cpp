@@ -34,6 +34,24 @@ CowStateStore::SlabId CowStateStore::create(std::span<const float> state) {
   return id;
 }
 
+CowStateStore::SlabId CowStateStore::create_zeroed() {
+  SlabId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<SlabId>(slabs_.size());
+    slabs_.emplace_back();
+    refcounts_.push_back(0);
+  }
+  std::vector<float>& slab = slabs_[id];
+  slab.assign(state_size_, 0.0f);
+  refcounts_[id] = 1;
+  ++live_slabs_;
+  peak_slabs_ = std::max(peak_slabs_, live_slabs_);
+  return id;
+}
+
 void CowStateStore::retain(SlabId id) {
   check_live(id);
   ++refcounts_[id];

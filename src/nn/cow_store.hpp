@@ -39,6 +39,11 @@ class CowStateStore {
   /// Creates a new slab holding a copy of `state` (refcount 1).
   SlabId create(std::span<const float> state);
 
+  /// Creates a zero-filled slab (refcount 1) without the caller having to
+  /// materialize a state_size() source buffer — the K-device init path for
+  /// optimizer-velocity slabs, which all start at zero and share one slab.
+  SlabId create_zeroed();
+
   /// Increments a slab's refcount (a second handle now shares it).
   void retain(SlabId id);
 

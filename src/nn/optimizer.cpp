@@ -1,5 +1,7 @@
 #include "nn/optimizer.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
 
@@ -29,6 +31,35 @@ void Sgd::step() {
     const std::size_t n = p.numel();
     sgd_update({p.value.data(), n}, {p.grad.data(), n},
                {velocity_[i].data(), velocity_[i].size()}, lr, mu, wd);
+  }
+}
+
+std::size_t Sgd::velocity_size() const {
+  std::size_t total = 0;
+  for (const auto& v : velocity_) total += v.size();
+  return total;
+}
+
+void Sgd::save_velocity(std::span<float> dst) const {
+  HADFL_CHECK_ARG(dst.size() == velocity_size(),
+                  "velocity span size mismatch: " << dst.size() << " for "
+                                                  << velocity_size());
+  std::size_t offset = 0;
+  for (const auto& v : velocity_) {
+    std::copy(v.begin(), v.end(), dst.begin() + offset);
+    offset += v.size();
+  }
+}
+
+void Sgd::load_velocity(std::span<const float> src) {
+  HADFL_CHECK_ARG(src.size() == velocity_size(),
+                  "velocity span size mismatch: " << src.size() << " for "
+                                                  << velocity_size());
+  std::size_t offset = 0;
+  for (auto& v : velocity_) {
+    std::copy(src.begin() + offset, src.begin() + offset + v.size(),
+              v.begin());
+    offset += v.size();
   }
 }
 

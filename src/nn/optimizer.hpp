@@ -4,6 +4,7 @@
 // training; the main phase uses the configured base rate).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -33,6 +34,16 @@ class Sgd {
   void set_learning_rate(double lr) { config_.learning_rate = lr; }
   double learning_rate() const { return config_.learning_rate; }
   const SgdConfig& config() const { return config_; }
+
+  /// Total momentum-buffer floats across trainable parameters — the flat
+  /// velocity layout mirrors nn::state_size so fleet engines can persist
+  /// optimizer state in the same CoW slab shapes as model state.
+  std::size_t velocity_size() const;
+
+  /// Copies the momentum buffers into / out of a flat span (trainable
+  /// parameters in position order). Sizes must equal velocity_size().
+  void save_velocity(std::span<float> dst) const;
+  void load_velocity(std::span<const float> src);
 
  private:
   std::vector<Parameter*> params_;

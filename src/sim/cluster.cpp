@@ -16,6 +16,12 @@ Cluster::Cluster(DeviceTable devices, double base_iteration_time,
   HADFL_CHECK_ARG(!table_.empty(), "cluster needs at least one device");
   HADFL_CHECK_ARG(base_iteration_time > 0.0,
                   "base iteration time must be positive");
+  if (table_.any_jitter()) {
+    // Allocate the dense stream array up front so lazy seeding inside
+    // parallel device-range loops never resizes shared storage.
+    jitter_streams_.assign(table_.size(), Rng(0));
+    jitter_seeded_.assign(table_.size(), 0);
+  }
 }
 
 Cluster::Cluster(std::vector<DeviceSpec> devices, double base_iteration_time,
@@ -52,15 +58,17 @@ SimTime Cluster::time(DeviceId id) const {
 }
 
 Rng& Cluster::jitter_stream(DeviceId id) {
-  const auto it = jitter_streams_.find(id);
-  if (it != jitter_streams_.end()) return it->second;
-  // Counter-style derivation: the stream depends on (cluster seed, id)
-  // only, never on how many draws other devices have made — so reordering
-  // or skipping other devices' draws (the sampled-cohort fleet path) leaves
-  // this device's jitter sequence intact.
-  const std::uint64_t stream_seed =
-      seed_ ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(id) + 1));
-  return jitter_streams_.emplace(id, Rng(stream_seed)).first->second;
+  if (!jitter_seeded_[id]) {
+    // Counter-style derivation: the stream depends on (cluster seed, id)
+    // only, never on how many draws other devices have made — so reordering
+    // or skipping other devices' draws (the sampled-cohort fleet path) leaves
+    // this device's jitter sequence intact.
+    const std::uint64_t stream_seed =
+        seed_ ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(id) + 1));
+    jitter_streams_[id] = Rng(stream_seed);
+    jitter_seeded_[id] = 1;
+  }
+  return jitter_streams_[id];
 }
 
 double Cluster::sample_jitter_factor(DeviceId id) {
@@ -72,27 +80,39 @@ double Cluster::sample_jitter_factor(DeviceId id) {
                     1.0 + 4.0 * jstd);
 }
 
-SimTime Cluster::advance_compute(DeviceId id, std::size_t iterations) {
+SimTime Cluster::advance_compute_unsynced(DeviceId id,
+                                          std::size_t iterations) {
   SimTime duration = iteration_time(id) * static_cast<double>(iterations);
   if (iterations > 0) duration *= sample_jitter_factor(id);
   clocks_[id] += duration;
+  return duration;
+}
+
+SimTime Cluster::advance_compute(DeviceId id, std::size_t iterations) {
+  const SimTime duration = advance_compute_unsynced(id, iterations);
   max_clock_ = std::max(max_clock_, clocks_[id]);
   return duration;
 }
 
-void Cluster::advance(DeviceId id, SimTime duration) {
+void Cluster::advance_unsynced(DeviceId id, SimTime duration) {
   HADFL_CHECK_ARG(duration >= 0.0, "cannot advance by negative time");
   HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
   clocks_[id] += duration;
+}
+
+void Cluster::advance(DeviceId id, SimTime duration) {
+  advance_unsynced(id, duration);
   max_clock_ = std::max(max_clock_, clocks_[id]);
 }
 
-void Cluster::advance_to(DeviceId id, SimTime t) {
+void Cluster::advance_to_unsynced(DeviceId id, SimTime t) {
   HADFL_CHECK_ARG(id < clocks_.size(), "device id " << id << " out of range");
-  if (t > clocks_[id]) {
-    clocks_[id] = t;
-    max_clock_ = std::max(max_clock_, t);
-  }
+  if (t > clocks_[id]) clocks_[id] = t;
+}
+
+void Cluster::advance_to(DeviceId id, SimTime t) {
+  advance_to_unsynced(id, t);
+  max_clock_ = std::max(max_clock_, clocks_[id]);
 }
 
 SimTime Cluster::barrier(const std::vector<DeviceId>& ids) {

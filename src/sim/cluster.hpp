@@ -11,12 +11,17 @@
 // DeviceTable (no per-device spec/name allocations), the global max clock
 // is maintained incrementally (clocks never move backwards, so the running
 // max is exact and max_time()/barrier_all() cost O(1)/O(K) with no scan),
-// and compute-jitter RNG streams are created lazily per device — a device
-// that never draws jitter costs nothing, and each stream is seeded from
-// (seed, id) alone, so draw order across devices does not couple streams.
+// and compute-jitter RNG streams live in a dense per-device array seeded
+// lazily — each stream is seeded from (seed, id) alone, so draw order
+// across devices does not couple streams.
+//
+// Thread-compatible subset: the `*_unsynced` clock ops mutate only the
+// target device's slots (clock, jitter stream) and skip the incremental
+// max, so callers may run them concurrently over DISJOINT device sets and
+// then merge their per-range maxima back with note_clock(). Everything
+// else on this class is single-threaded.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -76,6 +81,18 @@ class Cluster {
   /// Set a device's clock to at least `t` (message arrival, barrier).
   void advance_to(DeviceId id, SimTime t);
 
+  // Thread-compatible variants: identical clock/jitter arithmetic, but the
+  // incremental global max is NOT updated. Safe to call concurrently for
+  // disjoint device ids; afterwards each caller folds its range-local
+  // maximum back in (in any order — max is commutative) via note_clock().
+  SimTime advance_compute_unsynced(DeviceId id, std::size_t iterations);
+  void advance_unsynced(DeviceId id, SimTime duration);
+  void advance_to_unsynced(DeviceId id, SimTime t);
+
+  /// Folds an externally computed clock value into the incremental max.
+  /// Required after any *_unsynced batch; harmless to call with stale times.
+  void note_clock(SimTime t) { max_clock_ = std::max(max_clock_, t); }
+
   /// Barrier over a subset: everyone in `ids` jumps to the subset max.
   SimTime barrier(const std::vector<DeviceId>& ids);
 
@@ -104,7 +121,12 @@ class Cluster {
   double base_iteration_time_;
   FaultInjector faults_;
   std::uint64_t seed_;
-  std::unordered_map<DeviceId, Rng> jitter_streams_;  ///< lazy, per device
+  // Dense per-device jitter streams, seeded lazily on first draw. Sized in
+  // the constructor only when some device declares jitter, so jitter-free
+  // fleets pay nothing. Dense (not a hash map) so concurrent first-draws on
+  // distinct ids touch disjoint slots — no rehash, no shared buckets.
+  std::vector<Rng> jitter_streams_;
+  std::vector<std::uint8_t> jitter_seeded_;
 };
 
 }  // namespace hadfl::sim

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,12 @@ class DeviceTable {
   double compute_power(DeviceId id) const { return compute_power_[id]; }
   double jitter_std(DeviceId id) const { return jitter_std_[id]; }
   double bandwidth_scale(DeviceId id) const { return bandwidth_scale_[id]; }
+
+  // Whole-column views for O(K)-per-round consumers (the fleet engine's
+  // parallel range loops) — no per-device copies, no bounds re-checks.
+  std::span<const double> compute_powers() const { return compute_power_; }
+  std::span<const double> jitter_stds() const { return jitter_std_; }
+  std::span<const double> bandwidth_scales() const { return bandwidth_scale_; }
 
   /// "dev<id>" unless a spec carried an explicit different name.
   std::string name(DeviceId id) const;

@@ -44,15 +44,22 @@
 //                           --ratio/--jitter/--seed/--epochs plus the
 //                           fleet flags below; --model/--scale/--partition
 //                           do not apply (the world is fixed to the scaled
-//                           MLP with a cyclic partition, momentum 0)
+//                           MLP with a cyclic partition)
 //   --fleet-devices=<int>   fleet: device count K               [1000]
-//   --fleet-cohort=<int>    fleet: devices trained per round    [0 = all,
-//                           exact mode, bit-identical to the sim backend]
+//   --fleet-cohort=<int>    fleet: devices trained per round per group
+//                           [0 = all, exact mode, bit-identical to the sim
+//                           backend; >= K also degrades to exact]
 //   --fleet-rounds=<int>    fleet: sync-round cap               [0 = none]
 //   --fleet-churn=<float>   fleet: fraction of devices that churn [0]
+//   --fleet-threads=<int>   fleet: threads for the per-round O(K) scalar
+//                           sweeps [0 = auto; results are bit-identical
+//                           at any value]
+//   --fleet-momentum=<float>  fleet: SGD momentum; per-device velocity
+//                           lives in a CoW slab store               [0]
 //   --csv=<path>            write the convergence series
 //   --trace-out=<path>      write a Chrome/Perfetto trace of the run
-//                           (hadfl scheme; sim and rt backends) and print
+//                           (hadfl scheme; sim and rt backends, and the
+//                           per-round phase spans under --fleet) and print
 //                           the per-device time breakdown
 //   --metrics-out=<path>    rt/net: write the telemetry counters CSV
 //   --verbose               info-level logging
@@ -72,6 +79,7 @@
 #include "exp/report.hpp"
 #include "net/runner.hpp"
 #include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "rt/runner.hpp"
 
 using namespace hadfl;
@@ -86,7 +94,7 @@ const std::vector<std::string> kKnownOptions{
     "wallclock", "die", "sync-chunks", "sync-codec", "topk-ratio",
     "int8-broadcast", "trace-out",
     "metrics-out", "fleet", "fleet-devices", "fleet-cohort",
-    "fleet-rounds", "fleet-churn"};
+    "fleet-rounds", "fleet-churn", "fleet-threads", "fleet-momentum"};
 
 void print_usage() {
   std::cout <<
@@ -104,6 +112,7 @@ void print_usage() {
       "                 [--topk-ratio=R] [--int8-broadcast]\n"
       "                 [--fleet] [--fleet-devices=K] [--fleet-cohort=N]\n"
       "                 [--fleet-rounds=R] [--fleet-churn=F]\n"
+      "                 [--fleet-threads=T] [--fleet-momentum=MU]\n"
       "                 [--trace-out=PATH] [--metrics-out=PATH] [--verbose]\n";
 }
 
@@ -140,11 +149,13 @@ void report(const fl::SchemeResult& result, const std::string& csv_path) {
 /// and runs the fleet-scale engine on it. Exact mode (cohort 0) is
 /// bit-identical to the sim backend on the same world, so the "state hash"
 /// line is comparable across `--fleet-cohort=0` runs and tests.
-int run_fleet(const ArgParser& args, const std::string& csv) {
+int run_fleet(const ArgParser& args, const std::string& csv,
+              const std::string& trace_out) {
   exp::FleetWorldConfig fw;
   fw.devices = static_cast<std::size_t>(args.get_int("fleet-devices", 1000));
   fw.ratio = args.get_double_list("ratio", {3, 3, 1, 1});
   fw.jitter_std = args.get_double("jitter", 0.0);
+  fw.momentum = args.get_double("fleet-momentum", 0.0);
   fw.epochs = args.get_int("epochs", 4);
   fw.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   fw.churn.fraction = args.get_double("fleet-churn", 0.0);
@@ -166,10 +177,19 @@ int run_fleet(const ArgParser& args, const std::string& csv) {
   fleet.cohort = static_cast<std::size_t>(args.get_int("fleet-cohort", 0));
   fleet.max_rounds =
       static_cast<std::size_t>(args.get_int("fleet-rounds", 0));
+  fleet.scalar_threads =
+      static_cast<std::size_t>(args.get_int("fleet-threads", 0));
+  obs::SpanRecorder recorder(1);  // one coordinator track of phase spans
+  if (!trace_out.empty()) fleet.recorder = &recorder;
 
   std::cout << "== hadfl_run: hadfl on " << s.name << " ==\n";
   const core::FleetResult r =
       core::run_hadfl_fleet(world.context(), s.hadfl, fleet);
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out, recorder.drain().spans());
+    std::cout << "trace written to:  " << trace_out
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
   const double mb = 1024.0 * 1024.0;
   const double peak = static_cast<double>(r.stats.peak_state_bytes);
   const double naive = static_cast<double>(r.stats.naive_state_bytes);
@@ -275,16 +295,21 @@ int main(int argc, char** argv) {
       std::cerr << "--trace-out/--metrics-out only apply to --scheme=hadfl\n";
       return 2;
     }
+    const std::string fleet_error = exp::fleet_flag_error(args);
+    if (!fleet_error.empty()) {
+      std::cerr << fleet_error << "\n";
+      return 2;
+    }
     if (args.has("fleet")) {
       if (scheme != "hadfl" || backend != "sim") {
         std::cerr << "--fleet requires --scheme=hadfl --backend=sim\n";
         return 2;
       }
-      if (!trace_out.empty() || !metrics_out.empty()) {
-        std::cerr << "--trace-out/--metrics-out do not apply to --fleet\n";
+      if (!metrics_out.empty()) {
+        std::cerr << "--metrics-out does not apply to --fleet\n";
         return 2;
       }
-      return run_fleet(args, csv);
+      return run_fleet(args, csv, trace_out);
     }
 
     exp::RunSetup setup = exp::make_run_setup(args);

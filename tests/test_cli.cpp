@@ -138,5 +138,74 @@ TEST(SyncCodecFlags, ParseMapsToTheSharedCodecEnum) {
   EXPECT_EQ(exp::parse_sync_codec("topk"), core::SyncCompression::kTopK);
 }
 
+// hadfl_run prints exp::fleet_flag_error's message and exits 2 whenever it
+// is non-empty (the sync_codec_flag_error pattern).
+
+TEST(FleetFlags, AcceptsConsistentCombinations) {
+  EXPECT_EQ(exp::fleet_flag_error(parse({})), "");
+  EXPECT_EQ(exp::fleet_flag_error(parse({"--fleet"})), "");
+  EXPECT_EQ(exp::fleet_flag_error(parse(
+                {"--fleet", "--fleet-devices=100000", "--fleet-cohort=64",
+                 "--fleet-rounds=4", "--fleet-churn=0.05",
+                 "--fleet-threads=8", "--fleet-momentum=0.9"})),
+            "");
+  // cohort >= K degrades to exact mode; the CLI lets the engine decide.
+  EXPECT_EQ(exp::fleet_flag_error(parse(
+                {"--fleet", "--fleet-devices=8", "--fleet-cohort=8"})),
+            "");
+  EXPECT_EQ(exp::fleet_flag_error(parse(
+                {"--fleet", "--fleet-cohort=16", "--policy=top-k"})),
+            "");
+}
+
+TEST(FleetFlags, FleetSubflagsRequireFleet) {
+  const std::string err = exp::fleet_flag_error(parse({"--fleet-cohort=8"}));
+  EXPECT_EQ(err, "--fleet-cohort requires --fleet");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet-devices=100"})), "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet-threads=4"})), "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet-momentum=0.9"})), "");
+}
+
+TEST(FleetFlags, RejectsOutOfRangeValues) {
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet", "--fleet-devices=0"})),
+            "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet", "--fleet-devices=-5"})),
+            "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet", "--fleet-rounds=-1"})),
+            "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet", "--fleet-threads=-2"})),
+            "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet", "--fleet-churn=1.5"})),
+            "");
+  EXPECT_NE(exp::fleet_flag_error(parse({"--fleet", "--fleet-churn=-0.1"})),
+            "");
+  EXPECT_NE(
+      exp::fleet_flag_error(parse({"--fleet", "--fleet-momentum=1.0"})), "");
+  EXPECT_NE(
+      exp::fleet_flag_error(parse({"--fleet", "--fleet-momentum=-0.1"})), "");
+}
+
+TEST(FleetFlags, SampledCohortMustCoverSelectCount) {
+  const std::string err = exp::fleet_flag_error(
+      parse({"--fleet", "--fleet-cohort=2", "--np=4"}));
+  EXPECT_NE(err.find("--fleet-cohort=2"), std::string::npos);
+  EXPECT_NE(err.find("--np=4"), std::string::npos);
+  // Exact mode (cohort 0 or >= K) has no cohort/np constraint.
+  EXPECT_EQ(exp::fleet_flag_error(parse({"--fleet", "--np=4"})), "");
+  EXPECT_EQ(exp::fleet_flag_error(parse(
+                {"--fleet", "--fleet-devices=4", "--fleet-cohort=4",
+                 "--np=4"})),
+            "");
+}
+
+TEST(FleetFlags, SampledCohortRestrictsPolicies) {
+  const std::string err = exp::fleet_flag_error(
+      parse({"--fleet", "--fleet-cohort=16", "--policy=uniform"}));
+  EXPECT_NE(err.find("uniform"), std::string::npos);
+  // Exact mode runs any policy the sim backend runs.
+  EXPECT_EQ(exp::fleet_flag_error(parse({"--fleet", "--policy=uniform"})),
+            "");
+}
+
 }  // namespace
 }  // namespace hadfl

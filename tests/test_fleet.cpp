@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -10,6 +12,7 @@
 #include "core/trainer.hpp"
 #include "exp/fleet_world.hpp"
 #include "nn/cow_store.hpp"
+#include "obs/recorder.hpp"
 
 namespace hadfl {
 namespace {
@@ -232,14 +235,6 @@ TEST(FleetEngine, RejectsUnsupportedConfigs) {
   exp::FleetWorldConfig fw = small_world(8);
   {
     exp::FleetWorld world(fw);
-    world.scenario().train.momentum = 0.9;  // shared slots can't carry it
-    EXPECT_THROW(core::run_hadfl_fleet(world.context(),
-                                       world.scenario().hadfl,
-                                       core::FleetConfig{}),
-                 Error);
-  }
-  {
-    exp::FleetWorld world(fw);
     core::FleetConfig fleet;
     fleet.cohort = 1;  // below select_count
     EXPECT_THROW(core::run_hadfl_fleet(world.context(),
@@ -248,13 +243,219 @@ TEST(FleetEngine, RejectsUnsupportedConfigs) {
   }
   {
     exp::FleetWorld world(fw);
-    world.scenario().hadfl.grouping.group_size = 4;  // cohort needs flat
+    // Cohort mode approximates selection through the bucketed top-N
+    // machinery, which covers gaussian-quartile and top-k only.
+    world.scenario().hadfl.policy =
+        std::make_shared<core::UniformSelection>();
     core::FleetConfig fleet;
     fleet.cohort = 4;
     EXPECT_THROW(core::run_hadfl_fleet(world.context(),
                                        world.scenario().hadfl, fleet),
                  Error);
   }
+  {
+    exp::FleetWorld world(fw);
+    world.scenario().hadfl.compression =
+        core::SyncCompression::kTopK;  // needs per-device residuals
+    EXPECT_THROW(core::run_hadfl_fleet(world.context(),
+                                       world.scenario().hadfl,
+                                       core::FleetConfig{}),
+                 Error);
+  }
+}
+
+TEST(CowStateStore, CreateZeroedIsAnOrdinarySlab) {
+  nn::CowStateStore store(4);
+  const auto zero = store.create_zeroed();
+  for (const float v : store.view(zero)) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(store.refcount(zero), 1u);
+  store.retain(zero);
+  const auto mine = store.detach(zero);  // CoW works on zeroed slabs too
+  EXPECT_NE(mine, zero);
+  store.mutable_view(mine)[0] = 5.0f;
+  EXPECT_EQ(store.view(zero)[0], 0.0f);
+}
+
+TEST(FleetEngine, MomentumExactModeBitIdenticalAtK8) {
+  exp::FleetWorldConfig fw = small_world(8);
+  fw.momentum = 0.9;  // velocity round-trips through the slab store
+  expect_bit_identical(fw);
+}
+
+TEST(FleetEngine, CohortCoveringFleetDegradesToExact) {
+  const exp::FleetWorldConfig fw = small_world(8);
+
+  exp::FleetWorld exact_world(fw);
+  const core::FleetResult want = core::run_hadfl_fleet(
+      exact_world.context(), exact_world.scenario().hadfl,
+      core::FleetConfig{});
+
+  exp::FleetWorld cohort_world(fw);
+  core::FleetConfig fleet;
+  fleet.cohort = 8;  // == K: nothing to sample
+  const core::FleetResult got = core::run_hadfl_fleet(
+      cohort_world.context(), cohort_world.scenario().hadfl, fleet);
+
+  ASSERT_EQ(want.scheme.final_state.size(), got.scheme.final_state.size());
+  EXPECT_EQ(0, std::memcmp(want.scheme.final_state.data(),
+                           got.scheme.final_state.data(),
+                           want.scheme.final_state.size() * sizeof(float)));
+  EXPECT_EQ(want.scheme.total_time, got.scheme.total_time);
+  EXPECT_EQ(want.stats.train_episodes, got.stats.train_episodes);
+}
+
+TEST(FleetEngine, SaturatedGroupedCohortBitIdenticalToExact) {
+  // Hierarchical grouping with cohort == group size: every group's
+  // candidate set fits the cohort, so each group degrades to the exact
+  // per-group plan and the whole run matches exact mode bit for bit.
+  exp::FleetWorldConfig fw = small_world(8);
+  fw.momentum = 0.9;
+
+  exp::FleetWorld exact_world(fw);
+  exact_world.scenario().hadfl.grouping.group_size = 4;
+  exact_world.scenario().hadfl.grouping.inter_group_period = 2;
+  const core::FleetResult want = core::run_hadfl_fleet(
+      exact_world.context(), exact_world.scenario().hadfl,
+      core::FleetConfig{});
+
+  exp::FleetWorld cohort_world(fw);
+  cohort_world.scenario().hadfl.grouping.group_size = 4;
+  cohort_world.scenario().hadfl.grouping.inter_group_period = 2;
+  core::FleetConfig fleet;
+  fleet.cohort = 4;
+  const core::FleetResult got = core::run_hadfl_fleet(
+      cohort_world.context(), cohort_world.scenario().hadfl, fleet);
+
+  ASSERT_EQ(want.scheme.final_state.size(), got.scheme.final_state.size());
+  EXPECT_EQ(0, std::memcmp(want.scheme.final_state.data(),
+                           got.scheme.final_state.data(),
+                           want.scheme.final_state.size() * sizeof(float)));
+  EXPECT_EQ(want.scheme.total_time, got.scheme.total_time);
+  EXPECT_EQ(want.scheme.volume.total_sent(), got.scheme.volume.total_sent());
+}
+
+/// Runs cohort mode at a K large enough to span several ranges of the
+/// fixed parallel grid and returns the bits that must not depend on the
+/// thread count.
+core::FleetResult run_cohort_world(std::size_t threads, double momentum,
+                                   std::shared_ptr<core::SelectionPolicy>
+                                       policy = nullptr) {
+  exp::FleetWorldConfig fw;
+  fw.devices = 20000;  // > 2 * kFleetGrain: the range grid is real
+  fw.epochs = 64;
+  fw.seed = 11;
+  fw.jitter_std = 0.05;
+  fw.momentum = momentum;
+  fw.churn.fraction = 0.01;
+  exp::FleetWorld world(fw);
+  if (policy) world.scenario().hadfl.policy = std::move(policy);
+  core::FleetConfig fleet;
+  fleet.cohort = 8;
+  fleet.max_rounds = 2;
+  fleet.scalar_threads = threads;
+  return core::run_hadfl_fleet(world.context(), world.scenario().hadfl,
+                               fleet);
+}
+
+void expect_same_run(const core::FleetResult& a, const core::FleetResult& b) {
+  ASSERT_EQ(a.scheme.final_state.size(), b.scheme.final_state.size());
+  EXPECT_EQ(0, std::memcmp(a.scheme.final_state.data(),
+                           b.scheme.final_state.data(),
+                           a.scheme.final_state.size() * sizeof(float)));
+  EXPECT_EQ(a.scheme.total_time, b.scheme.total_time);
+  EXPECT_EQ(a.scheme.volume.total_sent(), b.scheme.volume.total_sent());
+  EXPECT_EQ(a.scheme.volume.total_received(),
+            b.scheme.volume.total_received());
+  ASSERT_EQ(a.extras.selected.size(), b.extras.selected.size());
+  for (std::size_t r = 0; r < a.extras.selected.size(); ++r) {
+    EXPECT_EQ(a.extras.selected[r], b.extras.selected[r]);
+  }
+  EXPECT_EQ(a.stats.train_episodes, b.stats.train_episodes);
+}
+
+TEST(FleetEngine, ScalarThreadCountIsBitInvariant) {
+  const core::FleetResult serial = run_cohort_world(1, 0.9);
+  const core::FleetResult two = run_cohort_world(2, 0.9);
+  const core::FleetResult many = run_cohort_world(5, 0.9);
+  expect_same_run(serial, two);
+  expect_same_run(serial, many);
+}
+
+TEST(FleetEngine, TopKPolicyCohortIsDeterministic) {
+  const core::FleetResult a =
+      run_cohort_world(3, 0.0, std::make_shared<core::TopKSelection>());
+  const core::FleetResult b =
+      run_cohort_world(1, 0.0, std::make_shared<core::TopKSelection>());
+  expect_same_run(a, b);
+  EXPECT_FALSE(a.scheme.final_state.empty());
+  EXPECT_GT(a.stats.train_episodes, 0u);
+}
+
+TEST(FleetEngine, MomentumCohortKeepsVelocityResidencySmall) {
+  exp::FleetWorldConfig fw;
+  fw.devices = 256;
+  fw.epochs = 64;
+  fw.momentum = 0.9;
+  exp::FleetWorld world(fw);
+  core::FleetConfig fleet;
+  fleet.cohort = 8;
+  fleet.max_rounds = 3;
+  const core::FleetResult r = core::run_hadfl_fleet(
+      world.context(), world.scenario().hadfl, fleet);
+  // All 256 devices start on the shared zero slab; only trained devices
+  // fork a private velocity copy, so the high-water mark tracks the
+  // cohort, far below one-slab-per-device.
+  EXPECT_GT(r.stats.peak_velocity_slabs, 0u);
+  EXPECT_LT(r.stats.peak_velocity_slabs, 256u / 2);
+  EXPECT_GT(r.stats.peak_velocity_bytes, 0u);
+  EXPECT_GT(r.stats.naive_state_bytes,
+            2u * 256u * r.stats.state_floats * sizeof(float));
+}
+
+TEST(FleetEngine, HierarchicalCohortTrainsPerGroupBudget) {
+  exp::FleetWorldConfig fw;
+  fw.devices = 256;
+  fw.epochs = 64;
+  exp::FleetWorld world(fw);
+  world.scenario().hadfl.grouping.group_size = 64;  // 4 groups
+  world.scenario().hadfl.grouping.inter_group_period = 2;
+  core::FleetConfig fleet;
+  fleet.cohort = 8;
+  fleet.max_rounds = 3;
+  const core::FleetResult r = core::run_hadfl_fleet(
+      world.context(), world.scenario().hadfl, fleet);
+  EXPECT_EQ(r.stats.rounds, 3u);
+  // Warm-up samples cohort * groups; each round trains at most the cohort
+  // in each of the 4 groups.
+  EXPECT_LE(r.stats.train_episodes, 32u + 3u * 32u);
+  EXPECT_GT(r.stats.train_episodes, 0u);
+  EXPECT_FALSE(r.scheme.final_state.empty());
+}
+
+TEST(FleetEngine, RecordsPhaseSpans) {
+  exp::FleetWorldConfig fw = small_world(8);
+  exp::FleetWorld world(fw);
+  obs::SpanRecorder recorder(1);
+  core::FleetConfig fleet;
+  fleet.recorder = &recorder;
+  const core::FleetResult r = core::run_hadfl_fleet(
+      world.context(), world.scenario().hadfl, fleet);
+  EXPECT_GT(r.stats.rounds, 0u);
+  const obs::Timeline timeline = recorder.drain();
+  std::size_t clock = 0, select = 0, train = 0, fold = 0;
+  for (const obs::Span& span : timeline.spans()) {
+    EXPECT_LE(span.start, span.end);
+    if (span.label == "clock") ++clock;
+    if (span.label == "select") ++select;
+    if (span.label == "train") ++train;
+    if (span.label == "fold") ++fold;
+  }
+  // One clock span per round; selects come from both the predictor block
+  // and each group aggregation; at least one train (warm-up) and one fold.
+  EXPECT_EQ(clock, r.stats.rounds);
+  EXPECT_GE(select, r.stats.rounds);
+  EXPECT_GE(train, 1u);
+  EXPECT_GE(fold, 1u);
 }
 
 TEST(FleetWorld, ChurnPlanIsDeterministic) {
