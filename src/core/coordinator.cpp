@@ -50,9 +50,7 @@ std::vector<double> RuntimeSupervisor::predict(
   parallel_chunks(out.size(), kParallelChunkGrain, threads_,
                   [&](std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i) {
-                      out[i] = predictors_[i].observations() > 0
-                                   ? predictors_[i].predict(m)
-                                   : fallback[i];
+                      out[i] = predictors_[i].predict_or(fallback[i], m);
                     }
                   });
   return out;

@@ -105,6 +105,21 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   HADFL_INFO("hadfl strategy: H_E=" << strategy.hyperperiod << "s window="
                                     << strategy.round_window << "s");
 
+  // ---- Adaptive control loop (src/ctrl): seeded from the warm-up so its
+  // first plans reproduce the static strategy exactly; null when disabled,
+  // and every adaptive branch below degenerates to the static knobs.
+  std::unique_ptr<ctrl::AdaptiveController> controller;
+  if (config.adaptive.enabled) {
+    std::vector<double> step_time(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      step_time[d] = epoch_times[d] / static_cast<double>(ipe[d]);
+    }
+    controller = std::make_unique<ctrl::AdaptiveController>(
+        config.adaptive, std::move(step_time), strategy.round_window,
+        strategy.local_steps, config.sync_chunks, config.compression,
+        config.top_k_ratio);
+  }
+
   LivenessMonitor liveness(cluster);
   RuntimeSupervisor supervisor(k, config.alpha);
   ModelManager model_manager(config.backup_dir, config.backup_every_rounds);
@@ -142,9 +157,23 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
   // rt backend uses its collective ids the same way.
   std::int64_t sync_epoch = 0;
 
+  std::vector<float> prev_eval;  // controller's round-over-round norm signal
+
   std::size_t round = 0;
   while (epochs_done < static_cast<double>(ctx.config.total_epochs)) {
     ++round;
+    // Per-round knobs: the controller's plan when adaptive is on, the
+    // static configuration otherwise (the controller's initial plan holds
+    // these same values, so warm-up rounds match the static run too).
+    const std::vector<std::size_t>& budgets =
+        controller ? controller->plan().local_steps : strategy.local_steps;
+    const SyncCompression round_codec =
+        controller ? controller->plan().codec : config.compression;
+    const double round_ratio =
+        controller ? controller->plan().topk_ratio : config.top_k_ratio;
+    const std::size_t round_chunks =
+        controller ? controller->plan().sync_chunks : config.sync_chunks;
+    const bool force_raw = controller && controller->plan().force_raw;
     const sim::SimTime window = strategy.round_window;
     const sim::SimTime t0 = cluster.max_time();
     for (std::size_t d = 0; d < k; ++d) cluster.advance_to(d, t0);
@@ -163,16 +192,19 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
     //    device executes fewer steps by the window boundary; its parameter
     //    version falls behind, which the supervisor/selection then react to.
     std::vector<double> jitter(k);
+    std::vector<double> drift(k);
     for (std::size_t d = 0; d < k; ++d) {
       jitter[d] = cluster.sample_jitter_factor(d);
+      // Injected speed drift (sim/fault.hpp): exactly 1.0 without events.
+      drift[d] = cluster.faults().drift_multiplier(d, round);
     }
     parallel_for_each(k, [&](std::size_t d) {
       DeviceState& dev = devices[d];
       dev.optimizer->set_learning_rate(ctx.config.learning_rate);
-      const double iter_time = cluster.iteration_time(d) * jitter[d];
+      const double iter_time = cluster.iteration_time(d) * jitter[d] * drift[d];
       const auto fit = static_cast<std::size_t>(
           std::max(0.0, std::floor(window / iter_time + 1e-9)));
-      const std::size_t executed = std::min(strategy.local_steps[d], fit);
+      const std::size_t executed = std::min(budgets[d], fit);
       dev.last_executed = executed;
       if (executed > 0) {
         dev.last_loss = fl::run_local_steps(*dev.model, *dev.optimizer,
@@ -183,9 +215,13 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
     double executed_total = 0.0;
     for (std::size_t d = 0; d < k; ++d) {
       DeviceState& dev = devices[d];
-      const double burst = cluster.iteration_time(d) * jitter[d] *
+      const double burst = cluster.iteration_time(d) * jitter[d] * drift[d] *
                            static_cast<double>(dev.last_executed);
       cluster.advance(d, burst);
+      if (controller && dev.last_executed > 0) {
+        controller->observe_step_time(
+            d, cluster.iteration_time(d) * jitter[d] * drift[d]);
+      }
       cluster.advance_to(d, t0 + window);
       dev.version += static_cast<double>(dev.last_executed);
       executed_total += static_cast<double>(dev.last_executed);
@@ -271,12 +307,14 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
               ring_weights(ctx.partition, ring, config.weight_by_samples);
           const std::size_t n = nn::state_size(*devices[ring.front()].model);
           base_epoch = devices[ring.front()].ref_epoch;
-          bool delta = config.compression != SyncCompression::kNone;
+          // force_raw: the controller just switched codecs, so this round
+          // ships exact state regardless of reference agreement.
+          bool delta = round_codec != SyncCompression::kNone && !force_raw;
           for (sim::DeviceId id : ring) {
             if (devices[id].ref_epoch != base_epoch) delta = false;
           }
           const std::size_t c_count =
-              comm::resolve_chunk_count(config.sync_chunks, n);
+              comm::resolve_chunk_count(round_chunks, n);
           ring_fold.reset(n);
           const std::size_t dense_bytes = n * sizeof(float);
           for (std::size_t m = 0; m < ring.size(); ++m) {
@@ -292,9 +330,9 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
                 const std::size_t cb = c * n / c_count;
                 const std::size_t ce = (c + 1) * n / c_count;
                 codec_payload.resize(comm::encoded_chunk_floats(
-                    config.compression, ce - cb, config.top_k_ratio));
+                    round_codec, ce - cb, round_ratio));
                 comm::roundtrip_chunk_staged(
-                    config.compression, config.top_k_ratio,
+                    round_codec, round_ratio,
                     std::span<float>(sync_scratch).subspan(cb, ce - cb),
                     std::span<float>(dev.error_feedback.staged)
                         .subspan(cb, ce - cb),
@@ -304,18 +342,27 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
             ring_fold.add(0, sync_scratch, weights[m]);
           }
           const std::size_t sync_codec_bytes =
-              delta ? comm::encoded_state_bytes(config.compression, n,
-                                                config.sync_chunks,
-                                                config.top_k_ratio)
+              delta ? comm::encoded_state_bytes(round_codec, n, round_chunks,
+                                                round_ratio)
                     : dense_bytes;
           sim::SimTime sync_start = 0.0;  // the collective starts when the
                                           // slowest member arrives
           for (sim::DeviceId id : ring) {
             sync_start = std::max(sync_start, cluster.time(id));
           }
-          const sim::SimTime sync_done = comm::simulate_ring_allreduce(
-              transport, ring,
-              effective_wire_bytes(wire_bytes, sync_codec_bytes, dense_bytes));
+          const std::size_t sync_wire =
+              effective_wire_bytes(wire_bytes, sync_codec_bytes, dense_bytes);
+          const sim::SimTime sync_done =
+              comm::simulate_ring_allreduce(transport, ring, sync_wire);
+          if (controller) {
+            controller->observe_sync(sync_done - sync_start, sync_wire);
+            bool any_slow = false;
+            for (sim::DeviceId id : ring) {
+              any_slow = any_slow || bandwidth_scales[id] <
+                                         config.adaptive.slow_link_threshold;
+            }
+            controller->observe_slow_link(any_slow);
+          }
           // Eq. 2 objective when weight_by_samples, else plain Eq. 5.
           aggregate.resize(ring_fold.size());
           ring_fold.write(0, aggregate);
@@ -327,9 +374,9 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
               const std::size_t cb = c * n / c_count;
               const std::size_t ce = (c + 1) * n / c_count;
               codec_payload.resize(comm::encoded_chunk_floats(
-                  config.compression, ce - cb, config.top_k_ratio));
+                  round_codec, ce - cb, round_ratio));
               comm::roundtrip_folded_chunk(
-                  config.compression, config.top_k_ratio,
+                  round_codec, round_ratio,
                   std::span<float>(aggregate).subspan(cb, ce - cb),
                   codec_payload);
             }
@@ -407,9 +454,8 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
               transport, src, delta_targets,
               effective_wire_bytes(
                   wire_bytes,
-                  comm::encoded_state_bytes(config.compression, n,
-                                            config.sync_chunks,
-                                            config.top_k_ratio),
+                  comm::encoded_state_bytes(round_codec, n, round_chunks,
+                                            round_ratio),
                   n * sizeof(float)));
           delivered.insert(delivered.end(), bc.delivered.begin(),
                            bc.delivered.end());
@@ -514,6 +560,26 @@ HadflResult run_hadfl(const fl::SchemeContext& ctx, const HadflConfig& config) {
         epochs_done, cluster.max_time(),
         loss_weight > 0.0 ? loss_sum / loss_weight : 0.0, eval.loss,
         eval.accuracy});
+
+    if (controller) {
+      // Convergence signal: relative round-over-round aggregate movement.
+      // Both backends derive it from successive evaluation states, so the
+      // codec policy sees the same quantity everywhere.
+      if (prev_eval.size() == eval_state.size()) {
+        double num = 0.0;
+        double den = 0.0;
+        for (std::size_t i = 0; i < eval_state.size(); ++i) {
+          const double diff = static_cast<double>(eval_state[i]) -
+                              static_cast<double>(prev_eval[i]);
+          num += diff * diff;
+          den += static_cast<double>(prev_eval[i]) *
+                 static_cast<double>(prev_eval[i]);
+        }
+        if (den > 0.0) controller->observe_delta_norm(std::sqrt(num / den));
+      }
+      prev_eval = eval_state;
+      controller->end_round();
+    }
 
     model_manager.update(eval_state, round);
     ++result.scheme.sync_rounds;

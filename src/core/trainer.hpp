@@ -28,6 +28,7 @@
 #include "comm/delta_codec.hpp"
 #include "comm/failure_detector.hpp"
 #include "core/grouping.hpp"
+#include "ctrl/adaptive_controller.hpp"
 #include "core/selection.hpp"
 #include "core/strategy.hpp"
 #include "sim/trace.hpp"
@@ -79,6 +80,11 @@ struct HadflConfig {
   sim::TraceRecorder* trace = nullptr;
   bool full_sync_after_negotiation = true;  ///< one global average after
                                             ///< warm-up for a stable start
+  /// Telemetry-driven control loop (src/ctrl): re-estimates E_k, tunes the
+  /// chunk grid, and picks the sync codec per round. Off by default; with
+  /// adaptive.enabled == false every backend is bit-identical to the
+  /// static configuration.
+  ctrl::AdaptiveConfig adaptive;
 };
 
 /// Per-run diagnostics beyond the common scheme result.

@@ -31,6 +31,11 @@ double VersionPredictor::predict(int m) const {
   return a + b * static_cast<double>(m);
 }
 
+double VersionPredictor::predict_or(double fallback, int m) const {
+  HADFL_CHECK_ARG(m >= 0, "forecast horizon must be non-negative");
+  return observations_ > 0 ? predict(m) : fallback;
+}
+
 double VersionPredictor::trend() const {
   if (observations_ == 0) return 0.0;
   return alpha_ / (1.0 - alpha_) * (s1_ - s2_);

@@ -30,6 +30,12 @@ class VersionPredictor {
   /// Requires at least one observation.
   double predict(int m = 1) const;
 
+  /// Forecast like predict(), but with no observations yet returns
+  /// `fallback` (the Eq. 6 warm-up expectation) instead of failing — the
+  /// round-0 contract every caller needs. Use this instead of re-deriving
+  /// the observations() guard at each call site.
+  double predict_or(double fallback, int m = 1) const;
+
   std::size_t observations() const { return observations_; }
   double alpha() const { return alpha_; }
 

@@ -111,6 +111,114 @@ std::string fleet_flag_error(const ArgParser& args) {
   return "";
 }
 
+std::string adaptive_flag_error(const ArgParser& args) {
+  static const std::vector<std::string> kAdaptiveFlags{
+      "adaptive-alpha", "adaptive-warmup", "adaptive-tune"};
+  if (!args.has("adaptive")) {
+    for (const std::string& flag : kAdaptiveFlags) {
+      if (args.has(flag)) {
+        return "--" + flag + " requires --adaptive";
+      }
+    }
+    return "";
+  }
+  if (args.has("fleet")) {
+    return "--adaptive does not apply to --fleet (the fleet engine owns "
+           "its own pacing)";
+  }
+  if (args.get("scheme", "hadfl") != "hadfl") {
+    return "--adaptive only applies to --scheme=hadfl";
+  }
+  const double alpha = args.get_double("adaptive-alpha", 0.4);
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    return "--adaptive-alpha out of range (want 0 < alpha <= 1): " +
+           std::to_string(alpha);
+  }
+  const int warmup = args.get_int("adaptive-warmup", 2);
+  if (warmup < 0) {
+    return "--adaptive-warmup must be non-negative: " +
+           std::to_string(warmup);
+  }
+  for (const std::string& knob :
+       split_csv_list(args.get("adaptive-tune", "budgets,chunks,codec"))) {
+    if (knob != "budgets" && knob != "chunks" && knob != "codec") {
+      return "unknown --adaptive-tune knob: " + knob +
+             " (want budgets, chunks, codec)";
+    }
+  }
+  return "";
+}
+
+std::vector<sim::DriftEvent> parse_drift(const std::string& spec,
+                                         std::size_t num_devices) {
+  std::vector<sim::DriftEvent> events;
+  if (spec.empty()) return events;
+  for (const std::string& piece : split_csv_list(spec)) {
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= piece.size()) {
+      const std::size_t colon = piece.find(':', start);
+      if (colon == std::string::npos) {
+        fields.push_back(piece.substr(start));
+        break;
+      }
+      fields.push_back(piece.substr(start, colon - start));
+      start = colon + 1;
+    }
+    const std::string want =
+        " (want DEV:ROUND:FACTOR[:step|ramp:R|square:P:D])";
+    if (fields.size() < 3) {
+      throw InvalidArgument("bad --drift spec: " + piece + want);
+    }
+    sim::DriftEvent event;
+    event.device = static_cast<std::size_t>(std::atol(fields[0].c_str()));
+    event.from_round = static_cast<std::size_t>(std::atol(fields[1].c_str()));
+    event.factor = std::atof(fields[2].c_str());
+    if (event.device >= num_devices) {
+      throw InvalidArgument("--drift device out of range: " + piece);
+    }
+    if (!(event.factor > 0.0)) {
+      throw InvalidArgument("--drift factor must be positive: " + piece);
+    }
+    const std::string kind = fields.size() > 3 ? fields[3] : "step";
+    if (kind == "step") {
+      if (fields.size() > 4) {
+        throw InvalidArgument("bad --drift spec: " + piece + want);
+      }
+      event.kind = sim::DriftKind::kStep;
+    } else if (kind == "ramp") {
+      if (fields.size() != 5) {
+        throw InvalidArgument("--drift ramp needs a round count: " + piece +
+                              want);
+      }
+      event.kind = sim::DriftKind::kRamp;
+      event.ramp_rounds =
+          static_cast<std::size_t>(std::atol(fields[4].c_str()));
+      if (event.ramp_rounds == 0) {
+        throw InvalidArgument("--drift ramp rounds must be positive: " +
+                              piece);
+      }
+    } else if (kind == "square") {
+      if (fields.size() != 6) {
+        throw InvalidArgument("--drift square needs period and duty: " +
+                              piece + want);
+      }
+      event.kind = sim::DriftKind::kSquare;
+      event.period = static_cast<std::size_t>(std::atol(fields[4].c_str()));
+      event.duty = static_cast<std::size_t>(std::atol(fields[5].c_str()));
+      if (event.period == 0 || event.duty == 0 ||
+          event.duty > event.period) {
+        throw InvalidArgument(
+            "--drift square wants 0 < duty <= period: " + piece);
+      }
+    } else {
+      throw InvalidArgument("unknown --drift kind: " + kind + want);
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
 fl::SchemeContext RunSetup::context() const {
   const fl::SchemeContext base = env->context();
   return fl::SchemeContext{base.cluster, base.network,  base.train,
@@ -147,6 +255,25 @@ RunSetup make_run_setup(const ArgParser& args) {
   s.hadfl.top_k_ratio = args.get_double("topk-ratio", s.hadfl.top_k_ratio);
   s.hadfl.sync_chunks =
       static_cast<std::size_t>(args.get_int("sync-chunks", 0));
+  // Adaptive-control knobs (src/ctrl). Off by default; with the flag off
+  // no controller is built and every backend runs bit-identical to the
+  // static path. The --sync-codec/--sync-chunks values above become the
+  // controller's round-0 seed when it is on.
+  s.hadfl.adaptive.enabled = args.has("adaptive");
+  if (s.hadfl.adaptive.enabled) {
+    ctrl::AdaptiveConfig& a = s.hadfl.adaptive;
+    a.step_time_alpha = args.get_double("adaptive-alpha", a.step_time_alpha);
+    a.warmup_rounds = static_cast<std::size_t>(args.get_int(
+        "adaptive-warmup", static_cast<int>(a.warmup_rounds)));
+    const std::vector<std::string> knobs =
+        split_csv_list(args.get("adaptive-tune", "budgets,chunks,codec"));
+    a.tune_budgets = a.tune_chunks = a.tune_codec = false;
+    for (const std::string& knob : knobs) {
+      if (knob == "budgets") a.tune_budgets = true;
+      if (knob == "chunks") a.tune_chunks = true;
+      if (knob == "codec") a.tune_codec = true;
+    }
+  }
 
   setup.env = std::make_unique<Environment>(s);
   // The partition stream is pinned: Rng(seed ^ 0x5151), drawn exactly once.
@@ -182,13 +309,17 @@ rt::RtConfig make_rt_config(const ArgParser& args, const Scenario& scenario) {
 }
 
 std::vector<std::string> scenario_forward_args(const ArgParser& args) {
-  // Value flags a node needs verbatim; --die is intentionally absent.
+  // Value flags a node needs verbatim; --die and --drift are intentionally
+  // absent — fault/drift injection is coordinator-side state (deaths reach
+  // workers via Command::die_after; drift only alters budget arithmetic).
   static const char* const kValueKeys[] = {
       "model", "ratio",     "epochs",  "scale",  "seed",
       "np",    "tsync",     "policy",  "mix",    "group-size",
       "partition", "network", "jitter", "throttle", "sync-chunks",
-      "sync-codec", "topk-ratio"};
-  static const char* const kFlagKeys[] = {"wallclock", "int8-broadcast"};
+      "sync-codec", "topk-ratio",
+      "adaptive-alpha", "adaptive-warmup", "adaptive-tune"};
+  static const char* const kFlagKeys[] = {"wallclock", "int8-broadcast",
+                                          "adaptive"};
   std::vector<std::string> out;
   for (const char* key : kValueKeys) {
     if (args.has(key)) out.push_back("--" + std::string(key) + "=" +

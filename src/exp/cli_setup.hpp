@@ -26,6 +26,7 @@
 #include "fl/scheme.hpp"
 #include "nn/sequential.hpp"
 #include "rt/config.hpp"
+#include "sim/fault.hpp"
 
 namespace hadfl::exp {
 
@@ -99,6 +100,27 @@ std::string backend_flag_error(const std::string& scheme,
 /// diagnostic hadfl_run prints to stderr before exiting with status 2
 /// (the sync_codec_flag_error pattern).
 std::string fleet_flag_error(const ArgParser& args);
+
+/// Validates the --adaptive flag family: every --adaptive-* flag requires
+/// --adaptive, --adaptive excludes --fleet (the fleet engine owns its own
+/// pacing) and non-hadfl schemes, --adaptive-alpha must lie in (0, 1],
+/// --adaptive-warmup must be non-negative, and --adaptive-tune only knows
+/// the knobs budgets/chunks/codec. Returns the empty string when valid,
+/// else the one-line diagnostic hadfl_run prints to stderr before exiting
+/// with status 2 (the fleet_flag_error pattern).
+std::string adaptive_flag_error(const ArgParser& args);
+
+/// Parses a --drift spec list into speed-drift events for
+/// sim::FaultSchedule::schedule_drift. Comma-separated events, each
+/// DEV:ROUND:FACTOR[:KIND[:P1[:P2]]] with KIND one of
+///   step            permanent slowdown from ROUND on (the default)
+///   ramp            thermal-throttle ramp; P1 = rounds to reach FACTOR
+///   square          background-load square wave; P1 = period, P2 = duty
+/// Drift is coordinator-side budget arithmetic (like --die it is NOT
+/// forwarded to net nodes). Throws InvalidArgument on a malformed spec or
+/// an out-of-range device.
+std::vector<sim::DriftEvent> parse_drift(const std::string& spec,
+                                         std::size_t num_devices);
 
 /// FNV-1a over the state's raw bytes — the "state hash" line hadfl_run
 /// prints, which is what the CI loopback smoke compares across backends.

@@ -86,6 +86,8 @@ std::vector<std::uint8_t> encode_command(const rt::Command& cmd) {
   w.u64(cmd.chunks);
   w.u8(cmd.delta ? 1 : 0);
   w.i64(cmd.ref_epoch);
+  w.u8(static_cast<std::uint8_t>(cmd.codec));
+  w.f64(cmd.codec_ratio);
   return out;
 }
 
@@ -131,6 +133,8 @@ bool decode_command(std::span<const std::uint8_t> body, rt::Command& out) {
   out.chunks = static_cast<std::size_t>(r.u64());
   out.delta = r.u8() != 0;
   out.ref_epoch = r.i64();
+  out.codec = static_cast<comm::SyncCodec>(r.u8());
+  out.codec_ratio = r.f64();
   out.cancel.reset();  // process-local; the receiver recreates it
   return r.ok() && r.remaining() == 0;
 }

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
@@ -31,6 +32,43 @@ int status_to_exit_code(int status) {
   return -1;
 }
 
+// ---- Live socket-dir registry. ~ProcessFleet removes the dir on the
+// normal path, but an exit() before the destructor runs (fatal error
+// paths, test harness aborts) used to leak it until the next user noticed
+// /tmp filling with hadfl-net-* husks. Every live dir is registered here
+// and an atexit hook removes whatever is still listed. The vector is
+// heap-allocated and never freed so the hook can run at any point of
+// static destruction.
+std::mutex g_live_dirs_mutex;
+std::vector<std::string>* g_live_dirs = nullptr;
+
+void remove_live_dirs_at_exit() {
+  std::lock_guard<std::mutex> lock(g_live_dirs_mutex);
+  if (g_live_dirs == nullptr) return;
+  for (const std::string& dir : *g_live_dirs) remove_socket_dir(dir);
+  g_live_dirs->clear();
+}
+
+void register_live_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_live_dirs_mutex);
+  if (g_live_dirs == nullptr) {
+    g_live_dirs = new std::vector<std::string>();
+    std::atexit(remove_live_dirs_at_exit);
+  }
+  g_live_dirs->push_back(dir);
+}
+
+void unregister_live_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_live_dirs_mutex);
+  if (g_live_dirs == nullptr) return;
+  for (auto it = g_live_dirs->begin(); it != g_live_dirs->end(); ++it) {
+    if (*it == dir) {
+      g_live_dirs->erase(it);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 ProcessFleet::ProcessFleet(FleetOptions options)
@@ -49,7 +87,12 @@ ProcessFleet::ProcessFleet(FleetOptions options)
       listener_fds_.push_back(listener.fd);
     }
   } else {
+    // A run killed before our destructor leaks its dir (mkdtemp never
+    // reuses names, so they pile up); sweep anything stale first, then
+    // register ours so plain exit() paths also clean up.
+    sweep_stale_socket_dirs();
     socket_dir_ = make_socket_dir();
+    register_live_dir(socket_dir_);
   }
 }
 
@@ -57,7 +100,10 @@ ProcessFleet::~ProcessFleet() {
   shutdown();
   for (int fd : listener_fds_) close_fd(fd);
   listener_fds_.clear();
-  if (!socket_dir_.empty()) remove_socket_dir(socket_dir_);
+  if (!socket_dir_.empty()) {
+    remove_socket_dir(socket_dir_);
+    unregister_live_dir(socket_dir_);
+  }
 }
 
 void ProcessFleet::spawn() {

@@ -288,6 +288,10 @@ rt::RtResult run_hadfl_net(const fl::SchemeContext& ctx,
       "compressed runs must take their chunk grid from hadfl.sync_chunks "
       "(leave RtConfig::sync_chunks at 0) so all backends encode identical "
       "chunks");
+  HADFL_CHECK_ARG(
+      !config.rt.hadfl.adaptive.enabled || config.rt.sync_chunks == 0,
+      "adaptive runs own the chunk grid (leave RtConfig::sync_chunks at 0; "
+      "seed via hadfl.sync_chunks)");
   HADFL_CHECK_ARG(!config.node_binary.empty(),
                   "net backend needs a node binary path");
   const std::size_t k = ctx.cluster.size();
@@ -370,6 +374,7 @@ rt::RtResult run_hadfl_net(const fl::SchemeContext& ctx,
     coord_telemetry.selection_prob = &metrics_registry->histogram(
         "selection.probability",
         {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0});
+    coord_telemetry.metrics = metrics_registry.get();
     detector.attach_silence_histogram(&metrics_registry->histogram(
         "heartbeat.silence_s", obs::exponential_bounds(1e-4, 2.0, 16)));
   }

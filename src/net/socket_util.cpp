@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <thread>
 
 #include "common/error.hpp"
@@ -193,6 +194,28 @@ void remove_socket_dir(const std::string& dir) noexcept {
     ::closedir(d);
   }
   ::rmdir(dir.c_str());
+}
+
+std::size_t sweep_stale_socket_dirs(double max_age_s) noexcept {
+  DIR* d = ::opendir("/tmp");
+  if (d == nullptr) return 0;
+  const std::time_t now = std::time(nullptr);
+  std::size_t removed = 0;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("hadfl-net-", 0) != 0) continue;
+    const std::string path = "/tmp/" + name;
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) != 0) continue;
+    if (!S_ISDIR(st.st_mode)) continue;
+    if (st.st_uid != ::getuid()) continue;  // another user's run
+    const double age_s = std::difftime(now, st.st_mtime);
+    if (age_s < max_age_s) continue;
+    remove_socket_dir(path);
+    ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 }  // namespace hadfl::net

@@ -49,4 +49,12 @@ std::string make_socket_dir();
 /// Best-effort recursive removal of a socket directory.
 void remove_socket_dir(const std::string& dir) noexcept;
 
+/// Removes leftover /tmp/hadfl-net-* directories owned by this user whose
+/// mtime is at least `max_age_s` old — a run killed before ~ProcessFleet
+/// (SIGKILL, _exit, crash) leaks its dir, and mkdtemp never reuses the
+/// name, so they accumulate forever. Dirs younger than the threshold are
+/// never touched (a concurrent run's live dir must survive the sweep).
+/// Returns the number of directories removed.
+std::size_t sweep_stale_socket_dirs(double max_age_s = 3600.0) noexcept;
+
 }  // namespace hadfl::net

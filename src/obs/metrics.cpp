@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -29,6 +30,10 @@ std::string format_double(double v) {
   return os.str();
 }
 
+/// Export hardening: a zero-count histogram's min/max sentinels (±inf)
+/// must never reach the CSV/JSON — downstream parsers choke on "inf".
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -48,10 +53,15 @@ void Histogram::observe(double x) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   const auto i = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   update_double(sum_, x, [](double a, double b) { return a + b; });
   update_double(min_, x, [](double a, double b) { return std::min(a, b); });
   update_double(max_, x, [](double a, double b) { return std::max(a, b); });
+  // count_ goes last (release, paired with the acquire in count()): a
+  // reader that sees count > 0 then also sees min_/max_/sum_ past their
+  // ±inf/0 init values. The old order published count first, so a snapshot
+  // racing the first observe could export count=1 with min=inf into the
+  // metrics CSV.
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
@@ -124,10 +134,10 @@ void MetricsSnapshot::write_csv(const std::string& path) const {
       csv.row(std::vector<std::string>{h.name, "histogram", name, v});
     };
     stat("count", std::to_string(h.count));
-    stat("sum", format_double(h.sum));
-    stat("mean", format_double(h.mean()));
-    stat("min", format_double(h.min));
-    stat("max", format_double(h.max));
+    stat("sum", format_double(finite_or_zero(h.sum)));
+    stat("mean", format_double(finite_or_zero(h.mean())));
+    stat("min", format_double(finite_or_zero(h.min)));
+    stat("max", format_double(finite_or_zero(h.max)));
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       cumulative += h.buckets[i];
@@ -145,8 +155,10 @@ std::string MetricsSnapshot::render() const {
   }
   os.precision(6);
   for (const auto& h : histograms) {
-    os << h.name << ": count=" << h.count << " mean=" << h.mean()
-       << " min=" << h.min << " max=" << h.max << "\n";
+    os << h.name << ": count=" << h.count
+       << " mean=" << finite_or_zero(h.mean())
+       << " min=" << finite_or_zero(h.min)
+       << " max=" << finite_or_zero(h.max) << "\n";
   }
   return os.str();
 }

@@ -47,8 +47,10 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Observations in bucket `i` (i == bounds().size() is the +inf bucket).
   std::uint64_t bucket_count(std::size_t i) const;
+  /// Acquire-paired with the release increment in observe(): count > 0
+  /// implies the matching sum/min/max updates are visible.
   std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
+    return count_.load(std::memory_order_acquire);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double min() const;

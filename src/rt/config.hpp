@@ -35,6 +35,18 @@ struct FaultPlan {
   std::size_t after_steps = 0;
   bool silent = false;
   bool during_sync = false;
+  /// Speed drift instead of a death: with slow_factor != 1.0 the plan does
+  /// not kill the device — from `round` on, its virtual step time is
+  /// multiplied by slow_factor (`after_steps`/`silent`/`during_sync` are
+  /// ignored). drift_ramp_rounds > 0 ramps the factor in over that many
+  /// rounds (thermal throttle); drift_period > 0 instead applies the factor
+  /// for drift_duty rounds out of every drift_period (background load).
+  /// The coordinator converts these into sim::DriftEvents on its cluster,
+  /// so kVirtual budget truncation sees the drift exactly like the sim.
+  double slow_factor = 1.0;
+  std::size_t drift_ramp_rounds = 0;
+  std::size_t drift_period = 0;
+  std::size_t drift_duty = 1;
 };
 
 struct RtConfig {

@@ -10,7 +10,9 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "comm/delta_codec.hpp"
 #include "core/coordinator.hpp"
+#include "ctrl/adaptive_controller.hpp"
 #include "core/grouping.hpp"
 #include "fl/evaluate.hpp"
 #include "nn/param_utils.hpp"
@@ -76,8 +78,6 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
   const std::size_t eff_chunks = config.sync_chunks != 0
                                      ? config.sync_chunks
                                      : config.hadfl.sync_chunks;
-  const bool codec_on =
-      config.hadfl.compression != core::SyncCompression::kNone;
 
   // Shadow of each worker's reference epoch (updated from *every* drained
   // report — they all carry it). A sync round ships codec-encoded deltas
@@ -241,6 +241,43 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
   HADFL_INFO("hadfl-rt strategy: H_E=" << strategy.hyperperiod << "s window="
                                        << strategy.round_window << "s");
 
+  // ---- Speed-drift injection: drift-flavored FaultPlans (slow_factor !=
+  // 1.0) become round-indexed events on the cluster's injector, so the
+  // kVirtual truncation below prices them exactly like the simulator would.
+  for (const FaultPlan& plan : config.faults) {
+    if (plan.slow_factor == 1.0) continue;
+    sim::DriftEvent e;
+    e.device = plan.device;
+    e.from_round = plan.round;
+    e.factor = plan.slow_factor;
+    if (plan.drift_period > 0) {
+      e.kind = sim::DriftKind::kSquare;
+      e.period = plan.drift_period;
+      e.duty = plan.drift_duty;
+    } else if (plan.drift_ramp_rounds > 0) {
+      e.kind = sim::DriftKind::kRamp;
+      e.ramp_rounds = plan.drift_ramp_rounds;
+    }
+    cluster.faults().schedule_drift(e);
+  }
+
+  // ---- Adaptive control loop (src/ctrl), seeded from the negotiated
+  // epoch times; null when disabled — every branch below then falls back
+  // to the static knobs, keeping the run bit-identical to today.
+  std::unique_ptr<ctrl::AdaptiveController> controller;
+  if (config.hadfl.adaptive.enabled) {
+    std::vector<double> step_time(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      step_time[d] = epoch_times[d] / static_cast<double>(ipe[d]);
+    }
+    controller = std::make_unique<ctrl::AdaptiveController>(
+        config.hadfl.adaptive, std::move(step_time), strategy.round_window,
+        strategy.local_steps, eff_chunks, config.hadfl.compression,
+        config.hadfl.top_k_ratio);
+    controller->bind_metrics(env.telemetry.metrics);
+  }
+  std::vector<float> prev_eval;  // controller's round-over-round signal
+
   core::RuntimeSupervisor supervisor(k, config.hadfl.alpha);
   core::ModelManager model_manager(config.hadfl.backup_dir,
                                    config.hadfl.backup_every_rounds);
@@ -274,6 +311,21 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
     }
     ++round;
     const double window = strategy.round_window;
+    // Per-round knobs: the controller's plan when adaptive is on, the
+    // static configuration otherwise (identical values by construction).
+    const std::vector<std::size_t>& budgets =
+        controller ? controller->plan().local_steps : strategy.local_steps;
+    const core::SyncCompression round_codec =
+        controller ? controller->plan().codec : config.hadfl.compression;
+    const double round_ratio =
+        controller ? controller->plan().topk_ratio : config.hadfl.top_k_ratio;
+    const std::size_t round_chunks =
+        controller && controller->plan().sync_chunks != 0
+            ? controller->plan().sync_chunks
+            : eff_chunks;
+    const bool force_raw = controller && controller->plan().force_raw;
+    const bool codec_on =
+        round_codec != core::SyncCompression::kNone && !force_raw;
 
     // Workflow step 1: the available set is fixed *before* the round
     // starts. A device dying during the round stays selectable on this
@@ -289,15 +341,20 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
       c.kind = CmdKind::kTrain;
       c.learning_rate = ctx.config.learning_rate;
       if (config.timing == TimingMode::kVirtual) {
-        // Same truncation arithmetic as the simulator (jitter factor 1).
+        // Same truncation arithmetic as the simulator (jitter factor 1);
+        // injected drift multiplies the true step time, exactly 1.0 when
+        // the device has no drift scheduled.
+        const double it_eff =
+            iter_time[d] * cluster.faults().drift_multiplier(d, round);
         const auto fit = static_cast<std::size_t>(
-            std::max(0.0, std::floor(window / iter_time[d] + 1e-9)));
-        c.steps = std::min(strategy.local_steps[d], fit);
+            std::max(0.0, std::floor(window / it_eff + 1e-9)));
+        c.steps = std::min(budgets[d], fit);
       } else {
-        c.steps = strategy.local_steps[d];
+        c.steps = budgets[d];
         c.deadline_s = window;
       }
       for (const FaultPlan& plan : config.faults) {
+        if (plan.slow_factor != 1.0) continue;  // drift, not a death
         if (plan.device == d && plan.round == round && !plan.during_sync) {
           c.die_after = static_cast<std::int64_t>(plan.after_steps);
           c.die_silently = plan.silent;
@@ -314,6 +371,17 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
         sh_loss[d] = r.loss;
         sh_version[d] = r.version;
         executed_total += static_cast<double>(r.executed);
+        if (controller && r.executed > 0) {
+          // kVirtual step times are the spec'd (drifted) ones the budget
+          // arithmetic uses; kWallclock feeds the measured burst duration.
+          if (config.timing == TimingMode::kVirtual) {
+            controller->observe_step_time(
+                d, iter_time[d] * cluster.faults().drift_multiplier(d, round));
+          } else if (r.wall_s > 0.0) {
+            controller->observe_step_time(
+                d, r.wall_s / static_cast<double>(r.executed));
+          }
+        }
       }
     }
 
@@ -378,6 +446,7 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
         ring = repair.ring;
         if (ring.empty()) break;
 
+        const Clock::time_point att0_wall = Clock::now();
         const std::int64_t cid = next_collective_id++;
         const std::vector<double> weights = core::ring_weights(
             ctx.partition, ring, config.hadfl.weight_by_samples);
@@ -400,11 +469,14 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
           c.collective_id = cid;
           c.weights = weights;
           c.wire_bytes = wire_bytes;
-          c.chunks = eff_chunks;
+          c.chunks = round_chunks;
           c.delta = delta;
           c.ref_epoch = base_epoch;
+          c.codec = round_codec;
+          c.codec_ratio = round_ratio;
           c.cancel = cancel;
           for (const FaultPlan& plan : config.faults) {
+            if (plan.slow_factor != 1.0) continue;  // drift, not a death
             if (plan.device == ring[i] && plan.round == round &&
                 plan.during_sync && attempt == 0) {
               c.die_after = static_cast<std::int64_t>(plan.after_steps);
@@ -453,6 +525,21 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
           // every member folded, reported and committed.
           if (env.telemetry.sync_latency != nullptr) {
             env.telemetry.sync_latency->observe(rec->now_s() - att0);
+          }
+          if (controller) {
+            const std::size_t n = aggregate.size();
+            const std::size_t sync_wire =
+                delta ? comm::encoded_state_bytes(round_codec, n,
+                                                  round_chunks, round_ratio)
+                      : wire_bytes;
+            controller->observe_sync(elapsed_s(att0_wall), sync_wire);
+            bool any_slow = false;
+            for (DeviceId d : ring) {
+              any_slow =
+                  any_slow || bandwidth_scales[d] <
+                                  config.hadfl.adaptive.slow_link_threshold;
+            }
+            controller->observe_slow_link(any_slow);
           }
           break;
         }
@@ -524,9 +611,11 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
             c.peers = targets;
             c.collective_id = commit_id;
             c.wire_bytes = wire_bytes;
-            c.chunks = eff_chunks;
+            c.chunks = round_chunks;
             c.delta = as_delta;
             c.ref_epoch = base_epoch;
+            c.codec = round_codec;
+            c.codec_ratio = round_ratio;
             if (post(src, std::move(c))) {
               for (DeviceId id : targets) {
                 Command c2;
@@ -534,9 +623,11 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
                 c2.peer = src;
                 c2.collective_id = commit_id;
                 c2.version_mean = version_mean;
-                c2.chunks = eff_chunks;
+                c2.chunks = round_chunks;
                 c2.delta = as_delta;
                 c2.ref_epoch = base_epoch;
+                c2.codec = round_codec;
+                c2.codec_ratio = round_ratio;
                 post(id, std::move(c2));
               }
             }
@@ -669,6 +760,25 @@ RtResult run_hadfl_coordinator(const fl::SchemeContext& ctx,
     result.scheme.metrics.add(fl::ConvergencePoint{
         epochs_done, wall(), loss_weight > 0.0 ? loss_sum / loss_weight : 0.0,
         eval.loss, eval.accuracy});
+
+    if (controller) {
+      // Convergence signal: relative round-over-round aggregate movement,
+      // derived from successive evaluation states like the simulator's.
+      if (prev_eval.size() == eval_state.size()) {
+        double num = 0.0;
+        double den = 0.0;
+        for (std::size_t i = 0; i < eval_state.size(); ++i) {
+          const double diff = static_cast<double>(eval_state[i]) -
+                              static_cast<double>(prev_eval[i]);
+          num += diff * diff;
+          den += static_cast<double>(prev_eval[i]) *
+                 static_cast<double>(prev_eval[i]);
+        }
+        if (den > 0.0) controller->observe_delta_norm(std::sqrt(num / den));
+      }
+      prev_eval = eval_state;
+      controller->end_round();
+    }
 
     model_manager.update(eval_state, round);
     ++result.scheme.sync_rounds;

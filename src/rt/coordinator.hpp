@@ -75,6 +75,9 @@ struct CoordinatorTelemetry {
   obs::Histogram* sync_latency = nullptr;
   obs::Histogram* abort_latency = nullptr;
   obs::Histogram* selection_prob = nullptr;
+  /// The run's registry (null = dark); the adaptive controller exports its
+  /// ctrl.* decision counters here.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything the coordinator orchestrates through. All pointers are

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/delta_codec.hpp"
 #include "rt/buffer_pool.hpp"
 #include "rt/transport.hpp"
 
@@ -62,6 +63,13 @@ struct Command {
   /// all equal this); receivers guard against integrating a delta onto the
   /// wrong reference after coordinator/worker races.
   std::int64_t ref_epoch = 0;
+  /// kSync/kBroadcast/kIntegrate: the codec for this round's delta payloads.
+  /// Per-Command (not per-run) because the adaptive controller re-picks it
+  /// each round; with the controller off the coordinator copies the static
+  /// config here, so workers behave identically either way. Only consulted
+  /// when `delta` is set.
+  comm::SyncCodec codec = comm::SyncCodec::kNone;
+  double codec_ratio = 0.05;       ///< top-k keep fraction for this round
   /// kSync/kInterSync abort propagation: the coordinator raises this shared
   /// flag the moment the attempt is known doomed (first failed report or
   /// fenced member), so members blocked on a chunk from an already-aborted

@@ -90,6 +90,9 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
       "compressed runs must take their chunk grid from hadfl.sync_chunks "
       "(leave RtConfig::sync_chunks at 0) so the rt and sim backends encode "
       "identical chunks");
+  HADFL_CHECK_ARG(!config.hadfl.adaptive.enabled || config.sync_chunks == 0,
+                  "adaptive runs own the chunk grid (leave "
+                  "RtConfig::sync_chunks at 0; seed via hadfl.sync_chunks)");
   sim::Cluster& cluster = ctx.cluster;
   const std::size_t k = cluster.size();
 
@@ -152,6 +155,7 @@ RtResult run_hadfl_rt(const fl::SchemeContext& ctx, const RtConfig& config) {
     coord_telemetry.selection_prob = &metrics_registry->histogram(
         "selection.probability",
         {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0});
+    coord_telemetry.metrics = metrics_registry.get();
     detector.attach_silence_histogram(&metrics_registry->histogram(
         "heartbeat.silence_s", obs::exponential_bounds(1e-4, 2.0, 16)));
   }

@@ -73,7 +73,10 @@ constexpr std::uint8_t kFrameFlagWantAck = 0x01;  ///< kData: rendezvous send
 constexpr std::uint32_t kHelloMagic = 0x4844464Cu;  // "HDFL"
 // v2: Command carries {delta, ref_epoch} instead of the removed int8
 // flag; Report carries ref_epoch. Mixed-version runs fail the handshake.
-constexpr std::uint16_t kWireVersion = 2;
+// v3: Command carries {codec, codec_ratio} — the adaptive controller picks
+// the sync codec per round, so it must travel with the command instead of
+// living in each process's static config.
+constexpr std::uint16_t kWireVersion = 3;
 
 struct FrameHeader {
   std::uint32_t body_len = 0;

@@ -190,6 +190,9 @@ bool run_device_worker(WorkerEnv& env) {
         r.executed = executed;
         r.loss = dev.last_loss;
         r.version = dev.version;
+        // Measured burst duration: the adaptive controller's kWallclock
+        // step-time signal (kVirtual derives times from the specs instead).
+        r.wall_s = elapsed_s(t0);
         report(std::move(r));
         break;
       }
@@ -230,7 +233,7 @@ bool run_device_worker(WorkerEnv& env) {
                 cmd->weights, sync_fold, pending_aggregate,
                 dev.error_feedback.staged, code_stash, cmd->collective_id,
                 cmd->wire_bytes, config.collective_timeout_s, cmd->chunks,
-                config.hadfl.compression, config.hadfl.top_k_ratio,
+                cmd->codec, cmd->codec_ratio,
                 sync_beat, env.telemetry.scatter_bytes,
                 env.telemetry.allgather_bytes,
                 env.telemetry.scatter_raw_bytes,
@@ -427,11 +430,9 @@ bool run_device_worker(WorkerEnv& env) {
                   config.collective_timeout_s, [&] { io.beat(); });
               const std::span<float> stage(bc_stage.data() + b, e - b);
               HADFL_CHECK(msg.payload.size() ==
-                          comm::encoded_chunk_floats(
-                              config.hadfl.compression, e - b,
-                              config.hadfl.top_k_ratio));
-              comm::decode_chunk(config.hadfl.compression, msg.payload,
-                                 stage);
+                          comm::encoded_chunk_floats(cmd->codec, e - b,
+                                                     cmd->codec_ratio));
+              comm::decode_chunk(cmd->codec, msg.payload, stage);
               transport.pool().release(std::move(msg.payload));
               const std::span<float> ref(dev.last_sync_state.data() + b,
                                          e - b);

@@ -28,6 +28,51 @@ bool FaultInjector::alive(DeviceId device, SimTime t) const {
   return true;
 }
 
+void FaultInjector::schedule_drift(DriftEvent event) {
+  HADFL_CHECK_ARG(event.factor > 0.0, "drift factor must be positive");
+  if (event.kind == DriftKind::kRamp) {
+    HADFL_CHECK_ARG(event.ramp_rounds > 0, "drift ramp needs >= 1 round");
+  }
+  if (event.kind == DriftKind::kSquare) {
+    HADFL_CHECK_ARG(event.period > 0, "drift period must be positive");
+    HADFL_CHECK_ARG(event.duty <= event.period,
+                    "drift duty cannot exceed the period");
+  }
+  drift_by_device_[event.device].push_back(
+      static_cast<std::uint32_t>(drift_.size()));
+  drift_.push_back(event);
+}
+
+double FaultInjector::drift_multiplier(DeviceId device,
+                                       std::size_t round) const {
+  const auto it = drift_by_device_.find(device);
+  if (it == drift_by_device_.end()) return 1.0;
+  double mult = 1.0;
+  for (const std::uint32_t i : it->second) {
+    const DriftEvent& e = drift_[i];
+    if (round < e.from_round) continue;
+    const std::size_t since = round - e.from_round;
+    switch (e.kind) {
+      case DriftKind::kStep:
+        mult *= e.factor;
+        break;
+      case DriftKind::kRamp: {
+        const double progress =
+            since + 1 >= e.ramp_rounds
+                ? 1.0
+                : static_cast<double>(since + 1) /
+                      static_cast<double>(e.ramp_rounds);
+        mult *= 1.0 + (e.factor - 1.0) * progress;
+        break;
+      }
+      case DriftKind::kSquare:
+        if (since % e.period < e.duty) mult *= e.factor;
+        break;
+    }
+  }
+  return mult;
+}
+
 bool FaultInjector::fails_within(DeviceId device, SimTime t0, SimTime t1) const {
   const auto it = by_device_.find(device);
   if (it == by_device_.end()) return false;

@@ -33,6 +33,7 @@ const std::vector<std::string> kKnownOptions{
     "model", "ratio", "epochs", "scale", "seed", "np", "tsync", "policy",
     "mix", "group-size", "partition", "network", "jitter", "throttle",
     "sync-chunks", "sync-codec", "topk-ratio", "wallclock", "int8-broadcast",
+    "adaptive", "adaptive-alpha", "adaptive-warmup", "adaptive-tune",
     // endpoint wiring
     "node-id", "run-nonce", "transport", "listen-fd", "tcp-ports",
     "socket-dir", "connect-timeout", "verbose"};

@@ -39,6 +39,23 @@
 //   --partition=iid|dirichlet:<alpha>|shards:<n>       [iid]
 //   --network=pcie|wan                                 [pcie]
 //   --jitter=<float>        compute jitter sigma       [0]
+//   --adaptive              close the control loop: re-estimate per-device
+//                           step budgets from measured step times, auto-tune
+//                           --sync-chunks from observed sync latency, and
+//                           re-pick the sync codec per round from delta
+//                           norms (src/ctrl, docs/CONTROLLER.md). Off by
+//                           default; off is bit-identical to static runs
+//   --adaptive-alpha=<f>    adaptive: step-time EWMA weight     [0.4]
+//   --adaptive-warmup=<int> adaptive: observed rounds before the controller
+//                           overrides the warm-up strategy      [2]
+//   --adaptive-tune=<list>  adaptive: comma subset of budgets,chunks,codec
+//                           to tune                             [all three]
+//   --drift=<specs>         sim/rt/net: inject speed drift; comma-separated
+//                           DEV:ROUND:FACTOR[:step|ramp:R|square:P:D]
+//                           (step = permanent slowdown, ramp = thermal
+//                           throttle over R rounds, square = background
+//                           load with period P and duty D). Like --die,
+//                           not forwarded to net nodes
 //   --fleet                 sim: run the fleet-scale engine on a generated
 //                           fleet world (see docs/SIMULATOR.md). Uses
 //                           --ratio/--jitter/--seed/--epochs plus the
@@ -94,7 +111,9 @@ const std::vector<std::string> kKnownOptions{
     "wallclock", "die", "sync-chunks", "sync-codec", "topk-ratio",
     "int8-broadcast", "trace-out",
     "metrics-out", "fleet", "fleet-devices", "fleet-cohort",
-    "fleet-rounds", "fleet-churn", "fleet-threads", "fleet-momentum"};
+    "fleet-rounds", "fleet-churn", "fleet-threads", "fleet-momentum",
+    "adaptive", "adaptive-alpha", "adaptive-warmup", "adaptive-tune",
+    "drift"};
 
 void print_usage() {
   std::cout <<
@@ -110,6 +129,9 @@ void print_usage() {
       "                 [--throttle=S] [--wallclock] [--die=DEV:ROUND:STEP]\n"
       "                 [--sync-chunks=C] [--sync-codec=none|int8|topk]\n"
       "                 [--topk-ratio=R] [--int8-broadcast]\n"
+      "                 [--adaptive] [--adaptive-alpha=F]\n"
+      "                 [--adaptive-warmup=N] [--adaptive-tune=LIST]\n"
+      "                 [--drift=DEV:ROUND:FACTOR[:KIND[:P1[:P2]]]]\n"
       "                 [--fleet] [--fleet-devices=K] [--fleet-cohort=N]\n"
       "                 [--fleet-rounds=R] [--fleet-churn=F]\n"
       "                 [--fleet-threads=T] [--fleet-momentum=MU]\n"
@@ -300,7 +322,20 @@ int main(int argc, char** argv) {
       std::cerr << fleet_error << "\n";
       return 2;
     }
+    const std::string adaptive_error = exp::adaptive_flag_error(args);
+    if (!adaptive_error.empty()) {
+      std::cerr << adaptive_error << "\n";
+      return 2;
+    }
+    if (args.has("drift") && scheme != "hadfl") {
+      std::cerr << "--drift only applies to --scheme=hadfl\n";
+      return 2;
+    }
     if (args.has("fleet")) {
+      if (args.has("drift")) {
+        std::cerr << "--drift does not apply to --fleet\n";
+        return 2;
+      }
       if (scheme != "hadfl" || backend != "sim") {
         std::cerr << "--fleet requires --scheme=hadfl --backend=sim\n";
         return 2;
@@ -315,6 +350,13 @@ int main(int argc, char** argv) {
     exp::RunSetup setup = exp::make_run_setup(args);
     exp::Scenario& s = setup.scenario;
     const fl::SchemeContext ctx = setup.context();
+    // Speed-drift injection: all three backends read budget drift from the
+    // coordinator-side cluster fault schedule, so one scheduling site
+    // covers sim, rt, and net (workers never consult it).
+    for (const sim::DriftEvent& event :
+         exp::parse_drift(args.get("drift", ""), s.num_devices())) {
+      ctx.cluster.faults().schedule_drift(event);
+    }
 
     std::cout << "== hadfl_run: " << scheme << " on " << s.name << " ==\n";
     if (scheme == "hadfl" && backend == "rt") {

@@ -207,5 +207,81 @@ TEST(FleetFlags, SampledCohortRestrictsPolicies) {
             "");
 }
 
+// hadfl_run prints exp::adaptive_flag_error's message and exits 2 whenever
+// it is non-empty — the fleet_flag_error pattern for the adaptive
+// controller's flag family.
+TEST(AdaptiveFlags, AcceptsConsistentCombinations) {
+  EXPECT_EQ(exp::adaptive_flag_error(parse({})), "");
+  EXPECT_EQ(exp::adaptive_flag_error(parse({"--adaptive"})), "");
+  EXPECT_EQ(exp::adaptive_flag_error(parse(
+                {"--adaptive", "--adaptive-alpha=0.7",
+                 "--adaptive-warmup=0", "--adaptive-tune=budgets,codec"})),
+            "");
+  // Codec flags seed the controller's round-0 plan — a valid combo.
+  EXPECT_EQ(exp::adaptive_flag_error(parse(
+                {"--adaptive", "--sync-codec=topk", "--sync-chunks=8"})),
+            "");
+}
+
+TEST(AdaptiveFlags, SubflagsRequireAdaptive) {
+  const std::string err =
+      exp::adaptive_flag_error(parse({"--adaptive-alpha=0.5"}));
+  EXPECT_NE(err.find("requires --adaptive"), std::string::npos);
+  EXPECT_NE(exp::adaptive_flag_error(parse({"--adaptive-warmup=3"})), "");
+  EXPECT_NE(exp::adaptive_flag_error(parse({"--adaptive-tune=codec"})), "");
+}
+
+TEST(AdaptiveFlags, RejectsFleetAndNonHadflSchemes) {
+  EXPECT_NE(exp::adaptive_flag_error(parse({"--adaptive", "--fleet"})), "");
+  EXPECT_NE(exp::adaptive_flag_error(
+                parse({"--adaptive", "--scheme=dfedavg"})),
+            "");
+  EXPECT_EQ(exp::adaptive_flag_error(parse({"--adaptive", "--scheme=hadfl"})),
+            "");
+}
+
+TEST(AdaptiveFlags, RejectsOutOfRangeValues) {
+  EXPECT_NE(
+      exp::adaptive_flag_error(parse({"--adaptive", "--adaptive-alpha=0"})),
+      "");
+  EXPECT_NE(
+      exp::adaptive_flag_error(parse({"--adaptive", "--adaptive-alpha=1.5"})),
+      "");
+  EXPECT_NE(exp::adaptive_flag_error(
+                parse({"--adaptive", "--adaptive-warmup=-1"})),
+            "");
+  const std::string err = exp::adaptive_flag_error(
+      parse({"--adaptive", "--adaptive-tune=budgets,frobnicate"}));
+  EXPECT_NE(err.find("frobnicate"), std::string::npos);
+}
+
+TEST(DriftSpec, ParsesEveryKind) {
+  EXPECT_TRUE(exp::parse_drift("", 4).empty());
+  const auto events =
+      exp::parse_drift("0:3:4.0,1:2:2.5:ramp:4,2:0:3.0:square:6:3", 4);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].device, 0u);
+  EXPECT_EQ(events[0].from_round, 3u);
+  EXPECT_DOUBLE_EQ(events[0].factor, 4.0);
+  EXPECT_EQ(events[0].kind, sim::DriftKind::kStep);
+  EXPECT_EQ(events[1].kind, sim::DriftKind::kRamp);
+  EXPECT_EQ(events[1].ramp_rounds, 4u);
+  EXPECT_EQ(events[2].kind, sim::DriftKind::kSquare);
+  EXPECT_EQ(events[2].period, 6u);
+  EXPECT_EQ(events[2].duty, 3u);
+}
+
+TEST(DriftSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(exp::parse_drift("0:3", 4), InvalidArgument);
+  EXPECT_THROW(exp::parse_drift("9:3:4.0", 4), InvalidArgument);  // device
+  EXPECT_THROW(exp::parse_drift("0:3:0", 4), InvalidArgument);    // factor
+  EXPECT_THROW(exp::parse_drift("0:3:4.0:wave", 4), InvalidArgument);
+  EXPECT_THROW(exp::parse_drift("0:3:4.0:ramp", 4), InvalidArgument);
+  EXPECT_THROW(exp::parse_drift("0:3:4.0:ramp:0", 4), InvalidArgument);
+  EXPECT_THROW(exp::parse_drift("0:3:4.0:square:4", 4), InvalidArgument);
+  EXPECT_THROW(exp::parse_drift("0:3:4.0:square:4:9", 4), InvalidArgument);
+  EXPECT_THROW(exp::parse_drift("0:3:4.0:step:2", 4), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace hadfl

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "core/round_logic.hpp"
 #include "nn/serialize.hpp"
 
 namespace hadfl::core {
@@ -40,6 +41,31 @@ TEST(RuntimeSupervisor, PredictsPerDevice) {
   EXPECT_NEAR(pred[1], 4.0 * 31, 0.5);
   EXPECT_EQ(sup.rounds_observed(), 30u);
   EXPECT_GT(sup.predictor(0).trend(), sup.predictor(1).trend());
+}
+
+// Round-0 regression for both prediction modes: with no observed rounds
+// (empty DES state, empty version history) every mode must return the
+// Eq. 6 warm-up fallback rather than fail or emit stale values.
+TEST(RuntimeSupervisor, RoundZeroFallsBackInEveryPredictorMode) {
+  RuntimeSupervisor sup(2, 0.5);
+  const std::vector<double> fallback{7.0, 9.0};
+  const std::vector<std::vector<double>> no_history;
+  EXPECT_EQ(predict_versions(PredictorMode::kDes, sup, fallback, no_history),
+            fallback);
+  EXPECT_EQ(predict_versions(PredictorMode::kLastValue, sup, fallback,
+                             no_history),
+            fallback);
+  EXPECT_EQ(
+      predict_versions(PredictorMode::kStatic, sup, fallback, no_history),
+      fallback);
+  // After one round both adaptive modes leave the fallback behind.
+  sup.observe_round({1.0, 2.0});
+  const std::vector<std::vector<double>> history{{1.0, 2.0}};
+  EXPECT_EQ(
+      predict_versions(PredictorMode::kLastValue, sup, fallback, history),
+      history.back());
+  EXPECT_NE(predict_versions(PredictorMode::kDes, sup, fallback, history),
+            fallback);
 }
 
 TEST(RuntimeSupervisor, Validation) {

@@ -18,6 +18,25 @@ TEST(VersionPredictor, PredictBeforeObserveThrows) {
   EXPECT_THROW(p.predict(), Error);
 }
 
+// Round-0 regression: before any observation the predictor must yield the
+// caller's Eq. 6 warm-up expectation instead of failing — predict() used
+// to be the only API and hard-failed, forcing every call site to re-derive
+// the observations() guard by hand.
+TEST(VersionPredictor, PredictOrFallsBackToWarmupAtRoundZero) {
+  VersionPredictor p(0.5);
+  EXPECT_DOUBLE_EQ(p.predict_or(42.0), 42.0);
+  EXPECT_DOUBLE_EQ(p.predict_or(42.0, 5), 42.0);
+  EXPECT_THROW(p.predict_or(42.0, -1), InvalidArgument);
+}
+
+TEST(VersionPredictor, PredictOrMatchesPredictOnceObserved) {
+  VersionPredictor p(0.5);
+  p.observe(3.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict_or(42.0), p.predict());
+  EXPECT_DOUBLE_EQ(p.predict_or(42.0, 3), p.predict(3));
+}
+
 TEST(VersionPredictor, FirstObservationIsFlatForecast) {
   VersionPredictor p(0.5);
   p.observe(10.0);

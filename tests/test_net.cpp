@@ -11,12 +11,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -46,6 +49,27 @@ using rt::kMaxFrameBody;
 
 void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ------------------------------------------------------- Socket-dir sweep
+
+// Regression for the stale-dir leak: a run killed before ~ProcessFleet
+// left its /tmp/hadfl-net-* dir behind forever (mkdtemp never reuses the
+// name). The startup sweep must reclaim aged dirs and leave fresh ones —
+// possibly another live run's — untouched.
+TEST(SocketDirs, SweepRemovesStaleDirsAndSparesFreshOnes) {
+  const std::string stale = make_socket_dir();
+  const std::string fresh = make_socket_dir();
+  timeval aged[2];
+  aged[0].tv_sec = std::time(nullptr) - 7200;  // two hours old
+  aged[0].tv_usec = 0;
+  aged[1] = aged[0];
+  ASSERT_EQ(::utimes(stale.c_str(), aged), 0);
+  EXPECT_GE(sweep_stale_socket_dirs(3600.0), 1u);
+  struct stat st{};
+  EXPECT_NE(::stat(stale.c_str(), &st), 0) << "stale dir survived the sweep";
+  EXPECT_EQ(::stat(fresh.c_str(), &st), 0) << "fresh dir was swept";
+  remove_socket_dir(fresh);
 }
 
 // ------------------------------------------------------------ Frame layer
@@ -272,6 +296,8 @@ rt::Command sample_command() {
   cmd.chunks = 4;
   cmd.delta = true;
   cmd.ref_epoch = 17;
+  cmd.codec = comm::SyncCodec::kTopK;
+  cmd.codec_ratio = 0.125;
   return cmd;
 }
 
@@ -300,6 +326,8 @@ TEST(ControlCodec, CommandRoundTripsEveryField) {
   EXPECT_EQ(out.chunks, cmd.chunks);
   EXPECT_EQ(out.delta, cmd.delta);
   EXPECT_EQ(out.ref_epoch, cmd.ref_epoch);
+  EXPECT_EQ(out.codec, cmd.codec);
+  EXPECT_EQ(out.codec_ratio, cmd.codec_ratio);
   // The cancel flag never crosses the wire — NetWorkerIo makes a fresh one.
   EXPECT_EQ(out.cancel, nullptr);
 }

@@ -294,6 +294,33 @@ TEST(Metrics, SnapshotCsvEmitsLongFormatRows) {
   std::remove(path.c_str());
 }
 
+// Zero-count regression: a histogram that was registered but never
+// observed must export 0-valued stats, not its ±inf min/max sentinels —
+// "inf" in the CSV breaks downstream parsers. Covers the snapshot
+// accessors, the CSV writer, and render().
+TEST(Metrics, ZeroCountHistogramExportsNoInfSentinels) {
+  MetricsRegistry reg;
+  reg.histogram("never_observed", {0.5, 1.0});
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSample* h = snap.find_histogram("never_observed");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+  EXPECT_DOUBLE_EQ(h->min, 0.0);
+  EXPECT_DOUBLE_EQ(h->max, 0.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 0.0);
+
+  const std::string path = temp_path("obs_zero_hist.csv");
+  snap.write_csv(path);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("min,0"), std::string::npos);
+  EXPECT_NE(text.find("max,0"), std::string::npos);
+  EXPECT_EQ(text.find("min,inf"), std::string::npos);
+  EXPECT_EQ(text.find("max,-inf"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(snap.render().find("inf"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 // -------------------------------------------------------------- Exporter
 
 TEST(ChromeTrace, EmitsLoadableEventsPerSpan) {

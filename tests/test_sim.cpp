@@ -108,6 +108,73 @@ TEST(FaultInjector, Validation) {
   EXPECT_THROW(faults.schedule(FaultEvent{0, 2.0, 2.0}), InvalidArgument);
 }
 
+TEST(FaultInjector, DriftMultiplierIsExactlyOneWithoutDrift) {
+  FaultInjector faults;
+  EXPECT_FALSE(faults.has_drift());
+  // Exactly 1.0, not merely close: the trainer multiplies step times by
+  // this value unconditionally, and ×1.0 is what keeps no-drift runs
+  // bit-identical to the pre-drift code.
+  EXPECT_EQ(faults.drift_multiplier(0, 0), 1.0);
+  EXPECT_EQ(faults.drift_multiplier(7, 123), 1.0);
+}
+
+TEST(FaultInjector, StepDriftIsPermanentFromItsRound) {
+  FaultInjector faults;
+  faults.schedule_drift(DriftEvent{1, 3, 4.0, DriftKind::kStep});
+  EXPECT_EQ(faults.drift_multiplier(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(1, 100), 4.0);
+  EXPECT_EQ(faults.drift_multiplier(0, 100), 1.0);  // other device
+  EXPECT_TRUE(faults.has_drift());
+}
+
+TEST(FaultInjector, RampDriftThrottlesGradually) {
+  FaultInjector faults;
+  DriftEvent event{0, 2, 3.0, DriftKind::kRamp};
+  event.ramp_rounds = 4;
+  faults.schedule_drift(event);
+  EXPECT_EQ(faults.drift_multiplier(0, 1), 1.0);
+  const double quarter = faults.drift_multiplier(0, 2);
+  const double half = faults.drift_multiplier(0, 3);
+  EXPECT_GT(quarter, 1.0);
+  EXPECT_LT(quarter, half);
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(0, 5), 3.0);   // ramp complete
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(0, 50), 3.0);  // and holds
+}
+
+TEST(FaultInjector, SquareDriftPulsesWithPeriodAndDuty) {
+  FaultInjector faults;
+  DriftEvent event{0, 0, 2.0, DriftKind::kSquare};
+  event.period = 4;
+  event.duty = 1;
+  faults.schedule_drift(event);
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(0, 0), 2.0);  // on phase
+  EXPECT_EQ(faults.drift_multiplier(0, 1), 1.0);
+  EXPECT_EQ(faults.drift_multiplier(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(0, 4), 2.0);  // next period
+}
+
+TEST(FaultInjector, CompoundDriftMultiplies) {
+  FaultInjector faults;
+  faults.schedule_drift(DriftEvent{0, 0, 2.0, DriftKind::kStep});
+  faults.schedule_drift(DriftEvent{0, 5, 3.0, DriftKind::kStep});
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(faults.drift_multiplier(0, 5), 6.0);
+}
+
+TEST(FaultInjector, DriftValidation) {
+  FaultInjector faults;
+  EXPECT_THROW(faults.schedule_drift(DriftEvent{0, 0, 0.0}),
+               InvalidArgument);
+  DriftEvent ramp{0, 0, 2.0, DriftKind::kRamp};
+  ramp.ramp_rounds = 0;
+  EXPECT_THROW(faults.schedule_drift(ramp), InvalidArgument);
+  DriftEvent square{0, 0, 2.0, DriftKind::kSquare};
+  square.period = 2;
+  square.duty = 3;
+  EXPECT_THROW(faults.schedule_drift(square), InvalidArgument);
+}
+
 TEST(Cluster, IterationTimeScalesInverselyWithPower) {
   Cluster cluster(devices_from_ratio({4, 1}), 0.2);
   EXPECT_NEAR(cluster.iteration_time(0), 0.05, 1e-12);
